@@ -1,0 +1,34 @@
+//! Benchmark E2: per-episode training cost of each software design
+//! (the work behind one point of a Figure 4 curve).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_core::designs::{Design, DesignConfig};
+use elmrl_core::trainer::{Trainer, TrainerConfig};
+use elmrl_gym::CartPole;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn bench_training_episodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_training_episodes");
+    group.sample_size(10);
+    for design in [Design::OsElmL2Lipschitz, Design::OsElm, Design::Elm, Design::Dqn] {
+        for hidden in [32usize, 64] {
+            let id = BenchmarkId::new(design.label(), hidden);
+            group.bench_with_input(id, &(design, hidden), |b, &(design, hidden)| {
+                b.iter(|| {
+                    let mut rng = SmallRng::seed_from_u64(7);
+                    let mut agent = design.build(&DesignConfig::new(hidden), &mut rng);
+                    let mut env = CartPole::new();
+                    let trainer = Trainer::new(TrainerConfig::quick(5));
+                    trainer.run(agent.as_mut(), &mut env, &mut rng)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training_episodes
+}
+criterion_main!(benches);

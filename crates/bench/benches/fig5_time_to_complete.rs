@@ -1,0 +1,59 @@
+//! Benchmark E3: the per-step update cost that drives the Figure 5
+//! time-to-complete ordering (OS-ELM seq_train vs DQN gradient step), across
+//! the paper's hidden sizes.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_core::agent::{Agent, Observation};
+use elmrl_core::dqn::{DqnAgent, DqnConfig};
+use elmrl_core::oselm_qnet::{OsElmQNet, OsElmQNetConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn sample_obs(i: usize) -> Observation {
+    Observation {
+        state: vec![0.01 * (i % 17) as f64, -0.02, 0.03, 0.04],
+        action: i % 2,
+        reward: 0.0,
+        next_state: vec![0.01 * (i % 17) as f64 + 0.01, -0.01, 0.02, 0.05],
+        done: false,
+        truncated: false,
+    }
+}
+
+fn bench_update_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_update_step");
+    for hidden in [32usize, 64, 128, 192] {
+        group.bench_with_input(BenchmarkId::new("oselm_seq_train", hidden), &hidden, |b, &h| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut cfg = OsElmQNetConfig::cartpole(h, 0.5, true);
+            cfg.random_update = false;
+            let mut agent = OsElmQNet::new(cfg, &mut rng);
+            for i in 0..h {
+                agent.observe(&sample_obs(i), &mut rng);
+            }
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                agent.observe(&sample_obs(i), &mut rng)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dqn_train_step", hidden), &hidden, |b, &h| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut agent = DqnAgent::new(DqnConfig::cartpole(h), &mut rng);
+            for i in 0..128 {
+                agent.observe(&sample_obs(i), &mut rng);
+            }
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                agent.observe(&sample_obs(i), &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_update_step
+}
+criterion_main!(benches);

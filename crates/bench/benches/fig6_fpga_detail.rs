@@ -1,0 +1,49 @@
+//! Benchmark E4: the fixed-point FPGA core's predict and seq_train modules
+//! across hidden sizes (the operations Figure 6 breaks down).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_elm::{OsElm, OsElmConfig};
+use elmrl_fixed::Q20;
+use elmrl_fpga::FpgaCore;
+use elmrl_linalg::Matrix;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn build_core(hidden: usize) -> FpgaCore {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let cfg = OsElmConfig::new(5, hidden, 1)
+        .with_l2_delta(0.5)
+        .with_relative_l2(true)
+        .with_spectral_normalization(true);
+    let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+    let x0 = Matrix::from_fn(hidden, 5, |i, j| (((i * 7 + j) % 19) as f64 / 19.0) - 0.5);
+    let t0 = Matrix::from_fn(hidden, 1, |i, _| if i % 3 == 0 { -1.0 } else { 0.0 });
+    os.init_train(&x0, &t0).unwrap();
+    FpgaCore::from_f64_parts(
+        os.model().alpha(),
+        os.model().bias(),
+        os.model().beta(),
+        os.p_matrix().unwrap(),
+    )
+}
+
+fn bench_core_modules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_fpga_core");
+    for hidden in [32usize, 64, 128, 192] {
+        let x = vec![Q20::from_f64(0.1); 5];
+        group.bench_with_input(BenchmarkId::new("predict", hidden), &hidden, |b, &h| {
+            let mut core = build_core(h);
+            b.iter(|| core.predict(&x))
+        });
+        group.bench_with_input(BenchmarkId::new("seq_train", hidden), &hidden, |b, &h| {
+            let mut core = build_core(h);
+            b.iter(|| core.seq_train(&x, &[Q20::from_f64(0.5)]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_core_modules
+}
+criterion_main!(benches);

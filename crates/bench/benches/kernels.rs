@@ -1,0 +1,38 @@
+//! Kernel microbenchmarks (M1): the dense linear-algebra primitives the
+//! OS-ELM update is built from.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_linalg::random::uniform_matrix;
+use elmrl_linalg::solve::{inverse_spd, pseudo_inverse};
+use elmrl_linalg::Matrix;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut group = c.benchmark_group("linalg_kernels");
+    for n in [32usize, 64, 128] {
+        let a = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+        let b = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("matmul_naive", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_blocked", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_blocked(&b, 64))
+        });
+        let spd = &a.t_matmul(&a) + &Matrix::identity(n).scale(0.5);
+        group.bench_with_input(BenchmarkId::new("inverse_spd", n), &n, |bench, _| {
+            bench.iter(|| inverse_spd(&spd).unwrap())
+        });
+    }
+    let tall = uniform_matrix::<f64, _>(96, 32, -1.0, 1.0, &mut rng);
+    group.bench_function("pseudo_inverse_96x32", |bench| {
+        bench.iter(|| pseudo_inverse(&tall, 1e-10).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(benches);

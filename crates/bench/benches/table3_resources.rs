@@ -1,0 +1,22 @@
+//! Benchmark E1: generating the Table 3 resource model across hidden sizes.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_fpga::resources::ResourceModel;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_resources");
+    let model = ResourceModel::pynq_z1();
+    for hidden in [32usize, 64, 128, 192, 256] {
+        group.bench_with_input(BenchmarkId::new("utilization", hidden), &hidden, |b, &h| {
+            b.iter(|| model.utilization(h))
+        });
+    }
+    group.bench_function("full_table", |b| b.iter(|| model.table3()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_table3
+}
+criterion_main!(benches);

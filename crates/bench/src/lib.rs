@@ -1,0 +1,6 @@
+//! # elmrl-bench
+//!
+//! Criterion benchmark harness: one benchmark group per table/figure of the
+//! paper plus kernel microbenchmarks. The benches use reduced trial counts and
+//! episode budgets so that `cargo bench --workspace` completes in minutes; the
+//! full paper protocol is driven by the `elmrl-harness` binaries instead.

@@ -1,0 +1,94 @@
+//! The [`Agent`] trait shared by every design in the evaluation.
+//!
+//! The trainer drives agents through the paper's four states (Determine,
+//! Observe, Store, Update — Algorithm 1): [`Agent::act`] is *Determine*, the
+//! environment step is *Observe*, and [`Agent::observe`] covers *Store* and
+//! *Update* (each agent decides internally whether a given transition goes to
+//! its buffer, triggers an initial training, a sequential update, or a DQN
+//! gradient step).
+
+use crate::ops::OpCounts;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// One transition as seen by an agent (rewards already shaped).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// State before the action.
+    pub state: Vec<f64>,
+    /// Discrete action taken.
+    pub action: usize,
+    /// Shaped reward.
+    pub reward: f64,
+    /// State after the action.
+    pub next_state: Vec<f64>,
+    /// Episode terminated by the task's failure/success condition.
+    pub done: bool,
+    /// Episode ended only because of the step cap.
+    pub truncated: bool,
+}
+
+impl Observation {
+    /// `done || truncated`.
+    pub fn finished(&self) -> bool {
+        self.done || self.truncated
+    }
+}
+
+/// A reinforcement-learning agent: one of the seven designs of §4.1.
+pub trait Agent {
+    /// Human-readable design name (matches the paper's design labels).
+    fn name(&self) -> &str;
+
+    /// The hidden-layer width `Ñ` of the underlying network.
+    fn hidden_dim(&self) -> usize;
+
+    /// *Determine*: choose an action for `state`.
+    fn act(&mut self, state: &[f64], rng: &mut SmallRng) -> usize;
+
+    /// *Store* + *Update*: ingest one transition.
+    fn observe(&mut self, obs: &Observation, rng: &mut SmallRng);
+
+    /// Called by the trainer at the end of every episode (target-network
+    /// synchronisation happens here, Algorithm 1 lines 23–24).
+    fn end_episode(&mut self, episode_index: usize);
+
+    /// Re-initialise all trainable state. The trainer calls this when the
+    /// paper's reset rule fires (§4.3: reset after 300 unsuccessful
+    /// episodes).
+    fn reset(&mut self, rng: &mut SmallRng);
+
+    /// Per-operation counters accumulated so far (Figure 5/6 breakdown).
+    fn op_counts(&self) -> &OpCounts;
+
+    /// Greedy Q-values for a state — used by diagnostics and tests; not part
+    /// of the training path.
+    fn q_values(&mut self, state: &[f64]) -> Vec<f64>;
+
+    /// Approximate persistent memory footprint of the agent's learnable state
+    /// and buffers, in bytes (used for the on-device memory comparison).
+    fn memory_footprint_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_finished_logic() {
+        let mut o = Observation {
+            state: vec![0.0],
+            action: 0,
+            reward: 0.0,
+            next_state: vec![0.0],
+            done: false,
+            truncated: false,
+        };
+        assert!(!o.finished());
+        o.truncated = true;
+        assert!(o.finished());
+        o.truncated = false;
+        o.done = true;
+        assert!(o.finished());
+    }
+}

@@ -1,0 +1,101 @@
+//! Q-value clipping (§3.1) and target construction.
+//!
+//! ELM/OS-ELM drive their training error to zero for whatever target they are
+//! given, so a single outlier target can blow up `β`. The paper therefore
+//! clips every Q-learning target into `[-1, 1]`:
+//!
+//! ```text
+//! target = clip(−1, rₜ + (1 − dₜ)·γ·max_a Q_θ₂(sₜ₊₁, a), 1)
+//! ```
+//!
+//! (Algorithm 1, lines 19 and 22; the `(1 − dₜ)` factor removes the bootstrap
+//! term on terminal transitions.)
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the target computation shared by every Q-network design.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TargetConfig {
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Whether to clip targets into `[clip_min, clip_max]`.
+    pub clip: bool,
+    /// Lower clipping bound (−1 in the paper).
+    pub clip_min: f64,
+    /// Upper clipping bound (+1 in the paper).
+    pub clip_max: f64,
+}
+
+impl Default for TargetConfig {
+    fn default() -> Self {
+        Self { gamma: 0.99, clip: true, clip_min: -1.0, clip_max: 1.0 }
+    }
+}
+
+impl TargetConfig {
+    /// A config with clipping disabled (used by the clipping ablation and by
+    /// the DQN baseline, which relies on the Huber loss instead).
+    pub fn unclipped(gamma: f64) -> Self {
+        Self { gamma, clip: false, clip_min: f64::NEG_INFINITY, clip_max: f64::INFINITY }
+    }
+
+    /// Compute the (possibly clipped) Q-learning target
+    /// `r + (1 − done)·γ·max_next`.
+    pub fn target(&self, reward: f64, max_next_q: f64, done: bool) -> f64 {
+        let bootstrap = if done { 0.0 } else { self.gamma * max_next_q };
+        let raw = reward + bootstrap;
+        if self.clip {
+            raw.clamp(self.clip_min, self.clip_max)
+        } else {
+            raw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_range() {
+        let c = TargetConfig::default();
+        assert!(c.clip);
+        assert_eq!(c.clip_min, -1.0);
+        assert_eq!(c.clip_max, 1.0);
+        assert!((c.gamma - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_removed_on_terminal_transitions() {
+        let c = TargetConfig { gamma: 0.9, clip: false, clip_min: -1.0, clip_max: 1.0 };
+        assert_eq!(c.target(0.5, 100.0, true), 0.5);
+        assert_eq!(c.target(0.5, 1.0, false), 0.5 + 0.9);
+    }
+
+    #[test]
+    fn clipping_bounds_targets() {
+        let c = TargetConfig::default();
+        // large positive bootstrap clipped to +1
+        assert_eq!(c.target(1.0, 50.0, false), 1.0);
+        // large negative clipped to −1
+        assert_eq!(c.target(-1.0, -50.0, false), -1.0);
+        // inside the range is untouched
+        let inside = c.target(0.1, 0.2, false);
+        assert!((inside - (0.1 + 0.99 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unclipped_config_passes_outliers_through() {
+        let c = TargetConfig::unclipped(0.99);
+        assert!(c.target(1.0, 1e6, false) > 1e5);
+        assert!(c.target(-1.0, -1e6, false) < -1e5);
+    }
+
+    #[test]
+    fn terminal_failure_target_is_the_raw_reward() {
+        // With the paper's shaped reward (−1 on failure) the terminal target
+        // is exactly −1 — the signal the whole scheme learns from.
+        let c = TargetConfig::default();
+        assert_eq!(c.target(-1.0, 0.7, true), -1.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The evaluated designs (§4.1) as a factory enum.
+//!
+//! Seven designs are compared in the paper. Six are pure software and built
+//! here; the seventh (`FPGA`) is the same algorithm as OS-ELM-L2-Lipschitz
+//! running through the fixed-point datapath simulator and is constructed by
+//! `elmrl-fpga` (which depends on this crate) — [`Design::build`] therefore
+//! covers designs (1)–(6) and the harness plugs the FPGA agent in through the
+//! same [`Agent`] trait object.
+
+use crate::agent::Agent;
+use crate::dqn::{DqnAgent, DqnConfig};
+use crate::elm_qnet::{ElmQNet, ElmQNetConfig};
+use crate::oselm_qnet::{OsElmQNet, OsElmQNetConfig};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// The designs of §4.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Design {
+    /// (1) ELM Q-Network with the simplified output model and Q-value clipping.
+    Elm,
+    /// (2) OS-ELM Q-Network (+ random update), no regularisation.
+    OsElm,
+    /// (3) OS-ELM with L2 regularisation of β (δ = 1).
+    OsElmL2,
+    /// (4) OS-ELM with spectral normalization of α.
+    OsElmLipschitz,
+    /// (5) OS-ELM with both (δ = 0.5) — the paper's recommended software design.
+    OsElmL2Lipschitz,
+    /// (6) The three-layer DQN baseline.
+    Dqn,
+    /// (7) The FPGA fixed-point implementation of (5); built by `elmrl-fpga`.
+    Fpga,
+}
+
+impl Design {
+    /// All software designs, in the paper's order.
+    pub fn software_designs() -> [Design; 6] {
+        [
+            Design::Elm,
+            Design::OsElm,
+            Design::OsElmL2,
+            Design::OsElmLipschitz,
+            Design::OsElmL2Lipschitz,
+            Design::Dqn,
+        ]
+    }
+
+    /// All seven designs.
+    pub fn all_designs() -> [Design; 7] {
+        [
+            Design::Elm,
+            Design::OsElm,
+            Design::OsElmL2,
+            Design::OsElmLipschitz,
+            Design::OsElmL2Lipschitz,
+            Design::Dqn,
+            Design::Fpga,
+        ]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::Elm => "ELM",
+            Design::OsElm => "OS-ELM",
+            Design::OsElmL2 => "OS-ELM-L2",
+            Design::OsElmLipschitz => "OS-ELM-Lipschitz",
+            Design::OsElmL2Lipschitz => "OS-ELM-L2-Lipschitz",
+            Design::Dqn => "DQN",
+            Design::Fpga => "FPGA",
+        }
+    }
+
+    /// The L2 regularisation strength δ the paper assigns to this design
+    /// (§4.1: δ = 1 for OS-ELM-L2 and δ = 0.5 for OS-ELM-L2-Lipschitz).
+    pub fn l2_delta(self) -> f64 {
+        match self {
+            Design::OsElmL2 => 1.0,
+            Design::OsElmL2Lipschitz | Design::Fpga => 0.5,
+            _ => 0.0,
+        }
+    }
+
+    /// Whether this design spectrally normalises α.
+    pub fn spectral_normalize(self) -> bool {
+        matches!(
+            self,
+            Design::OsElmLipschitz | Design::OsElmL2Lipschitz | Design::Fpga
+        )
+    }
+
+    /// Build the agent for this design. Panics for [`Design::Fpga`], which is
+    /// constructed by `elmrl-fpga::FpgaAgent::new` instead.
+    pub fn build(self, config: &DesignConfig, rng: &mut SmallRng) -> Box<dyn Agent> {
+        match self {
+            Design::Elm => {
+                let mut c = ElmQNetConfig::cartpole(config.hidden_dim);
+                c.state_dim = config.state_dim;
+                c.num_actions = config.num_actions;
+                c.exploit_prob = config.exploit_prob;
+                c.target_sync_episodes = config.target_sync_episodes;
+                c.target.gamma = config.gamma;
+                Box::new(ElmQNet::new(c, rng))
+            }
+            Design::OsElm | Design::OsElmL2 | Design::OsElmLipschitz | Design::OsElmL2Lipschitz => {
+                let mut c = OsElmQNetConfig::cartpole(
+                    config.hidden_dim,
+                    self.l2_delta(),
+                    self.spectral_normalize(),
+                );
+                c.state_dim = config.state_dim;
+                c.num_actions = config.num_actions;
+                c.exploit_prob = config.exploit_prob;
+                c.update_prob = config.update_prob;
+                c.target_sync_episodes = config.target_sync_episodes;
+                c.target.gamma = config.gamma;
+                Box::new(OsElmQNet::new(c, rng))
+            }
+            Design::Dqn => {
+                let mut c = DqnConfig::cartpole(config.hidden_dim);
+                c.state_dim = config.state_dim;
+                c.num_actions = config.num_actions;
+                c.exploit_prob = config.exploit_prob;
+                c.target_sync_episodes = config.target_sync_episodes;
+                c.gamma = config.gamma;
+                Box::new(DqnAgent::new(c, rng))
+            }
+            Design::Fpga => panic!(
+                "Design::Fpga is built by elmrl_fpga::FpgaAgent::new, not Design::build"
+            ),
+        }
+    }
+}
+
+/// Parameters shared by every design when building agents for one experiment
+/// cell (one hidden size on one environment).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DesignConfig {
+    /// Environment state dimensionality (4 for CartPole).
+    pub state_dim: usize,
+    /// Number of discrete actions (2 for CartPole).
+    pub num_actions: usize,
+    /// Hidden-layer width `Ñ`.
+    pub hidden_dim: usize,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Exploit probability ε₁.
+    pub exploit_prob: f64,
+    /// Random-update probability ε₂ (OS-ELM designs only).
+    pub update_prob: f64,
+    /// Target-network sync interval (episodes).
+    pub target_sync_episodes: usize,
+}
+
+impl DesignConfig {
+    /// The paper's CartPole parameters with the given hidden size.
+    pub fn new(hidden_dim: usize) -> Self {
+        Self {
+            state_dim: 4,
+            num_actions: 2,
+            hidden_dim,
+            gamma: 0.99,
+            exploit_prob: 0.7,
+            update_prob: 0.5,
+            target_sync_episodes: 2,
+        }
+    }
+
+    /// Adjust the state/action dimensions for a different environment.
+    pub fn for_env(mut self, state_dim: usize, num_actions: usize) -> Self {
+        self.state_dim = state_dim;
+        self.num_actions = num_actions;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels_and_enumerations() {
+        assert_eq!(Design::software_designs().len(), 6);
+        assert_eq!(Design::all_designs().len(), 7);
+        assert_eq!(Design::OsElmL2Lipschitz.label(), "OS-ELM-L2-Lipschitz");
+        assert_eq!(Design::Fpga.label(), "FPGA");
+    }
+
+    #[test]
+    fn paper_delta_assignments() {
+        assert_eq!(Design::OsElmL2.l2_delta(), 1.0);
+        assert_eq!(Design::OsElmL2Lipschitz.l2_delta(), 0.5);
+        assert_eq!(Design::Fpga.l2_delta(), 0.5);
+        assert_eq!(Design::OsElm.l2_delta(), 0.0);
+        assert!(!Design::OsElmL2.spectral_normalize());
+        assert!(Design::OsElmLipschitz.spectral_normalize());
+        assert!(Design::Fpga.spectral_normalize());
+    }
+
+    #[test]
+    fn build_produces_correctly_named_agents() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let config = DesignConfig::new(16);
+        for design in Design::software_designs() {
+            let agent = design.build(&config, &mut rng);
+            assert_eq!(agent.name(), design.label());
+            assert_eq!(agent.hidden_dim(), 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "built by elmrl_fpga")]
+    fn building_fpga_here_panics() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let _ = Design::Fpga.build(&DesignConfig::new(16), &mut rng);
+    }
+
+    #[test]
+    fn design_config_env_override() {
+        let c = DesignConfig::new(32).for_env(2, 3);
+        assert_eq!(c.state_dim, 2);
+        assert_eq!(c.num_actions, 3);
+        assert_eq!(c.hidden_dim, 32);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let agent = Design::OsElmL2Lipschitz.build(&c, &mut rng);
+        // MountainCar-shaped agent still constructs and answers Q-values.
+        let mut agent = agent;
+        assert_eq!(agent.q_values(&[0.0, 0.0]).len(), 3);
+    }
+}

@@ -1,0 +1,337 @@
+//! The DQN baseline (§2.4, design (6) of the evaluation).
+//!
+//! A three-layer network (`state → Ñ ReLU units → Q per action`) trained by
+//! backpropagation with Adam (learning rate 0.01), the Huber loss, uniform
+//! experience replay (mini-batches of 32) and a fixed target network synced
+//! every `UPDATE_STEP` episodes — i.e. everything the paper argues is too
+//! heavy for a resource-limited edge device, implemented faithfully so the
+//! comparison in Figures 4 and 5 is meaningful.
+
+use crate::agent::{Agent, Observation};
+use crate::clipping::TargetConfig;
+use crate::ops::{OpCounts, OpKind};
+use crate::policy::ExploitPolicy;
+use elmrl_linalg::Matrix;
+use elmrl_nn::{Activation, Adam, Loss, Mlp, MlpConfig, ReplayBuffer, Transition};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of the DQN baseline agent.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DqnConfig {
+    /// Environment state dimensionality.
+    pub state_dim: usize,
+    /// Number of discrete actions.
+    pub num_actions: usize,
+    /// Hidden-layer width `Ñ`.
+    pub hidden_dim: usize,
+    /// Exploit probability ε₁ (the paper's policy is shared by all designs).
+    pub exploit_prob: f64,
+    /// Target-network synchronisation interval in episodes.
+    pub target_sync_episodes: usize,
+    /// Discount factor γ (targets are not clipped for DQN; the Huber loss
+    /// absorbs outliers instead).
+    pub gamma: f64,
+    /// Adam learning rate (paper: 0.01).
+    pub learning_rate: f64,
+    /// Replay-buffer capacity.
+    pub replay_capacity: usize,
+    /// Mini-batch size (paper reports `predict_32`, i.e. 32).
+    pub batch_size: usize,
+    /// Minimum buffer occupancy before gradient steps start.
+    pub warmup: usize,
+}
+
+impl DqnConfig {
+    /// The paper's CartPole settings for a given hidden size.
+    pub fn cartpole(hidden_dim: usize) -> Self {
+        Self {
+            state_dim: 4,
+            num_actions: 2,
+            hidden_dim,
+            exploit_prob: 0.7,
+            target_sync_episodes: 2,
+            gamma: 0.99,
+            learning_rate: 0.01,
+            replay_capacity: 10_000,
+            batch_size: 32,
+            warmup: 64,
+        }
+    }
+}
+
+/// The DQN baseline agent.
+pub struct DqnAgent {
+    config: DqnConfig,
+    policy: ExploitPolicy,
+    online: Mlp,
+    target: Mlp,
+    optimizer: Adam,
+    replay: ReplayBuffer,
+    targets: TargetConfig,
+    ops: OpCounts,
+}
+
+impl DqnAgent {
+    /// Create an agent with Xavier-initialised networks.
+    pub fn new(config: DqnConfig, rng: &mut SmallRng) -> Self {
+        let mlp_config = MlpConfig::new(&[config.state_dim, config.hidden_dim, config.num_actions])
+            .with_hidden_activation(Activation::ReLU)
+            .with_output_activation(Activation::Identity);
+        let online = Mlp::new(mlp_config.clone(), rng);
+        let mut target = Mlp::new(mlp_config, rng);
+        target.copy_parameters_from(&online);
+        Self {
+            policy: ExploitPolicy::new(config.exploit_prob),
+            optimizer: Adam::new(config.learning_rate),
+            replay: ReplayBuffer::new(config.replay_capacity),
+            targets: TargetConfig::unclipped(config.gamma),
+            online,
+            target,
+            ops: OpCounts::new(),
+            config,
+        }
+    }
+
+    /// Number of transitions currently in the replay buffer.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    fn train_on_batch(&mut self, rng: &mut SmallRng) {
+        if self.replay.len() < self.config.warmup.max(self.config.batch_size) {
+            return;
+        }
+        let start = Instant::now();
+        let batch: Vec<Transition> =
+            self.replay.sample(self.config.batch_size, rng).into_iter().cloned().collect();
+
+        let k = batch.len();
+        let states = Matrix::from_rows(
+            &batch.iter().map(|t| t.state.clone()).collect::<Vec<_>>(),
+        );
+        let next_states = Matrix::from_rows(
+            &batch.iter().map(|t| t.next_state.clone()).collect::<Vec<_>>(),
+        );
+
+        // Q_θ2(s', ·) on the batch — the `predict_32` class of Figure 5.
+        let p32_start = Instant::now();
+        let next_q = self.target.forward(&next_states);
+        self.ops.record(OpKind::Predict32, p32_start.elapsed());
+
+        // Current Q_θ1(s, ·) to keep the untouched actions' targets in place.
+        let p32b_start = Instant::now();
+        let mut targets = self.online.forward(&states);
+        self.ops.record(OpKind::Predict32, p32b_start.elapsed());
+
+        for (i, t) in batch.iter().enumerate() {
+            let mut max_next = f64::NEG_INFINITY;
+            for a in 0..self.config.num_actions {
+                max_next = max_next.max(next_q[(i, a)]);
+            }
+            targets[(i, t.action)] = self.targets.target(t.reward, max_next, t.done);
+        }
+        let _ = k;
+
+        self.online.train_step(&states, &targets, Loss::Huber, &mut self.optimizer);
+        self.ops.record(OpKind::TrainDqn, start.elapsed());
+    }
+}
+
+impl Agent for DqnAgent {
+    fn name(&self) -> &str {
+        "DQN"
+    }
+
+    fn hidden_dim(&self) -> usize {
+        self.config.hidden_dim
+    }
+
+    fn act(&mut self, state: &[f64], rng: &mut SmallRng) -> usize {
+        let start = Instant::now();
+        let q = self.online.forward_one(state);
+        self.ops.record(OpKind::Predict1, start.elapsed());
+        self.policy.select(&q, rng)
+    }
+
+    fn observe(&mut self, obs: &Observation, rng: &mut SmallRng) {
+        self.replay.push(Transition {
+            state: obs.state.clone(),
+            action: obs.action,
+            reward: obs.reward,
+            next_state: obs.next_state.clone(),
+            done: obs.done,
+        });
+        self.train_on_batch(rng);
+    }
+
+    fn end_episode(&mut self, episode_index: usize) {
+        if self.config.target_sync_episodes > 0
+            && (episode_index + 1) % self.config.target_sync_episodes == 0
+        {
+            self.target.copy_parameters_from(&self.online);
+        }
+    }
+
+    fn reset(&mut self, rng: &mut SmallRng) {
+        let mlp_config = MlpConfig::new(&[
+            self.config.state_dim,
+            self.config.hidden_dim,
+            self.config.num_actions,
+        ])
+        .with_hidden_activation(Activation::ReLU)
+        .with_output_activation(Activation::Identity);
+        self.online = Mlp::new(mlp_config.clone(), rng);
+        self.target = Mlp::new(mlp_config, rng);
+        self.target.copy_parameters_from(&self.online);
+        self.optimizer = Adam::new(self.config.learning_rate);
+        self.replay.clear();
+    }
+
+    fn op_counts(&self) -> &OpCounts {
+        &self.ops
+    }
+
+    fn q_values(&mut self, state: &[f64]) -> Vec<f64> {
+        self.online.forward_one(state)
+    }
+
+    fn memory_footprint_bytes(&self) -> usize {
+        let params = 2 * self.online.parameter_count() * std::mem::size_of::<f64>();
+        params + self.replay.approximate_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    fn obs(i: usize, reward: f64, done: bool) -> Observation {
+        Observation {
+            state: vec![0.01 * (i % 17) as f64, -0.02, 0.03 * ((i % 5) as f64), 0.04],
+            action: i % 2,
+            reward,
+            next_state: vec![0.01 * (i % 17) as f64 + 0.01, -0.01, 0.02, 0.05],
+            done,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let c = DqnConfig::cartpole(64);
+        assert_eq!(c.learning_rate, 0.01);
+        assert_eq!(c.batch_size, 32);
+        assert_eq!(c.exploit_prob, 0.7);
+        assert_eq!(c.target_sync_episodes, 2);
+        let mut r = rng(0);
+        let agent = DqnAgent::new(c, &mut r);
+        assert_eq!(agent.name(), "DQN");
+        assert_eq!(agent.hidden_dim(), 64);
+    }
+
+    #[test]
+    fn training_starts_only_after_warmup() {
+        let mut r = rng(1);
+        let mut agent = DqnAgent::new(DqnConfig::cartpole(16), &mut r);
+        for i in 0..63 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        assert_eq!(agent.op_counts().count(OpKind::TrainDqn), 0);
+        agent.observe(&obs(63, 0.0, false), &mut r);
+        assert_eq!(agent.op_counts().count(OpKind::TrainDqn), 1);
+        assert_eq!(agent.op_counts().count(OpKind::Predict32), 2);
+        assert_eq!(agent.replay_len(), 64);
+    }
+
+    #[test]
+    fn act_counts_single_predictions() {
+        let mut r = rng(2);
+        let mut agent = DqnAgent::new(DqnConfig::cartpole(16), &mut r);
+        for _ in 0..5 {
+            let _ = agent.act(&[0.0; 4], &mut r);
+        }
+        assert_eq!(agent.op_counts().count(OpKind::Predict1), 5);
+    }
+
+    #[test]
+    fn q_of_failing_action_decreases_with_training() {
+        let mut r = rng(3);
+        let mut agent = DqnAgent::new(DqnConfig::cartpole(32), &mut r);
+        let probe = [0.05, -0.02, 0.1, 0.04];
+        // Fill replay with transitions where action 1 from states with
+        // positive pole angle leads to failure (−1) and action 0 is neutral.
+        for i in 0..400 {
+            let bad = i % 2 == 1;
+            let o = Observation {
+                state: vec![0.05, -0.02, 0.1, 0.04],
+                action: if bad { 1 } else { 0 },
+                reward: if bad { -1.0 } else { 0.0 },
+                next_state: vec![0.06, -0.02, 0.12, 0.05],
+                done: bad,
+                truncated: false,
+            };
+            agent.observe(&o, &mut r);
+            agent.end_episode(i);
+        }
+        let q = agent.q_values(&probe);
+        assert!(
+            q[1] < q[0],
+            "Q(bad action) should fall below Q(neutral action): {q:?}"
+        );
+    }
+
+    #[test]
+    fn target_network_sync_schedule() {
+        let mut r = rng(4);
+        let mut agent = DqnAgent::new(DqnConfig::cartpole(16), &mut r);
+        for i in 0..80 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        let probe = [0.1, 0.0, 0.0, 0.0];
+        let online_q = agent.q_values(&probe);
+        let target_q_before = agent.target.forward_one(&probe);
+        assert!(online_q
+            .iter()
+            .zip(target_q_before.iter())
+            .any(|(a, b)| (a - b).abs() > 1e-9));
+        agent.end_episode(1); // sync
+        let target_q_after = agent.target.forward_one(&probe);
+        for (a, b) in online_q.iter().zip(target_q_after.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_clears_replay_and_reinitialises() {
+        let mut r = rng(5);
+        let mut agent = DqnAgent::new(DqnConfig::cartpole(16), &mut r);
+        for i in 0..100 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        assert!(agent.replay_len() > 0);
+        agent.reset(&mut r);
+        assert_eq!(agent.replay_len(), 0);
+    }
+
+    #[test]
+    fn memory_footprint_includes_replay_buffer() {
+        let mut r = rng(6);
+        let mut agent = DqnAgent::new(DqnConfig::cartpole(64), &mut r);
+        let empty = agent.memory_footprint_bytes();
+        for i in 0..500 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        let filled = agent.memory_footprint_bytes();
+        assert!(
+            filled > empty + 400 * 8 * std::mem::size_of::<f64>(),
+            "replay buffer growth should dominate: {empty} -> {filled}"
+        );
+    }
+}

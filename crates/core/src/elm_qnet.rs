@@ -1,0 +1,299 @@
+//! The ELM Q-Network (§3.1, design (1) of the evaluation).
+//!
+//! ELM is a *batch* algorithm: the Q-network can only be (re)trained when the
+//! buffer `D` holds `Ñ` fresh transitions (Algorithm 1 lines 16–19). Between
+//! refills the policy acts on a frozen `β`. This severely limits the number
+//! of updates — the limitation OS-ELM removes — and is why the paper finds
+//! ELM fragile with respect to the hidden size (§4.3).
+
+use crate::agent::{Agent, Observation};
+use crate::clipping::TargetConfig;
+use crate::encoding::StateActionEncoder;
+use crate::ops::{OpCounts, OpKind};
+use crate::policy::{max_q, ExploitPolicy};
+use elmrl_elm::model::ElmModel;
+use elmrl_elm::{Elm, HiddenActivation, OsElmConfig};
+use elmrl_linalg::Matrix;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of the ELM Q-Network.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ElmQNetConfig {
+    /// Environment state dimensionality.
+    pub state_dim: usize,
+    /// Number of discrete actions.
+    pub num_actions: usize,
+    /// Hidden-layer width `Ñ` (also the buffer size).
+    pub hidden_dim: usize,
+    /// Exploit probability ε₁.
+    pub exploit_prob: f64,
+    /// Target-network synchronisation interval in episodes.
+    pub target_sync_episodes: usize,
+    /// Q-target construction (γ and clipping).
+    pub target: TargetConfig,
+    /// Ridge regularisation for the batch solve (0 = pseudo-inverse).
+    pub l2_delta: f64,
+    /// Hidden activation.
+    pub activation: HiddenActivation,
+}
+
+impl ElmQNetConfig {
+    /// The paper's CartPole settings (design (1): clipping + simplified
+    /// output model, no regularisation).
+    pub fn cartpole(hidden_dim: usize) -> Self {
+        Self {
+            state_dim: 4,
+            num_actions: 2,
+            hidden_dim,
+            exploit_prob: 0.7,
+            target_sync_episodes: 2,
+            target: TargetConfig::default(),
+            l2_delta: 0.0,
+            activation: HiddenActivation::ReLU,
+        }
+    }
+
+    fn elm_config(&self) -> OsElmConfig {
+        OsElmConfig::new(self.state_dim + 1, self.hidden_dim, 1)
+            .with_activation(self.activation)
+            .with_l2_delta(self.l2_delta)
+    }
+}
+
+/// The ELM Q-Network agent.
+pub struct ElmQNet {
+    config: ElmQNetConfig,
+    encoder: StateActionEncoder,
+    policy: ExploitPolicy,
+    online: Elm<f64>,
+    target: ElmModel<f64>,
+    buffer: Vec<Observation>,
+    ops: OpCounts,
+    trained_once: bool,
+}
+
+impl ElmQNet {
+    /// Create an agent with freshly drawn random `α`, `b`.
+    pub fn new(config: ElmQNetConfig, rng: &mut SmallRng) -> Self {
+        let encoder = StateActionEncoder::new(config.state_dim, config.num_actions);
+        let online = Elm::<f64>::new(&config.elm_config(), rng);
+        let target = online.model().clone();
+        Self {
+            policy: ExploitPolicy::new(config.exploit_prob),
+            encoder,
+            online,
+            target,
+            buffer: Vec::with_capacity(config.hidden_dim),
+            ops: OpCounts::new(),
+            config,
+            trained_once: false,
+        }
+    }
+
+    /// Whether at least one batch training has completed.
+    pub fn is_trained(&self) -> bool {
+        self.trained_once
+    }
+
+    fn q_for(&self, model: &ElmModel<f64>, state: &[f64]) -> Vec<f64> {
+        self.encoder
+            .encode_all_actions(state)
+            .iter()
+            .map(|input| model.predict_single(input)[0])
+            .collect()
+    }
+
+    fn run_batch_training(&mut self) {
+        let start = Instant::now();
+        let n = self.buffer.len();
+        let input_dim = self.encoder.input_dim();
+        let mut x = Matrix::<f64>::zeros(n, input_dim);
+        let mut t = Matrix::<f64>::zeros(n, 1);
+        for (i, obs) in self.buffer.iter().enumerate() {
+            let encoded = self.encoder.encode(&obs.state, obs.action);
+            for (j, &v) in encoded.iter().enumerate() {
+                x[(i, j)] = v;
+            }
+            let max_next = max_q(&self.q_for(&self.target, &obs.next_state));
+            t[(i, 0)] = self.config.target.target(obs.reward, max_next, obs.done);
+        }
+        // The pseudo-inverse route tolerates rank deficiency, so a failure is
+        // unexpected; drop the batch rather than poisoning β.
+        if self.online.train(&x, &t).is_ok() {
+            self.trained_once = true;
+        }
+        self.buffer.clear();
+        self.ops.record(OpKind::InitTrain, start.elapsed());
+    }
+}
+
+impl Agent for ElmQNet {
+    fn name(&self) -> &str {
+        "ELM"
+    }
+
+    fn hidden_dim(&self) -> usize {
+        self.config.hidden_dim
+    }
+
+    fn act(&mut self, state: &[f64], rng: &mut SmallRng) -> usize {
+        let start = Instant::now();
+        let q = self.q_for(self.online.model(), state);
+        let kind = if self.trained_once { OpKind::PredictSeq } else { OpKind::PredictInit };
+        self.ops.record_n(kind, self.config.num_actions as u64, start.elapsed());
+        self.policy.select(&q, rng)
+    }
+
+    fn observe(&mut self, obs: &Observation, _rng: &mut SmallRng) {
+        self.buffer.push(obs.clone());
+        if self.buffer.len() >= self.config.hidden_dim {
+            self.run_batch_training();
+        }
+    }
+
+    fn end_episode(&mut self, episode_index: usize) {
+        if self.config.target_sync_episodes > 0
+            && (episode_index + 1) % self.config.target_sync_episodes == 0
+        {
+            self.target.copy_parameters_from(self.online.model());
+        }
+    }
+
+    fn reset(&mut self, rng: &mut SmallRng) {
+        self.online = Elm::<f64>::new(&self.config.elm_config(), rng);
+        self.target = self.online.model().clone();
+        self.buffer.clear();
+        self.trained_once = false;
+    }
+
+    fn op_counts(&self) -> &OpCounts {
+        &self.ops
+    }
+
+    fn q_values(&mut self, state: &[f64]) -> Vec<f64> {
+        self.q_for(self.online.model(), state)
+    }
+
+    fn memory_footprint_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        let n = self.config.hidden_dim;
+        let input = self.encoder.input_dim();
+        let model = input * n + n + n;
+        let buffer = self.buffer.capacity() * (2 * self.config.state_dim + 4);
+        (2 * model + buffer) * f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    fn obs(i: usize, reward: f64, done: bool) -> Observation {
+        Observation {
+            state: vec![0.01 * i as f64, -0.02, 0.03, 0.04],
+            action: i % 2,
+            reward,
+            next_state: vec![0.01 * i as f64 + 0.01, -0.01, 0.02, 0.05],
+            done,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn batch_training_fires_exactly_when_buffer_fills() {
+        let mut r = rng(1);
+        let mut agent = ElmQNet::new(ElmQNetConfig::cartpole(8), &mut r);
+        assert_eq!(agent.name(), "ELM");
+        assert!(!agent.is_trained());
+        for i in 0..7 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        assert!(!agent.is_trained());
+        agent.observe(&obs(7, -1.0, true), &mut r);
+        assert!(agent.is_trained());
+        assert_eq!(agent.op_counts().count(OpKind::InitTrain), 1);
+        // Buffer cleared: another Ñ samples trigger a second retraining.
+        for i in 8..16 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        assert_eq!(agent.op_counts().count(OpKind::InitTrain), 2);
+    }
+
+    #[test]
+    fn updates_are_limited_to_buffer_refills() {
+        // The structural weakness the paper points out: 100 transitions with
+        // Ñ = 64 yield exactly one training call.
+        let mut r = rng(2);
+        let mut agent = ElmQNet::new(ElmQNetConfig::cartpole(64), &mut r);
+        for i in 0..100 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        assert_eq!(agent.op_counts().count(OpKind::InitTrain), 1);
+    }
+
+    #[test]
+    fn learns_negative_q_for_failing_transitions() {
+        let mut r = rng(3);
+        let mut agent = ElmQNet::new(ElmQNetConfig::cartpole(16), &mut r);
+        for i in 0..16 {
+            agent.observe(&obs(i, -1.0, true), &mut r);
+        }
+        assert!(agent.is_trained());
+        let q = agent.q_values(&[0.05, -0.02, 0.03, 0.04]);
+        assert!(q.iter().any(|&v| v < -0.3), "expected learned negative Q, got {q:?}");
+    }
+
+    #[test]
+    fn act_counts_predictions_by_phase() {
+        let mut r = rng(4);
+        let mut agent = ElmQNet::new(ElmQNetConfig::cartpole(8), &mut r);
+        let _ = agent.act(&[0.0; 4], &mut r);
+        assert_eq!(agent.op_counts().count(OpKind::PredictInit), 2);
+        for i in 0..8 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        let _ = agent.act(&[0.0; 4], &mut r);
+        assert_eq!(agent.op_counts().count(OpKind::PredictSeq), 2);
+    }
+
+    #[test]
+    fn reset_forgets_training() {
+        let mut r = rng(5);
+        let mut agent = ElmQNet::new(ElmQNetConfig::cartpole(8), &mut r);
+        for i in 0..8 {
+            agent.observe(&obs(i, -1.0, true), &mut r);
+        }
+        assert!(agent.is_trained());
+        agent.reset(&mut r);
+        assert!(!agent.is_trained());
+        assert_eq!(agent.q_values(&[0.0; 4]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn target_sync_and_memory_reporting() {
+        let mut r = rng(6);
+        let mut agent = ElmQNet::new(ElmQNetConfig::cartpole(8), &mut r);
+        for i in 0..8 {
+            agent.observe(&obs(i, -1.0, true), &mut r);
+        }
+        agent.end_episode(1); // (1+1) % 2 == 0 → sync
+        let s = [0.02, -0.02, 0.03, 0.04];
+        let online_q = agent.q_values(&s);
+        let target_q = agent.q_for(&agent.target, &s);
+        assert_eq!(online_q, target_q);
+        assert!(agent.memory_footprint_bytes() > 0);
+        // ELM has no P matrix, so it needs less memory than OS-ELM at equal Ñ.
+        let oselm = crate::oselm_qnet::OsElmQNet::new(
+            crate::oselm_qnet::OsElmQNetConfig::cartpole(8, 0.5, true),
+            &mut r,
+        );
+        assert!(agent.memory_footprint_bytes() < oselm.memory_footprint_bytes());
+    }
+}

@@ -1,0 +1,145 @@
+//! The simplified output model (§3.1, Figure 2).
+//!
+//! A DQN maps `state → (Q(s, a₀), …, Q(s, a_{m−1}))`. Because ELM/OS-ELM are
+//! single-hidden-layer networks with an analytically solved output layer, the
+//! paper instead feeds `(state, action)` as one input vector and reads a
+//! *scalar* Q-value: for CartPole the input size is `4 states + 1 action = 5`
+//! (§4.2). Selecting an action then means evaluating the network once per
+//! candidate action and taking the argmax.
+
+use serde::{Deserialize, Serialize};
+
+/// How the action component is appended to the state vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionEncoding {
+    /// A single scalar holding the action index (the paper's choice — input
+    /// size = `n_states + 1`).
+    Scalar,
+    /// A one-hot block of length `num_actions` (input size =
+    /// `n_states + n_actions`), provided for the encoding ablation.
+    OneHot,
+}
+
+/// Encoder from `(state, action)` pairs to network input vectors.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StateActionEncoder {
+    state_dim: usize,
+    num_actions: usize,
+    encoding: ActionEncoding,
+}
+
+impl StateActionEncoder {
+    /// Create an encoder with the paper's scalar action encoding.
+    pub fn new(state_dim: usize, num_actions: usize) -> Self {
+        Self::with_encoding(state_dim, num_actions, ActionEncoding::Scalar)
+    }
+
+    /// Create an encoder with an explicit encoding choice.
+    pub fn with_encoding(state_dim: usize, num_actions: usize, encoding: ActionEncoding) -> Self {
+        assert!(state_dim > 0, "state dimension must be positive");
+        assert!(num_actions > 0, "need at least one action");
+        Self { state_dim, num_actions, encoding }
+    }
+
+    /// Length of the encoded input vector.
+    pub fn input_dim(&self) -> usize {
+        match self.encoding {
+            ActionEncoding::Scalar => self.state_dim + 1,
+            ActionEncoding::OneHot => self.state_dim + self.num_actions,
+        }
+    }
+
+    /// Number of state components.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Number of discrete actions.
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// The encoding variant in use.
+    pub fn encoding(&self) -> ActionEncoding {
+        self.encoding
+    }
+
+    /// Encode one `(state, action)` pair.
+    pub fn encode(&self, state: &[f64], action: usize) -> Vec<f64> {
+        assert_eq!(
+            state.len(),
+            self.state_dim,
+            "state has {} components, expected {}",
+            state.len(),
+            self.state_dim
+        );
+        assert!(action < self.num_actions, "action {action} out of range");
+        let mut out = Vec::with_capacity(self.input_dim());
+        out.extend_from_slice(state);
+        match self.encoding {
+            ActionEncoding::Scalar => out.push(action as f64),
+            ActionEncoding::OneHot => {
+                for a in 0..self.num_actions {
+                    out.push(if a == action { 1.0 } else { 0.0 });
+                }
+            }
+        }
+        out
+    }
+
+    /// Encode the same state paired with every action — the batch used to
+    /// compute `max_a Q(s, a)` in one pass.
+    pub fn encode_all_actions(&self, state: &[f64]) -> Vec<Vec<f64>> {
+        (0..self.num_actions).map(|a| self.encode(state, a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartpole_scalar_encoding_has_input_size_five() {
+        // §4.2: "its input size ... is five in the CartPole-v0 task"
+        let enc = StateActionEncoder::new(4, 2);
+        assert_eq!(enc.input_dim(), 5);
+        assert_eq!(enc.state_dim(), 4);
+        assert_eq!(enc.num_actions(), 2);
+        assert_eq!(enc.encoding(), ActionEncoding::Scalar);
+        let v = enc.encode(&[0.1, 0.2, 0.3, 0.4], 1);
+        assert_eq!(v, vec![0.1, 0.2, 0.3, 0.4, 1.0]);
+        let v0 = enc.encode(&[0.1, 0.2, 0.3, 0.4], 0);
+        assert_eq!(v0[4], 0.0);
+    }
+
+    #[test]
+    fn one_hot_encoding_size_and_content() {
+        let enc = StateActionEncoder::with_encoding(4, 3, ActionEncoding::OneHot);
+        assert_eq!(enc.input_dim(), 7);
+        let v = enc.encode(&[1.0, 2.0, 3.0, 4.0], 1);
+        assert_eq!(v, vec![1.0, 2.0, 3.0, 4.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn encode_all_actions_enumerates_actions() {
+        let enc = StateActionEncoder::new(2, 3);
+        let all = enc.encode_all_actions(&[0.5, -0.5]);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], vec![0.5, -0.5, 0.0]);
+        assert_eq!(all[2], vec![0.5, -0.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_action_rejected() {
+        let enc = StateActionEncoder::new(2, 2);
+        let _ = enc.encode(&[0.0, 0.0], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn wrong_state_length_rejected() {
+        let enc = StateActionEncoder::new(2, 2);
+        let _ = enc.encode(&[0.0], 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-operation counters behind the execution-time breakdowns of
+//! Figures 5 and 6.
+//!
+//! The paper splits the time to complete CartPole into seven operation
+//! classes: `init_train`, `seq_train`, `predict_init`, `predict_seq` for the
+//! ELM/OS-ELM designs and `train_DQN`, `predict_1`, `predict_32` for the DQN
+//! baseline. Every agent in this crate counts how many times it performs each
+//! class (and with what hidden size), so the harness can either report
+//! measured wall-clock per class or apply the Cortex-A9 / FPGA cost model.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The operation classes of Figures 5 and 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpKind {
+    /// OS-ELM/ELM prediction performed before initial training completed.
+    PredictInit,
+    /// OS-ELM/ELM prediction performed after initial training.
+    PredictSeq,
+    /// ELM/OS-ELM initial (batch) training.
+    InitTrain,
+    /// OS-ELM sequential (batch-size-1) training step.
+    SeqTrain,
+    /// One DQN gradient step (mini-batch backprop + Adam).
+    TrainDqn,
+    /// DQN forward pass with batch size 1 (action selection).
+    Predict1,
+    /// DQN forward pass with batch size 32 (target computation on a batch).
+    Predict32,
+}
+
+impl OpKind {
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::PredictInit => "predict_init",
+            OpKind::PredictSeq => "predict_seq",
+            OpKind::InitTrain => "init_train",
+            OpKind::SeqTrain => "seq_train",
+            OpKind::TrainDqn => "train_DQN",
+            OpKind::Predict1 => "predict_1",
+            OpKind::Predict32 => "predict_32",
+        }
+    }
+
+    /// All operation kinds, in the order the paper lists them.
+    pub fn all() -> [OpKind; 7] {
+        [
+            OpKind::SeqTrain,
+            OpKind::PredictSeq,
+            OpKind::InitTrain,
+            OpKind::PredictInit,
+            OpKind::TrainDqn,
+            OpKind::Predict1,
+            OpKind::Predict32,
+        ]
+    }
+}
+
+/// Counts and accumulated wall-clock time per operation class.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpCounts {
+    counts: BTreeMap<OpKind, u64>,
+    /// Accumulated wall-clock nanoseconds per class (measured on the host).
+    nanos: BTreeMap<OpKind, u128>,
+}
+
+impl OpCounts {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one occurrence of `kind` taking `elapsed` of host time.
+    pub fn record(&mut self, kind: OpKind, elapsed: Duration) {
+        *self.counts.entry(kind).or_insert(0) += 1;
+        *self.nanos.entry(kind).or_insert(0) += elapsed.as_nanos();
+    }
+
+    /// Record `n` occurrences at once (used by batch operations).
+    pub fn record_n(&mut self, kind: OpKind, n: u64, elapsed: Duration) {
+        *self.counts.entry(kind).or_insert(0) += n;
+        *self.nanos.entry(kind).or_insert(0) += elapsed.as_nanos();
+    }
+
+    /// Number of occurrences of `kind`.
+    pub fn count(&self, kind: OpKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Accumulated host wall-clock for `kind`.
+    pub fn elapsed(&self, kind: OpKind) -> Duration {
+        Duration::from_nanos(self.nanos.get(&kind).copied().unwrap_or(0) as u64)
+    }
+
+    /// Total host wall-clock across all classes.
+    pub fn total_elapsed(&self) -> Duration {
+        Duration::from_nanos(self.nanos.values().sum::<u128>() as u64)
+    }
+
+    /// Total number of recorded operations.
+    pub fn total_count(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Merge another counter set into this one (used when aggregating trials).
+    pub fn merge(&mut self, other: &OpCounts) {
+        for (&k, &v) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.nanos {
+            *self.nanos.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.nanos.clear();
+    }
+
+    /// Iterate `(kind, count, elapsed)` over the classes that occurred.
+    pub fn iter(&self) -> impl Iterator<Item = (OpKind, u64, Duration)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c, self.elapsed(k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_terms() {
+        assert_eq!(OpKind::SeqTrain.label(), "seq_train");
+        assert_eq!(OpKind::TrainDqn.label(), "train_DQN");
+        assert_eq!(OpKind::Predict32.label(), "predict_32");
+        assert_eq!(OpKind::all().len(), 7);
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut ops = OpCounts::new();
+        ops.record(OpKind::SeqTrain, Duration::from_micros(10));
+        ops.record(OpKind::SeqTrain, Duration::from_micros(20));
+        ops.record(OpKind::Predict1, Duration::from_micros(5));
+        assert_eq!(ops.count(OpKind::SeqTrain), 2);
+        assert_eq!(ops.count(OpKind::Predict1), 1);
+        assert_eq!(ops.count(OpKind::InitTrain), 0);
+        assert_eq!(ops.elapsed(OpKind::SeqTrain), Duration::from_micros(30));
+        assert_eq!(ops.total_elapsed(), Duration::from_micros(35));
+        assert_eq!(ops.total_count(), 3);
+    }
+
+    #[test]
+    fn record_n_counts_multiple() {
+        let mut ops = OpCounts::new();
+        ops.record_n(OpKind::Predict32, 4, Duration::from_micros(100));
+        assert_eq!(ops.count(OpKind::Predict32), 4);
+        assert_eq!(ops.elapsed(OpKind::Predict32), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let mut a = OpCounts::new();
+        a.record(OpKind::InitTrain, Duration::from_millis(1));
+        let mut b = OpCounts::new();
+        b.record(OpKind::InitTrain, Duration::from_millis(2));
+        b.record(OpKind::SeqTrain, Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.count(OpKind::InitTrain), 2);
+        assert_eq!(a.count(OpKind::SeqTrain), 1);
+        assert_eq!(a.elapsed(OpKind::InitTrain), Duration::from_millis(3));
+        a.clear();
+        assert_eq!(a.total_count(), 0);
+        assert_eq!(a.total_elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_lists_occurred_kinds() {
+        let mut ops = OpCounts::new();
+        ops.record(OpKind::PredictSeq, Duration::from_nanos(1));
+        ops.record(OpKind::SeqTrain, Duration::from_nanos(2));
+        let kinds: Vec<OpKind> = ops.iter().map(|(k, _, _)| k).collect();
+        assert_eq!(kinds.len(), 2);
+        assert!(kinds.contains(&OpKind::PredictSeq));
+        assert!(kinds.contains(&OpKind::SeqTrain));
+    }
+}

@@ -1,0 +1,87 @@
+//! Reward shaping into the `[-1, 1]` range the Q-value clipping assumes.
+//!
+//! §3.1 states: "In a typical setting for reinforcement learning, the maximum
+//! reward given by the environment is 1 and the minimum reward is −1." Gym's
+//! raw CartPole-v0 reward (+1 every step) does not satisfy that — bootstrapped
+//! targets would saturate at the clip bound and carry no information — so,
+//! like the DQN-on-CartPole setups this line of work builds on, the agents
+//! train on a shaped reward:
+//!
+//! * `0` for an ordinary surviving step,
+//! * `−1` when the episode terminates by failure (pole fell / cart left the
+//!   track),
+//! * `+1` when the episode is truncated at the step cap (the pole survived).
+//!
+//! The *reported* episode return (Figure 4's y-axis) is still the raw number
+//! of surviving steps; shaping only affects the learning targets. The raw
+//! pass-through variant is kept for environments whose rewards already live
+//! in `[-1, 1]` (e.g. the shaped MountainCar ablation).
+
+use serde::{Deserialize, Serialize};
+
+/// Reward-shaping rule applied to transitions before they reach the learner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewardShaping {
+    /// Use the environment's reward unchanged.
+    Raw,
+    /// The survival-task shaping described in the module docs (the default
+    /// for CartPole in this reproduction).
+    SurvivalSigned,
+}
+
+impl RewardShaping {
+    /// Shape one transition's reward.
+    ///
+    /// * `raw_reward` — the environment's reward;
+    /// * `done` — episode terminated by the task's failure condition;
+    /// * `truncated` — episode ended only because of the step cap.
+    pub fn shape(self, raw_reward: f64, done: bool, truncated: bool) -> f64 {
+        match self {
+            RewardShaping::Raw => raw_reward,
+            RewardShaping::SurvivalSigned => {
+                if done {
+                    -1.0
+                } else if truncated {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+impl Default for RewardShaping {
+    fn default() -> Self {
+        RewardShaping::SurvivalSigned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_passes_through() {
+        assert_eq!(RewardShaping::Raw.shape(0.37, false, false), 0.37);
+        assert_eq!(RewardShaping::Raw.shape(-5.0, true, false), -5.0);
+    }
+
+    #[test]
+    fn survival_shaping_matches_paper_range() {
+        let s = RewardShaping::SurvivalSigned;
+        assert_eq!(s.shape(1.0, false, false), 0.0);
+        assert_eq!(s.shape(1.0, true, false), -1.0);
+        assert_eq!(s.shape(1.0, false, true), 1.0);
+        // every shaped value is inside [-1, 1]
+        for (d, t) in [(false, false), (true, false), (false, true)] {
+            let v = s.shape(123.0, d, t);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn default_is_survival_shaping() {
+        assert_eq!(RewardShaping::default(), RewardShaping::SurvivalSigned);
+    }
+}

@@ -1,0 +1,370 @@
+//! The episode loop driving every design through the reinforcement-learning
+//! task (§4.3–4.4).
+//!
+//! The trainer reproduces the paper's experimental protocol:
+//!
+//! * episodes run until the task is *solved* (CartPole-v0: 100-episode moving
+//!   average ≥ 195) or the episode budget is exhausted (the paper terminates
+//!   a trial as "impossible" after 50 000 episodes);
+//! * the ELM/OS-ELM designs are **reset** — weights re-drawn, training state
+//!   discarded — when they have not solved the task after a configurable
+//!   number of episodes (300 in §4.3), because their dependence on the random
+//!   initial `α` is high;
+//! * wall-clock time and per-operation counters are recorded so the harness
+//!   can produce the Figure 5/6 execution-time breakdowns.
+
+use crate::agent::{Agent, Observation};
+use crate::ops::OpCounts;
+use crate::reward::RewardShaping;
+use elmrl_gym::{Environment, EpisodeStats};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// When does a trial count as having *completed* the task?
+///
+/// The paper never spells out its completion rule, but two facts pin it down:
+/// the behaviour policy keeps ε₁ = 0.7 (30 % random actions) throughout, which
+/// makes Gym's official "average return ≥ 195 over 100 consecutive episodes"
+/// unreachable for *any* design, and yet the paper reports completion times
+/// for DQN and the OS-ELM variants. We therefore interpret "complete a
+/// CartPole-v0 task" as the behaviour policy first keeping the pole up for a
+/// full-length episode, and expose the Gym criterion as an alternative.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SolveCriterion {
+    /// First episode whose return reaches `threshold` (default interpretation,
+    /// threshold 195 ≈ a full 200-step episode).
+    EpisodeReturn {
+        /// Minimum single-episode return.
+        threshold: f64,
+    },
+    /// Gym's criterion: moving average over `window` episodes ≥ `threshold`.
+    MovingAverage {
+        /// Average-return threshold (195 for CartPole-v0).
+        threshold: f64,
+        /// Window length (100 for CartPole-v0).
+        window: usize,
+    },
+}
+
+impl Default for SolveCriterion {
+    fn default() -> Self {
+        SolveCriterion::EpisodeReturn { threshold: 195.0 }
+    }
+}
+
+/// Trainer configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Maximum number of episodes before the trial is declared unsolved
+    /// (the paper uses 50 000; tests use much smaller budgets).
+    pub max_episodes: usize,
+    /// Reset the agent when it has not solved the task after this many
+    /// episodes since the last reset (§4.3 uses 300). `None` disables resets
+    /// (the DQN baseline is never reset).
+    pub reset_after_episodes: Option<usize>,
+    /// Stop as soon as the task is solved (set false to keep collecting the
+    /// full training curve for Figure 4).
+    pub stop_when_solved: bool,
+    /// Completion rule (see [`SolveCriterion`]).
+    pub solve_criterion: SolveCriterion,
+    /// Moving-average window recorded in the per-episode statistics (100 in
+    /// the paper's Figure 4).
+    pub solved_window: usize,
+    /// Reward shaping applied before transitions reach the agent.
+    pub reward_shaping: RewardShaping,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            max_episodes: 2_000,
+            reset_after_episodes: Some(300),
+            stop_when_solved: true,
+            solve_criterion: SolveCriterion::default(),
+            solved_window: 100,
+            reward_shaping: RewardShaping::SurvivalSigned,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// The paper's full protocol (50 000-episode cut-off). Long; used by the
+    /// harness binaries, not by unit tests.
+    pub fn paper_protocol() -> Self {
+        Self { max_episodes: 50_000, ..Self::default() }
+    }
+
+    /// A small-budget configuration for tests and examples.
+    pub fn quick(max_episodes: usize) -> Self {
+        Self { max_episodes, ..Self::default() }
+    }
+}
+
+/// The outcome of one training trial.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainingResult {
+    /// Design name as reported by the agent.
+    pub design: String,
+    /// Hidden size `Ñ`.
+    pub hidden_dim: usize,
+    /// Whether the solve criterion was met within the episode budget.
+    pub solved: bool,
+    /// Episode index (0-based) at which the task became solved, if it did.
+    pub solved_at_episode: Option<usize>,
+    /// Number of episodes actually run.
+    pub episodes_run: usize,
+    /// Total environment steps taken.
+    pub total_steps: usize,
+    /// How many times the reset rule fired.
+    pub resets: usize,
+    /// Wall-clock time of the whole trial.
+    pub wall_time: Duration,
+    /// Per-episode returns and moving averages (the Figure 4 curve).
+    pub stats: EpisodeStats,
+    /// Per-operation counters (the Figure 5/6 breakdown).
+    pub op_counts: OpCounts,
+}
+
+impl TrainingResult {
+    /// Wall-clock seconds of the trial (the y-axis of Figure 5).
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_time.as_secs_f64()
+    }
+}
+
+/// The episode-loop driver.
+#[derive(Clone, Debug)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Create a trainer.
+    pub fn new(config: TrainerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    fn criterion_met(&self, stats: &EpisodeStats, last_return: f64) -> bool {
+        match self.config.solve_criterion {
+            SolveCriterion::EpisodeReturn { threshold } => last_return >= threshold,
+            SolveCriterion::MovingAverage { threshold, window } => {
+                stats.returns.len() >= window && {
+                    let tail = &stats.returns[stats.returns.len() - window..];
+                    tail.iter().sum::<f64>() / window as f64 >= threshold
+                }
+            }
+        }
+    }
+
+    /// Run one trial of `agent` on `env`.
+    pub fn run(
+        &self,
+        agent: &mut dyn Agent,
+        env: &mut dyn Environment,
+        rng: &mut SmallRng,
+    ) -> TrainingResult {
+        let start = Instant::now();
+        let mut stats = EpisodeStats::with_window(self.config.solved_window, env.solved_threshold());
+        let mut total_steps = 0usize;
+        let mut resets = 0usize;
+        let mut episodes_since_reset = 0usize;
+        let mut episodes_run = 0usize;
+        let mut solved_at_episode: Option<usize> = None;
+
+        for episode in 0..self.config.max_episodes {
+            let mut state = env.reset(rng);
+            let mut episode_return = 0.0;
+
+            loop {
+                let action = agent.act(&state, rng);
+                let outcome = env.step(action, rng);
+                total_steps += 1;
+                episode_return += outcome.reward;
+
+                let shaped = self.config.reward_shaping.shape(
+                    outcome.reward,
+                    outcome.done,
+                    outcome.truncated,
+                );
+                let obs = Observation {
+                    state: state.clone(),
+                    action,
+                    reward: shaped,
+                    next_state: outcome.observation.clone(),
+                    done: outcome.done,
+                    truncated: outcome.truncated,
+                };
+                agent.observe(&obs, rng);
+                state = outcome.observation;
+                if outcome.done || outcome.truncated {
+                    break;
+                }
+            }
+
+            agent.end_episode(episode);
+            episodes_run = episode + 1;
+            episodes_since_reset += 1;
+            stats.record_episode(episode_return);
+
+            if solved_at_episode.is_none() && self.criterion_met(&stats, episode_return) {
+                solved_at_episode = Some(episode);
+            }
+            if solved_at_episode.is_some() && self.config.stop_when_solved {
+                break;
+            }
+            if solved_at_episode.is_none() {
+                if let Some(reset_after) = self.config.reset_after_episodes {
+                    if episodes_since_reset >= reset_after {
+                        agent.reset(rng);
+                        resets += 1;
+                        episodes_since_reset = 0;
+                    }
+                }
+            }
+        }
+
+        TrainingResult {
+            design: agent.name().to_string(),
+            hidden_dim: agent.hidden_dim(),
+            solved: solved_at_episode.is_some(),
+            solved_at_episode,
+            episodes_run,
+            total_steps,
+            resets,
+            wall_time: start.elapsed(),
+            stats,
+            op_counts: agent.op_counts().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::{Design, DesignConfig};
+    use crate::ops::OpKind;
+    use elmrl_gym::CartPole;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn default_config_matches_paper_protocol_shape() {
+        let c = TrainerConfig::default();
+        assert_eq!(c.reset_after_episodes, Some(300));
+        assert_eq!(c.solved_window, 100);
+        assert!(c.stop_when_solved);
+        assert_eq!(c.solve_criterion, SolveCriterion::EpisodeReturn { threshold: 195.0 });
+        assert_eq!(TrainerConfig::paper_protocol().max_episodes, 50_000);
+        assert_eq!(TrainerConfig::quick(7).max_episodes, 7);
+    }
+
+    #[test]
+    fn moving_average_criterion_requires_full_window() {
+        let trainer = Trainer::new(TrainerConfig {
+            solve_criterion: SolveCriterion::MovingAverage { threshold: 10.0, window: 3 },
+            ..TrainerConfig::quick(1)
+        });
+        let mut stats = EpisodeStats::with_window(100, None);
+        stats.record_episode(20.0);
+        stats.record_episode(20.0);
+        assert!(!trainer.criterion_met(&stats, 20.0));
+        stats.record_episode(20.0);
+        assert!(trainer.criterion_met(&stats, 20.0));
+    }
+
+    #[test]
+    fn episode_return_criterion_fires_on_single_episode() {
+        let trainer = Trainer::new(TrainerConfig::default());
+        let stats = EpisodeStats::with_window(100, None);
+        assert!(!trainer.criterion_met(&stats, 100.0));
+        assert!(trainer.criterion_met(&stats, 200.0));
+    }
+
+    #[test]
+    fn short_run_collects_consistent_statistics() {
+        let mut r = rng(1);
+        let mut agent = Design::OsElmL2Lipschitz.build(&DesignConfig::new(16), &mut r);
+        let mut env = CartPole::new();
+        let mut cfg = TrainerConfig::quick(20);
+        cfg.solve_criterion = SolveCriterion::MovingAverage { threshold: 195.0, window: 100 };
+        let trainer = Trainer::new(cfg);
+        let result = trainer.run(agent.as_mut(), &mut env, &mut r);
+
+        assert_eq!(result.design, "OS-ELM-L2-Lipschitz");
+        assert_eq!(result.hidden_dim, 16);
+        assert_eq!(result.episodes_run, 20);
+        assert_eq!(result.stats.episodes(), 20);
+        // each episode contributes at least one step, at most 200
+        assert!(result.total_steps >= 20);
+        assert!(result.total_steps <= 20 * 200);
+        // returns sum equals total steps for CartPole's +1-per-step reward
+        assert!(
+            (result.stats.total_steps_assuming_unit_reward() - result.total_steps as f64).abs()
+                < 1e-9
+        );
+        assert!(!result.solved, "20 episodes cannot satisfy a 100-episode window");
+        assert!(result.wall_seconds() > 0.0);
+        assert!(result.op_counts.total_count() > 0);
+    }
+
+    #[test]
+    fn reset_rule_fires_for_unsolved_elm_designs() {
+        let mut r = rng(2);
+        let mut agent = Design::OsElm.build(&DesignConfig::new(8), &mut r);
+        let mut env = CartPole::new();
+        let mut config = TrainerConfig::quick(25);
+        config.reset_after_episodes = Some(10);
+        let result = Trainer::new(config).run(agent.as_mut(), &mut env, &mut r);
+        assert!(result.resets >= 2, "expected ≥2 resets in 25 episodes, got {}", result.resets);
+    }
+
+    #[test]
+    fn reset_rule_can_be_disabled() {
+        let mut r = rng(3);
+        let mut agent = Design::Dqn.build(&DesignConfig::new(8), &mut r);
+        let mut env = CartPole::new();
+        let mut config = TrainerConfig::quick(15);
+        config.reset_after_episodes = None;
+        let result = Trainer::new(config).run(agent.as_mut(), &mut env, &mut r);
+        assert_eq!(result.resets, 0);
+    }
+
+    #[test]
+    fn op_counts_reflect_design_structure() {
+        let mut r = rng(4);
+        let mut env = CartPole::new();
+        let config = TrainerConfig::quick(10);
+
+        let mut oselm = Design::OsElmL2Lipschitz.build(&DesignConfig::new(8), &mut r);
+        let res_oselm = Trainer::new(config.clone()).run(oselm.as_mut(), &mut env, &mut r);
+        assert!(res_oselm.op_counts.count(OpKind::InitTrain) >= 1);
+        assert!(res_oselm.op_counts.count(OpKind::SeqTrain) > 0);
+        assert_eq!(res_oselm.op_counts.count(OpKind::TrainDqn), 0);
+
+        let mut dqn = Design::Dqn.build(&DesignConfig::new(8), &mut r);
+        let res_dqn = Trainer::new(config).run(dqn.as_mut(), &mut env, &mut r);
+        assert!(res_dqn.op_counts.count(OpKind::Predict1) > 0);
+        assert_eq!(res_dqn.op_counts.count(OpKind::SeqTrain), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut r = rng(seed);
+            let mut agent = Design::OsElmL2.build(&DesignConfig::new(8), &mut r);
+            let mut env = CartPole::new();
+            Trainer::new(TrainerConfig::quick(8)).run(agent.as_mut(), &mut env, &mut r).stats.returns
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,57 @@
+//! # elmrl-elm
+//!
+//! ELM (Extreme Learning Machine), OS-ELM (Online Sequential ELM) and
+//! ReOS-ELM (L2-regularised OS-ELM) learners — the training algorithms at the
+//! heart of the paper (§2.1–2.3), together with the two ingredients the paper
+//! adds for stability:
+//!
+//! * the **batch-size-1 fast path**, which replaces the `k×k` matrix
+//!   inversion in the sequential update with a single scalar reciprocal
+//!   (§2.2, following Tsukada et al.), and
+//! * **spectral normalization of `α`** so the random input weights have
+//!   `σ_max(α) ≤ 1` (§3.3, Algorithm 1 lines 2–3).
+//!
+//! Everything is generic over [`elmrl_linalg::Scalar`], so the same learner
+//! runs in `f64` (the software designs of §4.3) and in Q20 fixed point (the
+//! FPGA design of §4.2, driven by `elmrl-fpga`).
+//!
+//! ```
+//! use elmrl_elm::{OsElm, OsElmConfig, HiddenActivation};
+//! use elmrl_linalg::Matrix;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // Learn y = 2·x0 − x1 online, one sample at a time.
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let config = OsElmConfig::new(2, 32, 1)
+//!     .with_activation(HiddenActivation::ReLU)
+//!     .with_l2_delta(0.01);
+//! let mut model = OsElm::<f64>::new(&config, &mut rng);
+//!
+//! let xs = Matrix::from_fn(64, 2, |i, j| ((i * 3 + j * 7) % 11) as f64 / 11.0);
+//! let ts = Matrix::from_fn(64, 1, |i, _| 2.0 * xs[(i, 0)] - xs[(i, 1)]);
+//! model.init_train(&xs.submatrix(0, 32, 0, 2).unwrap(),
+//!                  &ts.submatrix(0, 32, 0, 1).unwrap()).unwrap();
+//! for i in 32..64 {
+//!     model.seq_train_single(xs.row(i), ts.row(i)).unwrap();
+//! }
+//! let pred = model.predict_single(&[0.5, 0.25]);
+//! assert!((pred[0] - 0.75).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod activation;
+pub mod config;
+pub mod elm;
+pub mod model;
+pub mod os_elm;
+pub mod persistence;
+pub mod spectral;
+
+pub use activation::HiddenActivation;
+pub use config::OsElmConfig;
+pub use elm::Elm;
+pub use model::ElmModel;
+pub use os_elm::OsElm;
+pub use spectral::{lipschitz_upper_bound, normalize_alpha, normalize_alpha_bias};

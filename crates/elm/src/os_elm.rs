@@ -1,0 +1,527 @@
+//! OS-ELM: online sequential training (§2.2–2.3, Equations 5–8).
+//!
+//! After an *initial training* on a first chunk (`P₀`, `β₀`), the model is
+//! updated one chunk at a time without revisiting old data:
+//!
+//! ```text
+//! Pᵢ = Pᵢ₋₁ − Pᵢ₋₁Hᵢᵀ (I + HᵢPᵢ₋₁Hᵢᵀ)⁻¹ HᵢPᵢ₋₁
+//! βᵢ = βᵢ₋₁ + PᵢHᵢᵀ (tᵢ − Hᵢβᵢ₋₁)
+//! ```
+//!
+//! With batch size 1 the inverted matrix is `1×1`, so the whole update needs
+//! only multiply–add plus **one reciprocal** — the observation (§2.2, after
+//! Tsukada et al.) that makes the FPGA implementation feasible without an
+//! SVD/QRD core. [`OsElm::seq_train_single`] is that fast path;
+//! [`OsElm::seq_train`] is the general batched form, kept for equivalence
+//! testing and for the ELM-vs-OS-ELM ablation.
+
+use crate::config::OsElmConfig;
+use crate::model::ElmModel;
+use elmrl_linalg::solve::inverse;
+use elmrl_linalg::{LinalgError, Matrix, Scalar};
+use rand::Rng;
+use std::fmt;
+
+/// Errors produced by OS-ELM training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OsElmError {
+    /// `seq_train` was called before `init_train`.
+    NotInitialized,
+    /// `init_train` was called twice.
+    AlreadyInitialized,
+    /// Input/target shapes disagree with the model configuration.
+    ShapeMismatch(String),
+    /// A linear-algebra failure (singular Gram matrix etc.).
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for OsElmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsElmError::NotInitialized => {
+                write!(f, "sequential training requires init_train first")
+            }
+            OsElmError::AlreadyInitialized => write!(f, "init_train called twice"),
+            OsElmError::ShapeMismatch(d) => write!(f, "shape mismatch: {d}"),
+            OsElmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OsElmError {}
+
+impl From<LinalgError> for OsElmError {
+    fn from(e: LinalgError) -> Self {
+        OsElmError::Linalg(e)
+    }
+}
+
+/// An Online Sequential Extreme Learning Machine.
+#[derive(Clone, Debug)]
+pub struct OsElm<T: Scalar> {
+    model: ElmModel<T>,
+    /// `P` matrix of the recursive update; `None` until initial training.
+    p: Option<Matrix<T>>,
+    l2_delta: f64,
+    relative_l2: bool,
+    /// Counts of training calls, used by the harness timing model.
+    init_train_count: usize,
+    seq_train_count: usize,
+}
+
+impl<T: Scalar> OsElm<T> {
+    /// Initialise the network (random `α`, `b`; zero `β`; no `P` yet).
+    pub fn new<R: Rng + ?Sized>(config: &OsElmConfig, rng: &mut R) -> Self {
+        Self {
+            model: ElmModel::new(config, rng),
+            p: None,
+            l2_delta: config.l2_delta,
+            relative_l2: config.relative_l2,
+            init_train_count: 0,
+            seq_train_count: 0,
+        }
+    }
+
+    /// Wrap an existing model (used by the Q-network layer when it resets β
+    /// but keeps α).
+    pub fn from_model(model: ElmModel<T>, l2_delta: f64) -> Self {
+        Self { model, p: None, l2_delta, relative_l2: false, init_train_count: 0, seq_train_count: 0 }
+    }
+
+    /// Borrow the underlying model.
+    pub fn model(&self) -> &ElmModel<T> {
+        &self.model
+    }
+
+    /// Mutable access to the underlying model.
+    pub fn model_mut(&mut self) -> &mut ElmModel<T> {
+        &mut self.model
+    }
+
+    /// The ReOS-ELM regularisation strength `δ` used at initial training.
+    pub fn l2_delta(&self) -> f64 {
+        self.l2_delta
+    }
+
+    /// Borrow the `P` matrix (None before initial training).
+    pub fn p_matrix(&self) -> Option<&Matrix<T>> {
+        self.p.as_ref()
+    }
+
+    /// `true` once initial training has run.
+    pub fn is_initialized(&self) -> bool {
+        self.p.is_some()
+    }
+
+    /// How many times `init_train` has run (0 or 1 unless `reset_training`).
+    pub fn init_train_count(&self) -> usize {
+        self.init_train_count
+    }
+
+    /// How many sequential updates have run.
+    pub fn seq_train_count(&self) -> usize {
+        self.seq_train_count
+    }
+
+    /// Discard `P` and `β` (keeping the random `α`, `b`) so the model can be
+    /// re-initialised — the "reset unpromising weights" rule of §4.3.
+    pub fn reset_training(&mut self) {
+        self.p = None;
+        let (rows, cols) = self.model.beta().shape();
+        self.model.set_beta(Matrix::zeros(rows, cols));
+    }
+
+    /// Initial training (Equation 7 / Equation 8):
+    /// `P₀ = (H₀ᵀH₀ + δI)⁻¹`, `β₀ = P₀H₀ᵀt₀`.
+    ///
+    /// With `δ = 0` this requires at least `Ñ` linearly independent rows in
+    /// the chunk (the paper fills buffer `D` with `Ñ` samples first,
+    /// Algorithm 1 lines 16–19); with `δ > 0` (ReOS-ELM) any chunk size works.
+    pub fn init_train(&mut self, x0: &Matrix<T>, t0: &Matrix<T>) -> Result<(), OsElmError> {
+        if self.p.is_some() {
+            return Err(OsElmError::AlreadyInitialized);
+        }
+        self.check_shapes(x0, t0)?;
+        let h0 = self.model.hidden(x0);
+        let n_hidden = self.model.hidden_dim();
+        let mut gram = h0.t_matmul(&h0);
+        if self.l2_delta > 0.0 {
+            // Relative mode scales δ by the mean squared hidden activation so
+            // the penalty stays proportionate to the feature energy (see
+            // `OsElmConfig::relative_l2`).
+            let effective = if self.relative_l2 {
+                let mean_sq = h0.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>()
+                    / h0.len() as f64;
+                self.l2_delta * mean_sq.max(f64::MIN_POSITIVE)
+            } else {
+                self.l2_delta
+            };
+            let delta = T::from_f64(effective);
+            for i in 0..n_hidden {
+                gram[(i, i)] += delta;
+            }
+        }
+        let p0 = elmrl_linalg::solve::inverse_spd(&gram)?;
+        let beta0 = p0.matmul(&h0.t_matmul(t0));
+        self.model.set_beta(beta0);
+        self.p = Some(p0);
+        self.init_train_count += 1;
+        Ok(())
+    }
+
+    /// General sequential update with an arbitrary chunk size (Equation 6).
+    pub fn seq_train(&mut self, x: &Matrix<T>, t: &Matrix<T>) -> Result<(), OsElmError> {
+        self.check_shapes(x, t)?;
+        let p = self.p.as_ref().ok_or(OsElmError::NotInitialized)?;
+        let h = self.model.hidden(x);
+        let k = h.rows();
+
+        // S = I + H·P·Hᵀ  (k×k)
+        let ph_t = p.matmul_t(&h); // P·Hᵀ (Ñ×k)
+        let mut s = h.matmul(&ph_t); // H·P·Hᵀ
+        for i in 0..k {
+            s[(i, i)] += T::one();
+        }
+        let s_inv = inverse(&s)?;
+
+        // P ← P − P·Hᵀ·S⁻¹·H·P
+        let hp = h.matmul(p); // H·P (k×Ñ)
+        let update = ph_t.matmul(&s_inv).matmul(&hp);
+        let new_p = p - &update;
+
+        // β ← β + P·Hᵀ·(t − H·β)
+        let residual = t - &h.matmul(self.model.beta());
+        let delta_beta = new_p.matmul_t(&h).matmul(&residual);
+        let new_beta = self.model.beta() + &delta_beta;
+
+        self.p = Some(new_p);
+        self.model.set_beta(new_beta);
+        self.seq_train_count += 1;
+        Ok(())
+    }
+
+    /// Batch-size-1 fast path: the `(I + hPhᵀ)` term is a scalar, so the
+    /// matrix inversion collapses to one reciprocal (§2.2). `x` and `t` are
+    /// single samples given as slices.
+    pub fn seq_train_single(&mut self, x: &[T], t: &[T]) -> Result<(), OsElmError> {
+        if x.len() != self.model.input_dim() {
+            return Err(OsElmError::ShapeMismatch(format!(
+                "input has {} features, expected {}",
+                x.len(),
+                self.model.input_dim()
+            )));
+        }
+        if t.len() != self.model.output_dim() {
+            return Err(OsElmError::ShapeMismatch(format!(
+                "target has {} outputs, expected {}",
+                t.len(),
+                self.model.output_dim()
+            )));
+        }
+        let p = self.p.as_ref().ok_or(OsElmError::NotInitialized)?;
+        let n_hidden = self.model.hidden_dim();
+        let m = self.model.output_dim();
+
+        // h: 1×Ñ hidden activation of the sample.
+        let h = self.model.hidden(&Matrix::row_from_slice(x));
+
+        // ph = P·hᵀ (Ñ×1), hp = h·P (1×Ñ), denom = 1 + h·P·hᵀ (scalar).
+        let ph = p.matmul_t(&h);
+        let hp = h.matmul(p);
+        let mut denom = T::one();
+        for i in 0..n_hidden {
+            denom += h[(0, i)] * ph[(i, 0)];
+        }
+        let inv_denom = T::one() / denom;
+
+        // P ← P − (ph · hp) / denom   (rank-1 downdate)
+        let mut new_p = p.clone();
+        for r in 0..n_hidden {
+            let scale = ph[(r, 0)] * inv_denom;
+            for c in 0..n_hidden {
+                let sub = scale * hp[(0, c)];
+                new_p[(r, c)] -= sub;
+            }
+        }
+
+        // residual e = t − h·β (1×m)
+        let pred = h.matmul(self.model.beta());
+        // β ← β + (P_new·hᵀ) · e
+        let ph_new = new_p.matmul_t(&h); // Ñ×1
+        let mut new_beta = self.model.beta().clone();
+        for r in 0..n_hidden {
+            for c in 0..m {
+                let add = ph_new[(r, 0)] * (T::from_f64(t[c].to_f64()) - pred[(0, c)]);
+                new_beta[(r, c)] += add;
+            }
+        }
+
+        self.p = Some(new_p);
+        self.model.set_beta(new_beta);
+        self.seq_train_count += 1;
+        Ok(())
+    }
+
+    /// Batch prediction (delegates to the model).
+    pub fn predict(&self, x: &Matrix<T>) -> Matrix<T> {
+        self.model.predict(x)
+    }
+
+    /// Single-sample prediction.
+    pub fn predict_single(&self, x: &[T]) -> Vec<T> {
+        self.model.predict_single(x)
+    }
+
+    fn check_shapes(&self, x: &Matrix<T>, t: &Matrix<T>) -> Result<(), OsElmError> {
+        if x.cols() != self.model.input_dim() {
+            return Err(OsElmError::ShapeMismatch(format!(
+                "input has {} features, expected {}",
+                x.cols(),
+                self.model.input_dim()
+            )));
+        }
+        if t.cols() != self.model.output_dim() {
+            return Err(OsElmError::ShapeMismatch(format!(
+                "target has {} outputs, expected {}",
+                t.cols(),
+                self.model.output_dim()
+            )));
+        }
+        if x.rows() != t.rows() {
+            return Err(OsElmError::ShapeMismatch(format!(
+                "{} samples vs {} targets",
+                x.rows(),
+                t.rows()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::HiddenActivation;
+    use crate::elm::Elm;
+    use elmrl_linalg::solve::ridge_solve;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize) -> (Matrix<f64>, Matrix<f64>) {
+        let x = Matrix::from_fn(n, 2, |i, j| (((i * 7 + j * 3) % 13) as f64) / 13.0);
+        let t = Matrix::from_fn(n, 1, |i, _| (2.0 * x[(i, 0)] - 0.5 * x[(i, 1)]).sin());
+        (x, t)
+    }
+
+    fn config(hidden: usize) -> OsElmConfig {
+        // The wide init range keeps the random-feature matrix well conditioned
+        // (kinks spread across the input domain), which the δ = 0 tests need.
+        OsElmConfig::new(2, hidden, 1)
+            .with_activation(HiddenActivation::HardTanh)
+            .with_init_range(-4.0, 4.0)
+    }
+
+    #[test]
+    fn init_then_seq_matches_full_ridge_solution() {
+        // RLS equivalence: OS-ELM initialised on chunk 0 with δ and updated on
+        // the remaining chunks equals the ridge solution over ALL data.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cfg = config(16).with_l2_delta(0.1);
+        let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+        let (x, t) = dataset(80);
+
+        os.init_train(&x.submatrix(0, 30, 0, 2).unwrap(), &t.submatrix(0, 30, 0, 1).unwrap())
+            .unwrap();
+        // chunks of varying sizes
+        os.seq_train(&x.submatrix(30, 50, 0, 2).unwrap(), &t.submatrix(30, 50, 0, 1).unwrap())
+            .unwrap();
+        os.seq_train(&x.submatrix(50, 80, 0, 2).unwrap(), &t.submatrix(50, 80, 0, 1).unwrap())
+            .unwrap();
+
+        let h_all = os.model().hidden(&x);
+        let beta_ridge = ridge_solve(&h_all, &t, 0.1).unwrap();
+        assert!(
+            os.model().beta().max_abs_diff(&beta_ridge) < 1e-8,
+            "sequential OS-ELM deviates from the batch ridge solution"
+        );
+        assert_eq!(os.init_train_count(), 1);
+        assert_eq!(os.seq_train_count(), 2);
+    }
+
+    #[test]
+    fn batch_one_fast_path_matches_general_update() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cfg = config(12).with_l2_delta(0.05);
+        let (x, t) = dataset(40);
+
+        let mut a = OsElm::<f64>::new(&cfg, &mut rng);
+        let mut b = a.clone();
+        a.init_train(&x.submatrix(0, 20, 0, 2).unwrap(), &t.submatrix(0, 20, 0, 1).unwrap())
+            .unwrap();
+        b.init_train(&x.submatrix(0, 20, 0, 2).unwrap(), &t.submatrix(0, 20, 0, 1).unwrap())
+            .unwrap();
+
+        for i in 20..40 {
+            let xi = x.submatrix(i, i + 1, 0, 2).unwrap();
+            let ti = t.submatrix(i, i + 1, 0, 1).unwrap();
+            a.seq_train(&xi, &ti).unwrap();
+            b.seq_train_single(x.row(i), t.row(i)).unwrap();
+        }
+        assert!(a.model().beta().max_abs_diff(b.model().beta()) < 1e-9);
+        assert!(a.p_matrix().unwrap().max_abs_diff(b.p_matrix().unwrap()) < 1e-9);
+    }
+
+    #[test]
+    fn os_elm_matches_batch_elm_when_unregularised() {
+        // With δ = 0 and an initial chunk of at least Ñ samples, OS-ELM over
+        // all data equals the batch least-squares ELM solution. A hand-built
+        // α with distinct kink positions guarantees H₀ᵀH₀ is non-singular so
+        // the unregularised initial training is well-posed.
+        let hidden = 8;
+        let alpha = Matrix::from_fn(2, hidden, |i, j| {
+            if i == 0 {
+                1.0 + 0.35 * j as f64
+            } else {
+                -0.8 + 0.27 * j as f64
+            }
+        });
+        let bias = Matrix::from_fn(1, hidden, |_, j| -0.9 + 0.23 * j as f64);
+        let beta = Matrix::zeros(hidden, 1);
+        let model = crate::model::ElmModel::from_parts(
+            alpha,
+            bias,
+            beta,
+            HiddenActivation::HardTanh,
+        );
+        let (x, t) = {
+            // scattered pseudo-random 2-D inputs (LCG), smooth target
+            let mut state = 0x1234_5678_u64;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 11) as f64 / (1u64 << 53) as f64)
+            };
+            let x = Matrix::from_fn(60, 2, |_, _| next());
+            let t = Matrix::from_fn(60, 1, |i, _| (2.0 * x[(i, 0)] - 0.5 * x[(i, 1)]).sin());
+            (x, t)
+        };
+
+        let mut os = OsElm::from_model(model.clone(), 0.0);
+        os.init_train(&x.submatrix(0, 30, 0, 2).unwrap(), &t.submatrix(0, 30, 0, 1).unwrap())
+            .unwrap();
+        for i in 30..60 {
+            os.seq_train_single(x.row(i), t.row(i)).unwrap();
+        }
+
+        let mut batch = Elm::from_model(model, 0.0);
+        batch.train(&x, &t).unwrap();
+        assert!(os.model().beta().max_abs_diff(batch.model().beta()) < 1e-6);
+    }
+
+    #[test]
+    fn sequential_training_reduces_prediction_error() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cfg = config(24).with_l2_delta(0.01);
+        let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+        let (x, t) = dataset(200);
+        os.init_train(&x.submatrix(0, 30, 0, 2).unwrap(), &t.submatrix(0, 30, 0, 1).unwrap())
+            .unwrap();
+        let mse = |os: &OsElm<f64>| {
+            let pred = os.predict(&x);
+            (&pred - &t).iter().map(|&v| v * v).sum::<f64>() / t.len() as f64
+        };
+        let before = mse(&os);
+        for i in 30..200 {
+            os.seq_train_single(x.row(i), t.row(i)).unwrap();
+        }
+        let after = mse(&os);
+        assert!(after < before, "MSE should improve: {before} -> {after}");
+        assert!(after < 5e-3, "final MSE too high: {after}");
+    }
+
+    #[test]
+    fn errors_for_misuse() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cfg = config(8).with_l2_delta(0.1);
+        let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+        let (x, t) = dataset(10);
+
+        // seq before init
+        assert_eq!(
+            os.seq_train(&x, &t).unwrap_err(),
+            OsElmError::NotInitialized
+        );
+        assert_eq!(
+            os.seq_train_single(x.row(0), t.row(0)).unwrap_err(),
+            OsElmError::NotInitialized
+        );
+        // bad shapes
+        assert!(matches!(
+            os.init_train(&Matrix::<f64>::ones(4, 3), &Matrix::<f64>::ones(4, 1)),
+            Err(OsElmError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            os.init_train(&Matrix::<f64>::ones(4, 2), &Matrix::<f64>::ones(3, 1)),
+            Err(OsElmError::ShapeMismatch(_))
+        ));
+        // double init
+        os.init_train(&x, &t).unwrap();
+        assert_eq!(os.init_train(&x, &t).unwrap_err(), OsElmError::AlreadyInitialized);
+        // wrong single-sample widths
+        assert!(matches!(
+            os.seq_train_single(&[1.0], &[0.0]),
+            Err(OsElmError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            os.seq_train_single(&[1.0, 2.0], &[0.0, 0.0]),
+            Err(OsElmError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn unregularised_init_with_tiny_chunk_fails_cleanly() {
+        // δ = 0 and fewer samples than hidden units ⇒ singular Gram matrix.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let cfg = config(32); // δ = 0
+        let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+        let (x, t) = dataset(4);
+        let err = os.init_train(&x, &t).unwrap_err();
+        assert!(matches!(err, OsElmError::Linalg(_)));
+        // ReOS-ELM fixes it.
+        let cfg_reg = config(32).with_l2_delta(0.5);
+        let mut rng2 = SmallRng::seed_from_u64(6);
+        let mut os_reg = OsElm::<f64>::new(&cfg_reg, &mut rng2);
+        assert!(os_reg.init_train(&x, &t).is_ok());
+    }
+
+    #[test]
+    fn reset_training_clears_beta_and_p_but_keeps_alpha() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let cfg = config(8).with_l2_delta(0.1);
+        let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+        let alpha_before = os.model().alpha().clone();
+        let (x, t) = dataset(20);
+        os.init_train(&x, &t).unwrap();
+        assert!(os.is_initialized());
+        os.reset_training();
+        assert!(!os.is_initialized());
+        assert!(os.model().beta().iter().all(|&v| v == 0.0));
+        assert_eq!(os.model().alpha(), &alpha_before);
+        // can initialise again after the reset
+        assert!(os.init_train(&x, &t).is_ok());
+    }
+
+    #[test]
+    fn p_matrix_stays_symmetric_under_single_updates() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let cfg = config(10).with_l2_delta(0.1);
+        let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+        let (x, t) = dataset(50);
+        os.init_train(&x.submatrix(0, 20, 0, 2).unwrap(), &t.submatrix(0, 20, 0, 1).unwrap())
+            .unwrap();
+        for i in 20..50 {
+            os.seq_train_single(x.row(i), t.row(i)).unwrap();
+        }
+        let p = os.p_matrix().unwrap();
+        assert!(p.transpose().max_abs_diff(p) < 1e-9, "P must remain symmetric");
+    }
+}

@@ -1,0 +1,143 @@
+//! Model persistence: snapshot an [`ElmModel`] into a serialisable form.
+//!
+//! On-device learning systems need to checkpoint the learned `β` (and the
+//! frozen `α`, `b`) so a deployed model survives power cycles; the paper's
+//! platform does this over the CPU side of the PYNQ. The snapshot stores all
+//! parameters as `f64`, independent of the scalar backend in use, so an FPGA
+//! fixed-point model and its float twin serialise identically up to
+//! quantisation.
+
+use crate::activation::HiddenActivation;
+use crate::model::ElmModel;
+use elmrl_linalg::{Matrix, Scalar};
+use serde::{Deserialize, Serialize};
+
+/// A backend-independent serialisable snapshot of an ELM/OS-ELM model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    /// Input dimensionality `n`.
+    pub input_dim: usize,
+    /// Hidden dimensionality `Ñ`.
+    pub hidden_dim: usize,
+    /// Output dimensionality `m`.
+    pub output_dim: usize,
+    /// Hidden activation.
+    pub activation: HiddenActivation,
+    /// `α` in row-major order (`n·Ñ` values).
+    pub alpha: Vec<f64>,
+    /// Hidden bias (`Ñ` values).
+    pub bias: Vec<f64>,
+    /// `β` in row-major order (`Ñ·m` values).
+    pub beta: Vec<f64>,
+}
+
+impl ModelSnapshot {
+    /// Capture a snapshot of a model.
+    pub fn capture<T: Scalar>(model: &ElmModel<T>) -> Self {
+        let to_f64 = |m: &Matrix<T>| m.iter().map(|&v| v.to_f64()).collect::<Vec<f64>>();
+        Self {
+            input_dim: model.input_dim(),
+            hidden_dim: model.hidden_dim(),
+            output_dim: model.output_dim(),
+            activation: model.activation(),
+            alpha: to_f64(model.alpha()),
+            bias: to_f64(model.bias()),
+            beta: to_f64(model.beta()),
+        }
+    }
+
+    /// Rebuild a model (in any scalar backend) from the snapshot.
+    pub fn restore<T: Scalar>(&self) -> ElmModel<T> {
+        let from_f64 = |data: &[f64], rows: usize, cols: usize| {
+            Matrix::from_vec(rows, cols, data.iter().map(|&v| T::from_f64(v)).collect())
+                .expect("snapshot data length matches recorded dimensions")
+        };
+        ElmModel::from_parts(
+            from_f64(&self.alpha, self.input_dim, self.hidden_dim),
+            from_f64(&self.bias, 1, self.hidden_dim),
+            from_f64(&self.beta, self.hidden_dim, self.output_dim),
+            self.activation,
+        )
+    }
+
+    /// Serialise to a JSON string.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialise from a JSON string.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OsElmConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_model() -> ElmModel<f64> {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cfg = OsElmConfig::new(3, 8, 2).with_init_range(-1.0, 1.0);
+        let mut m = ElmModel::<f64>::new(&cfg, &mut rng);
+        m.set_beta(Matrix::from_fn(8, 2, |i, j| (i as f64 - j as f64) * 0.1));
+        m
+    }
+
+    #[test]
+    fn capture_restore_round_trip_preserves_predictions() {
+        let model = sample_model();
+        let snap = ModelSnapshot::capture(&model);
+        assert_eq!(snap.input_dim, 3);
+        assert_eq!(snap.hidden_dim, 8);
+        assert_eq!(snap.output_dim, 2);
+        assert_eq!(snap.alpha.len(), 24);
+        let restored: ElmModel<f64> = snap.restore();
+        let x = Matrix::from_rows(&[vec![0.2, -0.4, 0.9]]);
+        assert!(model.predict(&x).max_abs_diff(&restored.predict(&x)) < 1e-15);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let model = sample_model();
+        let snap = ModelSnapshot::capture(&model);
+        let json = snap.to_json().unwrap();
+        assert!(json.contains("\"hidden_dim\":8"));
+        let back = ModelSnapshot::from_json(&json).unwrap();
+        // serde_json's default float parsing is not guaranteed to be
+        // correctly rounded, so compare structurally and within 1 ULP-scale
+        // tolerance rather than bit-exactly.
+        assert_eq!(snap.input_dim, back.input_dim);
+        assert_eq!(snap.hidden_dim, back.hidden_dim);
+        assert_eq!(snap.output_dim, back.output_dim);
+        assert_eq!(snap.activation, back.activation);
+        let close = |a: &[f64], b: &[f64]| {
+            a.len() == b.len()
+                && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-14 * x.abs().max(1.0))
+        };
+        assert!(close(&snap.alpha, &back.alpha));
+        assert!(close(&snap.bias, &back.bias));
+        assert!(close(&snap.beta, &back.beta));
+    }
+
+    #[test]
+    fn restore_into_f32_backend() {
+        let model = sample_model();
+        let snap = ModelSnapshot::capture(&model);
+        let restored: ElmModel<f32> = snap.restore();
+        let x64 = Matrix::from_rows(&[vec![0.1, 0.5, -0.3]]);
+        let x32 = Matrix::from_rows(&[vec![0.1_f32, 0.5, -0.3]]);
+        let y64 = model.predict(&x64);
+        let y32 = restored.predict(&x32);
+        for c in 0..2 {
+            assert!((y64[(0, c)] - y32[(0, c)] as f64).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn invalid_json_is_an_error() {
+        assert!(ModelSnapshot::from_json("{not json").is_err());
+    }
+}

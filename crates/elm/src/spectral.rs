@@ -1,0 +1,190 @@
+//! Spectral normalization of `α` and Lipschitz-constant bookkeeping (§3.3).
+//!
+//! The paper's stability argument: the Lipschitz constant of the one-hidden-
+//! layer network is at most `σ_max(α) · K_G · σ_max(β)` where `K_G ≤ 1` for
+//! ReLU. Normalising `α` once at initialisation (it is never trained) caps
+//! the first factor at 1, and the L2 regularisation of `β` (which bounds
+//! `‖β‖_F ≥ σ_max(β)`, Relation 13) controls the last factor. Together the
+//! network's output range stays within `σ_max(β)` of its input scale, which
+//! is what keeps the Q-learning targets sane.
+
+use crate::activation::HiddenActivation;
+use elmrl_linalg::norms::{spectral_norm_exact, spectral_norm_power};
+use elmrl_linalg::{Matrix, Scalar};
+
+/// Divide `α` by its largest singular value so that `σ_max(α) ≤ 1`
+/// (Algorithm 1, lines 2–3). A zero matrix is returned unchanged.
+pub fn normalize_alpha<T: Scalar>(alpha: &Matrix<T>) -> Matrix<T> {
+    let sigma = sigma_max_f64(alpha);
+    if sigma <= 0.0 {
+        return alpha.clone();
+    }
+    alpha.scale(T::from_f64(1.0 / sigma))
+}
+
+/// Spectral normalization of the *augmented* input weights `[α; b]` — the
+/// hidden bias is treated as one more row of the weight matrix, exactly as an
+/// implementation that feeds a constant-1 input feature would do.
+///
+/// Normalising the augmented matrix (rather than `α` alone) divides every
+/// pre-activation `x·α + b` by the same positive constant, so the ReLU
+/// activation pattern — which units are on for which `(state, action)` pairs,
+/// i.e. the representational geometry the Q-network relies on — is preserved
+/// while `σ_max([α; b]) ≤ 1` caps the Lipschitz constant contributed by the
+/// input layer. Normalising `α` alone would instead shrink the input-driven
+/// part of the pre-activation relative to the untouched bias and freeze most
+/// ReLUs on, destroying the state–action interaction terms Q-learning needs.
+///
+/// Returns the scaled `(α, b)` pair.
+pub fn normalize_alpha_bias<T: Scalar>(
+    alpha: &Matrix<T>,
+    bias: &Matrix<T>,
+) -> (Matrix<T>, Matrix<T>) {
+    assert_eq!(alpha.cols(), bias.cols(), "α and bias disagree on the hidden width");
+    assert_eq!(bias.rows(), 1, "bias must be a 1×Ñ row");
+    let augmented = alpha.vstack(bias).expect("shapes checked above");
+    let sigma = sigma_max_f64(&augmented);
+    if sigma <= 0.0 {
+        return (alpha.clone(), bias.clone());
+    }
+    let inv = T::from_f64(1.0 / sigma);
+    (alpha.scale(inv), bias.scale(inv))
+}
+
+/// `σ_max` of a matrix computed in `f64` regardless of the storage scalar.
+/// Going through `f64` keeps the measurement itself free of fixed-point
+/// rounding (the paper computes the normalisation offline on the CPU).
+pub fn sigma_max_f64<T: Scalar>(m: &Matrix<T>) -> f64 {
+    let as_f64: Matrix<f64> = m.cast();
+    // The exact Jacobi route is cheap at these sizes; fall back to power
+    // iteration if the SVD fails to converge (it cannot for finite data, but
+    // the fallback keeps this function total).
+    spectral_norm_exact(&as_f64)
+        .or_else(|_| spectral_norm_power(&as_f64, 1000, 1e-12))
+        .unwrap_or(0.0)
+}
+
+/// Upper bound on the Lipschitz constant of the full network
+/// `x ↦ G(x·α + b)·β` (§2.5 / §3.3): `σ_max(α) · K_G · σ_max(β)`.
+pub fn lipschitz_upper_bound<T: Scalar>(
+    alpha: &Matrix<T>,
+    beta: &Matrix<T>,
+    activation: HiddenActivation,
+) -> f64 {
+    sigma_max_f64(alpha) * activation.lipschitz_constant() * sigma_max_f64(beta)
+}
+
+/// The Frobenius norm of `β` in `f64` — the quantity the L2 regulariser
+/// actually controls, and an upper bound on `σ_max(β)` (Relation 13).
+pub fn beta_frobenius_f64<T: Scalar>(beta: &Matrix<T>) -> f64 {
+    let as_f64: Matrix<f64> = beta.cast();
+    as_f64.frobenius_norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmrl_linalg::random::uniform_matrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalized_alpha_has_unit_sigma_max() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let alpha = uniform_matrix::<f64, _>(5, 64, 0.0, 1.0, &mut rng);
+        assert!(sigma_max_f64(&alpha) > 1.0);
+        let normed = normalize_alpha(&alpha);
+        let sigma = sigma_max_f64(&normed);
+        assert!((sigma - 1.0).abs() < 1e-9, "σ_max = {sigma}");
+    }
+
+    #[test]
+    fn normalizing_zero_matrix_is_a_no_op() {
+        let z = Matrix::<f64>::zeros(4, 4);
+        assert_eq!(normalize_alpha(&z), z);
+        assert_eq!(sigma_max_f64(&z), 0.0);
+        let zb = Matrix::<f64>::zeros(1, 4);
+        let (a, b) = normalize_alpha_bias(&z, &zb);
+        assert_eq!(a, z);
+        assert_eq!(b, zb);
+    }
+
+    #[test]
+    fn augmented_normalization_preserves_activation_pattern() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let alpha = uniform_matrix::<f64, _>(5, 32, 0.0, 1.0, &mut rng);
+        let bias = uniform_matrix::<f64, _>(1, 32, 0.0, 1.0, &mut rng);
+        let (na, nb) = normalize_alpha_bias(&alpha, &bias);
+        // σ_max of the augmented matrix is 1, and of α alone is ≤ 1.
+        let augmented = na.vstack(&nb).unwrap();
+        assert!((sigma_max_f64(&augmented) - 1.0).abs() < 1e-9);
+        assert!(sigma_max_f64(&na) <= 1.0 + 1e-9);
+        // The sign of every pre-activation is unchanged for a probe input,
+        // i.e. the ReLU on/off pattern is identical before and after.
+        let x = uniform_matrix::<f64, _>(3, 5, -2.0, 2.0, &mut rng);
+        let pre_raw = {
+            let mut p = x.matmul(&alpha);
+            for r in 0..p.rows() {
+                for c in 0..p.cols() {
+                    p[(r, c)] += bias[(0, c)];
+                }
+            }
+            p
+        };
+        let pre_norm = {
+            let mut p = x.matmul(&na);
+            for r in 0..p.rows() {
+                for c in 0..p.cols() {
+                    p[(r, c)] += nb[(0, c)];
+                }
+            }
+            p
+        };
+        for (a, b) in pre_raw.iter().zip(pre_norm.iter()) {
+            assert_eq!(*a >= 0.0, *b >= 0.0, "ReLU pattern changed by normalization");
+        }
+    }
+
+    #[test]
+    fn lipschitz_bound_composes_factors() {
+        // α with σ_max = 2, β with σ_max = 3, ReLU (K = 1) → bound 6.
+        let alpha = Matrix::from_diag(&[2.0, 1.0]);
+        let beta = Matrix::from_diag(&[3.0, 0.5]);
+        let bound = lipschitz_upper_bound(&alpha, &beta, HiddenActivation::ReLU);
+        assert!((bound - 6.0).abs() < 1e-9);
+        // HardSigmoid has K = 0.25 → bound 1.5.
+        let bound2 = lipschitz_upper_bound(&alpha, &beta, HiddenActivation::HardSigmoid);
+        assert!((bound2 - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lipschitz_bound_after_normalization_is_sigma_max_beta() {
+        // §3.3's conclusion: with normalised α, the network's Lipschitz
+        // constant is at most σ_max(β).
+        let mut rng = SmallRng::seed_from_u64(2);
+        let alpha = normalize_alpha(&uniform_matrix::<f64, _>(5, 32, 0.0, 1.0, &mut rng));
+        let beta = uniform_matrix::<f64, _>(32, 1, -0.5, 0.5, &mut rng);
+        let bound = lipschitz_upper_bound(&alpha, &beta, HiddenActivation::ReLU);
+        let sigma_beta = sigma_max_f64(&beta);
+        assert!(bound <= sigma_beta + 1e-9);
+    }
+
+    #[test]
+    fn frobenius_dominates_sigma_max_for_beta() {
+        // Relation 13: σ_max(β) ≤ ‖β‖_F, the justification for using L2
+        // regularisation in place of spectral regularisation.
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let beta = uniform_matrix::<f64, _>(16, 2, -1.0, 1.0, &mut rng);
+            assert!(sigma_max_f64(&beta) <= beta_frobenius_f64(&beta) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn works_on_f32_storage() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let alpha = uniform_matrix::<f32, _>(4, 16, 0.0, 1.0, &mut rng);
+        let normed = normalize_alpha(&alpha);
+        assert!(sigma_max_f64(&normed) <= 1.0 + 1e-4);
+    }
+}

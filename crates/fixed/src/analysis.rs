@@ -1,0 +1,163 @@
+//! Quantisation-error analysis helpers.
+//!
+//! Used by the precision ablation (DESIGN.md experiment A2) to quantify how
+//! far a Q-format computation drifts from the `f64` reference — the question
+//! the paper answers implicitly by showing that its Q20 FPGA design still
+//! solves CartPole.
+
+use crate::fixed::Fixed;
+use elmrl_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of the element-wise error between a reference matrix
+/// and its fixed-point counterpart.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantizationReport {
+    /// Maximum absolute element-wise error.
+    pub max_abs_error: f64,
+    /// Mean absolute element-wise error.
+    pub mean_abs_error: f64,
+    /// Root-mean-square error.
+    pub rms_error: f64,
+    /// Relative Frobenius-norm error `‖A − Ã‖_F / ‖A‖_F` (0 when `A` is 0).
+    pub relative_frobenius_error: f64,
+    /// Number of elements that saturated during quantisation.
+    pub saturated_elements: usize,
+    /// Total number of elements compared.
+    pub total_elements: usize,
+}
+
+impl QuantizationReport {
+    /// `true` when no element saturated and the max error is below `tol`.
+    pub fn within_tolerance(&self, tol: f64) -> bool {
+        self.saturated_elements == 0 && self.max_abs_error <= tol
+    }
+}
+
+/// Quantise an `f64` matrix through the Q-format `FRAC` and report the error.
+pub fn quantization_report<const FRAC: u32>(reference: &Matrix<f64>) -> QuantizationReport {
+    let quantized: Matrix<Fixed<FRAC>> = reference.cast();
+    compare_to_reference(reference, &quantized)
+}
+
+/// Compare an already-computed fixed-point matrix against its `f64` reference.
+pub fn compare_to_reference<const FRAC: u32>(
+    reference: &Matrix<f64>,
+    fixed: &Matrix<Fixed<FRAC>>,
+) -> QuantizationReport {
+    assert_eq!(
+        reference.shape(),
+        fixed.shape(),
+        "compare_to_reference: shape mismatch"
+    );
+    let n = reference.len();
+    let mut max_abs = 0.0f64;
+    let mut sum_abs = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut saturated = 0usize;
+    let mut ref_sq = 0.0f64;
+    for (&r, &q) in reference.iter().zip(fixed.iter()) {
+        let err = (r - q.to_f64()).abs();
+        max_abs = max_abs.max(err);
+        sum_abs += err;
+        sum_sq += err * err;
+        ref_sq += r * r;
+        if q.is_saturated() {
+            saturated += 1;
+        }
+    }
+    let rel = if ref_sq > 0.0 { (sum_sq / ref_sq).sqrt() } else { 0.0 };
+    QuantizationReport {
+        max_abs_error: max_abs,
+        mean_abs_error: sum_abs / n as f64,
+        rms_error: (sum_sq / n as f64).sqrt(),
+        relative_frobenius_error: rel,
+        saturated_elements: saturated,
+        total_elements: n,
+    }
+}
+
+/// Theoretical worst-case round-off of a single quantisation for the format
+/// (half an LSB when rounding to nearest).
+pub fn half_lsb<const FRAC: u32>() -> f64 {
+    Fixed::<FRAC>::RESOLUTION / 2.0
+}
+
+/// Error accumulated by a dot product of length `n` in the worst case: each
+/// product contributes at most one LSB of rounding, plus the final rounding.
+/// This is the bound the FPGA datapath's accumulator obeys (it keeps a wide
+/// accumulator, so only the multiplier rounding matters).
+pub fn dot_product_error_bound<const FRAC: u32>(n: usize) -> f64 {
+    (n as f64 + 1.0) * Fixed::<FRAC>::RESOLUTION
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{Q16, Q20, Q8};
+
+    fn sample() -> Matrix<f64> {
+        Matrix::from_fn(8, 8, |i, j| ((i * 13 + j * 7) as f64 * 0.0371).sin())
+    }
+
+    #[test]
+    fn q20_quantization_error_is_sub_lsb() {
+        let report = quantization_report::<20>(&sample());
+        assert!(report.max_abs_error <= Q20::RESOLUTION);
+        assert!(report.mean_abs_error <= report.max_abs_error);
+        assert!(report.rms_error <= report.max_abs_error);
+        assert_eq!(report.saturated_elements, 0);
+        assert_eq!(report.total_elements, 64);
+        assert!(report.within_tolerance(Q20::RESOLUTION));
+    }
+
+    #[test]
+    fn coarser_formats_have_larger_error() {
+        let m = sample();
+        let q8 = quantization_report::<8>(&m);
+        let q16 = quantization_report::<16>(&m);
+        let q20 = quantization_report::<20>(&m);
+        assert!(q8.rms_error >= q16.rms_error);
+        assert!(q16.rms_error >= q20.rms_error);
+        assert!(q8.max_abs_error <= Q8::RESOLUTION);
+        assert!(q16.max_abs_error <= Q16::RESOLUTION);
+    }
+
+    #[test]
+    fn saturation_is_counted() {
+        let m = Matrix::from_rows(&[vec![1e7, 0.0], vec![-1e7, 1.0]]);
+        let report = quantization_report::<20>(&m);
+        assert_eq!(report.saturated_elements, 2);
+        assert!(!report.within_tolerance(1.0));
+    }
+
+    #[test]
+    fn zero_matrix_has_zero_relative_error() {
+        let z = Matrix::<f64>::zeros(3, 3);
+        let report = quantization_report::<20>(&z);
+        assert_eq!(report.relative_frobenius_error, 0.0);
+        assert_eq!(report.max_abs_error, 0.0);
+    }
+
+    #[test]
+    fn error_bounds_are_monotone_in_length_and_precision() {
+        assert!(dot_product_error_bound::<20>(64) < dot_product_error_bound::<20>(256));
+        assert!(dot_product_error_bound::<16>(64) > dot_product_error_bound::<20>(64));
+        assert!(half_lsb::<20>() < half_lsb::<16>());
+    }
+
+    #[test]
+    fn compare_to_reference_detects_computation_drift() {
+        // Multiply two matrices in f64 and in Q20; the error should stay within
+        // the analytic dot-product bound.
+        let a = sample();
+        let b = sample().transpose();
+        let ref_prod = a.matmul(&b);
+        let qa: Matrix<Q20> = a.cast();
+        let qb: Matrix<Q20> = b.cast();
+        let q_prod = qa.matmul(&qb);
+        let report = compare_to_reference(&ref_prod, &q_prod);
+        assert!(report.max_abs_error <= dot_product_error_bound::<20>(a.cols()) * 2.0);
+        assert_eq!(report.saturated_elements, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # elmrl-fixed
+//!
+//! Q-format fixed-point arithmetic modelling the FPGA datapath number format.
+//!
+//! The paper's OS-ELM core stores inputs, `α`, `β` and all intermediate
+//! results as **32-bit Q20 fixed-point numbers** (§4.2): 20 fractional bits,
+//! 11 integer bits and a sign bit. This crate provides that representation as
+//! [`Fixed<FRAC>`] with saturating arithmetic (what a well-behaved HDL
+//! datapath does on overflow), plus the error-analysis helpers used by the
+//! precision ablation (DESIGN.md experiment A2).
+//!
+//! The type implements [`elmrl_linalg::Scalar`], so every kernel in
+//! `elmrl-linalg` — and therefore the whole OS-ELM update — can run unchanged
+//! on fixed-point data. That is exactly how the FPGA simulator in
+//! `elmrl-fpga` reproduces the numerical behaviour of the Verilog core.
+//!
+//! ```
+//! use elmrl_fixed::Q20;
+//! use elmrl_linalg::Matrix;
+//!
+//! let a = Matrix::<Q20>::from_rows(&[
+//!     vec![Q20::from_f64(0.5), Q20::from_f64(-0.25)],
+//!     vec![Q20::from_f64(1.0), Q20::from_f64(2.0)],
+//! ]);
+//! let b = a.matmul(&a);
+//! assert!((b[(0, 0)].to_f64() - 0.0).abs() < 1e-4);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod analysis;
+pub mod fixed;
+
+pub use fixed::{Fixed, Q16, Q20, Q24, Q8};

@@ -1,0 +1,111 @@
+//! Property-based tests for the Q-format fixed-point type.
+
+use elmrl_fixed::{Q16, Q20};
+use elmrl_linalg::Scalar;
+use proptest::prelude::*;
+
+/// Values that fit comfortably in Q20 (|v| < 1000, leaving headroom for sums).
+fn q20_value() -> impl Strategy<Value = f64> {
+    -1000.0f64..1000.0
+}
+
+/// Values small enough that products also fit in Q20 (|v| < 32 → |product| < 1024).
+fn q20_small() -> impl Strategy<Value = f64> {
+    -32.0f64..32.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn round_trip_is_within_one_lsb(v in q20_value()) {
+        let q = Q20::from_f64(v);
+        prop_assert!((q.to_f64() - v).abs() <= Q20::RESOLUTION);
+        prop_assert!(!q.is_saturated());
+    }
+
+    #[test]
+    fn addition_commutes(a in q20_value(), b in q20_value()) {
+        let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+        prop_assert_eq!(qa + qb, qb + qa);
+    }
+
+    #[test]
+    fn addition_matches_float_within_two_lsb(a in q20_value(), b in q20_value()) {
+        let sum = (Q20::from_f64(a) + Q20::from_f64(b)).to_f64();
+        prop_assert!((sum - (a + b)).abs() <= 2.0 * Q20::RESOLUTION);
+    }
+
+    #[test]
+    fn multiplication_matches_float(a in q20_small(), b in q20_small()) {
+        let prod = (Q20::from_f64(a) * Q20::from_f64(b)).to_f64();
+        // error ≈ |a|·lsb + |b|·lsb + lsb for the final rounding
+        let bound = (a.abs() + b.abs() + 1.0) * Q20::RESOLUTION;
+        prop_assert!((prod - a * b).abs() <= bound, "a={a} b={b} prod={prod}");
+    }
+
+    #[test]
+    fn division_matches_float(a in q20_small(), b in q20_small()) {
+        prop_assume!(b.abs() > 0.01);
+        let quot = (Q20::from_f64(a) / Q20::from_f64(b)).to_f64();
+        let bound = (a / b).abs() * 1e-3 + 1e-3;
+        prop_assert!((quot - a / b).abs() <= bound, "a={a} b={b} quot={quot}");
+    }
+
+    #[test]
+    fn negation_is_involutive(a in q20_value()) {
+        let q = Q20::from_f64(a);
+        prop_assert_eq!(-(-q), q);
+    }
+
+    #[test]
+    fn abs_is_non_negative(a in q20_value()) {
+        prop_assert!(Q20::from_f64(a).abs() >= Q20::ZERO);
+    }
+
+    #[test]
+    fn sqrt_squares_back(a in 0.0f64..1000.0) {
+        let s = Q20::from_f64(a).sqrt();
+        let sq = (s * s).to_f64();
+        // sqrt then square loses at most a few LSB-scaled-by-value
+        prop_assert!((sq - a).abs() <= 2.0 * a.sqrt().max(1.0) * 1e-3 + 1e-3);
+    }
+
+    #[test]
+    fn ordering_matches_float(a in q20_value(), b in q20_value()) {
+        prop_assume!((a - b).abs() > 2.0 * Q20::RESOLUTION);
+        let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+        prop_assert_eq!(a < b, qa < qb);
+    }
+
+    #[test]
+    fn saturation_never_wraps(a in -1.0e7f64..1.0e7, b in -1.0e7f64..1.0e7) {
+        // Whatever the inputs, the result of any single op stays in range and
+        // keeps the sign structure (no two's-complement wraparound).
+        let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+        let results = [qa + qb, qa - qb, qa * qb, qa / qb];
+        for r in results {
+            prop_assert!(r >= Q20::MIN && r <= Q20::MAX);
+        }
+        if a > 0.0 && b > 0.0 {
+            prop_assert!(qa * qb >= Q20::ZERO);
+            prop_assert!(qa + qb >= Q20::ZERO);
+        }
+    }
+
+    #[test]
+    fn scalar_trait_clamp(a in q20_value()) {
+        let q = Q20::from_f64(a);
+        let clamped = q.clamp_val(Q20::from_f64(-1.0), Q20::from_f64(1.0));
+        prop_assert!(clamped.to_f64() >= -1.0 - 1e-6 && clamped.to_f64() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn q16_is_coarser_than_q20(v in -100.0f64..100.0) {
+        let e16 = (Q16::from_f64(v).to_f64() - v).abs();
+        let e20 = (Q20::from_f64(v).to_f64() - v).abs();
+        prop_assert!(e16 <= Q16::RESOLUTION);
+        prop_assert!(e20 <= Q20::RESOLUTION);
+        prop_assert!(Q16::RESOLUTION > Q20::RESOLUTION);
+    }
+}

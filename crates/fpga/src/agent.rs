@@ -1,0 +1,436 @@
+//! Design (7): the OS-ELM-L2-Lipschitz Q-Network with its prediction and
+//! sequential training executed by the fixed-point FPGA core.
+//!
+//! Work is split exactly as in Figure 3 of the paper: the Cortex-A9 (CPU
+//! part) runs the environment, the ε₁ policy and the *initial training*; the
+//! programmable logic runs `predict` and `seq_train` on Q20 data at 125 MHz.
+//! The agent therefore keeps a float OS-ELM for the CPU-side initial training
+//! and mirrors its state into an [`FpgaCore`] once initial training
+//! completes; every subsequent prediction and sequential update goes through
+//! the fixed-point core and is charged simulated PL cycles.
+
+use crate::core::{FpgaCore, CPU_CLOCK_HZ};
+use elmrl_core::agent::{Agent, Observation};
+use elmrl_core::clipping::TargetConfig;
+use elmrl_core::encoding::StateActionEncoder;
+use elmrl_core::ops::{OpCounts, OpKind};
+use elmrl_core::policy::{max_q, ExploitPolicy};
+use elmrl_elm::model::ElmModel;
+use elmrl_elm::{HiddenActivation, OsElm, OsElmConfig};
+use elmrl_fixed::Q20;
+use elmrl_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Estimated Cortex-A9 cycles per floating-point operation for the CPU-side
+/// initial training (scalar FPU plus NumPy-style interpreter overhead).
+const CPU_CYCLES_PER_FLOP: f64 = 8.0;
+
+/// Configuration of the FPGA-backed agent.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FpgaAgentConfig {
+    /// Environment state dimensionality.
+    pub state_dim: usize,
+    /// Number of discrete actions.
+    pub num_actions: usize,
+    /// Hidden-layer width `Ñ` (the paper deploys up to 192 on the xc7z020).
+    pub hidden_dim: usize,
+    /// Exploit probability ε₁.
+    pub exploit_prob: f64,
+    /// Random-update probability ε₂.
+    pub update_prob: f64,
+    /// Target-network sync interval (episodes).
+    pub target_sync_episodes: usize,
+    /// Q-target construction (γ and clipping).
+    pub target: TargetConfig,
+    /// ReOS-ELM δ (the paper uses 0.5 for the L2-Lipschitz configuration).
+    pub l2_delta: f64,
+}
+
+impl FpgaAgentConfig {
+    /// The paper's CartPole settings for a given hidden size.
+    pub fn cartpole(hidden_dim: usize) -> Self {
+        Self {
+            state_dim: 4,
+            num_actions: 2,
+            hidden_dim,
+            exploit_prob: 0.7,
+            update_prob: 0.5,
+            target_sync_episodes: 2,
+            target: TargetConfig::default(),
+            l2_delta: 0.5,
+        }
+    }
+
+    fn elm_config(&self) -> OsElmConfig {
+        OsElmConfig::new(self.state_dim + 1, self.hidden_dim, 1)
+            .with_activation(HiddenActivation::ReLU)
+            .with_l2_delta(self.l2_delta)
+            .with_relative_l2(true)
+            .with_spectral_normalization(true)
+    }
+}
+
+/// The FPGA-backed OS-ELM-L2-Lipschitz agent (design 7).
+pub struct FpgaAgent {
+    config: FpgaAgentConfig,
+    encoder: StateActionEncoder,
+    policy: ExploitPolicy,
+    /// CPU-side float learner used for initial training (and as the θ₁ source
+    /// of truth until the core is loaded).
+    cpu_learner: OsElm<f64>,
+    /// θ₂ target network, evaluated on the CPU in float as in `OsElmQNet`.
+    target: ElmModel<f64>,
+    /// The programmable-logic core; present once initial training completed.
+    core: Option<FpgaCore>,
+    buffer: Vec<Observation>,
+    ops: OpCounts,
+    /// Simulated CPU seconds spent in initial training.
+    simulated_cpu_seconds: f64,
+}
+
+impl FpgaAgent {
+    /// Create an agent; the PL core is instantiated after initial training.
+    pub fn new(config: FpgaAgentConfig, rng: &mut SmallRng) -> Self {
+        let encoder = StateActionEncoder::new(config.state_dim, config.num_actions);
+        let cpu_learner = OsElm::<f64>::new(&config.elm_config(), rng);
+        let target = cpu_learner.model().clone();
+        Self {
+            policy: ExploitPolicy::new(config.exploit_prob),
+            encoder,
+            cpu_learner,
+            target,
+            core: None,
+            buffer: Vec::with_capacity(config.hidden_dim),
+            ops: OpCounts::new(),
+            simulated_cpu_seconds: 0.0,
+            config,
+        }
+    }
+
+    /// The agent configuration.
+    pub fn config(&self) -> &FpgaAgentConfig {
+        &self.config
+    }
+
+    /// Whether the PL core has been loaded (i.e. initial training completed).
+    pub fn core_loaded(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Simulated programmable-logic seconds (125 MHz) accumulated so far.
+    pub fn simulated_pl_seconds(&self) -> f64 {
+        self.core.as_ref().map(|c| c.cycles().total_seconds()).unwrap_or(0.0)
+    }
+
+    /// Simulated seconds split by module: `(predict, seq_train, init_train)`.
+    pub fn simulated_breakdown_seconds(&self) -> (f64, f64, f64) {
+        let (p, s) = self
+            .core
+            .as_ref()
+            .map(|c| (c.cycles().predict_seconds(), c.cycles().seq_train_seconds()))
+            .unwrap_or((0.0, 0.0));
+        (p, s, self.simulated_cpu_seconds)
+    }
+
+    /// Total simulated on-device seconds (PL + CPU initial training).
+    pub fn simulated_total_seconds(&self) -> f64 {
+        self.simulated_pl_seconds() + self.simulated_cpu_seconds
+    }
+
+    fn target_q(&self, state: &[f64]) -> Vec<f64> {
+        self.encoder
+            .encode_all_actions(state)
+            .iter()
+            .map(|input| self.target.predict_single(input)[0])
+            .collect()
+    }
+
+    fn core_q(&mut self, state: &[f64]) -> Vec<f64> {
+        let inputs = self.encoder.encode_all_actions(state);
+        let core = self.core.as_mut().expect("core_q called before initial training");
+        inputs
+            .iter()
+            .map(|input| {
+                let q: Vec<Q20> = input.iter().map(|&v| Q20::from_f64(v)).collect();
+                core.predict(&q)[0].to_f64()
+            })
+            .collect()
+    }
+
+    fn run_initial_training(&mut self) {
+        let start = Instant::now();
+        let n = self.buffer.len();
+        let input_dim = self.encoder.input_dim();
+        let mut x = Matrix::<f64>::zeros(n, input_dim);
+        let mut t = Matrix::<f64>::zeros(n, 1);
+        for (i, obs) in self.buffer.iter().enumerate() {
+            let encoded = self.encoder.encode(&obs.state, obs.action);
+            for (j, &v) in encoded.iter().enumerate() {
+                x[(i, j)] = v;
+            }
+            let max_next = max_q(&self.target_q(&obs.next_state));
+            t[(i, 0)] = self.config.target.target(obs.reward, max_next, obs.done);
+        }
+        if self.cpu_learner.init_train(&x, &t).is_err() {
+            debug_assert!(false, "FPGA agent initial training failed unexpectedly");
+            self.buffer.clear();
+            return;
+        }
+        // Simulated Cortex-A9 cost of the initial training: forming the Gram
+        // matrix (k·Ñ²), the Cholesky solve (Ñ³/3 + Ñ²·m) and H itself.
+        let nh = self.config.hidden_dim as f64;
+        let k = n as f64;
+        let flops = k * nh * nh + nh * nh * nh / 3.0 + k * nh * (input_dim as f64);
+        self.simulated_cpu_seconds += flops * CPU_CYCLES_PER_FLOP / CPU_CLOCK_HZ;
+
+        // AXI transfer: load α, b, β, P into the PL BRAMs.
+        self.core = Some(FpgaCore::from_f64_parts(
+            self.cpu_learner.model().alpha(),
+            self.cpu_learner.model().bias(),
+            self.cpu_learner.model().beta(),
+            self.cpu_learner.p_matrix().expect("initialised above"),
+        ));
+        self.buffer.clear();
+        self.ops.record(OpKind::InitTrain, start.elapsed());
+    }
+
+    fn run_sequential_update(&mut self, obs: &Observation) {
+        let start = Instant::now();
+        let max_next = max_q(&self.target_q(&obs.next_state));
+        let target = self.config.target.target(obs.reward, max_next, obs.done);
+        let input = self.encoder.encode(&obs.state, obs.action);
+        let q_input: Vec<Q20> = input.iter().map(|&v| Q20::from_f64(v)).collect();
+        let core = self.core.as_mut().expect("sequential update before initial training");
+        core.seq_train(&q_input, &[Q20::from_f64(target)]);
+        self.ops.record(OpKind::SeqTrain, start.elapsed());
+    }
+
+    fn sync_target_from_core(&mut self) {
+        if let Some(core) = &self.core {
+            // θ₂ ← θ₁: read β back from the PL (quantised) into the CPU copy.
+            let beta_f64: Matrix<f64> = core.beta().cast();
+            let model = ElmModel::from_parts(
+                self.cpu_learner.model().alpha().clone(),
+                self.cpu_learner.model().bias().clone(),
+                beta_f64,
+                HiddenActivation::ReLU,
+            );
+            self.target.copy_parameters_from(&model);
+        } else {
+            self.target.copy_parameters_from(self.cpu_learner.model());
+        }
+    }
+}
+
+impl Agent for FpgaAgent {
+    fn name(&self) -> &str {
+        "FPGA"
+    }
+
+    fn hidden_dim(&self) -> usize {
+        self.config.hidden_dim
+    }
+
+    fn act(&mut self, state: &[f64], rng: &mut SmallRng) -> usize {
+        let start = Instant::now();
+        let (q, kind) = if self.core.is_some() {
+            (self.core_q(state), OpKind::PredictSeq)
+        } else {
+            let q = self
+                .encoder
+                .encode_all_actions(state)
+                .iter()
+                .map(|input| self.cpu_learner.model().predict_single(input)[0])
+                .collect();
+            (q, OpKind::PredictInit)
+        };
+        self.ops.record_n(kind, self.config.num_actions as u64, start.elapsed());
+        self.policy.select(&q, rng)
+    }
+
+    fn observe(&mut self, obs: &Observation, rng: &mut SmallRng) {
+        if self.core.is_none() {
+            self.buffer.push(obs.clone());
+            if self.buffer.len() >= self.config.hidden_dim {
+                self.run_initial_training();
+            }
+            return;
+        }
+        if rng.gen_range(0.0..1.0) < self.config.update_prob {
+            self.run_sequential_update(obs);
+        }
+    }
+
+    fn end_episode(&mut self, episode_index: usize) {
+        if self.config.target_sync_episodes > 0
+            && (episode_index + 1) % self.config.target_sync_episodes == 0
+        {
+            self.sync_target_from_core();
+        }
+    }
+
+    fn reset(&mut self, rng: &mut SmallRng) {
+        self.cpu_learner = OsElm::<f64>::new(&self.config.elm_config(), rng);
+        self.target = self.cpu_learner.model().clone();
+        self.core = None;
+        self.buffer.clear();
+    }
+
+    fn op_counts(&self) -> &OpCounts {
+        &self.ops
+    }
+
+    fn q_values(&mut self, state: &[f64]) -> Vec<f64> {
+        if self.core.is_some() {
+            self.core_q(state)
+        } else {
+            self.encoder
+                .encode_all_actions(state)
+                .iter()
+                .map(|input| self.cpu_learner.model().predict_single(input)[0])
+                .collect()
+        }
+    }
+
+    fn memory_footprint_bytes(&self) -> usize {
+        // On the device the learnable state lives in BRAM as 32-bit words.
+        let words = crate::resources::ResourceModel::pynq_z1()
+            .storage_words(self.config.hidden_dim);
+        words * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmrl_core::designs::{Design, DesignConfig};
+    use elmrl_core::trainer::{Trainer, TrainerConfig};
+    use elmrl_gym::CartPole;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    fn obs(i: usize, reward: f64, done: bool) -> Observation {
+        Observation {
+            state: vec![0.01 * (i % 13) as f64 - 0.05, -0.02, 0.002 * (i % 7) as f64, 0.04],
+            action: i % 2,
+            reward,
+            next_state: vec![0.01 * (i % 13) as f64, -0.01, 0.02, 0.05],
+            done,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn initial_training_loads_the_core() {
+        let mut r = rng(1);
+        let mut agent = FpgaAgent::new(FpgaAgentConfig::cartpole(16), &mut r);
+        assert_eq!(agent.name(), "FPGA");
+        assert!(!agent.core_loaded());
+        for i in 0..16 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        assert!(agent.core_loaded());
+        assert_eq!(agent.op_counts().count(OpKind::InitTrain), 1);
+        assert!(agent.simulated_cpu_seconds > 0.0);
+        assert_eq!(agent.simulated_pl_seconds(), 0.0, "no PL work before the first predict");
+    }
+
+    #[test]
+    fn predictions_and_updates_accumulate_pl_cycles() {
+        let mut r = rng(2);
+        let mut agent = FpgaAgent::new(FpgaAgentConfig::cartpole(16), &mut r);
+        for i in 0..16 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        let _ = agent.act(&[0.0; 4], &mut r);
+        let mut cfg = FpgaAgentConfig::cartpole(16);
+        cfg.update_prob = 1.0;
+        let pl_after_predict = agent.simulated_pl_seconds();
+        assert!(pl_after_predict > 0.0);
+        // force an update
+        let mut agent2 = FpgaAgent::new(cfg, &mut r);
+        for i in 0..16 {
+            agent2.observe(&obs(i, 0.0, false), &mut r);
+        }
+        agent2.observe(&obs(99, -1.0, true), &mut r);
+        assert_eq!(agent2.op_counts().count(OpKind::SeqTrain), 1);
+        let (p, s, init) = agent2.simulated_breakdown_seconds();
+        assert!(s > 0.0 && init > 0.0);
+        assert!(agent2.simulated_total_seconds() >= p + s);
+    }
+
+    #[test]
+    fn agent_matches_float_design_behaviour_on_a_short_run() {
+        // The FPGA agent is the same algorithm as OS-ELM-L2-Lipschitz; over a
+        // short CartPole run both should produce comparable training progress
+        // (not identical — quantisation and independent RNG draws differ).
+        let trainer = Trainer::new(TrainerConfig::quick(15));
+        let mut r1 = rng(3);
+        let mut fpga = FpgaAgent::new(FpgaAgentConfig::cartpole(16), &mut r1);
+        let mut env1 = CartPole::new();
+        let res_fpga = trainer.run(&mut fpga, &mut env1, &mut r1);
+
+        let mut r2 = rng(3);
+        let mut float = Design::OsElmL2Lipschitz.build(&DesignConfig::new(16), &mut r2);
+        let mut env2 = CartPole::new();
+        let res_float = trainer.run(float.as_mut(), &mut env2, &mut r2);
+
+        assert_eq!(res_fpga.episodes_run, res_float.episodes_run);
+        assert_eq!(res_fpga.design, "FPGA");
+        assert!(res_fpga.op_counts.count(OpKind::SeqTrain) > 0);
+        // Q-values of the two agents agree to fixed-point tolerance on a probe.
+        let probe = [0.01, -0.02, 0.03, 0.0];
+        let qf = fpga.q_values(&probe);
+        let qs = float.q_values(&probe);
+        for (a, b) in qf.iter().zip(qs.iter()) {
+            assert!((a - b).abs() < 0.3, "Q drift too large: {qf:?} vs {qs:?}");
+        }
+    }
+
+    #[test]
+    fn target_sync_reads_back_quantised_beta() {
+        let mut r = rng(4);
+        let mut agent = FpgaAgent::new(FpgaAgentConfig::cartpole(8), &mut r);
+        for i in 0..8 {
+            agent.observe(&obs(i, -1.0, true), &mut r);
+        }
+        for i in 0..10 {
+            agent.observe(&obs(i + 8, -1.0, true), &mut r);
+        }
+        agent.end_episode(1);
+        // after sync, the CPU target model predicts ≈ the core's Q values
+        let probe = [0.01, -0.02, 0.002, 0.04];
+        let core_q = agent.q_values(&probe);
+        let target_q = agent.target_q(&probe);
+        for (a, b) in core_q.iter().zip(target_q.iter()) {
+            assert!((a - b).abs() < 1e-2, "target sync mismatch: {core_q:?} vs {target_q:?}");
+        }
+    }
+
+    #[test]
+    fn reset_unloads_the_core() {
+        let mut r = rng(5);
+        let mut agent = FpgaAgent::new(FpgaAgentConfig::cartpole(8), &mut r);
+        for i in 0..8 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        assert!(agent.core_loaded());
+        agent.reset(&mut r);
+        assert!(!agent.core_loaded());
+        assert_eq!(agent.q_values(&[0.0; 4]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn memory_footprint_matches_bram_words() {
+        let mut r = rng(6);
+        let agent = FpgaAgent::new(FpgaAgentConfig::cartpole(64), &mut r);
+        let words = crate::resources::ResourceModel::pynq_z1().storage_words(64);
+        assert_eq!(agent.memory_footprint_bytes(), words * 4);
+    }
+}

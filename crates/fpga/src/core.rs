@@ -1,0 +1,365 @@
+//! Behavioural + cycle model of the `predict` / `seq_train` datapath.
+//!
+//! §4.2: the core implements the batch-size-1 OS-ELM update with "only a
+//! single add, mult, and div unit", stores every operand in on-chip BRAM as
+//! 32-bit Q20 fixed point, and runs at 125 MHz; the initial training stays on
+//! the 650 MHz Cortex-A9. [`FpgaCore`] executes exactly that arithmetic on
+//! [`Q20`] values (so rounding and saturation behave like the hardware) and
+//! charges one clock cycle per scalar multiply–accumulate, plus a fixed
+//! latency per division and per memory-transfer burst.
+
+use elmrl_fixed::Q20;
+use elmrl_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Programmable-logic clock of the PYNQ-Z1 design (§4.2).
+pub const PL_CLOCK_HZ: f64 = 125.0e6;
+/// Cortex-A9 clock of the PYNQ-Z1 (§4.1, Table 1).
+pub const CPU_CLOCK_HZ: f64 = 650.0e6;
+
+/// Fixed per-invocation overhead cycles (AXI handshake + control FSM).
+const INVOCATION_OVERHEAD: u64 = 64;
+/// Latency of the iterative fixed-point divider, in cycles.
+const DIV_LATENCY: u64 = 32;
+
+/// Accumulated simulated cycle counts of the programmable-logic core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleCounts {
+    /// Cycles spent in the `predict` module.
+    pub predict_cycles: u64,
+    /// Cycles spent in the `seq_train` module.
+    pub seq_train_cycles: u64,
+    /// Number of `predict` invocations.
+    pub predict_calls: u64,
+    /// Number of `seq_train` invocations.
+    pub seq_train_calls: u64,
+}
+
+impl CycleCounts {
+    /// Total programmable-logic cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.predict_cycles + self.seq_train_cycles
+    }
+
+    /// Simulated seconds at the 125 MHz PL clock.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_cycles() as f64 / PL_CLOCK_HZ
+    }
+
+    /// Simulated seconds spent predicting.
+    pub fn predict_seconds(&self) -> f64 {
+        self.predict_cycles as f64 / PL_CLOCK_HZ
+    }
+
+    /// Simulated seconds spent in sequential training.
+    pub fn seq_train_seconds(&self) -> f64 {
+        self.seq_train_cycles as f64 / PL_CLOCK_HZ
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &CycleCounts) {
+        self.predict_cycles += other.predict_cycles;
+        self.seq_train_cycles += other.seq_train_cycles;
+        self.predict_calls += other.predict_calls;
+        self.seq_train_calls += other.seq_train_calls;
+    }
+}
+
+/// The fixed-point OS-ELM core: `α`, `b`, `β`, `P` held in Q20, batch-size-1
+/// prediction and sequential training, with per-call cycle accounting.
+#[derive(Clone, Debug)]
+pub struct FpgaCore {
+    alpha: Matrix<Q20>,
+    bias: Matrix<Q20>,
+    beta: Matrix<Q20>,
+    p: Matrix<Q20>,
+    cycles: CycleCounts,
+}
+
+impl FpgaCore {
+    /// Load a core from float parameters (the CPU-side initial training
+    /// produces `α`, `b`, `β₀`, `P₀` in float and writes them to the PL's
+    /// BRAMs through the AXI bus — this constructor is that transfer,
+    /// including the quantisation to Q20).
+    pub fn from_f64_parts(
+        alpha: &Matrix<f64>,
+        bias: &Matrix<f64>,
+        beta: &Matrix<f64>,
+        p: &Matrix<f64>,
+    ) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a 1×Ñ row");
+        assert_eq!(alpha.cols(), bias.cols(), "α/bias width mismatch");
+        assert_eq!(alpha.cols(), beta.rows(), "α/β width mismatch");
+        assert_eq!(p.rows(), p.cols(), "P must be square");
+        assert_eq!(p.rows(), alpha.cols(), "P/α width mismatch");
+        Self {
+            alpha: alpha.cast(),
+            bias: bias.cast(),
+            beta: beta.cast(),
+            p: p.cast(),
+            cycles: CycleCounts::default(),
+        }
+    }
+
+    /// Input dimensionality `n`.
+    pub fn input_dim(&self) -> usize {
+        self.alpha.rows()
+    }
+
+    /// Hidden width `Ñ`.
+    pub fn hidden_dim(&self) -> usize {
+        self.alpha.cols()
+    }
+
+    /// Output width `m`.
+    pub fn output_dim(&self) -> usize {
+        self.beta.cols()
+    }
+
+    /// Accumulated cycle counters.
+    pub fn cycles(&self) -> &CycleCounts {
+        &self.cycles
+    }
+
+    /// Borrow the fixed-point `β` (diagnostics / tests).
+    pub fn beta(&self) -> &Matrix<Q20> {
+        &self.beta
+    }
+
+    /// Borrow the fixed-point `P` (diagnostics / tests).
+    pub fn p(&self) -> &Matrix<Q20> {
+        &self.p
+    }
+
+    /// Cycle cost of one `predict` call for the core's dimensions:
+    /// `n·Ñ` MACs for `x·α`, `Ñ` bias adds, `Ñ` ReLU selects and `Ñ·m` MACs
+    /// for `H·β`, all serialised through the single arithmetic unit.
+    pub fn predict_cycle_cost(&self) -> u64 {
+        let n = self.input_dim() as u64;
+        let h = self.hidden_dim() as u64;
+        let m = self.output_dim() as u64;
+        INVOCATION_OVERHEAD + n * h + 2 * h + h * m
+    }
+
+    /// Cycle cost of one `seq_train` call: the hidden layer, the two `Ñ²`
+    /// matrix–vector products with `P`, the scalar reciprocal, the rank-1
+    /// `P` downdate (2·Ñ²) and the `β` update.
+    pub fn seq_train_cycle_cost(&self) -> u64 {
+        let n = self.input_dim() as u64;
+        let h = self.hidden_dim() as u64;
+        let m = self.output_dim() as u64;
+        INVOCATION_OVERHEAD
+            + n * h          // hidden pre-activation
+            + 2 * h          // bias + ReLU
+            + 2 * h * h      // P·hᵀ and h·P
+            + h + DIV_LATENCY // denominator accumulation + reciprocal
+            + 2 * h * h      // rank-1 downdate of P (multiply + subtract)
+            + h * m          // prediction for the residual
+            + h * m + h      // β update
+    }
+
+    /// Hidden-layer activation of one sample (ReLU in Q20).
+    fn hidden(&self, x: &[Q20]) -> Matrix<Q20> {
+        assert_eq!(x.len(), self.input_dim(), "input width mismatch");
+        let xm = Matrix::row_from_slice(x);
+        let mut pre = xm.matmul(&self.alpha);
+        for c in 0..pre.cols() {
+            pre[(0, c)] += self.bias[(0, c)];
+            if pre[(0, c)] < Q20::ZERO {
+                pre[(0, c)] = Q20::ZERO;
+            }
+        }
+        pre
+    }
+
+    /// `predict` module: Q-value of one `(state, action)` input.
+    pub fn predict(&mut self, x: &[Q20]) -> Vec<Q20> {
+        let h = self.hidden(x);
+        let y = h.matmul(&self.beta);
+        self.cycles.predict_cycles += self.predict_cycle_cost();
+        self.cycles.predict_calls += 1;
+        y.row(0).to_vec()
+    }
+
+    /// `seq_train` module: one batch-size-1 OS-ELM update in Q20.
+    pub fn seq_train(&mut self, x: &[Q20], target: &[Q20]) {
+        assert_eq!(target.len(), self.output_dim(), "target width mismatch");
+        let nh = self.hidden_dim();
+        let m = self.output_dim();
+        let h = self.hidden(x);
+
+        // ph = P·hᵀ, hp = h·P, denom = 1 + h·P·hᵀ
+        let ph = self.p.matmul_t(&h);
+        let hp = h.matmul(&self.p);
+        let mut denom = Q20::ONE;
+        for i in 0..nh {
+            denom += h[(0, i)] * ph[(i, 0)];
+        }
+        let inv_denom = Q20::ONE / denom;
+
+        // P ← P − (ph·hp)/denom
+        for r in 0..nh {
+            let scale = ph[(r, 0)] * inv_denom;
+            for c in 0..nh {
+                let sub = scale * hp[(0, c)];
+                self.p[(r, c)] -= sub;
+            }
+        }
+
+        // β ← β + (P_new·hᵀ)·(t − h·β)
+        let pred = h.matmul(&self.beta);
+        let ph_new = self.p.matmul_t(&h);
+        for r in 0..nh {
+            for c in 0..m {
+                let add = ph_new[(r, 0)] * (target[c] - pred[(0, c)]);
+                self.beta[(r, c)] += add;
+            }
+        }
+
+        self.cycles.seq_train_cycles += self.seq_train_cycle_cost();
+        self.cycles.seq_train_calls += 1;
+    }
+
+    /// Overwrite `β` and `P` from float values — used when the CPU re-runs an
+    /// initial training after a reset and pushes fresh state to the PL.
+    pub fn reload_from_f64(&mut self, beta: &Matrix<f64>, p: &Matrix<f64>) {
+        assert_eq!(beta.shape(), (self.hidden_dim(), self.output_dim()));
+        assert_eq!(p.shape(), (self.hidden_dim(), self.hidden_dim()));
+        self.beta = beta.cast();
+        self.p = p.cast();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmrl_elm::{HiddenActivation, OsElm, OsElmConfig};
+    use elmrl_linalg::Scalar;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Build a float OS-ELM, initialise it, and mirror it into an FpgaCore.
+    fn float_and_fixed(hidden: usize, seed: u64) -> (OsElm<f64>, FpgaCore) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = OsElmConfig::new(5, hidden, 1)
+            .with_activation(HiddenActivation::ReLU)
+            .with_l2_delta(0.5)
+            .with_relative_l2(true)
+            .with_spectral_normalization(true);
+        let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+        let x0 = Matrix::from_fn(hidden.max(8), 5, |i, j| {
+            (((i * 7 + j * 3) % 23) as f64 / 23.0) - 0.5
+        });
+        let t0 = Matrix::from_fn(hidden.max(8), 1, |i, _| if i % 3 == 0 { -1.0 } else { 0.0 });
+        os.init_train(&x0, &t0).unwrap();
+        let core = FpgaCore::from_f64_parts(
+            os.model().alpha(),
+            os.model().bias(),
+            os.model().beta(),
+            os.p_matrix().unwrap(),
+        );
+        (os, core)
+    }
+
+    fn to_q20(v: &[f64]) -> Vec<Q20> {
+        v.iter().map(|&x| Q20::from_f64(x)).collect()
+    }
+
+    #[test]
+    fn clock_constants_match_the_paper() {
+        assert_eq!(PL_CLOCK_HZ, 125.0e6);
+        assert_eq!(CPU_CLOCK_HZ, 650.0e6);
+    }
+
+    #[test]
+    fn fixed_point_prediction_tracks_float_model() {
+        let (os, mut core) = float_and_fixed(16, 1);
+        for k in 0..10 {
+            let x: Vec<f64> = (0..5).map(|j| ((k * 5 + j) as f64 * 0.137).sin() * 0.5).collect();
+            let yf = os.predict_single(&x)[0];
+            let yq = core.predict(&to_q20(&x))[0].to_f64();
+            assert!(
+                (yf - yq).abs() < 1e-3,
+                "float {yf} vs fixed {yq} diverge beyond Q20 tolerance"
+            );
+        }
+        assert_eq!(core.cycles().predict_calls, 10);
+    }
+
+    #[test]
+    fn fixed_point_sequential_training_tracks_float_model() {
+        let (mut os, mut core) = float_and_fixed(16, 2);
+        for k in 0..50 {
+            let x: Vec<f64> = (0..5).map(|j| ((k * 3 + j) as f64 * 0.21).cos() * 0.4).collect();
+            let t = if k % 4 == 0 { -1.0 } else { 0.1 };
+            os.seq_train_single(&x, &[t]).unwrap();
+            core.seq_train(&to_q20(&x), &[Q20::from_f64(t)]);
+        }
+        // β should stay close to the float reference after 50 updates.
+        let beta_f = os.model().beta();
+        let beta_q = core.beta();
+        let mut max_err: f64 = 0.0;
+        for i in 0..beta_f.rows() {
+            max_err = max_err.max((beta_f[(i, 0)] - beta_q[(i, 0)].to_f64()).abs());
+        }
+        assert!(max_err < 5e-2, "β drift {max_err} exceeds fixed-point tolerance");
+        // And their predictions should agree.
+        let x = [0.1, -0.2, 0.05, 0.3, 1.0];
+        let yf = os.predict_single(&x)[0];
+        let yq = core.predict(&to_q20(&x))[0].to_f64();
+        assert!((yf - yq).abs() < 5e-2, "prediction drift: {yf} vs {yq}");
+    }
+
+    #[test]
+    fn cycle_costs_scale_quadratically_for_training_linearly_for_prediction() {
+        let (_, core32) = float_and_fixed(32, 3);
+        let (_, core128) = float_and_fixed(128, 3);
+        let p_ratio = core128.predict_cycle_cost() as f64 / core32.predict_cycle_cost() as f64;
+        let t_ratio = core128.seq_train_cycle_cost() as f64 / core32.seq_train_cycle_cost() as f64;
+        assert!(p_ratio > 2.0 && p_ratio < 6.0, "predict should scale ~linearly: {p_ratio}");
+        assert!(t_ratio > 10.0, "seq_train should scale ~quadratically: {t_ratio}");
+        // seq_train dominates predict at every size (the paper's bottleneck).
+        assert!(core32.seq_train_cycle_cost() > 4 * core32.predict_cycle_cost());
+    }
+
+    #[test]
+    fn cycles_accumulate_and_convert_to_seconds() {
+        let (_, mut core) = float_and_fixed(64, 4);
+        let x = vec![Q20::from_f64(0.1); 5];
+        core.predict(&x);
+        core.seq_train(&x, &[Q20::from_f64(0.5)]);
+        let c = core.cycles();
+        assert_eq!(c.predict_calls, 1);
+        assert_eq!(c.seq_train_calls, 1);
+        assert!(c.total_cycles() > 0);
+        assert!(c.total_seconds() > 0.0);
+        assert!((c.total_seconds() - c.total_cycles() as f64 / PL_CLOCK_HZ).abs() < 1e-15);
+        assert!(c.seq_train_seconds() > c.predict_seconds());
+        let mut merged = CycleCounts::default();
+        merged.merge(c);
+        merged.merge(c);
+        assert_eq!(merged.predict_calls, 2);
+        assert_eq!(merged.total_cycles(), 2 * c.total_cycles());
+    }
+
+    #[test]
+    fn reload_overwrites_learned_state() {
+        let (os, mut core) = float_and_fixed(8, 5);
+        let zero_beta = Matrix::<f64>::zeros(8, 1);
+        let p = os.p_matrix().unwrap().clone();
+        core.reload_from_f64(&zero_beta, &p);
+        let y = core.predict(&vec![Q20::from_f64(0.3); 5]);
+        assert_eq!(y[0].to_f64(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "P must be square")]
+    fn shape_validation_on_construction() {
+        let _ = FpgaCore::from_f64_parts(
+            &Matrix::<f64>::ones(5, 8),
+            &Matrix::<f64>::ones(1, 8),
+            &Matrix::<f64>::ones(8, 1),
+            &Matrix::<f64>::ones(8, 4),
+        );
+    }
+}

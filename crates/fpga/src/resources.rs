@@ -1,0 +1,234 @@
+//! Analytical FPGA resource model of the OS-ELM Q-Network core (Table 3).
+//!
+//! The dominant consumer is on-chip BRAM: the core keeps the input sample,
+//! `α`, `b`, `β`, the `Ñ × Ñ` matrix `P` and the working buffers of the
+//! rank-1 update resident in block RAM (§4.2). The `P`-sized buffers grow
+//! quadratically with the hidden width, which is why the paper finds 192
+//! units to be the largest deployable configuration on the xc7z020.
+//!
+//! The constants below are calibrated so the model reproduces the shape of
+//! Table 3 (2.86 % → 91.43 % BRAM from 32 to 192 units, flat DSP usage, slow
+//! FF/LUT growth, 256 units not implementable); they are not a synthesis
+//! result.
+
+use serde::{Deserialize, Serialize};
+
+/// Device resource budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceBudget {
+    /// Device name.
+    pub name: &'static str,
+    /// Number of 36 Kb block RAMs.
+    pub bram36: usize,
+    /// Number of DSP48 slices.
+    pub dsp: usize,
+    /// Number of flip-flops.
+    pub ff: usize,
+    /// Number of LUTs.
+    pub lut: usize,
+}
+
+/// The Xilinx xc7z020clg400-1 on the PYNQ-Z1 board.
+pub const XC7Z020: DeviceBudget = DeviceBudget {
+    name: "xc7z020clg400-1",
+    bram36: 140,
+    dsp: 220,
+    ff: 106_400,
+    lut: 53_200,
+};
+
+/// Utilization of one core configuration, as fractions of the device budget.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUtilization {
+    /// Hidden-layer width `Ñ`.
+    pub hidden_dim: usize,
+    /// Number of 36 Kb BRAMs required.
+    pub bram36_used: usize,
+    /// BRAM utilization in percent.
+    pub bram_pct: f64,
+    /// DSP utilization in percent.
+    pub dsp_pct: f64,
+    /// Flip-flop utilization in percent.
+    pub ff_pct: f64,
+    /// LUT utilization in percent.
+    pub lut_pct: f64,
+    /// Whether the configuration fits the device (every resource ≤ 100 %).
+    pub fits: bool,
+}
+
+/// The analytical resource model.
+#[derive(Clone, Copy, Debug)]
+pub struct ResourceModel {
+    device: DeviceBudget,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+impl ResourceModel {
+    /// 32-bit words per 36 Kb BRAM.
+    pub const WORDS_PER_BRAM36: usize = 1024;
+
+    /// Model for the paper's core (input = 5, output = 1) on the xc7z020.
+    pub fn pynq_z1() -> Self {
+        Self { device: XC7Z020, input_dim: 5, output_dim: 1 }
+    }
+
+    /// Model with explicit I/O dimensions and device.
+    pub fn new(device: DeviceBudget, input_dim: usize, output_dim: usize) -> Self {
+        assert!(input_dim > 0 && output_dim > 0);
+        Self { device, input_dim, output_dim }
+    }
+
+    /// The device budget used by the model.
+    pub fn device(&self) -> DeviceBudget {
+        self.device
+    }
+
+    /// 32-bit words of on-chip storage needed for `hidden_dim` units:
+    /// `P` plus the rank-1-update working buffers (≈ 3.5·Ñ²), the weight
+    /// matrices and the per-sample vectors.
+    pub fn storage_words(&self, hidden_dim: usize) -> usize {
+        let n = hidden_dim;
+        let quadratic = 3 * n * n + n * n / 2; // P, ΔP, outer-product buffer, ½ double-buffer
+        let weights = self.input_dim * n + n + n * self.output_dim; // α, b, β
+        let vectors = 4 * n + self.input_dim + self.output_dim; // h, Ph, hP, scratch
+        quadratic + weights + vectors
+    }
+
+    /// Number of 36 Kb BRAMs required for `hidden_dim` units.
+    pub fn bram36_required(&self, hidden_dim: usize) -> usize {
+        self.storage_words(hidden_dim).div_ceil(Self::WORDS_PER_BRAM36)
+    }
+
+    /// DSP slices: one 32-bit multiplier (3 slices) plus one divider stage.
+    pub fn dsp_required(&self, _hidden_dim: usize) -> usize {
+        4
+    }
+
+    /// Flip-flops: control/state registers plus per-unit pipeline registers.
+    pub fn ff_required(&self, hidden_dim: usize) -> usize {
+        1_100 + 30 * hidden_dim
+    }
+
+    /// LUTs: datapath muxing, address generation and the sequencer.
+    pub fn lut_required(&self, hidden_dim: usize) -> usize {
+        1_400 + 24 * hidden_dim
+    }
+
+    /// Full utilization report for one configuration.
+    pub fn utilization(&self, hidden_dim: usize) -> ResourceUtilization {
+        let bram = self.bram36_required(hidden_dim);
+        let dsp = self.dsp_required(hidden_dim);
+        let ff = self.ff_required(hidden_dim);
+        let lut = self.lut_required(hidden_dim);
+        let pct = |used: usize, budget: usize| 100.0 * used as f64 / budget as f64;
+        let bram_pct = pct(bram, self.device.bram36);
+        let dsp_pct = pct(dsp, self.device.dsp);
+        let ff_pct = pct(ff, self.device.ff);
+        let lut_pct = pct(lut, self.device.lut);
+        ResourceUtilization {
+            hidden_dim,
+            bram36_used: bram,
+            bram_pct,
+            dsp_pct,
+            ff_pct,
+            lut_pct,
+            fits: bram_pct <= 100.0 && dsp_pct <= 100.0 && ff_pct <= 100.0 && lut_pct <= 100.0,
+        }
+    }
+
+    /// The largest hidden width (among multiples of 32) that fits the device.
+    pub fn max_hidden_dim(&self, candidates: &[usize]) -> Option<usize> {
+        candidates.iter().copied().filter(|&n| self.utilization(n).fits).max()
+    }
+
+    /// Generate the Table 3 sweep (32 … 256 hidden units).
+    pub fn table3(&self) -> Vec<ResourceUtilization> {
+        [32, 64, 128, 192, 256].iter().map(|&n| self.utilization(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_budget_is_the_xc7z020() {
+        assert_eq!(XC7Z020.bram36, 140);
+        assert_eq!(XC7Z020.dsp, 220);
+        assert_eq!(XC7Z020.ff, 106_400);
+        assert_eq!(XC7Z020.lut, 53_200);
+    }
+
+    #[test]
+    fn bram_grows_quadratically() {
+        let m = ResourceModel::pynq_z1();
+        let b32 = m.bram36_required(32);
+        let b64 = m.bram36_required(64);
+        let b128 = m.bram36_required(128);
+        assert!(b64 >= 3 * b32, "doubling Ñ should ~quadruple BRAM: {b32} -> {b64}");
+        assert!(b128 >= 3 * b64);
+    }
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        // The qualitative claims of Table 3: utilization rises steeply with Ñ,
+        // BRAM is the limiting resource, 192 units fit, 256 do not, and the
+        // non-BRAM resources stay comfortably low.
+        let m = ResourceModel::pynq_z1();
+        let rows = m.table3();
+        assert_eq!(rows.len(), 5);
+        let pct: Vec<f64> = rows.iter().map(|r| r.bram_pct).collect();
+        // monotone increasing
+        for w in pct.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // within a factor ~2 of the paper's reported percentages
+        let paper = [2.86, 11.43, 45.71, 91.43];
+        for (i, &p) in paper.iter().enumerate() {
+            assert!(
+                pct[i] > p * 0.5 && pct[i] < p * 2.0,
+                "Ñ={}: modelled {:.2}% vs paper {:.2}%",
+                rows[i].hidden_dim,
+                pct[i],
+                p
+            );
+        }
+        // 192 fits, 256 does not
+        assert!(rows[3].fits, "192 units must fit ({:.1}% BRAM)", rows[3].bram_pct);
+        assert!(!rows[4].fits, "256 units must not fit ({:.1}% BRAM)", rows[4].bram_pct);
+        // BRAM is the limiting resource: every other resource stays below 20%.
+        for r in &rows[..4] {
+            assert!(r.dsp_pct < 20.0 && r.ff_pct < 20.0 && r.lut_pct < 20.0);
+            assert!(r.bram_pct >= r.dsp_pct);
+        }
+    }
+
+    #[test]
+    fn max_hidden_dim_is_192_on_pynq() {
+        let m = ResourceModel::pynq_z1();
+        assert_eq!(m.max_hidden_dim(&[32, 64, 128, 192, 256]), Some(192));
+    }
+
+    #[test]
+    fn dsp_usage_is_flat() {
+        let m = ResourceModel::pynq_z1();
+        assert_eq!(m.dsp_required(32), m.dsp_required(256));
+    }
+
+    #[test]
+    fn storage_words_account_for_weights_and_p() {
+        let m = ResourceModel::pynq_z1();
+        let n = 64;
+        let words = m.storage_words(n);
+        assert!(words > 3 * n * n, "P and its working buffers dominate");
+        assert!(words < 5 * n * n, "storage should stay within ~4.5·Ñ²");
+    }
+
+    #[test]
+    fn custom_device_changes_percentages() {
+        let big = DeviceBudget { name: "big", bram36: 1000, dsp: 2000, ff: 1_000_000, lut: 500_000 };
+        let m = ResourceModel::new(big, 5, 1);
+        assert!(m.utilization(256).fits, "a larger device should fit 256 units");
+    }
+}

@@ -1,0 +1,90 @@
+//! The [`Environment`] trait: the minimal Gym-like interface the agents use.
+
+use crate::space::{ActionSpace, ObservationSpace};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// The result of a single environment step.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// Observation after the step.
+    pub observation: Vec<f64>,
+    /// Reward for the transition.
+    pub reward: f64,
+    /// `true` when the episode terminated because of the task's failure or
+    /// success condition (the paper's `dₜ` flag).
+    pub done: bool,
+    /// `true` when the episode ended only because the step limit was reached.
+    pub truncated: bool,
+}
+
+impl StepOutcome {
+    /// `done || truncated` — whether a new episode must be started.
+    pub fn finished(&self) -> bool {
+        self.done || self.truncated
+    }
+}
+
+/// A discrete-action reinforcement-learning environment.
+///
+/// Environments own their state and RNG usage is injected per call so that
+/// every trial in the harness is reproducible from a seed.
+pub trait Environment {
+    /// Human-readable environment name (e.g. `"CartPole-v0"`).
+    fn name(&self) -> &'static str;
+
+    /// Description of the observation vector.
+    fn observation_space(&self) -> ObservationSpace;
+
+    /// Description of the action set.
+    fn action_space(&self) -> ActionSpace;
+
+    /// Number of observation components.
+    fn observation_dim(&self) -> usize {
+        self.observation_space().dim()
+    }
+
+    /// Number of discrete actions.
+    fn num_actions(&self) -> usize {
+        self.action_space().num_actions()
+    }
+
+    /// Maximum steps per episode before truncation.
+    fn max_episode_steps(&self) -> usize;
+
+    /// Reset to a fresh episode and return the initial observation.
+    fn reset(&mut self, rng: &mut SmallRng) -> Vec<f64>;
+
+    /// Advance one step with the given discrete action.
+    ///
+    /// Panics if `action` is out of range or if called on a finished episode
+    /// without an intervening [`Environment::reset`].
+    fn step(&mut self, action: usize, rng: &mut SmallRng) -> StepOutcome;
+
+    /// The return threshold at which the task counts as solved, if the task
+    /// defines one (CartPole-v0: average return ≥ 195 over 100 episodes).
+    fn solved_threshold(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_outcome_finished_logic() {
+        let mut o = StepOutcome {
+            observation: vec![0.0],
+            reward: 1.0,
+            done: false,
+            truncated: false,
+        };
+        assert!(!o.finished());
+        o.done = true;
+        assert!(o.finished());
+        o.done = false;
+        o.truncated = true;
+        assert!(o.finished());
+    }
+}

@@ -1,0 +1,37 @@
+//! # elmrl-gym
+//!
+//! OpenAI-Gym-style classic-control environments implemented from scratch in
+//! Rust.
+//!
+//! The paper evaluates on **CartPole-v0** (Table 2, §4.1). Since the original
+//! environment is Python, this crate re-implements the published classic
+//! control dynamics so the whole reproduction is self-contained and runs on a
+//! single embedded-class core:
+//!
+//! * [`CartPole`] — identical physics constants, Euler integration, reward and
+//!   termination rules as Gym's `CartPole-v0` (200-step cap, solved at an
+//!   average return of 195 over 100 consecutive episodes).
+//! * [`MountainCar`] — `MountainCar-v0`, used for the "other reinforcement
+//!   learning tasks" the paper lists as future work (§5).
+//! * [`Pendulum`] — `Pendulum-v1` with a discretised torque set, likewise an
+//!   extension task.
+//!
+//! All environments implement the [`Environment`] trait; the agents in
+//! `elmrl-core` are written against that trait only.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cartpole;
+pub mod env;
+pub mod episode;
+pub mod mountain_car;
+pub mod pendulum;
+pub mod space;
+
+pub use cartpole::CartPole;
+pub use env::{Environment, StepOutcome};
+pub use episode::{EpisodeStats, MovingAverage};
+pub use mountain_car::MountainCar;
+pub use pendulum::Pendulum;
+pub use space::{ActionSpace, ObservationSpace};

@@ -1,0 +1,222 @@
+//! MountainCar-v0: drive an under-powered car up a hill.
+//!
+//! One of the "other reinforcement learning tasks" the paper lists as future
+//! work for the FPGA design (§5). The dynamics, bounds and reward follow
+//! Gym's `MountainCar-v0`: state `(position, velocity)`, three actions
+//! (push left / no push / push right), reward −1 per step, episode ends when
+//! the car reaches position ≥ 0.5 or after 200 steps.
+
+use crate::env::{Environment, StepOutcome};
+use crate::space::{ActionSpace, ObservationSpace};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The MountainCar-v0 environment.
+#[derive(Clone, Debug)]
+pub struct MountainCar {
+    position: f64,
+    velocity: f64,
+    steps: usize,
+    finished: bool,
+    max_steps: usize,
+}
+
+impl MountainCar {
+    /// Position at which the goal flag sits.
+    pub const GOAL_POSITION: f64 = 0.5;
+    /// Minimum reachable position.
+    pub const MIN_POSITION: f64 = -1.2;
+    /// Maximum reachable position.
+    pub const MAX_POSITION: f64 = 0.6;
+    /// Velocity magnitude cap.
+    pub const MAX_SPEED: f64 = 0.07;
+    /// Force applied by the push actions.
+    pub const FORCE: f64 = 0.001;
+    /// Gravity scale along the track.
+    pub const GRAVITY: f64 = 0.0025;
+
+    /// Create the environment with the standard 200-step cap.
+    pub fn new() -> Self {
+        Self::with_step_limit(200)
+    }
+
+    /// Create the environment with a custom step cap (Gym's registered limit
+    /// for v0 is 200).
+    pub fn with_step_limit(max_steps: usize) -> Self {
+        assert!(max_steps > 0, "step limit must be positive");
+        Self { position: -0.5, velocity: 0.0, steps: 0, finished: true, max_steps }
+    }
+
+    /// Current `(position, velocity)` pair.
+    pub fn state(&self) -> (f64, f64) {
+        (self.position, self.velocity)
+    }
+}
+
+impl Default for MountainCar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Environment for MountainCar {
+    fn name(&self) -> &'static str {
+        "MountainCar-v0"
+    }
+
+    fn observation_space(&self) -> ObservationSpace {
+        ObservationSpace::new(
+            vec![Self::MIN_POSITION, -Self::MAX_SPEED],
+            vec![Self::MAX_POSITION, Self::MAX_SPEED],
+            vec!["position".into(), "velocity".into()],
+        )
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::with_labels(&["push_left", "no_push", "push_right"])
+    }
+
+    fn max_episode_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut SmallRng) -> Vec<f64> {
+        self.position = rng.gen_range(-0.6..-0.4);
+        self.velocity = 0.0;
+        self.steps = 0;
+        self.finished = false;
+        vec![self.position, self.velocity]
+    }
+
+    fn step(&mut self, action: usize, _rng: &mut SmallRng) -> StepOutcome {
+        assert!(action < 3, "MountainCar has 3 actions, got {action}");
+        assert!(!self.finished, "step() called on a finished episode; call reset() first");
+
+        let force = (action as f64 - 1.0) * Self::FORCE;
+        self.velocity += force - Self::GRAVITY * (3.0 * self.position).cos();
+        self.velocity = self.velocity.clamp(-Self::MAX_SPEED, Self::MAX_SPEED);
+        self.position += self.velocity;
+        self.position = self.position.clamp(Self::MIN_POSITION, Self::MAX_POSITION);
+        if self.position <= Self::MIN_POSITION && self.velocity < 0.0 {
+            self.velocity = 0.0;
+        }
+        self.steps += 1;
+
+        let done = self.position >= Self::GOAL_POSITION;
+        let truncated = !done && self.steps >= self.max_steps;
+        self.finished = done || truncated;
+        StepOutcome {
+            observation: vec![self.position, self.velocity],
+            reward: -1.0,
+            done,
+            truncated,
+        }
+    }
+
+    fn solved_threshold(&self) -> Option<f64> {
+        // Gym's historical threshold: average return ≥ −110 over 100 episodes.
+        Some(-110.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn spaces_and_metadata() {
+        let env = MountainCar::new();
+        assert_eq!(env.name(), "MountainCar-v0");
+        assert_eq!(env.observation_dim(), 2);
+        assert_eq!(env.num_actions(), 3);
+        assert_eq!(env.max_episode_steps(), 200);
+        assert_eq!(env.solved_threshold(), Some(-110.0));
+    }
+
+    #[test]
+    fn reset_places_car_in_valley() {
+        let mut env = MountainCar::new();
+        let obs = env.reset(&mut rng(0));
+        assert!(obs[0] >= -0.6 && obs[0] <= -0.4);
+        assert_eq!(obs[1], 0.0);
+    }
+
+    #[test]
+    fn state_stays_within_bounds() {
+        let mut env = MountainCar::new();
+        let mut r = rng(1);
+        env.reset(&mut r);
+        let space = env.observation_space();
+        for i in 0..200 {
+            let out = env.step(i % 3, &mut r);
+            assert!(space.contains(&out.observation), "obs out of bounds: {:?}", out.observation);
+            if out.finished() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn doing_nothing_never_reaches_goal() {
+        let mut env = MountainCar::new();
+        let mut r = rng(2);
+        env.reset(&mut r);
+        let mut last = None;
+        for _ in 0..200 {
+            let out = env.step(1, &mut r);
+            let fin = out.finished();
+            last = Some(out);
+            if fin {
+                break;
+            }
+        }
+        let last = last.unwrap();
+        assert!(last.truncated && !last.done, "idle policy must not solve the task");
+    }
+
+    #[test]
+    fn energy_pumping_policy_reaches_goal() {
+        // Push in the direction of motion — the classical solution.
+        let mut env = MountainCar::with_step_limit(300);
+        let mut r = rng(3);
+        let mut obs = env.reset(&mut r);
+        let mut done = false;
+        for _ in 0..300 {
+            let action = if obs[1] >= 0.0 { 2 } else { 0 };
+            let out = env.step(action, &mut r);
+            obs = out.observation.clone();
+            if out.done {
+                done = true;
+                break;
+            }
+            if out.truncated {
+                break;
+            }
+        }
+        assert!(done, "energy-pumping policy should reach the flag");
+        assert!(env.state().0 >= MountainCar::GOAL_POSITION);
+    }
+
+    #[test]
+    fn reward_is_minus_one_per_step() {
+        let mut env = MountainCar::new();
+        let mut r = rng(4);
+        env.reset(&mut r);
+        assert_eq!(env.step(0, &mut r).reward, -1.0);
+        assert_eq!(env.step(2, &mut r).reward, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 actions")]
+    fn invalid_action_panics() {
+        let mut env = MountainCar::new();
+        let mut r = rng(5);
+        env.reset(&mut r);
+        let _ = env.step(7, &mut r);
+    }
+}

@@ -1,0 +1,236 @@
+//! Pendulum swing-up with a discretised torque set.
+//!
+//! Gym's `Pendulum-v1` has a continuous action (torque in `[-2, 2]`); the
+//! agents in this workspace are discrete-action Q-learners, so the torque is
+//! discretised into a configurable number of evenly spaced levels. This keeps
+//! the environment usable both as a paper-extension task (§5 future work) and
+//! as a stress test with a three-dimensional observation
+//! `(cos θ, sin θ, θ̇)` and dense negative rewards.
+
+use crate::env::{Environment, StepOutcome};
+use crate::space::{ActionSpace, ObservationSpace};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// The Pendulum environment with discretised torques.
+#[derive(Clone, Debug)]
+pub struct Pendulum {
+    theta: f64,
+    theta_dot: f64,
+    steps: usize,
+    finished: bool,
+    num_torques: usize,
+    max_steps: usize,
+}
+
+impl Pendulum {
+    /// Maximum torque magnitude (N·m).
+    pub const MAX_TORQUE: f64 = 2.0;
+    /// Maximum angular speed (rad/s).
+    pub const MAX_SPEED: f64 = 8.0;
+    /// Integration time step (s).
+    pub const DT: f64 = 0.05;
+    /// Gravitational acceleration (m/s²).
+    pub const GRAVITY: f64 = 10.0;
+    /// Pendulum mass (kg).
+    pub const MASS: f64 = 1.0;
+    /// Pendulum length (m).
+    pub const LENGTH: f64 = 1.0;
+
+    /// Standard configuration: 3 torque levels `{-2, 0, +2}`, 200 steps.
+    pub fn new() -> Self {
+        Self::with_config(3, 200)
+    }
+
+    /// Explicit number of torque levels (≥ 2) and step cap.
+    pub fn with_config(num_torques: usize, max_steps: usize) -> Self {
+        assert!(num_torques >= 2, "need at least 2 torque levels");
+        assert!(max_steps > 0, "step limit must be positive");
+        Self { theta: 0.0, theta_dot: 0.0, steps: 0, finished: true, num_torques, max_steps }
+    }
+
+    /// Torque corresponding to a discrete action index.
+    pub fn torque_for_action(&self, action: usize) -> f64 {
+        assert!(action < self.num_torques, "action {action} out of range");
+        let frac = action as f64 / (self.num_torques - 1) as f64;
+        -Self::MAX_TORQUE + 2.0 * Self::MAX_TORQUE * frac
+    }
+
+    /// The raw internal state `(θ, θ̇)`.
+    pub fn state(&self) -> (f64, f64) {
+        (self.theta, self.theta_dot)
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        vec![self.theta.cos(), self.theta.sin(), self.theta_dot]
+    }
+
+    fn angle_normalize(x: f64) -> f64 {
+        ((x + PI).rem_euclid(2.0 * PI)) - PI
+    }
+}
+
+impl Default for Pendulum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Environment for Pendulum {
+    fn name(&self) -> &'static str {
+        "Pendulum-discrete"
+    }
+
+    fn observation_space(&self) -> ObservationSpace {
+        ObservationSpace::new(
+            vec![-1.0, -1.0, -Self::MAX_SPEED],
+            vec![1.0, 1.0, Self::MAX_SPEED],
+            vec!["cos_theta".into(), "sin_theta".into(), "theta_dot".into()],
+        )
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::discrete(self.num_torques)
+    }
+
+    fn max_episode_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut SmallRng) -> Vec<f64> {
+        self.theta = rng.gen_range(-PI..PI);
+        self.theta_dot = rng.gen_range(-1.0..1.0);
+        self.steps = 0;
+        self.finished = false;
+        self.observation()
+    }
+
+    fn step(&mut self, action: usize, _rng: &mut SmallRng) -> StepOutcome {
+        assert!(!self.finished, "step() called on a finished episode; call reset() first");
+        let torque = self.torque_for_action(action);
+
+        let theta_norm = Self::angle_normalize(self.theta);
+        let cost = theta_norm * theta_norm
+            + 0.1 * self.theta_dot * self.theta_dot
+            + 0.001 * torque * torque;
+
+        let g = Self::GRAVITY;
+        let m = Self::MASS;
+        let l = Self::LENGTH;
+        let new_theta_dot = self.theta_dot
+            + (3.0 * g / (2.0 * l) * self.theta.sin() + 3.0 / (m * l * l) * torque) * Self::DT;
+        self.theta_dot = new_theta_dot.clamp(-Self::MAX_SPEED, Self::MAX_SPEED);
+        self.theta += self.theta_dot * Self::DT;
+        self.steps += 1;
+
+        let truncated = self.steps >= self.max_steps;
+        self.finished = truncated;
+        StepOutcome {
+            observation: self.observation(),
+            reward: -cost,
+            done: false,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn metadata_and_torque_mapping() {
+        let env = Pendulum::new();
+        assert_eq!(env.name(), "Pendulum-discrete");
+        assert_eq!(env.observation_dim(), 3);
+        assert_eq!(env.num_actions(), 3);
+        assert_eq!(env.torque_for_action(0), -2.0);
+        assert_eq!(env.torque_for_action(1), 0.0);
+        assert_eq!(env.torque_for_action(2), 2.0);
+        let five = Pendulum::with_config(5, 100);
+        assert_eq!(five.torque_for_action(2), 0.0);
+        assert_eq!(five.torque_for_action(4), 2.0);
+        assert!(env.solved_threshold().is_none());
+    }
+
+    #[test]
+    fn observations_stay_in_bounds() {
+        let mut env = Pendulum::new();
+        let mut r = rng(1);
+        env.reset(&mut r);
+        let space = env.observation_space();
+        for i in 0..200 {
+            let out = env.step(i % 3, &mut r);
+            assert!(space.contains(&out.observation));
+            if out.finished() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn rewards_are_non_positive_and_best_at_upright() {
+        let mut env = Pendulum::new();
+        let mut r = rng(2);
+        env.reset(&mut r);
+        // force to upright, zero velocity, zero torque: cost ≈ 0
+        env.theta = 0.0;
+        env.theta_dot = 0.0;
+        let out = env.step(1, &mut r);
+        assert!(out.reward <= 0.0 && out.reward > -1e-6);
+
+        // hanging down is heavily penalised
+        let mut env2 = Pendulum::new();
+        env2.reset(&mut r);
+        env2.theta = PI;
+        env2.theta_dot = 0.0;
+        let out2 = env2.step(1, &mut r);
+        assert!(out2.reward < -9.0);
+    }
+
+    #[test]
+    fn episode_only_ends_by_truncation() {
+        let mut env = Pendulum::with_config(3, 50);
+        let mut r = rng(3);
+        env.reset(&mut r);
+        let mut count = 0;
+        loop {
+            let out = env.step(0, &mut r);
+            count += 1;
+            if out.finished() {
+                assert!(out.truncated && !out.done);
+                break;
+            }
+        }
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn angle_normalization_wraps() {
+        assert!((Pendulum::angle_normalize(3.0 * PI) - PI).abs() < 1e-9 ||
+                (Pendulum::angle_normalize(3.0 * PI) + PI).abs() < 1e-9);
+        assert!(Pendulum::angle_normalize(0.3).abs() - 0.3 < 1e-12);
+        assert!(Pendulum::angle_normalize(2.0 * PI).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_action_panics() {
+        let mut env = Pendulum::new();
+        let mut r = rng(4);
+        env.reset(&mut r);
+        let _ = env.step(9, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 torque levels")]
+    fn invalid_config_rejected() {
+        let _ = Pendulum::with_config(1, 100);
+    }
+}

@@ -1,0 +1,134 @@
+//! Observation and action space descriptions (Gym's `Box` and `Discrete`).
+
+use serde::{Deserialize, Serialize};
+
+/// A box-shaped continuous observation space with per-component bounds.
+///
+/// Unbounded components (cart velocity, pole tip velocity in Table 2 of the
+/// paper) are represented with `f64::INFINITY` bounds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObservationSpace {
+    /// Lower bound of each component.
+    pub low: Vec<f64>,
+    /// Upper bound of each component.
+    pub high: Vec<f64>,
+    /// Human-readable component names (for reports).
+    pub names: Vec<String>,
+}
+
+impl ObservationSpace {
+    /// Build a space from equal-length bound vectors.
+    pub fn new(low: Vec<f64>, high: Vec<f64>, names: Vec<String>) -> Self {
+        assert_eq!(low.len(), high.len(), "bound vectors must have equal length");
+        assert_eq!(low.len(), names.len(), "names must match dimensionality");
+        assert!(
+            low.iter().zip(high.iter()).all(|(l, h)| l <= h),
+            "each low bound must not exceed the high bound"
+        );
+        Self { low, high, names }
+    }
+
+    /// Number of observation components.
+    pub fn dim(&self) -> usize {
+        self.low.len()
+    }
+
+    /// `true` when `obs` lies inside the (possibly infinite) bounds.
+    pub fn contains(&self, obs: &[f64]) -> bool {
+        obs.len() == self.dim()
+            && obs
+                .iter()
+                .zip(self.low.iter().zip(self.high.iter()))
+                .all(|(&v, (&l, &h))| v >= l && v <= h)
+    }
+
+    /// Clamp an observation into the bounds (used when feeding fixed-point
+    /// networks whose representable range is finite).
+    pub fn clamp(&self, obs: &[f64]) -> Vec<f64> {
+        obs.iter()
+            .zip(self.low.iter().zip(self.high.iter()))
+            .map(|(&v, (&l, &h))| v.max(l).min(h))
+            .collect()
+    }
+}
+
+/// A finite set of discrete actions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ActionSpace {
+    /// Number of discrete actions.
+    pub n: usize,
+    /// Optional human-readable action labels.
+    pub labels: Vec<String>,
+}
+
+impl ActionSpace {
+    /// A discrete action space of size `n` with generic labels.
+    pub fn discrete(n: usize) -> Self {
+        assert!(n > 0, "action space must have at least one action");
+        Self { n, labels: (0..n).map(|i| format!("action_{i}")).collect() }
+    }
+
+    /// A discrete action space with explicit labels.
+    pub fn with_labels(labels: &[&str]) -> Self {
+        assert!(!labels.is_empty(), "action space must have at least one action");
+        Self { n: labels.len(), labels: labels.iter().map(|s| s.to_string()).collect() }
+    }
+
+    /// Number of actions.
+    pub fn num_actions(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when `action` is a valid index.
+    pub fn contains(&self, action: usize) -> bool {
+        action < self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_space_contains_and_clamp() {
+        let space = ObservationSpace::new(
+            vec![-1.0, f64::NEG_INFINITY],
+            vec![1.0, f64::INFINITY],
+            vec!["a".into(), "b".into()],
+        );
+        assert_eq!(space.dim(), 2);
+        assert!(space.contains(&[0.0, 1e9]));
+        assert!(!space.contains(&[2.0, 0.0]));
+        assert!(!space.contains(&[0.0]));
+        assert_eq!(space.clamp(&[5.0, -3.0]), vec![1.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_bounds_rejected() {
+        let _ = ObservationSpace::new(vec![0.0], vec![1.0, 2.0], vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn inverted_bounds_rejected() {
+        let _ = ObservationSpace::new(vec![2.0], vec![1.0], vec!["a".into()]);
+    }
+
+    #[test]
+    fn action_space_basics() {
+        let a = ActionSpace::discrete(3);
+        assert_eq!(a.num_actions(), 3);
+        assert!(a.contains(2));
+        assert!(!a.contains(3));
+        let b = ActionSpace::with_labels(&["left", "right"]);
+        assert_eq!(b.num_actions(), 2);
+        assert_eq!(b.labels[0], "left");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one action")]
+    fn empty_action_space_rejected() {
+        let _ = ActionSpace::discrete(0);
+    }
+}

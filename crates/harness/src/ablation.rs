@@ -1,0 +1,189 @@
+//! Design-choice ablations (DESIGN.md experiments A1 and A2).
+//!
+//! * **A1 — stabilisation techniques**: OS-ELM-L2-Lipschitz with Q-value
+//!   clipping and/or the random-update rule disabled, quantifying how much
+//!   each §3 technique contributes.
+//! * **A2 — fixed-point precision**: quantisation error of an OS-ELM update
+//!   pipeline at Q8/Q16/Q20/Q24 against the `f64` reference, justifying the
+//!   paper's choice of Q20.
+
+use elmrl_core::oselm_qnet::{OsElmQNet, OsElmQNetConfig};
+use elmrl_core::reward::RewardShaping;
+use elmrl_core::trainer::{Trainer, TrainerConfig};
+use elmrl_fixed::analysis::{quantization_report, QuantizationReport};
+use elmrl_gym::CartPole;
+use elmrl_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One A1 configuration and its outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StabilisationAblationRow {
+    /// Whether Q-value clipping was enabled.
+    pub clipping: bool,
+    /// Whether the random-update rule gated sequential training.
+    pub random_update: bool,
+    /// Whether the trial solved the task within the budget.
+    pub solved: bool,
+    /// Episodes run.
+    pub episodes_run: usize,
+    /// Final 100-episode average return.
+    pub final_average: f64,
+    /// Number of sequential updates performed.
+    pub seq_train_count: u64,
+}
+
+/// Run the A1 ablation: the four combinations of {clipping, random update}
+/// on OS-ELM-L2-Lipschitz at the given hidden size.
+pub fn stabilisation_ablation(
+    hidden_dim: usize,
+    max_episodes: usize,
+    seed: u64,
+) -> Vec<StabilisationAblationRow> {
+    let mut rows = Vec::new();
+    for &clipping in &[true, false] {
+        for &random_update in &[true, false] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut config = OsElmQNetConfig::cartpole(hidden_dim, 0.5, true);
+            config.target.clip = clipping;
+            config.random_update = random_update;
+            let mut agent = OsElmQNet::new(config, &mut rng);
+            let mut env = CartPole::new();
+            let trainer = Trainer::new(TrainerConfig {
+                max_episodes,
+                reward_shaping: RewardShaping::SurvivalSigned,
+                ..TrainerConfig::default()
+            });
+            let result = trainer.run(&mut agent, &mut env, &mut rng);
+            rows.push(StabilisationAblationRow {
+                clipping,
+                random_update,
+                solved: result.solved,
+                episodes_run: result.episodes_run,
+                final_average: result.stats.current_average().unwrap_or(0.0),
+                seq_train_count: result
+                    .op_counts
+                    .count(elmrl_core::ops::OpKind::SeqTrain),
+            });
+        }
+    }
+    rows
+}
+
+/// One A2 precision row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PrecisionAblationRow {
+    /// Number of fractional bits of the format.
+    pub frac_bits: u32,
+    /// Quantisation report of a representative OS-ELM `P` matrix.
+    pub p_matrix_report: QuantizationReport,
+    /// Quantisation report of a representative `β` matrix.
+    pub beta_report: QuantizationReport,
+}
+
+/// Run the A2 precision ablation on a representative trained OS-ELM state.
+pub fn precision_ablation(hidden_dim: usize, seed: u64) -> Vec<PrecisionAblationRow> {
+    // Produce a representative trained state by running a short CartPole
+    // session with the float agent, then quantising its P and β.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut agent = OsElmQNet::new(OsElmQNetConfig::cartpole(hidden_dim, 0.5, true), &mut rng);
+    let mut env = CartPole::new();
+    let trainer = Trainer::new(TrainerConfig {
+        max_episodes: 30,
+        stop_when_solved: false,
+        ..TrainerConfig::default()
+    });
+    let _ = trainer.run(&mut agent, &mut env, &mut rng);
+    let beta: Matrix<f64> = agent.online().model().beta().clone();
+    let p: Matrix<f64> = agent
+        .online()
+        .p_matrix()
+        .cloned()
+        .unwrap_or_else(|| Matrix::identity(hidden_dim));
+
+    vec![
+        row::<8>(&p, &beta),
+        row::<16>(&p, &beta),
+        row::<20>(&p, &beta),
+        row::<24>(&p, &beta),
+    ]
+}
+
+fn row<const FRAC: u32>(p: &Matrix<f64>, beta: &Matrix<f64>) -> PrecisionAblationRow {
+    PrecisionAblationRow {
+        frac_bits: FRAC,
+        p_matrix_report: quantization_report::<FRAC>(p),
+        beta_report: quantization_report::<FRAC>(beta),
+    }
+}
+
+/// Markdown rendering of both ablations.
+pub fn to_markdown(a1: &[StabilisationAblationRow], a2: &[PrecisionAblationRow]) -> String {
+    let mut out = String::from("## A1 — stabilisation techniques (OS-ELM-L2-Lipschitz)\n\n");
+    let rows: Vec<Vec<String>> = a1
+        .iter()
+        .map(|r| {
+            vec![
+                r.clipping.to_string(),
+                r.random_update.to_string(),
+                r.solved.to_string(),
+                r.episodes_run.to_string(),
+                format!("{:.1}", r.final_average),
+                r.seq_train_count.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::report::markdown_table(
+        &["clipping", "random update", "solved", "episodes", "final avg", "seq_train calls"],
+        &rows,
+    ));
+    out.push_str("\n## A2 — fixed-point precision\n\n");
+    let rows: Vec<Vec<String>> = a2
+        .iter()
+        .map(|r| {
+            vec![
+                format!("Q{}", r.frac_bits),
+                format!("{:.2e}", r.p_matrix_report.rms_error),
+                format!("{:.2e}", r.beta_report.rms_error),
+                r.p_matrix_report.saturated_elements.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::report::markdown_table(
+        &["format", "P RMS error", "β RMS error", "saturated elements"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stabilisation_ablation_covers_all_four_combinations() {
+        let rows = stabilisation_ablation(8, 3, 5);
+        assert_eq!(rows.len(), 4);
+        let combos: Vec<(bool, bool)> =
+            rows.iter().map(|r| (r.clipping, r.random_update)).collect();
+        assert!(combos.contains(&(true, true)));
+        assert!(combos.contains(&(false, false)));
+        // disabling the random-update gate must produce at least as many
+        // sequential updates as keeping it (probability 0.5)
+        let gated = rows.iter().find(|r| r.clipping && r.random_update).unwrap();
+        let ungated = rows.iter().find(|r| r.clipping && !r.random_update).unwrap();
+        assert!(ungated.seq_train_count >= gated.seq_train_count);
+    }
+
+    #[test]
+    fn precision_ablation_error_decreases_with_more_bits() {
+        let rows = precision_ablation(8, 6);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].beta_report.rms_error >= rows[2].beta_report.rms_error);
+        assert!(rows[1].p_matrix_report.rms_error >= rows[3].p_matrix_report.rms_error);
+        let md = to_markdown(&stabilisation_ablation(8, 2, 1), &rows);
+        assert!(md.contains("Q20"));
+        assert!(md.contains("random update"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Run the DESIGN.md ablations (A1 stabilisation techniques, A2 precision).
+//!
+//! Scale knobs: `ELMRL_HIDDEN_ONE` (default 64), `ELMRL_EPISODES` (default 600),
+//! `ELMRL_SEED`.
+use elmrl_harness::{ablation, env_usize, report};
+
+fn main() {
+    let hidden = env_usize("ELMRL_HIDDEN_ONE", 64);
+    let episodes = env_usize("ELMRL_EPISODES", 600);
+    let seed = env_usize("ELMRL_SEED", 42) as u64;
+    eprintln!("ablations at hidden = {hidden}, {episodes} episodes");
+    let a1 = ablation::stabilisation_ablation(hidden, episodes, seed);
+    let a2 = ablation::precision_ablation(hidden, seed);
+    let md = ablation::to_markdown(&a1, &a2);
+    println!("# Ablations\n\n{md}");
+    let dir = report::default_results_dir();
+    report::write_json(&dir, "ablation_a1.json", &a1).expect("write ablation_a1.json");
+    report::write_json(&dir, "ablation_a2.json", &a2).expect("write ablation_a2.json");
+    report::write_text(&dir, "ablation.md", &md).expect("write ablation.md");
+    eprintln!("wrote {}/ablation.{{md,json}}", dir.display());
+}

@@ -1,0 +1,18 @@
+//! Regenerate Figure 4 (training curves of the six software designs).
+//!
+//! Scale knobs: `ELMRL_HIDDEN` (default "32,64"), `ELMRL_EPISODES` (default 600),
+//! `ELMRL_SEED`.
+use elmrl_harness::{env_hidden_sizes, env_usize, fig4, report};
+
+fn main() {
+    let hidden = env_hidden_sizes(&[32, 64]);
+    let episodes = env_usize("ELMRL_EPISODES", 600);
+    let seed = env_usize("ELMRL_SEED", 42) as u64;
+    eprintln!("figure 4: hidden sizes {hidden:?}, {episodes} episodes per curve");
+    let fig = fig4::generate(&hidden, episodes, seed);
+    println!("# Figure 4 — training curves\n\n{}", fig4::to_markdown_summary(&fig));
+    let dir = report::default_results_dir();
+    report::write_json(&dir, "fig4.json", &fig).expect("write fig4.json");
+    report::write_text(&dir, "fig4.csv", &fig4::to_csv(&fig)).expect("write fig4.csv");
+    eprintln!("wrote {}/fig4.{{json,csv}}", dir.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerate Table 3 (FPGA resource utilization of the OS-ELM core).
+use elmrl_harness::{report, table3};
+
+fn main() {
+    let table = table3::generate();
+    let md = table3::to_markdown(&table);
+    println!("# Table 3 — FPGA resource utilization (xc7z020)\n\n{md}");
+    let dir = report::default_results_dir();
+    report::write_json(&dir, "table3.json", &table).expect("write table3.json");
+    report::write_text(&dir, "table3.md", &md).expect("write table3.md");
+    eprintln!("wrote {}/table3.{{json,md}}", dir.display());
+}

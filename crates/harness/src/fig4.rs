@@ -1,0 +1,129 @@
+//! Experiment E2 — Figure 4: training curves of the six software designs.
+//!
+//! For every (design, hidden size) cell the paper plots the per-episode
+//! number of surviving steps (light line) and its 100-episode moving average
+//! (dark line). This module runs one representative trial per cell (the paper
+//! likewise "picks up a representative result") for a configurable number of
+//! episodes without early stopping and exports both series.
+
+use crate::runner::{run_trials, TrialResult, TrialSpec};
+use elmrl_core::designs::Design;
+use serde::{Deserialize, Serialize};
+
+/// One training curve: the data behind one line pair of Figure 4.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Curve {
+    /// Design label.
+    pub design: String,
+    /// Hidden width.
+    pub hidden_dim: usize,
+    /// Per-episode returns (steps survived).
+    pub returns: Vec<f64>,
+    /// 100-episode moving average.
+    pub moving_average: Vec<f64>,
+    /// Episode at which the solve criterion fired, if it did.
+    pub solved_at_episode: Option<usize>,
+}
+
+impl From<&TrialResult> for Curve {
+    fn from(r: &TrialResult) -> Self {
+        Curve {
+            design: r.training.design.clone(),
+            hidden_dim: r.training.hidden_dim,
+            returns: r.training.stats.returns.clone(),
+            moving_average: r.training.stats.moving_averages.clone(),
+            solved_at_episode: r.training.solved_at_episode,
+        }
+    }
+}
+
+/// The full Figure 4 reproduction: one curve per (design, hidden size).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure4 {
+    /// All curves, in design-major order.
+    pub curves: Vec<Curve>,
+    /// Episode budget used per curve.
+    pub episodes: usize,
+}
+
+/// Generate Figure 4 curves for the given hidden sizes and episode budget,
+/// using one seed per cell.
+pub fn generate(hidden_sizes: &[usize], episodes: usize, seed: u64) -> Figure4 {
+    let specs: Vec<TrialSpec> = hidden_sizes
+        .iter()
+        .flat_map(|&h| {
+            Design::software_designs().into_iter().map(move |d| {
+                TrialSpec::new(d, h, seed ^ (h as u64) << 8 ^ design_salt(d))
+                    .with_max_episodes(episodes)
+                    .collect_full_curve()
+            })
+        })
+        .collect();
+    let results = run_trials(&specs);
+    Figure4 { curves: results.iter().map(Curve::from).collect(), episodes }
+}
+
+fn design_salt(d: Design) -> u64 {
+    Design::all_designs().iter().position(|&x| x == d).unwrap_or(0) as u64
+}
+
+/// CSV rows: `design,hidden,episode,return,moving_average`.
+pub fn to_csv(fig: &Figure4) -> String {
+    let mut rows = Vec::new();
+    for c in &fig.curves {
+        for (i, (&ret, &avg)) in c.returns.iter().zip(c.moving_average.iter()).enumerate() {
+            rows.push(vec![
+                c.design.clone(),
+                c.hidden_dim.to_string(),
+                i.to_string(),
+                format!("{ret}"),
+                format!("{avg:.2}"),
+            ]);
+        }
+    }
+    crate::report::csv_table(&["design", "hidden", "episode", "return", "moving_average"], &rows)
+}
+
+/// A compact Markdown summary of the final moving average per cell (the
+/// quantity the paper's prose discusses: which designs "acquire correct
+/// actions").
+pub fn to_markdown_summary(fig: &Figure4) -> String {
+    let rows: Vec<Vec<String>> = fig
+        .curves
+        .iter()
+        .map(|c| {
+            vec![
+                c.design.clone(),
+                c.hidden_dim.to_string(),
+                format!("{:.1}", c.moving_average.last().copied().unwrap_or(0.0)),
+                format!("{:.0}", c.returns.iter().copied().fold(0.0_f64, f64::max)),
+                c.solved_at_episode.map(|e| e.to_string()).unwrap_or_else(|| "—".into()),
+            ]
+        })
+        .collect();
+    crate::report::markdown_table(
+        &["design", "hidden", "final 100-ep avg", "best episode", "solved at episode"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_figure4_produces_all_cells() {
+        let fig = generate(&[8], 3, 7);
+        assert_eq!(fig.curves.len(), 6);
+        for c in &fig.curves {
+            assert_eq!(c.returns.len(), 3);
+            assert_eq!(c.moving_average.len(), 3);
+            assert_eq!(c.hidden_dim, 8);
+        }
+        let csv = to_csv(&fig);
+        assert_eq!(csv.lines().count(), 1 + 6 * 3);
+        let md = to_markdown_summary(&fig);
+        assert!(md.contains("OS-ELM-L2-Lipschitz"));
+        assert!(md.contains("DQN"));
+    }
+}

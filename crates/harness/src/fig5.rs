@@ -1,0 +1,164 @@
+//! Experiment E3 — Figure 5: execution time to complete CartPole-v0, and the
+//! §4.4 speedup table (E5).
+//!
+//! Every (design, hidden size) cell is run for several seeded trials; the
+//! reported number is the mean modeled on-device seconds over the trials that
+//! completed the task, broken down per operation class exactly as in the
+//! paper's stacked bars. Speedups are quoted relative to the DQN baseline at
+//! the same hidden size.
+
+use crate::runner::{run_trials, summarize_cell, CellSummary, TrialSpec};
+use elmrl_core::designs::Design;
+use serde::{Deserialize, Serialize};
+
+/// The Figure 5 reproduction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure5 {
+    /// One summary per (design, hidden size) cell.
+    pub cells: Vec<CellSummary>,
+    /// Speedup of each non-DQN design relative to DQN at equal hidden size.
+    pub speedups_vs_dqn: Vec<SpeedupRow>,
+    /// Trials attempted per cell.
+    pub trials_per_cell: usize,
+    /// Episode budget per trial.
+    pub max_episodes: usize,
+}
+
+/// One row of the speedup table (E5).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// Design label.
+    pub design: String,
+    /// Hidden width.
+    pub hidden_dim: usize,
+    /// Mean modeled completion seconds for the design.
+    pub seconds: Option<f64>,
+    /// Mean modeled completion seconds for DQN at the same width.
+    pub dqn_seconds: Option<f64>,
+    /// `dqn_seconds / seconds` when both are available.
+    pub speedup: Option<f64>,
+}
+
+/// Generate the Figure 5 sweep.
+pub fn generate(
+    hidden_sizes: &[usize],
+    designs: &[Design],
+    trials_per_cell: usize,
+    max_episodes: usize,
+    seed: u64,
+) -> Figure5 {
+    let mut cells = Vec::new();
+    for &h in hidden_sizes {
+        for &d in designs {
+            let specs: Vec<TrialSpec> = (0..trials_per_cell)
+                .map(|t| {
+                    TrialSpec::new(d, h, seed ^ ((h as u64) << 16) ^ ((t as u64) << 4))
+                        .with_max_episodes(max_episodes)
+                })
+                .collect();
+            let results = run_trials(&specs);
+            cells.push(summarize_cell(d, h, &results));
+        }
+    }
+
+    let speedups = cells
+        .iter()
+        .filter(|c| c.design != Design::Dqn)
+        .map(|c| {
+            let dqn = cells
+                .iter()
+                .find(|x| x.design == Design::Dqn && x.hidden_dim == c.hidden_dim)
+                .and_then(|x| x.mean_time_to_complete);
+            let speedup = match (dqn, c.mean_time_to_complete) {
+                (Some(d), Some(s)) if s > 0.0 => Some(d / s),
+                _ => None,
+            };
+            SpeedupRow {
+                design: c.design.label().to_string(),
+                hidden_dim: c.hidden_dim,
+                seconds: c.mean_time_to_complete,
+                dqn_seconds: dqn,
+                speedup,
+            }
+        })
+        .collect();
+
+    Figure5 { cells, speedups_vs_dqn: speedups, trials_per_cell, max_episodes }
+}
+
+/// Markdown rendering of the per-cell completion times with the operation
+/// breakdown (the stacked-bar contents).
+pub fn to_markdown(fig: &Figure5) -> String {
+    let rows: Vec<Vec<String>> = fig
+        .cells
+        .iter()
+        .map(|c| {
+            let breakdown = c
+                .mean_per_op_seconds
+                .iter()
+                .map(|(k, v)| format!("{k}={v:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            vec![
+                c.design.label().to_string(),
+                c.hidden_dim.to_string(),
+                format!("{}/{}", c.solved_trials, c.trials),
+                crate::report::fmt_opt(c.mean_time_to_complete),
+                crate::report::fmt_opt(c.mean_wall_seconds),
+                crate::report::fmt_opt(c.mean_episodes_to_solve),
+                breakdown,
+            ]
+        })
+        .collect();
+    crate::report::markdown_table(
+        &[
+            "design",
+            "hidden",
+            "solved",
+            "modeled s to complete",
+            "host wall s",
+            "episodes",
+            "per-op breakdown (modeled s)",
+        ],
+        &rows,
+    )
+}
+
+/// Markdown rendering of the speedup table.
+pub fn speedups_to_markdown(fig: &Figure5) -> String {
+    let rows: Vec<Vec<String>> = fig
+        .speedups_vs_dqn
+        .iter()
+        .map(|s| {
+            vec![
+                s.design.clone(),
+                s.hidden_dim.to_string(),
+                crate::report::fmt_opt(s.seconds),
+                crate::report::fmt_opt(s.dqn_seconds),
+                s.speedup.map(|v| format!("{v:.2}x")).unwrap_or_else(|| "—".into()),
+            ]
+        })
+        .collect();
+    crate::report::markdown_table(
+        &["design", "hidden", "modeled s", "DQN modeled s", "speedup vs DQN"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_cells_and_speedup_rows() {
+        let designs = [Design::OsElmL2Lipschitz, Design::Dqn, Design::Fpga];
+        let fig = generate(&[8], &designs, 1, 3, 11);
+        assert_eq!(fig.cells.len(), 3);
+        assert_eq!(fig.speedups_vs_dqn.len(), 2);
+        let md = to_markdown(&fig);
+        assert!(md.contains("FPGA"));
+        assert!(md.contains("DQN"));
+        let sp = speedups_to_markdown(&fig);
+        assert!(sp.contains("speedup vs DQN"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Experiment E4 — Figure 6: execution-time detail of the FPGA design.
+//!
+//! The paper zooms into the FPGA bars of Figure 5: how much of the (much
+//! shorter) completion time goes to `seq_train`, `predict_seq`, `init_train`
+//! and `predict_init`. Here the numbers come from the cycle-accurate core
+//! simulation (PL cycles at 125 MHz) plus the modeled Cortex-A9 cost of the
+//! initial training, averaged over the trials that completed the task.
+
+use crate::runner::{run_trials, TrialSpec};
+use elmrl_core::designs::Design;
+use elmrl_core::ops::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Per-hidden-size FPGA timing detail.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FpgaDetail {
+    /// Hidden width.
+    pub hidden_dim: usize,
+    /// Trials attempted / solved.
+    pub trials: usize,
+    /// Number of solved trials.
+    pub solved_trials: usize,
+    /// Mean simulated PL seconds in the predict module.
+    pub predict_seconds: Option<f64>,
+    /// Mean simulated PL seconds in the seq_train module.
+    pub seq_train_seconds: Option<f64>,
+    /// Mean simulated CPU seconds in the initial training.
+    pub init_train_seconds: Option<f64>,
+    /// Mean total simulated on-device seconds.
+    pub total_seconds: Option<f64>,
+    /// Mean number of sequential-training invocations.
+    pub mean_seq_train_calls: Option<f64>,
+}
+
+/// The Figure 6 reproduction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure6 {
+    /// One row per hidden size.
+    pub rows: Vec<FpgaDetail>,
+}
+
+/// Generate the Figure 6 detail for the given hidden sizes.
+pub fn generate(hidden_sizes: &[usize], trials: usize, max_episodes: usize, seed: u64) -> Figure6 {
+    let mut rows = Vec::new();
+    for &h in hidden_sizes {
+        let specs: Vec<TrialSpec> = (0..trials)
+            .map(|t| {
+                TrialSpec::new(Design::Fpga, h, seed ^ ((h as u64) << 20) ^ t as u64)
+                    .with_max_episodes(max_episodes)
+            })
+            .collect();
+        let results = run_trials(&specs);
+        let solved: Vec<_> = results.iter().filter(|r| r.training.solved).collect();
+        let mean = |f: &dyn Fn(&&crate::runner::TrialResult) -> f64| {
+            if solved.is_empty() {
+                None
+            } else {
+                Some(solved.iter().map(f).sum::<f64>() / solved.len() as f64)
+            }
+        };
+        rows.push(FpgaDetail {
+            hidden_dim: h,
+            trials: results.len(),
+            solved_trials: solved.len(),
+            predict_seconds: mean(&|r| r.fpga_simulated_seconds.map(|b| b.0).unwrap_or(0.0)),
+            seq_train_seconds: mean(&|r| r.fpga_simulated_seconds.map(|b| b.1).unwrap_or(0.0)),
+            init_train_seconds: mean(&|r| r.fpga_simulated_seconds.map(|b| b.2).unwrap_or(0.0)),
+            total_seconds: mean(&|r| {
+                r.fpga_simulated_seconds.map(|b| b.0 + b.1 + b.2).unwrap_or(0.0)
+            }),
+            mean_seq_train_calls: mean(&|r| r.training.op_counts.count(OpKind::SeqTrain) as f64),
+        });
+    }
+    Figure6 { rows }
+}
+
+/// Markdown rendering.
+pub fn to_markdown(fig: &Figure6) -> String {
+    let rows: Vec<Vec<String>> = fig
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.hidden_dim.to_string(),
+                format!("{}/{}", r.solved_trials, r.trials),
+                crate::report::fmt_opt(r.seq_train_seconds),
+                crate::report::fmt_opt(r.predict_seconds),
+                crate::report::fmt_opt(r.init_train_seconds),
+                crate::report::fmt_opt(r.total_seconds),
+                crate::report::fmt_opt(r.mean_seq_train_calls),
+            ]
+        })
+        .collect();
+    crate::report::markdown_table(
+        &[
+            "hidden",
+            "solved",
+            "seq_train s (PL)",
+            "predict s (PL)",
+            "init_train s (CPU)",
+            "total s",
+            "seq_train calls",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fig6_has_expected_structure() {
+        let fig = generate(&[8], 1, 3, 13);
+        assert_eq!(fig.rows.len(), 1);
+        let r = &fig.rows[0];
+        assert_eq!(r.hidden_dim, 8);
+        assert_eq!(r.trials, 1);
+        let md = to_markdown(&fig);
+        assert!(md.contains("seq_train s (PL)"));
+        assert!(md.contains("| 8 |"));
+    }
+}

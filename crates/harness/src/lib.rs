@@ -1,0 +1,66 @@
+//! # elmrl-harness
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§4):
+//!
+//! * [`table3`] — FPGA resource utilization of the OS-ELM core (Table 3);
+//! * [`fig4`] — training curves of the six software designs over the
+//!   32/64/128/192 hidden-unit sweep (Figure 4);
+//! * [`fig5`] — execution time to complete CartPole-v0 for all seven designs,
+//!   with the per-operation breakdown and the DQN-relative speedups quoted in
+//!   §4.4 (Figure 5);
+//! * [`fig6`] — the FPGA design's execution-time detail (Figure 6);
+//! * [`ablation`] — the design-choice ablations called out in DESIGN.md
+//!   (Q-value clipping, random update, fixed-point precision);
+//! * [`timing`] — the Cortex-A9 / 125 MHz-PL cost model that converts
+//!   operation counts into modeled on-device seconds;
+//! * [`runner`] — seeded, rayon-parallel trial execution shared by all of the
+//!   above;
+//! * [`report`] — Markdown/CSV/JSON emitters used by the CLI binaries.
+//!
+//! Each binary (`table3`, `fig4`, `fig5`, `fig6`, `ablation`) accepts scale
+//! knobs through environment variables (`ELMRL_TRIALS`, `ELMRL_EPISODES`,
+//! `ELMRL_HIDDEN`) so the same code path serves both a quick smoke run and
+//! the full paper protocol.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod report;
+pub mod runner;
+pub mod table3;
+pub mod timing;
+
+pub use runner::{TrialResult, TrialSpec};
+pub use timing::CostModel;
+
+/// Read a `usize` scale knob from the environment, with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Read a comma-separated list of hidden sizes from the environment.
+pub fn env_hidden_sizes(default: &[usize]) -> Vec<usize> {
+    match std::env::var("ELMRL_HIDDEN") {
+        Ok(v) => v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect::<Vec<usize>>(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_helpers_fall_back_to_defaults() {
+        assert_eq!(env_usize("ELMRL_DOES_NOT_EXIST", 7), 7);
+        assert_eq!(env_hidden_sizes(&[32, 64]), vec![32, 64]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Markdown / CSV / JSON emitters shared by the CLI binaries.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Render a Markdown table from a header row and data rows.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Render rows as CSV with a header line.
+pub fn csv_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", headers.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+/// Format a float with sensible precision for reports (3 significant-ish
+/// decimals, `-` for missing values).
+pub fn fmt_opt(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Write a serialisable value as pretty JSON under `results/`.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    fs::write(dir.join(name), json)
+}
+
+/// Write a text artefact (Markdown or CSV) under `results/`.
+pub fn write_text(dir: &Path, name: &str, content: &str) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(name), content)
+}
+
+/// Default output directory for the CLI binaries.
+pub fn default_results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_rendering() {
+        let rows = vec![vec!["a".into(), "1".into()], vec!["b".into(), "2".into()]];
+        let md = markdown_table(&["name", "value"], &rows);
+        assert!(md.contains("| name | value |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| b | 2 |"));
+        let csv = csv_table(&["name", "value"], &rows);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("name,value"));
+    }
+
+    #[test]
+    fn optional_float_formatting() {
+        assert_eq!(fmt_opt(Some(1.23456)), "1.235");
+        assert_eq!(fmt_opt(None), "-");
+    }
+
+    #[test]
+    fn json_and_text_round_trip_via_tempdir() {
+        let dir = std::env::temp_dir().join(format!("elmrl_report_test_{}", std::process::id()));
+        write_json(&dir, "x.json", &vec![1, 2, 3]).unwrap();
+        write_text(&dir, "x.md", "# hello").unwrap();
+        let json = std::fs::read_to_string(dir.join("x.json")).unwrap();
+        assert!(json.contains('1'));
+        assert_eq!(std::fs::read_to_string(dir.join("x.md")).unwrap(), "# hello");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

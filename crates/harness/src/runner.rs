@@ -1,0 +1,218 @@
+//! Seeded, rayon-parallel trial execution shared by every experiment.
+
+use crate::timing::{CostModel, ModeledTime};
+use elmrl_core::designs::{Design, DesignConfig};
+use elmrl_core::trainer::{Trainer, TrainerConfig, TrainingResult};
+use elmrl_fpga::{FpgaAgent, FpgaAgentConfig};
+use elmrl_gym::CartPole;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One trial specification: which design, at which hidden size, with which
+/// seed and episode protocol.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrialSpec {
+    /// Design under test.
+    pub design: Design,
+    /// Hidden width `Ñ`.
+    pub hidden_dim: usize,
+    /// RNG seed (environment and agent share the stream, as on the device).
+    pub seed: u64,
+    /// Trainer protocol.
+    pub trainer: TrainerConfig,
+}
+
+impl TrialSpec {
+    /// A spec with the default trainer protocol.
+    pub fn new(design: Design, hidden_dim: usize, seed: u64) -> Self {
+        let mut trainer = TrainerConfig::default();
+        // The paper resets only the ELM/OS-ELM designs (§4.3).
+        if design == Design::Dqn {
+            trainer.reset_after_episodes = None;
+        }
+        Self { design, hidden_dim, seed, trainer }
+    }
+
+    /// Override the episode budget.
+    pub fn with_max_episodes(mut self, max_episodes: usize) -> Self {
+        self.trainer.max_episodes = max_episodes;
+        self
+    }
+
+    /// Keep running after the solve criterion fires (full Figure 4 curves).
+    pub fn collect_full_curve(mut self) -> Self {
+        self.trainer.stop_when_solved = false;
+        self
+    }
+}
+
+/// The outcome of one trial, augmented with the on-device cost model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// The spec that produced this result.
+    pub spec: TrialSpec,
+    /// Raw training outcome (curves, op counts, host wall time).
+    pub training: TrainingResult,
+    /// Modeled on-device seconds (CPU for software designs, PL+CPU for FPGA).
+    pub modeled: ModeledTime,
+    /// For the FPGA design: simulated seconds from the cycle-accurate core
+    /// (predict, seq_train, init_train) — `None` for software designs.
+    pub fpga_simulated_seconds: Option<(f64, f64, f64)>,
+}
+
+impl TrialResult {
+    /// The time-to-complete number used in Figure 5: modeled on-device
+    /// seconds when the trial solved, `None` otherwise ("impossible").
+    pub fn time_to_complete(&self) -> Option<f64> {
+        if self.training.solved {
+            Some(self.modeled.total_seconds)
+        } else {
+            None
+        }
+    }
+}
+
+/// Run one trial.
+pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut env = CartPole::new();
+    let trainer = Trainer::new(spec.trainer.clone());
+    let cost = CostModel::cartpole(spec.hidden_dim);
+
+    if spec.design == Design::Fpga {
+        let mut agent = FpgaAgent::new(FpgaAgentConfig::cartpole(spec.hidden_dim), &mut rng);
+        let training = trainer.run(&mut agent, &mut env, &mut rng);
+        let modeled = cost.model_fpga(&training.op_counts);
+        let breakdown = agent.simulated_breakdown_seconds();
+        TrialResult {
+            spec: spec.clone(),
+            modeled,
+            fpga_simulated_seconds: Some(breakdown),
+            training,
+        }
+    } else {
+        let config = DesignConfig::new(spec.hidden_dim);
+        let mut agent = spec.design.build(&config, &mut rng);
+        let training = trainer.run(agent.as_mut(), &mut env, &mut rng);
+        let modeled = cost.model_software(&training.op_counts);
+        TrialResult { spec: spec.clone(), modeled, fpga_simulated_seconds: None, training }
+    }
+}
+
+/// Run a batch of trials in parallel (one rayon task per trial).
+pub fn run_trials(specs: &[TrialSpec]) -> Vec<TrialResult> {
+    specs.par_iter().map(run_trial).collect()
+}
+
+/// Aggregate statistics of one (design, hidden size) cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Design under test.
+    pub design: Design,
+    /// Hidden width.
+    pub hidden_dim: usize,
+    /// Number of trials run.
+    pub trials: usize,
+    /// Number of trials that solved the task.
+    pub solved_trials: usize,
+    /// Mean modeled seconds to complete, over the solved trials.
+    pub mean_time_to_complete: Option<f64>,
+    /// Mean host wall-clock seconds over the solved trials.
+    pub mean_wall_seconds: Option<f64>,
+    /// Mean episodes to solve over the solved trials.
+    pub mean_episodes_to_solve: Option<f64>,
+    /// Mean modeled seconds per operation class, averaged over solved trials.
+    pub mean_per_op_seconds: std::collections::BTreeMap<String, f64>,
+}
+
+/// Summarise a set of trials of the same cell.
+pub fn summarize_cell(design: Design, hidden_dim: usize, results: &[TrialResult]) -> CellSummary {
+    let solved: Vec<&TrialResult> = results.iter().filter(|r| r.training.solved).collect();
+    let mean = |values: Vec<f64>| {
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    };
+    let mut per_op: std::collections::BTreeMap<String, f64> = Default::default();
+    if !solved.is_empty() {
+        for r in &solved {
+            for (k, v) in &r.modeled.per_op_seconds {
+                *per_op.entry(k.clone()).or_insert(0.0) += v;
+            }
+        }
+        for v in per_op.values_mut() {
+            *v /= solved.len() as f64;
+        }
+    }
+    CellSummary {
+        design,
+        hidden_dim,
+        trials: results.len(),
+        solved_trials: solved.len(),
+        mean_time_to_complete: mean(solved.iter().map(|r| r.modeled.total_seconds).collect()),
+        mean_wall_seconds: mean(solved.iter().map(|r| r.training.wall_seconds()).collect()),
+        mean_episodes_to_solve: mean(
+            solved
+                .iter()
+                .filter_map(|r| r.training.solved_at_episode.map(|e| e as f64 + 1.0))
+                .collect(),
+        ),
+        mean_per_op_seconds: per_op,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_spec_disables_resets_for_dqn_only() {
+        assert!(TrialSpec::new(Design::Dqn, 16, 0).trainer.reset_after_episodes.is_none());
+        assert!(TrialSpec::new(Design::OsElmL2, 16, 0).trainer.reset_after_episodes.is_some());
+    }
+
+    #[test]
+    fn software_and_fpga_trials_produce_consistent_results() {
+        let spec_sw = TrialSpec::new(Design::OsElmL2Lipschitz, 8, 3).with_max_episodes(5);
+        let r_sw = run_trial(&spec_sw);
+        assert_eq!(r_sw.training.episodes_run, 5);
+        assert!(r_sw.modeled.total_seconds > 0.0);
+        assert!(r_sw.fpga_simulated_seconds.is_none());
+
+        let spec_hw = TrialSpec::new(Design::Fpga, 8, 3).with_max_episodes(5);
+        let r_hw = run_trial(&spec_hw);
+        assert_eq!(r_hw.training.design, "FPGA");
+        assert!(r_hw.fpga_simulated_seconds.is_some());
+        // FPGA-modeled time must beat the CPU-modeled time for the same design
+        // family at equal hidden size (the op mix is similar).
+        assert!(r_hw.modeled.total_seconds < r_sw.modeled.total_seconds * 2.0);
+    }
+
+    #[test]
+    fn parallel_trials_and_cell_summary() {
+        let specs: Vec<TrialSpec> = (0..3)
+            .map(|s| TrialSpec::new(Design::OsElmL2, 8, s).with_max_episodes(4))
+            .collect();
+        let results = run_trials(&specs);
+        assert_eq!(results.len(), 3);
+        let summary = summarize_cell(Design::OsElmL2, 8, &results);
+        assert_eq!(summary.trials, 3);
+        assert!(summary.solved_trials <= 3);
+        if summary.solved_trials == 0 {
+            assert!(summary.mean_time_to_complete.is_none());
+        }
+    }
+
+    #[test]
+    fn unsolved_trials_report_no_completion_time() {
+        let spec = TrialSpec::new(Design::OsElm, 8, 1).with_max_episodes(2);
+        let r = run_trial(&spec);
+        if !r.training.solved {
+            assert!(r.time_to_complete().is_none());
+        }
+    }
+}

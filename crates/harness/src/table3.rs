@@ -1,0 +1,82 @@
+//! Experiment E1 — Table 3: FPGA resource utilization of the OS-ELM core.
+
+use crate::report::markdown_table;
+use elmrl_fpga::resources::{ResourceModel, ResourceUtilization};
+use serde::{Deserialize, Serialize};
+
+/// The full Table 3 reproduction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table3 {
+    /// One row per hidden size (32 … 256).
+    pub rows: Vec<ResourceUtilization>,
+    /// The paper's reported BRAM percentages, for side-by-side comparison.
+    pub paper_bram_pct: Vec<(usize, Option<f64>)>,
+}
+
+/// Paper-reported BRAM utilization (Table 3); `None` marks the 256-unit row
+/// the paper could not implement.
+pub const PAPER_BRAM_PCT: [(usize, Option<f64>); 5] = [
+    (32, Some(2.86)),
+    (64, Some(11.43)),
+    (128, Some(45.71)),
+    (192, Some(91.43)),
+    (256, None),
+];
+
+/// Generate the Table 3 reproduction from the analytical resource model.
+pub fn generate() -> Table3 {
+    let model = ResourceModel::pynq_z1();
+    Table3 { rows: model.table3(), paper_bram_pct: PAPER_BRAM_PCT.to_vec() }
+}
+
+/// Render the table as Markdown, including the paper's BRAM column.
+pub fn to_markdown(table: &Table3) -> String {
+    let rows: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|r| {
+            let paper = table
+                .paper_bram_pct
+                .iter()
+                .find(|(n, _)| *n == r.hidden_dim)
+                .and_then(|(_, v)| *v);
+            vec![
+                r.hidden_dim.to_string(),
+                if r.fits { format!("{:.2}", r.bram_pct) } else { "does not fit".into() },
+                paper.map(|v| format!("{v:.2}")).unwrap_or_else(|| "—".into()),
+                format!("{:.2}", r.dsp_pct),
+                format!("{:.2}", r.ff_pct),
+                format!("{:.2}", r.lut_pct),
+                if r.fits { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    markdown_table(
+        &["Units", "BRAM % (model)", "BRAM % (paper)", "DSP %", "FF %", "LUT %", "fits"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_five_rows_and_matches_fit_pattern() {
+        let t = generate();
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.rows[..4].iter().all(|r| r.fits));
+        assert!(!t.rows[4].fits);
+    }
+
+    #[test]
+    fn markdown_contains_every_hidden_size_and_paper_column() {
+        let t = generate();
+        let md = to_markdown(&t);
+        for n in [32, 64, 128, 192, 256] {
+            assert!(md.contains(&format!("| {n} |")), "missing row for {n}");
+        }
+        assert!(md.contains("11.43"), "paper BRAM column should be present");
+        assert!(md.contains("does not fit") || md.contains("| no |"));
+    }
+}

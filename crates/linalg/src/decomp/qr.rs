@@ -1,0 +1,207 @@
+//! QR decomposition by Householder reflections.
+//!
+//! `A = Q·R` with `Q` orthogonal (`m×m`) and `R` upper-trapezoidal (`m×n`).
+//! The paper lists QRD next to SVD as the decompositions an ELM batch solve
+//! would need on-device (§2.1); we provide it both as an alternative
+//! pseudo-inverse route for full-column-rank systems and as a building block
+//! for least-squares solves in tests and ablations.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Householder QR factorisation.
+#[derive(Clone, Debug)]
+pub struct Qr<T: Scalar> {
+    q: Matrix<T>,
+    r: Matrix<T>,
+}
+
+impl<T: Scalar> Qr<T> {
+    /// Factorise an `m × n` matrix with `m ≥ n`.
+    pub fn decompose(a: &Matrix<T>) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidData {
+                detail: format!("QR requires rows >= cols, got {m}x{n}"),
+            });
+        }
+        let mut r = a.clone();
+        let mut q = Matrix::<T>::identity(m);
+
+        for k in 0..n.min(m - 1) {
+            // Build the Householder vector for column k below the diagonal.
+            let mut norm_sq = T::zero();
+            for i in k..m {
+                norm_sq += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm <= T::epsilon() {
+                continue; // column already zero below the diagonal
+            }
+            let alpha = if r[(k, k)] >= T::zero() { -norm } else { norm };
+            let mut v = vec![T::zero(); m];
+            v[k] = r[(k, k)] - alpha;
+            for i in (k + 1)..m {
+                v[i] = r[(i, k)];
+            }
+            let mut v_norm_sq = T::zero();
+            for &vi in v.iter().skip(k) {
+                v_norm_sq += vi * vi;
+            }
+            if v_norm_sq <= T::epsilon() {
+                continue;
+            }
+            let two = T::from_f64(2.0);
+
+            // R <- (I - 2 v vᵀ / vᵀv) R
+            for c in k..n {
+                let mut dot = T::zero();
+                for i in k..m {
+                    dot += v[i] * r[(i, c)];
+                }
+                let coeff = two * dot / v_norm_sq;
+                for i in k..m {
+                    let sub = coeff * v[i];
+                    r[(i, c)] -= sub;
+                }
+            }
+            // Q <- Q (I - 2 v vᵀ / vᵀv)
+            for row in 0..m {
+                let mut dot = T::zero();
+                for i in k..m {
+                    dot += q[(row, i)] * v[i];
+                }
+                let coeff = two * dot / v_norm_sq;
+                for i in k..m {
+                    let sub = coeff * v[i];
+                    q[(row, i)] -= sub;
+                }
+            }
+        }
+        // Zero out the numerical noise below the diagonal of R.
+        for i in 0..m {
+            for j in 0..n.min(i) {
+                r[(i, j)] = T::zero();
+            }
+        }
+        Ok(Self { q, r })
+    }
+
+    /// The orthogonal factor `Q` (`m × m`).
+    pub fn q(&self) -> &Matrix<T> {
+        &self.q
+    }
+
+    /// The upper-trapezoidal factor `R` (`m × n`).
+    pub fn r(&self) -> &Matrix<T> {
+        &self.r
+    }
+
+    /// Least-squares solve of `A·x = b` (minimising `‖Ax − b‖₂`) for a
+    /// full-column-rank `A`. `b` must have `m` rows; the result has `n` rows.
+    pub fn solve_least_squares(&self, b: &Matrix<T>) -> Result<Matrix<T>> {
+        let (m, _) = self.q.shape();
+        let n = self.r.cols();
+        if b.rows() != m {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("rhs has {} rows, expected {m}", b.rows()),
+            });
+        }
+        // x = R⁻¹ · (Qᵀ b) restricted to the first n rows.
+        let qtb = self.q.t_matmul(b);
+        let mut x = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            for i in (0..n).rev() {
+                let mut acc = qtb[(i, c)];
+                for j in (i + 1)..n {
+                    acc -= self.r[(i, j)] * x[(j, c)];
+                }
+                let diag = self.r[(i, i)];
+                if diag.abs() <= T::epsilon() {
+                    return Err(LinalgError::Singular);
+                }
+                x[(i, c)] = acc / diag;
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::uniform_matrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn q_is_orthogonal_and_qr_reconstructs() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for (m, n) in [(3, 3), (5, 3), (8, 8), (10, 2)] {
+            let a = uniform_matrix::<f64, _>(m, n, -2.0, 2.0, &mut rng);
+            let qr = Qr::decompose(&a).unwrap();
+            let qtq = qr.q().t_matmul(qr.q());
+            assert!(qtq.max_abs_diff(&Matrix::identity(m)) < 1e-10, "QᵀQ != I for {m}x{n}");
+            let recon = qr.q().matmul(qr.r());
+            assert!(recon.max_abs_diff(&a) < 1e-10, "QR != A for {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let a = uniform_matrix::<f64, _>(6, 4, -1.0, 1.0, &mut rng);
+        let qr = Qr::decompose(&a).unwrap();
+        for i in 0..6 {
+            for j in 0..4.min(i) {
+                assert_eq!(qr.r()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::<f64>::ones(2, 5);
+        assert!(Qr::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let a = uniform_matrix::<f64, _>(20, 5, -1.0, 1.0, &mut rng);
+        let b = uniform_matrix::<f64, _>(20, 2, -1.0, 1.0, &mut rng);
+        let qr = Qr::decompose(&a).unwrap();
+        let x_qr = qr.solve_least_squares(&b).unwrap();
+        // Normal equations: (AᵀA) x = Aᵀ b
+        let gram = a.t_matmul(&a);
+        let rhs = a.t_matmul(&b);
+        let x_ne = crate::decomp::Lu::decompose(&gram).unwrap().solve(&rhs).unwrap();
+        assert!(x_qr.max_abs_diff(&x_ne) < 1e-8);
+    }
+
+    #[test]
+    fn least_squares_exact_for_square_systems() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 3.0]]);
+        let b = Matrix::col_from_slice(&[4.0, 9.0]);
+        let qr = Qr::decompose(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_least_squares_fails_cleanly() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        let qr = Qr::decompose(&a).unwrap();
+        let b = Matrix::<f64>::ones(3, 1);
+        assert!(qr.solve_least_squares(&b).is_err());
+    }
+
+    #[test]
+    fn rhs_shape_check() {
+        let a = Matrix::<f64>::identity(3);
+        let qr = Qr::decompose(&a).unwrap();
+        assert!(qr.solve_least_squares(&Matrix::<f64>::ones(2, 1)).is_err());
+    }
+}

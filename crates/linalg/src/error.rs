@@ -1,0 +1,108 @@
+//! Error type shared by every fallible operation in the crate.
+
+use std::fmt;
+
+/// Convenience alias used throughout `elmrl-linalg`.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by matrix construction, decomposition and solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes (e.g. `matmul` of `m×n` by `p×q`
+    /// with `n != p`). The payload is a human-readable description.
+    ShapeMismatch {
+        /// Description of the two shapes involved and the operation.
+        detail: String,
+    },
+    /// An operation that requires a square matrix was given a rectangular one.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// A matrix was singular (or numerically singular) where an inverse or a
+    /// unique solution was required.
+    Singular,
+    /// Cholesky factorisation was attempted on a matrix that is not positive
+    /// definite (a non-positive pivot was encountered).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// An iterative algorithm (Jacobi SVD, power iteration) failed to converge
+    /// within its sweep budget.
+    NoConvergence {
+        /// Number of iterations/sweeps performed before giving up.
+        iterations: usize,
+    },
+    /// A matrix constructor was given inconsistent data (e.g. ragged rows).
+    InvalidData {
+        /// Description of what was inconsistent.
+        detail: String,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// Row requested.
+        row: usize,
+        /// Column requested.
+        col: usize,
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "iterative algorithm did not converge after {iterations} iterations")
+            }
+            LinalgError::InvalidData { detail } => write!(f, "invalid data: {detail}"),
+            LinalgError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::ShapeMismatch { detail: "2x3 * 4x5".into() };
+        assert!(e.to_string().contains("2x3 * 4x5"));
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+        let e = LinalgError::NotPositiveDefinite { pivot: 4 };
+        assert!(e.to_string().contains("pivot 4"));
+        let e = LinalgError::NoConvergence { iterations: 30 };
+        assert!(e.to_string().contains("30"));
+        let e = LinalgError::IndexOutOfBounds { row: 9, col: 1, rows: 3, cols: 3 };
+        assert!(e.to_string().contains("(9, 1)"));
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+        let e = LinalgError::InvalidData { detail: "ragged rows".into() };
+        assert!(e.to_string().contains("ragged"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<LinalgError>();
+    }
+}

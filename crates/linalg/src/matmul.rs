@@ -1,0 +1,237 @@
+//! Matrix–matrix multiplication kernels.
+//!
+//! Three kernels are provided, all producing identical results:
+//!
+//! * [`Matrix::matmul`] — the straightforward triple loop with the `i-k-j`
+//!   ordering so the innermost loop walks both operands contiguously.
+//! * [`Matrix::matmul_blocked`] — the same kernel tiled to keep working sets
+//!   inside L1/L2; used by the OS-ELM software path when `Ñ ≥ 128`.
+//! * [`Matrix::matmul_parallel`] — rayon-parallel over row blocks; used by the
+//!   experiment harness where many independent trials already saturate the
+//!   machine, so this is only beneficial for one-off large multiplications
+//!   (e.g. the batch ELM initial training with large buffers).
+//!
+//! The FPGA datapath simulator in `elmrl-fpga` does **not** use these kernels;
+//! it sequences scalar MACs explicitly to count cycles.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Tile edge (in elements) for the blocked kernel. 64×64 f64 tiles are 32 KiB,
+/// matching a typical L1 data cache.
+pub const DEFAULT_BLOCK: usize = 64;
+
+impl<T: Scalar> Matrix<T> {
+    /// Naive `i-k-j` matrix product. Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul: inner dimensions differ ({}x{} * {}x{})",
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                let b_row = rhs.row(p);
+                let o_row = out.row_mut(i);
+                for j in 0..n {
+                    o_row[j] += a_ip * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Cache-blocked matrix product with tile edge `block`.
+    pub fn matmul_blocked(&self, rhs: &Matrix<T>, block: usize) -> Matrix<T> {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul_blocked: inner dimensions differ"
+        );
+        assert!(block > 0, "matmul_blocked: block must be positive");
+        let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = Matrix::zeros(m, n);
+        for ii in (0..m).step_by(block) {
+            let i_end = (ii + block).min(m);
+            for pp in (0..k).step_by(block) {
+                let p_end = (pp + block).min(k);
+                for jj in (0..n).step_by(block) {
+                    let j_end = (jj + block).min(n);
+                    for i in ii..i_end {
+                        let a_row = self.row(i);
+                        for p in pp..p_end {
+                            let a_ip = a_row[p];
+                            let b_row = rhs.row(p);
+                            let o_row = out.row_mut(i);
+                            for j in jj..j_end {
+                                o_row[j] += a_ip * b_row[j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rayon-parallel matrix product, splitting the output by rows.
+    pub fn matmul_parallel(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul_parallel: inner dimensions differ"
+        );
+        let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
+        let rows: Vec<Vec<T>> = (0..m)
+            .into_par_iter()
+            .map(|i| {
+                let a_row = self.row(i);
+                let mut o_row = vec![T::zero(); n];
+                for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                    let b_row = rhs.row(p);
+                    for j in 0..n {
+                        o_row[j] += a_ip * b_row[j];
+                    }
+                }
+                o_row
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose (a common OS-ELM
+    /// pattern, e.g. `Hᵀ·H` and `Hᵀ·t`).
+    pub fn t_matmul(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(
+            self.rows(),
+            rhs.rows(),
+            "t_matmul: row counts differ ({} vs {})",
+            self.rows(),
+            rhs.rows()
+        );
+        let (k, m, n) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = rhs.row(p);
+            for (i, &a_pi) in a_row.iter().enumerate().take(m) {
+                let o_row = out.row_mut(i);
+                for j in 0..n {
+                    o_row[j] += a_pi * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · rhsᵀ` without materialising the transpose.
+    pub fn matmul_t(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(
+            self.cols(),
+            rhs.cols(),
+            "matmul_t: column counts differ ({} vs {})",
+            self.cols(),
+            rhs.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), rhs.rows());
+        Matrix::from_fn(m, n, |i, j| {
+            let a_row = self.row(i);
+            let b_row = rhs.row(j);
+            let mut acc = T::zero();
+            for p in 0..k {
+                acc += a_row[p] * b_row[p];
+            }
+            acc
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::uniform_matrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn approx_eq(a: &Matrix<f64>, b: &Matrix<f64>, tol: f64) -> bool {
+        a.shape() == b.shape() && a.max_abs_diff(b) < tol
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        let expected = Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]);
+        assert_eq!(c, expected);
+        // operator form delegates to matmul
+        assert_eq!(&a * &b, expected);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = uniform_matrix::<f64, _>(5, 5, -1.0, 1.0, &mut rng);
+        let i = Matrix::identity(5);
+        assert!(approx_eq(&a.matmul(&i), &a, 1e-12));
+        assert!(approx_eq(&i.matmul(&a), &a, 1e-12));
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Matrix::<f64>::ones(2, 3);
+        let b = Matrix::<f64>::ones(3, 4);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 4));
+        assert_eq!(c[(1, 3)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn mismatched_inner_dims_panic() {
+        let a = Matrix::<f64>::ones(2, 3);
+        let b = Matrix::<f64>::ones(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn blocked_and_parallel_agree_with_naive() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for (m, k, n) in [(7, 5, 9), (33, 65, 17), (64, 64, 64), (100, 3, 50)] {
+            let a = uniform_matrix::<f64, _>(m, k, -2.0, 2.0, &mut rng);
+            let b = uniform_matrix::<f64, _>(k, n, -2.0, 2.0, &mut rng);
+            let naive = a.matmul(&b);
+            let blocked = a.matmul_blocked(&b, 16);
+            let blocked_default = a.matmul_blocked(&b, DEFAULT_BLOCK);
+            let parallel = a.matmul_parallel(&b);
+            assert!(approx_eq(&naive, &blocked, 1e-10));
+            assert!(approx_eq(&naive, &blocked_default, 1e-10));
+            assert!(approx_eq(&naive, &parallel, 1e-10));
+        }
+    }
+
+    #[test]
+    fn transposed_kernels_agree() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = uniform_matrix::<f64, _>(6, 4, -1.0, 1.0, &mut rng);
+        let b = uniform_matrix::<f64, _>(6, 5, -1.0, 1.0, &mut rng);
+        assert!(approx_eq(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-12));
+        let c = uniform_matrix::<f64, _>(7, 4, -1.0, 1.0, &mut rng);
+        assert!(approx_eq(&a.matmul_t(&c), &a.matmul(&c.transpose()), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "block must be positive")]
+    fn zero_block_rejected() {
+        let a = Matrix::<f64>::ones(2, 2);
+        let _ = a.matmul_blocked(&a, 0);
+    }
+}

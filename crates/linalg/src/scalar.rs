@@ -1,0 +1,196 @@
+//! The [`Scalar`] trait: the numeric surface every kernel in this crate needs.
+//!
+//! The trait is deliberately small — just the operations the OS-ELM datapath
+//! actually uses (add, sub, mul, div, compare, abs, sqrt and conversions to and
+//! from `f64`) — so that a saturating fixed-point type can implement it
+//! faithfully. Anything beyond this set (transcendentals, `powf`, …) is kept
+//! out of the algorithm crates on purpose: the FPGA core has only a single
+//! adder, multiplier and divider.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Numeric element type usable in [`crate::Matrix`] and all decompositions.
+///
+/// Implemented in this crate for `f32` and `f64`; implemented for the Q-format
+/// fixed-point type in `elmrl-fixed`.
+pub trait Scalar:
+    Copy
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Lossy conversion from `f64` (saturating for bounded types).
+    fn from_f64(v: f64) -> Self;
+    /// Lossy conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Non-negative square root. Implementations may return `zero()` for
+    /// negative inputs (the decompositions only call this on non-negative
+    /// quantities up to rounding error).
+    fn sqrt(self) -> Self;
+    /// A small positive tolerance appropriate for the type's precision, used
+    /// as the default convergence/pivot threshold.
+    fn epsilon() -> Self;
+    /// `true` when the value is NaN-like / not representable. Fixed-point
+    /// types return `false`.
+    fn is_nan(self) -> bool;
+
+    /// Multiplicative inverse (`1 / self`). Provided for types where a direct
+    /// reciprocal is cheaper or better-behaved than a general division.
+    #[inline]
+    fn recip(self) -> Self {
+        Self::one() / self
+    }
+
+    /// The larger of two values (`self` if the comparison is undecidable).
+    #[inline]
+    fn max_val(self, other: Self) -> Self {
+        if other > self {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The smaller of two values (`self` if the comparison is undecidable).
+    #[inline]
+    fn min_val(self, other: Self) -> Self {
+        if other < self {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Clamp into `[lo, hi]`.
+    #[inline]
+    fn clamp_val(self, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi, "clamp_val: lo must be <= hi");
+        self.max_val(lo).min_val(hi)
+    }
+}
+
+macro_rules! impl_scalar_float {
+    ($t:ty, $eps:expr) => {
+        impl Scalar for $t {
+            #[inline]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                if self <= 0.0 {
+                    0.0
+                } else {
+                    <$t>::sqrt(self)
+                }
+            }
+            #[inline]
+            fn epsilon() -> Self {
+                $eps
+            }
+            #[inline]
+            fn is_nan(self) -> bool {
+                <$t>::is_nan(self)
+            }
+            #[inline]
+            fn recip(self) -> Self {
+                1.0 / self
+            }
+        }
+    };
+}
+
+impl_scalar_float!(f32, 1e-5);
+impl_scalar_float!(f64, 1e-10);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_identities<T: Scalar>() {
+        let two = T::from_f64(2.0);
+        assert_eq!(T::zero() + two, two);
+        assert_eq!(T::one() * two, two);
+        assert!((two.sqrt() * two.sqrt() - two).abs() <= T::from_f64(1e-4));
+        assert_eq!((-two).abs(), two);
+        assert_eq!(two.max_val(T::one()), two);
+        assert_eq!(two.min_val(T::one()), T::one());
+        assert_eq!(T::from_f64(5.0).clamp_val(T::zero(), two), two);
+        assert_eq!(T::from_f64(-5.0).clamp_val(T::zero(), two), T::zero());
+    }
+
+    #[test]
+    fn f32_identities() {
+        generic_identities::<f32>();
+    }
+
+    #[test]
+    fn f64_identities() {
+        generic_identities::<f64>();
+    }
+
+    #[test]
+    fn recip_matches_division() {
+        let x = 4.0_f64;
+        assert!((Scalar::recip(x) - 0.25).abs() < 1e-15);
+        let y = 8.0_f32;
+        assert!((Scalar::recip(y) - 0.125).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sqrt_of_negative_is_zero_by_contract() {
+        assert_eq!(Scalar::sqrt(-1.0_f64), 0.0);
+        assert_eq!(Scalar::sqrt(-1.0_f32), 0.0);
+    }
+
+    #[test]
+    fn nan_detection() {
+        assert!(Scalar::is_nan(f64::NAN));
+        assert!(!Scalar::is_nan(1.0_f64));
+        assert!(Scalar::is_nan(f32::NAN));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        for v in [-3.5, 0.0, 1.25, 1e6] {
+            assert_eq!(<f64 as Scalar>::from_f64(v).to_f64(), v);
+            assert!(((<f32 as Scalar>::from_f64(v)).to_f64() - v).abs() < 1e-1);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! High-level solves: linear systems, inverses, and the Moore–Penrose
+//! pseudo-inverse used by batch ELM training (`β̂ = H⁺·t`, Equation 3).
+
+use crate::decomp::{Cholesky, Lu, Svd};
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Solve the square system `A·X = B` by LU with partial pivoting.
+pub fn solve<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
+    Lu::decompose(a)?.solve(b)
+}
+
+/// Inverse of a square matrix by LU with partial pivoting.
+pub fn inverse<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
+    Lu::decompose(a)?.inverse()
+}
+
+/// Inverse of a symmetric positive-definite matrix by Cholesky. Falls back to
+/// LU when the matrix is not positive definite (e.g. it is only semi-definite
+/// because of rounding).
+pub fn inverse_spd<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
+    match Cholesky::decompose(a) {
+        Ok(ch) => ch.inverse(),
+        Err(LinalgError::NotPositiveDefinite { .. }) => inverse(a),
+        Err(e) => Err(e),
+    }
+}
+
+/// Moore–Penrose pseudo-inverse via the thin SVD. Singular values below
+/// `rcond · σ_max` are treated as zero.
+pub fn pseudo_inverse<T: Scalar>(a: &Matrix<T>, rcond: f64) -> Result<Matrix<T>> {
+    let svd = Svd::decompose(a)?;
+    let sigma_max = svd.sigma_max();
+    let cutoff = T::from_f64(rcond) * sigma_max;
+    let k = svd.singular_values.len();
+
+    // A⁺ = V · Σ⁺ · Uᵀ where Σ⁺ inverts the non-negligible singular values.
+    let mut v_scaled = svd.v.clone();
+    for j in 0..k {
+        let s = svd.singular_values[j];
+        let inv = if s > cutoff && s > T::zero() { T::one() / s } else { T::zero() };
+        for i in 0..v_scaled.rows() {
+            v_scaled[(i, j)] *= inv;
+        }
+    }
+    Ok(v_scaled.matmul_t(&svd.u))
+}
+
+/// Solve the (possibly rectangular, possibly rank-deficient) least-squares
+/// problem `min ‖A·X − B‖_F` through the pseudo-inverse.
+pub fn lstsq<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, rcond: f64) -> Result<Matrix<T>> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            detail: format!("lstsq: A has {} rows, B has {}", a.rows(), b.rows()),
+        });
+    }
+    Ok(pseudo_inverse(a, rcond)?.matmul(b))
+}
+
+/// Solve the Tikhonov-regularised least squares `min ‖A·X − B‖² + δ‖X‖²`,
+/// i.e. `X = (AᵀA + δI)⁻¹ Aᵀ B` — the ReOS-ELM initial-training formula
+/// (Equation 8). With `δ = 0` this degrades to the ordinary normal equations.
+pub fn ridge_solve<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, delta: T) -> Result<Matrix<T>> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            detail: format!("ridge_solve: A has {} rows, B has {}", a.rows(), b.rows()),
+        });
+    }
+    let n = a.cols();
+    let mut gram = a.t_matmul(a);
+    for i in 0..n {
+        gram[(i, i)] += delta;
+    }
+    let rhs = a.t_matmul(b);
+    match Cholesky::decompose(&gram) {
+        Ok(ch) => ch.solve(&rhs),
+        Err(LinalgError::NotPositiveDefinite { .. }) => solve(&gram, &rhs),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::uniform_matrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solve_and_inverse_agree() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let a = uniform_matrix::<f64, _>(6, 6, -1.0, 1.0, &mut rng)
+            + Matrix::identity(6).scale(3.0);
+        let b = uniform_matrix::<f64, _>(6, 2, -1.0, 1.0, &mut rng);
+        let x = solve(&a, &b).unwrap();
+        let x2 = inverse(&a).unwrap().matmul(&b);
+        assert!(x.max_abs_diff(&x2) < 1e-9);
+        assert!(a.matmul(&x).max_abs_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn spd_inverse_matches_lu_inverse() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let m = uniform_matrix::<f64, _>(5, 5, -1.0, 1.0, &mut rng);
+        let spd = m.t_matmul(&m) + Matrix::identity(5).scale(0.1);
+        let i1 = inverse_spd(&spd).unwrap();
+        let i2 = inverse(&spd).unwrap();
+        assert!(i1.max_abs_diff(&i2) < 1e-8);
+    }
+
+    #[test]
+    fn inverse_spd_falls_back_for_indefinite_input() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, -3.0]]);
+        let inv = inverse_spd(&a).unwrap();
+        assert!(a.matmul(&inv).max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn pseudo_inverse_satisfies_moore_penrose_conditions() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        for (m, n) in [(6, 3), (3, 6), (5, 5)] {
+            let a = uniform_matrix::<f64, _>(m, n, -1.0, 1.0, &mut rng);
+            let p = pseudo_inverse(&a, 1e-12).unwrap();
+            assert_eq!(p.shape(), (n, m));
+            // A A⁺ A = A
+            assert!(a.matmul(&p).matmul(&a).max_abs_diff(&a) < 1e-8);
+            // A⁺ A A⁺ = A⁺
+            assert!(p.matmul(&a).matmul(&p).max_abs_diff(&p) < 1e-8);
+            // (A A⁺)ᵀ = A A⁺ and (A⁺ A)ᵀ = A⁺ A
+            let aap = a.matmul(&p);
+            assert!(aap.transpose().max_abs_diff(&aap) < 1e-8);
+            let apa = p.matmul(&a);
+            assert!(apa.transpose().max_abs_diff(&apa) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pseudo_inverse_of_rank_deficient_matrix() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        let p = pseudo_inverse(&a, 1e-10).unwrap();
+        assert!(a.matmul(&p).matmul(&a).max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn pseudo_inverse_of_invertible_matrix_is_inverse() {
+        let a = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]);
+        let p = pseudo_inverse(&a, 1e-12).unwrap();
+        let inv = inverse(&a).unwrap();
+        assert!(p.max_abs_diff(&inv) < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_recovers_planted_solution() {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let a = uniform_matrix::<f64, _>(30, 4, -1.0, 1.0, &mut rng);
+        let x_true = uniform_matrix::<f64, _>(4, 1, -1.0, 1.0, &mut rng);
+        let b = a.matmul(&x_true);
+        let x = lstsq(&a, &b, 1e-12).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-8);
+        assert!(lstsq(&a, &Matrix::<f64>::ones(3, 1), 1e-12).is_err());
+    }
+
+    #[test]
+    fn ridge_solve_matches_closed_form_and_shrinks() {
+        let mut rng = SmallRng::seed_from_u64(45);
+        let a = uniform_matrix::<f64, _>(20, 5, -1.0, 1.0, &mut rng);
+        let b = uniform_matrix::<f64, _>(20, 1, -1.0, 1.0, &mut rng);
+        let x0 = ridge_solve(&a, &b, 0.0).unwrap();
+        let x_ls = lstsq(&a, &b, 1e-12).unwrap();
+        assert!(x0.max_abs_diff(&x_ls) < 1e-7);
+        // Heavier regularisation shrinks the solution norm.
+        let x_big = ridge_solve(&a, &b, 100.0).unwrap();
+        let norm = |m: &Matrix<f64>| m.iter().map(|&v| v * v).sum::<f64>().sqrt();
+        assert!(norm(&x_big) < norm(&x0));
+        assert!(ridge_solve(&a, &Matrix::<f64>::ones(3, 1), 1.0).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Dense vector type and the handful of vector kernels the workspace needs.
+//!
+//! Vectors show up as environment observations, single rows of `H`, and the
+//! gradient/activation buffers of the DQN baseline. [`Vector`] is a thin
+//! wrapper over `Vec<T>` with dot products, norms and AXPY-style updates.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense vector of [`Scalar`] elements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Vector<T: Scalar> {
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Vector<T> {
+    /// Create a vector of zeros.
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![T::zero(); n] }
+    }
+
+    /// Create a vector filled with `value`.
+    pub fn filled(n: usize, value: T) -> Self {
+        Self { data: vec![value; n] }
+    }
+
+    /// Wrap an existing `Vec`.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Self { data }
+    }
+
+    /// Copy a slice into a new vector.
+    pub fn from_slice(data: &[T]) -> Self {
+        Self { data: data.to_vec() }
+    }
+
+    /// Build from a function of the index.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        Self { data: (0..n).map(|i| f(i)).collect() }
+    }
+
+    /// Length of the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the elements.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume and return the inner `Vec`.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterator over the elements.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.data.iter()
+    }
+
+    /// Dot product with another vector of the same length.
+    pub fn dot(&self, other: &Self) -> Result<T> {
+        if self.len() != other.len() {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("dot of length {} vs {}", self.len(), other.len()),
+            });
+        }
+        let mut acc = T::zero();
+        for (&a, &b) in self.data.iter().zip(other.data.iter()) {
+            acc += a * b;
+        }
+        Ok(acc)
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> T {
+        let mut acc = T::zero();
+        for &x in &self.data {
+            acc += x * x;
+        }
+        acc.sqrt()
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn norm_l1(&self) -> T {
+        let mut acc = T::zero();
+        for &x in &self.data {
+            acc += x.abs();
+        }
+        acc
+    }
+
+    /// Infinity norm (largest absolute value).
+    pub fn norm_inf(&self) -> T {
+        let mut best = T::zero();
+        for &x in &self.data {
+            let a = x.abs();
+            if a > best {
+                best = a;
+            }
+        }
+        best
+    }
+
+    /// Normalise to unit Euclidean length. Returns a zero vector unchanged.
+    pub fn normalized(&self) -> Self {
+        let n = self.norm();
+        if n <= T::zero() {
+            return self.clone();
+        }
+        self.scale(T::one() / n)
+    }
+
+    /// Multiply every element by `s`.
+    pub fn scale(&self, s: T) -> Self {
+        Self { data: self.data.iter().map(|&x| x * s).collect() }
+    }
+
+    /// In-place `self += alpha * other` (the BLAS AXPY kernel).
+    pub fn axpy(&mut self, alpha: T, other: &Self) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("axpy of length {} vs {}", self.len(), other.len()),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Apply `f` to every element, producing a new vector.
+    pub fn map(&self, mut f: impl FnMut(T) -> T) -> Self {
+        Self { data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Index of the maximum element (first one on ties). `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for i in 1..self.data.len() {
+            if self.data[i] > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Largest element. `None` when empty.
+    pub fn max(&self) -> Option<T> {
+        self.argmax().map(|i| self.data[i])
+    }
+
+    /// Interpret as a `1 × n` row matrix.
+    pub fn to_row_matrix(&self) -> Matrix<T> {
+        Matrix::row_from_slice(&self.data)
+    }
+
+    /// Interpret as an `n × 1` column matrix.
+    pub fn to_col_matrix(&self) -> Matrix<T> {
+        Matrix::col_from_slice(&self.data)
+    }
+
+    /// Outer product `self · otherᵀ`, an `n × m` matrix.
+    pub fn outer(&self, other: &Self) -> Matrix<T> {
+        Matrix::from_fn(self.len(), other.len(), |i, j| self.data[i] * other.data[j])
+    }
+
+    /// Convert the element type via `f64`.
+    pub fn cast<U: Scalar>(&self) -> Vector<U> {
+        Vector { data: self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect() }
+    }
+}
+
+/// Matrix–vector product `A · x`.
+pub fn matvec<T: Scalar>(a: &Matrix<T>, x: &Vector<T>) -> Result<Vector<T>> {
+    if a.cols() != x.len() {
+        return Err(LinalgError::ShapeMismatch {
+            detail: format!("matvec {:?} by len {}", a.shape(), x.len()),
+        });
+    }
+    let mut out = Vector::zeros(a.rows());
+    for r in 0..a.rows() {
+        let row = a.row(r);
+        let mut acc = T::zero();
+        for (c, &v) in row.iter().enumerate() {
+            acc += v * x.as_slice()[c];
+        }
+        out.as_mut_slice()[r] = acc;
+    }
+    Ok(out)
+}
+
+impl<T: Scalar> Index<usize> for Vector<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T: Scalar> IndexMut<usize> for Vector<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+impl<'a, 'b, T: Scalar> Add<&'b Vector<T>> for &'a Vector<T> {
+    type Output = Vector<T>;
+    fn add(self, rhs: &'b Vector<T>) -> Vector<T> {
+        assert_eq!(self.len(), rhs.len(), "vector add: length mismatch");
+        Vector {
+            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| a + b).collect(),
+        }
+    }
+}
+
+impl<'a, 'b, T: Scalar> Sub<&'b Vector<T>> for &'a Vector<T> {
+    type Output = Vector<T>;
+    fn sub(self, rhs: &'b Vector<T>) -> Vector<T> {
+        assert_eq!(self.len(), rhs.len(), "vector sub: length mismatch");
+        Vector {
+            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| a - b).collect(),
+        }
+    }
+}
+
+impl<T: Scalar> Mul<T> for &Vector<T> {
+    type Output = Vector<T>;
+    fn mul(self, rhs: T) -> Vector<T> {
+        self.scale(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v[1], 2.0);
+        let z = Vector::<f64>::zeros(4);
+        assert_eq!(z.norm(), 0.0);
+        let f = Vector::from_fn(3, |i| i as f64);
+        assert_eq!(f[2], 2.0);
+        let filled = Vector::filled(2, 7.0);
+        assert_eq!(filled.as_slice(), &[7.0, 7.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = Vector::from_slice(&[3.0, 4.0]);
+        let b = Vector::from_slice(&[1.0, 2.0]);
+        assert_eq!(a.dot(&b).unwrap(), 11.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_l1(), 7.0);
+        assert_eq!(a.norm_inf(), 4.0);
+        assert!(a.dot(&Vector::zeros(3)).is_err());
+        let u = a.normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Vector::<f64>::zeros(2).normalized().norm(), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut a = Vector::from_slice(&[1.0, 1.0]);
+        let b = Vector::from_slice(&[2.0, 3.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 2.5]);
+        assert!(a.axpy(1.0, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn argmax_and_max() {
+        let v = Vector::from_slice(&[1.0, 5.0, 3.0, 5.0]);
+        assert_eq!(v.argmax(), Some(1));
+        assert_eq!(v.max(), Some(5.0));
+        assert_eq!(Vector::<f64>::from_vec(vec![]).argmax(), None);
+    }
+
+    #[test]
+    fn matrix_conversions_and_outer() {
+        let v = Vector::from_slice(&[1.0, 2.0]);
+        assert_eq!(v.to_row_matrix().shape(), (1, 2));
+        assert_eq!(v.to_col_matrix().shape(), (2, 1));
+        let o = v.outer(&Vector::from_slice(&[3.0, 4.0, 5.0]));
+        assert_eq!(o.shape(), (2, 3));
+        assert_eq!(o[(1, 2)], 10.0);
+    }
+
+    #[test]
+    fn matvec_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = Vector::from_slice(&[1.0, 1.0]);
+        let y = matvec(&a, &x).unwrap();
+        assert_eq!(y.as_slice(), &[3.0, 7.0]);
+        assert!(matvec(&a, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn elementwise_operators() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * 3.0).as_slice(), &[3.0, 6.0]);
+        let m = a.map(|x| x * x);
+        assert_eq!(m.as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn cast_round_trip() {
+        let a = Vector::from_slice(&[1.5_f64, -2.25]);
+        let f: Vector<f32> = a.cast();
+        let back: Vector<f64> = f.cast();
+        assert_eq!(back, a);
+    }
+}

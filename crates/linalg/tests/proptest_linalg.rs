@@ -1,0 +1,165 @@
+//! Property-based tests for the linear algebra substrate.
+//!
+//! These exercise the algebraic invariants the rest of the workspace relies
+//! on: matmul bilinearity, transpose identities, LU/Cholesky/QR/SVD
+//! reconstruction, Moore–Penrose conditions and the σ_max ≤ ‖·‖_F relation
+//! the paper's L2-for-spectral substitution argument depends on.
+
+use elmrl_linalg::decomp::{Cholesky, Lu, Qr, Svd};
+use elmrl_linalg::norms::{spectral_norm_exact, spectral_norm_power, spectral_normalize};
+use elmrl_linalg::solve::{pseudo_inverse, ridge_solve};
+use elmrl_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a rows×cols matrix with entries in [-5, 5].
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-5.0_f64..5.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+fn small_dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..7, 1usize..7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involutive((r, c) in small_dims(), seed in 0u64..1000) {
+        let m = seeded_matrix(r, c, seed);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..500) {
+        let a = seeded_matrix(4, 3, seed);
+        let b = seeded_matrix(3, 5, seed.wrapping_add(1));
+        let c = seeded_matrix(3, 5, seed.wrapping_add(2));
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..500) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let a = seeded_matrix(4, 6, seed);
+        let b = seeded_matrix(6, 3, seed.wrapping_add(7));
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn blocked_matmul_equals_naive(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..100) {
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(k, n, seed.wrapping_add(3));
+        let naive = a.matmul(&b);
+        prop_assert!(naive.max_abs_diff(&a.matmul_blocked(&b, 4)) < 1e-10);
+        prop_assert!(naive.max_abs_diff(&a.matmul_parallel(&b)) < 1e-10);
+    }
+
+    #[test]
+    fn lu_solves_well_conditioned_systems(n in 1usize..7, seed in 0u64..200) {
+        let mut a = seeded_matrix(n, n, seed);
+        for i in 0..n { a[(i, i)] += 10.0; } // diagonally dominant => nonsingular
+        let x_true = seeded_matrix(n, 2, seed.wrapping_add(5));
+        let b = a.matmul(&x_true);
+        let x = Lu::decompose(&a).unwrap().solve(&b).unwrap();
+        prop_assert!(x.max_abs_diff(&x_true) < 1e-7);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_gram_matrices(r in 2usize..8, c in 1usize..5, seed in 0u64..200) {
+        let h = seeded_matrix(r, c, seed);
+        let gram = &h.t_matmul(&h) + &Matrix::identity(c).scale(0.5);
+        let ch = Cholesky::decompose(&gram).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose());
+        prop_assert!(recon.max_abs_diff(&gram) < 1e-9);
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthogonal(m in 1usize..8, n in 1usize..8, seed in 0u64..200) {
+        let (m, n) = if m >= n { (m, n) } else { (n, m) };
+        let a = seeded_matrix(m, n, seed);
+        let qr = Qr::decompose(&a).unwrap();
+        prop_assert!(qr.q().matmul(qr.r()).max_abs_diff(&a) < 1e-9);
+        prop_assert!(qr.q().t_matmul(qr.q()).max_abs_diff(&Matrix::identity(m)) < 1e-9);
+    }
+
+    #[test]
+    fn svd_reconstructs((m, n) in small_dims(), seed in 0u64..200) {
+        let a = seeded_matrix(m, n, seed);
+        let svd = Svd::decompose(&a).unwrap();
+        prop_assert!(svd.reconstruct().max_abs_diff(&a) < 1e-7);
+        // singular values sorted descending, all non-negative
+        for w in svd.singular_values.windows(2) {
+            prop_assert!(w[0] + 1e-12 >= w[1]);
+        }
+        prop_assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn pseudo_inverse_moore_penrose((m, n) in small_dims(), seed in 0u64..200) {
+        let a = seeded_matrix(m, n, seed);
+        let p = pseudo_inverse(&a, 1e-10).unwrap();
+        prop_assert!(a.matmul(&p).matmul(&a).max_abs_diff(&a) < 1e-6);
+        prop_assert!(p.matmul(&a).matmul(&p).max_abs_diff(&p) < 1e-6);
+    }
+
+    #[test]
+    fn spectral_norm_le_frobenius((m, n) in small_dims(), seed in 0u64..200) {
+        // Relation 13 of the paper: σ_max(A) ≤ ‖A‖_F
+        let a = seeded_matrix(m, n, seed);
+        prop_assert!(spectral_norm_exact(&a).unwrap() <= a.frobenius_norm() + 1e-9);
+    }
+
+    #[test]
+    fn power_iteration_agrees_with_svd((m, n) in small_dims(), seed in 0u64..200) {
+        let a = seeded_matrix(m, n, seed);
+        let exact = spectral_norm_exact(&a).unwrap();
+        let power = spectral_norm_power(&a, 1000, 1e-13).unwrap();
+        prop_assert!((exact - power).abs() <= 1e-5 * exact.max(1.0));
+    }
+
+    #[test]
+    fn spectral_normalization_caps_sigma_max((m, n) in small_dims(), seed in 0u64..200) {
+        let a = seeded_matrix(m, n, seed);
+        let normed = spectral_normalize(&a).unwrap();
+        let sigma = spectral_norm_exact(&normed).unwrap();
+        // Either the matrix was zero (σ = 0) or σ_max is 1 within tolerance.
+        prop_assert!(sigma <= 1.0 + 1e-8);
+    }
+
+    #[test]
+    fn ridge_regularisation_monotonically_shrinks(seed in 0u64..100) {
+        let a = seeded_matrix(12, 4, seed);
+        let b = seeded_matrix(12, 1, seed.wrapping_add(9));
+        let norm = |m: &Matrix<f64>| m.iter().map(|&v| v * v).sum::<f64>().sqrt();
+        let x_small = ridge_solve(&a, &b, 0.01).unwrap();
+        let x_large = ridge_solve(&a, &b, 10.0).unwrap();
+        prop_assert!(norm(&x_large) <= norm(&x_small) + 1e-9);
+    }
+
+    #[test]
+    fn hstack_vstack_shapes((m, n) in small_dims(), seed in 0u64..50) {
+        let a = seeded_matrix(m, n, seed);
+        let v = a.vstack(&a).unwrap();
+        let h = a.hstack(&a).unwrap();
+        prop_assert_eq!(v.shape(), (2 * m, n));
+        prop_assert_eq!(h.shape(), (m, 2 * n));
+        prop_assert_eq!(v.submatrix(m, 2 * m, 0, n).unwrap(), a.clone());
+        prop_assert_eq!(h.submatrix(0, m, n, 2 * n).unwrap(), a);
+    }
+}
+
+/// Deterministic pseudo-random matrix built from a seed without needing a
+/// full RNG in the strategy (keeps shrinking well-behaved).
+fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // map to [-2, 2]
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+    })
+}

@@ -1,0 +1,289 @@
+//! A fully-connected (dense) layer with cached activations for backprop.
+
+use crate::activation::Activation;
+use elmrl_linalg::random::xavier_uniform;
+use elmrl_linalg::Matrix;
+use rand::Rng;
+
+/// One dense layer: `y = G(x·W + b)` with `W ∈ R^{in×out}`, `b ∈ R^{1×out}`.
+///
+/// The layer caches its last input and pre-activation during
+/// [`DenseLayer::forward_training`] so that [`DenseLayer::backward`] can
+/// compute parameter gradients without re-running the forward pass.
+#[derive(Clone, Debug)]
+pub struct DenseLayer {
+    weights: Matrix<f64>,
+    bias: Matrix<f64>,
+    activation: Activation,
+    // caches for backprop
+    last_input: Option<Matrix<f64>>,
+    last_preact: Option<Matrix<f64>>,
+    grad_weights: Matrix<f64>,
+    grad_bias: Matrix<f64>,
+}
+
+impl DenseLayer {
+    /// Create a layer with Xavier-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            weights: xavier_uniform(input_dim, output_dim, rng),
+            bias: Matrix::zeros(1, output_dim),
+            activation,
+            last_input: None,
+            last_preact: None,
+            grad_weights: Matrix::zeros(input_dim, output_dim),
+            grad_bias: Matrix::zeros(1, output_dim),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Immutable access to the weight matrix.
+    pub fn weights(&self) -> &Matrix<f64> {
+        &self.weights
+    }
+
+    /// Immutable access to the bias row vector.
+    pub fn bias(&self) -> &Matrix<f64> {
+        &self.bias
+    }
+
+    /// Mutable access to the weight matrix (used by optimisers and tests).
+    pub fn weights_mut(&mut self) -> &mut Matrix<f64> {
+        &mut self.weights
+    }
+
+    /// Mutable access to the bias (used by optimisers and tests).
+    pub fn bias_mut(&mut self) -> &mut Matrix<f64> {
+        &mut self.bias
+    }
+
+    /// Gradient of the loss w.r.t. the weights, from the last `backward`.
+    pub fn grad_weights(&self) -> &Matrix<f64> {
+        &self.grad_weights
+    }
+
+    /// Gradient of the loss w.r.t. the bias, from the last `backward`.
+    pub fn grad_bias(&self) -> &Matrix<f64> {
+        &self.grad_bias
+    }
+
+    /// Number of trainable parameters in this layer.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Inference-only forward pass (no caches touched).
+    pub fn forward(&self, input: &Matrix<f64>) -> Matrix<f64> {
+        let pre = self.affine(input);
+        self.activation.apply_matrix(&pre)
+    }
+
+    /// Forward pass that caches input and pre-activation for a subsequent
+    /// [`DenseLayer::backward`] call.
+    pub fn forward_training(&mut self, input: &Matrix<f64>) -> Matrix<f64> {
+        let pre = self.affine(input);
+        let out = self.activation.apply_matrix(&pre);
+        self.last_input = Some(input.clone());
+        self.last_preact = Some(pre);
+        out
+    }
+
+    fn affine(&self, input: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(
+            input.cols(),
+            self.weights.rows(),
+            "dense layer: input has {} features, expected {}",
+            input.cols(),
+            self.weights.rows()
+        );
+        let mut pre = input.matmul(&self.weights);
+        for r in 0..pre.rows() {
+            for c in 0..pre.cols() {
+                pre[(r, c)] += self.bias[(0, c)];
+            }
+        }
+        pre
+    }
+
+    /// Back-propagate `grad_output` (∂L/∂y of this layer) and return
+    /// ∂L/∂x for the previous layer. Parameter gradients are stored in the
+    /// layer until the optimiser applies them.
+    ///
+    /// Panics if called before `forward_training`.
+    pub fn backward(&mut self, grad_output: &Matrix<f64>) -> Matrix<f64> {
+        let input = self
+            .last_input
+            .as_ref()
+            .expect("backward called before forward_training");
+        let preact = self.last_preact.as_ref().expect("missing pre-activation cache");
+        assert_eq!(grad_output.shape(), preact.shape(), "backward: grad shape mismatch");
+
+        // dL/dz = dL/dy ⊙ G'(z)
+        let dz = grad_output
+            .zip_map(&self.activation.derivative_matrix(preact), |g, d| g * d)
+            .expect("shapes checked above");
+
+        // dL/dW = xᵀ · dz ; dL/db = column sums of dz ; dL/dx = dz · Wᵀ
+        self.grad_weights = input.t_matmul(&dz);
+        let mut gb = Matrix::zeros(1, dz.cols());
+        for r in 0..dz.rows() {
+            for c in 0..dz.cols() {
+                gb[(0, c)] += dz[(r, c)];
+            }
+        }
+        self.grad_bias = gb;
+        dz.matmul_t(&self.weights)
+    }
+
+    /// Copy the weights and bias from another layer (target-network sync).
+    pub fn copy_parameters_from(&mut self, other: &DenseLayer) {
+        assert_eq!(self.weights.shape(), other.weights.shape(), "copy: weight shape mismatch");
+        self.weights = other.weights.clone();
+        self.bias = other.bias.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn layer(activation: Activation) -> DenseLayer {
+        let mut rng = SmallRng::seed_from_u64(5);
+        DenseLayer::new(3, 2, activation, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_parameter_count() {
+        let l = layer(Activation::ReLU);
+        assert_eq!(l.input_dim(), 3);
+        assert_eq!(l.output_dim(), 2);
+        assert_eq!(l.parameter_count(), 3 * 2 + 2);
+        assert_eq!(l.activation(), Activation::ReLU);
+        let x = Matrix::<f64>::ones(4, 3);
+        assert_eq!(l.forward(&x).shape(), (4, 2));
+    }
+
+    #[test]
+    fn forward_identity_layer_is_affine() {
+        let mut l = layer(Activation::Identity);
+        // set known weights/bias
+        *l.weights_mut() = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        *l.bias_mut() = Matrix::from_rows(&[vec![0.5, -0.5]]);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let y = l.forward(&x);
+        assert!((y[(0, 0)] - 4.5).abs() < 1e-12);
+        assert!((y[(0, 1)] - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_forward_matches_inference_forward() {
+        let mut l = layer(Activation::Tanh);
+        let x = Matrix::from_rows(&[vec![0.1, -0.2, 0.3], vec![1.0, 0.5, -1.0]]);
+        let inference = l.forward(&x);
+        let training = l.forward_training(&x);
+        assert!(inference.max_abs_diff(&training) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward_training")]
+    fn backward_without_forward_panics() {
+        let mut l = layer(Activation::ReLU);
+        let _ = l.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut l = DenseLayer::new(4, 3, Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[vec![0.3, -0.1, 0.7, 0.2], vec![-0.5, 0.4, 0.1, -0.9]]);
+        let target = Matrix::from_rows(&[vec![0.1, 0.2, 0.3], vec![-0.1, 0.0, 0.5]]);
+        let loss = |l: &DenseLayer, x: &Matrix<f64>| {
+            let y = l.forward(x);
+            let d = &y - &target;
+            d.iter().map(|&v| v * v).sum::<f64>() * 0.5
+        };
+
+        // analytic gradients
+        let y = l.forward_training(&x);
+        let grad_out = &y - &target; // dL/dy for 0.5·Σ(y−t)²
+        let grad_in = l.backward(&grad_out);
+
+        let h = 1e-6;
+        // check dL/dW for a few entries
+        for (r, c) in [(0usize, 0usize), (2, 1), (3, 2)] {
+            let orig = l.weights()[(r, c)];
+            l.weights_mut()[(r, c)] = orig + h;
+            let plus = loss(&l, &x);
+            l.weights_mut()[(r, c)] = orig - h;
+            let minus = loss(&l, &x);
+            l.weights_mut()[(r, c)] = orig;
+            let numeric = (plus - minus) / (2.0 * h);
+            assert!(
+                (numeric - l.grad_weights()[(r, c)]).abs() < 1e-5,
+                "dW({r},{c}): numeric {numeric} vs {}",
+                l.grad_weights()[(r, c)]
+            );
+        }
+        // check dL/db
+        for c in 0..3 {
+            let orig = l.bias()[(0, c)];
+            l.bias_mut()[(0, c)] = orig + h;
+            let plus = loss(&l, &x);
+            l.bias_mut()[(0, c)] = orig - h;
+            let minus = loss(&l, &x);
+            l.bias_mut()[(0, c)] = orig;
+            let numeric = (plus - minus) / (2.0 * h);
+            assert!((numeric - l.grad_bias()[(0, c)]).abs() < 1e-5, "db({c})");
+        }
+        // check dL/dx for one entry
+        {
+            let mut xp = x.clone();
+            xp[(0, 1)] += h;
+            let plus = loss(&l, &xp);
+            let mut xm = x.clone();
+            xm[(0, 1)] -= h;
+            let minus = loss(&l, &xm);
+            let numeric = (plus - minus) / (2.0 * h);
+            assert!((numeric - grad_in[(0, 1)]).abs() < 1e-5, "dx(0,1)");
+        }
+    }
+
+    #[test]
+    fn copy_parameters_syncs_target_layer() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let a = DenseLayer::new(3, 2, Activation::ReLU, &mut rng);
+        let mut b = DenseLayer::new(3, 2, Activation::ReLU, &mut rng);
+        assert!(a.weights().max_abs_diff(b.weights()) > 0.0);
+        b.copy_parameters_from(&a);
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.bias(), b.bias());
+    }
+
+    #[test]
+    #[should_panic(expected = "input has 2 features, expected 3")]
+    fn wrong_input_width_panics() {
+        let l = layer(Activation::ReLU);
+        let _ = l.forward(&Matrix::<f64>::ones(1, 2));
+    }
+}

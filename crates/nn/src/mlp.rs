@@ -1,0 +1,313 @@
+//! Multi-layer perceptron assembled from [`DenseLayer`]s.
+//!
+//! The DQN baseline in the paper is a three-layer network (§4.1, design (6)):
+//! state in, one hidden layer of `Ñ` ReLU units, Q-values per action out.
+//! [`Mlp`] supports any depth so the harness can also build deeper ablations.
+
+use crate::activation::Activation;
+use crate::layer::DenseLayer;
+use crate::loss::Loss;
+use crate::optimizer::Optimizer;
+use elmrl_linalg::Matrix;
+use rand::Rng;
+
+/// Configuration describing an MLP's layer sizes and activations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MlpConfig {
+    /// Layer widths, including input and output (`len ≥ 2`).
+    pub layer_sizes: Vec<usize>,
+    /// Activation applied to every hidden layer.
+    pub hidden_activation: Activation,
+    /// Activation applied to the output layer (Identity for Q-value heads).
+    pub output_activation: Activation,
+}
+
+impl MlpConfig {
+    /// Config with the given layer widths, ReLU hidden activations and an
+    /// identity output layer.
+    pub fn new(layer_sizes: &[usize]) -> Self {
+        assert!(layer_sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        Self {
+            layer_sizes: layer_sizes.to_vec(),
+            hidden_activation: Activation::ReLU,
+            output_activation: Activation::Identity,
+        }
+    }
+
+    /// Override the hidden-layer activation.
+    pub fn with_hidden_activation(mut self, a: Activation) -> Self {
+        self.hidden_activation = a;
+        self
+    }
+
+    /// Override the output-layer activation.
+    pub fn with_output_activation(mut self, a: Activation) -> Self {
+        self.output_activation = a;
+        self
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layer_sizes[0]
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        *self.layer_sizes.last().unwrap()
+    }
+}
+
+/// A feed-forward network with dense layers and backpropagation training.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+    config: MlpConfig,
+}
+
+impl Mlp {
+    /// Build a network with Xavier-initialised weights.
+    pub fn new<R: Rng + ?Sized>(config: MlpConfig, rng: &mut R) -> Self {
+        let n_layers = config.layer_sizes.len() - 1;
+        let mut layers = Vec::with_capacity(n_layers);
+        for i in 0..n_layers {
+            let activation = if i + 1 == n_layers {
+                config.output_activation
+            } else {
+                config.hidden_activation
+            };
+            layers.push(DenseLayer::new(
+                config.layer_sizes[i],
+                config.layer_sizes[i + 1],
+                activation,
+                rng,
+            ));
+        }
+        Self { layers, config }
+    }
+
+    /// The configuration used to build this network.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Borrow the layers (e.g. for Lipschitz-constant estimation).
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Total trainable parameter count.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+
+    /// Inference forward pass on a batch (`rows` = batch size).
+    pub fn forward(&self, input: &Matrix<f64>) -> Matrix<f64> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Convenience: forward a single sample given as a slice.
+    pub fn forward_one(&self, input: &[f64]) -> Vec<f64> {
+        let out = self.forward(&Matrix::row_from_slice(input));
+        out.row(0).to_vec()
+    }
+
+    /// One optimisation step on a batch: forward, loss gradient, backward,
+    /// and parameter update. Returns the scalar loss before the update.
+    pub fn train_step<O: Optimizer>(
+        &mut self,
+        input: &Matrix<f64>,
+        target: &Matrix<f64>,
+        loss: Loss,
+        optimizer: &mut O,
+    ) -> f64 {
+        // forward with caches
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward_training(&x);
+        }
+        let loss_value = loss.value(&x, target);
+
+        // backward
+        let mut grad = loss.gradient(&x, target);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+
+        // update (two slots per layer: weights then bias)
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let gw = layer.grad_weights().clone();
+            let gb = layer.grad_bias().clone();
+            optimizer.update(2 * i, layer.weights_mut(), &gw);
+            optimizer.update(2 * i + 1, layer.bias_mut(), &gb);
+        }
+        loss_value
+    }
+
+    /// Copy all parameters from another network of identical architecture.
+    /// This is the DQN fixed-target-network synchronisation (`θ₂ ← θ₁`).
+    pub fn copy_parameters_from(&mut self, other: &Mlp) {
+        assert_eq!(
+            self.config.layer_sizes, other.config.layer_sizes,
+            "copy_parameters_from: architecture mismatch"
+        );
+        for (dst, src) in self.layers.iter_mut().zip(other.layers.iter()) {
+            dst.copy_parameters_from(src);
+        }
+    }
+
+    /// Upper bound on the network's Lipschitz constant: the product over
+    /// layers of `σ_max(W)` times the activation's Lipschitz constant (§2.5).
+    pub fn lipschitz_upper_bound(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| {
+                let sigma = elmrl_linalg::norms::spectral_norm_exact(l.weights())
+                    .unwrap_or(f64::INFINITY);
+                sigma * l.activation().lipschitz_constant()
+            })
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{Adam, Sgd};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn xor_data() -> (Matrix<f64>, Matrix<f64>) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let t = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![0.0]]);
+        (x, t)
+    }
+
+    #[test]
+    fn config_validation_and_accessors() {
+        let c = MlpConfig::new(&[4, 8, 2]);
+        assert_eq!(c.input_dim(), 4);
+        assert_eq!(c.output_dim(), 2);
+        assert_eq!(c.hidden_activation, Activation::ReLU);
+        assert_eq!(c.output_activation, Activation::Identity);
+        let c2 = c
+            .clone()
+            .with_hidden_activation(Activation::Tanh)
+            .with_output_activation(Activation::Sigmoid);
+        assert_eq!(c2.hidden_activation, Activation::Tanh);
+        assert_eq!(c2.output_activation, Activation::Sigmoid);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn single_layer_config_rejected() {
+        let _ = MlpConfig::new(&[4]);
+    }
+
+    #[test]
+    fn network_shapes_and_parameter_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = Mlp::new(MlpConfig::new(&[5, 64, 2]), &mut rng);
+        assert_eq!(net.layers().len(), 2);
+        assert_eq!(net.parameter_count(), 5 * 64 + 64 + 64 * 2 + 2);
+        let y = net.forward(&Matrix::<f64>::ones(3, 5));
+        assert_eq!(y.shape(), (3, 2));
+        assert_eq!(net.forward_one(&[1.0; 5]).len(), 2);
+    }
+
+    #[test]
+    fn learns_xor_with_adam() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let config = MlpConfig::new(&[2, 16, 1]).with_hidden_activation(Activation::Tanh);
+        let mut net = Mlp::new(config, &mut rng);
+        let mut opt = Adam::new(0.02);
+        let (x, t) = xor_data();
+        let mut final_loss = f64::INFINITY;
+        for _ in 0..2000 {
+            final_loss = net.train_step(&x, &t, Loss::Mse, &mut opt);
+        }
+        assert!(final_loss < 0.02, "XOR did not converge: loss {final_loss}");
+        let pred = net.forward(&x);
+        assert!(pred[(0, 0)] < 0.3 && pred[(3, 0)] < 0.3);
+        assert!(pred[(1, 0)] > 0.7 && pred[(2, 0)] > 0.7);
+    }
+
+    #[test]
+    fn learns_linear_function_with_sgd_and_huber() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut net = Mlp::new(MlpConfig::new(&[1, 8, 1]), &mut rng);
+        let mut opt = Sgd::new(0.01);
+        let x = Matrix::from_fn(20, 1, |i, _| i as f64 / 20.0);
+        let t = x.map(|v| 2.0 * v - 0.5);
+        for _ in 0..3000 {
+            net.train_step(&x, &t, Loss::Huber, &mut opt);
+        }
+        let pred = net.forward(&x);
+        assert!(pred.max_abs_diff(&t) < 0.15);
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = Mlp::new(MlpConfig::new(&[2, 12, 1]), &mut rng);
+        let mut opt = Adam::new(0.01);
+        let (x, t) = xor_data();
+        let first = net.train_step(&x, &t, Loss::Mse, &mut opt);
+        let mut last = first;
+        for _ in 0..300 {
+            last = net.train_step(&x, &t, Loss::Mse, &mut opt);
+        }
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn target_network_copy_makes_outputs_identical() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let config = MlpConfig::new(&[3, 10, 2]);
+        let a = Mlp::new(config.clone(), &mut rng);
+        let mut b = Mlp::new(config, &mut rng);
+        let x = Matrix::from_rows(&[vec![0.5, -0.5, 1.0]]);
+        assert!(a.forward(&x).max_abs_diff(&b.forward(&x)) > 1e-9);
+        b.copy_parameters_from(&a);
+        assert!(a.forward(&x).max_abs_diff(&b.forward(&x)) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture mismatch")]
+    fn copy_between_different_architectures_panics() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = Mlp::new(MlpConfig::new(&[3, 10, 2]), &mut rng);
+        let mut b = Mlp::new(MlpConfig::new(&[3, 11, 2]), &mut rng);
+        b.copy_parameters_from(&a);
+    }
+
+    #[test]
+    fn lipschitz_bound_is_finite_and_positive() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let net = Mlp::new(MlpConfig::new(&[4, 32, 2]), &mut rng);
+        let k = net.lipschitz_upper_bound();
+        assert!(k.is_finite() && k > 0.0);
+        // Empirically verify the bound on random input pairs.
+        let mut max_ratio: f64 = 0.0;
+        for i in 0..20 {
+            let x1 = elmrl_linalg::random::uniform_matrix::<f64, _>(1, 4, -1.0, 1.0, &mut rng);
+            let x2 = elmrl_linalg::random::uniform_matrix::<f64, _>(1, 4, -1.0, 1.0, &mut rng);
+            let dy = (&net.forward(&x1) - &net.forward(&x2)).frobenius_norm();
+            let dx = (&x1 - &x2).frobenius_norm();
+            if dx > 1e-9 {
+                max_ratio = max_ratio.max(dy / dx);
+            }
+            let _ = i;
+        }
+        assert!(max_ratio <= k + 1e-9, "observed ratio {max_ratio} exceeds bound {k}");
+    }
+}
