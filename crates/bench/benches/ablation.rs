@@ -8,10 +8,16 @@ use rand::{rngs::SmallRng, SeedableRng};
 
 fn trained_oselm<T: elmrl_linalg::Scalar>(hidden: usize) -> OsElm<T> {
     let mut rng = SmallRng::seed_from_u64(5);
-    let cfg = OsElmConfig::new(5, hidden, 1).with_l2_delta(0.1).with_relative_l2(true);
+    let cfg = OsElmConfig::new(5, hidden, 1)
+        .with_l2_delta(0.1)
+        .with_relative_l2(true);
     let mut os = OsElm::<T>::new(&cfg, &mut rng);
-    let x0 = Matrix::from_fn(hidden, 5, |i, j| T::from_f64((((i * 3 + j) % 11) as f64 / 11.0) - 0.5));
-    let t0 = Matrix::from_fn(hidden, 1, |i, _| T::from_f64(if i % 4 == 0 { -1.0 } else { 0.0 }));
+    let x0 = Matrix::from_fn(hidden, 5, |i, j| {
+        T::from_f64((((i * 3 + j) % 11) as f64 / 11.0) - 0.5)
+    });
+    let t0 = Matrix::from_fn(hidden, 1, |i, _| {
+        T::from_f64(if i % 4 == 0 { -1.0 } else { 0.0 })
+    });
     os.init_train(&x0, &t0).unwrap();
     os
 }
@@ -20,21 +26,33 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_update_paths");
     for hidden in [32usize, 64] {
         let x = [0.1, -0.2, 0.05, 0.3, 1.0];
-        group.bench_with_input(BenchmarkId::new("batch1_fast_path", hidden), &hidden, |b, &h| {
-            let mut os = trained_oselm::<f64>(h);
-            b.iter(|| os.seq_train_single(&x, &[0.3]).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("general_batch1", hidden), &hidden, |b, &h| {
-            let mut os = trained_oselm::<f64>(h);
-            let xm = Matrix::row_from_slice(&x);
-            let tm = Matrix::row_from_slice(&[0.3]);
-            b.iter(|| os.seq_train(&xm, &tm).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("fixed_point_q20", hidden), &hidden, |b, &h| {
-            let mut os = trained_oselm::<Q20>(h);
-            let xq: Vec<Q20> = x.iter().map(|&v| Q20::from_f64(v)).collect();
-            b.iter(|| os.seq_train_single(&xq, &[Q20::from_f64(0.3)]).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("batch1_fast_path", hidden),
+            &hidden,
+            |b, &h| {
+                let mut os = trained_oselm::<f64>(h);
+                b.iter(|| os.seq_train_single(&x, &[0.3]).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("general_batch1", hidden),
+            &hidden,
+            |b, &h| {
+                let mut os = trained_oselm::<f64>(h);
+                let xm = Matrix::row_from_slice(&x);
+                let tm = Matrix::row_from_slice(&[0.3]);
+                b.iter(|| os.seq_train(&xm, &tm).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fixed_point_q20", hidden),
+            &hidden,
+            |b, &h| {
+                let mut os = trained_oselm::<Q20>(h);
+                let xq: Vec<Q20> = x.iter().map(|&v| Q20::from_f64(v)).collect();
+                b.iter(|| os.seq_train_single(&xq, &[Q20::from_f64(0.3)]).unwrap())
+            },
+        );
     }
     group.finish();
 }

@@ -9,7 +9,12 @@ use rand::{rngs::SmallRng, SeedableRng};
 fn bench_training_episodes(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_training_episodes");
     group.sample_size(10);
-    for design in [Design::OsElmL2Lipschitz, Design::OsElm, Design::Elm, Design::Dqn] {
+    for design in [
+        Design::OsElmL2Lipschitz,
+        Design::OsElm,
+        Design::Elm,
+        Design::Dqn,
+    ] {
         for hidden in [32usize, 64] {
             let id = BenchmarkId::new(design.label(), hidden);
             group.bench_with_input(id, &(design, hidden), |b, &(design, hidden)| {

@@ -21,32 +21,40 @@ fn sample_obs(i: usize) -> Observation {
 fn bench_update_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_update_step");
     for hidden in [32usize, 64, 128, 192] {
-        group.bench_with_input(BenchmarkId::new("oselm_seq_train", hidden), &hidden, |b, &h| {
-            let mut rng = SmallRng::seed_from_u64(1);
-            let mut cfg = OsElmQNetConfig::cartpole(h, 0.5, true);
-            cfg.random_update = false;
-            let mut agent = OsElmQNet::new(cfg, &mut rng);
-            for i in 0..h {
-                agent.observe(&sample_obs(i), &mut rng);
-            }
-            let mut i = 0;
-            b.iter(|| {
-                i += 1;
-                agent.observe(&sample_obs(i), &mut rng)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("dqn_train_step", hidden), &hidden, |b, &h| {
-            let mut rng = SmallRng::seed_from_u64(1);
-            let mut agent = DqnAgent::new(DqnConfig::cartpole(h), &mut rng);
-            for i in 0..128 {
-                agent.observe(&sample_obs(i), &mut rng);
-            }
-            let mut i = 0;
-            b.iter(|| {
-                i += 1;
-                agent.observe(&sample_obs(i), &mut rng)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("oselm_seq_train", hidden),
+            &hidden,
+            |b, &h| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                let mut cfg = OsElmQNetConfig::cartpole(h, 0.5, true);
+                cfg.random_update = false;
+                let mut agent = OsElmQNet::new(cfg, &mut rng);
+                for i in 0..h {
+                    agent.observe(&sample_obs(i), &mut rng);
+                }
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    agent.observe(&sample_obs(i), &mut rng)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dqn_train_step", hidden),
+            &hidden,
+            |b, &h| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                let mut agent = DqnAgent::new(DqnConfig::cartpole(h), &mut rng);
+                for i in 0..128 {
+                    agent.observe(&sample_obs(i), &mut rng);
+                }
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    agent.observe(&sample_obs(i), &mut rng)
+                })
+            },
+        );
     }
     group.finish();
 }

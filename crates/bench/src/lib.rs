@@ -4,3 +4,6 @@
 //! paper plus kernel microbenchmarks. The benches use reduced trial counts and
 //! episode budgets so that `cargo bench --workspace` completes in minutes; the
 //! full paper protocol is driven by the `elmrl-harness` binaries instead.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]

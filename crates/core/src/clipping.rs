@@ -28,7 +28,12 @@ pub struct TargetConfig {
 
 impl Default for TargetConfig {
     fn default() -> Self {
-        Self { gamma: 0.99, clip: true, clip_min: -1.0, clip_max: 1.0 }
+        Self {
+            gamma: 0.99,
+            clip: true,
+            clip_min: -1.0,
+            clip_max: 1.0,
+        }
     }
 }
 
@@ -36,7 +41,12 @@ impl TargetConfig {
     /// A config with clipping disabled (used by the clipping ablation and by
     /// the DQN baseline, which relies on the Huber loss instead).
     pub fn unclipped(gamma: f64) -> Self {
-        Self { gamma, clip: false, clip_min: f64::NEG_INFINITY, clip_max: f64::INFINITY }
+        Self {
+            gamma,
+            clip: false,
+            clip_min: f64::NEG_INFINITY,
+            clip_max: f64::INFINITY,
+        }
     }
 
     /// Compute the (possibly clipped) Q-learning target
@@ -67,7 +77,12 @@ mod tests {
 
     #[test]
     fn bootstrap_removed_on_terminal_transitions() {
-        let c = TargetConfig { gamma: 0.9, clip: false, clip_min: -1.0, clip_max: 1.0 };
+        let c = TargetConfig {
+            gamma: 0.9,
+            clip: false,
+            clip_min: -1.0,
+            clip_max: 1.0,
+        };
         assert_eq!(c.target(0.5, 100.0, true), 0.5);
         assert_eq!(c.target(0.5, 1.0, false), 0.5 + 0.9);
     }

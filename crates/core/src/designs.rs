@@ -126,9 +126,9 @@ impl Design {
                 c.gamma = config.gamma;
                 Box::new(DqnAgent::new(c, rng))
             }
-            Design::Fpga => panic!(
-                "Design::Fpga is built by elmrl_fpga::FpgaAgent::new, not Design::build"
-            ),
+            Design::Fpga => {
+                panic!("Design::Fpga is built by elmrl_fpga::FpgaAgent::new, not Design::build")
+            }
         }
     }
 }

@@ -104,15 +104,20 @@ impl DqnAgent {
             return;
         }
         let start = Instant::now();
-        let batch: Vec<Transition> =
-            self.replay.sample(self.config.batch_size, rng).into_iter().cloned().collect();
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(self.config.batch_size, rng)
+            .into_iter()
+            .cloned()
+            .collect();
 
         let k = batch.len();
-        let states = Matrix::from_rows(
-            &batch.iter().map(|t| t.state.clone()).collect::<Vec<_>>(),
-        );
+        let states = Matrix::from_rows(&batch.iter().map(|t| t.state.clone()).collect::<Vec<_>>());
         let next_states = Matrix::from_rows(
-            &batch.iter().map(|t| t.next_state.clone()).collect::<Vec<_>>(),
+            &batch
+                .iter()
+                .map(|t| t.next_state.clone())
+                .collect::<Vec<_>>(),
         );
 
         // Q_θ2(s', ·) on the batch — the `predict_32` class of Figure 5.
@@ -134,7 +139,8 @@ impl DqnAgent {
         }
         let _ = k;
 
-        self.online.train_step(&states, &targets, Loss::Huber, &mut self.optimizer);
+        self.online
+            .train_step(&states, &targets, Loss::Huber, &mut self.optimizer);
         self.ops.record(OpKind::TrainDqn, start.elapsed());
     }
 }

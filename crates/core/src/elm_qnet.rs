@@ -141,8 +141,13 @@ impl Agent for ElmQNet {
     fn act(&mut self, state: &[f64], rng: &mut SmallRng) -> usize {
         let start = Instant::now();
         let q = self.q_for(self.online.model(), state);
-        let kind = if self.trained_once { OpKind::PredictSeq } else { OpKind::PredictInit };
-        self.ops.record_n(kind, self.config.num_actions as u64, start.elapsed());
+        let kind = if self.trained_once {
+            OpKind::PredictSeq
+        } else {
+            OpKind::PredictInit
+        };
+        self.ops
+            .record_n(kind, self.config.num_actions as u64, start.elapsed());
         self.policy.select(&q, rng)
     }
 
@@ -247,7 +252,10 @@ mod tests {
         }
         assert!(agent.is_trained());
         let q = agent.q_values(&[0.05, -0.02, 0.03, 0.04]);
-        assert!(q.iter().any(|&v| v < -0.3), "expected learned negative Q, got {q:?}");
+        assert!(
+            q.iter().any(|&v| v < -0.3),
+            "expected learned negative Q, got {q:?}"
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl StateActionEncoder {
     pub fn with_encoding(state_dim: usize, num_actions: usize, encoding: ActionEncoding) -> Self {
         assert!(state_dim > 0, "state dimension must be positive");
         assert!(num_actions > 0, "need at least one action");
-        Self { state_dim, num_actions, encoding }
+        Self {
+            state_dim,
+            num_actions,
+            encoding,
+        }
     }
 
     /// Length of the encoded input vector.
@@ -90,7 +94,9 @@ impl StateActionEncoder {
     /// Encode the same state paired with every action — the batch used to
     /// compute `max_a Q(s, a)` in one pass.
     pub fn encode_all_actions(&self, state: &[f64]) -> Vec<Vec<f64>> {
-        (0..self.num_actions).map(|a| self.encode(state, a)).collect()
+        (0..self.num_actions)
+            .map(|a| self.encode(state, a))
+            .collect()
     }
 }
 

@@ -19,8 +19,8 @@ use crate::clipping::TargetConfig;
 use crate::encoding::StateActionEncoder;
 use crate::ops::{OpCounts, OpKind};
 use crate::policy::{max_q, ExploitPolicy};
-use elmrl_elm::{HiddenActivation, OsElm, OsElmConfig};
 use elmrl_elm::model::ElmModel;
+use elmrl_elm::{HiddenActivation, OsElm, OsElmConfig};
 use elmrl_linalg::Matrix;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -83,7 +83,11 @@ impl OsElmQNetConfig {
     fn elm_config(&self) -> OsElmConfig {
         OsElmConfig::new(self.state_dim + 1, self.hidden_dim, 1)
             .with_activation(self.activation)
-            .with_l2_delta(if self.l2_delta > 0.0 { self.l2_delta } else { NUMERICAL_DELTA })
+            .with_l2_delta(if self.l2_delta > 0.0 {
+                self.l2_delta
+            } else {
+                NUMERICAL_DELTA
+            })
             // δ is interpreted relative to the hidden-feature energy so that
             // the paper's δ = 1 / δ = 0.5 remain comparable penalties whether
             // or not spectral normalization has rescaled the features.
@@ -221,8 +225,13 @@ impl Agent for OsElmQNet {
     fn act(&mut self, state: &[f64], rng: &mut SmallRng) -> usize {
         let start = Instant::now();
         let q = self.q_for(self.online.model(), state);
-        let kind = if self.is_initialized() { OpKind::PredictSeq } else { OpKind::PredictInit };
-        self.ops.record_n(kind, self.config.num_actions as u64, start.elapsed());
+        let kind = if self.is_initialized() {
+            OpKind::PredictSeq
+        } else {
+            OpKind::PredictInit
+        };
+        self.ops
+            .record_n(kind, self.config.num_actions as u64, start.elapsed());
         self.policy.select(&q, rng)
     }
 
@@ -334,7 +343,10 @@ mod tests {
         let mut agent = OsElmQNet::new(OsElmQNetConfig::cartpole(8, 0.5, true), &mut r);
         assert!(!agent.is_initialized());
         for i in 0..8 {
-            assert!(!agent.is_initialized(), "should not initialise before Ñ samples");
+            assert!(
+                !agent.is_initialized(),
+                "should not initialise before Ñ samples"
+            );
             let mut obs = sample_obs(0.0, false);
             obs.state[0] = i as f64 * 0.01; // make samples distinct
             agent.observe(&obs, &mut r);
@@ -408,7 +420,11 @@ mod tests {
             agent.observe(&fail_obs, &mut r);
         }
         let q = agent.q_values(&fail_obs.state);
-        assert!(q[1] < -0.5, "Q for the failing action should approach −1, got {}", q[1]);
+        assert!(
+            q[1] < -0.5,
+            "Q for the failing action should approach −1, got {}",
+            q[1]
+        );
     }
 
     #[test]

@@ -56,8 +56,7 @@ impl ExploitPolicy {
 pub fn argmax_random_ties(values: &[f64], rng: &mut SmallRng) -> usize {
     assert!(!values.is_empty(), "argmax of empty slice");
     let best = values[argmax(values)];
-    let tied: Vec<usize> =
-        (0..values.len()).filter(|&i| values[i] == best).collect();
+    let tied: Vec<usize> = (0..values.len()).filter(|&i| values[i] == best).collect();
     if tied.len() == 1 {
         tied[0]
     } else {
@@ -127,7 +126,10 @@ mod tests {
         let q = [0.5, 0.5];
         let ones = (0..400).filter(|_| p.select(&q, &mut rng) == 1).count();
         let frac = ones as f64 / 400.0;
-        assert!((frac - 0.5).abs() < 0.1, "tie-breaking should be ~uniform, got {frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.1,
+            "tie-breaking should be ~uniform, got {frac}"
+        );
         // Non-tied values are still greedy.
         assert_eq!(argmax_random_ties(&[0.1, 0.9], &mut rng), 1);
     }
@@ -141,7 +143,10 @@ mod tests {
         // exploit picks action 1 always; explore picks it half the time →
         // expected ≈ 0.7 + 0.3·0.5 = 0.85
         let frac = greedy_count as f64 / 2000.0;
-        assert!((frac - 0.85).abs() < 0.05, "observed greedy fraction {frac}");
+        assert!(
+            (frac - 0.85).abs() < 0.05,
+            "observed greedy fraction {frac}"
+        );
     }
 
     #[test]

@@ -92,12 +92,18 @@ impl TrainerConfig {
     /// The paper's full protocol (50 000-episode cut-off). Long; used by the
     /// harness binaries, not by unit tests.
     pub fn paper_protocol() -> Self {
-        Self { max_episodes: 50_000, ..Self::default() }
+        Self {
+            max_episodes: 50_000,
+            ..Self::default()
+        }
     }
 
     /// A small-budget configuration for tests and examples.
     pub fn quick(max_episodes: usize) -> Self {
-        Self { max_episodes, ..Self::default() }
+        Self {
+            max_episodes,
+            ..Self::default()
+        }
     }
 }
 
@@ -170,7 +176,8 @@ impl Trainer {
         rng: &mut SmallRng,
     ) -> TrainingResult {
         let start = Instant::now();
-        let mut stats = EpisodeStats::with_window(self.config.solved_window, env.solved_threshold());
+        let mut stats =
+            EpisodeStats::with_window(self.config.solved_window, env.solved_threshold());
         let mut total_steps = 0usize;
         let mut resets = 0usize;
         let mut episodes_since_reset = 0usize;
@@ -262,7 +269,10 @@ mod tests {
         assert_eq!(c.reset_after_episodes, Some(300));
         assert_eq!(c.solved_window, 100);
         assert!(c.stop_when_solved);
-        assert_eq!(c.solve_criterion, SolveCriterion::EpisodeReturn { threshold: 195.0 });
+        assert_eq!(
+            c.solve_criterion,
+            SolveCriterion::EpisodeReturn { threshold: 195.0 }
+        );
         assert_eq!(TrainerConfig::paper_protocol().max_episodes, 50_000);
         assert_eq!(TrainerConfig::quick(7).max_episodes, 7);
     }
@@ -270,7 +280,10 @@ mod tests {
     #[test]
     fn moving_average_criterion_requires_full_window() {
         let trainer = Trainer::new(TrainerConfig {
-            solve_criterion: SolveCriterion::MovingAverage { threshold: 10.0, window: 3 },
+            solve_criterion: SolveCriterion::MovingAverage {
+                threshold: 10.0,
+                window: 3,
+            },
             ..TrainerConfig::quick(1)
         });
         let mut stats = EpisodeStats::with_window(100, None);
@@ -295,7 +308,10 @@ mod tests {
         let mut agent = Design::OsElmL2Lipschitz.build(&DesignConfig::new(16), &mut r);
         let mut env = CartPole::new();
         let mut cfg = TrainerConfig::quick(20);
-        cfg.solve_criterion = SolveCriterion::MovingAverage { threshold: 195.0, window: 100 };
+        cfg.solve_criterion = SolveCriterion::MovingAverage {
+            threshold: 195.0,
+            window: 100,
+        };
         let trainer = Trainer::new(cfg);
         let result = trainer.run(agent.as_mut(), &mut env, &mut r);
 
@@ -311,7 +327,10 @@ mod tests {
             (result.stats.total_steps_assuming_unit_reward() - result.total_steps as f64).abs()
                 < 1e-9
         );
-        assert!(!result.solved, "20 episodes cannot satisfy a 100-episode window");
+        assert!(
+            !result.solved,
+            "20 episodes cannot satisfy a 100-episode window"
+        );
         assert!(result.wall_seconds() > 0.0);
         assert!(result.op_counts.total_count() > 0);
     }
@@ -324,7 +343,11 @@ mod tests {
         let mut config = TrainerConfig::quick(25);
         config.reset_after_episodes = Some(10);
         let result = Trainer::new(config).run(agent.as_mut(), &mut env, &mut r);
-        assert!(result.resets >= 2, "expected ≥2 resets in 25 episodes, got {}", result.resets);
+        assert!(
+            result.resets >= 2,
+            "expected ≥2 resets in 25 episodes, got {}",
+            result.resets
+        );
     }
 
     #[test]
@@ -362,7 +385,10 @@ mod tests {
             let mut r = rng(seed);
             let mut agent = Design::OsElmL2.build(&DesignConfig::new(8), &mut r);
             let mut env = CartPole::new();
-            Trainer::new(TrainerConfig::quick(8)).run(agent.as_mut(), &mut env, &mut r).stats.returns
+            Trainer::new(TrainerConfig::quick(8))
+                .run(agent.as_mut(), &mut env, &mut r)
+                .stats
+                .returns
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

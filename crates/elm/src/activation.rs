@@ -119,7 +119,10 @@ mod tests {
             let xs: Vec<f64> = (-40..40).map(|i| i as f64 * 0.1).collect();
             for w in xs.windows(2) {
                 let slope = (act.apply(w[1]) - act.apply(w[0])) / (w[1] - w[0]);
-                assert!(slope.abs() <= k + 1e-9, "{act:?}: slope {slope} exceeds {k}");
+                assert!(
+                    slope.abs() <= k + 1e-9,
+                    "{act:?}: slope {slope} exceeds {k}"
+                );
             }
         }
     }

@@ -45,7 +45,10 @@ impl OsElmConfig {
     /// Config with the paper's defaults: ReLU, no regularisation, no
     /// normalisation, `α, b ∈ [0, 1]`.
     pub fn new(input_dim: usize, hidden_dim: usize, output_dim: usize) -> Self {
-        assert!(input_dim > 0 && hidden_dim > 0 && output_dim > 0, "dimensions must be positive");
+        assert!(
+            input_dim > 0 && hidden_dim > 0 && output_dim > 0,
+            "dimensions must be positive"
+        );
         Self {
             input_dim,
             hidden_dim,

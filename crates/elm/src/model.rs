@@ -70,7 +70,13 @@ impl<T: Scalar> ElmModel<T> {
         assert_eq!(alpha.cols(), bias.cols(), "α and bias disagree on Ñ");
         assert_eq!(alpha.cols(), beta.rows(), "α and β disagree on Ñ");
         let alpha_sigma_max = spectral::sigma_max_f64(&alpha);
-        Self { alpha, bias, beta, activation, alpha_sigma_max }
+        Self {
+            alpha,
+            bias,
+            beta,
+            activation,
+            alpha_sigma_max,
+        }
     }
 
     /// Number of input nodes `n`.
@@ -157,8 +163,16 @@ impl<T: Scalar> ElmModel<T> {
     /// the Q-learning target-network synchronisation `θ₂ ← θ₁`
     /// (Algorithm 1 line 24).
     pub fn copy_parameters_from(&mut self, other: &ElmModel<T>) {
-        assert_eq!(self.alpha.shape(), other.alpha.shape(), "copy: α shape mismatch");
-        assert_eq!(self.beta.shape(), other.beta.shape(), "copy: β shape mismatch");
+        assert_eq!(
+            self.alpha.shape(),
+            other.alpha.shape(),
+            "copy: α shape mismatch"
+        );
+        assert_eq!(
+            self.beta.shape(),
+            other.beta.shape(),
+            "copy: β shape mismatch"
+        );
         self.alpha = other.alpha.clone();
         self.bias = other.bias.clone();
         self.beta = other.beta.clone();
@@ -208,7 +222,10 @@ mod tests {
         let m = ElmModel::<f64>::new(&config(), &mut rng);
         assert!(m.alpha().iter().all(|&v| (0.0..1.0).contains(&v)));
         assert!(m.bias().iter().all(|&v| (0.0..1.0).contains(&v)));
-        assert!(m.alpha_sigma_max() > 1.0, "raw [0,1] α should have σ_max > 1 here");
+        assert!(
+            m.alpha_sigma_max() > 1.0,
+            "raw [0,1] α should have σ_max > 1 here"
+        );
     }
 
     #[test]
@@ -220,7 +237,10 @@ mod tests {
         assert!(m.alpha_sigma_max() <= 1.0 + 1e-9);
         let augmented = m.alpha().vstack(m.bias()).unwrap();
         let sigma_aug = crate::spectral::sigma_max_f64(&augmented);
-        assert!((sigma_aug - 1.0).abs() < 1e-9, "σ_max([α; b]) = {sigma_aug}");
+        assert!(
+            (sigma_aug - 1.0).abs() < 1e-9,
+            "σ_max([α; b]) = {sigma_aug}"
+        );
         // bias is scaled by the same factor, so it is no longer in [0, 1)·1
         assert!(m.bias().iter().all(|&b| b.abs() <= 1.0));
     }

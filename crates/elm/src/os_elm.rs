@@ -85,7 +85,14 @@ impl<T: Scalar> OsElm<T> {
     /// Wrap an existing model (used by the Q-network layer when it resets β
     /// but keeps α).
     pub fn from_model(model: ElmModel<T>, l2_delta: f64) -> Self {
-        Self { model, p: None, l2_delta, relative_l2: false, init_train_count: 0, seq_train_count: 0 }
+        Self {
+            model,
+            p: None,
+            l2_delta,
+            relative_l2: false,
+            init_train_count: 0,
+            seq_train_count: 0,
+        }
     }
 
     /// Borrow the underlying model.
@@ -150,8 +157,8 @@ impl<T: Scalar> OsElm<T> {
             // the penalty stays proportionate to the feature energy (see
             // `OsElmConfig::relative_l2`).
             let effective = if self.relative_l2 {
-                let mean_sq = h0.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>()
-                    / h0.len() as f64;
+                let mean_sq =
+                    h0.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>() / h0.len() as f64;
                 self.l2_delta * mean_sq.max(f64::MIN_POSITIVE)
             } else {
                 self.l2_delta
@@ -330,13 +337,22 @@ mod tests {
         let mut os = OsElm::<f64>::new(&cfg, &mut rng);
         let (x, t) = dataset(80);
 
-        os.init_train(&x.submatrix(0, 30, 0, 2).unwrap(), &t.submatrix(0, 30, 0, 1).unwrap())
-            .unwrap();
+        os.init_train(
+            &x.submatrix(0, 30, 0, 2).unwrap(),
+            &t.submatrix(0, 30, 0, 1).unwrap(),
+        )
+        .unwrap();
         // chunks of varying sizes
-        os.seq_train(&x.submatrix(30, 50, 0, 2).unwrap(), &t.submatrix(30, 50, 0, 1).unwrap())
-            .unwrap();
-        os.seq_train(&x.submatrix(50, 80, 0, 2).unwrap(), &t.submatrix(50, 80, 0, 1).unwrap())
-            .unwrap();
+        os.seq_train(
+            &x.submatrix(30, 50, 0, 2).unwrap(),
+            &t.submatrix(30, 50, 0, 1).unwrap(),
+        )
+        .unwrap();
+        os.seq_train(
+            &x.submatrix(50, 80, 0, 2).unwrap(),
+            &t.submatrix(50, 80, 0, 1).unwrap(),
+        )
+        .unwrap();
 
         let h_all = os.model().hidden(&x);
         let beta_ridge = ridge_solve(&h_all, &t, 0.1).unwrap();
@@ -356,10 +372,16 @@ mod tests {
 
         let mut a = OsElm::<f64>::new(&cfg, &mut rng);
         let mut b = a.clone();
-        a.init_train(&x.submatrix(0, 20, 0, 2).unwrap(), &t.submatrix(0, 20, 0, 1).unwrap())
-            .unwrap();
-        b.init_train(&x.submatrix(0, 20, 0, 2).unwrap(), &t.submatrix(0, 20, 0, 1).unwrap())
-            .unwrap();
+        a.init_train(
+            &x.submatrix(0, 20, 0, 2).unwrap(),
+            &t.submatrix(0, 20, 0, 1).unwrap(),
+        )
+        .unwrap();
+        b.init_train(
+            &x.submatrix(0, 20, 0, 2).unwrap(),
+            &t.submatrix(0, 20, 0, 1).unwrap(),
+        )
+        .unwrap();
 
         for i in 20..40 {
             let xi = x.submatrix(i, i + 1, 0, 2).unwrap();
@@ -387,18 +409,14 @@ mod tests {
         });
         let bias = Matrix::from_fn(1, hidden, |_, j| -0.9 + 0.23 * j as f64);
         let beta = Matrix::zeros(hidden, 1);
-        let model = crate::model::ElmModel::from_parts(
-            alpha,
-            bias,
-            beta,
-            HiddenActivation::HardTanh,
-        );
+        let model =
+            crate::model::ElmModel::from_parts(alpha, bias, beta, HiddenActivation::HardTanh);
         let (x, t) = {
             // scattered pseudo-random 2-D inputs (LCG), smooth target
             let mut state = 0x1234_5678_u64;
             let mut next = move || {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                ((state >> 11) as f64 / (1u64 << 53) as f64)
+                (state >> 11) as f64 / (1u64 << 53) as f64
             };
             let x = Matrix::from_fn(60, 2, |_, _| next());
             let t = Matrix::from_fn(60, 1, |i, _| (2.0 * x[(i, 0)] - 0.5 * x[(i, 1)]).sin());
@@ -406,8 +424,11 @@ mod tests {
         };
 
         let mut os = OsElm::from_model(model.clone(), 0.0);
-        os.init_train(&x.submatrix(0, 30, 0, 2).unwrap(), &t.submatrix(0, 30, 0, 1).unwrap())
-            .unwrap();
+        os.init_train(
+            &x.submatrix(0, 30, 0, 2).unwrap(),
+            &t.submatrix(0, 30, 0, 1).unwrap(),
+        )
+        .unwrap();
         for i in 30..60 {
             os.seq_train_single(x.row(i), t.row(i)).unwrap();
         }
@@ -423,8 +444,11 @@ mod tests {
         let cfg = config(24).with_l2_delta(0.01);
         let mut os = OsElm::<f64>::new(&cfg, &mut rng);
         let (x, t) = dataset(200);
-        os.init_train(&x.submatrix(0, 30, 0, 2).unwrap(), &t.submatrix(0, 30, 0, 1).unwrap())
-            .unwrap();
+        os.init_train(
+            &x.submatrix(0, 30, 0, 2).unwrap(),
+            &t.submatrix(0, 30, 0, 1).unwrap(),
+        )
+        .unwrap();
         let mse = |os: &OsElm<f64>| {
             let pred = os.predict(&x);
             (&pred - &t).iter().map(|&v| v * v).sum::<f64>() / t.len() as f64
@@ -465,7 +489,10 @@ mod tests {
         ));
         // double init
         os.init_train(&x, &t).unwrap();
-        assert_eq!(os.init_train(&x, &t).unwrap_err(), OsElmError::AlreadyInitialized);
+        assert_eq!(
+            os.init_train(&x, &t).unwrap_err(),
+            OsElmError::AlreadyInitialized
+        );
         // wrong single-sample widths
         assert!(matches!(
             os.seq_train_single(&[1.0], &[0.0]),
@@ -516,12 +543,18 @@ mod tests {
         let cfg = config(10).with_l2_delta(0.1);
         let mut os = OsElm::<f64>::new(&cfg, &mut rng);
         let (x, t) = dataset(50);
-        os.init_train(&x.submatrix(0, 20, 0, 2).unwrap(), &t.submatrix(0, 20, 0, 1).unwrap())
-            .unwrap();
+        os.init_train(
+            &x.submatrix(0, 20, 0, 2).unwrap(),
+            &t.submatrix(0, 20, 0, 1).unwrap(),
+        )
+        .unwrap();
         for i in 20..50 {
             os.seq_train_single(x.row(i), t.row(i)).unwrap();
         }
         let p = os.p_matrix().unwrap();
-        assert!(p.transpose().max_abs_diff(p) < 1e-9, "P must remain symmetric");
+        assert!(
+            p.transpose().max_abs_diff(p) < 1e-9,
+            "P must remain symmetric"
+        );
     }
 }

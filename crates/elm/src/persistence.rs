@@ -115,7 +115,9 @@ mod tests {
         assert_eq!(snap.activation, back.activation);
         let close = |a: &[f64], b: &[f64]| {
             a.len() == b.len()
-                && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-14 * x.abs().max(1.0))
+                && a.iter()
+                    .zip(b)
+                    .all(|(x, y)| (x - y).abs() <= 1e-14 * x.abs().max(1.0))
         };
         assert!(close(&snap.alpha, &back.alpha));
         assert!(close(&snap.bias, &back.bias));

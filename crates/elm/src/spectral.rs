@@ -40,7 +40,11 @@ pub fn normalize_alpha_bias<T: Scalar>(
     alpha: &Matrix<T>,
     bias: &Matrix<T>,
 ) -> (Matrix<T>, Matrix<T>) {
-    assert_eq!(alpha.cols(), bias.cols(), "α and bias disagree on the hidden width");
+    assert_eq!(
+        alpha.cols(),
+        bias.cols(),
+        "α and bias disagree on the hidden width"
+    );
     assert_eq!(bias.rows(), 1, "bias must be a 1×Ñ row");
     let augmented = alpha.vstack(bias).expect("shapes checked above");
     let sigma = sigma_max_f64(&augmented);
@@ -141,7 +145,11 @@ mod tests {
             p
         };
         for (a, b) in pre_raw.iter().zip(pre_norm.iter()) {
-            assert_eq!(*a >= 0.0, *b >= 0.0, "ReLU pattern changed by normalization");
+            assert_eq!(
+                *a >= 0.0,
+                *b >= 0.0,
+                "ReLU pattern changed by normalization"
+            );
         }
     }
 

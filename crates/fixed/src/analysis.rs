@@ -66,7 +66,11 @@ pub fn compare_to_reference<const FRAC: u32>(
             saturated += 1;
         }
     }
-    let rel = if ref_sq > 0.0 { (sum_sq / ref_sq).sqrt() } else { 0.0 };
+    let rel = if ref_sq > 0.0 {
+        (sum_sq / ref_sq).sqrt()
+    } else {
+        0.0
+    };
     QuantizationReport {
         max_abs_error: max_abs,
         mean_abs_error: sum_abs / n as f64,

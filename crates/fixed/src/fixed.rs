@@ -95,13 +95,17 @@ impl<const FRAC: u32> Fixed<FRAC> {
     /// Saturating addition.
     #[inline]
     pub fn saturating_add(self, rhs: Self) -> Self {
-        Self { raw: self.raw.saturating_add(rhs.raw) }
+        Self {
+            raw: self.raw.saturating_add(rhs.raw),
+        }
     }
 
     /// Saturating subtraction.
     #[inline]
     pub fn saturating_sub(self, rhs: Self) -> Self {
-        Self { raw: self.raw.saturating_sub(rhs.raw) }
+        Self {
+            raw: self.raw.saturating_sub(rhs.raw),
+        }
     }
 
     /// Saturating multiplication (64-bit intermediate, arithmetic shift).
@@ -109,7 +113,9 @@ impl<const FRAC: u32> Fixed<FRAC> {
     pub fn saturating_mul(self, rhs: Self) -> Self {
         let wide = (self.raw as i64) * (rhs.raw as i64);
         let shifted = wide >> FRAC;
-        Self { raw: clamp_i64(shifted) }
+        Self {
+            raw: clamp_i64(shifted),
+        }
     }
 
     /// Saturating division (64-bit intermediate). Division by zero saturates
@@ -127,7 +133,9 @@ impl<const FRAC: u32> Fixed<FRAC> {
             };
         }
         let wide = ((self.raw as i64) << FRAC) / (rhs.raw as i64);
-        Self { raw: clamp_i64(wide) }
+        Self {
+            raw: clamp_i64(wide),
+        }
     }
 
     /// Absolute value (saturating: `|MIN|` becomes `MAX`).
@@ -136,7 +144,9 @@ impl<const FRAC: u32> Fixed<FRAC> {
         if self.raw == i32::MIN {
             Self::MAX
         } else {
-            Self { raw: self.raw.abs() }
+            Self {
+                raw: self.raw.abs(),
+            }
         }
     }
 
@@ -239,7 +249,9 @@ impl<const FRAC: u32> Neg for Fixed<FRAC> {
     type Output = Self;
     #[inline]
     fn neg(self) -> Self {
-        Self { raw: self.raw.checked_neg().unwrap_or(i32::MAX) }
+        Self {
+            raw: self.raw.checked_neg().unwrap_or(i32::MAX),
+        }
     }
 }
 

@@ -18,6 +18,10 @@
 //! use elmrl_fixed::Q20;
 //! use elmrl_linalg::Matrix;
 //!
+//! // Q20 round-trip: any value in range survives to within one LSB.
+//! let q = Q20::from_f64(0.3);
+//! assert!((q.to_f64() - 0.3).abs() <= Q20::RESOLUTION);
+//!
 //! let a = Matrix::<Q20>::from_rows(&[
 //!     vec![Q20::from_f64(0.5), Q20::from_f64(-0.25)],
 //!     vec![Q20::from_f64(1.0), Q20::from_f64(2.0)],

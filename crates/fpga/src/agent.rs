@@ -122,7 +122,10 @@ impl FpgaAgent {
 
     /// Simulated programmable-logic seconds (125 MHz) accumulated so far.
     pub fn simulated_pl_seconds(&self) -> f64 {
-        self.core.as_ref().map(|c| c.cycles().total_seconds()).unwrap_or(0.0)
+        self.core
+            .as_ref()
+            .map(|c| c.cycles().total_seconds())
+            .unwrap_or(0.0)
     }
 
     /// Simulated seconds split by module: `(predict, seq_train, init_train)`.
@@ -150,7 +153,10 @@ impl FpgaAgent {
 
     fn core_q(&mut self, state: &[f64]) -> Vec<f64> {
         let inputs = self.encoder.encode_all_actions(state);
-        let core = self.core.as_mut().expect("core_q called before initial training");
+        let core = self
+            .core
+            .as_mut()
+            .expect("core_q called before initial training");
         inputs
             .iter()
             .map(|input| {
@@ -203,7 +209,10 @@ impl FpgaAgent {
         let target = self.config.target.target(obs.reward, max_next, obs.done);
         let input = self.encoder.encode(&obs.state, obs.action);
         let q_input: Vec<Q20> = input.iter().map(|&v| Q20::from_f64(v)).collect();
-        let core = self.core.as_mut().expect("sequential update before initial training");
+        let core = self
+            .core
+            .as_mut()
+            .expect("sequential update before initial training");
         core.seq_train(&q_input, &[Q20::from_f64(target)]);
         self.ops.record(OpKind::SeqTrain, start.elapsed());
     }
@@ -247,7 +256,8 @@ impl Agent for FpgaAgent {
                 .collect();
             (q, OpKind::PredictInit)
         };
-        self.ops.record_n(kind, self.config.num_actions as u64, start.elapsed());
+        self.ops
+            .record_n(kind, self.config.num_actions as u64, start.elapsed());
         self.policy.select(&q, rng)
     }
 
@@ -297,8 +307,8 @@ impl Agent for FpgaAgent {
 
     fn memory_footprint_bytes(&self) -> usize {
         // On the device the learnable state lives in BRAM as 32-bit words.
-        let words = crate::resources::ResourceModel::pynq_z1()
-            .storage_words(self.config.hidden_dim);
+        let words =
+            crate::resources::ResourceModel::pynq_z1().storage_words(self.config.hidden_dim);
         words * 4
     }
 }
@@ -317,7 +327,12 @@ mod tests {
 
     fn obs(i: usize, reward: f64, done: bool) -> Observation {
         Observation {
-            state: vec![0.01 * (i % 13) as f64 - 0.05, -0.02, 0.002 * (i % 7) as f64, 0.04],
+            state: vec![
+                0.01 * (i % 13) as f64 - 0.05,
+                -0.02,
+                0.002 * (i % 7) as f64,
+                0.04,
+            ],
             action: i % 2,
             reward,
             next_state: vec![0.01 * (i % 13) as f64, -0.01, 0.02, 0.05],
@@ -338,7 +353,11 @@ mod tests {
         assert!(agent.core_loaded());
         assert_eq!(agent.op_counts().count(OpKind::InitTrain), 1);
         assert!(agent.simulated_cpu_seconds > 0.0);
-        assert_eq!(agent.simulated_pl_seconds(), 0.0, "no PL work before the first predict");
+        assert_eq!(
+            agent.simulated_pl_seconds(),
+            0.0,
+            "no PL work before the first predict"
+        );
     }
 
     #[test]
@@ -409,7 +428,10 @@ mod tests {
         let core_q = agent.q_values(&probe);
         let target_q = agent.target_q(&probe);
         for (a, b) in core_q.iter().zip(target_q.iter()) {
-            assert!((a - b).abs() < 1e-2, "target sync mismatch: {core_q:?} vs {target_q:?}");
+            assert!(
+                (a - b).abs() < 1e-2,
+                "target sync mismatch: {core_q:?} vs {target_q:?}"
+            );
         }
     }
 

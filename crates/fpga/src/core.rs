@@ -155,7 +155,7 @@ impl FpgaCore {
             + h + DIV_LATENCY // denominator accumulation + reciprocal
             + 2 * h * h      // rank-1 downdate of P (multiply + subtract)
             + h * m          // prediction for the residual
-            + h * m + h      // β update
+            + h * m + h // β update
     }
 
     /// Hidden-layer activation of one sample (ReLU in Q20).
@@ -234,7 +234,6 @@ impl FpgaCore {
 mod tests {
     use super::*;
     use elmrl_elm::{HiddenActivation, OsElm, OsElmConfig};
-    use elmrl_linalg::Scalar;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -275,7 +274,9 @@ mod tests {
     fn fixed_point_prediction_tracks_float_model() {
         let (os, mut core) = float_and_fixed(16, 1);
         for k in 0..10 {
-            let x: Vec<f64> = (0..5).map(|j| ((k * 5 + j) as f64 * 0.137).sin() * 0.5).collect();
+            let x: Vec<f64> = (0..5)
+                .map(|j| ((k * 5 + j) as f64 * 0.137).sin() * 0.5)
+                .collect();
             let yf = os.predict_single(&x)[0];
             let yq = core.predict(&to_q20(&x))[0].to_f64();
             assert!(
@@ -290,7 +291,9 @@ mod tests {
     fn fixed_point_sequential_training_tracks_float_model() {
         let (mut os, mut core) = float_and_fixed(16, 2);
         for k in 0..50 {
-            let x: Vec<f64> = (0..5).map(|j| ((k * 3 + j) as f64 * 0.21).cos() * 0.4).collect();
+            let x: Vec<f64> = (0..5)
+                .map(|j| ((k * 3 + j) as f64 * 0.21).cos() * 0.4)
+                .collect();
             let t = if k % 4 == 0 { -1.0 } else { 0.1 };
             os.seq_train_single(&x, &[t]).unwrap();
             core.seq_train(&to_q20(&x), &[Q20::from_f64(t)]);
@@ -302,7 +305,10 @@ mod tests {
         for i in 0..beta_f.rows() {
             max_err = max_err.max((beta_f[(i, 0)] - beta_q[(i, 0)].to_f64()).abs());
         }
-        assert!(max_err < 5e-2, "β drift {max_err} exceeds fixed-point tolerance");
+        assert!(
+            max_err < 5e-2,
+            "β drift {max_err} exceeds fixed-point tolerance"
+        );
         // And their predictions should agree.
         let x = [0.1, -0.2, 0.05, 0.3, 1.0];
         let yf = os.predict_single(&x)[0];
@@ -316,8 +322,14 @@ mod tests {
         let (_, core128) = float_and_fixed(128, 3);
         let p_ratio = core128.predict_cycle_cost() as f64 / core32.predict_cycle_cost() as f64;
         let t_ratio = core128.seq_train_cycle_cost() as f64 / core32.seq_train_cycle_cost() as f64;
-        assert!(p_ratio > 2.0 && p_ratio < 6.0, "predict should scale ~linearly: {p_ratio}");
-        assert!(t_ratio > 10.0, "seq_train should scale ~quadratically: {t_ratio}");
+        assert!(
+            p_ratio > 2.0 && p_ratio < 6.0,
+            "predict should scale ~linearly: {p_ratio}"
+        );
+        assert!(
+            t_ratio > 10.0,
+            "seq_train should scale ~quadratically: {t_ratio}"
+        );
         // seq_train dominates predict at every size (the paper's bottleneck).
         assert!(core32.seq_train_cycle_cost() > 4 * core32.predict_cycle_cost());
     }

@@ -70,13 +70,21 @@ impl ResourceModel {
 
     /// Model for the paper's core (input = 5, output = 1) on the xc7z020.
     pub fn pynq_z1() -> Self {
-        Self { device: XC7Z020, input_dim: 5, output_dim: 1 }
+        Self {
+            device: XC7Z020,
+            input_dim: 5,
+            output_dim: 1,
+        }
     }
 
     /// Model with explicit I/O dimensions and device.
     pub fn new(device: DeviceBudget, input_dim: usize, output_dim: usize) -> Self {
         assert!(input_dim > 0 && output_dim > 0);
-        Self { device, input_dim, output_dim }
+        Self {
+            device,
+            input_dim,
+            output_dim,
+        }
     }
 
     /// The device budget used by the model.
@@ -97,7 +105,8 @@ impl ResourceModel {
 
     /// Number of 36 Kb BRAMs required for `hidden_dim` units.
     pub fn bram36_required(&self, hidden_dim: usize) -> usize {
-        self.storage_words(hidden_dim).div_ceil(Self::WORDS_PER_BRAM36)
+        self.storage_words(hidden_dim)
+            .div_ceil(Self::WORDS_PER_BRAM36)
     }
 
     /// DSP slices: one 32-bit multiplier (3 slices) plus one divider stage.
@@ -139,12 +148,19 @@ impl ResourceModel {
 
     /// The largest hidden width (among multiples of 32) that fits the device.
     pub fn max_hidden_dim(&self, candidates: &[usize]) -> Option<usize> {
-        candidates.iter().copied().filter(|&n| self.utilization(n).fits).max()
+        candidates
+            .iter()
+            .copied()
+            .filter(|&n| self.utilization(n).fits)
+            .max()
     }
 
     /// Generate the Table 3 sweep (32 … 256 hidden units).
     pub fn table3(&self) -> Vec<ResourceUtilization> {
-        [32, 64, 128, 192, 256].iter().map(|&n| self.utilization(n)).collect()
+        [32, 64, 128, 192, 256]
+            .iter()
+            .map(|&n| self.utilization(n))
+            .collect()
     }
 }
 
@@ -166,7 +182,10 @@ mod tests {
         let b32 = m.bram36_required(32);
         let b64 = m.bram36_required(64);
         let b128 = m.bram36_required(128);
-        assert!(b64 >= 3 * b32, "doubling Ñ should ~quadruple BRAM: {b32} -> {b64}");
+        assert!(
+            b64 >= 3 * b32,
+            "doubling Ñ should ~quadruple BRAM: {b32} -> {b64}"
+        );
         assert!(b128 >= 3 * b64);
     }
 
@@ -195,8 +214,16 @@ mod tests {
             );
         }
         // 192 fits, 256 does not
-        assert!(rows[3].fits, "192 units must fit ({:.1}% BRAM)", rows[3].bram_pct);
-        assert!(!rows[4].fits, "256 units must not fit ({:.1}% BRAM)", rows[4].bram_pct);
+        assert!(
+            rows[3].fits,
+            "192 units must fit ({:.1}% BRAM)",
+            rows[3].bram_pct
+        );
+        assert!(
+            !rows[4].fits,
+            "256 units must not fit ({:.1}% BRAM)",
+            rows[4].bram_pct
+        );
         // BRAM is the limiting resource: every other resource stays below 20%.
         for r in &rows[..4] {
             assert!(r.dsp_pct < 20.0 && r.ff_pct < 20.0 && r.lut_pct < 20.0);
@@ -227,8 +254,17 @@ mod tests {
 
     #[test]
     fn custom_device_changes_percentages() {
-        let big = DeviceBudget { name: "big", bram36: 1000, dsp: 2000, ff: 1_000_000, lut: 500_000 };
+        let big = DeviceBudget {
+            name: "big",
+            bram36: 1000,
+            dsp: 2000,
+            ff: 1_000_000,
+            lut: 500_000,
+        };
         let m = ResourceModel::new(big, 5, 1);
-        assert!(m.utilization(256).fits, "a larger device should fit 256 units");
+        assert!(
+            m.utilization(256).fits,
+            "a larger device should fit 256 units"
+        );
     }
 }

@@ -75,7 +75,12 @@ impl CartPole {
     /// Create the environment with explicit parameters (used by tests and
     /// ablations, e.g. longer episodes).
     pub fn with_params(params: CartPoleParams) -> Self {
-        Self { params, state: [0.0; 4], steps: 0, finished: true }
+        Self {
+            params,
+            state: [0.0; 4],
+            steps: 0,
+            finished: true,
+        }
     }
 
     /// The current physics parameters.
@@ -96,7 +101,11 @@ impl CartPole {
     fn dynamics(&self, state: [f64; 4], action: usize) -> [f64; 4] {
         let p = &self.params;
         let [x, x_dot, theta, theta_dot] = state;
-        let force = if action == 1 { p.force_mag } else { -p.force_mag };
+        let force = if action == 1 {
+            p.force_mag
+        } else {
+            -p.force_mag
+        };
         let total_mass = p.mass_cart + p.mass_pole;
         let pole_mass_length = p.mass_pole * p.half_pole_length;
 
@@ -104,8 +113,7 @@ impl CartPole {
         let sin_theta = theta.sin();
         let temp = (force + pole_mass_length * theta_dot * theta_dot * sin_theta) / total_mass;
         let theta_acc = (p.gravity * sin_theta - cos_theta * temp)
-            / (p.half_pole_length
-                * (4.0 / 3.0 - p.mass_pole * cos_theta * cos_theta / total_mass));
+            / (p.half_pole_length * (4.0 / 3.0 - p.mass_pole * cos_theta * cos_theta / total_mass));
         let x_acc = temp - pole_mass_length * theta_acc * cos_theta / total_mass;
 
         // Gym's (Euler) update order: positions first with the *old*
@@ -178,7 +186,10 @@ impl Environment for CartPole {
 
     fn step(&mut self, action: usize, _rng: &mut SmallRng) -> StepOutcome {
         assert!(action < 2, "CartPole has 2 actions, got {action}");
-        assert!(!self.finished, "step() called on a finished episode; call reset() first");
+        assert!(
+            !self.finished,
+            "step() called on a finished episode; call reset() first"
+        );
 
         self.state = self.dynamics(self.state, action);
         self.steps += 1;

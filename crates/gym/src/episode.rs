@@ -21,7 +21,11 @@ impl MovingAverage {
     /// Create an average over the last `window` values.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        Self { window, values: VecDeque::with_capacity(window), sum: 0.0 }
+        Self {
+            window,
+            values: VecDeque::with_capacity(window),
+            sum: 0.0,
+        }
     }
 
     /// Push a value, evicting the oldest when the window is full.

@@ -44,7 +44,13 @@ impl MountainCar {
     /// for v0 is 200).
     pub fn with_step_limit(max_steps: usize) -> Self {
         assert!(max_steps > 0, "step limit must be positive");
-        Self { position: -0.5, velocity: 0.0, steps: 0, finished: true, max_steps }
+        Self {
+            position: -0.5,
+            velocity: 0.0,
+            steps: 0,
+            finished: true,
+            max_steps,
+        }
     }
 
     /// Current `(position, velocity)` pair.
@@ -90,7 +96,10 @@ impl Environment for MountainCar {
 
     fn step(&mut self, action: usize, _rng: &mut SmallRng) -> StepOutcome {
         assert!(action < 3, "MountainCar has 3 actions, got {action}");
-        assert!(!self.finished, "step() called on a finished episode; call reset() first");
+        assert!(
+            !self.finished,
+            "step() called on a finished episode; call reset() first"
+        );
 
         let force = (action as f64 - 1.0) * Self::FORCE;
         self.velocity += force - Self::GRAVITY * (3.0 * self.position).cos();
@@ -154,7 +163,11 @@ mod tests {
         let space = env.observation_space();
         for i in 0..200 {
             let out = env.step(i % 3, &mut r);
-            assert!(space.contains(&out.observation), "obs out of bounds: {:?}", out.observation);
+            assert!(
+                space.contains(&out.observation),
+                "obs out of bounds: {:?}",
+                out.observation
+            );
             if out.finished() {
                 break;
             }
@@ -176,7 +189,10 @@ mod tests {
             }
         }
         let last = last.unwrap();
-        assert!(last.truncated && !last.done, "idle policy must not solve the task");
+        assert!(
+            last.truncated && !last.done,
+            "idle policy must not solve the task"
+        );
     }
 
     #[test]

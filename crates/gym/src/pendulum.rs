@@ -47,7 +47,14 @@ impl Pendulum {
     pub fn with_config(num_torques: usize, max_steps: usize) -> Self {
         assert!(num_torques >= 2, "need at least 2 torque levels");
         assert!(max_steps > 0, "step limit must be positive");
-        Self { theta: 0.0, theta_dot: 0.0, steps: 0, finished: true, num_torques, max_steps }
+        Self {
+            theta: 0.0,
+            theta_dot: 0.0,
+            steps: 0,
+            finished: true,
+            num_torques,
+            max_steps,
+        }
     }
 
     /// Torque corresponding to a discrete action index.
@@ -107,7 +114,10 @@ impl Environment for Pendulum {
     }
 
     fn step(&mut self, action: usize, _rng: &mut SmallRng) -> StepOutcome {
-        assert!(!self.finished, "step() called on a finished episode; call reset() first");
+        assert!(
+            !self.finished,
+            "step() called on a finished episode; call reset() first"
+        );
         let torque = self.torque_for_action(action);
 
         let theta_norm = Self::angle_normalize(self.theta);
@@ -213,8 +223,10 @@ mod tests {
 
     #[test]
     fn angle_normalization_wraps() {
-        assert!((Pendulum::angle_normalize(3.0 * PI) - PI).abs() < 1e-9 ||
-                (Pendulum::angle_normalize(3.0 * PI) + PI).abs() < 1e-9);
+        assert!(
+            (Pendulum::angle_normalize(3.0 * PI) - PI).abs() < 1e-9
+                || (Pendulum::angle_normalize(3.0 * PI) + PI).abs() < 1e-9
+        );
         assert!(Pendulum::angle_normalize(0.3).abs() - 0.3 < 1e-12);
         assert!(Pendulum::angle_normalize(2.0 * PI).abs() < 1e-9);
     }

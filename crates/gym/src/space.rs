@@ -19,7 +19,11 @@ pub struct ObservationSpace {
 impl ObservationSpace {
     /// Build a space from equal-length bound vectors.
     pub fn new(low: Vec<f64>, high: Vec<f64>, names: Vec<String>) -> Self {
-        assert_eq!(low.len(), high.len(), "bound vectors must have equal length");
+        assert_eq!(
+            low.len(),
+            high.len(),
+            "bound vectors must have equal length"
+        );
         assert_eq!(low.len(), names.len(), "names must match dimensionality");
         assert!(
             low.iter().zip(high.iter()).all(|(l, h)| l <= h),
@@ -65,13 +69,22 @@ impl ActionSpace {
     /// A discrete action space of size `n` with generic labels.
     pub fn discrete(n: usize) -> Self {
         assert!(n > 0, "action space must have at least one action");
-        Self { n, labels: (0..n).map(|i| format!("action_{i}")).collect() }
+        Self {
+            n,
+            labels: (0..n).map(|i| format!("action_{i}")).collect(),
+        }
     }
 
     /// A discrete action space with explicit labels.
     pub fn with_labels(labels: &[&str]) -> Self {
-        assert!(!labels.is_empty(), "action space must have at least one action");
-        Self { n: labels.len(), labels: labels.iter().map(|s| s.to_string()).collect() }
+        assert!(
+            !labels.is_empty(),
+            "action space must have at least one action"
+        );
+        Self {
+            n: labels.len(),
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     /// Number of actions.

@@ -62,9 +62,7 @@ pub fn stabilisation_ablation(
                 solved: result.solved,
                 episodes_run: result.episodes_run,
                 final_average: result.stats.current_average().unwrap_or(0.0),
-                seq_train_count: result
-                    .op_counts
-                    .count(elmrl_core::ops::OpKind::SeqTrain),
+                seq_train_count: result.op_counts.count(elmrl_core::ops::OpKind::SeqTrain),
             });
         }
     }
@@ -135,7 +133,14 @@ pub fn to_markdown(a1: &[StabilisationAblationRow], a2: &[PrecisionAblationRow])
         })
         .collect();
     out.push_str(&crate::report::markdown_table(
-        &["clipping", "random update", "solved", "episodes", "final avg", "seq_train calls"],
+        &[
+            "clipping",
+            "random update",
+            "solved",
+            "episodes",
+            "final avg",
+            "seq_train calls",
+        ],
         &rows,
     ));
     out.push_str("\n## A2 — fixed-point precision\n\n");
@@ -172,7 +177,10 @@ mod tests {
         // disabling the random-update gate must produce at least as many
         // sequential updates as keeping it (probability 0.5)
         let gated = rows.iter().find(|r| r.clipping && r.random_update).unwrap();
-        let ungated = rows.iter().find(|r| r.clipping && !r.random_update).unwrap();
+        let ungated = rows
+            .iter()
+            .find(|r| r.clipping && !r.random_update)
+            .unwrap();
         assert!(ungated.seq_train_count >= gated.seq_train_count);
     }
 

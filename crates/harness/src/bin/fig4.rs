@@ -10,7 +10,10 @@ fn main() {
     let seed = env_usize("ELMRL_SEED", 42) as u64;
     eprintln!("figure 4: hidden sizes {hidden:?}, {episodes} episodes per curve");
     let fig = fig4::generate(&hidden, episodes, seed);
-    println!("# Figure 4 — training curves\n\n{}", fig4::to_markdown_summary(&fig));
+    println!(
+        "# Figure 4 — training curves\n\n{}",
+        fig4::to_markdown_summary(&fig)
+    );
     let dir = report::default_results_dir();
     report::write_json(&dir, "fig4.json", &fig).expect("write fig4.json");
     report::write_text(&dir, "fig4.csv", &fig4::to_csv(&fig)).expect("write fig4.csv");

@@ -12,8 +12,14 @@ fn main() {
     let seed = env_usize("ELMRL_SEED", 42) as u64;
     eprintln!("figure 5: hidden {hidden:?}, {trials} trials/cell, {episodes} episode budget");
     let fig = fig5::generate(&hidden, &Design::all_designs(), trials, episodes, seed);
-    println!("# Figure 5 — execution time to complete\n\n{}", fig5::to_markdown(&fig));
-    println!("\n## Speedups vs DQN (§4.4)\n\n{}", fig5::speedups_to_markdown(&fig));
+    println!(
+        "# Figure 5 — execution time to complete\n\n{}",
+        fig5::to_markdown(&fig)
+    );
+    println!(
+        "\n## Speedups vs DQN (§4.4)\n\n{}",
+        fig5::speedups_to_markdown(&fig)
+    );
     let dir = report::default_results_dir();
     report::write_json(&dir, "fig5.json", &fig).expect("write fig5.json");
     report::write_text(&dir, "fig5.md", &fig5::to_markdown(&fig)).expect("write fig5.md");

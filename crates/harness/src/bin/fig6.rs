@@ -11,7 +11,10 @@ fn main() {
     let seed = env_usize("ELMRL_SEED", 42) as u64;
     eprintln!("figure 6: hidden {hidden:?}, {trials} trials/cell, {episodes} episode budget");
     let fig = fig6::generate(&hidden, trials, episodes, seed);
-    println!("# Figure 6 — FPGA execution-time detail\n\n{}", fig6::to_markdown(&fig));
+    println!(
+        "# Figure 6 — FPGA execution-time detail\n\n{}",
+        fig6::to_markdown(&fig)
+    );
     let dir = report::default_results_dir();
     report::write_json(&dir, "fig6.json", &fig).expect("write fig6.json");
     report::write_text(&dir, "fig6.md", &fig6::to_markdown(&fig)).expect("write fig6.md");

@@ -60,11 +60,17 @@ pub fn generate(hidden_sizes: &[usize], episodes: usize, seed: u64) -> Figure4 {
         })
         .collect();
     let results = run_trials(&specs);
-    Figure4 { curves: results.iter().map(Curve::from).collect(), episodes }
+    Figure4 {
+        curves: results.iter().map(Curve::from).collect(),
+        episodes,
+    }
 }
 
 fn design_salt(d: Design) -> u64 {
-    Design::all_designs().iter().position(|&x| x == d).unwrap_or(0) as u64
+    Design::all_designs()
+        .iter()
+        .position(|&x| x == d)
+        .unwrap_or(0) as u64
 }
 
 /// CSV rows: `design,hidden,episode,return,moving_average`.
@@ -81,7 +87,10 @@ pub fn to_csv(fig: &Figure4) -> String {
             ]);
         }
     }
-    crate::report::csv_table(&["design", "hidden", "episode", "return", "moving_average"], &rows)
+    crate::report::csv_table(
+        &["design", "hidden", "episode", "return", "moving_average"],
+        &rows,
+    )
 }
 
 /// A compact Markdown summary of the final moving average per cell (the
@@ -97,12 +106,20 @@ pub fn to_markdown_summary(fig: &Figure4) -> String {
                 c.hidden_dim.to_string(),
                 format!("{:.1}", c.moving_average.last().copied().unwrap_or(0.0)),
                 format!("{:.0}", c.returns.iter().copied().fold(0.0_f64, f64::max)),
-                c.solved_at_episode.map(|e| e.to_string()).unwrap_or_else(|| "—".into()),
+                c.solved_at_episode
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "—".into()),
             ]
         })
         .collect();
     crate::report::markdown_table(
-        &["design", "hidden", "final 100-ep avg", "best episode", "solved at episode"],
+        &[
+            "design",
+            "hidden",
+            "final 100-ep avg",
+            "best episode",
+            "solved at episode",
+        ],
         &rows,
     )
 }

@@ -83,7 +83,12 @@ pub fn generate(
         })
         .collect();
 
-    Figure5 { cells, speedups_vs_dqn: speedups, trials_per_cell, max_episodes }
+    Figure5 {
+        cells,
+        speedups_vs_dqn: speedups,
+        trials_per_cell,
+        max_episodes,
+    }
 }
 
 /// Markdown rendering of the per-cell completion times with the operation
@@ -135,12 +140,20 @@ pub fn speedups_to_markdown(fig: &Figure5) -> String {
                 s.hidden_dim.to_string(),
                 crate::report::fmt_opt(s.seconds),
                 crate::report::fmt_opt(s.dqn_seconds),
-                s.speedup.map(|v| format!("{v:.2}x")).unwrap_or_else(|| "—".into()),
+                s.speedup
+                    .map(|v| format!("{v:.2}x"))
+                    .unwrap_or_else(|| "—".into()),
             ]
         })
         .collect();
     crate::report::markdown_table(
-        &["design", "hidden", "modeled s", "DQN modeled s", "speedup vs DQN"],
+        &[
+            "design",
+            "hidden",
+            "modeled s",
+            "DQN modeled s",
+            "speedup vs DQN",
+        ],
         &rows,
     )
 }

@@ -66,7 +66,9 @@ pub fn generate(hidden_sizes: &[usize], trials: usize, max_episodes: usize, seed
             seq_train_seconds: mean(&|r| r.fpga_simulated_seconds.map(|b| b.1).unwrap_or(0.0)),
             init_train_seconds: mean(&|r| r.fpga_simulated_seconds.map(|b| b.2).unwrap_or(0.0)),
             total_seconds: mean(&|r| {
-                r.fpga_simulated_seconds.map(|b| b.0 + b.1 + b.2).unwrap_or(0.0)
+                r.fpga_simulated_seconds
+                    .map(|b| b.0 + b.1 + b.2)
+                    .unwrap_or(0.0)
             }),
             mean_seq_train_calls: mean(&|r| r.training.op_counts.count(OpKind::SeqTrain) as f64),
         });

@@ -40,7 +40,10 @@ pub use timing::CostModel;
 
 /// Read a `usize` scale knob from the environment, with a default.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Read a comma-separated list of hidden sizes from the environment.

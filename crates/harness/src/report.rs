@@ -9,7 +9,11 @@ use std::path::Path;
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "| {} |", headers.join(" | "));
-    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         let _ = writeln!(out, "| {} |", row.join(" | "));
     }
@@ -83,7 +87,10 @@ mod tests {
         write_text(&dir, "x.md", "# hello").unwrap();
         let json = std::fs::read_to_string(dir.join("x.json")).unwrap();
         assert!(json.contains('1'));
-        assert_eq!(std::fs::read_to_string(dir.join("x.md")).unwrap(), "# hello");
+        assert_eq!(
+            std::fs::read_to_string(dir.join("x.md")).unwrap(),
+            "# hello"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

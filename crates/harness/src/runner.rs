@@ -32,7 +32,12 @@ impl TrialSpec {
         if design == Design::Dqn {
             trainer.reset_after_episodes = None;
         }
-        Self { design, hidden_dim, seed, trainer }
+        Self {
+            design,
+            hidden_dim,
+            seed,
+            trainer,
+        }
     }
 
     /// Override the episode budget.
@@ -97,7 +102,12 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         let mut agent = spec.design.build(&config, &mut rng);
         let training = trainer.run(agent.as_mut(), &mut env, &mut rng);
         let modeled = cost.model_software(&training.op_counts);
-        TrialResult { spec: spec.clone(), modeled, fpga_simulated_seconds: None, training }
+        TrialResult {
+            spec: spec.clone(),
+            modeled,
+            fpga_simulated_seconds: None,
+            training,
+        }
     }
 }
 
@@ -171,8 +181,14 @@ mod tests {
 
     #[test]
     fn trial_spec_disables_resets_for_dqn_only() {
-        assert!(TrialSpec::new(Design::Dqn, 16, 0).trainer.reset_after_episodes.is_none());
-        assert!(TrialSpec::new(Design::OsElmL2, 16, 0).trainer.reset_after_episodes.is_some());
+        assert!(TrialSpec::new(Design::Dqn, 16, 0)
+            .trainer
+            .reset_after_episodes
+            .is_none());
+        assert!(TrialSpec::new(Design::OsElmL2, 16, 0)
+            .trainer
+            .reset_after_episodes
+            .is_some());
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub const PAPER_BRAM_PCT: [(usize, Option<f64>); 5] = [
 /// Generate the Table 3 reproduction from the analytical resource model.
 pub fn generate() -> Table3 {
     let model = ResourceModel::pynq_z1();
-    Table3 { rows: model.table3(), paper_bram_pct: PAPER_BRAM_PCT.to_vec() }
+    Table3 {
+        rows: model.table3(),
+        paper_bram_pct: PAPER_BRAM_PCT.to_vec(),
+    }
 }
 
 /// Render the table as Markdown, including the paper's BRAM column.
@@ -42,8 +45,14 @@ pub fn to_markdown(table: &Table3) -> String {
                 .and_then(|(_, v)| *v);
             vec![
                 r.hidden_dim.to_string(),
-                if r.fits { format!("{:.2}", r.bram_pct) } else { "does not fit".into() },
-                paper.map(|v| format!("{v:.2}")).unwrap_or_else(|| "—".into()),
+                if r.fits {
+                    format!("{:.2}", r.bram_pct)
+                } else {
+                    "does not fit".into()
+                },
+                paper
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "—".into()),
                 format!("{:.2}", r.dsp_pct),
                 format!("{:.2}", r.ff_pct),
                 format!("{:.2}", r.lut_pct),
@@ -52,7 +61,15 @@ pub fn to_markdown(table: &Table3) -> String {
         })
         .collect();
     markdown_table(
-        &["Units", "BRAM % (model)", "BRAM % (paper)", "DSP %", "FF %", "LUT %", "fits"],
+        &[
+            "Units",
+            "BRAM % (model)",
+            "BRAM % (paper)",
+            "DSP %",
+            "FF %",
+            "LUT %",
+            "fits",
+        ],
         &rows,
     )
 }

@@ -135,7 +135,10 @@ impl CostModel {
             total += seconds;
             per_op_seconds.insert(kind.label().to_string(), seconds);
         }
-        ModeledTime { per_op_seconds, total_seconds: total }
+        ModeledTime {
+            per_op_seconds,
+            total_seconds: total,
+        }
     }
 }
 
@@ -168,7 +171,10 @@ mod tests {
         assert!(m.pl_seconds(OpKind::SeqTrain) < m.cpu_seconds(OpKind::SeqTrain));
         assert!(m.pl_seconds(OpKind::PredictSeq) < m.cpu_seconds(OpKind::PredictSeq));
         // non-offloaded classes fall back to the CPU cost
-        assert_eq!(m.pl_seconds(OpKind::InitTrain), m.cpu_seconds(OpKind::InitTrain));
+        assert_eq!(
+            m.pl_seconds(OpKind::InitTrain),
+            m.cpu_seconds(OpKind::InitTrain)
+        );
     }
 
     #[test]
@@ -190,7 +196,10 @@ mod tests {
         let hw = m.model_fpga(&ops);
         assert!(sw.total_seconds > 0.0);
         assert!(hw.total_seconds > 0.0);
-        assert!(hw.total_seconds < sw.total_seconds, "FPGA must be faster overall");
+        assert!(
+            hw.total_seconds < sw.total_seconds,
+            "FPGA must be faster overall"
+        );
         assert_eq!(sw.per_op_seconds.len(), 3);
         assert!(sw.per_op_seconds["seq_train"] > sw.per_op_seconds["predict_seq"] / 10.0);
     }

@@ -21,7 +21,10 @@ impl<T: Scalar> Cholesky<T> {
     /// [`LinalgError::NotPositiveDefinite`] when a pivot is not positive.
     pub fn decompose(a: &Matrix<T>) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
@@ -184,7 +187,10 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         let a = Matrix::<f64>::ones(2, 3);
-        assert!(matches!(Cholesky::decompose(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]
@@ -210,7 +216,10 @@ mod tests {
         let x = solve_regularized_gram(&h, delta, &t).unwrap();
         let direct = {
             let gram = h.t_matmul(&h) + Matrix::identity(6).scale(delta);
-            crate::decomp::Lu::decompose(&gram).unwrap().solve(&t).unwrap()
+            crate::decomp::Lu::decompose(&gram)
+                .unwrap()
+                .solve(&t)
+                .unwrap()
         };
         assert!(x.max_abs_diff(&direct) < 1e-9);
     }

@@ -26,7 +26,10 @@ impl<T: Scalar> Lu<T> {
     /// pivot falls below `T::epsilon()`.
     pub fn decompose(a: &Matrix<T>) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -127,7 +130,11 @@ impl<T: Scalar> Lu<T> {
 
     /// Determinant of the factorised matrix.
     pub fn determinant(&self) -> T {
-        let mut det = if self.swaps % 2 == 0 { T::one() } else { -T::one() };
+        let mut det = if self.swaps % 2 == 0 {
+            T::one()
+        } else {
+            -T::one()
+        };
         for i in 0..self.dim() {
             det *= self.lu[(i, i)];
         }
@@ -151,7 +158,11 @@ impl<T: Scalar> Lu<T> {
     /// Reconstruct `U` (upper triangular).
     pub fn u(&self) -> Matrix<T> {
         let n = self.dim();
-        Matrix::from_fn(n, n, |i, j| if i <= j { self.lu[(i, j)] } else { T::zero() })
+        Matrix::from_fn(
+            n,
+            n,
+            |i, j| if i <= j { self.lu[(i, j)] } else { T::zero() },
+        )
     }
 
     /// Reconstruct the permutation matrix `P` such that `P·A = L·U`.
@@ -227,7 +238,10 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = Matrix::<f64>::ones(2, 3);
-        assert!(matches!(Lu::decompose(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            Lu::decompose(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]
@@ -250,8 +264,8 @@ mod tests {
     #[test]
     fn f32_solve_works_with_looser_tolerance() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let a = uniform_matrix::<f32, _>(8, 8, -1.0, 1.0, &mut rng)
-            + Matrix::identity(8).scale(4.0);
+        let a =
+            uniform_matrix::<f32, _>(8, 8, -1.0, 1.0, &mut rng) + Matrix::identity(8).scale(4.0);
         let inv = Lu::decompose(&a).unwrap().inverse().unwrap();
         assert!(a.matmul(&inv).max_abs_diff(&Matrix::identity(8)) < 1e-3);
     }

@@ -142,7 +142,10 @@ mod tests {
             let a = uniform_matrix::<f64, _>(m, n, -2.0, 2.0, &mut rng);
             let qr = Qr::decompose(&a).unwrap();
             let qtq = qr.q().t_matmul(qr.q());
-            assert!(qtq.max_abs_diff(&Matrix::identity(m)) < 1e-10, "QᵀQ != I for {m}x{n}");
+            assert!(
+                qtq.max_abs_diff(&Matrix::identity(m)) < 1e-10,
+                "QᵀQ != I for {m}x{n}"
+            );
             let recon = qr.q().matmul(qr.r());
             assert!(recon.max_abs_diff(&a) < 1e-10, "QR != A for {m}x{n}");
         }
@@ -176,7 +179,10 @@ mod tests {
         // Normal equations: (AᵀA) x = Aᵀ b
         let gram = a.t_matmul(&a);
         let rhs = a.t_matmul(&b);
-        let x_ne = crate::decomp::Lu::decompose(&gram).unwrap().solve(&rhs).unwrap();
+        let x_ne = crate::decomp::Lu::decompose(&gram)
+            .unwrap()
+            .solve(&rhs)
+            .unwrap();
         assert!(x_qr.max_abs_diff(&x_ne) < 1e-8);
     }
 

@@ -43,7 +43,11 @@ impl<T: Scalar> Svd<T> {
         } else {
             // SVD(Aᵀ) = V Σ Uᵀ, so swap the factors back.
             let svd_t = Self::jacobi_tall(&a.transpose(), tol)?;
-            Ok(Self { u: svd_t.v, singular_values: svd_t.singular_values, v: svd_t.u })
+            Ok(Self {
+                u: svd_t.v,
+                singular_values: svd_t.singular_values,
+                v: svd_t.u,
+            })
         }
     }
 
@@ -158,7 +162,11 @@ impl<T: Scalar> Svd<T> {
 
         // Sort singular values (and the corresponding columns) descending.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| sigma[b].partial_cmp(&sigma[a]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            sigma[b]
+                .partial_cmp(&sigma[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut u_sorted = Matrix::<T>::zeros(m, n);
         let mut v_sorted = Matrix::<T>::zeros(n, n);
         let mut sigma_sorted = Vec::with_capacity(n);
@@ -172,12 +180,19 @@ impl<T: Scalar> Svd<T> {
             }
         }
 
-        Ok(Self { u: u_sorted, singular_values: sigma_sorted, v: v_sorted })
+        Ok(Self {
+            u: u_sorted,
+            singular_values: sigma_sorted,
+            v: v_sorted,
+        })
     }
 
     /// The largest singular value (`σ_max`). Zero for an all-zero matrix.
     pub fn sigma_max(&self) -> T {
-        self.singular_values.first().copied().unwrap_or_else(T::zero)
+        self.singular_values
+            .first()
+            .copied()
+            .unwrap_or_else(T::zero)
     }
 
     /// The smallest retained singular value.

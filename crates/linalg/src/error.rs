@@ -66,10 +66,18 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not positive definite (pivot {pivot})")
             }
             LinalgError::NoConvergence { iterations } => {
-                write!(f, "iterative algorithm did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "iterative algorithm did not converge after {iterations} iterations"
+                )
             }
             LinalgError::InvalidData { detail } => write!(f, "invalid data: {detail}"),
-            LinalgError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            LinalgError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "index ({row}, {col}) out of bounds for {rows}x{cols} matrix"
             ),
@@ -85,7 +93,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = LinalgError::ShapeMismatch { detail: "2x3 * 4x5".into() };
+        let e = LinalgError::ShapeMismatch {
+            detail: "2x3 * 4x5".into(),
+        };
         assert!(e.to_string().contains("2x3 * 4x5"));
         let e = LinalgError::NotSquare { rows: 2, cols: 3 };
         assert!(e.to_string().contains("2x3"));
@@ -93,10 +103,17 @@ mod tests {
         assert!(e.to_string().contains("pivot 4"));
         let e = LinalgError::NoConvergence { iterations: 30 };
         assert!(e.to_string().contains("30"));
-        let e = LinalgError::IndexOutOfBounds { row: 9, col: 1, rows: 3, cols: 3 };
+        let e = LinalgError::IndexOutOfBounds {
+            row: 9,
+            col: 1,
+            rows: 3,
+            cols: 3,
+        };
         assert!(e.to_string().contains("(9, 1)"));
         assert!(LinalgError::Singular.to_string().contains("singular"));
-        let e = LinalgError::InvalidData { detail: "ragged rows".into() };
+        let e = LinalgError::InvalidData {
+            detail: "ragged rows".into(),
+        };
         assert!(e.to_string().contains("ragged"));
     }
 

@@ -57,8 +57,7 @@ mod crate_tests {
 
     #[test]
     fn doc_example_compiles_and_runs() {
-        let h =
-            Matrix::<f64>::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let h = Matrix::<f64>::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let pinv = solve::pseudo_inverse(&h, 1e-12).unwrap();
         let recon = h.matmul(&pinv).matmul(&h);
         assert!((&recon - &h).frobenius_norm() < 1e-9);

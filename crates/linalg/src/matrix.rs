@@ -22,7 +22,11 @@ pub struct Matrix<T: Scalar> {
 impl<T: Scalar> Matrix<T> {
     /// Create a matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: T) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create a matrix of zeros.
@@ -65,11 +69,15 @@ impl<T: Scalar> Matrix<T> {
     /// same length.
     pub fn try_from_rows(rows: &[Vec<T>]) -> Result<Self> {
         if rows.is_empty() {
-            return Err(LinalgError::InvalidData { detail: "no rows".into() });
+            return Err(LinalgError::InvalidData {
+                detail: "no rows".into(),
+            });
         }
         let cols = rows[0].len();
         if cols == 0 {
-            return Err(LinalgError::InvalidData { detail: "zero-length rows".into() });
+            return Err(LinalgError::InvalidData {
+                detail: "zero-length rows".into(),
+            });
         }
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
@@ -80,7 +88,11 @@ impl<T: Scalar> Matrix<T> {
             }
             data.extend_from_slice(r);
         }
-        Ok(Self { rows: rows.len(), cols, data })
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Build a matrix from a flat row-major vector.
@@ -95,12 +107,20 @@ impl<T: Scalar> Matrix<T> {
 
     /// A `1 × n` row matrix from a slice.
     pub fn row_from_slice(v: &[T]) -> Self {
-        Self { rows: 1, cols: v.len(), data: v.to_vec() }
+        Self {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
     }
 
     /// An `n × 1` column matrix from a slice.
     pub fn col_from_slice(v: &[T]) -> Self {
-        Self { rows: v.len(), cols: 1, data: v.to_vec() }
+        Self {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// A square matrix with `diag` on the diagonal and zeros elsewhere.
@@ -197,21 +217,35 @@ impl<T: Scalar> Matrix<T> {
     /// Borrow row `r` as a contiguous slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[T] {
-        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutably borrow row `r` as a contiguous slice.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [T] {
-        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Copy column `c` into a new `Vec`.
     pub fn col(&self, c: usize) -> Vec<T> {
-        assert!(c < self.cols, "col index {c} out of bounds ({} cols)", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "col index {c} out of bounds ({} cols)",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Iterator over rows as slices.
@@ -287,7 +321,10 @@ impl<T: Scalar> Matrix<T> {
     /// Trace (sum of diagonal elements). Errors on non-square matrices.
     pub fn trace(&self) -> Result<T> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         let mut acc = T::zero();
         for i in 0..self.rows {
@@ -342,7 +379,11 @@ impl<T: Scalar> Matrix<T> {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Ok(Self { rows: self.rows + other.rows, cols: self.cols, data })
+        Ok(Self {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Stack two matrices horizontally (`self` to the left of `other`).
@@ -389,7 +430,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -397,7 +441,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -182,7 +182,10 @@ mod tests {
         let a = uniform_matrix::<f64, _>(5, 64, 0.0, 1.0, &mut rng);
         let normed = spectral_normalize(&a).unwrap();
         let sigma = spectral_norm_exact(&normed).unwrap();
-        assert!((sigma - 1.0).abs() < 1e-9, "σ_max after normalization = {sigma}");
+        assert!(
+            (sigma - 1.0).abs() < 1e-9,
+            "σ_max after normalization = {sigma}"
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ mod tests {
         let mean = m.sum() / n;
         let var = m.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
         assert!(mean.abs() < 0.05, "sample mean {mean} too far from 0");
-        assert!((var - 1.0).abs() < 0.1, "sample variance {var} too far from 1");
+        assert!(
+            (var - 1.0).abs() < 0.1,
+            "sample variance {var} too far from 1"
+        );
     }
 
     #[test]

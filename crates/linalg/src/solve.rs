@@ -39,7 +39,11 @@ pub fn pseudo_inverse<T: Scalar>(a: &Matrix<T>, rcond: f64) -> Result<Matrix<T>>
     let mut v_scaled = svd.v.clone();
     for j in 0..k {
         let s = svd.singular_values[j];
-        let inv = if s > cutoff && s > T::zero() { T::one() / s } else { T::zero() };
+        let inv = if s > cutoff && s > T::zero() {
+            T::one() / s
+        } else {
+            T::zero()
+        };
         for i in 0..v_scaled.rows() {
             v_scaled[(i, j)] *= inv;
         }
@@ -90,8 +94,8 @@ mod tests {
     #[test]
     fn solve_and_inverse_agree() {
         let mut rng = SmallRng::seed_from_u64(41);
-        let a = uniform_matrix::<f64, _>(6, 6, -1.0, 1.0, &mut rng)
-            + Matrix::identity(6).scale(3.0);
+        let a =
+            uniform_matrix::<f64, _>(6, 6, -1.0, 1.0, &mut rng) + Matrix::identity(6).scale(3.0);
         let b = uniform_matrix::<f64, _>(6, 2, -1.0, 1.0, &mut rng);
         let x = solve(&a, &b).unwrap();
         let x2 = inverse(&a).unwrap().matmul(&b);

@@ -18,12 +18,16 @@ pub struct Vector<T: Scalar> {
 impl<T: Scalar> Vector<T> {
     /// Create a vector of zeros.
     pub fn zeros(n: usize) -> Self {
-        Self { data: vec![T::zero(); n] }
+        Self {
+            data: vec![T::zero(); n],
+        }
     }
 
     /// Create a vector filled with `value`.
     pub fn filled(n: usize, value: T) -> Self {
-        Self { data: vec![value; n] }
+        Self {
+            data: vec![value; n],
+        }
     }
 
     /// Wrap an existing `Vec`.
@@ -33,12 +37,16 @@ impl<T: Scalar> Vector<T> {
 
     /// Copy a slice into a new vector.
     pub fn from_slice(data: &[T]) -> Self {
-        Self { data: data.to_vec() }
+        Self {
+            data: data.to_vec(),
+        }
     }
 
     /// Build from a function of the index.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> T) -> Self {
-        Self { data: (0..n).map(|i| f(i)).collect() }
+        Self {
+            data: (0..n).map(|i| f(i)).collect(),
+        }
     }
 
     /// Length of the vector.
@@ -130,7 +138,9 @@ impl<T: Scalar> Vector<T> {
 
     /// Multiply every element by `s`.
     pub fn scale(&self, s: T) -> Self {
-        Self { data: self.data.iter().map(|&x| x * s).collect() }
+        Self {
+            data: self.data.iter().map(|&x| x * s).collect(),
+        }
     }
 
     /// In-place `self += alpha * other` (the BLAS AXPY kernel).
@@ -148,7 +158,9 @@ impl<T: Scalar> Vector<T> {
 
     /// Apply `f` to every element, producing a new vector.
     pub fn map(&self, mut f: impl FnMut(T) -> T) -> Self {
-        Self { data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Index of the maximum element (first one on ties). `None` when empty.
@@ -187,7 +199,9 @@ impl<T: Scalar> Vector<T> {
 
     /// Convert the element type via `f64`.
     pub fn cast<U: Scalar>(&self) -> Vector<U> {
-        Vector { data: self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect() }
+        Vector {
+            data: self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect(),
+        }
     }
 }
 
@@ -230,7 +244,12 @@ impl<'a, 'b, T: Scalar> Add<&'b Vector<T>> for &'a Vector<T> {
     fn add(self, rhs: &'b Vector<T>) -> Vector<T> {
         assert_eq!(self.len(), rhs.len(), "vector add: length mismatch");
         Vector {
-            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| a + b)
+                .collect(),
         }
     }
 }
@@ -240,7 +259,12 @@ impl<'a, 'b, T: Scalar> Sub<&'b Vector<T>> for &'a Vector<T> {
     fn sub(self, rhs: &'b Vector<T>) -> Vector<T> {
         assert_eq!(self.len(), rhs.len(), "vector sub: length mismatch");
         Vector {
-            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| a - b)
+                .collect(),
         }
     }
 }

@@ -156,9 +156,13 @@ proptest! {
 /// Deterministic pseudo-random matrix built from a seed without needing a
 /// full RNG in the strategy (keeps shrinking well-behaved).
 fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     Matrix::from_fn(rows, cols, |_, _| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         // map to [-2, 2]
         ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
     })

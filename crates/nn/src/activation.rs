@@ -91,7 +91,9 @@ impl Activation {
     /// The Lipschitz constant of the activation (§2.5: ≤ 1 for ReLU and tanh).
     pub fn lipschitz_constant(self) -> f64 {
         match self {
-            Activation::ReLU | Activation::Tanh | Activation::Identity | Activation::LeakyReLU => 1.0,
+            Activation::ReLU | Activation::Tanh | Activation::Identity | Activation::LeakyReLU => {
+                1.0
+            }
             Activation::Sigmoid => 0.25,
         }
     }

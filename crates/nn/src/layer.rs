@@ -134,8 +134,15 @@ impl DenseLayer {
             .last_input
             .as_ref()
             .expect("backward called before forward_training");
-        let preact = self.last_preact.as_ref().expect("missing pre-activation cache");
-        assert_eq!(grad_output.shape(), preact.shape(), "backward: grad shape mismatch");
+        let preact = self
+            .last_preact
+            .as_ref()
+            .expect("missing pre-activation cache");
+        assert_eq!(
+            grad_output.shape(),
+            preact.shape(),
+            "backward: grad shape mismatch"
+        );
 
         // dL/dz = dL/dy ⊙ G'(z)
         let dz = grad_output
@@ -156,7 +163,11 @@ impl DenseLayer {
 
     /// Copy the weights and bias from another layer (target-network sync).
     pub fn copy_parameters_from(&mut self, other: &DenseLayer) {
-        assert_eq!(self.weights.shape(), other.weights.shape(), "copy: weight shape mismatch");
+        assert_eq!(
+            self.weights.shape(),
+            other.weights.shape(),
+            "copy: weight shape mismatch"
+        );
         self.weights = other.weights.clone();
         self.bias = other.bias.clone();
     }

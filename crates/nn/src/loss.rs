@@ -44,7 +44,11 @@ impl Loss {
     /// Gradient of the loss with respect to `pred`, already divided by the
     /// number of elements (so the optimiser sees the mean gradient).
     pub fn gradient(self, pred: &Matrix<f64>, target: &Matrix<f64>) -> Matrix<f64> {
-        assert_eq!(pred.shape(), target.shape(), "loss gradient: shape mismatch");
+        assert_eq!(
+            pred.shape(),
+            target.shape(),
+            "loss gradient: shape mismatch"
+        );
         let n = pred.len() as f64;
         pred.zip_map(target, |p, t| {
             let d = p - t;

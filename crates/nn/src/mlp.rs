@@ -26,8 +26,14 @@ impl MlpConfig {
     /// Config with the given layer widths, ReLU hidden activations and an
     /// identity output layer.
     pub fn new(layer_sizes: &[usize]) -> Self {
-        assert!(layer_sizes.len() >= 2, "an MLP needs at least input and output sizes");
-        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        assert!(
+            layer_sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
+        assert!(
+            layer_sizes.iter().all(|&s| s > 0),
+            "layer sizes must be positive"
+        );
         Self {
             layer_sizes: layer_sizes.to_vec(),
             hidden_activation: Activation::ReLU,
@@ -166,8 +172,8 @@ impl Mlp {
         self.layers
             .iter()
             .map(|l| {
-                let sigma = elmrl_linalg::norms::spectral_norm_exact(l.weights())
-                    .unwrap_or(f64::INFINITY);
+                let sigma =
+                    elmrl_linalg::norms::spectral_norm_exact(l.weights()).unwrap_or(f64::INFINITY);
                 sigma * l.activation().lipschitz_constant()
             })
             .product()
@@ -308,6 +314,9 @@ mod tests {
             }
             let _ = i;
         }
-        assert!(max_ratio <= k + 1e-9, "observed ratio {max_ratio} exceeds bound {k}");
+        assert!(
+            max_ratio <= k + 1e-9,
+            "observed ratio {max_ratio} exceeds bound {k}"
+        );
     }
 }

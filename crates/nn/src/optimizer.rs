@@ -29,13 +29,21 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with learning rate `lr`.
     pub fn new(lr: f64) -> Self {
-        Self { lr, momentum: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with classical momentum.
     pub fn with_momentum(lr: f64, momentum: f64) -> Self {
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     fn slot_velocity(&mut self, slot: usize, shape: (usize, usize)) -> &mut Matrix<f64> {
@@ -58,7 +66,11 @@ impl Optimizer for Sgd {
         let momentum = self.momentum;
         let lr = self.lr;
         let v = self.slot_velocity(slot, param.shape());
-        assert_eq!(v.shape(), param.shape(), "sgd: slot reused with a different shape");
+        assert_eq!(
+            v.shape(),
+            param.shape(),
+            "sgd: slot reused with a different shape"
+        );
         for ((p, vel), &g) in param
             .as_mut_slice()
             .iter_mut()
@@ -96,7 +108,13 @@ impl Adam {
     pub fn with_betas(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Self { lr, beta1, beta2, eps, state: Vec::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            state: Vec::new(),
+        }
     }
 
     /// Reset all moment estimates (used when re-initialising an agent).
@@ -114,7 +132,11 @@ impl Optimizer for Adam {
         let (rows, cols) = param.shape();
         let entry = self.state[slot]
             .get_or_insert_with(|| (Matrix::zeros(rows, cols), Matrix::zeros(rows, cols), 0));
-        assert_eq!(entry.0.shape(), param.shape(), "adam: slot reused with a different shape");
+        assert_eq!(
+            entry.0.shape(),
+            param.shape(),
+            "adam: slot reused with a different shape"
+        );
         entry.2 += 1;
         let t = entry.2 as f64;
         let bias1 = 1.0 - self.beta1.powf(t);
@@ -178,7 +200,11 @@ mod tests {
         let mut x = Matrix::zeros(1, 2);
         for step in 0..400 {
             let g0 = 2.0 * (x[(0, 0)] - 1.0);
-            let g1 = if step % 10 == 0 { 2.0 * (x[(0, 1)] - 1.0) } else { 0.0 };
+            let g1 = if step % 10 == 0 {
+                2.0 * (x[(0, 1)] - 1.0)
+            } else {
+                0.0
+            };
             let grad = Matrix::from_rows(&[vec![g0, g1]]);
             opt.update(0, &mut x, &grad);
         }

@@ -37,7 +37,10 @@ impl ReplayBuffer {
     /// Create a buffer holding at most `capacity` transitions.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay buffer capacity must be positive");
-        Self { buffer: VecDeque::with_capacity(capacity), capacity }
+        Self {
+            buffer: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Maximum number of stored transitions.
@@ -176,7 +179,10 @@ mod tests {
         for t in buf.sample(400, &mut rng) {
             seen[t.state[0] as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "uniform sampling should hit every slot");
+        assert!(
+            seen.iter().all(|&s| s),
+            "uniform sampling should hit every slot"
+        );
     }
 
     #[test]

@@ -44,10 +44,16 @@ fn main() {
         if err > 0.5 {
             anomalies.push((t + 4, err));
         }
-        model.seq_train_single(&x, &[target]).expect("sequential update");
+        model
+            .seq_train_single(&x, &[target])
+            .expect("sequential update");
     }
 
-    println!("streamed {} samples, {} sequential updates", n - 104, model.seq_train_count());
+    println!(
+        "streamed {} samples, {} sequential updates",
+        n - 104,
+        model.seq_train_count()
+    );
     println!("flagged anomalies (index, |error|):");
     for (idx, err) in &anomalies {
         println!("  t = {idx:<4} error = {err:.2}");

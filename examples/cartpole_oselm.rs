@@ -25,7 +25,10 @@ fn main() {
         let mut rng = SmallRng::seed_from_u64(7);
         let mut agent = design.build(&DesignConfig::new(hidden), &mut rng);
         let mut env = CartPole::new();
-        let trainer = Trainer::new(TrainerConfig { max_episodes: episodes, ..Default::default() });
+        let trainer = Trainer::new(TrainerConfig {
+            max_episodes: episodes,
+            ..Default::default()
+        });
         let result = trainer.run(agent.as_mut(), &mut env, &mut rng);
         println!(
             "| {} | {} | {} | {:.0} | {:.1} | {} |",

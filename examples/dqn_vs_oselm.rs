@@ -6,12 +6,18 @@
 
 use elm_rl::core::designs::Design;
 use elm_rl::harness::fig5;
-use rand::{rngs::SmallRng, SeedableRng};
 use rand::Rng;
+use rand::{rngs::SmallRng, SeedableRng};
 
 fn main() {
-    let hidden: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
-    let trials: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let hidden: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let trials: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     let seed = SmallRng::seed_from_u64(0).gen::<u16>() as u64;
 
     let designs = [Design::OsElmL2Lipschitz, Design::Dqn, Design::Fpga];

@@ -13,7 +13,10 @@ use elm_rl::gym::CartPole;
 use rand::{rngs::SmallRng, SeedableRng};
 
 fn main() {
-    let hidden: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let hidden: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
 
     let model = ResourceModel::pynq_z1();
     let util = model.utilization(hidden);
@@ -30,17 +33,26 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(11);
     let mut agent = FpgaAgent::new(FpgaAgentConfig::cartpole(hidden), &mut rng);
     let mut env = CartPole::new();
-    let trainer = Trainer::new(TrainerConfig { max_episodes: 1500, ..Default::default() });
+    let trainer = Trainer::new(TrainerConfig {
+        max_episodes: 1500,
+        ..Default::default()
+    });
     println!("training the FPGA-backed agent ...");
     let result = trainer.run(&mut agent, &mut env, &mut rng);
 
     let (predict_s, seq_train_s, init_train_s) = agent.simulated_breakdown_seconds();
-    println!("solved: {} after {} episodes", result.solved, result.episodes_run);
+    println!(
+        "solved: {} after {} episodes",
+        result.solved, result.episodes_run
+    );
     println!("simulated on-device time:");
     println!("  predict   (PL @125MHz): {predict_s:.4}s");
     println!("  seq_train (PL @125MHz): {seq_train_s:.4}s");
     println!("  init_train (CPU @650MHz): {init_train_s:.4}s");
     println!("  total: {:.4}s", agent.simulated_total_seconds());
     println!("host wall time: {:.3}s", result.wall_seconds());
-    println!("on-device learnable state: {} KiB of BRAM", agent.memory_footprint_bytes() / 1024);
+    println!(
+        "on-device learnable state: {} KiB of BRAM",
+        agent.memory_footprint_bytes() / 1024
+    );
 }

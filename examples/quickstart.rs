@@ -14,9 +14,15 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut agent = Design::OsElmL2Lipschitz.build(&DesignConfig::new(hidden), &mut rng);
     let mut env = CartPole::new();
-    let trainer = Trainer::new(TrainerConfig { max_episodes: 1500, ..Default::default() });
+    let trainer = Trainer::new(TrainerConfig {
+        max_episodes: 1500,
+        ..Default::default()
+    });
 
-    println!("training {} with {hidden} hidden units on CartPole-v0 ...", agent.name());
+    println!(
+        "training {} with {hidden} hidden units on CartPole-v0 ...",
+        agent.name()
+    );
     let result = trainer.run(agent.as_mut(), &mut env, &mut rng);
 
     println!("solved: {}", result.solved);
@@ -29,7 +35,12 @@ fn main() {
     println!("host wall time: {:.3}s", result.wall_seconds());
     println!("operation counts:");
     for (kind, count, elapsed) in result.op_counts.iter() {
-        println!("  {:<13} x{:<6} ({:.3}s host)", kind.label(), count, elapsed.as_secs_f64());
+        println!(
+            "  {:<13} x{:<6} ({:.3}s host)",
+            kind.label(),
+            count,
+            elapsed.as_secs_f64()
+        );
     }
     let tail = &result.stats.returns[result.stats.returns.len().saturating_sub(10)..];
     println!("last 10 episode returns: {tail:?}");

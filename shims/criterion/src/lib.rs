@@ -1,0 +1,286 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Implements `criterion_group!`/`criterion_main!`, [`Criterion`],
+//! benchmark groups, [`BenchmarkId`] and [`Bencher::iter`] with a simple
+//! timing loop: a warm-up pass followed by `sample_size` timed samples,
+//! reporting the minimum, mean and maximum per-iteration wall time. There is
+//! no statistical analysis, outlier rejection or HTML report — the goal is
+//! that `cargo bench` compiles, runs and prints useful numbers offline.
+//!
+//! Running a bench binary with `--test` (as `cargo test --benches` does)
+//! executes every benchmark body exactly once, without timing.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a value or the work producing it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter shown after a `/`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+/// The top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            settings: Settings {
+                sample_size: 100,
+                test_mode,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed sample count
+    /// instead of a wall-clock budget.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always runs one warm-up
+    /// iteration.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks. The group starts from the
+    /// driver's settings but keeps its own copy, so per-group overrides do
+    /// not leak into later groups (matching real criterion's scoping).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name}");
+        BenchmarkGroup {
+            settings: self.settings.clone(),
+            _criterion: self,
+            name,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.settings, &id.into().id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    /// Group-scoped copy of the driver's settings.
+    settings: Settings,
+    /// Held to mirror real criterion's exclusive borrow of the driver.
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for the rest of this group (only).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&self.settings, &id, &mut f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&self.settings, &id, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(settings: &Settings, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        sample_size: if settings.test_mode {
+            1
+        } else {
+            settings.sample_size
+        },
+        test_mode: settings.test_mode,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if settings.test_mode {
+        eprintln!("test bench {id} ... ok");
+        return;
+    }
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        eprintln!("bench {id:<50} (no samples recorded)");
+        return;
+    }
+    let min = samples.iter().copied().min().unwrap();
+    let max = samples.iter().copied().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    eprintln!(
+        "bench {id:<50} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once as warm-up, then time `sample_size` further calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up / test-mode execution
+        if self.test_mode {
+            return;
+        }
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declare a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        // Force non-test mode for this unit test regardless of harness args.
+        c.settings.test_mode = false;
+        let mut group = c.benchmark_group("shim");
+        let mut ran = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 3), &3usize, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<usize>()
+            })
+        });
+        group.finish();
+        assert!(ran >= 6, "warm-up plus five samples, got {ran}");
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Provides the [`proptest!`] macro, [`Strategy`] implementations for ranges
+//! and tuples, [`collection::vec`], `prop_map`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros. Unlike the real
+//! proptest there is no shrinking and no failure persistence: each test
+//! deterministically samples `cases` inputs from a generator seeded by the
+//! test name, which keeps runs reproducible without any external state.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// `prop_assert!`-style failure with a message.
+    Fail(String),
+}
+
+/// Per-test configuration (only the `cases` knob is honoured by this shim).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled input cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` sampled inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transform generated values with `f` (the `prop_map` combinator).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use super::{SmallRng, Strategy};
+
+    /// Strategy producing `Vec`s of exactly `len` elements drawn from
+    /// `element` (the fixed-size form of `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// A deterministic generator for one named test: seeded by hashing the test
+/// name so every test draws an independent but reproducible sequence.
+pub fn rng_for_test(name: &str) -> SmallRng {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut hasher);
+    SmallRng::seed_from_u64(hasher.finish())
+}
+
+/// Everything test modules import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Define property tests: each `fn name(pattern in strategy, ...) { body }`
+/// becomes a `#[test]` that samples inputs and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:pat_param in $strategy:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $( let $arg = $crate::Strategy::sample(&($strategy), &mut __rng); )*
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "property `{}` failed on case {}/{}: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            message
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a [`proptest!`] body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Assert two values differ inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __left
+        );
+    }};
+}
+
+/// Skip the current case when its sampled inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn tuples_and_assume((x, y) in (0u64..50, 0u64..50)) {
+            prop_assume!(x != y);
+            prop_assert_ne!(x, y);
+            prop_assert!(x < 50 && y < 50);
+        }
+
+        #[test]
+        fn mapped_vec_strategy(v in collection::vec(0.0f64..1.0, 8).prop_map(|v| v.len())) {
+            prop_assert_eq!(v, 8);
+        }
+    }
+
+    mod failing {
+        use crate::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            // Deliberately not #[test]: invoked below to observe the panic.
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+
+        pub fn run() {
+            always_fails();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failure_panics_with_context() {
+        failing::run();
+    }
+}

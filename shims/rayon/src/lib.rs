@@ -1,0 +1,68 @@
+//! Offline shim for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! in-tree crate maps the `par_iter`/`into_par_iter` entry points onto plain
+//! sequential `std` iterators. The downstream adaptor calls (`map`,
+//! `collect`, ...) are ordinary [`Iterator`] methods, so call sites compile
+//! unchanged; they simply run on one thread. Swapping in the real rayon
+//! later is a one-line `Cargo.toml` change.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The traits rayon callers import; re-exported names match `rayon::prelude`.
+pub mod prelude {
+    /// Convert an owning collection into a "parallel" (here: sequential)
+    /// iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Iterate over the collection; sequential in this shim.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// Borrowing counterpart of [`IntoParallelIterator`] (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The element type.
+        type Item: 'data;
+        /// The iterator type produced.
+        type Iter: Iterator<Item = &'data Self::Item>;
+
+        /// Iterate by reference; sequential in this shim.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let xs = vec![1, 2, 3];
+        let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = (0..10).into_par_iter().sum();
+        assert_eq!(sum, 45);
+    }
+}

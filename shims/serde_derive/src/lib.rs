@@ -1,0 +1,448 @@
+//! Derive macros for the in-tree `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports the shapes this workspace
+//! actually derives:
+//!
+//! * structs with named fields, optionally with generic parameters
+//!   (type parameters get a `Serialize`/`Deserialize` bound);
+//! * fieldless (unit-variant) enums, serialised as the variant name string.
+//!
+//! Anything else produces a compile error naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct { fields: Vec<String> },
+    /// Enum: variant identifiers, each either fieldless (`None`) or a
+    /// struct variant with named fields (`Some(fields)`).
+    Enum {
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+struct Parsed {
+    name: String,
+    /// Full generic parameter list, e.g. `const FRAC: u32` or `T, U`.
+    generic_params: String,
+    /// Generic arguments for the self type, e.g. `FRAC` or `T, U`.
+    generic_args: String,
+    /// Names of the type parameters (to receive trait bounds).
+    type_params: Vec<String>,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip one attribute (`#` already consumed means the bracket group follows).
+fn is_attr_start(tt: &TokenTree) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == '#')
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility to find `struct`/`enum`.
+    let mut kind = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            t if is_attr_start(t) => i += 2, // `#` + bracket group
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesised group.
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                kind = Some(id.to_string());
+                i += 1;
+                break;
+            }
+            other => {
+                return Err(format!(
+                    "unexpected token `{other}` before struct/enum keyword"
+                ))
+            }
+        }
+    }
+    let kind = kind.ok_or("no `struct` or `enum` keyword found")?;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    // Optional generics: collect tokens between the outermost `<` and `>`.
+    let mut generic_tokens: Vec<TokenTree> = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    generic_tokens.push(tokens[i].clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                    generic_tokens.push(tokens[i].clone());
+                }
+                other => generic_tokens.push(other.clone()),
+            }
+            i += 1;
+        }
+        if depth != 0 {
+            return Err("unbalanced generic parameter list".into());
+        }
+    }
+    let (generic_params, generic_args, type_params) = split_generics(&generic_tokens)?;
+
+    // Find the body: the next brace group at this level (skipping any
+    // `where` clause tokens before it).
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple {kind} `{name}` is not supported by the serde shim"
+                ))
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("{kind} `{name}` has no braced body")),
+        }
+    };
+
+    let shape = if kind == "struct" {
+        Shape::Struct {
+            fields: parse_struct_fields(body.stream(), &name)?,
+        }
+    } else {
+        Shape::Enum {
+            variants: parse_enum_variants(body.stream(), &name)?,
+        }
+    };
+
+    Ok(Parsed {
+        name,
+        generic_params,
+        generic_args,
+        type_params,
+        shape,
+    })
+}
+
+/// Split a generic parameter token list into (params-with-bounds,
+/// args-without-bounds, type-parameter names).
+fn split_generics(tokens: &[TokenTree]) -> Result<(String, String, Vec<String>), String> {
+    if tokens.is_empty() {
+        return Ok((String::new(), String::new(), Vec::new()));
+    }
+    // Split on top-level commas (inside the already-extracted `<...>`).
+    let mut segments: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                segments.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        segments.last_mut().unwrap().push(tt.clone());
+    }
+
+    let mut args = Vec::new();
+    let mut type_params = Vec::new();
+    for seg in &segments {
+        let mut iter = seg.iter();
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "const" => match iter.next() {
+                Some(TokenTree::Ident(cname)) => args.push(cname.to_string()),
+                other => return Err(format!("malformed const parameter: {other:?}")),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => match iter.next() {
+                Some(TokenTree::Ident(lt)) => args.push(format!("'{lt}")),
+                other => return Err(format!("malformed lifetime parameter: {other:?}")),
+            },
+            Some(TokenTree::Ident(tname)) => {
+                args.push(tname.to_string());
+                type_params.push(tname.to_string());
+            }
+            other => return Err(format!("malformed generic parameter: {other:?}")),
+        }
+    }
+
+    let params = tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    Ok((params, args.join(", "), type_params))
+}
+
+fn parse_struct_fields(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments arrive as `#[doc = "..."]`).
+        while matches!(tokens.get(i), Some(t) if is_attr_start(t)) {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+        }
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name in `{name}`, found {other:?}")),
+        };
+        i += 1;
+        if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{field}` in `{name}`"));
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(
+    body: TokenStream,
+    name: &str,
+) -> Result<Vec<(String, Option<Vec<String>>)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(t) if is_attr_start(t)) {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "expected variant name in `{name}`, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_struct_fields(g.stream(), &format!("{name}::{variant}"))?;
+                i += 1;
+                Some(fields)
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "tuple variant `{name}::{variant}` is not supported by the serde shim; \
+                     use a struct variant or a fieldless one"
+                ))
+            }
+            _ => None,
+        };
+        variants.push((variant.clone(), fields));
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            other => {
+                return Err(format!(
+                    "unexpected token after `{name}::{variant}`: {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn impl_header(p: &Parsed, trait_name: &str) -> String {
+    let mut out = String::from("impl");
+    if !p.generic_params.is_empty() {
+        out.push_str(&format!(" < {} >", p.generic_params));
+    }
+    out.push_str(&format!(" ::serde::{trait_name} for {}", p.name));
+    if !p.generic_args.is_empty() {
+        out.push_str(&format!(" < {} >", p.generic_args));
+    }
+    if !p.type_params.is_empty() {
+        let bounds: Vec<String> = p
+            .type_params
+            .iter()
+            .map(|t| format!("{t}: ::serde::{trait_name}"))
+            .collect();
+        out.push_str(&format!(" where {}", bounds.join(", ")));
+    }
+    out
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let header = impl_header(&parsed, "Serialize");
+    let body = match &parsed.shape {
+        Shape::Struct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "fn to_value(&self) -> ::serde::Value {{ \
+                 ::serde::Value::Map(::std::vec![{}]) }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum { variants } => {
+            // Externally-tagged representation, like serde's default: unit
+            // variants serialise as their name string, struct variants as
+            // {"Variant": {fields...}}.
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    ),
+                    Some(fields) => {
+                        let binders = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{v} {{ {binders} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                             ::serde::Value::Map(::std::vec![{}]))])",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!("{header} {{ {body} }}").parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let header = impl_header(&parsed, "Deserialize");
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get_field({f:?}).ok_or_else(\
+                         || ::serde::Error::missing_field({name:?}, {f:?}))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ \
+                 ::std::result::Result::Ok(Self {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_none())
+                .map(|(v, _)| {
+                    format!(
+                        "::std::option::Option::Some({v:?}) => \
+                         return ::std::result::Result::Ok(Self::{v}),"
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| fields.as_ref().map(|f| (v, f)))
+                .map(|(v, fields)| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 inner.get_field({f:?}).ok_or_else(|| \
+                                 ::serde::Error::missing_field({name:?}, {f:?}))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "if let ::std::option::Option::Some(inner) = v.get_field({v:?}) {{ \
+                         return ::std::result::Result::Ok(Self::{v} {{ {} }}); }}",
+                        inits.join(", ")
+                    )
+                })
+                .collect();
+            format!(
+                "fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ \
+                 match v.as_str() {{ {} _ => {{}} }} {} \
+                 ::std::result::Result::Err(::serde::Error::unknown_variant({name:?}, v)) }}",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!("{header} {{ {body} }}").parse().unwrap()
+}

@@ -7,8 +7,8 @@ use elm_rl::core::trainer::{Trainer, TrainerConfig};
 use elm_rl::fpga::resources::ResourceModel;
 use elm_rl::fpga::{FpgaAgent, FpgaAgentConfig};
 use elm_rl::gym::CartPole;
-use elm_rl::harness::{ablation, fig4, fig5, fig6, table3, TrialSpec};
 use elm_rl::harness::runner::run_trial;
+use elm_rl::harness::{ablation, fig4, fig5, fig6, table3, TrialSpec};
 use rand::{rngs::SmallRng, SeedableRng};
 
 #[test]
@@ -22,11 +22,22 @@ fn table3_reproduces_the_bram_limit() {
         assert!(row.bram_pct >= row.ff_pct);
     }
     // the model is within a factor of two of every paper-reported percentage
-    for (n, paper) in table3::PAPER_BRAM_PCT.iter().filter_map(|(n, p)| p.map(|v| (*n, v))) {
-        let modelled = table.rows.iter().find(|r| r.hidden_dim == n).unwrap().bram_pct;
+    for (n, paper) in table3::PAPER_BRAM_PCT
+        .iter()
+        .filter_map(|(n, p)| p.map(|v| (*n, v)))
+    {
+        let modelled = table
+            .rows
+            .iter()
+            .find(|r| r.hidden_dim == n)
+            .unwrap()
+            .bram_pct;
         assert!(modelled > paper * 0.5 && modelled < paper * 2.0);
     }
-    assert_eq!(ResourceModel::pynq_z1().max_hidden_dim(&[32, 64, 128, 192, 256]), Some(192));
+    assert_eq!(
+        ResourceModel::pynq_z1().max_hidden_dim(&[32, 64, 128, 192, 256]),
+        Some(192)
+    );
 }
 
 #[test]
@@ -34,17 +45,28 @@ fn fig4_csv_schema_is_stable() {
     let fig = fig4::generate(&[8], 3, 21);
     let csv = fig4::to_csv(&fig);
     let mut lines = csv.lines();
-    assert_eq!(lines.next().unwrap(), "design,hidden,episode,return,moving_average");
+    assert_eq!(
+        lines.next().unwrap(),
+        "design,hidden,episode,return,moving_average"
+    );
     assert_eq!(csv.lines().count(), 1 + 6 * 3);
     assert!(fig4::to_markdown_summary(&fig).contains("| design |"));
 }
 
 #[test]
 fn fig5_and_fig6_run_on_a_tiny_budget() {
-    let fig = fig5::generate(&[8], &[Design::OsElmL2Lipschitz, Design::Dqn, Design::Fpga], 1, 4, 33);
+    let fig = fig5::generate(
+        &[8],
+        &[Design::OsElmL2Lipschitz, Design::Dqn, Design::Fpga],
+        1,
+        4,
+        33,
+    );
     assert_eq!(fig.cells.len(), 3);
     assert_eq!(fig.speedups_vs_dqn.len(), 2);
-    assert!(serde_json::to_string(&fig).unwrap().contains("OsElmL2Lipschitz"));
+    assert!(serde_json::to_string(&fig)
+        .unwrap()
+        .contains("OsElmL2Lipschitz"));
 
     let detail = fig6::generate(&[8], 1, 4, 33);
     assert_eq!(detail.rows.len(), 1);
@@ -102,7 +124,10 @@ fn fpga_and_float_agents_agree_within_quantisation_tolerance() {
         let qf = fpga.q_values(&probe);
         let qs = float.q_values(&probe);
         for (a, b) in qf.iter().zip(qs.iter()) {
-            assert!((a - b).abs() < 0.5, "Q divergence too large at angle {angle}: {qf:?} vs {qs:?}");
+            assert!(
+                (a - b).abs() < 0.5,
+                "Q divergence too large at angle {angle}: {qf:?} vs {qs:?}"
+            );
         }
     }
 }

@@ -9,7 +9,10 @@ use elm_rl::gym::{CartPole, Environment, MountainCar};
 use rand::{rngs::SmallRng, SeedableRng};
 
 fn quick_config(episodes: usize) -> TrainerConfig {
-    TrainerConfig { max_episodes: episodes, ..Default::default() }
+    TrainerConfig {
+        max_episodes: episodes,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -22,7 +25,10 @@ fn every_software_design_runs_end_to_end() {
         assert_eq!(result.design, design.label());
         assert_eq!(result.episodes_run, 6);
         assert!(result.total_steps >= 6, "{design:?} took no steps");
-        assert!(result.op_counts.total_count() > 0, "{design:?} recorded no operations");
+        assert!(
+            result.op_counts.total_count() > 0,
+            "{design:?} recorded no operations"
+        );
     }
 }
 
@@ -33,7 +39,10 @@ fn fpga_agent_runs_end_to_end_and_tracks_device_time() {
     let mut env = CartPole::new();
     let result = Trainer::new(quick_config(8)).run(&mut agent, &mut env, &mut rng);
     assert_eq!(result.design, "FPGA");
-    assert!(agent.core_loaded(), "initial training should complete within 8 episodes");
+    assert!(
+        agent.core_loaded(),
+        "initial training should complete within 8 episodes"
+    );
     assert!(agent.simulated_total_seconds() > 0.0);
     let (p, s, i) = agent.simulated_breakdown_seconds();
     assert!(p > 0.0 && i > 0.0);
@@ -56,7 +65,10 @@ fn oselm_l2_lipschitz_learns_cartpole_within_budget() {
         let result = Trainer::new(quick_config(1500)).run(agent.as_mut(), &mut env, &mut rng);
         result.solved
     });
-    assert!(solved_any, "OS-ELM-L2-Lipschitz failed to complete CartPole on both seeds");
+    assert!(
+        solved_any,
+        "OS-ELM-L2-Lipschitz failed to complete CartPole on both seeds"
+    );
 }
 
 #[test]
@@ -67,7 +79,10 @@ fn dqn_baseline_learns_cartpole_quickly() {
     let mut cfg = quick_config(400);
     cfg.reset_after_episodes = None;
     let result = Trainer::new(cfg).run(agent.as_mut(), &mut env, &mut rng);
-    assert!(result.solved, "DQN should reach a full-length episode within 400 episodes");
+    assert!(
+        result.solved,
+        "DQN should reach a full-length episode within 400 episodes"
+    );
 }
 
 #[test]
@@ -76,9 +91,15 @@ fn moving_average_criterion_is_stricter_than_single_episode() {
     let mut agent = Design::OsElmL2.build(&DesignConfig::new(16), &mut rng);
     let mut env = CartPole::new();
     let mut cfg = quick_config(50);
-    cfg.solve_criterion = SolveCriterion::MovingAverage { threshold: 195.0, window: 100 };
+    cfg.solve_criterion = SolveCriterion::MovingAverage {
+        threshold: 195.0,
+        window: 100,
+    };
     let result = Trainer::new(cfg).run(agent.as_mut(), &mut env, &mut rng);
-    assert!(!result.solved, "50 episodes cannot satisfy a 100-episode window");
+    assert!(
+        !result.solved,
+        "50 episodes cannot satisfy a 100-episode window"
+    );
 }
 
 #[test]
@@ -101,7 +122,10 @@ fn trials_are_reproducible_from_the_seed() {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut agent = Design::OsElmL2Lipschitz.build(&DesignConfig::new(8), &mut rng);
         let mut env = CartPole::new();
-        Trainer::new(quick_config(10)).run(agent.as_mut(), &mut env, &mut rng).stats.returns
+        Trainer::new(quick_config(10))
+            .run(agent.as_mut(), &mut env, &mut rng)
+            .stats
+            .returns
     };
     assert_eq!(run(9), run(9));
     assert_ne!(run(9), run(10));
