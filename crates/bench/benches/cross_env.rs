@@ -1,0 +1,67 @@
+//! Cross-environment benchmark: the generic pipeline's per-trial cost on
+//! every registered workload, so the perf trajectory covers CartPole,
+//! MountainCar and Pendulum rather than CartPole alone.
+//!
+//! Two groups:
+//!
+//! * `cross_env_trial` — a short seeded training trial of the paper's
+//!   recommended software design (OS-ELM-L2-Lipschitz) through the full
+//!   workload-generic runner (environment factory, normalisation wrapper,
+//!   per-workload protocol);
+//! * `cross_env_step` — the bare per-step environment cost (reset + step)
+//!   without any agent, isolating the environment dynamics themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_core::designs::Design;
+use elmrl_gym::Workload;
+use elmrl_harness::runner::{run_trial, TrialSpec};
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn bench_cross_env_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_env_trial");
+    for workload in Workload::all() {
+        group.bench_with_input(
+            BenchmarkId::new("oselm_l2_lipschitz", workload.slug()),
+            &workload,
+            |b, &w| {
+                let spec = TrialSpec::for_workload(w, Design::OsElmL2Lipschitz, 16, 7)
+                    .with_max_episodes(3);
+                b.iter(|| run_trial(&spec))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cross_env_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_env_step");
+    for workload in Workload::all() {
+        group.bench_with_input(
+            BenchmarkId::new("env_step", workload.slug()),
+            &workload,
+            |b, &w| {
+                let spec = w.spec();
+                let mut rng = SmallRng::seed_from_u64(3);
+                let mut env = spec.make_env();
+                env.reset(&mut rng);
+                let mut step = 0usize;
+                b.iter(|| {
+                    let out = env.step(step % spec.num_actions, &mut rng);
+                    step += 1;
+                    if out.finished() {
+                        env.reset(&mut rng);
+                    }
+                    out.reward
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cross_env_trial, bench_cross_env_step
+}
+criterion_main!(benches);

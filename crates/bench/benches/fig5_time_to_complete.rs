@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elmrl_core::agent::{Agent, Observation};
 use elmrl_core::dqn::{DqnAgent, DqnConfig};
 use elmrl_core::oselm_qnet::{OsElmQNet, OsElmQNetConfig};
+use elmrl_gym::Workload;
 use rand::{rngs::SmallRng, SeedableRng};
 
 fn sample_obs(i: usize) -> Observation {
@@ -26,7 +27,8 @@ fn bench_update_step(c: &mut Criterion) {
             &hidden,
             |b, &h| {
                 let mut rng = SmallRng::seed_from_u64(1);
-                let mut cfg = OsElmQNetConfig::cartpole(h, 0.5, true);
+                let mut cfg =
+                    OsElmQNetConfig::for_workload(&Workload::CartPole.spec(), h, 0.5, true);
                 cfg.random_update = false;
                 let mut agent = OsElmQNet::new(cfg, &mut rng);
                 for i in 0..h {
@@ -44,7 +46,10 @@ fn bench_update_step(c: &mut Criterion) {
             &hidden,
             |b, &h| {
                 let mut rng = SmallRng::seed_from_u64(1);
-                let mut agent = DqnAgent::new(DqnConfig::cartpole(h), &mut rng);
+                let mut agent = DqnAgent::new(
+                    DqnConfig::for_workload(&Workload::CartPole.spec(), h),
+                    &mut rng,
+                );
                 for i in 0..128 {
                     agent.observe(&sample_obs(i), &mut rng);
                 }

@@ -1,9 +1,11 @@
 //! # elmrl-bench
 //!
 //! Criterion benchmark harness: one benchmark group per table/figure of the
-//! paper plus kernel microbenchmarks. The benches use reduced trial counts and
-//! episode budgets so that `cargo bench --workspace` completes in minutes; the
-//! full paper protocol is driven by the `elmrl-harness` binaries instead.
+//! paper, kernel microbenchmarks, and a cross-environment group (`cross_env`)
+//! tracking the generic pipeline's per-trial and per-step cost on every
+//! registered workload. The benches use reduced trial counts and episode
+//! budgets so that `cargo bench --workspace` completes in minutes; the full
+//! paper protocol is driven by the `elmrl-harness` binaries instead.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -12,6 +12,12 @@ use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 
 /// One transition as seen by an agent (rewards already shaped).
+///
+/// The `done`/`truncated` flags carry the same semantics as
+/// [`elmrl_gym::StepOutcome`]: they are mutually exclusive, `done` marks the
+/// task's own end condition (the paper's `dₜ` flag, which removes the
+/// bootstrap term from the Q-target), and `truncated` marks a pure step-cap
+/// stop, after which targets still bootstrap.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Observation {
     /// State before the action.
@@ -22,9 +28,12 @@ pub struct Observation {
     pub reward: f64,
     /// State after the action.
     pub next_state: Vec<f64>,
-    /// Episode terminated by the task's failure/success condition.
+    /// `true` when the episode ended because the task itself finished — its
+    /// failure or success condition fired (the paper's `dₜ` flag). Never set
+    /// for a pure step-limit stop.
     pub done: bool,
-    /// Episode ended only because of the step cap.
+    /// `true` when the episode was cut off by the step cap without the task
+    /// finishing. Mutually exclusive with `done`.
     pub truncated: bool,
 }
 

@@ -8,9 +8,11 @@
 //! same [`Agent`] trait object.
 
 use crate::agent::Agent;
+use crate::clipping::TargetConfig;
 use crate::dqn::{DqnAgent, DqnConfig};
 use crate::elm_qnet::{ElmQNet, ElmQNetConfig};
 use crate::oselm_qnet::{OsElmQNet, OsElmQNetConfig};
+use elmrl_gym::{EnvSpec, Workload};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 
@@ -94,38 +96,18 @@ impl Design {
     /// constructed by `elmrl-fpga::FpgaAgent::new` instead.
     pub fn build(self, config: &DesignConfig, rng: &mut SmallRng) -> Box<dyn Agent> {
         match self {
-            Design::Elm => {
-                let mut c = ElmQNetConfig::cartpole(config.hidden_dim);
-                c.state_dim = config.state_dim;
-                c.num_actions = config.num_actions;
-                c.exploit_prob = config.exploit_prob;
-                c.target_sync_episodes = config.target_sync_episodes;
-                c.target.gamma = config.gamma;
-                Box::new(ElmQNet::new(c, rng))
-            }
+            Design::Elm => Box::new(ElmQNet::new(ElmQNetConfig::from_design(config), rng)),
             Design::OsElm | Design::OsElmL2 | Design::OsElmLipschitz | Design::OsElmL2Lipschitz => {
-                let mut c = OsElmQNetConfig::cartpole(
-                    config.hidden_dim,
-                    self.l2_delta(),
-                    self.spectral_normalize(),
-                );
-                c.state_dim = config.state_dim;
-                c.num_actions = config.num_actions;
-                c.exploit_prob = config.exploit_prob;
-                c.update_prob = config.update_prob;
-                c.target_sync_episodes = config.target_sync_episodes;
-                c.target.gamma = config.gamma;
-                Box::new(OsElmQNet::new(c, rng))
+                Box::new(OsElmQNet::new(
+                    OsElmQNetConfig::from_design(
+                        config,
+                        self.l2_delta(),
+                        self.spectral_normalize(),
+                    ),
+                    rng,
+                ))
             }
-            Design::Dqn => {
-                let mut c = DqnConfig::cartpole(config.hidden_dim);
-                c.state_dim = config.state_dim;
-                c.num_actions = config.num_actions;
-                c.exploit_prob = config.exploit_prob;
-                c.target_sync_episodes = config.target_sync_episodes;
-                c.gamma = config.gamma;
-                Box::new(DqnAgent::new(c, rng))
-            }
+            Design::Dqn => Box::new(DqnAgent::new(DqnConfig::from_design(config), rng)),
             Design::Fpga => {
                 panic!("Design::Fpga is built by elmrl_fpga::FpgaAgent::new, not Design::build")
             }
@@ -151,19 +133,31 @@ pub struct DesignConfig {
     pub update_prob: f64,
     /// Target-network sync interval (episodes).
     pub target_sync_episodes: usize,
+    /// Whether ELM/OS-ELM Q-learning targets are clipped into `[-1, 1]`
+    /// (§3.1; DQN always trains unclipped and relies on the Huber loss).
+    pub clip_targets: bool,
 }
 
 impl DesignConfig {
-    /// The paper's CartPole parameters with the given hidden size.
+    /// The paper's CartPole parameters with the given hidden size — a
+    /// shorthand for `Self::for_workload(&Workload::CartPole.spec(), ..)`.
     pub fn new(hidden_dim: usize) -> Self {
+        Self::for_workload(&Workload::CartPole.spec(), hidden_dim)
+    }
+
+    /// Design parameters for a registered workload: dimensions and protocol
+    /// knobs (γ, ε₁, ε₂, sync interval, clipping) come from the
+    /// [`EnvSpec`]'s per-workload defaults.
+    pub fn for_workload(spec: &EnvSpec, hidden_dim: usize) -> Self {
         Self {
-            state_dim: 4,
-            num_actions: 2,
+            state_dim: spec.observation_dim,
+            num_actions: spec.num_actions,
             hidden_dim,
-            gamma: 0.99,
-            exploit_prob: 0.7,
-            update_prob: 0.5,
-            target_sync_episodes: 2,
+            gamma: spec.defaults.gamma,
+            exploit_prob: spec.defaults.exploit_prob,
+            update_prob: spec.defaults.update_prob,
+            target_sync_episodes: spec.defaults.target_sync_episodes,
+            clip_targets: spec.defaults.clip_targets,
         }
     }
 
@@ -172,6 +166,18 @@ impl DesignConfig {
         self.state_dim = state_dim;
         self.num_actions = num_actions;
         self
+    }
+
+    /// The ELM/OS-ELM target construction these parameters imply.
+    pub fn target_config(&self) -> TargetConfig {
+        TargetConfig {
+            gamma: self.gamma,
+            ..if self.clip_targets {
+                TargetConfig::default()
+            } else {
+                TargetConfig::unclipped(self.gamma)
+            }
+        }
     }
 }
 
@@ -228,5 +234,39 @@ mod tests {
         // MountainCar-shaped agent still constructs and answers Q-values.
         let mut agent = agent;
         assert_eq!(agent.q_values(&[0.0, 0.0]).len(), 3);
+    }
+
+    #[test]
+    fn every_software_design_builds_for_every_workload() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for workload in Workload::all() {
+            let spec = workload.spec();
+            let config = DesignConfig::for_workload(&spec, 8);
+            assert_eq!(config.state_dim, spec.observation_dim);
+            assert_eq!(config.num_actions, spec.num_actions);
+            for design in Design::software_designs() {
+                let mut agent = design.build(&config, &mut rng);
+                let probe = vec![0.0; spec.observation_dim];
+                assert_eq!(
+                    agent.q_values(&probe).len(),
+                    spec.num_actions,
+                    "{design:?} on {workload:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn new_is_the_cartpole_workload_shim() {
+        let via_new = DesignConfig::new(16);
+        let via_spec = DesignConfig::for_workload(&Workload::CartPole.spec(), 16);
+        assert_eq!(via_new, via_spec);
+        assert_eq!(via_new.state_dim, 4);
+        assert_eq!(via_new.num_actions, 2);
+        assert!(via_new.clip_targets);
+        assert!(via_new.target_config().clip);
+        let mut unclipped = via_new.clone();
+        unclipped.clip_targets = false;
+        assert!(!unclipped.target_config().clip);
     }
 }

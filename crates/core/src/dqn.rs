@@ -44,20 +44,37 @@ pub struct DqnConfig {
 }
 
 impl DqnConfig {
-    /// The paper's CartPole settings for a given hidden size.
-    pub fn cartpole(hidden_dim: usize) -> Self {
+    /// Settings for a registered workload.
+    pub fn for_workload(spec: &elmrl_gym::EnvSpec, hidden_dim: usize) -> Self {
+        Self::from_design(&crate::designs::DesignConfig::for_workload(
+            spec, hidden_dim,
+        ))
+    }
+
+    /// Settings derived from shared per-cell design parameters (the replay /
+    /// optimiser knobs are the paper's fixed choices).
+    pub fn from_design(config: &crate::designs::DesignConfig) -> Self {
         Self {
-            state_dim: 4,
-            num_actions: 2,
-            hidden_dim,
-            exploit_prob: 0.7,
-            target_sync_episodes: 2,
-            gamma: 0.99,
+            state_dim: config.state_dim,
+            num_actions: config.num_actions,
+            hidden_dim: config.hidden_dim,
+            exploit_prob: config.exploit_prob,
+            target_sync_episodes: config.target_sync_episodes,
+            gamma: config.gamma,
             learning_rate: 0.01,
             replay_capacity: 10_000,
             batch_size: 32,
             warmup: 64,
         }
+    }
+
+    /// The paper's CartPole settings for a given hidden size.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use DqnConfig::for_workload(&Workload::CartPole.spec(), hidden_dim)"
+    )]
+    pub fn cartpole(hidden_dim: usize) -> Self {
+        Self::for_workload(&elmrl_gym::Workload::CartPole.spec(), hidden_dim)
     }
 }
 
@@ -210,6 +227,7 @@ impl Agent for DqnAgent {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the cartpole() shims must keep working for seed tests
 mod tests {
     use super::*;
     use rand::SeedableRng;

@@ -40,19 +40,35 @@ pub struct ElmQNetConfig {
 }
 
 impl ElmQNetConfig {
-    /// The paper's CartPole settings (design (1): clipping + simplified
+    /// Settings for a registered workload (design (1): clipping + simplified
     /// output model, no regularisation).
-    pub fn cartpole(hidden_dim: usize) -> Self {
+    pub fn for_workload(spec: &elmrl_gym::EnvSpec, hidden_dim: usize) -> Self {
+        Self::from_design(&crate::designs::DesignConfig::for_workload(
+            spec, hidden_dim,
+        ))
+    }
+
+    /// Settings derived from shared per-cell design parameters.
+    pub fn from_design(config: &crate::designs::DesignConfig) -> Self {
         Self {
-            state_dim: 4,
-            num_actions: 2,
-            hidden_dim,
-            exploit_prob: 0.7,
-            target_sync_episodes: 2,
-            target: TargetConfig::default(),
+            state_dim: config.state_dim,
+            num_actions: config.num_actions,
+            hidden_dim: config.hidden_dim,
+            exploit_prob: config.exploit_prob,
+            target_sync_episodes: config.target_sync_episodes,
+            target: config.target_config(),
             l2_delta: 0.0,
             activation: HiddenActivation::ReLU,
         }
+    }
+
+    /// The paper's CartPole settings with the given hidden size.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ElmQNetConfig::for_workload(&Workload::CartPole.spec(), hidden_dim)"
+    )]
+    pub fn cartpole(hidden_dim: usize) -> Self {
+        Self::for_workload(&elmrl_gym::Workload::CartPole.spec(), hidden_dim)
     }
 
     fn elm_config(&self) -> OsElmConfig {
@@ -192,6 +208,7 @@ impl Agent for ElmQNet {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the cartpole() shims must keep working for seed tests
 mod tests {
     use super::*;
     use rand::SeedableRng;

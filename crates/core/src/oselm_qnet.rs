@@ -63,21 +63,53 @@ pub struct OsElmQNetConfig {
 }
 
 impl OsElmQNetConfig {
-    /// The paper's CartPole settings for a given hidden size and design knobs.
-    pub fn cartpole(hidden_dim: usize, l2_delta: f64, spectral_normalize: bool) -> Self {
+    /// Settings for a registered workload with the given design knobs.
+    pub fn for_workload(
+        spec: &elmrl_gym::EnvSpec,
+        hidden_dim: usize,
+        l2_delta: f64,
+        spectral_normalize: bool,
+    ) -> Self {
+        Self::from_design(
+            &crate::designs::DesignConfig::for_workload(spec, hidden_dim),
+            l2_delta,
+            spectral_normalize,
+        )
+    }
+
+    /// Settings derived from shared per-cell design parameters.
+    pub fn from_design(
+        config: &crate::designs::DesignConfig,
+        l2_delta: f64,
+        spectral_normalize: bool,
+    ) -> Self {
         Self {
-            state_dim: 4,
-            num_actions: 2,
-            hidden_dim,
-            exploit_prob: 0.7,
-            update_prob: 0.5,
+            state_dim: config.state_dim,
+            num_actions: config.num_actions,
+            hidden_dim: config.hidden_dim,
+            exploit_prob: config.exploit_prob,
+            update_prob: config.update_prob,
             random_update: true,
-            target_sync_episodes: 2,
-            target: TargetConfig::default(),
+            target_sync_episodes: config.target_sync_episodes,
+            target: config.target_config(),
             l2_delta,
             spectral_normalize,
             activation: HiddenActivation::ReLU,
         }
+    }
+
+    /// The paper's CartPole settings for a given hidden size and design knobs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use OsElmQNetConfig::for_workload(&Workload::CartPole.spec(), ..)"
+    )]
+    pub fn cartpole(hidden_dim: usize, l2_delta: f64, spectral_normalize: bool) -> Self {
+        Self::for_workload(
+            &elmrl_gym::Workload::CartPole.spec(),
+            hidden_dim,
+            l2_delta,
+            spectral_normalize,
+        )
     }
 
     fn elm_config(&self) -> OsElmConfig {
@@ -292,6 +324,7 @@ impl Agent for OsElmQNet {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the cartpole() shims must keep working for seed tests
 mod tests {
     use super::*;
     use rand::SeedableRng;

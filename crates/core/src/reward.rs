@@ -1,61 +1,19 @@
 //! Reward shaping into the `[-1, 1]` range the Q-value clipping assumes.
 //!
-//! §3.1 states: "In a typical setting for reinforcement learning, the maximum
-//! reward given by the environment is 1 and the minimum reward is −1." Gym's
-//! raw CartPole-v0 reward (+1 every step) does not satisfy that — bootstrapped
-//! targets would saturate at the clip bound and carry no information — so,
-//! like the DQN-on-CartPole setups this line of work builds on, the agents
-//! train on a shaped reward:
+//! The shaping rules themselves now live in the workload registry
+//! ([`elmrl_gym::workload`]) so every registered environment can declare its
+//! own mapping; this module re-exports the type so existing
+//! `elmrl_core::reward::RewardShaping` paths keep working.
 //!
-//! * `0` for an ordinary surviving step,
-//! * `−1` when the episode terminates by failure (pole fell / cart left the
-//!   track),
-//! * `+1` when the episode is truncated at the step cap (the pole survived).
-//!
-//! The *reported* episode return (Figure 4's y-axis) is still the raw number
-//! of surviving steps; shaping only affects the learning targets. The raw
-//! pass-through variant is kept for environments whose rewards already live
-//! in `[-1, 1]` (e.g. the shaped MountainCar ablation).
+//! The original CartPole rationale (§3.1: "the maximum reward given by the
+//! environment is 1 and the minimum reward is −1"): Gym's raw CartPole-v0
+//! reward (+1 every step) would saturate the clipped bootstrapped targets, so
+//! the agents train on [`RewardShaping::SurvivalSigned`] — `0` for an
+//! ordinary surviving step, `−1` on failure, `+1` on surviving to the step
+//! cap. The *reported* episode return (Figure 4's y-axis) is still the raw
+//! number of surviving steps; shaping only affects the learning targets.
 
-use serde::{Deserialize, Serialize};
-
-/// Reward-shaping rule applied to transitions before they reach the learner.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum RewardShaping {
-    /// Use the environment's reward unchanged.
-    Raw,
-    /// The survival-task shaping described in the module docs (the default
-    /// for CartPole in this reproduction).
-    SurvivalSigned,
-}
-
-impl RewardShaping {
-    /// Shape one transition's reward.
-    ///
-    /// * `raw_reward` — the environment's reward;
-    /// * `done` — episode terminated by the task's failure condition;
-    /// * `truncated` — episode ended only because of the step cap.
-    pub fn shape(self, raw_reward: f64, done: bool, truncated: bool) -> f64 {
-        match self {
-            RewardShaping::Raw => raw_reward,
-            RewardShaping::SurvivalSigned => {
-                if done {
-                    -1.0
-                } else if truncated {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
-        }
-    }
-}
-
-impl Default for RewardShaping {
-    fn default() -> Self {
-        RewardShaping::SurvivalSigned
-    }
-}
+pub use elmrl_gym::workload::RewardShaping;
 
 #[cfg(test)]
 mod tests {
@@ -83,5 +41,19 @@ mod tests {
     #[test]
     fn default_is_survival_shaping() {
         assert_eq!(RewardShaping::default(), RewardShaping::SurvivalSigned);
+    }
+
+    #[test]
+    fn all_shapings_stay_in_clip_range_on_terminal_steps() {
+        for shaping in [
+            RewardShaping::SurvivalSigned,
+            RewardShaping::GoalSigned,
+            RewardShaping::Scaled { divisor: 16.3 },
+        ] {
+            for (d, t) in [(false, false), (true, false), (false, true)] {
+                let v = shaping.shape(-16.3, d, t);
+                assert!((-1.0..=1.0).contains(&v), "{shaping:?} ({d},{t}) → {v}");
+            }
+        }
     }
 }

@@ -12,46 +12,22 @@
 //!   initial `α` is high;
 //! * wall-clock time and per-operation counters are recorded so the harness
 //!   can produce the Figure 5/6 execution-time breakdowns.
+//!
+//! The trainer itself is environment-generic: the solve criterion, reward
+//! shaping, reset rule and episode budget all come from [`TrainerConfig`],
+//! and [`TrainerConfig::for_workload`] fills them from a registered
+//! [`EnvSpec`], so the same loop drives CartPole, MountainCar, Pendulum and
+//! any future registry entry.
 
 use crate::agent::{Agent, Observation};
 use crate::ops::OpCounts;
 use crate::reward::RewardShaping;
-use elmrl_gym::{Environment, EpisodeStats};
+use elmrl_gym::{EnvSpec, Environment, EpisodeStats};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
-/// When does a trial count as having *completed* the task?
-///
-/// The paper never spells out its completion rule, but two facts pin it down:
-/// the behaviour policy keeps ε₁ = 0.7 (30 % random actions) throughout, which
-/// makes Gym's official "average return ≥ 195 over 100 consecutive episodes"
-/// unreachable for *any* design, and yet the paper reports completion times
-/// for DQN and the OS-ELM variants. We therefore interpret "complete a
-/// CartPole-v0 task" as the behaviour policy first keeping the pole up for a
-/// full-length episode, and expose the Gym criterion as an alternative.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub enum SolveCriterion {
-    /// First episode whose return reaches `threshold` (default interpretation,
-    /// threshold 195 ≈ a full 200-step episode).
-    EpisodeReturn {
-        /// Minimum single-episode return.
-        threshold: f64,
-    },
-    /// Gym's criterion: moving average over `window` episodes ≥ `threshold`.
-    MovingAverage {
-        /// Average-return threshold (195 for CartPole-v0).
-        threshold: f64,
-        /// Window length (100 for CartPole-v0).
-        window: usize,
-    },
-}
-
-impl Default for SolveCriterion {
-    fn default() -> Self {
-        SolveCriterion::EpisodeReturn { threshold: 195.0 }
-    }
-}
+pub use elmrl_gym::workload::SolveCriterion;
 
 /// Trainer configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -89,6 +65,20 @@ impl Default for TrainerConfig {
 }
 
 impl TrainerConfig {
+    /// The protocol a registered workload declares for itself: its solve
+    /// criterion, reward shaping, reset rule and episode budget. For
+    /// [`elmrl_gym::Workload::CartPole`] this equals [`TrainerConfig::default`].
+    pub fn for_workload(spec: &EnvSpec) -> Self {
+        Self {
+            max_episodes: spec.defaults.max_episodes,
+            reset_after_episodes: spec.defaults.reset_after_episodes,
+            stop_when_solved: true,
+            solve_criterion: spec.solve_criterion,
+            solved_window: 100,
+            reward_shaping: spec.reward_shaping,
+        }
+    }
+
     /// The paper's full protocol (50 000-episode cut-off). Long; used by the
     /// harness binaries, not by unit tests.
     pub fn paper_protocol() -> Self {
@@ -377,6 +367,239 @@ mod tests {
         let res_dqn = Trainer::new(config).run(dqn.as_mut(), &mut env, &mut r);
         assert!(res_dqn.op_counts.count(OpKind::Predict1) > 0);
         assert_eq!(res_dqn.op_counts.count(OpKind::SeqTrain), 0);
+    }
+
+    // ---- direct protocol tests with a scripted environment ----------------
+
+    /// Environment whose episode lengths are scripted: episode `i` pays +1
+    /// per step and ends (`done`) after `lengths[i]` steps, or truncates at
+    /// `max_steps`, whichever comes first. Lengths repeat cyclically.
+    struct ScriptedEnv {
+        lengths: Vec<usize>,
+        episode: usize,
+        step: usize,
+        max_steps: usize,
+    }
+
+    impl ScriptedEnv {
+        fn new(lengths: &[usize]) -> Self {
+            Self {
+                lengths: lengths.to_vec(),
+                episode: 0,
+                step: 0,
+                max_steps: 200,
+            }
+        }
+
+        fn current_length(&self) -> usize {
+            self.lengths[(self.episode.max(1) - 1) % self.lengths.len()]
+        }
+    }
+
+    impl elmrl_gym::Environment for ScriptedEnv {
+        fn name(&self) -> &'static str {
+            "Scripted"
+        }
+
+        fn observation_space(&self) -> elmrl_gym::ObservationSpace {
+            elmrl_gym::ObservationSpace::new(vec![-1.0], vec![1.0], vec!["x".into()])
+        }
+
+        fn action_space(&self) -> elmrl_gym::ActionSpace {
+            elmrl_gym::ActionSpace::discrete(2)
+        }
+
+        fn max_episode_steps(&self) -> usize {
+            self.max_steps
+        }
+
+        fn reset(&mut self, _rng: &mut SmallRng) -> Vec<f64> {
+            self.episode += 1;
+            self.step = 0;
+            vec![0.0]
+        }
+
+        fn step(&mut self, _action: usize, _rng: &mut SmallRng) -> elmrl_gym::StepOutcome {
+            self.step += 1;
+            let done = self.step >= self.current_length();
+            let truncated = !done && self.step >= self.max_steps;
+            elmrl_gym::StepOutcome {
+                observation: vec![0.0],
+                reward: 1.0,
+                done,
+                truncated,
+            }
+        }
+    }
+
+    /// Agent that acts trivially and counts how often the trainer resets it.
+    struct CountingAgent {
+        resets: usize,
+        ops: OpCounts,
+    }
+
+    impl CountingAgent {
+        fn new() -> Self {
+            Self {
+                resets: 0,
+                ops: OpCounts::new(),
+            }
+        }
+    }
+
+    impl Agent for CountingAgent {
+        fn name(&self) -> &str {
+            "Counting"
+        }
+
+        fn hidden_dim(&self) -> usize {
+            1
+        }
+
+        fn act(&mut self, _state: &[f64], _rng: &mut SmallRng) -> usize {
+            0
+        }
+
+        fn observe(&mut self, _obs: &Observation, _rng: &mut SmallRng) {}
+
+        fn end_episode(&mut self, _episode_index: usize) {}
+
+        fn reset(&mut self, _rng: &mut SmallRng) {
+            self.resets += 1;
+        }
+
+        fn op_counts(&self) -> &OpCounts {
+            &self.ops
+        }
+
+        fn q_values(&mut self, _state: &[f64]) -> Vec<f64> {
+            vec![0.0, 0.0]
+        }
+
+        fn memory_footprint_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn episode_return_criterion_fires_at_the_scripted_episode() {
+        // Episodes of 10, 20 and 60 steps: with threshold 50 the third
+        // episode (index 2) is the first whose return reaches it.
+        let mut env = ScriptedEnv::new(&[10, 20, 60, 60]);
+        let mut agent = CountingAgent::new();
+        let mut config = TrainerConfig::quick(10);
+        config.solve_criterion = SolveCriterion::EpisodeReturn { threshold: 50.0 };
+        let result = Trainer::new(config).run(&mut agent, &mut env, &mut rng(0));
+        assert!(result.solved);
+        assert_eq!(result.solved_at_episode, Some(2));
+        assert_eq!(result.episodes_run, 3, "stop_when_solved must stop the run");
+        assert_eq!(result.total_steps, 10 + 20 + 60);
+    }
+
+    #[test]
+    fn moving_average_criterion_fires_only_once_window_average_clears() {
+        // Returns 30, 30, 6, 30, 30, 30 with window 3 and threshold 21:
+        // averages 30, 30, 22, 22, 22, 30 — but the window must be *full*,
+        // so the first eligible episode is index 2 (average (30+30+6)/3 = 22).
+        let mut env = ScriptedEnv::new(&[30, 30, 6, 30, 30, 30]);
+        let mut agent = CountingAgent::new();
+        let mut config = TrainerConfig::quick(10);
+        config.solve_criterion = SolveCriterion::MovingAverage {
+            threshold: 21.0,
+            window: 3,
+        };
+        let result = Trainer::new(config).run(&mut agent, &mut env, &mut rng(0));
+        assert!(result.solved);
+        assert_eq!(result.solved_at_episode, Some(2));
+        assert_eq!(result.episodes_run, 3);
+    }
+
+    #[test]
+    fn moving_average_criterion_never_fires_before_the_window_fills() {
+        // Every episode clears the threshold on its own, but only 2 episodes
+        // run against a window of 5: not solved.
+        let mut env = ScriptedEnv::new(&[100]);
+        let mut agent = CountingAgent::new();
+        let mut config = TrainerConfig::quick(2);
+        config.solve_criterion = SolveCriterion::MovingAverage {
+            threshold: 50.0,
+            window: 5,
+        };
+        let result = Trainer::new(config).run(&mut agent, &mut env, &mut rng(0));
+        assert!(!result.solved);
+        assert_eq!(result.solved_at_episode, None);
+    }
+
+    #[test]
+    fn reset_rule_redraws_weights_on_schedule_until_solved() {
+        // 12 unsolved episodes with reset-after-5: resets fire after episodes
+        // 5 and 10 (two in total), and the counting agent observes each one.
+        let mut env = ScriptedEnv::new(&[3]);
+        let mut agent = CountingAgent::new();
+        let mut config = TrainerConfig::quick(12);
+        config.reset_after_episodes = Some(5);
+        config.solve_criterion = SolveCriterion::EpisodeReturn { threshold: 50.0 };
+        let result = Trainer::new(config).run(&mut agent, &mut env, &mut rng(0));
+        assert!(!result.solved);
+        assert_eq!(result.resets, 2);
+        assert_eq!(agent.resets, 2, "trainer resets must reach the agent");
+
+        // Once the criterion fires, the reset schedule stops counting: a
+        // solving episode inside the reset window produces zero resets.
+        let mut env = ScriptedEnv::new(&[3, 3, 60]);
+        let mut agent = CountingAgent::new();
+        let mut config = TrainerConfig::quick(12);
+        config.reset_after_episodes = Some(5);
+        config.solve_criterion = SolveCriterion::EpisodeReturn { threshold: 50.0 };
+        let result = Trainer::new(config).run(&mut agent, &mut env, &mut rng(0));
+        assert!(result.solved);
+        assert_eq!(result.resets, 0);
+        assert_eq!(agent.resets, 0);
+    }
+
+    #[test]
+    fn reset_rule_actually_redraws_agent_weights() {
+        // A real OS-ELM agent must lose its trained state when the trainer's
+        // reset rule fires: hidden 4 initialises after 4 samples, episodes of
+        // 6 steps train it immediately, and reset-after-2 wipes it again.
+        let mut r = rng(11);
+        let mut agent = Design::OsElm.build(&DesignConfig::new(4).for_env(1, 2), &mut r);
+        let mut env = ScriptedEnv::new(&[6]);
+        let mut config = TrainerConfig::quick(2);
+        config.reset_after_episodes = Some(2);
+        config.solve_criterion = SolveCriterion::EpisodeReturn { threshold: 1000.0 };
+        let result = Trainer::new(config).run(agent.as_mut(), &mut env, &mut r);
+        assert_eq!(result.resets, 1);
+        // After the reset, β is zero again: every Q-value is exactly 0.
+        assert_eq!(agent.q_values(&[0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn episode_budget_exhaustion_reports_unsolved() {
+        let mut env = ScriptedEnv::new(&[3]);
+        let mut agent = CountingAgent::new();
+        let mut config = TrainerConfig::quick(7);
+        config.reset_after_episodes = None;
+        config.solve_criterion = SolveCriterion::EpisodeReturn { threshold: 50.0 };
+        let result = Trainer::new(config).run(&mut agent, &mut env, &mut rng(0));
+        assert!(!result.solved);
+        assert_eq!(result.episodes_run, 7);
+        assert_eq!(result.total_steps, 7 * 3);
+        assert_eq!(result.resets, 0);
+        assert_eq!(result.stats.episodes(), 7);
+    }
+
+    #[test]
+    fn stop_when_solved_false_collects_the_full_curve() {
+        let mut env = ScriptedEnv::new(&[60]);
+        let mut agent = CountingAgent::new();
+        let mut config = TrainerConfig::quick(5);
+        config.stop_when_solved = false;
+        config.solve_criterion = SolveCriterion::EpisodeReturn { threshold: 50.0 };
+        let result = Trainer::new(config).run(&mut agent, &mut env, &mut rng(0));
+        assert!(result.solved);
+        assert_eq!(result.solved_at_episode, Some(0));
+        assert_eq!(result.episodes_run, 5, "must keep running after solving");
     }
 
     #[test]

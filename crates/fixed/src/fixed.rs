@@ -449,9 +449,13 @@ mod tests {
 
     #[test]
     fn different_formats_have_different_resolution() {
-        assert!(Q8::RESOLUTION > Q16::RESOLUTION);
-        assert!(Q16::RESOLUTION > Q20::RESOLUTION);
-        assert!(Q20::RESOLUTION > Q24::RESOLUTION);
+        let resolutions = [
+            Q8::RESOLUTION,
+            Q16::RESOLUTION,
+            Q20::RESOLUTION,
+            Q24::RESOLUTION,
+        ];
+        assert!(resolutions.windows(2).all(|w| w[0] > w[1]));
         // Coarser format, larger range:
         assert!(Q8::max_value_f64() > Q20::max_value_f64());
         assert!(Q20::max_value_f64() > Q24::max_value_f64());

@@ -50,18 +50,30 @@ pub struct FpgaAgentConfig {
 }
 
 impl FpgaAgentConfig {
-    /// The paper's CartPole settings for a given hidden size.
-    pub fn cartpole(hidden_dim: usize) -> Self {
+    /// Settings for a registered workload: dimensions and protocol knobs come
+    /// from the [`elmrl_gym::EnvSpec`]'s per-workload defaults; δ stays at the
+    /// paper's 0.5 (the hardware design is OS-ELM-L2-Lipschitz).
+    pub fn for_workload(spec: &elmrl_gym::EnvSpec, hidden_dim: usize) -> Self {
+        let design = elmrl_core::designs::DesignConfig::for_workload(spec, hidden_dim);
         Self {
-            state_dim: 4,
-            num_actions: 2,
+            state_dim: design.state_dim,
+            num_actions: design.num_actions,
             hidden_dim,
-            exploit_prob: 0.7,
-            update_prob: 0.5,
-            target_sync_episodes: 2,
-            target: TargetConfig::default(),
+            exploit_prob: design.exploit_prob,
+            update_prob: design.update_prob,
+            target_sync_episodes: design.target_sync_episodes,
+            target: design.target_config(),
             l2_delta: 0.5,
         }
+    }
+
+    /// The paper's CartPole settings for a given hidden size.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use FpgaAgentConfig::for_workload(&Workload::CartPole.spec(), hidden_dim)"
+    )]
+    pub fn cartpole(hidden_dim: usize) -> Self {
+        Self::for_workload(&elmrl_gym::Workload::CartPole.spec(), hidden_dim)
     }
 
     fn elm_config(&self) -> OsElmConfig {
@@ -314,6 +326,7 @@ impl Agent for FpgaAgent {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the cartpole() shims must keep working for seed tests
 mod tests {
     use super::*;
     use elmrl_core::designs::{Design, DesignConfig};

@@ -360,7 +360,7 @@ mod tests {
         let zero_beta = Matrix::<f64>::zeros(8, 1);
         let p = os.p_matrix().unwrap().clone();
         core.reload_from_f64(&zero_beta, &p);
-        let y = core.predict(&vec![Q20::from_f64(0.3); 5]);
+        let y = core.predict(&[Q20::from_f64(0.3); 5]);
         assert_eq!(y[0].to_f64(), 0.0);
     }
 

@@ -5,17 +5,58 @@ use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 
 /// The result of a single environment step.
+///
+/// `done` and `truncated` are mutually exclusive: an episode that hits the
+/// step cap on the same step it satisfies the task's own end condition
+/// reports `done`, not `truncated`. Q-learning uses the distinction to decide
+/// whether to bootstrap: the `(1 − dₜ)` factor removes the bootstrap term
+/// only for `done` transitions, while `truncated` transitions still bootstrap
+/// because the task itself did not end.
+///
+/// ```
+/// use elmrl_gym::{Environment, MountainCar};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut env = MountainCar::new();
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// env.reset(&mut rng);
+/// // An idle policy never reaches the goal: the episode ends at the 200-step
+/// // cap with `truncated` (not `done`).
+/// let idle = loop {
+///     let out = env.step(1, &mut rng);
+///     if out.finished() {
+///         break out;
+///     }
+/// };
+/// assert!(idle.truncated && !idle.done);
+///
+/// // Pushing in the direction of motion reaches the flag: the episode ends
+/// // with `done` (the task's own success condition, the paper's dₜ = 1).
+/// let mut env = MountainCar::with_step_limit(300);
+/// let mut obs = env.reset(&mut rng);
+/// let solved = loop {
+///     let action = if obs[1] >= 0.0 { 2 } else { 0 };
+///     let out = env.step(action, &mut rng);
+///     obs = out.observation.clone();
+///     if out.finished() {
+///         break out;
+///     }
+/// };
+/// assert!(solved.done && !solved.truncated);
+/// ```
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StepOutcome {
+    /// `true` when the episode ended because the task itself finished — its
+    /// failure or success condition fired (the paper's `dₜ` flag). Never set
+    /// for a pure step-limit stop.
+    pub done: bool,
+    /// `true` when the episode was cut off by the step cap without the task
+    /// finishing. Mutually exclusive with `done`.
+    pub truncated: bool,
     /// Observation after the step.
     pub observation: Vec<f64>,
     /// Reward for the transition.
     pub reward: f64,
-    /// `true` when the episode terminated because of the task's failure or
-    /// success condition (the paper's `dₜ` flag).
-    pub done: bool,
-    /// `true` when the episode ended only because the step limit was reached.
-    pub truncated: bool,
 }
 
 impl StepOutcome {

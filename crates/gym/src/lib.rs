@@ -17,7 +17,11 @@
 //!   extension task.
 //!
 //! All environments implement the [`Environment`] trait; the agents in
-//! `elmrl-core` are written against that trait only.
+//! `elmrl-core` are written against that trait only. The [`workload`] module
+//! is the registry that makes every environment reachable from the generic
+//! experiment pipeline: a [`Workload`] resolves to an [`EnvSpec`] bundling a
+//! boxed environment factory with the per-environment solve criterion, reward
+//! shaping, normalisation bounds and protocol defaults.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -26,12 +30,16 @@ pub mod cartpole;
 pub mod env;
 pub mod episode;
 pub mod mountain_car;
+pub mod normalize;
 pub mod pendulum;
 pub mod space;
+pub mod workload;
 
 pub use cartpole::CartPole;
 pub use env::{Environment, StepOutcome};
 pub use episode::{EpisodeStats, MovingAverage};
 pub use mountain_car::MountainCar;
+pub use normalize::NormalizedEnv;
 pub use pendulum::Pendulum;
 pub use space::{ActionSpace, ObservationSpace};
+pub use workload::{registry, EnvSpec, RewardShaping, SolveCriterion, Workload, WorkloadDefaults};

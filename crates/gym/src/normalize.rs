@@ -1,0 +1,156 @@
+//! Observation normalisation: map bounded observation axes into `[-1, 1]`.
+//!
+//! The ELM/OS-ELM designs feed observations straight into a random projection
+//! `α`, so wildly different axis scales (MountainCar: position in
+//! `[-1.2, 0.6]`, velocity in `±0.07`) make some hidden features vastly more
+//! sensitive than others. [`NormalizedEnv`] wraps any [`Environment`] and
+//! affinely rescales each *bounded* observation axis into `[-1, 1]`;
+//! unbounded axes (CartPole's velocities) pass through unchanged. The wrapper
+//! is deterministic and touches neither rewards nor the RNG stream, so seeded
+//! trials stay reproducible.
+
+use crate::env::{Environment, StepOutcome};
+use crate::space::{ActionSpace, ObservationSpace};
+use rand::rngs::SmallRng;
+
+/// An [`Environment`] wrapper that rescales bounded observation axes into
+/// `[-1, 1]` using the inner environment's observation-space bounds.
+pub struct NormalizedEnv {
+    inner: Box<dyn Environment>,
+    low: Vec<f64>,
+    high: Vec<f64>,
+}
+
+impl NormalizedEnv {
+    /// Wrap `inner`, reading the normalisation bounds from its
+    /// [`Environment::observation_space`].
+    pub fn from_space(inner: Box<dyn Environment>) -> Self {
+        let space = inner.observation_space();
+        Self {
+            low: space.low,
+            high: space.high,
+            inner,
+        }
+    }
+
+    /// Normalise one raw observation in place of the inner environment's.
+    fn normalize(&self, obs: &[f64]) -> Vec<f64> {
+        obs.iter()
+            .zip(self.low.iter().zip(self.high.iter()))
+            .map(|(&v, (&l, &h))| {
+                if l.is_finite() && h.is_finite() && h > l {
+                    // Affine map [l, h] → [-1, 1]; clamp against tiny
+                    // numerical excursions outside the declared bounds.
+                    (2.0 * (v - l) / (h - l) - 1.0).clamp(-1.0, 1.0)
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+}
+
+impl Environment for NormalizedEnv {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn observation_space(&self) -> ObservationSpace {
+        let space = self.inner.observation_space();
+        let (low, high) = self
+            .low
+            .iter()
+            .zip(self.high.iter())
+            .map(|(&l, &h)| {
+                if l.is_finite() && h.is_finite() && h > l {
+                    (-1.0, 1.0)
+                } else {
+                    (l, h)
+                }
+            })
+            .unzip();
+        ObservationSpace::new(low, high, space.names)
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        self.inner.action_space()
+    }
+
+    fn max_episode_steps(&self) -> usize {
+        self.inner.max_episode_steps()
+    }
+
+    fn reset(&mut self, rng: &mut SmallRng) -> Vec<f64> {
+        let obs = self.inner.reset(rng);
+        self.normalize(&obs)
+    }
+
+    fn step(&mut self, action: usize, rng: &mut SmallRng) -> StepOutcome {
+        let mut out = self.inner.step(action, rng);
+        out.observation = self.normalize(&out.observation);
+        out
+    }
+
+    fn solved_threshold(&self) -> Option<f64> {
+        self.inner.solved_threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CartPole, MountainCar};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn bounded_axes_are_rescaled_into_unit_range() {
+        let mut env = NormalizedEnv::from_space(Box::new(MountainCar::new()));
+        let mut r = rng(0);
+        let obs = env.reset(&mut r);
+        // valley start: position in [-0.6, -0.4] maps inside (-1, 1),
+        // velocity 0 maps to the middle of ±0.07 → exactly 0.
+        assert!(obs[0] > -1.0 && obs[0] < 0.0);
+        assert_eq!(obs[1], 0.0);
+        let space = env.observation_space();
+        assert_eq!(space.low, vec![-1.0, -1.0]);
+        assert_eq!(space.high, vec![1.0, 1.0]);
+        for i in 0..50 {
+            let out = env.step(i % 3, &mut r);
+            assert!(out.observation.iter().all(|v| (-1.0..=1.0).contains(v)));
+            if out.finished() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_axes_pass_through() {
+        let mut env = NormalizedEnv::from_space(Box::new(CartPole::new()));
+        let mut r = rng(1);
+        let mut raw_env = CartPole::new();
+        let mut r2 = rng(1);
+        let obs = env.reset(&mut r);
+        let raw = raw_env.reset(&mut r2);
+        // velocities (axes 1, 3) are unbounded → identical; position/angle
+        // (axes 0, 2) are bounded → rescaled.
+        assert_eq!(obs[1], raw[1]);
+        assert_eq!(obs[3], raw[3]);
+        assert!((obs[0] - raw[0] / 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metadata_and_rewards_are_untouched() {
+        let mut env = NormalizedEnv::from_space(Box::new(MountainCar::new()));
+        assert_eq!(env.name(), "MountainCar-v0");
+        assert_eq!(env.num_actions(), 3);
+        assert_eq!(env.max_episode_steps(), 200);
+        assert_eq!(env.solved_threshold(), Some(-110.0));
+        let mut r = rng(2);
+        env.reset(&mut r);
+        assert_eq!(env.step(1, &mut r).reward, -1.0);
+    }
+}

@@ -8,10 +8,9 @@
 //!   paper's choice of Q20.
 
 use elmrl_core::oselm_qnet::{OsElmQNet, OsElmQNetConfig};
-use elmrl_core::reward::RewardShaping;
 use elmrl_core::trainer::{Trainer, TrainerConfig};
 use elmrl_fixed::analysis::{quantization_report, QuantizationReport};
-use elmrl_gym::CartPole;
+use elmrl_gym::Workload;
 use elmrl_linalg::Matrix;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -35,27 +34,28 @@ pub struct StabilisationAblationRow {
 }
 
 /// Run the A1 ablation: the four combinations of {clipping, random update}
-/// on OS-ELM-L2-Lipschitz at the given hidden size.
+/// on OS-ELM-L2-Lipschitz at the given hidden size, on a workload.
 pub fn stabilisation_ablation(
+    workload: Workload,
     hidden_dim: usize,
     max_episodes: usize,
     seed: u64,
 ) -> Vec<StabilisationAblationRow> {
+    let spec = workload.spec();
     let mut rows = Vec::new();
     for &clipping in &[true, false] {
         for &random_update in &[true, false] {
             let mut rng = SmallRng::seed_from_u64(seed);
-            let mut config = OsElmQNetConfig::cartpole(hidden_dim, 0.5, true);
+            let mut config = OsElmQNetConfig::for_workload(&spec, hidden_dim, 0.5, true);
             config.target.clip = clipping;
             config.random_update = random_update;
             let mut agent = OsElmQNet::new(config, &mut rng);
-            let mut env = CartPole::new();
+            let mut env = spec.make_env();
             let trainer = Trainer::new(TrainerConfig {
                 max_episodes,
-                reward_shaping: RewardShaping::SurvivalSigned,
-                ..TrainerConfig::default()
+                ..TrainerConfig::for_workload(&spec)
             });
-            let result = trainer.run(&mut agent, &mut env, &mut rng);
+            let result = trainer.run(&mut agent, env.as_mut(), &mut rng);
             rows.push(StabilisationAblationRow {
                 clipping,
                 random_update,
@@ -81,18 +81,26 @@ pub struct PrecisionAblationRow {
 }
 
 /// Run the A2 precision ablation on a representative trained OS-ELM state.
-pub fn precision_ablation(hidden_dim: usize, seed: u64) -> Vec<PrecisionAblationRow> {
-    // Produce a representative trained state by running a short CartPole
-    // session with the float agent, then quantising its P and β.
+pub fn precision_ablation(
+    workload: Workload,
+    hidden_dim: usize,
+    seed: u64,
+) -> Vec<PrecisionAblationRow> {
+    // Produce a representative trained state by running a short session on
+    // the workload with the float agent, then quantising its P and β.
+    let spec = workload.spec();
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut agent = OsElmQNet::new(OsElmQNetConfig::cartpole(hidden_dim, 0.5, true), &mut rng);
-    let mut env = CartPole::new();
+    let mut agent = OsElmQNet::new(
+        OsElmQNetConfig::for_workload(&spec, hidden_dim, 0.5, true),
+        &mut rng,
+    );
+    let mut env = spec.make_env();
     let trainer = Trainer::new(TrainerConfig {
         max_episodes: 30,
         stop_when_solved: false,
-        ..TrainerConfig::default()
+        ..TrainerConfig::for_workload(&spec)
     });
-    let _ = trainer.run(&mut agent, &mut env, &mut rng);
+    let _ = trainer.run(&mut agent, env.as_mut(), &mut rng);
     let beta: Matrix<f64> = agent.online().model().beta().clone();
     let p: Matrix<f64> = agent
         .online()
@@ -168,7 +176,7 @@ mod tests {
 
     #[test]
     fn stabilisation_ablation_covers_all_four_combinations() {
-        let rows = stabilisation_ablation(8, 3, 5);
+        let rows = stabilisation_ablation(Workload::CartPole, 8, 3, 5);
         assert_eq!(rows.len(), 4);
         let combos: Vec<(bool, bool)> =
             rows.iter().map(|r| (r.clipping, r.random_update)).collect();
@@ -186,12 +194,20 @@ mod tests {
 
     #[test]
     fn precision_ablation_error_decreases_with_more_bits() {
-        let rows = precision_ablation(8, 6);
+        let rows = precision_ablation(Workload::CartPole, 8, 6);
         assert_eq!(rows.len(), 4);
         assert!(rows[0].beta_report.rms_error >= rows[2].beta_report.rms_error);
         assert!(rows[1].p_matrix_report.rms_error >= rows[3].p_matrix_report.rms_error);
-        let md = to_markdown(&stabilisation_ablation(8, 2, 1), &rows);
+        let md = to_markdown(&stabilisation_ablation(Workload::CartPole, 8, 2, 1), &rows);
         assert!(md.contains("Q20"));
         assert!(md.contains("random update"));
+    }
+
+    #[test]
+    fn ablations_run_on_other_workloads() {
+        let rows = stabilisation_ablation(Workload::MountainCar, 8, 2, 3);
+        assert_eq!(rows.len(), 4);
+        let rows = precision_ablation(Workload::Pendulum, 8, 3);
+        assert_eq!(rows.len(), 4);
     }
 }

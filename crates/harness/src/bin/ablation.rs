@@ -1,19 +1,40 @@
-//! Run the DESIGN.md ablations (A1 stabilisation techniques, A2 precision).
+//! Run the DESIGN.md ablations (A1 stabilisation techniques, A2 precision)
+//! on any registered workload.
 //!
-//! Scale knobs: `ELMRL_HIDDEN_ONE` (default 64), `ELMRL_EPISODES` (default 600),
-//! `ELMRL_SEED`.
-use elmrl_harness::{ablation, env_usize, report};
+//! Run `ablation --help` for the flag list. The ablations are single-trial
+//! and use a single hidden size — the first entry of `--hidden` (the legacy
+//! `ELMRL_HIDDEN_ONE` environment variable supplies the default when neither
+//! `--hidden` nor `ELMRL_HIDDEN` is given); `--trials` has no effect here.
+use elmrl_harness::{ablation, cli, env_usize, report};
 
 fn main() {
-    let hidden = env_usize("ELMRL_HIDDEN_ONE", 64);
-    let episodes = env_usize("ELMRL_EPISODES", 600);
-    let seed = env_usize("ELMRL_SEED", 42) as u64;
-    eprintln!("ablations at hidden = {hidden}, {episodes} episodes");
-    let a1 = ablation::stabilisation_ablation(hidden, episodes, seed);
-    let a2 = ablation::precision_ablation(hidden, seed);
+    let args = cli::parse_or_exit(
+        "ablation",
+        "DESIGN.md ablations: A1 stabilisation techniques, A2 precision \
+         (single-trial, single hidden size; --trials is ignored)",
+        &cli::CliDefaults {
+            trials: 1,
+            episodes: 600,
+            // Flags and ELMRL_HIDDEN override this ELMRL_HIDDEN_ONE default.
+            hidden: vec![env_usize("ELMRL_HIDDEN_ONE", 64)],
+        },
+    );
+    let hidden = args.hidden[0];
+    if args.hidden.len() > 1 {
+        eprintln!(
+            "ablation: note — using only the first hidden size ({hidden}) of {:?}",
+            args.hidden
+        );
+    }
+    eprintln!(
+        "ablations on {} at hidden = {hidden}, {} episodes",
+        args.workload, args.episodes
+    );
+    let a1 = ablation::stabilisation_ablation(args.workload, hidden, args.episodes, args.seed);
+    let a2 = ablation::precision_ablation(args.workload, hidden, args.seed);
     let md = ablation::to_markdown(&a1, &a2);
-    println!("# Ablations\n\n{md}");
-    let dir = report::default_results_dir();
+    println!("# Ablations ({})\n\n{md}", args.workload);
+    let dir = args.out_dir();
     report::write_json(&dir, "ablation_a1.json", &a1).expect("write ablation_a1.json");
     report::write_json(&dir, "ablation_a2.json", &a2).expect("write ablation_a2.json");
     report::write_text(&dir, "ablation.md", &md).expect("write ablation.md");

@@ -1,20 +1,33 @@
-//! Regenerate Figure 4 (training curves of the six software designs).
+//! Regenerate Figure 4 (training curves of the six software designs) on any
+//! registered workload.
 //!
-//! Scale knobs: `ELMRL_HIDDEN` (default "32,64"), `ELMRL_EPISODES` (default 600),
-//! `ELMRL_SEED`.
-use elmrl_harness::{env_hidden_sizes, env_usize, fig4, report};
+//! Run `fig4 --help` for the flag list; the `ELMRL_*` environment variables
+//! are honoured as fallbacks.
+use elmrl_harness::{cli, fig4, report};
 
 fn main() {
-    let hidden = env_hidden_sizes(&[32, 64]);
-    let episodes = env_usize("ELMRL_EPISODES", 600);
-    let seed = env_usize("ELMRL_SEED", 42) as u64;
-    eprintln!("figure 4: hidden sizes {hidden:?}, {episodes} episodes per curve");
-    let fig = fig4::generate(&hidden, episodes, seed);
+    let args = cli::parse_or_exit(
+        "fig4",
+        "Figure 4 — training curves of the six software designs.\n\
+         Plots one representative curve per (design, hidden) cell, as the\n\
+         paper does; --trials is ignored",
+        &cli::CliDefaults {
+            trials: 1,
+            episodes: 600,
+            hidden: vec![32, 64],
+        },
+    );
+    eprintln!(
+        "figure 4 on {}: hidden sizes {:?}, {} episodes per curve",
+        args.workload, args.hidden, args.episodes
+    );
+    let fig = fig4::generate(args.workload, &args.hidden, args.episodes, args.seed);
     println!(
-        "# Figure 4 — training curves\n\n{}",
+        "# Figure 4 — training curves ({})\n\n{}",
+        args.workload,
         fig4::to_markdown_summary(&fig)
     );
-    let dir = report::default_results_dir();
+    let dir = args.out_dir();
     report::write_json(&dir, "fig4.json", &fig).expect("write fig4.json");
     report::write_text(&dir, "fig4.csv", &fig4::to_csv(&fig)).expect("write fig4.csv");
     eprintln!("wrote {}/fig4.{{json,csv}}", dir.display());

@@ -1,27 +1,44 @@
-//! Regenerate Figure 5 (execution time to complete) and the §4.4 speedups.
+//! Regenerate Figure 5 (execution time to complete) and the §4.4 speedups on
+//! any registered workload.
 //!
-//! Scale knobs: `ELMRL_HIDDEN` (default "32,64"), `ELMRL_TRIALS` (default 3),
-//! `ELMRL_EPISODES` (default 2000), `ELMRL_SEED`.
+//! Run `fig5 --help` for the flag list; the `ELMRL_*` environment variables
+//! are honoured as fallbacks.
 use elmrl_core::designs::Design;
-use elmrl_harness::{env_hidden_sizes, env_usize, fig5, report};
+use elmrl_harness::{cli, fig5, report};
 
 fn main() {
-    let hidden = env_hidden_sizes(&[32, 64]);
-    let trials = env_usize("ELMRL_TRIALS", 3);
-    let episodes = env_usize("ELMRL_EPISODES", 2000);
-    let seed = env_usize("ELMRL_SEED", 42) as u64;
-    eprintln!("figure 5: hidden {hidden:?}, {trials} trials/cell, {episodes} episode budget");
-    let fig = fig5::generate(&hidden, &Design::all_designs(), trials, episodes, seed);
+    let args = cli::parse_or_exit(
+        "fig5",
+        "Figure 5 — execution time to complete the task, all seven designs",
+        &cli::CliDefaults {
+            trials: 3,
+            episodes: 2000,
+            hidden: vec![32, 64],
+        },
+    );
+    eprintln!(
+        "figure 5 on {}: hidden {:?}, {} trials/cell, {} episode budget",
+        args.workload, args.hidden, args.trials, args.episodes
+    );
+    let fig = fig5::generate(
+        args.workload,
+        &args.hidden,
+        &Design::all_designs(),
+        args.trials,
+        args.episodes,
+        args.seed,
+    );
     println!(
-        "# Figure 5 — execution time to complete\n\n{}",
+        "# Figure 5 — execution time to complete ({})\n\n{}",
+        args.workload,
         fig5::to_markdown(&fig)
     );
     println!(
         "\n## Speedups vs DQN (§4.4)\n\n{}",
         fig5::speedups_to_markdown(&fig)
     );
-    let dir = report::default_results_dir();
+    let dir = args.out_dir();
     report::write_json(&dir, "fig5.json", &fig).expect("write fig5.json");
     report::write_text(&dir, "fig5.md", &fig5::to_markdown(&fig)).expect("write fig5.md");
-    eprintln!("wrote {}/fig5.{{json,md}}", dir.display());
+    eprintln!("wrote {}/fig5.{{md,json}}", dir.display());
 }

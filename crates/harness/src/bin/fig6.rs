@@ -1,22 +1,38 @@
-//! Regenerate Figure 6 (execution-time detail of the FPGA design).
+//! Regenerate Figure 6 (execution-time detail of the FPGA design) on any
+//! registered workload.
 //!
-//! Scale knobs: `ELMRL_HIDDEN` (default "32,64"), `ELMRL_TRIALS` (default 3),
-//! `ELMRL_EPISODES` (default 2000), `ELMRL_SEED`.
-use elmrl_harness::{env_hidden_sizes, env_usize, fig6, report};
+//! Run `fig6 --help` for the flag list; the `ELMRL_*` environment variables
+//! are honoured as fallbacks.
+use elmrl_harness::{cli, fig6, report};
 
 fn main() {
-    let hidden = env_hidden_sizes(&[32, 64]);
-    let trials = env_usize("ELMRL_TRIALS", 3);
-    let episodes = env_usize("ELMRL_EPISODES", 2000);
-    let seed = env_usize("ELMRL_SEED", 42) as u64;
-    eprintln!("figure 6: hidden {hidden:?}, {trials} trials/cell, {episodes} episode budget");
-    let fig = fig6::generate(&hidden, trials, episodes, seed);
+    let args = cli::parse_or_exit(
+        "fig6",
+        "Figure 6 — execution-time detail of the FPGA design",
+        &cli::CliDefaults {
+            trials: 3,
+            episodes: 2000,
+            hidden: vec![32, 64],
+        },
+    );
+    eprintln!(
+        "figure 6 on {}: hidden {:?}, {} trials/cell, {} episode budget",
+        args.workload, args.hidden, args.trials, args.episodes
+    );
+    let fig = fig6::generate(
+        args.workload,
+        &args.hidden,
+        args.trials,
+        args.episodes,
+        args.seed,
+    );
     println!(
-        "# Figure 6 — FPGA execution-time detail\n\n{}",
+        "# Figure 6 — FPGA execution-time detail ({})\n\n{}",
+        args.workload,
         fig6::to_markdown(&fig)
     );
-    let dir = report::default_results_dir();
+    let dir = args.out_dir();
     report::write_json(&dir, "fig6.json", &fig).expect("write fig6.json");
     report::write_text(&dir, "fig6.md", &fig6::to_markdown(&fig)).expect("write fig6.md");
-    eprintln!("wrote {}/fig6.{{json,md}}", dir.display());
+    eprintln!("wrote {}/fig6.{{md,json}}", dir.display());
 }

@@ -1,0 +1,303 @@
+//! Minimal CLI argument parsing shared by the experiment binaries.
+//!
+//! The container has no access to crates.io, so instead of `clap` this is a
+//! small hand-rolled flag parser. Every binary accepts:
+//!
+//! * `--workload <name>` — a registered workload (`cart-pole`, `mountain-car`,
+//!   `pendulum`; case/separator/Gym-version insensitive);
+//! * `--trials <n>` — seeded trials per experiment cell;
+//! * `--episodes <n>` — episode budget per trial;
+//! * `--hidden <a,b,..>` — comma-separated hidden sizes;
+//! * `--seed <n>` — base RNG seed;
+//! * `--out <dir>` — output directory (default: `results/<workload-slug>`);
+//! * `--help` — print usage and exit.
+//!
+//! The `ELMRL_TRIALS` / `ELMRL_EPISODES` / `ELMRL_HIDDEN` / `ELMRL_SEED` /
+//! `ELMRL_WORKLOAD` environment variables are honoured as fallbacks when the
+//! corresponding flag is absent, so existing automation keeps working; flags
+//! win over environment variables.
+
+use crate::{env_hidden_sizes, env_usize};
+use elmrl_gym::Workload;
+use std::path::PathBuf;
+
+/// Parsed command-line options for one experiment binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliArgs {
+    /// Workload to run.
+    pub workload: Workload,
+    /// Trials per experiment cell.
+    pub trials: usize,
+    /// Episode budget per trial.
+    pub episodes: usize,
+    /// Hidden sizes to sweep.
+    pub hidden: Vec<usize>,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Explicit output directory (`--out`), if given.
+    pub out: Option<PathBuf>,
+}
+
+impl CliArgs {
+    /// The directory results should be written to: `--out` when given,
+    /// otherwise the per-workload default `results/<slug>`.
+    pub fn out_dir(&self) -> PathBuf {
+        self.out
+            .clone()
+            .unwrap_or_else(|| crate::report::results_dir_for(self.workload))
+    }
+}
+
+/// Per-binary defaults the parser starts from. Precedence, lowest to
+/// highest: these defaults → `ELMRL_*` environment variables → flags.
+#[derive(Clone, Debug)]
+pub struct CliDefaults {
+    /// Default trials per cell.
+    pub trials: usize,
+    /// Default episode budget.
+    pub episodes: usize,
+    /// Default hidden sizes.
+    pub hidden: Vec<usize>,
+}
+
+/// Render the `--help` text for a binary.
+pub fn usage(binary: &str, about: &str, defaults: &CliDefaults) -> String {
+    let workloads: Vec<&str> = Workload::all().iter().map(|w| w.slug()).collect();
+    format!(
+        "{about}\n\n\
+         Usage: {binary} [OPTIONS]\n\n\
+         Options:\n\
+         \x20 --workload <name>   workload to run: {} (default: cart-pole)\n\
+         \x20 --trials <n>        seeded trials per cell (default: {})\n\
+         \x20 --episodes <n>      episode budget per trial (default: {})\n\
+         \x20 --hidden <a,b,..>   comma-separated hidden sizes (default: {})\n\
+         \x20 --seed <n>          base RNG seed (default: 42)\n\
+         \x20 --out <dir>         output directory (default: results/<workload>)\n\
+         \x20 --help              print this help and exit\n\n\
+         ELMRL_WORKLOAD, ELMRL_TRIALS, ELMRL_EPISODES, ELMRL_HIDDEN and\n\
+         ELMRL_SEED are honoured as fallbacks when the flag is absent.",
+        workloads.join(", "),
+        defaults.trials,
+        defaults.episodes,
+        defaults
+            .hidden
+            .iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    )
+}
+
+/// Parse a flag list (everything after the binary name). Returns `Ok(None)`
+/// when `--help` was requested.
+pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliArgs>, String> {
+    let mut parsed = CliArgs {
+        workload: Workload::CartPole,
+        trials: env_usize("ELMRL_TRIALS", defaults.trials),
+        episodes: env_usize("ELMRL_EPISODES", defaults.episodes),
+        hidden: env_hidden_sizes(&defaults.hidden),
+        seed: env_usize("ELMRL_SEED", 42) as u64,
+        out: None,
+    };
+    let mut workload_flag: Option<Workload> = None;
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if flag == "--help" || flag == "-h" {
+            return Ok(None);
+        }
+        let mut value_for = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--workload" => {
+                let name = value_for("--workload")?;
+                workload_flag = Some(Workload::from_name(&name).ok_or_else(|| {
+                    format!(
+                        "unknown workload `{name}` (registered: {})",
+                        Workload::all()
+                            .iter()
+                            .map(|w| w.slug())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?);
+            }
+            "--trials" => {
+                let v = value_for("--trials")?;
+                parsed.trials = v
+                    .parse()
+                    .map_err(|_| format!("--trials: invalid count `{v}`"))?;
+            }
+            "--episodes" => {
+                let v = value_for("--episodes")?;
+                parsed.episodes = v
+                    .parse()
+                    .map_err(|_| format!("--episodes: invalid count `{v}`"))?;
+            }
+            "--hidden" => {
+                let v = value_for("--hidden")?;
+                let sizes: Result<Vec<usize>, _> =
+                    v.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                parsed.hidden = sizes.map_err(|_| format!("--hidden: invalid size list `{v}`"))?;
+                if parsed.hidden.is_empty() {
+                    return Err("--hidden: need at least one size".to_string());
+                }
+            }
+            "--seed" => {
+                let v = value_for("--seed")?;
+                parsed.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed: invalid seed `{v}`"))?;
+            }
+            "--out" => {
+                parsed.out = Some(PathBuf::from(value_for("--out")?));
+            }
+            other => {
+                return Err(format!("unknown flag `{other}` (try --help)"));
+            }
+        }
+    }
+    // A `--workload` flag wins outright; the environment variable is only
+    // consulted (and validated) when no flag was given.
+    parsed.workload = match workload_flag {
+        Some(workload) => workload,
+        None => match std::env::var("ELMRL_WORKLOAD") {
+            Ok(name) => Workload::from_name(&name)
+                .ok_or_else(|| format!("ELMRL_WORKLOAD: unknown workload `{name}`"))?,
+            Err(_) => Workload::CartPole,
+        },
+    };
+    Ok(Some(parsed))
+}
+
+/// Parse `std::env::args()` for a binary; prints help or a parse error and
+/// exits the process as appropriate.
+pub fn parse_or_exit(binary: &str, about: &str, defaults: &CliDefaults) -> CliArgs {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_from(&args, defaults) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => {
+            println!("{}", usage(binary, about, defaults));
+            std::process::exit(0);
+        }
+        Err(message) => {
+            eprintln!("{binary}: {message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The parser consults the real process environment; drop any ambient
+    /// `ELMRL_*` variables so the assertions below see the pure defaults
+    /// (running the suite under e.g. `ELMRL_TRIALS=5` is supported usage).
+    fn defaults() -> CliDefaults {
+        for var in [
+            "ELMRL_WORKLOAD",
+            "ELMRL_TRIALS",
+            "ELMRL_EPISODES",
+            "ELMRL_HIDDEN",
+            "ELMRL_SEED",
+        ] {
+            std::env::remove_var(var);
+        }
+        CliDefaults {
+            trials: 3,
+            episodes: 2000,
+            hidden: vec![32, 64],
+        }
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_when_no_flags_given() {
+        let parsed = parse_from(&[], &defaults()).unwrap().unwrap();
+        assert_eq!(parsed.workload, Workload::CartPole);
+        assert_eq!(parsed.trials, 3);
+        assert_eq!(parsed.episodes, 2000);
+        assert_eq!(parsed.hidden, vec![32, 64]);
+        assert_eq!(parsed.seed, 42);
+        assert!(parsed.out.is_none());
+        assert_eq!(parsed.out_dir(), PathBuf::from("results").join("cart-pole"));
+    }
+
+    #[test]
+    fn flags_override_everything() {
+        let parsed = parse_from(
+            &args(&[
+                "--workload",
+                "mountain-car",
+                "--trials",
+                "5",
+                "--episodes",
+                "100",
+                "--hidden",
+                "8, 16",
+                "--seed",
+                "7",
+                "--out",
+                "/tmp/elmrl-out",
+            ]),
+            &defaults(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(parsed.workload, Workload::MountainCar);
+        assert_eq!(parsed.trials, 5);
+        assert_eq!(parsed.episodes, 100);
+        assert_eq!(parsed.hidden, vec![8, 16]);
+        assert_eq!(parsed.seed, 7);
+        assert_eq!(parsed.out_dir(), PathBuf::from("/tmp/elmrl-out"));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse_from(&args(&["--help"]), &defaults()).unwrap(), None);
+        assert_eq!(
+            parse_from(&args(&["--workload", "pendulum", "-h"]), &defaults()).unwrap(),
+            None
+        );
+        let text = usage("fig5", "Figure 5", &defaults());
+        assert!(text.contains("--workload"));
+        assert!(text.contains("mountain-car"));
+        assert!(text.contains("--out"));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse_from(&args(&["--workload", "acrobot"]), &defaults())
+            .unwrap_err()
+            .contains("unknown workload"));
+        assert!(parse_from(&args(&["--trials"]), &defaults())
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse_from(&args(&["--trials", "many"]), &defaults())
+            .unwrap_err()
+            .contains("invalid count"));
+        assert!(parse_from(&args(&["--frobnicate"]), &defaults())
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse_from(&args(&["--hidden", "a,b"]), &defaults())
+            .unwrap_err()
+            .contains("invalid size list"));
+    }
+
+    #[test]
+    fn workload_names_are_normalised() {
+        for name in ["CartPole-v0", "cart_pole", "cartpole"] {
+            let parsed = parse_from(&args(&["--workload", name]), &defaults())
+                .unwrap()
+                .unwrap();
+            assert_eq!(parsed.workload, Workload::CartPole, "{name}");
+        }
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::runner::{run_trials, TrialResult, TrialSpec};
 use elmrl_core::designs::Design;
+use elmrl_gym::Workload;
 use serde::{Deserialize, Serialize};
 
 /// One training curve: the data behind one line pair of Figure 4.
@@ -40,20 +41,22 @@ impl From<&TrialResult> for Curve {
 /// The full Figure 4 reproduction: one curve per (design, hidden size).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Figure4 {
+    /// Workload the curves were collected on.
+    pub workload: Workload,
     /// All curves, in design-major order.
     pub curves: Vec<Curve>,
     /// Episode budget used per curve.
     pub episodes: usize,
 }
 
-/// Generate Figure 4 curves for the given hidden sizes and episode budget,
-/// using one seed per cell.
-pub fn generate(hidden_sizes: &[usize], episodes: usize, seed: u64) -> Figure4 {
+/// Generate Figure 4 curves on a workload for the given hidden sizes and
+/// episode budget, using one seed per cell.
+pub fn generate(workload: Workload, hidden_sizes: &[usize], episodes: usize, seed: u64) -> Figure4 {
     let specs: Vec<TrialSpec> = hidden_sizes
         .iter()
         .flat_map(|&h| {
             Design::software_designs().into_iter().map(move |d| {
-                TrialSpec::new(d, h, seed ^ (h as u64) << 8 ^ design_salt(d))
+                TrialSpec::for_workload(workload, d, h, seed ^ (h as u64) << 8 ^ design_salt(d))
                     .with_max_episodes(episodes)
                     .collect_full_curve()
             })
@@ -61,6 +64,7 @@ pub fn generate(hidden_sizes: &[usize], episodes: usize, seed: u64) -> Figure4 {
         .collect();
     let results = run_trials(&specs);
     Figure4 {
+        workload,
         curves: results.iter().map(Curve::from).collect(),
         episodes,
     }
@@ -130,8 +134,9 @@ mod tests {
 
     #[test]
     fn small_figure4_produces_all_cells() {
-        let fig = generate(&[8], 3, 7);
+        let fig = generate(Workload::CartPole, &[8], 3, 7);
         assert_eq!(fig.curves.len(), 6);
+        assert_eq!(fig.workload, Workload::CartPole);
         for c in &fig.curves {
             assert_eq!(c.returns.len(), 3);
             assert_eq!(c.moving_average.len(), 3);
@@ -142,5 +147,17 @@ mod tests {
         let md = to_markdown_summary(&fig);
         assert!(md.contains("OS-ELM-L2-Lipschitz"));
         assert!(md.contains("DQN"));
+    }
+
+    #[test]
+    fn figure4_runs_on_non_cartpole_workloads() {
+        let fig = generate(Workload::MountainCar, &[8], 2, 9);
+        assert_eq!(fig.workload, Workload::MountainCar);
+        assert_eq!(fig.curves.len(), 6);
+        for c in &fig.curves {
+            assert_eq!(c.returns.len(), 2);
+            // MountainCar returns are −1 per step, never positive.
+            assert!(c.returns.iter().all(|&r| (-200.0..=0.0).contains(&r)));
+        }
     }
 }

@@ -9,11 +9,14 @@
 
 use crate::runner::{run_trials, summarize_cell, CellSummary, TrialSpec};
 use elmrl_core::designs::Design;
+use elmrl_gym::Workload;
 use serde::{Deserialize, Serialize};
 
 /// The Figure 5 reproduction.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Figure5 {
+    /// Workload the sweep ran on.
+    pub workload: Workload,
     /// One summary per (design, hidden size) cell.
     pub cells: Vec<CellSummary>,
     /// Speedup of each non-DQN design relative to DQN at equal hidden size.
@@ -39,8 +42,9 @@ pub struct SpeedupRow {
     pub speedup: Option<f64>,
 }
 
-/// Generate the Figure 5 sweep.
+/// Generate the Figure 5 sweep on a workload.
 pub fn generate(
+    workload: Workload,
     hidden_sizes: &[usize],
     designs: &[Design],
     trials_per_cell: usize,
@@ -52,12 +56,17 @@ pub fn generate(
         for &d in designs {
             let specs: Vec<TrialSpec> = (0..trials_per_cell)
                 .map(|t| {
-                    TrialSpec::new(d, h, seed ^ ((h as u64) << 16) ^ ((t as u64) << 4))
-                        .with_max_episodes(max_episodes)
+                    TrialSpec::for_workload(
+                        workload,
+                        d,
+                        h,
+                        seed ^ ((h as u64) << 16) ^ ((t as u64) << 4),
+                    )
+                    .with_max_episodes(max_episodes)
                 })
                 .collect();
             let results = run_trials(&specs);
-            cells.push(summarize_cell(d, h, &results));
+            cells.push(summarize_cell(workload, d, h, &results));
         }
     }
 
@@ -84,6 +93,7 @@ pub fn generate(
         .collect();
 
     Figure5 {
+        workload,
         cells,
         speedups_vs_dqn: speedups,
         trials_per_cell,
@@ -165,7 +175,7 @@ mod tests {
     #[test]
     fn tiny_sweep_produces_cells_and_speedup_rows() {
         let designs = [Design::OsElmL2Lipschitz, Design::Dqn, Design::Fpga];
-        let fig = generate(&[8], &designs, 1, 3, 11);
+        let fig = generate(Workload::CartPole, &[8], &designs, 1, 3, 11);
         assert_eq!(fig.cells.len(), 3);
         assert_eq!(fig.speedups_vs_dqn.len(), 2);
         let md = to_markdown(&fig);
@@ -173,5 +183,16 @@ mod tests {
         assert!(md.contains("DQN"));
         let sp = speedups_to_markdown(&fig);
         assert!(sp.contains("speedup vs DQN"));
+    }
+
+    #[test]
+    fn sweep_runs_on_every_registered_workload() {
+        let designs = [Design::OsElmL2Lipschitz, Design::Dqn];
+        for workload in Workload::all() {
+            let fig = generate(workload, &[8], &designs, 1, 2, 23);
+            assert_eq!(fig.workload, workload);
+            assert_eq!(fig.cells.len(), 2);
+            assert!(fig.cells.iter().all(|c| c.workload == workload));
+        }
     }
 }

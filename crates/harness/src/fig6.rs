@@ -9,6 +9,7 @@
 use crate::runner::{run_trials, TrialSpec};
 use elmrl_core::designs::Design;
 use elmrl_core::ops::OpKind;
+use elmrl_gym::Workload;
 use serde::{Deserialize, Serialize};
 
 /// Per-hidden-size FPGA timing detail.
@@ -35,18 +36,31 @@ pub struct FpgaDetail {
 /// The Figure 6 reproduction.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Figure6 {
+    /// Workload the detail ran on.
+    pub workload: Workload,
     /// One row per hidden size.
     pub rows: Vec<FpgaDetail>,
 }
 
-/// Generate the Figure 6 detail for the given hidden sizes.
-pub fn generate(hidden_sizes: &[usize], trials: usize, max_episodes: usize, seed: u64) -> Figure6 {
+/// Generate the Figure 6 detail on a workload for the given hidden sizes.
+pub fn generate(
+    workload: Workload,
+    hidden_sizes: &[usize],
+    trials: usize,
+    max_episodes: usize,
+    seed: u64,
+) -> Figure6 {
     let mut rows = Vec::new();
     for &h in hidden_sizes {
         let specs: Vec<TrialSpec> = (0..trials)
             .map(|t| {
-                TrialSpec::new(Design::Fpga, h, seed ^ ((h as u64) << 20) ^ t as u64)
-                    .with_max_episodes(max_episodes)
+                TrialSpec::for_workload(
+                    workload,
+                    Design::Fpga,
+                    h,
+                    seed ^ ((h as u64) << 20) ^ t as u64,
+                )
+                .with_max_episodes(max_episodes)
             })
             .collect();
         let results = run_trials(&specs);
@@ -73,7 +87,7 @@ pub fn generate(hidden_sizes: &[usize], trials: usize, max_episodes: usize, seed
             mean_seq_train_calls: mean(&|r| r.training.op_counts.count(OpKind::SeqTrain) as f64),
         });
     }
-    Figure6 { rows }
+    Figure6 { workload, rows }
 }
 
 /// Markdown rendering.
@@ -113,13 +127,22 @@ mod tests {
 
     #[test]
     fn tiny_fig6_has_expected_structure() {
-        let fig = generate(&[8], 1, 3, 13);
+        let fig = generate(Workload::CartPole, &[8], 1, 3, 13);
         assert_eq!(fig.rows.len(), 1);
+        assert_eq!(fig.workload, Workload::CartPole);
         let r = &fig.rows[0];
         assert_eq!(r.hidden_dim, 8);
         assert_eq!(r.trials, 1);
         let md = to_markdown(&fig);
         assert!(md.contains("seq_train s (PL)"));
         assert!(md.contains("| 8 |"));
+    }
+
+    #[test]
+    fn fpga_detail_runs_on_pendulum() {
+        let fig = generate(Workload::Pendulum, &[8], 1, 2, 29);
+        assert_eq!(fig.workload, Workload::Pendulum);
+        assert_eq!(fig.rows.len(), 1);
+        assert_eq!(fig.rows[0].trials, 1);
     }
 }

@@ -16,17 +16,27 @@
 //!   operation counts into modeled on-device seconds;
 //! * [`runner`] — seeded, rayon-parallel trial execution shared by all of the
 //!   above;
-//! * [`report`] — Markdown/CSV/JSON emitters used by the CLI binaries.
+//! * [`report`] — Markdown/CSV/JSON emitters used by the CLI binaries;
+//! * [`cli`] — the minimal flag parser shared by the binaries.
 //!
-//! Each binary (`table3`, `fig4`, `fig5`, `fig6`, `ablation`) accepts scale
-//! knobs through environment variables (`ELMRL_TRIALS`, `ELMRL_EPISODES`,
-//! `ELMRL_HIDDEN`) so the same code path serves both a quick smoke run and
-//! the full paper protocol.
+//! The whole harness is environment-generic: every experiment takes an
+//! [`elmrl_gym::Workload`] and resolves the environment, protocol defaults
+//! and cost-model geometry through the workload registry, so the full
+//! 7-design matrix runs on every registered environment (CartPole,
+//! MountainCar, Pendulum, …) through one code path.
+//!
+//! Each binary (`table3`, `fig4`, `fig5`, `fig6`, `ablation`) accepts
+//! `--workload`, `--trials`, `--episodes`, `--hidden`, `--seed` and `--out`
+//! flags (see `--help`); the `ELMRL_TRIALS` / `ELMRL_EPISODES` /
+//! `ELMRL_HIDDEN` / `ELMRL_SEED` / `ELMRL_WORKLOAD` environment variables
+//! remain honoured as fallbacks so the same code path serves both a quick
+//! smoke run and the full paper protocol.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod ablation;
+pub mod cli;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -35,6 +45,7 @@ pub mod runner;
 pub mod table3;
 pub mod timing;
 
+pub use cli::CliArgs;
 pub use runner::{TrialResult, TrialSpec};
 pub use timing::CostModel;
 

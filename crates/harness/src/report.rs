@@ -58,6 +58,12 @@ pub fn default_results_dir() -> std::path::PathBuf {
     std::path::PathBuf::from("results")
 }
 
+/// Per-workload output directory (`results/<slug>`), so artefacts from
+/// different environments never clobber each other.
+pub fn results_dir_for(workload: elmrl_gym::Workload) -> std::path::PathBuf {
+    default_results_dir().join(workload.slug())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +78,20 @@ mod tests {
         let csv = csv_table(&["name", "value"], &rows);
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("name,value"));
+    }
+
+    #[test]
+    fn per_workload_results_dirs_are_distinct() {
+        let dirs: Vec<_> = elmrl_gym::Workload::all()
+            .into_iter()
+            .map(results_dir_for)
+            .collect();
+        assert_eq!(dirs.len(), 3);
+        assert!(dirs.iter().all(|d| d.starts_with("results")));
+        assert_eq!(
+            dirs.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            3
+        );
     }
 
     #[test]

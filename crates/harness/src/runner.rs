@@ -1,19 +1,27 @@
 //! Seeded, rayon-parallel trial execution shared by every experiment.
+//!
+//! The runner is environment-generic: a [`TrialSpec`] names a registered
+//! [`Workload`] and the environment, protocol defaults and cost-model
+//! geometry are all resolved through the workload registry, so the full
+//! 7-design matrix runs on every registered environment through this single
+//! code path.
 
 use crate::timing::{CostModel, ModeledTime};
 use elmrl_core::designs::{Design, DesignConfig};
 use elmrl_core::trainer::{Trainer, TrainerConfig, TrainingResult};
 use elmrl_fpga::{FpgaAgent, FpgaAgentConfig};
-use elmrl_gym::CartPole;
+use elmrl_gym::Workload;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// One trial specification: which design, at which hidden size, with which
-/// seed and episode protocol.
+/// One trial specification: which design, on which workload, at which hidden
+/// size, with which seed and episode protocol.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrialSpec {
+    /// Workload (environment) under test.
+    pub workload: Workload,
     /// Design under test.
     pub design: Design,
     /// Hidden width `Ñ`.
@@ -25,14 +33,22 @@ pub struct TrialSpec {
 }
 
 impl TrialSpec {
-    /// A spec with the default trainer protocol.
+    /// A CartPole spec with the default trainer protocol — shorthand for
+    /// [`TrialSpec::for_workload`] with [`Workload::CartPole`].
     pub fn new(design: Design, hidden_dim: usize, seed: u64) -> Self {
-        let mut trainer = TrainerConfig::default();
+        Self::for_workload(Workload::CartPole, design, hidden_dim, seed)
+    }
+
+    /// A spec using the workload's own trainer protocol (solve criterion,
+    /// reward shaping, reset rule and episode budget from the registry).
+    pub fn for_workload(workload: Workload, design: Design, hidden_dim: usize, seed: u64) -> Self {
+        let mut trainer = TrainerConfig::for_workload(&workload.spec());
         // The paper resets only the ELM/OS-ELM designs (§4.3).
         if design == Design::Dqn {
             trainer.reset_after_episodes = None;
         }
         Self {
+            workload,
             design,
             hidden_dim,
             seed,
@@ -81,14 +97,18 @@ impl TrialResult {
 
 /// Run one trial.
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    let env_spec = spec.workload.spec();
     let mut rng = SmallRng::seed_from_u64(spec.seed);
-    let mut env = CartPole::new();
+    let mut env = env_spec.make_env();
     let trainer = Trainer::new(spec.trainer.clone());
-    let cost = CostModel::cartpole(spec.hidden_dim);
+    let cost = CostModel::for_workload(&env_spec, spec.hidden_dim);
 
     if spec.design == Design::Fpga {
-        let mut agent = FpgaAgent::new(FpgaAgentConfig::cartpole(spec.hidden_dim), &mut rng);
-        let training = trainer.run(&mut agent, &mut env, &mut rng);
+        let mut agent = FpgaAgent::new(
+            FpgaAgentConfig::for_workload(&env_spec, spec.hidden_dim),
+            &mut rng,
+        );
+        let training = trainer.run(&mut agent, env.as_mut(), &mut rng);
         let modeled = cost.model_fpga(&training.op_counts);
         let breakdown = agent.simulated_breakdown_seconds();
         TrialResult {
@@ -98,9 +118,9 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
             training,
         }
     } else {
-        let config = DesignConfig::new(spec.hidden_dim);
+        let config = DesignConfig::for_workload(&env_spec, spec.hidden_dim);
         let mut agent = spec.design.build(&config, &mut rng);
-        let training = trainer.run(agent.as_mut(), &mut env, &mut rng);
+        let training = trainer.run(agent.as_mut(), env.as_mut(), &mut rng);
         let modeled = cost.model_software(&training.op_counts);
         TrialResult {
             spec: spec.clone(),
@@ -116,9 +136,11 @@ pub fn run_trials(specs: &[TrialSpec]) -> Vec<TrialResult> {
     specs.par_iter().map(run_trial).collect()
 }
 
-/// Aggregate statistics of one (design, hidden size) cell.
+/// Aggregate statistics of one (workload, design, hidden size) cell.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CellSummary {
+    /// Workload the cell ran on.
+    pub workload: Workload,
     /// Design under test.
     pub design: Design,
     /// Hidden width.
@@ -138,7 +160,12 @@ pub struct CellSummary {
 }
 
 /// Summarise a set of trials of the same cell.
-pub fn summarize_cell(design: Design, hidden_dim: usize, results: &[TrialResult]) -> CellSummary {
+pub fn summarize_cell(
+    workload: Workload,
+    design: Design,
+    hidden_dim: usize,
+    results: &[TrialResult],
+) -> CellSummary {
     let solved: Vec<&TrialResult> = results.iter().filter(|r| r.training.solved).collect();
     let mean = |values: Vec<f64>| {
         if values.is_empty() {
@@ -159,6 +186,7 @@ pub fn summarize_cell(design: Design, hidden_dim: usize, results: &[TrialResult]
         }
     }
     CellSummary {
+        workload,
         design,
         hidden_dim,
         trials: results.len(),
@@ -189,6 +217,23 @@ mod tests {
             .trainer
             .reset_after_episodes
             .is_some());
+        // …for every workload, not just CartPole.
+        for workload in Workload::all() {
+            assert!(
+                TrialSpec::for_workload(workload, Design::Dqn, 16, 0)
+                    .trainer
+                    .reset_after_episodes
+                    .is_none(),
+                "{workload:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn new_defaults_to_the_cartpole_workload() {
+        let spec = TrialSpec::new(Design::OsElmL2, 16, 0);
+        assert_eq!(spec.workload, Workload::CartPole);
+        assert_eq!(spec.trainer, TrainerConfig::default());
     }
 
     #[test]
@@ -209,14 +254,49 @@ mod tests {
     }
 
     #[test]
+    fn every_design_runs_on_every_workload() {
+        // The acceptance criterion of the environment-generic refactor: the
+        // full design matrix × the full registry through one code path.
+        let specs: Vec<TrialSpec> = Workload::all()
+            .into_iter()
+            .flat_map(|w| {
+                Design::all_designs()
+                    .into_iter()
+                    .map(move |d| TrialSpec::for_workload(w, d, 8, 17).with_max_episodes(2))
+            })
+            .collect();
+        let results = run_trials(&specs);
+        assert_eq!(results.len(), 3 * 7);
+        for r in &results {
+            assert_eq!(r.training.episodes_run, 2, "{:?}", r.spec);
+            assert!(r.training.total_steps > 0);
+            assert!(r.modeled.total_seconds > 0.0);
+            assert!(r.training.stats.returns.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn workload_trials_are_deterministic_given_seed() {
+        for workload in [Workload::MountainCar, Workload::Pendulum] {
+            let spec =
+                TrialSpec::for_workload(workload, Design::OsElmL2, 8, 5).with_max_episodes(3);
+            let a = run_trial(&spec);
+            let b = run_trial(&spec);
+            assert_eq!(a.training.stats.returns, b.training.stats.returns);
+            assert_eq!(a.training.total_steps, b.training.total_steps);
+        }
+    }
+
+    #[test]
     fn parallel_trials_and_cell_summary() {
         let specs: Vec<TrialSpec> = (0..3)
             .map(|s| TrialSpec::new(Design::OsElmL2, 8, s).with_max_episodes(4))
             .collect();
         let results = run_trials(&specs);
         assert_eq!(results.len(), 3);
-        let summary = summarize_cell(Design::OsElmL2, 8, &results);
+        let summary = summarize_cell(Workload::CartPole, Design::OsElmL2, 8, &results);
         assert_eq!(summary.trials, 3);
+        assert_eq!(summary.workload, Workload::CartPole);
         assert!(summary.solved_trials <= 3);
         if summary.solved_trials == 0 {
             assert!(summary.mean_time_to_complete.is_none());

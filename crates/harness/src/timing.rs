@@ -52,16 +52,23 @@ pub struct CostModel {
 }
 
 impl CostModel {
-    /// Cost model for the paper's CartPole experiments at a hidden size.
-    pub fn cartpole(hidden_dim: usize) -> Self {
+    /// Cost model for a registered workload at a hidden size: the ELM input
+    /// width is `observation_dim + 1` (scalar action encoding) and the DQN
+    /// shapes follow the workload's observation/action dimensions.
+    pub fn for_workload(spec: &elmrl_gym::EnvSpec, hidden_dim: usize) -> Self {
         Self {
-            input_dim: 5,
+            input_dim: spec.elm_input_dim(),
             hidden_dim,
             output_dim: 1,
-            state_dim: 4,
-            num_actions: 2,
+            state_dim: spec.observation_dim,
+            num_actions: spec.num_actions,
             batch_size: 32,
         }
+    }
+
+    /// Cost model for the paper's CartPole experiments at a hidden size.
+    pub fn cartpole(hidden_dim: usize) -> Self {
+        Self::for_workload(&elmrl_gym::Workload::CartPole.spec(), hidden_dim)
     }
 
     /// Floating-point operations for one occurrence of `kind` on the CPU.

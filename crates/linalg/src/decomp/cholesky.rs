@@ -69,8 +69,8 @@ impl<T: Scalar> Cholesky<T> {
         let mut y = vec![T::zero(); n];
         for i in 0..n {
             let mut acc = b[i];
-            for j in 0..i {
-                acc -= self.l[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= self.l[(i, j)] * yj;
             }
             y[i] = acc / self.l[(i, i)];
         }
@@ -78,8 +78,8 @@ impl<T: Scalar> Cholesky<T> {
         let mut x = vec![T::zero(); n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.l[(j, i)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.l[(j, i)] * xj;
             }
             x[i] = acc / self.l[(i, i)];
         }

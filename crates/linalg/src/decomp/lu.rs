@@ -89,15 +89,15 @@ impl<T: Scalar> Lu<T> {
         let mut y: Vec<T> = (0..n).map(|i| b[self.perm[i]]).collect();
         for i in 0..n {
             let mut acc = y[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * yj;
             }
             y[i] = acc;
         }
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * yj;
             }
             y[i] = acc / self.lu[(i, i)];
         }

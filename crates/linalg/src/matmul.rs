@@ -67,8 +67,7 @@ impl<T: Scalar> Matrix<T> {
                     let j_end = (jj + block).min(n);
                     for i in ii..i_end {
                         let a_row = self.row(i);
-                        for p in pp..p_end {
-                            let a_ip = a_row[p];
+                        for (p, &a_ip) in a_row.iter().enumerate().take(p_end).skip(pp) {
                             let b_row = rhs.row(p);
                             let o_row = out.row_mut(i);
                             for j in jj..j_end {

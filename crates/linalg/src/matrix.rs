@@ -539,9 +539,9 @@ impl<T: Scalar> Mul<T> for &Matrix<T> {
 /// Matrix multiplication through the `*` operator delegates to
 /// [`Matrix::matmul`] (the naive kernel); prefer the explicit method in hot
 /// code so the kernel choice is visible.
-impl<'a, 'b, T: Scalar> Mul<&'b Matrix<T>> for &'a Matrix<T> {
+impl<T: Scalar> Mul<&Matrix<T>> for &Matrix<T> {
     type Output = Matrix<T>;
-    fn mul(self, rhs: &'b Matrix<T>) -> Matrix<T> {
+    fn mul(self, rhs: &Matrix<T>) -> Matrix<T> {
         self.matmul(rhs)
     }
 }

@@ -43,9 +43,9 @@ impl<T: Scalar> Vector<T> {
     }
 
     /// Build from a function of the index.
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> T) -> Self {
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> T) -> Self {
         Self {
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(f).collect(),
         }
     }
 
@@ -239,9 +239,9 @@ impl<T: Scalar> IndexMut<usize> for Vector<T> {
     }
 }
 
-impl<'a, 'b, T: Scalar> Add<&'b Vector<T>> for &'a Vector<T> {
+impl<T: Scalar> Add<&Vector<T>> for &Vector<T> {
     type Output = Vector<T>;
-    fn add(self, rhs: &'b Vector<T>) -> Vector<T> {
+    fn add(self, rhs: &Vector<T>) -> Vector<T> {
         assert_eq!(self.len(), rhs.len(), "vector add: length mismatch");
         Vector {
             data: self
@@ -254,9 +254,9 @@ impl<'a, 'b, T: Scalar> Add<&'b Vector<T>> for &'a Vector<T> {
     }
 }
 
-impl<'a, 'b, T: Scalar> Sub<&'b Vector<T>> for &'a Vector<T> {
+impl<T: Scalar> Sub<&Vector<T>> for &Vector<T> {
     type Output = Vector<T>;
-    fn sub(self, rhs: &'b Vector<T>) -> Vector<T> {
+    fn sub(self, rhs: &Vector<T>) -> Vector<T> {
         assert_eq!(self.len(), rhs.len(), "vector sub: length mismatch");
         Vector {
             data: self

@@ -11,12 +11,6 @@ use elmrl_linalg::solve::{pseudo_inverse, ridge_solve};
 use elmrl_linalg::Matrix;
 use proptest::prelude::*;
 
-/// Strategy: a rows×cols matrix with entries in [-5, 5].
-fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
-    proptest::collection::vec(-5.0_f64..5.0, rows * cols)
-        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
-}
-
 fn small_dims() -> impl Strategy<Value = (usize, usize)> {
     (1usize..7, 1usize..7)
 }

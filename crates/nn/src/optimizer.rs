@@ -87,6 +87,9 @@ impl Optimizer for Sgd {
     }
 }
 
+/// Per-slot Adam state: (first moment, second moment, step count).
+type MomentState = (Matrix<f64>, Matrix<f64>, u64);
+
 /// Adam (Kingma & Ba, 2015) with the standard default moment decays.
 #[derive(Clone, Debug)]
 pub struct Adam {
@@ -94,8 +97,8 @@ pub struct Adam {
     beta1: f64,
     beta2: f64,
     eps: f64,
-    /// Per-slot (first moment, second moment, step count).
-    state: Vec<Option<(Matrix<f64>, Matrix<f64>, u64)>>,
+    /// Lazily initialised per-slot moments.
+    state: Vec<Option<MomentState>>,
 }
 
 impl Adam {

@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release --example dqn_vs_oselm [hidden] [trials]`
 
 use elm_rl::core::designs::Design;
+use elm_rl::gym::Workload;
 use elm_rl::harness::fig5;
 use rand::Rng;
 use rand::{rngs::SmallRng, SeedableRng};
@@ -22,7 +23,7 @@ fn main() {
 
     let designs = [Design::OsElmL2Lipschitz, Design::Dqn, Design::Fpga];
     println!("running {trials} trial(s) per design at {hidden} hidden units ...");
-    let fig = fig5::generate(&[hidden], &designs, trials, 2000, seed);
+    let fig = fig5::generate(Workload::CartPole, &[hidden], &designs, trials, 2000, seed);
 
     println!("\n{}", fig5::to_markdown(&fig));
     println!("{}", fig5::speedups_to_markdown(&fig));

@@ -9,7 +9,7 @@ use elm_rl::core::agent::Agent;
 use elm_rl::core::trainer::{Trainer, TrainerConfig};
 use elm_rl::fpga::resources::ResourceModel;
 use elm_rl::fpga::{FpgaAgent, FpgaAgentConfig};
-use elm_rl::gym::CartPole;
+use elm_rl::gym::{CartPole, Workload};
 use rand::{rngs::SmallRng, SeedableRng};
 
 fn main() {
@@ -31,7 +31,10 @@ fn main() {
     }
 
     let mut rng = SmallRng::seed_from_u64(11);
-    let mut agent = FpgaAgent::new(FpgaAgentConfig::cartpole(hidden), &mut rng);
+    let mut agent = FpgaAgent::new(
+        FpgaAgentConfig::for_workload(&Workload::CartPole.spec(), hidden),
+        &mut rng,
+    );
     let mut env = CartPole::new();
     let trainer = Trainer::new(TrainerConfig {
         max_episodes: 1500,

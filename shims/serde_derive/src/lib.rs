@@ -12,15 +12,17 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One enum variant: its identifier, plus `None` for a fieldless variant or
+/// `Some(field names)` for a struct variant.
+type Variant = (String, Option<Vec<String>>);
+
 #[derive(Debug)]
 enum Shape {
     /// Named-field struct: field identifiers in declaration order.
     Struct { fields: Vec<String> },
     /// Enum: variant identifiers, each either fieldless (`None`) or a
     /// struct variant with named fields (`Some(fields)`).
-    Enum {
-        variants: Vec<(String, Option<Vec<String>>)>,
-    },
+    Enum { variants: Vec<Variant> },
 }
 
 struct Parsed {
@@ -242,10 +244,7 @@ fn parse_struct_fields(body: TokenStream, name: &str) -> Result<Vec<String>, Str
     Ok(fields)
 }
 
-fn parse_enum_variants(
-    body: TokenStream,
-    name: &str,
-) -> Result<Vec<(String, Option<Vec<String>>)>, String> {
+fn parse_enum_variants(body: TokenStream, name: &str) -> Result<Vec<Variant>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut variants = Vec::new();
     let mut i = 0;

@@ -6,7 +6,7 @@ use elm_rl::core::designs::{Design, DesignConfig};
 use elm_rl::core::trainer::{Trainer, TrainerConfig};
 use elm_rl::fpga::resources::ResourceModel;
 use elm_rl::fpga::{FpgaAgent, FpgaAgentConfig};
-use elm_rl::gym::CartPole;
+use elm_rl::gym::{CartPole, Workload};
 use elm_rl::harness::runner::run_trial;
 use elm_rl::harness::{ablation, fig4, fig5, fig6, table3, TrialSpec};
 use rand::{rngs::SmallRng, SeedableRng};
@@ -42,7 +42,7 @@ fn table3_reproduces_the_bram_limit() {
 
 #[test]
 fn fig4_csv_schema_is_stable() {
-    let fig = fig4::generate(&[8], 3, 21);
+    let fig = fig4::generate(Workload::CartPole, &[8], 3, 21);
     let csv = fig4::to_csv(&fig);
     let mut lines = csv.lines();
     assert_eq!(
@@ -56,6 +56,7 @@ fn fig4_csv_schema_is_stable() {
 #[test]
 fn fig5_and_fig6_run_on_a_tiny_budget() {
     let fig = fig5::generate(
+        Workload::CartPole,
         &[8],
         &[Design::OsElmL2Lipschitz, Design::Dqn, Design::Fpga],
         1,
@@ -68,16 +69,16 @@ fn fig5_and_fig6_run_on_a_tiny_budget() {
         .unwrap()
         .contains("OsElmL2Lipschitz"));
 
-    let detail = fig6::generate(&[8], 1, 4, 33);
+    let detail = fig6::generate(Workload::CartPole, &[8], 1, 4, 33);
     assert_eq!(detail.rows.len(), 1);
     assert!(fig6::to_markdown(&detail).contains("init_train s (CPU)"));
 }
 
 #[test]
 fn ablation_outputs_are_structurally_valid() {
-    let a1 = ablation::stabilisation_ablation(8, 3, 17);
+    let a1 = ablation::stabilisation_ablation(Workload::CartPole, 8, 3, 17);
     assert_eq!(a1.len(), 4);
-    let a2 = ablation::precision_ablation(8, 17);
+    let a2 = ablation::precision_ablation(Workload::CartPole, 8, 17);
     assert_eq!(a2.len(), 4);
     // Q24 must not be less precise than Q8 on the same matrices.
     let q8 = a2.iter().find(|r| r.frac_bits == 8).unwrap();
@@ -109,7 +110,10 @@ fn fpga_and_float_agents_agree_within_quantisation_tolerance() {
     // them close but not identical.
     let trainer = Trainer::new(TrainerConfig::quick(10));
     let mut r1 = SmallRng::seed_from_u64(8);
-    let mut fpga = FpgaAgent::new(FpgaAgentConfig::cartpole(16), &mut r1);
+    let mut fpga = FpgaAgent::new(
+        FpgaAgentConfig::for_workload(&Workload::CartPole.spec(), 16),
+        &mut r1,
+    );
     let mut env1 = CartPole::new();
     let _ = trainer.run(&mut fpga, &mut env1, &mut r1);
 

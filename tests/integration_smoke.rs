@@ -1,12 +1,15 @@
-//! Deterministic smoke test: the paper's proposed design
+//! Deterministic smoke tests: the paper's proposed design
 //! (`Design::OsElmL2Lipschitz`, i.e. OS-ELM with L2 regularisation standing
 //! in for spectral normalisation) trains on CartPole for a handful of
 //! episodes from a fixed seed, exercising the whole
-//! linalg → elm → core → gym stack through the public facade.
+//! linalg → elm → core → gym stack through the public facade — plus the same
+//! check for every design on the MountainCar and Pendulum workloads through
+//! the environment-generic harness pipeline.
 
 use elm_rl::core::designs::{Design, DesignConfig};
-use elm_rl::core::trainer::{Trainer, TrainerConfig};
-use elm_rl::gym::CartPole;
+use elm_rl::core::trainer::{Trainer, TrainerConfig, TrainingResult};
+use elm_rl::gym::{CartPole, Workload};
+use elm_rl::harness::runner::{run_trial, TrialSpec};
 use rand::{rngs::SmallRng, SeedableRng};
 
 const EPISODES: usize = 5;
@@ -49,4 +52,66 @@ fn oselm_l2_lipschitz_trains_on_cartpole_deterministically() {
     let again = run_once();
     assert_eq!(result.stats.returns, again.stats.returns);
     assert_eq!(result.total_steps, again.total_steps);
+}
+
+/// Run one design on a workload through the generic harness pipeline.
+fn run_workload(workload: Workload, design: Design, episodes: usize) -> TrainingResult {
+    let spec = TrialSpec::for_workload(workload, design, 8, SEED).with_max_episodes(episodes);
+    run_trial(&spec).training
+}
+
+fn assert_episode_stats(
+    workload: Workload,
+    design: Design,
+    result: &TrainingResult,
+    episodes: usize,
+    return_range: (f64, f64),
+) {
+    let label = format!("{design:?} on {workload:?}");
+    assert_eq!(result.episodes_run, episodes, "{label}: episode budget");
+    assert_eq!(result.stats.episodes(), episodes, "{label}: stats length");
+    assert!(result.total_steps >= episodes, "{label}: steps");
+    for (episode, ret) in result.stats.returns.iter().enumerate() {
+        assert!(ret.is_finite(), "{label}: episode {episode} return {ret}");
+        assert!(
+            (return_range.0..=return_range.1).contains(ret),
+            "{label}: episode {episode} return {ret} outside {return_range:?}"
+        );
+    }
+    assert!(
+        result.stats.moving_averages.iter().all(|m| m.is_finite()),
+        "{label}: moving averages"
+    );
+}
+
+#[test]
+fn every_design_trains_on_mountain_car_deterministically() {
+    for design in Design::all_designs() {
+        let result = run_workload(Workload::MountainCar, design, 3);
+        // MountainCar pays −1 per step for at most 200 steps.
+        assert_episode_stats(Workload::MountainCar, design, &result, 3, (-200.0, 0.0));
+    }
+    // Fixed seed ⇒ bit-identical replay for a representative design.
+    let a = run_workload(Workload::MountainCar, Design::OsElmL2Lipschitz, 3);
+    let b = run_workload(Workload::MountainCar, Design::OsElmL2Lipschitz, 3);
+    assert_eq!(a.stats.returns, b.stats.returns);
+    assert_eq!(a.total_steps, b.total_steps);
+}
+
+#[test]
+fn every_design_trains_on_pendulum_deterministically() {
+    for design in Design::all_designs() {
+        let result = run_workload(Workload::Pendulum, design, 3);
+        // Pendulum episodes always run 200 steps of cost ≤ ~16.3 each.
+        assert_episode_stats(Workload::Pendulum, design, &result, 3, (-16.4 * 200.0, 0.0));
+        assert_eq!(
+            result.total_steps,
+            3 * 200,
+            "{design:?}: Pendulum episodes only end by truncation"
+        );
+    }
+    let a = run_workload(Workload::Pendulum, Design::Dqn, 3);
+    let b = run_workload(Workload::Pendulum, Design::Dqn, 3);
+    assert_eq!(a.stats.returns, b.stats.returns);
+    assert_eq!(a.total_steps, b.total_steps);
 }

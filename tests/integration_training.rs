@@ -5,7 +5,7 @@ use elm_rl::core::designs::{Design, DesignConfig};
 use elm_rl::core::ops::OpKind;
 use elm_rl::core::trainer::{SolveCriterion, Trainer, TrainerConfig};
 use elm_rl::fpga::{FpgaAgent, FpgaAgentConfig};
-use elm_rl::gym::{CartPole, Environment, MountainCar};
+use elm_rl::gym::{CartPole, Environment, MountainCar, Workload};
 use rand::{rngs::SmallRng, SeedableRng};
 
 fn quick_config(episodes: usize) -> TrainerConfig {
@@ -35,7 +35,10 @@ fn every_software_design_runs_end_to_end() {
 #[test]
 fn fpga_agent_runs_end_to_end_and_tracks_device_time() {
     let mut rng = SmallRng::seed_from_u64(2);
-    let mut agent = FpgaAgent::new(FpgaAgentConfig::cartpole(8), &mut rng);
+    let mut agent = FpgaAgent::new(
+        FpgaAgentConfig::for_workload(&Workload::CartPole.spec(), 8),
+        &mut rng,
+    );
     let mut env = CartPole::new();
     let result = Trainer::new(quick_config(8)).run(&mut agent, &mut env, &mut rng);
     assert_eq!(result.design, "FPGA");
