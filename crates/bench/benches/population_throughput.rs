@@ -1,0 +1,113 @@
+//! Population-serving throughput: batched Q inference vs the per-sample
+//! loop, at batch sizes B ∈ {1, 8, 32, 128}.
+//!
+//! Two groups over the same packed `B × obs_dim` state matrices (CartPole
+//! observations, OS-ELM-L2-Lipschitz at Ñ = 64 — the paper's recommended
+//! software design at its headline hidden size):
+//!
+//! * `population_batched` — one `BatchAgent::predict_batch` call: the whole
+//!   batch collapses into a single `(B·A) × n · n × Ñ` matmul chain;
+//! * `population_per_sample` — the scalar fallback: B separate `q_values`
+//!   calls, one matvec chain per state per action.
+//!
+//! The acceptance bar for the population engine is batched beating the
+//! per-sample loop for B ≥ 8 (at B = 1 they do identical work, so any gap
+//! is call overhead). A third group, `population_engine_step`, measures one
+//! full lockstep tick of the `PopulationRunner`'s greedy-evaluation path —
+//! VecEnv step + gather + batched forward — in steps per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_core::batch::BatchAgent;
+use elmrl_core::oselm_qnet::{OsElmQNet, OsElmQNetConfig};
+use elmrl_core::Agent;
+use elmrl_gym::{VecEnv, Workload};
+use elmrl_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
+const HIDDEN: usize = 64;
+
+/// A trained OS-ELM-L2-Lipschitz agent (β non-zero so the forward pass is
+/// representative) plus a packed batch of plausible states.
+fn trained_agent_and_states(batch: usize) -> (OsElmQNet, Matrix<f64>) {
+    let spec = Workload::CartPole.spec();
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut agent = OsElmQNet::new(
+        OsElmQNetConfig::for_workload(&spec, HIDDEN, 0.5, true),
+        &mut rng,
+    );
+    for i in 0..HIDDEN {
+        let state: Vec<f64> = (0..spec.observation_dim)
+            .map(|_| rng.gen_range(-0.2..0.2))
+            .collect();
+        agent.observe(
+            &elmrl_core::Observation {
+                next_state: state.iter().map(|v| v + 0.01).collect(),
+                state,
+                action: i % spec.num_actions,
+                reward: if i % 9 == 0 { -1.0 } else { 0.0 },
+                done: i % 9 == 0,
+                truncated: false,
+            },
+            &mut rng,
+        );
+    }
+    assert!(agent.is_initialized());
+    let states = Matrix::from_fn(batch, spec.observation_dim, |_, _| rng.gen_range(-0.2..0.2));
+    (agent, states)
+}
+
+fn bench_batched_vs_per_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population_batched");
+    for &b in &BATCH_SIZES {
+        group.bench_with_input(BenchmarkId::new("predict_batch", b), &b, |bench, &b| {
+            let (mut agent, states) = trained_agent_and_states(b);
+            bench.iter(|| agent.predict_batch(&states))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("population_per_sample");
+    for &b in &BATCH_SIZES {
+        group.bench_with_input(BenchmarkId::new("q_values_loop", b), &b, |bench, &b| {
+            let (mut agent, states) = trained_agent_and_states(b);
+            bench.iter(|| {
+                (0..states.rows())
+                    .map(|i| agent.q_values(states.row(i)))
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population_engine_step");
+    for &b in &BATCH_SIZES {
+        group.bench_with_input(BenchmarkId::new("greedy_lockstep", b), &b, |bench, &b| {
+            let spec = Workload::CartPole.spec();
+            let (mut agent, _) = trained_agent_and_states(1);
+            let mut rngs: Vec<SmallRng> = (0..b)
+                .map(|i| SmallRng::seed_from_u64(100 + i as u64))
+                .collect();
+            let mut vec_env = VecEnv::from_spec(&spec, b);
+            vec_env.reset_all(&mut rngs);
+            bench.iter(|| {
+                // One engine tick: pack states, one batched forward for the
+                // whole population slice, one lockstep env step (auto-reset).
+                let states = vec_env.states();
+                let actions = agent.act_batch_greedy(&states);
+                vec_env.step_all(&actions, &mut rngs).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_batched_vs_per_sample, bench_engine_step
+}
+criterion_main!(benches);

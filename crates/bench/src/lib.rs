@@ -1,9 +1,11 @@
 //! # elmrl-bench
 //!
 //! Criterion benchmark harness: one benchmark group per table/figure of the
-//! paper, kernel microbenchmarks, and a cross-environment group (`cross_env`)
+//! paper, kernel microbenchmarks, a cross-environment group (`cross_env`)
 //! tracking the generic pipeline's per-trial and per-step cost on every
-//! registered workload. The benches use reduced trial counts and episode
+//! registered workload, and a population-serving group
+//! (`population_throughput`) comparing batched Q inference against the
+//! per-sample loop at B ∈ {1, 8, 32, 128}. The benches use reduced trial counts and episode
 //! budgets so that `cargo bench --workspace` completes in minutes; the full
 //! paper protocol is driven by the `elmrl-harness` binaries instead.
 

@@ -1,0 +1,195 @@
+//! Batched Q-network inference: the [`BatchAgent`] trait.
+//!
+//! The scalar [`Agent`] interface evaluates one `(state, action)` pair per
+//! network call, so a population of replicated agents pays one `1 × n · n ×
+//! Ñ` matvec per candidate action per step.
+//! [`BatchAgent::predict_batch`] packs a whole `B × state_dim` state matrix
+//! into **one** `(B·A) × n · n × Ñ` matmul (`A` = action count) through the
+//! existing `elmrl-linalg` kernels — the batch recursion the OS-ELM
+//! literature builds on, of which the paper's single-sample update is the
+//! B = 1 special case.
+//!
+//! The trait ships a per-sample fallback (loop over rows through
+//! [`Agent::q_values`]), so any agent is a valid `BatchAgent`; the three
+//! networks of the evaluation ([`ElmQNet`](crate::elm_qnet::ElmQNet),
+//! [`OsElmQNet`](crate::oselm_qnet::OsElmQNet),
+//! [`DqnAgent`](crate::dqn::DqnAgent)) override it with genuinely batched
+//! forward passes that match the fallback **bit for bit** (the linalg
+//! kernels accumulate each output row independently of the other rows).
+//!
+//! Batched prediction is a pure forward pass: unlike [`Agent::act`] it does
+//! not touch the per-operation counters behind the Figure 5/6 breakdowns.
+
+use crate::agent::Agent;
+use crate::encoding::{ActionEncoding, StateActionEncoder};
+use crate::policy::argmax;
+use elmrl_elm::model::ElmModel;
+use elmrl_linalg::Matrix;
+
+/// An [`Agent`] that can evaluate Q-values for a batch of states in one
+/// forward pass.
+pub trait BatchAgent: Agent {
+    /// Q-values for every action of every state in `states`
+    /// (`B × state_dim` in, `B × num_actions` out).
+    ///
+    /// The default implementation is the per-sample fallback: one
+    /// [`Agent::q_values`] call per row. Implementors override it with a
+    /// single batched matmul; overrides must agree with the fallback bit for
+    /// bit so batched and scalar execution stay interchangeable.
+    fn predict_batch(&mut self, states: &Matrix<f64>) -> Matrix<f64> {
+        let rows: Vec<Vec<f64>> = (0..states.rows())
+            .map(|i| self.q_values(states.row(i)))
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    /// Greedy action (argmax over Q, first maximum on ties) for every state
+    /// in the batch — the deterministic policy used by population
+    /// evaluation passes.
+    fn act_batch_greedy(&mut self, states: &Matrix<f64>) -> Vec<usize> {
+        let q = self.predict_batch(states);
+        (0..q.rows()).map(|i| argmax(q.row(i))).collect()
+    }
+}
+
+/// Batched `(state, action)` Q evaluation for the ELM-family networks:
+/// evaluate every action of every state through one batched forward pass and
+/// fold the scalar outputs back into `B × A`.
+///
+/// With the paper's scalar action encoding the input rows for one state
+/// differ **only** in the trailing action component, so the `state · α`
+/// projection — `state_dim` of the `state_dim + 1` input columns — is
+/// computed once per state (`B × Ñ` matmul) and the per-action rows add just
+/// the action's own term. The naive `i-k-j` matmul accumulates the input
+/// columns in ascending order, so `(state·α_top + a·α_last) + bias`
+/// reproduces the scalar path's `((…((0 + x₀α₀ⱼ) + …) + x_{n-1}α_{n-1}ⱼ)) +
+/// bⱼ` operation-for-operation: the result is **bit-for-bit** equal to
+/// [`ElmModel::predict_single`] per pair, just `A×` cheaper on the shared
+/// columns. One-hot encodings take the generic stacked-input route instead.
+pub(crate) fn elm_q_batch(
+    encoder: &StateActionEncoder,
+    model: &ElmModel<f64>,
+    states: &Matrix<f64>,
+) -> Matrix<f64> {
+    let b = states.rows();
+    let a = encoder.num_actions();
+    let sd = encoder.state_dim();
+    assert_eq!(states.cols(), sd, "elm_q_batch: state width mismatch");
+
+    let h = match encoder.encoding() {
+        ActionEncoding::Scalar => {
+            let alpha = model.alpha(); // (sd + 1) × Ñ
+            let bias = model.bias(); // 1 × Ñ
+            let nh = alpha.cols();
+            let alpha_top = alpha
+                .submatrix(0, sd, 0, nh)
+                .expect("alpha covers the state rows");
+            let shared = states.matmul(&alpha_top); // B × Ñ, once per state
+            let mut pre = Matrix::<f64>::zeros(b * a, nh);
+            for i in 0..b {
+                let s_row = shared.row(i);
+                for action in 0..a {
+                    let af = action as f64;
+                    let row = pre.row_mut(i * a + action);
+                    for j in 0..nh {
+                        row[j] = (s_row[j] + af * alpha[(sd, j)]) + bias[(0, j)];
+                    }
+                }
+            }
+            model.activation().apply_matrix(&pre)
+        }
+        ActionEncoding::OneHot => {
+            let input_dim = encoder.input_dim();
+            let mut stacked = Matrix::<f64>::zeros(b * a, input_dim);
+            for i in 0..b {
+                let state = states.row(i);
+                for action in 0..a {
+                    let row = stacked.row_mut(i * a + action);
+                    row[..sd].copy_from_slice(state);
+                    row[sd + action] = 1.0;
+                }
+            }
+            model.hidden(&stacked)
+        }
+    };
+    let y = h.matmul(model.beta()); // (B·A) × 1
+    Matrix::from_fn(b, a, |i, action| y[(i * a + action, 0)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Observation;
+    use crate::ops::OpCounts;
+    use rand::rngs::SmallRng;
+
+    /// A minimal scalar-only agent: Q(s, a) = s·w + a.
+    struct ToyAgent {
+        ops: OpCounts,
+    }
+
+    impl Agent for ToyAgent {
+        fn name(&self) -> &str {
+            "Toy"
+        }
+        fn hidden_dim(&self) -> usize {
+            1
+        }
+        fn act(&mut self, _state: &[f64], _rng: &mut SmallRng) -> usize {
+            0
+        }
+        fn observe(&mut self, _obs: &Observation, _rng: &mut SmallRng) {}
+        fn end_episode(&mut self, _episode_index: usize) {}
+        fn reset(&mut self, _rng: &mut SmallRng) {}
+        fn op_counts(&self) -> &OpCounts {
+            &self.ops
+        }
+        fn q_values(&mut self, state: &[f64]) -> Vec<f64> {
+            let s: f64 = state.iter().sum();
+            vec![s, s + 1.0]
+        }
+        fn memory_footprint_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    impl BatchAgent for ToyAgent {}
+
+    #[test]
+    fn one_hot_batch_matches_per_sample_prediction_bitwise() {
+        // No constructible agent uses the one-hot encoding yet (it exists
+        // for the encoding ablation), so the OneHot arm of `elm_q_batch` is
+        // covered directly against the scalar `predict_single` path.
+        use elmrl_elm::OsElmConfig;
+        use rand::SeedableRng;
+
+        let encoder = StateActionEncoder::with_encoding(3, 4, ActionEncoding::OneHot);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut model =
+            ElmModel::<f64>::new(&OsElmConfig::new(encoder.input_dim(), 16, 1), &mut rng);
+        model.set_beta(Matrix::from_fn(16, 1, |i, _| (i as f64 - 7.5) * 0.03));
+
+        let states = Matrix::from_fn(5, 3, |i, j| 0.1 * i as f64 - 0.2 * j as f64);
+        let q = elm_q_batch(&encoder, &model, &states);
+        assert_eq!(q.shape(), (5, 4));
+        for i in 0..states.rows() {
+            for (action, input) in encoder.encode_all_actions(states.row(i)).iter().enumerate() {
+                assert_eq!(q[(i, action)], model.predict_single(input)[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_loops_q_values_over_rows() {
+        let mut agent = ToyAgent {
+            ops: OpCounts::new(),
+        };
+        let states = Matrix::from_rows(&[vec![1.0, 2.0], vec![-1.0, 0.5]]);
+        let q = agent.predict_batch(&states);
+        assert_eq!(q.shape(), (2, 2));
+        assert_eq!(q[(0, 0)], 3.0);
+        assert_eq!(q[(0, 1)], 4.0);
+        assert_eq!(q[(1, 0)], -0.5);
+        assert_eq!(agent.act_batch_greedy(&states), vec![1, 1]);
+    }
+}

@@ -8,6 +8,7 @@
 //! same [`Agent`] trait object.
 
 use crate::agent::Agent;
+use crate::batch::BatchAgent;
 use crate::clipping::TargetConfig;
 use crate::dqn::{DqnAgent, DqnConfig};
 use crate::elm_qnet::{ElmQNet, ElmQNetConfig};
@@ -111,6 +112,52 @@ impl Design {
             Design::Fpga => {
                 panic!("Design::Fpga is built by elmrl_fpga::FpgaAgent::new, not Design::build")
             }
+        }
+    }
+
+    /// Build the agent behind the batched-inference interface used by the
+    /// population engine. Draws exactly the same RNG stream as
+    /// [`Design::build`], so a batch-built agent replays a scalar-built one.
+    /// Panics for [`Design::Fpga`] (constructed by `elmrl-fpga`, which also
+    /// implements [`BatchAgent`] for it).
+    pub fn build_batch(self, config: &DesignConfig, rng: &mut SmallRng) -> Box<dyn BatchAgent> {
+        match self {
+            Design::Elm => Box::new(ElmQNet::new(ElmQNetConfig::from_design(config), rng)),
+            Design::OsElm | Design::OsElmL2 | Design::OsElmLipschitz | Design::OsElmL2Lipschitz => {
+                Box::new(OsElmQNet::new(
+                    OsElmQNetConfig::from_design(
+                        config,
+                        self.l2_delta(),
+                        self.spectral_normalize(),
+                    ),
+                    rng,
+                ))
+            }
+            Design::Dqn => Box::new(DqnAgent::new(DqnConfig::from_design(config), rng)),
+            Design::Fpga => panic!(
+                "Design::Fpga is built by elmrl_fpga::FpgaAgent::new, not Design::build_batch"
+            ),
+        }
+    }
+
+    /// Resolve a design from a user-supplied name. Case and `-`/`_`/space
+    /// separators are ignored, so `os-elm-l2-lipschitz`, `OS_ELM_L2_Lipschitz`
+    /// and `oselml2lipschitz` all resolve to [`Design::OsElmL2Lipschitz`].
+    pub fn from_name(name: &str) -> Option<Design> {
+        let key: String = name
+            .chars()
+            .filter(|c| !matches!(c, '-' | '_' | ' '))
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match key.as_str() {
+            "elm" => Some(Design::Elm),
+            "oselm" => Some(Design::OsElm),
+            "oselml2" => Some(Design::OsElmL2),
+            "oselmlipschitz" => Some(Design::OsElmLipschitz),
+            "oselml2lipschitz" => Some(Design::OsElmL2Lipschitz),
+            "dqn" => Some(Design::Dqn),
+            "fpga" => Some(Design::Fpga),
+            _ => None,
         }
     }
 }
@@ -221,6 +268,42 @@ mod tests {
     fn building_fpga_here_panics() {
         let mut rng = SmallRng::seed_from_u64(2);
         let _ = Design::Fpga.build(&DesignConfig::new(16), &mut rng);
+    }
+
+    #[test]
+    fn from_name_is_forgiving() {
+        for name in [
+            "os-elm-l2-lipschitz",
+            "OS_ELM_L2_Lipschitz",
+            "OsElmL2Lipschitz",
+        ] {
+            assert_eq!(
+                Design::from_name(name),
+                Some(Design::OsElmL2Lipschitz),
+                "{name}"
+            );
+        }
+        assert_eq!(Design::from_name("dqn"), Some(Design::Dqn));
+        assert_eq!(Design::from_name("FPGA"), Some(Design::Fpga));
+        // Every label round-trips.
+        for design in Design::all_designs() {
+            assert_eq!(Design::from_name(design.label()), Some(design));
+        }
+        assert_eq!(Design::from_name("resnet"), None);
+    }
+
+    #[test]
+    fn build_batch_mirrors_build() {
+        // Same seed → same RNG draws → identical Q surfaces between the
+        // scalar-built and batch-built agents.
+        let config = DesignConfig::new(8);
+        let probe = [0.03, -0.02, 0.05, 0.01];
+        for design in Design::software_designs() {
+            let mut scalar = design.build(&config, &mut SmallRng::seed_from_u64(9));
+            let mut batched = design.build_batch(&config, &mut SmallRng::seed_from_u64(9));
+            assert_eq!(batched.name(), design.label());
+            assert_eq!(scalar.q_values(&probe), batched.q_values(&probe));
+        }
     }
 
     #[test]

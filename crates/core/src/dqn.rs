@@ -8,6 +8,7 @@
 //! comparison in Figures 4 and 5 is meaningful.
 
 use crate::agent::{Agent, Observation};
+use crate::batch::BatchAgent;
 use crate::clipping::TargetConfig;
 use crate::ops::{OpCounts, OpKind};
 use crate::policy::ExploitPolicy;
@@ -223,6 +224,16 @@ impl Agent for DqnAgent {
     fn memory_footprint_bytes(&self) -> usize {
         let params = 2 * self.online.parameter_count() * std::mem::size_of::<f64>();
         params + self.replay.approximate_bytes()
+    }
+}
+
+impl BatchAgent for DqnAgent {
+    /// The DQN maps states to per-action Q directly, so the batched pass is
+    /// a single `B × state_dim` forward through the online MLP — bit-for-bit
+    /// equal to per-sample [`Agent::q_values`] (the layer kernels accumulate
+    /// each batch row independently).
+    fn predict_batch(&mut self, states: &Matrix<f64>) -> Matrix<f64> {
+        self.online.forward(states)
     }
 }
 

@@ -7,6 +7,7 @@
 //! ELM fragile with respect to the hidden size (§4.3).
 
 use crate::agent::{Agent, Observation};
+use crate::batch::{elm_q_batch, BatchAgent};
 use crate::clipping::TargetConfig;
 use crate::encoding::StateActionEncoder;
 use crate::ops::{OpCounts, OpKind};
@@ -204,6 +205,14 @@ impl Agent for ElmQNet {
         let model = input * n + n + n;
         let buffer = self.buffer.capacity() * (2 * self.config.state_dim + 4);
         (2 * model + buffer) * f
+    }
+}
+
+impl BatchAgent for ElmQNet {
+    /// One stacked `(B·A) × input` forward pass through the online model —
+    /// bit-for-bit equal to per-sample [`Agent::q_values`].
+    fn predict_batch(&mut self, states: &Matrix<f64>) -> Matrix<f64> {
+        elm_q_batch(&self.encoder, self.online.model(), states)
     }
 }
 

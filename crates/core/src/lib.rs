@@ -16,6 +16,7 @@
 //! | [`oselm_qnet`] — OS-ELM Q-Network with random update, L2 and spectral normalization | §3.2–3.3 |
 //! | [`dqn`] — the three-layer DQN baseline (experience replay, target network, Adam, Huber) | §2.4, §4.1 design (6) |
 //! | [`designs`] — the seven evaluated designs as a factory enum | §4.1 |
+//! | [`batch`] — batched Q inference ([`BatchAgent`]): one `B×n` matmul instead of B matvecs | population-serving extension |
 //! | [`trainer`] — episode loop, 300-episode reset rule, solve criterion, op counting | §4.3–4.4 |
 //! | [`ops`] — per-operation counters behind the Figure 5/6 execution-time breakdowns | §4.4 |
 //!
@@ -38,6 +39,7 @@
 #![deny(unsafe_code)]
 
 pub mod agent;
+pub mod batch;
 pub mod clipping;
 pub mod designs;
 pub mod dqn;
@@ -50,6 +52,7 @@ pub mod reward;
 pub mod trainer;
 
 pub use agent::{Agent, Observation};
+pub use batch::BatchAgent;
 pub use designs::{Design, DesignConfig};
 pub use dqn::DqnAgent;
 pub use elm_qnet::ElmQNet;

@@ -15,6 +15,7 @@
 //! replay.
 
 use crate::agent::{Agent, Observation};
+use crate::batch::{elm_q_batch, BatchAgent};
 use crate::clipping::TargetConfig;
 use crate::encoding::StateActionEncoder;
 use crate::ops::{OpCounts, OpKind};
@@ -320,6 +321,14 @@ impl Agent for OsElmQNet {
         let p = n * n;
         let buffer = self.buffer.capacity() * (2 * self.config.state_dim + 4);
         (2 * model + p + buffer) * f
+    }
+}
+
+impl BatchAgent for OsElmQNet {
+    /// One stacked `(B·A) × input` forward pass through θ₁ — bit-for-bit
+    /// equal to per-sample [`Agent::q_values`].
+    fn predict_batch(&mut self, states: &Matrix<f64>) -> Matrix<f64> {
+        elm_q_batch(&self.encoder, self.online.model(), states)
     }
 }
 

@@ -147,15 +147,9 @@ impl Trainer {
     }
 
     fn criterion_met(&self, stats: &EpisodeStats, last_return: f64) -> bool {
-        match self.config.solve_criterion {
-            SolveCriterion::EpisodeReturn { threshold } => last_return >= threshold,
-            SolveCriterion::MovingAverage { threshold, window } => {
-                stats.returns.len() >= window && {
-                    let tail = &stats.returns[stats.returns.len() - window..];
-                    tail.iter().sum::<f64>() / window as f64 >= threshold
-                }
-            }
-        }
+        // Delegates to the registry's shared rule so the trainer and the
+        // population engine stop on exactly the same condition.
+        self.config.solve_criterion.met(&stats.returns, last_return)
     }
 
     /// Run one trial of `agent` on `env`.

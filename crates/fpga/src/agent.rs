@@ -325,6 +325,12 @@ impl Agent for FpgaAgent {
     }
 }
 
+/// The fixed-point core sequences scalar MACs to count PL cycles, so there
+/// is no wider matmul to batch into: the FPGA agent uses the trait's
+/// per-sample fallback, which routes every row through the cycle-accurate
+/// datapath exactly like scalar execution.
+impl elmrl_core::batch::BatchAgent for FpgaAgent {}
+
 #[cfg(test)]
 #[allow(deprecated)] // the cartpole() shims must keep working for seed tests
 mod tests {

@@ -1,0 +1,316 @@
+//! Acrobot-v1: swing a two-link pendulum's tip above the bar.
+//!
+//! The fourth registered workload and the first with a six-dimensional
+//! observation. The dynamics follow Gym's `Acrobot-v1` ("book" variant of the
+//! two-link equations of motion from Sutton & Barto, integrated with RK4 at
+//! `dt = 0.2`): only the joint between the links is actuated, with torque in
+//! `{-1, 0, +1}`. The reward is −1 per step until the tip satisfies
+//! `−cos θ₁ − cos(θ₁ + θ₂) > 1`, which ends the episode (`done`) with reward
+//! 0; otherwise the episode truncates at the 500-step cap.
+
+use crate::env::{Environment, StepOutcome};
+use crate::space::{ActionSpace, ObservationSpace};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// The Acrobot-v1 environment.
+#[derive(Clone, Debug)]
+pub struct Acrobot {
+    /// `[θ₁, θ₂, θ̇₁, θ̇₂]` — angles in radians, θ₁ = 0 hanging down.
+    state: [f64; 4],
+    steps: usize,
+    finished: bool,
+    max_steps: usize,
+}
+
+impl Acrobot {
+    /// Length of each link (m).
+    pub const LINK_LENGTH: f64 = 1.0;
+    /// Mass of each link (kg).
+    pub const LINK_MASS: f64 = 1.0;
+    /// Centre-of-mass position along each link (m).
+    pub const LINK_COM: f64 = 0.5;
+    /// Moment of inertia of each link.
+    pub const LINK_MOI: f64 = 1.0;
+    /// Angular-velocity bound on the first joint (rad/s).
+    pub const MAX_VEL_1: f64 = 4.0 * PI;
+    /// Angular-velocity bound on the second joint (rad/s).
+    pub const MAX_VEL_2: f64 = 9.0 * PI;
+    /// Integration time step (s).
+    pub const DT: f64 = 0.2;
+    /// Gravitational acceleration (m/s²).
+    pub const GRAVITY: f64 = 9.8;
+
+    /// Create the environment with Gym's registered 500-step cap.
+    pub fn new() -> Self {
+        Self::with_step_limit(500)
+    }
+
+    /// Create the environment with a custom step cap.
+    pub fn with_step_limit(max_steps: usize) -> Self {
+        assert!(max_steps > 0, "step limit must be positive");
+        Self {
+            state: [0.0; 4],
+            steps: 0,
+            finished: true,
+            max_steps,
+        }
+    }
+
+    /// Torque corresponding to a discrete action index (`{-1, 0, +1}`).
+    pub fn torque_for_action(action: usize) -> f64 {
+        assert!(action < 3, "Acrobot has 3 actions, got {action}");
+        action as f64 - 1.0
+    }
+
+    /// The raw internal state `[θ₁, θ₂, θ̇₁, θ̇₂]`.
+    pub fn state(&self) -> [f64; 4] {
+        self.state
+    }
+
+    /// Tip height above the pivot, in link lengths: `−cos θ₁ − cos(θ₁ + θ₂)`.
+    /// The goal fires when this exceeds 1.
+    pub fn tip_height(&self) -> f64 {
+        -self.state[0].cos() - (self.state[0] + self.state[1]).cos()
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        let [t1, t2, d1, d2] = self.state;
+        vec![t1.cos(), t1.sin(), t2.cos(), t2.sin(), d1, d2]
+    }
+
+    fn wrap_angle(x: f64) -> f64 {
+        ((x + PI).rem_euclid(2.0 * PI)) - PI
+    }
+
+    /// Equations of motion ("book" variant): time derivative of
+    /// `[θ₁, θ₂, θ̇₁, θ̇₂]` under joint torque `torque`.
+    fn dsdt(s: &[f64; 4], torque: f64) -> [f64; 4] {
+        let m = Self::LINK_MASS;
+        let l1 = Self::LINK_LENGTH;
+        let lc = Self::LINK_COM;
+        let i = Self::LINK_MOI;
+        let g = Self::GRAVITY;
+        let [theta1, theta2, dtheta1, dtheta2] = *s;
+
+        let d1 = m * lc * lc + m * (l1 * l1 + lc * lc + 2.0 * l1 * lc * theta2.cos()) + i + i;
+        let d2 = m * (lc * lc + l1 * lc * theta2.cos()) + i;
+        let phi2 = m * lc * g * (theta1 + theta2 - PI / 2.0).cos();
+        let phi1 = -m * l1 * lc * dtheta2 * dtheta2 * theta2.sin()
+            - 2.0 * m * l1 * lc * dtheta2 * dtheta1 * theta2.sin()
+            + (m * lc + m * l1) * g * (theta1 - PI / 2.0).cos()
+            + phi2;
+        let ddtheta2 =
+            (torque + d2 / d1 * phi1 - m * l1 * lc * dtheta1 * dtheta1 * theta2.sin() - phi2)
+                / (m * lc * lc + i - d2 * d2 / d1);
+        let ddtheta1 = -(d2 * ddtheta2 + phi1) / d1;
+        [dtheta1, dtheta2, ddtheta1, ddtheta2]
+    }
+
+    /// One RK4 step of length [`Acrobot::DT`] with constant torque.
+    fn rk4_step(s: &[f64; 4], torque: f64) -> [f64; 4] {
+        let h = Self::DT;
+        let add = |a: &[f64; 4], b: &[f64; 4], scale: f64| {
+            [
+                a[0] + scale * b[0],
+                a[1] + scale * b[1],
+                a[2] + scale * b[2],
+                a[3] + scale * b[3],
+            ]
+        };
+        let k1 = Self::dsdt(s, torque);
+        let k2 = Self::dsdt(&add(s, &k1, h / 2.0), torque);
+        let k3 = Self::dsdt(&add(s, &k2, h / 2.0), torque);
+        let k4 = Self::dsdt(&add(s, &k3, h), torque);
+        [
+            s[0] + h / 6.0 * (k1[0] + 2.0 * k2[0] + 2.0 * k3[0] + k4[0]),
+            s[1] + h / 6.0 * (k1[1] + 2.0 * k2[1] + 2.0 * k3[1] + k4[1]),
+            s[2] + h / 6.0 * (k1[2] + 2.0 * k2[2] + 2.0 * k3[2] + k4[2]),
+            s[3] + h / 6.0 * (k1[3] + 2.0 * k2[3] + 2.0 * k3[3] + k4[3]),
+        ]
+    }
+}
+
+impl Default for Acrobot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Environment for Acrobot {
+    fn name(&self) -> &'static str {
+        "Acrobot-v1"
+    }
+
+    fn observation_space(&self) -> ObservationSpace {
+        ObservationSpace::new(
+            vec![-1.0, -1.0, -1.0, -1.0, -Self::MAX_VEL_1, -Self::MAX_VEL_2],
+            vec![1.0, 1.0, 1.0, 1.0, Self::MAX_VEL_1, Self::MAX_VEL_2],
+            vec![
+                "cos_theta1".into(),
+                "sin_theta1".into(),
+                "cos_theta2".into(),
+                "sin_theta2".into(),
+                "theta1_dot".into(),
+                "theta2_dot".into(),
+            ],
+        )
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::with_labels(&["torque_neg", "torque_zero", "torque_pos"])
+    }
+
+    fn max_episode_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut SmallRng) -> Vec<f64> {
+        for v in self.state.iter_mut() {
+            *v = rng.gen_range(-0.1..0.1);
+        }
+        self.steps = 0;
+        self.finished = false;
+        self.observation()
+    }
+
+    fn step(&mut self, action: usize, _rng: &mut SmallRng) -> StepOutcome {
+        assert!(
+            !self.finished,
+            "step() called on a finished episode; call reset() first"
+        );
+        let torque = Self::torque_for_action(action);
+
+        let mut next = Self::rk4_step(&self.state, torque);
+        next[0] = Self::wrap_angle(next[0]);
+        next[1] = Self::wrap_angle(next[1]);
+        next[2] = next[2].clamp(-Self::MAX_VEL_1, Self::MAX_VEL_1);
+        next[3] = next[3].clamp(-Self::MAX_VEL_2, Self::MAX_VEL_2);
+        self.state = next;
+        self.steps += 1;
+
+        let done = self.tip_height() > 1.0;
+        let truncated = !done && self.steps >= self.max_steps;
+        self.finished = done || truncated;
+        StepOutcome {
+            observation: self.observation(),
+            reward: if done { 0.0 } else { -1.0 },
+            done,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn metadata_matches_gym() {
+        let env = Acrobot::new();
+        assert_eq!(env.name(), "Acrobot-v1");
+        assert_eq!(env.observation_dim(), 6);
+        assert_eq!(env.num_actions(), 3);
+        assert_eq!(env.max_episode_steps(), 500);
+        assert_eq!(Acrobot::torque_for_action(0), -1.0);
+        assert_eq!(Acrobot::torque_for_action(1), 0.0);
+        assert_eq!(Acrobot::torque_for_action(2), 1.0);
+    }
+
+    #[test]
+    fn reset_starts_near_hanging_rest() {
+        let mut env = Acrobot::new();
+        let mut r = rng(0);
+        let obs = env.reset(&mut r);
+        assert_eq!(obs.len(), 6);
+        // θ's near zero: cos ≈ 1, sin ≈ 0, velocities small.
+        assert!(obs[0] > 0.99 && obs[2] > 0.99);
+        assert!(obs[1].abs() < 0.11 && obs[3].abs() < 0.11);
+        assert!(obs[4].abs() < 0.11 && obs[5].abs() < 0.11);
+        assert!(env.tip_height() < 0.0, "hanging tip is below the pivot");
+    }
+
+    #[test]
+    fn observations_stay_in_bounds_and_energy_builds_up() {
+        let mut env = Acrobot::new();
+        let mut r = rng(1);
+        let obs0 = env.reset(&mut r);
+        let space = env.observation_space();
+        assert!(space.contains(&obs0));
+        let mut max_speed: f64 = 0.0;
+        for i in 0..200 {
+            // Bang-bang torque pumps energy into the system.
+            let action = if env.state()[2] >= 0.0 { 2 } else { 0 };
+            let out = env.step(action, &mut r);
+            assert!(space.contains(&out.observation), "step {i}");
+            max_speed = max_speed.max(out.observation[4].abs());
+            if out.finished() {
+                break;
+            }
+        }
+        assert!(
+            max_speed > 0.5,
+            "torque pumping should accelerate link 1, got {max_speed}"
+        );
+    }
+
+    #[test]
+    fn idle_policy_truncates_with_minus_one_per_step() {
+        let mut env = Acrobot::with_step_limit(60);
+        let mut r = rng(2);
+        env.reset(&mut r);
+        let mut total = 0.0;
+        let last = loop {
+            let out = env.step(1, &mut r);
+            total += out.reward;
+            if out.finished() {
+                break out;
+            }
+        };
+        assert!(last.truncated && !last.done);
+        assert_eq!(total, -60.0);
+    }
+
+    #[test]
+    fn goal_state_terminates_with_zero_reward() {
+        // Force the tip above the bar: θ₁ = π (first link upright) makes
+        // −cos θ₁ − cos(θ₁ + θ₂) ≈ 2 regardless of small θ₂.
+        let mut env = Acrobot::new();
+        let mut r = rng(3);
+        env.reset(&mut r);
+        env.state = [PI, 0.0, 0.0, 0.0];
+        assert!(env.tip_height() > 1.0);
+        let out = env.step(1, &mut r);
+        // One RK4 step from upright stays near the top: the goal fires.
+        assert!(out.done && !out.truncated);
+        assert_eq!(out.reward, 0.0);
+    }
+
+    #[test]
+    fn dynamics_are_deterministic() {
+        let run = |seed| {
+            let mut env = Acrobot::new();
+            let mut r = rng(seed);
+            env.reset(&mut r);
+            (0..50)
+                .map(|i| env.step(i % 3, &mut r).observation)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "3 actions")]
+    fn invalid_action_panics() {
+        let mut env = Acrobot::new();
+        let mut r = rng(6);
+        env.reset(&mut r);
+        let _ = env.step(4, &mut r);
+    }
+}

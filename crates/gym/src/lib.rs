@@ -15,17 +15,24 @@
 //!   learning tasks" the paper lists as future work (§5).
 //! * [`Pendulum`] — `Pendulum-v1` with a discretised torque set, likewise an
 //!   extension task.
+//! * [`Acrobot`] — `Acrobot-v1` two-link swing-up: six-dimensional
+//!   observation, sparse `done` reward.
 //!
 //! All environments implement the [`Environment`] trait; the agents in
 //! `elmrl-core` are written against that trait only. The [`workload`] module
 //! is the registry that makes every environment reachable from the generic
 //! experiment pipeline: a [`Workload`] resolves to an [`EnvSpec`] bundling a
 //! boxed environment factory with the per-environment solve criterion, reward
-//! shaping, normalisation bounds and protocol defaults.
+//! shaping, normalisation bounds and protocol defaults ([`WorkloadOptions`]
+//! carries per-run variant knobs such as the Pendulum torque discretisation).
+//! The [`vec_env`] module adds [`VecEnv`], the lockstep K-environment
+//! executor with auto-reset that feeds the population engine's batched
+//! forward passes.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod acrobot;
 pub mod cartpole;
 pub mod env;
 pub mod episode;
@@ -33,8 +40,10 @@ pub mod mountain_car;
 pub mod normalize;
 pub mod pendulum;
 pub mod space;
+pub mod vec_env;
 pub mod workload;
 
+pub use acrobot::Acrobot;
 pub use cartpole::CartPole;
 pub use env::{Environment, StepOutcome};
 pub use episode::{EpisodeStats, MovingAverage};
@@ -42,4 +51,7 @@ pub use mountain_car::MountainCar;
 pub use normalize::NormalizedEnv;
 pub use pendulum::Pendulum;
 pub use space::{ActionSpace, ObservationSpace};
-pub use workload::{registry, EnvSpec, RewardShaping, SolveCriterion, Workload, WorkloadDefaults};
+pub use vec_env::{VecEnv, VecStep};
+pub use workload::{
+    registry, EnvSpec, RewardShaping, SolveCriterion, Workload, WorkloadDefaults, WorkloadOptions,
+};

@@ -33,7 +33,7 @@
 
 use crate::env::Environment;
 use crate::normalize::NormalizedEnv;
-use crate::{CartPole, MountainCar, Pendulum};
+use crate::{Acrobot, CartPole, MountainCar, Pendulum};
 use serde::{Deserialize, Serialize};
 
 /// When does a trial count as having *completed* the task?
@@ -66,6 +66,26 @@ pub enum SolveCriterion {
 impl Default for SolveCriterion {
     fn default() -> Self {
         SolveCriterion::EpisodeReturn { threshold: 195.0 }
+    }
+}
+
+impl SolveCriterion {
+    /// Whether the criterion is satisfied given the per-episode return
+    /// history so far (`returns`, oldest first) and the return of the episode
+    /// that just finished (`last_return`, already included in `returns` when
+    /// the caller records before checking — only `MovingAverage` reads the
+    /// history). Shared by the trainer and the population engine so both
+    /// stop on exactly the same rule.
+    pub fn met(&self, returns: &[f64], last_return: f64) -> bool {
+        match *self {
+            SolveCriterion::EpisodeReturn { threshold } => last_return >= threshold,
+            SolveCriterion::MovingAverage { threshold, window } => {
+                returns.len() >= window && {
+                    let tail = &returns[returns.len() - window..];
+                    tail.iter().sum::<f64>() / window as f64 >= threshold
+                }
+            }
+        }
     }
 }
 
@@ -152,6 +172,24 @@ pub struct WorkloadDefaults {
     pub max_episodes: usize,
 }
 
+/// Per-run variant knobs a registered workload can expose, threaded from the
+/// CLI down to the environment factory. Workloads ignore the knobs that do
+/// not apply to them, so one options value can parameterise any registry
+/// entry.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadOptions {
+    /// Number of evenly spaced torque levels for the Pendulum discretisation
+    /// (the ROADMAP's n ∈ {3, 5, 9, 15} sweep axis; ≥ 2, default 3). Ignored
+    /// by every other workload.
+    pub torque_levels: usize,
+}
+
+impl Default for WorkloadOptions {
+    fn default() -> Self {
+        Self { torque_levels: 3 }
+    }
+}
+
 /// Everything the experiment pipeline needs to know about one registered
 /// environment. Obtained from [`Workload::spec`]; construction goes through
 /// the registry so the probe dimensions always match the factory.
@@ -182,14 +220,16 @@ pub struct EnvSpec {
     pub reward_shaping: RewardShaping,
     /// Per-workload protocol defaults.
     pub defaults: WorkloadDefaults,
-    factory: fn() -> Box<dyn Environment>,
+    /// The variant knobs this spec was resolved with.
+    pub options: WorkloadOptions,
+    factory: fn(&WorkloadOptions) -> Box<dyn Environment>,
 }
 
 impl EnvSpec {
     /// Instantiate a fresh environment, applying observation normalisation
     /// when the workload asks for it.
     pub fn make_env(&self) -> Box<dyn Environment> {
-        let env = (self.factory)();
+        let env = (self.factory)(&self.options);
         if self.normalize_observations {
             Box::new(NormalizedEnv::from_space(env))
         } else {
@@ -216,6 +256,7 @@ impl std::fmt::Debug for EnvSpec {
             .field("solve_criterion", &self.solve_criterion)
             .field("reward_shaping", &self.reward_shaping)
             .field("defaults", &self.defaults)
+            .field("options", &self.options)
             .finish_non_exhaustive()
     }
 }
@@ -229,15 +270,19 @@ pub enum Workload {
     MountainCar,
     /// Pendulum with discretised torques — dense-cost swing-up (§5).
     Pendulum,
+    /// Acrobot-v1 — two-link swing-up with a six-dimensional observation and
+    /// a sparse `done` reward.
+    Acrobot,
 }
 
 impl Workload {
     /// All registered workloads, in registry order.
-    pub fn all() -> [Workload; 3] {
+    pub fn all() -> [Workload; 4] {
         [
             Workload::CartPole,
             Workload::MountainCar,
             Workload::Pendulum,
+            Workload::Acrobot,
         ]
     }
 
@@ -247,6 +292,7 @@ impl Workload {
             Workload::CartPole => "cart-pole",
             Workload::MountainCar => "mountain-car",
             Workload::Pendulum => "pendulum",
+            Workload::Acrobot => "acrobot",
         }
     }
 
@@ -269,16 +315,24 @@ impl Workload {
             "cartpole" => Some(Workload::CartPole),
             "mountaincar" => Some(Workload::MountainCar),
             "pendulum" | "pendulumdiscrete" => Some(Workload::Pendulum),
+            "acrobot" => Some(Workload::Acrobot),
             _ => None,
         }
     }
 
-    /// The full environment specification for this workload.
+    /// The full environment specification for this workload with the default
+    /// [`WorkloadOptions`].
     pub fn spec(self) -> EnvSpec {
+        self.spec_with(WorkloadOptions::default())
+    }
+
+    /// The full environment specification for this workload, resolved with
+    /// explicit variant knobs (e.g. the Pendulum torque discretisation).
+    pub fn spec_with(self, options: WorkloadOptions) -> EnvSpec {
         let (name, factory, normalize, solve_criterion, reward_shaping, defaults) = match self {
             Workload::CartPole => (
                 "CartPole-v0",
-                cartpole_factory as fn() -> Box<dyn Environment>,
+                cartpole_factory as fn(&WorkloadOptions) -> Box<dyn Environment>,
                 // The seed experiments feed raw CartPole states to the agents;
                 // normalising would silently change every published number.
                 false,
@@ -296,7 +350,7 @@ impl Workload {
             ),
             Workload::MountainCar => (
                 "MountainCar-v0",
-                mountain_car_factory as fn() -> Box<dyn Environment>,
+                mountain_car_factory as fn(&WorkloadOptions) -> Box<dyn Environment>,
                 // Position spans [-1.2, 0.6] while velocity spans ±0.07; the
                 // random ELM features need comparable axis scales.
                 true,
@@ -316,7 +370,7 @@ impl Workload {
             ),
             Workload::Pendulum => (
                 "Pendulum-discrete",
-                pendulum_factory as fn() -> Box<dyn Environment>,
+                pendulum_factory as fn(&WorkloadOptions) -> Box<dyn Environment>,
                 // θ̇ spans ±8 while cos/sin span ±1.
                 true,
                 // Dense-cost task with no terminal state: completion is a
@@ -337,8 +391,30 @@ impl Workload {
                     max_episodes: 2_000,
                 },
             ),
+            Workload::Acrobot => (
+                "Acrobot-v1",
+                acrobot_factory as fn(&WorkloadOptions) -> Box<dyn Environment>,
+                // Joint velocities span ±4π / ±9π while the cos/sin axes
+                // span ±1.
+                true,
+                // Swinging the tip above the bar within 200 of the 500
+                // allowed steps under the ε₁ policy (threshold calibration is
+                // a ROADMAP open item, as for MountainCar/Pendulum).
+                SolveCriterion::EpisodeReturn { threshold: -200.0 },
+                RewardShaping::GoalSigned,
+                WorkloadDefaults {
+                    gamma: 0.99,
+                    // Like MountainCar, the sparse goal needs exploration.
+                    exploit_prob: 0.6,
+                    update_prob: 0.5,
+                    target_sync_episodes: 2,
+                    clip_targets: true,
+                    reset_after_episodes: Some(300),
+                    max_episodes: 2_000,
+                },
+            ),
         };
-        let probe = factory();
+        let probe = factory(&options);
         let observation_dim = probe.observation_dim();
         let num_actions = probe.num_actions();
         // Record the bounds of what make_env() actually delivers: the
@@ -360,6 +436,7 @@ impl Workload {
             solve_criterion,
             reward_shaping,
             defaults,
+            options,
             factory,
         }
     }
@@ -371,16 +448,20 @@ impl std::fmt::Display for Workload {
     }
 }
 
-fn cartpole_factory() -> Box<dyn Environment> {
+fn cartpole_factory(_options: &WorkloadOptions) -> Box<dyn Environment> {
     Box::new(CartPole::new())
 }
 
-fn mountain_car_factory() -> Box<dyn Environment> {
+fn mountain_car_factory(_options: &WorkloadOptions) -> Box<dyn Environment> {
     Box::new(MountainCar::new())
 }
 
-fn pendulum_factory() -> Box<dyn Environment> {
-    Box::new(Pendulum::new())
+fn pendulum_factory(options: &WorkloadOptions) -> Box<dyn Environment> {
+    Box::new(Pendulum::with_config(options.torque_levels, 200))
+}
+
+fn acrobot_factory(_options: &WorkloadOptions) -> Box<dyn Environment> {
+    Box::new(Acrobot::new())
 }
 
 /// The full registry: one [`EnvSpec`] per registered workload.
@@ -397,9 +478,12 @@ mod tests {
     #[test]
     fn registry_covers_all_workloads() {
         let specs = registry();
-        assert_eq!(specs.len(), 3);
+        assert_eq!(specs.len(), 4);
         let slugs: Vec<&str> = specs.iter().map(|s| s.slug).collect();
-        assert_eq!(slugs, vec!["cart-pole", "mountain-car", "pendulum"]);
+        assert_eq!(
+            slugs,
+            vec!["cart-pole", "mountain-car", "pendulum", "acrobot"]
+        );
     }
 
     #[test]
@@ -430,7 +514,10 @@ mod tests {
                 "{name}"
             );
         }
-        assert_eq!(Workload::from_name("acrobot"), None);
+        for name in ["acrobot", "Acrobot-v1", "ACROBOT"] {
+            assert_eq!(Workload::from_name(name), Some(Workload::Acrobot), "{name}");
+        }
+        assert_eq!(Workload::from_name("lunar-lander"), None);
     }
 
     #[test]
@@ -512,5 +599,52 @@ mod tests {
     #[test]
     fn workload_display_uses_slug() {
         assert_eq!(Workload::MountainCar.to_string(), "mountain-car");
+        assert_eq!(Workload::Acrobot.to_string(), "acrobot");
+    }
+
+    #[test]
+    fn acrobot_spec_is_a_sparse_goal_workload() {
+        let spec = Workload::Acrobot.spec();
+        assert_eq!(spec.name, "Acrobot-v1");
+        assert_eq!(spec.observation_dim, 6);
+        assert_eq!(spec.num_actions, 3);
+        assert_eq!(spec.elm_input_dim(), 7);
+        assert!(spec.normalize_observations);
+        assert_eq!(spec.reward_shaping, RewardShaping::GoalSigned);
+        assert!(matches!(
+            spec.solve_criterion,
+            SolveCriterion::EpisodeReturn { .. }
+        ));
+    }
+
+    #[test]
+    fn torque_levels_option_reshapes_the_pendulum_action_set() {
+        for levels in [3, 5, 9, 15] {
+            let spec = Workload::Pendulum.spec_with(WorkloadOptions {
+                torque_levels: levels,
+            });
+            assert_eq!(spec.num_actions, levels, "{levels} levels");
+            assert_eq!(spec.options.torque_levels, levels);
+            let env = spec.make_env();
+            assert_eq!(env.num_actions(), levels);
+        }
+        // The knob is inert on every other workload.
+        let spec = Workload::CartPole.spec_with(WorkloadOptions { torque_levels: 9 });
+        assert_eq!(spec.num_actions, 2);
+    }
+
+    #[test]
+    fn solve_criterion_met_covers_both_rules() {
+        let single = SolveCriterion::EpisodeReturn { threshold: 100.0 };
+        assert!(single.met(&[], 100.0));
+        assert!(!single.met(&[200.0, 300.0], 99.0));
+
+        let moving = SolveCriterion::MovingAverage {
+            threshold: 10.0,
+            window: 3,
+        };
+        assert!(!moving.met(&[20.0, 20.0], 20.0), "window must be full");
+        assert!(moving.met(&[20.0, 20.0, 20.0], 20.0));
+        assert!(!moving.met(&[0.0, 0.0, 20.0], 20.0));
     }
 }

@@ -10,7 +10,7 @@
 use elmrl_core::oselm_qnet::{OsElmQNet, OsElmQNetConfig};
 use elmrl_core::trainer::{Trainer, TrainerConfig};
 use elmrl_fixed::analysis::{quantization_report, QuantizationReport};
-use elmrl_gym::Workload;
+use elmrl_gym::{Workload, WorkloadOptions};
 use elmrl_linalg::Matrix;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -34,14 +34,32 @@ pub struct StabilisationAblationRow {
 }
 
 /// Run the A1 ablation: the four combinations of {clipping, random update}
-/// on OS-ELM-L2-Lipschitz at the given hidden size, on a workload.
+/// on OS-ELM-L2-Lipschitz at the given hidden size, on a workload with the
+/// default [`WorkloadOptions`].
 pub fn stabilisation_ablation(
     workload: Workload,
     hidden_dim: usize,
     max_episodes: usize,
     seed: u64,
 ) -> Vec<StabilisationAblationRow> {
-    let spec = workload.spec();
+    stabilisation_ablation_with(
+        workload,
+        WorkloadOptions::default(),
+        hidden_dim,
+        max_episodes,
+        seed,
+    )
+}
+
+/// Run the A1 ablation with explicit workload variant knobs.
+pub fn stabilisation_ablation_with(
+    workload: Workload,
+    options: WorkloadOptions,
+    hidden_dim: usize,
+    max_episodes: usize,
+    seed: u64,
+) -> Vec<StabilisationAblationRow> {
+    let spec = workload.spec_with(options);
     let mut rows = Vec::new();
     for &clipping in &[true, false] {
         for &random_update in &[true, false] {
@@ -80,15 +98,26 @@ pub struct PrecisionAblationRow {
     pub beta_report: QuantizationReport,
 }
 
-/// Run the A2 precision ablation on a representative trained OS-ELM state.
+/// Run the A2 precision ablation on a representative trained OS-ELM state
+/// (default [`WorkloadOptions`]).
 pub fn precision_ablation(
     workload: Workload,
     hidden_dim: usize,
     seed: u64,
 ) -> Vec<PrecisionAblationRow> {
+    precision_ablation_with(workload, WorkloadOptions::default(), hidden_dim, seed)
+}
+
+/// Run the A2 precision ablation with explicit workload variant knobs.
+pub fn precision_ablation_with(
+    workload: Workload,
+    options: WorkloadOptions,
+    hidden_dim: usize,
+    seed: u64,
+) -> Vec<PrecisionAblationRow> {
     // Produce a representative trained state by running a short session on
     // the workload with the float agent, then quantising its P and β.
-    let spec = workload.spec();
+    let spec = workload.spec_with(options);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut agent = OsElmQNet::new(
         OsElmQNetConfig::for_workload(&spec, hidden_dim, 0.5, true),

@@ -19,6 +19,7 @@ fn main() {
             hidden: vec![env_usize("ELMRL_HIDDEN_ONE", 64)],
         },
     );
+    args.warn_unused_population_flags("ablation");
     let hidden = args.hidden[0];
     if args.hidden.len() > 1 {
         eprintln!(
@@ -30,8 +31,19 @@ fn main() {
         "ablations on {} at hidden = {hidden}, {} episodes",
         args.workload, args.episodes
     );
-    let a1 = ablation::stabilisation_ablation(args.workload, hidden, args.episodes, args.seed);
-    let a2 = ablation::precision_ablation(args.workload, hidden, args.seed);
+    let a1 = ablation::stabilisation_ablation_with(
+        args.workload,
+        args.workload_options(),
+        hidden,
+        args.episodes,
+        args.seed,
+    );
+    let a2 = ablation::precision_ablation_with(
+        args.workload,
+        args.workload_options(),
+        hidden,
+        args.seed,
+    );
     let md = ablation::to_markdown(&a1, &a2);
     println!("# Ablations ({})\n\n{md}", args.workload);
     let dir = args.out_dir();

@@ -17,11 +17,18 @@ fn main() {
             hidden: vec![32, 64],
         },
     );
+    args.warn_unused_population_flags("fig4");
     eprintln!(
         "figure 4 on {}: hidden sizes {:?}, {} episodes per curve",
         args.workload, args.hidden, args.episodes
     );
-    let fig = fig4::generate(args.workload, &args.hidden, args.episodes, args.seed);
+    let fig = fig4::generate_with(
+        args.workload,
+        args.workload_options(),
+        &args.hidden,
+        args.episodes,
+        args.seed,
+    );
     println!(
         "# Figure 4 — training curves ({})\n\n{}",
         args.workload,

@@ -16,12 +16,14 @@ fn main() {
             hidden: vec![32, 64],
         },
     );
+    args.warn_unused_population_flags("fig5");
     eprintln!(
         "figure 5 on {}: hidden {:?}, {} trials/cell, {} episode budget",
         args.workload, args.hidden, args.trials, args.episodes
     );
-    let fig = fig5::generate(
+    let fig = fig5::generate_with(
         args.workload,
+        args.workload_options(),
         &args.hidden,
         &Design::all_designs(),
         args.trials,

@@ -15,12 +15,14 @@ fn main() {
             hidden: vec![32, 64],
         },
     );
+    args.warn_unused_population_flags("fig6");
     eprintln!(
         "figure 6 on {}: hidden {:?}, {} trials/cell, {} episode budget",
         args.workload, args.hidden, args.trials, args.episodes
     );
-    let fig = fig6::generate(
+    let fig = fig6::generate_with(
         args.workload,
+        args.workload_options(),
         &args.hidden,
         args.trials,
         args.episodes,

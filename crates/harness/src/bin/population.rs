@@ -1,0 +1,79 @@
+//! Run the population execution engine: K replicated agents of one design on
+//! one workload, sharded across threads, reported as solve-rate and
+//! episodes-to-solve quantiles.
+//!
+//! Run `population --help` for the flag list. The aggregate
+//! `results/<workload>/population.json` is byte-identical for any `--shards`
+//! value at the same `--seed` (per-replica RNG streams are split from the
+//! master seed by global replica index).
+use elmrl_harness::{cli, report};
+use elmrl_population::{PopulationConfig, PopulationRunner};
+
+fn main() {
+    let args = cli::parse_or_exit(
+        "population",
+        "Population runner — K replicated agents of one design on one workload.\n\
+         Uses the first --hidden entry; --trials is ignored",
+        &cli::CliDefaults {
+            trials: 1,
+            episodes: 2000,
+            hidden: vec![64],
+        },
+    );
+    let hidden = args.hidden[0];
+    if args.hidden.len() > 1 {
+        eprintln!(
+            "population: note — using only the first hidden size ({hidden}) of {:?}",
+            args.hidden
+        );
+    }
+    let mut config = PopulationConfig::new(args.workload, args.design, hidden, args.population);
+    config.options = args.workload_options();
+    config.shards = args.shards;
+    config.seed = args.seed;
+    config.max_episodes = args.episodes;
+    eprintln!(
+        "population on {}: {} × {} (hidden {hidden}), {} shard(s), {} episode budget, seed {}",
+        args.workload,
+        args.population,
+        args.design.label(),
+        args.shards,
+        args.episodes,
+        args.seed
+    );
+
+    let start = std::time::Instant::now();
+    let report = PopulationRunner::new(config).run();
+    eprintln!(
+        "population finished in {:.2}s host wall time",
+        start.elapsed().as_secs_f64()
+    );
+
+    let q = &report.episodes_to_solve;
+    let table = report::markdown_table(
+        &["metric", "value"],
+        &[
+            vec!["population".into(), report.population.to_string()],
+            vec!["solved".into(), report.solved.to_string()],
+            vec!["solve rate".into(), format!("{:.3}", report.solve_rate)],
+            vec!["episodes-to-solve mean".into(), report::fmt_opt(q.mean)],
+            vec!["episodes-to-solve p25".into(), report::fmt_opt(q.p25)],
+            vec!["episodes-to-solve p50".into(), report::fmt_opt(q.p50)],
+            vec!["episodes-to-solve p75".into(), report::fmt_opt(q.p75)],
+            vec!["episodes-to-solve p90".into(), report::fmt_opt(q.p90)],
+            vec![
+                "mean greedy eval return".into(),
+                report::fmt_opt(report.mean_greedy_eval_return),
+            ],
+        ],
+    );
+    println!(
+        "# Population — {} × {} on {} (hidden {hidden})\n\n{table}",
+        report.population, report.design, args.workload
+    );
+
+    let dir = args.out_dir();
+    report::write_json(&dir, "population.json", &report).expect("write population.json");
+    report::write_text(&dir, "population.md", &table).expect("write population.md");
+    eprintln!("wrote {}/population.{{md,json}}", dir.display());
+}

@@ -1,0 +1,79 @@
+//! Aggregate every `results/<workload>/fig5.json` into one design ×
+//! environment matrix (`results/summary.json` + a stdout table).
+//!
+//! Flags: `--results <dir>` (default `results`) names the root the fig5
+//! artefacts were written under; `--out <dir>` (default: the results root)
+//! names where `summary.{json,md}` go; `--help` prints usage.
+use elmrl_harness::{report, summary};
+use std::path::PathBuf;
+
+const USAGE: &str =
+    "Cross-environment summary - design x environment matrix from fig5 results.\n\n\
+     Usage: summary [OPTIONS]\n\n\
+     Options:\n\
+     \x20 --results <dir>  results root holding <workload>/fig5.json (default: results)\n\
+     \x20 --out <dir>      output directory (default: the results root)\n\
+     \x20 --help           print this help and exit";
+
+fn main() {
+    let mut results_root = PathBuf::from("results");
+    let mut out: Option<PathBuf> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--results" => match iter.next() {
+                Some(dir) => results_root = PathBuf::from(dir),
+                None => exit_with("--results requires a value"),
+            },
+            "--out" => match iter.next() {
+                Some(dir) => out = Some(PathBuf::from(dir)),
+                None => exit_with("--out requires a value"),
+            },
+            other => exit_with(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    let summary = match summary::collect(&results_root) {
+        Ok(s) => s,
+        Err(e) => exit_with(&format!(
+            "failed to read fig5 results under {}: {e}",
+            results_root.display()
+        )),
+    };
+    for slug in &summary.missing {
+        eprintln!(
+            "summary: no {}/{slug}/fig5.json — run `fig5 --workload {slug}` to fill it in",
+            results_root.display()
+        );
+    }
+    for slug in &summary.unreadable {
+        eprintln!(
+            "summary: {}/{slug}/fig5.json does not parse (older schema?) — skipped; \
+             re-run `fig5 --workload {slug}` to refresh it",
+            results_root.display()
+        );
+    }
+    if summary.workloads.is_empty() {
+        exit_with(&format!(
+            "no fig5.json found under {} for any registered workload",
+            results_root.display()
+        ));
+    }
+
+    let md = summary::to_markdown(&summary);
+    println!("# Design × environment summary\n\n{md}");
+    let dir = out.unwrap_or(results_root);
+    report::write_json(&dir, "summary.json", &summary).expect("write summary.json");
+    report::write_text(&dir, "summary.md", &md).expect("write summary.md");
+    eprintln!("wrote {}/summary.{{md,json}}", dir.display());
+}
+
+fn exit_with(message: &str) -> ! {
+    eprintln!("summary: {message}");
+    std::process::exit(2);
+}

@@ -16,6 +16,7 @@ fn main() {
             hidden: vec![32, 64, 128, 192],
         },
     );
+    args.warn_unused_population_flags("table3");
     let table = table3::generate();
     let md = table3::to_markdown(&table);
     println!("# Table 3 — FPGA resource utilization (xc7z020)\n\n{md}");

@@ -9,8 +9,14 @@
 //! * `--episodes <n>` — episode budget per trial;
 //! * `--hidden <a,b,..>` — comma-separated hidden sizes;
 //! * `--seed <n>` — base RNG seed;
+//! * `--torque-levels <n>` — Pendulum torque discretisation (default 3; the
+//!   ROADMAP's n ∈ {3, 5, 9, 15} sweep axis, inert on other workloads);
 //! * `--out <dir>` — output directory (default: `results/<workload-slug>`);
 //! * `--help` — print usage and exit.
+//!
+//! The `population` binary additionally reads `--population <k>`,
+//! `--shards <s>` and `--design <name>`; the shared parser accepts those
+//! flags everywhere so one flag set serves every binary.
 //!
 //! The `ELMRL_TRIALS` / `ELMRL_EPISODES` / `ELMRL_HIDDEN` / `ELMRL_SEED` /
 //! `ELMRL_WORKLOAD` environment variables are honoured as fallbacks when the
@@ -18,7 +24,8 @@
 //! win over environment variables.
 
 use crate::{env_hidden_sizes, env_usize};
-use elmrl_gym::Workload;
+use elmrl_core::designs::Design;
+use elmrl_gym::{Workload, WorkloadOptions};
 use std::path::PathBuf;
 
 /// Parsed command-line options for one experiment binary.
@@ -34,6 +41,18 @@ pub struct CliArgs {
     pub hidden: Vec<usize>,
     /// Base RNG seed.
     pub seed: u64,
+    /// Pendulum torque discretisation (`--torque-levels`, default 3).
+    pub torque_levels: usize,
+    /// Population size for the `population` binary (`--population`).
+    pub population: usize,
+    /// Shard count for the `population` binary (`--shards`).
+    pub shards: usize,
+    /// Replicated design for the `population` binary (`--design`).
+    pub design: Design,
+    /// Whether any population-only flag (`--population`, `--shards`,
+    /// `--design`) was given — lets the other binaries warn that they
+    /// ignore them.
+    pub population_flags_used: bool,
     /// Explicit output directory (`--out`), if given.
     pub out: Option<PathBuf>,
 }
@@ -45,6 +64,25 @@ impl CliArgs {
         self.out
             .clone()
             .unwrap_or_else(|| crate::report::results_dir_for(self.workload))
+    }
+
+    /// The workload variant knobs the flags imply.
+    pub fn workload_options(&self) -> WorkloadOptions {
+        WorkloadOptions {
+            torque_levels: self.torque_levels,
+        }
+    }
+
+    /// Warn on stderr when a population-only flag was passed to a binary
+    /// that does not read it (so e.g. `fig5 --design dqn` cannot silently
+    /// run the full design matrix).
+    pub fn warn_unused_population_flags(&self, binary: &str) {
+        if self.population_flags_used {
+            eprintln!(
+                "{binary}: note — --population/--shards/--design only affect the \
+                 `population` binary and are ignored here"
+            );
+        }
     }
 }
 
@@ -72,7 +110,12 @@ pub fn usage(binary: &str, about: &str, defaults: &CliDefaults) -> String {
          \x20 --episodes <n>      episode budget per trial (default: {})\n\
          \x20 --hidden <a,b,..>   comma-separated hidden sizes (default: {})\n\
          \x20 --seed <n>          base RNG seed (default: 42)\n\
+         \x20 --torque-levels <n> Pendulum torque discretisation (default: 3)\n\
          \x20 --out <dir>         output directory (default: results/<workload>)\n\
+         \x20 --population <k>    replicas, population binary only (default: 32)\n\
+         \x20 --shards <s>        shards, population binary only (default: 4)\n\
+         \x20 --design <name>     replicated design, population binary only\n\
+         \x20                     (default: os-elm-l2-lipschitz)\n\
          \x20 --help              print this help and exit\n\n\
          ELMRL_WORKLOAD, ELMRL_TRIALS, ELMRL_EPISODES, ELMRL_HIDDEN and\n\
          ELMRL_SEED are honoured as fallbacks when the flag is absent.",
@@ -97,6 +140,11 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
         episodes: env_usize("ELMRL_EPISODES", defaults.episodes),
         hidden: env_hidden_sizes(&defaults.hidden),
         seed: env_usize("ELMRL_SEED", 42) as u64,
+        torque_levels: 3,
+        population: 32,
+        shards: 4,
+        design: Design::OsElmL2Lipschitz,
+        population_flags_used: false,
         out: None,
     };
     let mut workload_flag: Option<Workload> = None;
@@ -151,6 +199,45 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
                 parsed.seed = v
                     .parse()
                     .map_err(|_| format!("--seed: invalid seed `{v}`"))?;
+            }
+            "--torque-levels" => {
+                let v = value_for("--torque-levels")?;
+                parsed.torque_levels =
+                    v.parse().ok().filter(|&n| n >= 2).ok_or_else(|| {
+                        format!("--torque-levels: need an integer ≥ 2, got `{v}`")
+                    })?;
+            }
+            "--population" => {
+                parsed.population_flags_used = true;
+                let v = value_for("--population")?;
+                parsed.population = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--population: need a positive count, got `{v}`"))?;
+            }
+            "--shards" => {
+                parsed.population_flags_used = true;
+                let v = value_for("--shards")?;
+                parsed.shards = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--shards: need a positive count, got `{v}`"))?;
+            }
+            "--design" => {
+                parsed.population_flags_used = true;
+                let name = value_for("--design")?;
+                parsed.design = Design::from_name(&name).ok_or_else(|| {
+                    format!(
+                        "unknown design `{name}` (known: {})",
+                        Design::all_designs()
+                            .iter()
+                            .map(|d| d.label())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?;
             }
             "--out" => {
                 parsed.out = Some(PathBuf::from(value_for("--out")?));
@@ -274,9 +361,11 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(parse_from(&args(&["--workload", "acrobot"]), &defaults())
-            .unwrap_err()
-            .contains("unknown workload"));
+        assert!(
+            parse_from(&args(&["--workload", "lunar-lander"]), &defaults())
+                .unwrap_err()
+                .contains("unknown workload")
+        );
         assert!(parse_from(&args(&["--trials"]), &defaults())
             .unwrap_err()
             .contains("requires a value"));
@@ -289,6 +378,53 @@ mod tests {
         assert!(parse_from(&args(&["--hidden", "a,b"]), &defaults())
             .unwrap_err()
             .contains("invalid size list"));
+    }
+
+    #[test]
+    fn population_and_variant_flags_parse() {
+        let parsed = parse_from(
+            &args(&[
+                "--workload",
+                "pendulum",
+                "--torque-levels",
+                "9",
+                "--population",
+                "16",
+                "--shards",
+                "2",
+                "--design",
+                "dqn",
+            ]),
+            &defaults(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(parsed.workload, Workload::Pendulum);
+        assert_eq!(parsed.torque_levels, 9);
+        assert_eq!(parsed.workload_options().torque_levels, 9);
+        assert_eq!(parsed.population, 16);
+        assert_eq!(parsed.shards, 2);
+        assert_eq!(parsed.design, Design::Dqn);
+        assert!(parsed.population_flags_used);
+
+        // Defaults when absent.
+        let bare = parse_from(&[], &defaults()).unwrap().unwrap();
+        assert_eq!(bare.torque_levels, 3);
+        assert_eq!(bare.population, 32);
+        assert_eq!(bare.shards, 4);
+        assert_eq!(bare.design, Design::OsElmL2Lipschitz);
+        assert!(!bare.population_flags_used);
+
+        // Validation.
+        assert!(parse_from(&args(&["--torque-levels", "1"]), &defaults())
+            .unwrap_err()
+            .contains("≥ 2"));
+        assert!(parse_from(&args(&["--population", "0"]), &defaults())
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_from(&args(&["--design", "transformer"]), &defaults())
+            .unwrap_err()
+            .contains("unknown design"));
     }
 
     #[test]

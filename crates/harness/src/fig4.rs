@@ -8,7 +8,7 @@
 
 use crate::runner::{run_trials, TrialResult, TrialSpec};
 use elmrl_core::designs::Design;
-use elmrl_gym::Workload;
+use elmrl_gym::{Workload, WorkloadOptions};
 use serde::{Deserialize, Serialize};
 
 /// One training curve: the data behind one line pair of Figure 4.
@@ -43,6 +43,8 @@ impl From<&TrialResult> for Curve {
 pub struct Figure4 {
     /// Workload the curves were collected on.
     pub workload: Workload,
+    /// Workload variant knobs the curves used.
+    pub options: WorkloadOptions,
     /// All curves, in design-major order.
     pub curves: Vec<Curve>,
     /// Episode budget used per curve.
@@ -50,13 +52,32 @@ pub struct Figure4 {
 }
 
 /// Generate Figure 4 curves on a workload for the given hidden sizes and
-/// episode budget, using one seed per cell.
+/// episode budget, using one seed per cell and the default
+/// [`WorkloadOptions`].
 pub fn generate(workload: Workload, hidden_sizes: &[usize], episodes: usize, seed: u64) -> Figure4 {
+    generate_with(
+        workload,
+        WorkloadOptions::default(),
+        hidden_sizes,
+        episodes,
+        seed,
+    )
+}
+
+/// Generate Figure 4 curves with explicit workload variant knobs.
+pub fn generate_with(
+    workload: Workload,
+    options: WorkloadOptions,
+    hidden_sizes: &[usize],
+    episodes: usize,
+    seed: u64,
+) -> Figure4 {
     let specs: Vec<TrialSpec> = hidden_sizes
         .iter()
         .flat_map(|&h| {
             Design::software_designs().into_iter().map(move |d| {
                 TrialSpec::for_workload(workload, d, h, seed ^ (h as u64) << 8 ^ design_salt(d))
+                    .with_options(options)
                     .with_max_episodes(episodes)
                     .collect_full_curve()
             })
@@ -65,6 +86,7 @@ pub fn generate(workload: Workload, hidden_sizes: &[usize], episodes: usize, see
     let results = run_trials(&specs);
     Figure4 {
         workload,
+        options,
         curves: results.iter().map(Curve::from).collect(),
         episodes,
     }

@@ -9,7 +9,7 @@
 
 use crate::runner::{run_trials, summarize_cell, CellSummary, TrialSpec};
 use elmrl_core::designs::Design;
-use elmrl_gym::Workload;
+use elmrl_gym::{Workload, WorkloadOptions};
 use serde::{Deserialize, Serialize};
 
 /// The Figure 5 reproduction.
@@ -17,6 +17,8 @@ use serde::{Deserialize, Serialize};
 pub struct Figure5 {
     /// Workload the sweep ran on.
     pub workload: Workload,
+    /// Workload variant knobs the sweep used.
+    pub options: WorkloadOptions,
     /// One summary per (design, hidden size) cell.
     pub cells: Vec<CellSummary>,
     /// Speedup of each non-DQN design relative to DQN at equal hidden size.
@@ -42,9 +44,32 @@ pub struct SpeedupRow {
     pub speedup: Option<f64>,
 }
 
-/// Generate the Figure 5 sweep on a workload.
+/// Generate the Figure 5 sweep on a workload with the default
+/// [`WorkloadOptions`].
 pub fn generate(
     workload: Workload,
+    hidden_sizes: &[usize],
+    designs: &[Design],
+    trials_per_cell: usize,
+    max_episodes: usize,
+    seed: u64,
+) -> Figure5 {
+    generate_with(
+        workload,
+        WorkloadOptions::default(),
+        hidden_sizes,
+        designs,
+        trials_per_cell,
+        max_episodes,
+        seed,
+    )
+}
+
+/// Generate the Figure 5 sweep with explicit workload variant knobs (the
+/// CLI's `--torque-levels` axis).
+pub fn generate_with(
+    workload: Workload,
+    options: WorkloadOptions,
     hidden_sizes: &[usize],
     designs: &[Design],
     trials_per_cell: usize,
@@ -62,6 +87,7 @@ pub fn generate(
                         h,
                         seed ^ ((h as u64) << 16) ^ ((t as u64) << 4),
                     )
+                    .with_options(options)
                     .with_max_episodes(max_episodes)
                 })
                 .collect();
@@ -94,6 +120,7 @@ pub fn generate(
 
     Figure5 {
         workload,
+        options,
         cells,
         speedups_vs_dqn: speedups,
         trials_per_cell,

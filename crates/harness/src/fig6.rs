@@ -9,7 +9,7 @@
 use crate::runner::{run_trials, TrialSpec};
 use elmrl_core::designs::Design;
 use elmrl_core::ops::OpKind;
-use elmrl_gym::Workload;
+use elmrl_gym::{Workload, WorkloadOptions};
 use serde::{Deserialize, Serialize};
 
 /// Per-hidden-size FPGA timing detail.
@@ -38,13 +38,35 @@ pub struct FpgaDetail {
 pub struct Figure6 {
     /// Workload the detail ran on.
     pub workload: Workload,
+    /// Workload variant knobs the detail used.
+    pub options: WorkloadOptions,
     /// One row per hidden size.
     pub rows: Vec<FpgaDetail>,
 }
 
-/// Generate the Figure 6 detail on a workload for the given hidden sizes.
+/// Generate the Figure 6 detail on a workload for the given hidden sizes
+/// with the default [`WorkloadOptions`].
 pub fn generate(
     workload: Workload,
+    hidden_sizes: &[usize],
+    trials: usize,
+    max_episodes: usize,
+    seed: u64,
+) -> Figure6 {
+    generate_with(
+        workload,
+        WorkloadOptions::default(),
+        hidden_sizes,
+        trials,
+        max_episodes,
+        seed,
+    )
+}
+
+/// Generate the Figure 6 detail with explicit workload variant knobs.
+pub fn generate_with(
+    workload: Workload,
+    options: WorkloadOptions,
     hidden_sizes: &[usize],
     trials: usize,
     max_episodes: usize,
@@ -60,6 +82,7 @@ pub fn generate(
                     h,
                     seed ^ ((h as u64) << 20) ^ t as u64,
                 )
+                .with_options(options)
                 .with_max_episodes(max_episodes)
             })
             .collect();
@@ -87,7 +110,11 @@ pub fn generate(
             mean_seq_train_calls: mean(&|r| r.training.op_counts.count(OpKind::SeqTrain) as f64),
         });
     }
-    Figure6 { workload, rows }
+    Figure6 {
+        workload,
+        options,
+        rows,
+    }
 }
 
 /// Markdown rendering.

@@ -12,6 +12,9 @@
 //! * [`fig6`] — the FPGA design's execution-time detail (Figure 6);
 //! * [`ablation`] — the design-choice ablations called out in DESIGN.md
 //!   (Q-value clipping, random update, fixed-point precision);
+//! * [`summary`] — cross-environment aggregation: every
+//!   `results/<workload>/fig5.json` folded into one design × environment
+//!   matrix (the `summary` binary);
 //! * [`timing`] — the Cortex-A9 / 125 MHz-PL cost model that converts
 //!   operation counts into modeled on-device seconds;
 //! * [`runner`] — seeded, rayon-parallel trial execution shared by all of the
@@ -25,12 +28,15 @@
 //! 7-design matrix runs on every registered environment (CartPole,
 //! MountainCar, Pendulum, …) through one code path.
 //!
-//! Each binary (`table3`, `fig4`, `fig5`, `fig6`, `ablation`) accepts
-//! `--workload`, `--trials`, `--episodes`, `--hidden`, `--seed` and `--out`
-//! flags (see `--help`); the `ELMRL_TRIALS` / `ELMRL_EPISODES` /
-//! `ELMRL_HIDDEN` / `ELMRL_SEED` / `ELMRL_WORKLOAD` environment variables
-//! remain honoured as fallbacks so the same code path serves both a quick
-//! smoke run and the full paper protocol.
+//! Each experiment binary (`table3`, `fig4`, `fig5`, `fig6`, `ablation`,
+//! `population`) accepts `--workload`, `--trials`, `--episodes`, `--hidden`,
+//! `--seed`, `--torque-levels` and `--out` flags (see `--help`); the
+//! `population` binary adds `--population`, `--shards` and `--design` and
+//! drives the `elmrl-population` engine; the `summary` binary aggregates
+//! previously written `fig5.json` artefacts. The `ELMRL_TRIALS` /
+//! `ELMRL_EPISODES` / `ELMRL_HIDDEN` / `ELMRL_SEED` / `ELMRL_WORKLOAD`
+//! environment variables remain honoured as fallbacks so the same code path
+//! serves both a quick smoke run and the full paper protocol.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -42,6 +48,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod report;
 pub mod runner;
+pub mod summary;
 pub mod table3;
 pub mod timing;
 

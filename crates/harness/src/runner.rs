@@ -10,7 +10,7 @@ use crate::timing::{CostModel, ModeledTime};
 use elmrl_core::designs::{Design, DesignConfig};
 use elmrl_core::trainer::{Trainer, TrainerConfig, TrainingResult};
 use elmrl_fpga::{FpgaAgent, FpgaAgentConfig};
-use elmrl_gym::Workload;
+use elmrl_gym::{Workload, WorkloadOptions};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -22,6 +22,8 @@ use serde::{Deserialize, Serialize};
 pub struct TrialSpec {
     /// Workload (environment) under test.
     pub workload: Workload,
+    /// Workload variant knobs (e.g. the Pendulum torque discretisation).
+    pub options: WorkloadOptions,
     /// Design under test.
     pub design: Design,
     /// Hidden width `Ñ`.
@@ -40,7 +42,8 @@ impl TrialSpec {
     }
 
     /// A spec using the workload's own trainer protocol (solve criterion,
-    /// reward shaping, reset rule and episode budget from the registry).
+    /// reward shaping, reset rule and episode budget from the registry) and
+    /// the default [`WorkloadOptions`].
     pub fn for_workload(workload: Workload, design: Design, hidden_dim: usize, seed: u64) -> Self {
         let mut trainer = TrainerConfig::for_workload(&workload.spec());
         // The paper resets only the ELM/OS-ELM designs (§4.3).
@@ -49,11 +52,19 @@ impl TrialSpec {
         }
         Self {
             workload,
+            options: WorkloadOptions::default(),
             design,
             hidden_dim,
             seed,
             trainer,
         }
+    }
+
+    /// Override the workload variant knobs (the CLI's `--torque-levels`
+    /// axis).
+    pub fn with_options(mut self, options: WorkloadOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Override the episode budget.
@@ -97,7 +108,7 @@ impl TrialResult {
 
 /// Run one trial.
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
-    let env_spec = spec.workload.spec();
+    let env_spec = spec.workload.spec_with(spec.options);
     let mut rng = SmallRng::seed_from_u64(spec.seed);
     let mut env = env_spec.make_env();
     let trainer = Trainer::new(spec.trainer.clone());
@@ -266,7 +277,7 @@ mod tests {
             })
             .collect();
         let results = run_trials(&specs);
-        assert_eq!(results.len(), 3 * 7);
+        assert_eq!(results.len(), Workload::all().len() * 7);
         for r in &results {
             assert_eq!(r.training.episodes_run, 2, "{:?}", r.spec);
             assert!(r.training.total_steps > 0);
@@ -285,6 +296,24 @@ mod tests {
             assert_eq!(a.training.stats.returns, b.training.stats.returns);
             assert_eq!(a.training.total_steps, b.training.total_steps);
         }
+    }
+
+    #[test]
+    fn workload_options_thread_through_to_the_environment() {
+        let base =
+            TrialSpec::for_workload(Workload::Pendulum, Design::OsElmL2, 8, 5).with_max_episodes(2);
+        assert_eq!(base.options, WorkloadOptions::default());
+        let coarse = run_trial(&base);
+        let fine = run_trial(
+            &base
+                .clone()
+                .with_options(WorkloadOptions { torque_levels: 9 }),
+        );
+        assert_eq!(coarse.training.episodes_run, 2);
+        assert_eq!(fine.training.episodes_run, 2);
+        // A 9-level torque set changes the policy's action draws, so the
+        // trajectories must diverge from the 3-level default.
+        assert_ne!(coarse.training.stats.returns, fine.training.stats.returns);
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Cross-environment result aggregation (the design × environment matrix the
+//! paper's §5 extension table gestures at).
+//!
+//! [`collect`] reads every `results/<workload-slug>/fig5.json` previously
+//! written by the `fig5` binary and folds the per-cell summaries into one
+//! row per (design, workload) pair: trials, solve rate and mean modeled
+//! time-to-complete averaged over the hidden sizes that solved. Workloads
+//! whose `fig5.json` is missing are listed as skipped rather than failing
+//! the aggregation, so partial sweeps still summarise.
+
+use crate::fig5::Figure5;
+use elmrl_core::designs::Design;
+use elmrl_gym::Workload;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One aggregated (design, workload) cell of the summary matrix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SummaryCell {
+    /// Workload the cell aggregates.
+    pub workload: Workload,
+    /// Design label.
+    pub design: String,
+    /// Trials attempted across all hidden sizes.
+    pub trials: usize,
+    /// Trials that solved the task.
+    pub solved_trials: usize,
+    /// `solved_trials / trials`.
+    pub solve_rate: f64,
+    /// Mean modeled seconds to complete, averaged over the hidden-size cells
+    /// that have a value (`None` when nothing solved).
+    pub mean_time_to_complete: Option<f64>,
+    /// Mean episodes to solve, averaged the same way.
+    pub mean_episodes_to_solve: Option<f64>,
+}
+
+/// The full cross-environment summary.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Summary {
+    /// Workloads whose `fig5.json` was found and aggregated.
+    pub workloads: Vec<Workload>,
+    /// Workload slugs that had no `fig5.json` under the results root.
+    pub missing: Vec<String>,
+    /// Workload slugs whose `fig5.json` exists but could not be parsed
+    /// (typically written by an older version of the `fig5` binary) —
+    /// skipped rather than failing the whole aggregation.
+    pub unreadable: Vec<String>,
+    /// One cell per (design, aggregated workload).
+    pub cells: Vec<SummaryCell>,
+}
+
+/// Aggregate one deserialized [`Figure5`] into per-design summary cells.
+fn aggregate(fig: &Figure5) -> Vec<SummaryCell> {
+    Design::all_designs()
+        .iter()
+        .filter_map(|design| {
+            let cells: Vec<_> = fig.cells.iter().filter(|c| c.design == *design).collect();
+            if cells.is_empty() {
+                return None;
+            }
+            let trials: usize = cells.iter().map(|c| c.trials).sum();
+            let solved: usize = cells.iter().map(|c| c.solved_trials).sum();
+            let mean = |values: Vec<f64>| {
+                if values.is_empty() {
+                    None
+                } else {
+                    Some(values.iter().sum::<f64>() / values.len() as f64)
+                }
+            };
+            Some(SummaryCell {
+                workload: fig.workload,
+                design: design.label().to_string(),
+                trials,
+                solved_trials: solved,
+                solve_rate: if trials > 0 {
+                    solved as f64 / trials as f64
+                } else {
+                    0.0
+                },
+                mean_time_to_complete: mean(
+                    cells
+                        .iter()
+                        .filter_map(|c| c.mean_time_to_complete)
+                        .collect(),
+                ),
+                mean_episodes_to_solve: mean(
+                    cells
+                        .iter()
+                        .filter_map(|c| c.mean_episodes_to_solve)
+                        .collect(),
+                ),
+            })
+        })
+        .collect()
+}
+
+/// Read every `<results_root>/<slug>/fig5.json` and build the summary.
+pub fn collect(results_root: &Path) -> std::io::Result<Summary> {
+    let mut summary = Summary {
+        workloads: Vec::new(),
+        missing: Vec::new(),
+        unreadable: Vec::new(),
+        cells: Vec::new(),
+    };
+    for workload in Workload::all() {
+        let path = results_root.join(workload.slug()).join("fig5.json");
+        if !path.exists() {
+            summary.missing.push(workload.slug().to_string());
+            continue;
+        }
+        let json = std::fs::read_to_string(&path)?;
+        // A parse failure usually means the artefact predates the current
+        // Figure5 schema; skip that workload instead of failing the whole
+        // aggregation so the remaining fig5 runs still summarise.
+        match serde_json::from_str::<Figure5>(&json) {
+            Ok(fig) => {
+                summary.workloads.push(workload);
+                summary.cells.extend(aggregate(&fig));
+            }
+            Err(_) => summary.unreadable.push(workload.slug().to_string()),
+        }
+    }
+    Ok(summary)
+}
+
+/// Markdown rendering: one row per design, one column pair per workload
+/// (`modeled s` and `solve rate`), `-` where a workload was not aggregated.
+pub fn to_markdown(summary: &Summary) -> String {
+    let mut headers: Vec<String> = vec!["design".into()];
+    for w in &summary.workloads {
+        headers.push(format!("{w} modeled s"));
+        headers.push(format!("{w} solve rate"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut designs: Vec<&str> = Vec::new();
+    for cell in &summary.cells {
+        if !designs.contains(&cell.design.as_str()) {
+            designs.push(&cell.design);
+        }
+    }
+    let rows: Vec<Vec<String>> = designs
+        .iter()
+        .map(|design| {
+            let mut row = vec![design.to_string()];
+            for w in &summary.workloads {
+                let cell = summary
+                    .cells
+                    .iter()
+                    .find(|c| c.design == *design && c.workload == *w);
+                row.push(crate::report::fmt_opt(
+                    cell.and_then(|c| c.mean_time_to_complete),
+                ));
+                row.push(match cell {
+                    Some(c) => format!("{}/{}", c.solved_trials, c.trials),
+                    None => "-".into(),
+                });
+            }
+            row
+        })
+        .collect();
+    crate::report::markdown_table(&header_refs, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig5;
+
+    fn tmp_root(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("elmrl_summary_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn collects_written_fig5_results_and_reports_missing_ones() {
+        let root = tmp_root("roundtrip");
+        let _ = std::fs::remove_dir_all(&root);
+        // Write a tiny real fig5.json for two workloads only.
+        for workload in [Workload::CartPole, Workload::Acrobot] {
+            let fig = fig5::generate(
+                workload,
+                &[8],
+                &[Design::OsElmL2Lipschitz, Design::Dqn],
+                1,
+                2,
+                5,
+            );
+            crate::report::write_json(&root.join(workload.slug()), "fig5.json", &fig).unwrap();
+        }
+
+        // A stale artefact from an older schema must be skipped, not fatal.
+        crate::report::write_text(
+            &root.join("pendulum"),
+            "fig5.json",
+            "{\"workload\": \"Pendulum\"}",
+        )
+        .unwrap();
+
+        let summary = collect(&root).unwrap();
+        assert_eq!(
+            summary.workloads,
+            vec![Workload::CartPole, Workload::Acrobot]
+        );
+        assert_eq!(summary.missing, vec!["mountain-car"]);
+        assert_eq!(summary.unreadable, vec!["pendulum"]);
+        // 2 designs × 2 aggregated workloads.
+        assert_eq!(summary.cells.len(), 4);
+        for cell in &summary.cells {
+            assert_eq!(cell.trials, 1);
+            assert!((0.0..=1.0).contains(&cell.solve_rate));
+        }
+
+        let md = to_markdown(&summary);
+        assert!(md.contains("design"));
+        assert!(md.contains("cart-pole modeled s"));
+        assert!(md.contains("acrobot solve rate"));
+        assert!(md.contains("OS-ELM-L2-Lipschitz"));
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_results_root_summarises_to_nothing() {
+        let root = tmp_root("empty");
+        let _ = std::fs::remove_dir_all(&root);
+        let summary = collect(&root).unwrap();
+        assert!(summary.workloads.is_empty());
+        assert!(summary.cells.is_empty());
+        assert!(summary.unreadable.is_empty());
+        assert_eq!(summary.missing.len(), Workload::all().len());
+    }
+}

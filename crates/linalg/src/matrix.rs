@@ -253,6 +253,22 @@ impl<T: Scalar> Matrix<T> {
         self.data.chunks_exact(self.cols)
     }
 
+    /// Copy the listed rows (in the given order, duplicates allowed) into a
+    /// new `indices.len() × cols` matrix. This is the packing primitive the
+    /// population engine uses to assemble the state batch of the still-active
+    /// replicas before a batched forward pass.
+    pub fn gather_rows(&self, indices: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &r in indices {
+            data.extend_from_slice(self.row(r));
+        }
+        Self {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
     /// Iterator over all elements in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.data.iter()
@@ -662,6 +678,24 @@ mod tests {
         assert_eq!(h[(1, 5)], 6.0);
         assert!(a.vstack(&Matrix::zeros(1, 2)).is_err());
         assert!(a.hstack(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn gather_rows_selects_reorders_and_duplicates() {
+        let a = sample();
+        let g = a.gather_rows(&[1, 0, 1]);
+        assert_eq!(g.shape(), (3, 3));
+        assert_eq!(g.row(0), a.row(1));
+        assert_eq!(g.row(1), a.row(0));
+        assert_eq!(g.row(2), a.row(1));
+        let empty = a.gather_rows(&[]);
+        assert_eq!(empty.shape(), (0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_rows_rejects_out_of_range_indices() {
+        let _ = sample().gather_rows(&[2]);
     }
 
     #[test]

@@ -1,0 +1,571 @@
+//! The population execution engine.
+//!
+//! [`PopulationRunner`] trains K replicated agents of **one design** on
+//! **one workload**, sharded across rayon worker threads. Each shard drives
+//! its replicas **in lockstep** through an [`elmrl_gym::VecEnv`] — one
+//! environment step per replica per engine tick, auto-reset on episode end —
+//! rather than looping whole trials, so the engine is the serving-shaped
+//! execution path the ROADMAP's batch/replicated-serving item asks for.
+//!
+//! Reproducibility: all randomness is derived from the master seed and each
+//! replica's **global index** (see [`crate::seed`]); the shared
+//! [`EnvSpec`] is read-only. The aggregate [`PopulationReport`] is therefore
+//! byte-identical for any `--shards` value, which the determinism tests and
+//! the CI smoke run assert.
+//!
+//! After training, every replica's final policy is scored by a **greedy
+//! evaluation pass**: `eval_episodes` environments step in lockstep while
+//! the replica's network evaluates all still-running episodes in one
+//! batched forward ([`BatchAgent::predict_batch`] over
+//! [`Matrix::gather_rows`]-packed states) — the batched-inference path the
+//! `population_throughput` benchmark measures in isolation.
+
+use crate::seed::{replica_eval_seed, replica_train_seed};
+use elmrl_core::agent::Observation;
+use elmrl_core::batch::BatchAgent;
+use elmrl_core::designs::{Design, DesignConfig};
+use elmrl_fpga::{FpgaAgent, FpgaAgentConfig};
+use elmrl_gym::{EnvSpec, VecEnv, Workload, WorkloadOptions};
+use elmrl_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Configuration of one population run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Workload every replica trains on.
+    pub workload: Workload,
+    /// Workload variant knobs (e.g. Pendulum torque discretisation).
+    pub options: WorkloadOptions,
+    /// The replicated design.
+    pub design: Design,
+    /// Hidden width `Ñ` of every replica.
+    pub hidden_dim: usize,
+    /// Number of replicas K.
+    pub population: usize,
+    /// Number of shards the replicas are partitioned into (each shard is one
+    /// rayon task). Affects scheduling only — never results.
+    pub shards: usize,
+    /// Master seed; per-replica streams are split from it.
+    pub seed: u64,
+    /// Episode budget per replica.
+    pub max_episodes: usize,
+    /// Lockstep greedy-evaluation episodes per replica after training
+    /// (0 disables the evaluation pass).
+    pub eval_episodes: usize,
+}
+
+impl PopulationConfig {
+    /// A configuration using the workload's registry defaults (episode
+    /// budget from the spec; reset rule resolved per design at run time).
+    pub fn new(workload: Workload, design: Design, hidden_dim: usize, population: usize) -> Self {
+        let spec = workload.spec();
+        Self {
+            workload,
+            options: WorkloadOptions::default(),
+            design,
+            hidden_dim,
+            population,
+            shards: 1,
+            seed: 42,
+            max_episodes: spec.defaults.max_episodes,
+            eval_episodes: 8,
+        }
+    }
+}
+
+/// The outcome of one replica — the population analogue of a trial result.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaOutcome {
+    /// Global replica index (stable across shard layouts).
+    pub replica: usize,
+    /// The replica's training-stream seed.
+    pub seed: u64,
+    /// Whether the solve criterion fired within the episode budget.
+    pub solved: bool,
+    /// Episode index (0-based) at which the criterion fired.
+    pub solved_at_episode: Option<usize>,
+    /// Episodes actually run.
+    pub episodes_run: usize,
+    /// Environment steps taken.
+    pub total_steps: usize,
+    /// Times the reset rule fired.
+    pub resets: usize,
+    /// Mean raw return of the post-training greedy evaluation episodes
+    /// (`None` when the evaluation pass is disabled).
+    pub greedy_eval_return: Option<f64>,
+}
+
+/// Aggregate statistics over the whole population. Everything in this report
+/// (and in the per-replica list) is independent of the shard count, so the
+/// serialized JSON is byte-identical for any `shards` setting.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PopulationReport {
+    /// Workload the population ran on.
+    pub workload: Workload,
+    /// Workload variant knobs the run used.
+    pub options: WorkloadOptions,
+    /// Design label of every replica.
+    pub design: String,
+    /// Hidden width.
+    pub hidden_dim: usize,
+    /// Population size K.
+    pub population: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Episode budget per replica.
+    pub max_episodes: usize,
+    /// Greedy-evaluation episodes per replica.
+    pub eval_episodes: usize,
+    /// Fraction of replicas that solved the task.
+    pub solve_rate: f64,
+    /// Number of replicas that solved the task.
+    pub solved: usize,
+    /// Quantiles of episodes-to-solve over the solved replicas
+    /// (p25/p50/p75/p90, nearest-rank; `None` when nothing solved).
+    pub episodes_to_solve: QuantileSummary,
+    /// Mean greedy evaluation return over all replicas (`None` when the
+    /// evaluation pass is disabled).
+    pub mean_greedy_eval_return: Option<f64>,
+    /// Per-replica outcomes in global replica order.
+    pub replicas: Vec<ReplicaOutcome>,
+}
+
+/// Nearest-rank quantiles of a sample (empty sample ⇒ all `None`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSummary {
+    /// Sample size.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: Option<f64>,
+    /// 25th percentile.
+    pub p25: Option<f64>,
+    /// Median.
+    pub p50: Option<f64>,
+    /// 75th percentile.
+    pub p75: Option<f64>,
+    /// 90th percentile.
+    pub p90: Option<f64>,
+}
+
+impl QuantileSummary {
+    /// Summarise a sample (order irrelevant).
+    pub fn of(values: &[f64]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantiles need ordered values"));
+        let q = |p: f64| -> Option<f64> {
+            if sorted.is_empty() {
+                return None;
+            }
+            // Nearest-rank: the smallest value with at least p·n sample mass.
+            let rank = (p * sorted.len() as f64).ceil() as usize;
+            Some(sorted[rank.clamp(1, sorted.len()) - 1])
+        };
+        Self {
+            count: sorted.len(),
+            mean: if sorted.is_empty() {
+                None
+            } else {
+                Some(sorted.iter().sum::<f64>() / sorted.len() as f64)
+            },
+            p25: q(0.25),
+            p50: q(0.50),
+            p75: q(0.75),
+            p90: q(0.90),
+        }
+    }
+}
+
+/// The sharded lockstep executor.
+#[derive(Clone, Debug)]
+pub struct PopulationRunner {
+    config: PopulationConfig,
+}
+
+impl PopulationRunner {
+    /// Create a runner. Panics on an empty population or zero shards.
+    pub fn new(config: PopulationConfig) -> Self {
+        assert!(config.population > 0, "population must be positive");
+        assert!(config.shards > 0, "need at least one shard");
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PopulationConfig {
+        &self.config
+    }
+
+    /// Contiguous replica ranges, one per (non-empty) shard.
+    fn shard_ranges(&self) -> Vec<Range<usize>> {
+        let k = self.config.population;
+        let s = self.config.shards.min(k);
+        let base = k / s;
+        let extra = k % s;
+        let mut ranges = Vec::with_capacity(s);
+        let mut start = 0;
+        for shard in 0..s {
+            let len = base + usize::from(shard < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
+
+    /// Execute the population and aggregate the report.
+    pub fn run(&self) -> PopulationReport {
+        let spec = self.config.workload.spec_with(self.config.options);
+        let ranges = self.shard_ranges();
+        let replicas: Vec<ReplicaOutcome> = ranges
+            .par_iter()
+            .map(|range| run_shard(&spec, &self.config, range.clone()))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
+
+        let solved: Vec<&ReplicaOutcome> = replicas.iter().filter(|r| r.solved).collect();
+        let episodes: Vec<f64> = solved
+            .iter()
+            .filter_map(|r| r.solved_at_episode.map(|e| e as f64 + 1.0))
+            .collect();
+        let eval_returns: Vec<f64> = replicas
+            .iter()
+            .filter_map(|r| r.greedy_eval_return)
+            .collect();
+        PopulationReport {
+            workload: self.config.workload,
+            options: self.config.options,
+            design: self.config.design.label().to_string(),
+            hidden_dim: self.config.hidden_dim,
+            population: self.config.population,
+            seed: self.config.seed,
+            max_episodes: self.config.max_episodes,
+            eval_episodes: self.config.eval_episodes,
+            solve_rate: solved.len() as f64 / replicas.len() as f64,
+            solved: solved.len(),
+            episodes_to_solve: QuantileSummary::of(&episodes),
+            mean_greedy_eval_return: if eval_returns.is_empty() {
+                None
+            } else {
+                Some(eval_returns.iter().sum::<f64>() / eval_returns.len() as f64)
+            },
+            replicas,
+        }
+    }
+}
+
+/// Build one replica's agent behind the batched-inference interface.
+fn build_replica_agent(
+    design: Design,
+    spec: &EnvSpec,
+    hidden_dim: usize,
+    rng: &mut SmallRng,
+) -> Box<dyn BatchAgent> {
+    match design {
+        Design::Fpga => Box::new(FpgaAgent::new(
+            FpgaAgentConfig::for_workload(spec, hidden_dim),
+            rng,
+        )),
+        software => software.build_batch(&DesignConfig::for_workload(spec, hidden_dim), rng),
+    }
+}
+
+/// Per-replica bookkeeping while the shard steps in lockstep.
+struct ReplicaState {
+    episode_return: f64,
+    returns: Vec<f64>,
+    episodes_since_reset: usize,
+    episodes_run: usize,
+    total_steps: usize,
+    resets: usize,
+    solved_at: Option<usize>,
+    active: bool,
+}
+
+/// Train the shard's replicas in lockstep and evaluate their final policies.
+fn run_shard(
+    spec: &EnvSpec,
+    config: &PopulationConfig,
+    range: Range<usize>,
+) -> Vec<ReplicaOutcome> {
+    let b = range.len();
+    if b == 0 {
+        return Vec::new();
+    }
+    // The paper resets only the ELM/OS-ELM designs (§4.3), as in `run_trial`.
+    let reset_after = if config.design == Design::Dqn {
+        None
+    } else {
+        spec.defaults.reset_after_episodes
+    };
+
+    let train_seeds: Vec<u64> = range
+        .clone()
+        .map(|i| replica_train_seed(config.seed, i))
+        .collect();
+    let mut rngs: Vec<SmallRng> = train_seeds
+        .iter()
+        .map(|&s| SmallRng::seed_from_u64(s))
+        .collect();
+    let mut agents: Vec<Box<dyn BatchAgent>> = rngs
+        .iter_mut()
+        .map(|rng| build_replica_agent(config.design, spec, config.hidden_dim, rng))
+        .collect();
+
+    let mut vec_env = VecEnv::from_spec(spec, b);
+    vec_env.reset_all(&mut rngs);
+    let mut states: Vec<ReplicaState> = (0..b)
+        .map(|_| ReplicaState {
+            episode_return: 0.0,
+            returns: Vec::new(),
+            episodes_since_reset: 0,
+            episodes_run: 0,
+            total_steps: 0,
+            resets: 0,
+            solved_at: None,
+            active: config.max_episodes > 0,
+        })
+        .collect();
+
+    while states.iter().any(|s| s.active) {
+        // Determine: each replica acts on its own slot from its own stream.
+        let mut pre_step: Vec<Option<(Vec<f64>, usize)>> = Vec::with_capacity(b);
+        for j in 0..b {
+            pre_step.push(states[j].active.then(|| {
+                let state = vec_env.state(j).to_vec();
+                let action = agents[j].act(&state, &mut rngs[j]);
+                (state, action)
+            }));
+        }
+        let actions: Vec<Option<usize>> = pre_step
+            .iter()
+            .map(|p| p.as_ref().map(|&(_, a)| a))
+            .collect();
+
+        // Observe: one lockstep environment tick with auto-reset.
+        let outs = vec_env.step(&actions, &mut rngs);
+
+        // Store/Update + episode bookkeeping per replica.
+        for j in 0..b {
+            let (Some((state, action)), Some(step)) = (&pre_step[j], &outs[j]) else {
+                continue;
+            };
+            let st = &mut states[j];
+            st.total_steps += 1;
+            st.episode_return += step.outcome.reward;
+            let shaped = spec.reward_shaping.shape(
+                step.outcome.reward,
+                step.outcome.done,
+                step.outcome.truncated,
+            );
+            agents[j].observe(
+                &Observation {
+                    state: state.clone(),
+                    action: *action,
+                    reward: shaped,
+                    next_state: step.outcome.observation.clone(),
+                    done: step.outcome.done,
+                    truncated: step.outcome.truncated,
+                },
+                &mut rngs[j],
+            );
+            if !step.auto_reset {
+                continue;
+            }
+            // Episode finished (the slot already holds the next episode's
+            // initial observation): same protocol as the scalar trainer.
+            let episode = st.episodes_run;
+            agents[j].end_episode(episode);
+            st.episodes_run += 1;
+            st.episodes_since_reset += 1;
+            st.returns.push(st.episode_return);
+            let episode_return = st.episode_return;
+            st.episode_return = 0.0;
+            if st.solved_at.is_none() && spec.solve_criterion.met(&st.returns, episode_return) {
+                st.solved_at = Some(episode);
+                st.active = false;
+            } else if st.episodes_run >= config.max_episodes {
+                st.active = false;
+            } else if st.solved_at.is_none() {
+                if let Some(after) = reset_after {
+                    if st.episodes_since_reset >= after {
+                        agents[j].reset(&mut rngs[j]);
+                        st.resets += 1;
+                        st.episodes_since_reset = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    // Evaluate: batched greedy rollout of each replica's final policy.
+    range
+        .zip(states)
+        .zip(agents.iter_mut())
+        .zip(train_seeds)
+        .map(|(((replica, st), agent), seed)| ReplicaOutcome {
+            replica,
+            seed,
+            solved: st.solved_at.is_some(),
+            solved_at_episode: st.solved_at,
+            episodes_run: st.episodes_run,
+            total_steps: st.total_steps,
+            resets: st.resets,
+            greedy_eval_return: greedy_eval(
+                agent.as_mut(),
+                spec,
+                replica_eval_seed(config.seed, replica),
+                config.eval_episodes,
+            ),
+        })
+        .collect()
+}
+
+/// Run `episodes` greedy episodes in lockstep, scoring every still-running
+/// episode with **one** batched forward pass per tick, and return the mean
+/// raw return. This is where `predict_batch` earns its matmul: B states ×
+/// A actions collapse into a single `(B·A) × n` product.
+fn greedy_eval(
+    agent: &mut dyn BatchAgent,
+    spec: &EnvSpec,
+    eval_seed: u64,
+    episodes: usize,
+) -> Option<f64> {
+    if episodes == 0 {
+        return None;
+    }
+    let mut rngs: Vec<SmallRng> = (0..episodes)
+        .map(|e| SmallRng::seed_from_u64(crate::seed::split_seed(eval_seed, e as u64)))
+        .collect();
+    let mut vec_env = VecEnv::from_spec(spec, episodes);
+    vec_env.reset_all(&mut rngs);
+    let mut finished = vec![false; episodes];
+    let mut returns = vec![0.0f64; episodes];
+    while finished.iter().any(|f| !f) {
+        let running: Vec<usize> = (0..episodes).filter(|&e| !finished[e]).collect();
+        // One batched forward for every running episode.
+        let batch: Matrix<f64> = vec_env.states().gather_rows(&running);
+        let greedy = agent.act_batch_greedy(&batch);
+        let mut actions: Vec<Option<usize>> = vec![None; episodes];
+        for (row, &e) in running.iter().enumerate() {
+            actions[e] = Some(greedy[row]);
+        }
+        let outs = vec_env.step(&actions, &mut rngs);
+        for (e, out) in outs.iter().enumerate() {
+            let Some(step) = out else { continue };
+            returns[e] += step.outcome.reward;
+            if step.auto_reset {
+                // Exactly one episode per slot: stop at the first finish.
+                finished[e] = true;
+            }
+        }
+    }
+    Some(returns.iter().sum::<f64>() / episodes as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(shards: usize) -> PopulationConfig {
+        let mut config = PopulationConfig::new(Workload::CartPole, Design::OsElmL2Lipschitz, 8, 6);
+        config.shards = shards;
+        config.seed = 11;
+        config.max_episodes = 4;
+        config.eval_episodes = 3;
+        config
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let q = QuantileSummary::of(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(q.count, 4);
+        assert_eq!(q.mean, Some(25.0));
+        assert_eq!(q.p25, Some(10.0));
+        assert_eq!(q.p50, Some(20.0));
+        assert_eq!(q.p75, Some(30.0));
+        assert_eq!(q.p90, Some(40.0));
+        let empty = QuantileSummary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p50, None);
+        let one = QuantileSummary::of(&[7.0]);
+        assert_eq!(one.p25, Some(7.0));
+        assert_eq!(one.p90, Some(7.0));
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_population() {
+        let mut config = tiny_config(4);
+        config.population = 10;
+        let runner = PopulationRunner::new(config);
+        let ranges = runner.shard_ranges();
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0], 0..3);
+        assert_eq!(ranges[1], 3..6);
+        assert_eq!(ranges[2], 6..8);
+        assert_eq!(ranges[3], 8..10);
+        // More shards than replicas: clamped, never empty.
+        let mut config = tiny_config(9);
+        config.population = 3;
+        let ranges = PopulationRunner::new(config).shard_ranges();
+        assert_eq!(ranges.len(), 3);
+        assert!(ranges.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn report_covers_every_replica_in_order() {
+        let report = PopulationRunner::new(tiny_config(2)).run();
+        assert_eq!(report.population, 6);
+        assert_eq!(report.replicas.len(), 6);
+        for (i, r) in report.replicas.iter().enumerate() {
+            assert_eq!(r.replica, i);
+            assert_eq!(r.seed, replica_train_seed(11, i));
+            assert!(r.episodes_run >= 1 && r.episodes_run <= 4);
+            assert!(r.total_steps >= r.episodes_run);
+            assert!(r.greedy_eval_return.is_some());
+        }
+        assert_eq!(
+            report.solved,
+            report.replicas.iter().filter(|r| r.solved).count()
+        );
+        assert!((0.0..=1.0).contains(&report.solve_rate));
+        assert_eq!(report.design, "OS-ELM-L2-Lipschitz");
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let baseline = PopulationRunner::new(tiny_config(1)).run();
+        for shards in [2, 3, 6] {
+            let sharded = PopulationRunner::new(tiny_config(shards)).run();
+            assert_eq!(baseline, sharded, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn fpga_design_runs_through_the_population_path() {
+        let mut config = tiny_config(2);
+        config.design = Design::Fpga;
+        config.population = 2;
+        config.max_episodes = 2;
+        let report = PopulationRunner::new(config).run();
+        assert_eq!(report.design, "FPGA");
+        assert_eq!(report.replicas.len(), 2);
+    }
+
+    #[test]
+    fn eval_pass_can_be_disabled() {
+        let mut config = tiny_config(1);
+        config.eval_episodes = 0;
+        config.population = 2;
+        config.max_episodes = 2;
+        let report = PopulationRunner::new(config).run();
+        assert!(report.mean_greedy_eval_return.is_none());
+        assert!(report
+            .replicas
+            .iter()
+            .all(|r| r.greedy_eval_return.is_none()));
+    }
+}

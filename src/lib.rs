@@ -12,7 +12,10 @@
 //! * [`elm`] — ELM / OS-ELM / ReOS-ELM learners with spectral normalization;
 //! * [`core`] — the ELM/OS-ELM Q-Networks, DQN agent, trainer and designs;
 //! * [`fpga`] — the PYNQ-Z1 resource model, Q20 datapath core and FPGA agent;
-//! * [`harness`] — the experiment runners for Table 3 and Figures 4–6.
+//! * [`population`] — the population execution engine: sharded replicated
+//!   agents over vectorized environments with batched Q inference;
+//! * [`harness`] — the experiment runners for Table 3 and Figures 4–6, the
+//!   population binary and the cross-environment summary.
 //!
 //! ```
 //! use elm_rl::core::designs::{Design, DesignConfig};
@@ -38,3 +41,4 @@ pub use elmrl_gym as gym;
 pub use elmrl_harness as harness;
 pub use elmrl_linalg as linalg;
 pub use elmrl_nn as nn;
+pub use elmrl_population as population;

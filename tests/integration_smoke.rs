@@ -3,8 +3,9 @@
 //! in for spectral normalisation) trains on CartPole for a handful of
 //! episodes from a fixed seed, exercising the whole
 //! linalg → elm → core → gym stack through the public facade — plus the same
-//! check for every design on the MountainCar and Pendulum workloads through
-//! the environment-generic harness pipeline.
+//! check for every design on the MountainCar, Pendulum and Acrobot workloads
+//! through the environment-generic harness pipeline, and a shard-invariance
+//! smoke of the population engine.
 
 use elm_rl::core::designs::{Design, DesignConfig};
 use elm_rl::core::trainer::{Trainer, TrainerConfig, TrainingResult};
@@ -114,4 +115,38 @@ fn every_design_trains_on_pendulum_deterministically() {
     let b = run_workload(Workload::Pendulum, Design::Dqn, 3);
     assert_eq!(a.stats.returns, b.stats.returns);
     assert_eq!(a.total_steps, b.total_steps);
+}
+
+#[test]
+fn every_design_trains_on_acrobot_deterministically() {
+    for design in Design::all_designs() {
+        let result = run_workload(Workload::Acrobot, design, 2);
+        // Acrobot pays −1 per non-terminal step for at most 500 steps.
+        assert_episode_stats(Workload::Acrobot, design, &result, 2, (-500.0, 0.0));
+    }
+    let a = run_workload(Workload::Acrobot, Design::OsElmL2Lipschitz, 2);
+    let b = run_workload(Workload::Acrobot, Design::OsElmL2Lipschitz, 2);
+    assert_eq!(a.stats.returns, b.stats.returns);
+    assert_eq!(a.total_steps, b.total_steps);
+}
+
+#[test]
+fn population_engine_runs_through_the_facade() {
+    use elm_rl::population::{PopulationConfig, PopulationRunner};
+
+    let mut config = PopulationConfig::new(Workload::CartPole, Design::OsElmL2Lipschitz, 8, 4);
+    config.seed = SEED;
+    config.max_episodes = 3;
+    config.eval_episodes = 2;
+    config.shards = 2;
+    let report = PopulationRunner::new(config.clone()).run();
+    assert_eq!(report.replicas.len(), 4);
+    assert!(report
+        .replicas
+        .iter()
+        .all(|r| r.episodes_run >= 1 && r.total_steps >= r.episodes_run));
+
+    // The aggregate is shard-invariant.
+    config.shards = 4;
+    assert_eq!(report, PopulationRunner::new(config).run());
 }
