@@ -9,7 +9,7 @@ use rand::{rngs::SmallRng, SeedableRng};
 fn bench_kernels(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(9);
     let mut group = c.benchmark_group("linalg_kernels");
-    for n in [32usize, 64, 128] {
+    for n in [32usize, 64, 128, 256] {
         let a = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
         let b = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
         group.bench_with_input(BenchmarkId::new("matmul_naive", n), &n, |bench, _| {
@@ -17,6 +17,19 @@ fn bench_kernels(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("matmul_blocked", n), &n, |bench, _| {
             bench.iter(|| a.matmul_blocked(&b, 64))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_packed", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_packed(&b))
+        });
+        // The steady-state form of the hot paths: workspace reuse, no
+        // allocation inside the timed region.
+        group.bench_with_input(BenchmarkId::new("matmul_packed_into", n), &n, |bench, _| {
+            let mut pack = Vec::new();
+            let mut out = Matrix::<f64>::zeros(n, n);
+            bench.iter(|| {
+                a.matmul_packed_into(&b, &mut pack, &mut out);
+                out[(0, 0)]
+            })
         });
         let spd = &a.t_matmul(&a) + &Matrix::identity(n).scale(0.5);
         group.bench_with_input(BenchmarkId::new("inverse_spd", n), &n, |bench, _| {

@@ -1,0 +1,174 @@
+//! Wall-clock scaling of the population engine over the thread pool — the
+//! PR-4 acceptance benchmark, and the writer of the first perf-trajectory
+//! entry (`BENCH_PR4.json`).
+//!
+//! One fixed workload — CartPole, K = 32 replicas of OS-ELM-L2-Lipschitz at
+//! `Ñ = 64`, 4 shards — is executed end to end at pool sizes 1, 2 and 4.
+//! Per-replica RNG streams are split from the master seed by global replica
+//! index, so the aggregate report is **byte-identical at every thread
+//! count** (asserted here on every run); only wall-clock changes. On a
+//! multi-core host, `--shards 4 --threads 4` is expected to be ≥ 2× faster
+//! than `--threads 1`; on a single-core container the numbers honestly show
+//! ~1× (the pool cannot conjure parallelism the machine does not have),
+//! which is why `BENCH_PR4.json` records the measured host parallelism next
+//! to the speedups.
+//!
+//! After the scaling group, the trajectory entry is assembled from explicit
+//! timing loops (not the criterion samples) and written to
+//! `BENCH_PR4.json` in the working directory: steps/sec per thread count
+//! plus naive- and packed-kernel matmul GFLOP/s at n = 128.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_core::designs::Design;
+use elmrl_gym::Workload;
+use elmrl_linalg::random::uniform_matrix;
+use elmrl_population::{PopulationConfig, PopulationRunner};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The benchmarked population: the ISSUE's acceptance configuration.
+fn scaling_config() -> PopulationConfig {
+    let mut config = PopulationConfig::new(Workload::CartPole, Design::OsElmL2Lipschitz, 64, 32);
+    config.shards = 4;
+    config.seed = 2026;
+    config.max_episodes = 8;
+    config.eval_episodes = 4;
+    config
+}
+
+fn bench_population_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population_scaling");
+    group.sample_size(5);
+    let reference = serde_json::to_string(&PopulationRunner::new(scaling_config()).run())
+        .expect("population report serializes");
+    for &threads in &THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("cartpole_k32_shards4", threads),
+            &threads,
+            |bench, &threads| {
+                rayon::set_num_threads(threads);
+                bench.iter(|| PopulationRunner::new(scaling_config()).run().solved)
+            },
+        );
+        // Scheduling must never leak into results: re-check at this size.
+        let report = serde_json::to_string(&PopulationRunner::new(scaling_config()).run())
+            .expect("population report serializes");
+        assert_eq!(
+            reference, report,
+            "population report diverged at {threads} threads"
+        );
+    }
+    rayon::set_num_threads(1);
+    group.finish();
+}
+
+#[derive(Serialize)]
+struct ScalingEntry {
+    threads: usize,
+    wall_seconds: f64,
+    steps_per_second: f64,
+    speedup_vs_one_thread: f64,
+}
+
+#[derive(Serialize)]
+struct MatmulEntry {
+    kernel: String,
+    n: usize,
+    gflops: f64,
+}
+
+#[derive(Serialize)]
+struct BenchTrajectory {
+    pr: usize,
+    benchmark: String,
+    host_available_parallelism: usize,
+    population: Vec<ScalingEntry>,
+    matmul: Vec<MatmulEntry>,
+}
+
+/// Time one full population run and return (wall seconds, environment steps).
+fn timed_run() -> (f64, usize) {
+    let start = Instant::now();
+    let report = PopulationRunner::new(scaling_config()).run();
+    let wall = start.elapsed().as_secs_f64();
+    let steps: usize = report.replicas.iter().map(|r| r.total_steps).sum();
+    (wall, steps)
+}
+
+fn best_matmul_gflops(kernel: &str, n: usize) -> MatmulEntry {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let a = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+    let b = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+    let mut best = f64::INFINITY;
+    // Two untimed warm-up products, then best-of-15 — the minimum is the
+    // least noise-contaminated estimate of the kernel's true cost.
+    for rep in 0..17 {
+        let start = Instant::now();
+        let out = match kernel {
+            "naive" => a.matmul(&b),
+            _ => a.matmul_packed(&b),
+        };
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(out[(0, 0)]);
+        if rep >= 2 {
+            best = best.min(elapsed);
+        }
+    }
+    MatmulEntry {
+        kernel: kernel.to_string(),
+        n,
+        gflops: (2 * n * n * n) as f64 / best / 1e9,
+    }
+}
+
+/// Assemble and write `BENCH_PR4.json` — the first entry of the repo's perf
+/// trajectory, consumed by CI and by later PRs as the comparison baseline.
+fn write_trajectory(_c: &mut Criterion) {
+    let mut population = Vec::new();
+    let mut one_thread_wall = f64::NAN;
+    for &threads in &THREAD_COUNTS {
+        rayon::set_num_threads(threads);
+        let (_, _) = timed_run(); // warm-up (pool spawn, allocator steady state)
+        let (wall, steps) = timed_run();
+        if threads == 1 {
+            one_thread_wall = wall;
+        }
+        population.push(ScalingEntry {
+            threads,
+            wall_seconds: wall,
+            steps_per_second: steps as f64 / wall,
+            speedup_vs_one_thread: one_thread_wall / wall,
+        });
+    }
+    rayon::set_num_threads(1);
+
+    let trajectory = BenchTrajectory {
+        pr: 4,
+        benchmark: "population cart-pole K=32 shards=4 hidden=64 (OS-ELM-L2-Lipschitz)".to_string(),
+        host_available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        population,
+        matmul: vec![
+            best_matmul_gflops("naive", 128),
+            best_matmul_gflops("packed", 128),
+        ],
+    };
+    let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+    // Anchor to the workspace root — `cargo bench` runs with the package
+    // directory as the working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    std::fs::write(path, &json).expect("write BENCH_PR4.json");
+    eprintln!("wrote BENCH_PR4.json:\n{json}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_population_scaling, write_trajectory
+}
+criterion_main!(benches);

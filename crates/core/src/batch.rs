@@ -25,6 +25,7 @@ use crate::encoding::{ActionEncoding, StateActionEncoder};
 use crate::policy::argmax;
 use elmrl_elm::model::ElmModel;
 use elmrl_linalg::Matrix;
+use rand::rngs::SmallRng;
 
 /// An [`Agent`] that can evaluate Q-values for a batch of states in one
 /// forward pass.
@@ -49,6 +50,20 @@ pub trait BatchAgent: Agent {
     fn act_batch_greedy(&mut self, states: &Matrix<f64>) -> Vec<usize> {
         let q = self.predict_batch(states);
         (0..q.rows()).map(|i| argmax(q.row(i))).collect()
+    }
+
+    /// Training-time ε-greedy action for the single packed state in
+    /// `state_row` (`1 × state_dim`): the population engine's per-tick
+    /// behaviour policy. The default delegates to the scalar
+    /// [`Agent::act`]; the three evaluated networks override it so the Q
+    /// evaluation goes through [`BatchAgent::predict_batch`]'s batched
+    /// kernel (one stacked matmul hoisting the shared `state·α` projection
+    /// instead of one matvec chain per action). Because `predict_batch`
+    /// matches `q_values` bit for bit and the policy draws from `rng`
+    /// identically, overrides select exactly the action `act` would — only
+    /// cheaper, and without touching the Figure 5/6 operation counters.
+    fn act_row(&mut self, state_row: &Matrix<f64>, rng: &mut SmallRng) -> usize {
+        self.act(state_row.row(0), rng)
     }
 }
 

@@ -13,7 +13,7 @@ use crate::clipping::TargetConfig;
 use crate::ops::{OpCounts, OpKind};
 use crate::policy::ExploitPolicy;
 use elmrl_linalg::Matrix;
-use elmrl_nn::{Activation, Adam, Loss, Mlp, MlpConfig, ReplayBuffer, Transition};
+use elmrl_nn::{Activation, Adam, Loss, Mlp, MlpConfig, MlpScratch, ReplayBuffer, Transition};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -88,6 +88,10 @@ pub struct DqnAgent {
     optimizer: Adam,
     replay: ReplayBuffer,
     targets: TargetConfig,
+    /// Forward-pass workspaces for allocation-free action selection.
+    scratch: MlpScratch,
+    /// Reused per-action Q buffer for [`Agent::act`].
+    q_buf: Vec<f64>,
     ops: OpCounts,
 }
 
@@ -107,6 +111,8 @@ impl DqnAgent {
             targets: TargetConfig::unclipped(config.gamma),
             online,
             target,
+            scratch: MlpScratch::default(),
+            q_buf: Vec::new(),
             ops: OpCounts::new(),
             config,
         }
@@ -174,9 +180,17 @@ impl Agent for DqnAgent {
 
     fn act(&mut self, state: &[f64], rng: &mut SmallRng) -> usize {
         let start = Instant::now();
-        let q = self.online.forward_one(state);
-        self.ops.record(OpKind::Predict1, start.elapsed());
-        self.policy.select(&q, rng)
+        let Self {
+            policy,
+            online,
+            scratch,
+            q_buf,
+            ops,
+            ..
+        } = self;
+        online.forward_one_into(state, scratch, q_buf);
+        ops.record(OpKind::Predict1, start.elapsed());
+        policy.select(q_buf, rng)
     }
 
     fn observe(&mut self, obs: &Observation, rng: &mut SmallRng) {
@@ -234,6 +248,13 @@ impl BatchAgent for DqnAgent {
     /// each batch row independently).
     fn predict_batch(&mut self, states: &Matrix<f64>) -> Matrix<f64> {
         self.online.forward(states)
+    }
+
+    /// ε-greedy through the batched forward: same Q (bit for bit), same RNG
+    /// draws, same action as [`Agent::act`].
+    fn act_row(&mut self, state_row: &Matrix<f64>, rng: &mut SmallRng) -> usize {
+        let q = self.predict_batch(state_row);
+        self.policy.select(q.row(0), rng)
     }
 }
 

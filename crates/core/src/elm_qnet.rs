@@ -87,6 +87,8 @@ pub struct ElmQNet {
     online: Elm<f64>,
     target: ElmModel<f64>,
     buffer: Vec<Observation>,
+    /// Prediction workspaces shared with the OS-ELM agent's hot path.
+    scratch: crate::oselm_qnet::QScratch,
     ops: OpCounts,
     trained_once: bool,
 }
@@ -103,6 +105,7 @@ impl ElmQNet {
             online,
             target,
             buffer: Vec::with_capacity(config.hidden_dim),
+            scratch: Default::default(),
             ops: OpCounts::new(),
             config,
             trained_once: false,
@@ -157,15 +160,24 @@ impl Agent for ElmQNet {
 
     fn act(&mut self, state: &[f64], rng: &mut SmallRng) -> usize {
         let start = Instant::now();
-        let q = self.q_for(self.online.model(), state);
-        let kind = if self.trained_once {
+        let Self {
+            config,
+            encoder,
+            policy,
+            online,
+            scratch,
+            ops,
+            trained_once,
+            ..
+        } = self;
+        crate::oselm_qnet::q_into(encoder, online.model(), state, scratch);
+        let kind = if *trained_once {
             OpKind::PredictSeq
         } else {
             OpKind::PredictInit
         };
-        self.ops
-            .record_n(kind, self.config.num_actions as u64, start.elapsed());
-        self.policy.select(&q, rng)
+        ops.record_n(kind, config.num_actions as u64, start.elapsed());
+        policy.select(&scratch.q, rng)
     }
 
     fn observe(&mut self, obs: &Observation, _rng: &mut SmallRng) {
@@ -213,6 +225,13 @@ impl BatchAgent for ElmQNet {
     /// bit-for-bit equal to per-sample [`Agent::q_values`].
     fn predict_batch(&mut self, states: &Matrix<f64>) -> Matrix<f64> {
         elm_q_batch(&self.encoder, self.online.model(), states)
+    }
+
+    /// ε-greedy through the batched kernel: same Q (bit for bit), same RNG
+    /// draws, same action as [`Agent::act`] — minus the per-action matvecs.
+    fn act_row(&mut self, state_row: &Matrix<f64>, rng: &mut SmallRng) -> usize {
+        let q = self.predict_batch(state_row);
+        self.policy.select(q.row(0), rng)
     }
 }
 

@@ -70,6 +70,15 @@ impl StateActionEncoder {
 
     /// Encode one `(state, action)` pair.
     pub fn encode(&self, state: &[f64], action: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.input_dim());
+        self.encode_into(state, action, &mut out);
+        out
+    }
+
+    /// [`StateActionEncoder::encode`] into a caller-owned buffer (cleared
+    /// and refilled, capacity reused) — the allocation-free form the
+    /// per-step training path uses.
+    pub fn encode_into(&self, state: &[f64], action: usize, out: &mut Vec<f64>) {
         assert_eq!(
             state.len(),
             self.state_dim,
@@ -78,7 +87,7 @@ impl StateActionEncoder {
             self.state_dim
         );
         assert!(action < self.num_actions, "action {action} out of range");
-        let mut out = Vec::with_capacity(self.input_dim());
+        out.clear();
         out.extend_from_slice(state);
         match self.encoding {
             ActionEncoding::Scalar => out.push(action as f64),
@@ -88,7 +97,6 @@ impl StateActionEncoder {
                 }
             }
         }
-        out
     }
 
     /// Encode the same state paired with every action — the batch used to

@@ -129,6 +129,44 @@ impl OsElmQNetConfig {
     }
 }
 
+/// Reusable per-agent workspaces for the prediction hot path: encoding
+/// staging, per-action Q buffer, and the matrices of one forward pass. All
+/// keep their allocations across steps, so steady-state action selection
+/// and the sequential training update perform zero matrix heap allocations
+/// (asserted by the counting-allocator test in `tests/alloc_steady_state.rs`).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct QScratch {
+    /// Encoded `(state, action)` input.
+    pub(crate) enc: Vec<f64>,
+    /// Per-action Q-values of the last evaluation.
+    pub(crate) q: Vec<f64>,
+    /// `1 × input` staging row.
+    x: Matrix<f64>,
+    /// `1 × Ñ` hidden activation.
+    h: Matrix<f64>,
+    /// `1 × 1` network output.
+    y: Matrix<f64>,
+}
+
+/// Evaluate Q(state, ·) through the workspaces — bit-for-bit equal to the
+/// historical per-action [`ElmModel::predict_single`] loop, leaving the
+/// result in `scratch.q`.
+pub(crate) fn q_into(
+    encoder: &StateActionEncoder,
+    model: &ElmModel<f64>,
+    state: &[f64],
+    scratch: &mut QScratch,
+) {
+    scratch.q.clear();
+    for action in 0..encoder.num_actions() {
+        encoder.encode_into(state, action, &mut scratch.enc);
+        scratch.x.resize_zeroed(1, scratch.enc.len());
+        scratch.x.set_row(0, &scratch.enc);
+        model.predict_into(&scratch.x, &mut scratch.h, &mut scratch.y);
+        scratch.q.push(scratch.y[(0, 0)]);
+    }
+}
+
 /// The OS-ELM Q-Network agent.
 pub struct OsElmQNet {
     config: OsElmQNetConfig,
@@ -140,6 +178,8 @@ pub struct OsElmQNet {
     target: ElmModel<f64>,
     /// Buffer `D` used only to assemble the initial-training chunk.
     buffer: Vec<Observation>,
+    /// Prediction workspaces (never observable through the public API).
+    scratch: QScratch,
     ops: OpCounts,
     name: String,
 }
@@ -157,6 +197,7 @@ impl OsElmQNet {
             online,
             target,
             buffer: Vec::with_capacity(config.hidden_dim),
+            scratch: QScratch::default(),
             ops: OpCounts::new(),
             config,
             name,
@@ -233,16 +274,29 @@ impl OsElmQNet {
         self.ops.record(OpKind::InitTrain, start.elapsed());
     }
 
+    /// One RLS update — the paper's per-step training cost. Allocation-free
+    /// at steady state: the target-network Q evaluation, the input encoding
+    /// and the OS-ELM rank-1 update all run through reusable workspaces.
     fn run_sequential_update(&mut self, obs: &Observation) {
         let start = Instant::now();
-        let max_next = max_q(&self.q_for(&self.target, &obs.next_state));
-        let target = self.config.target.target(obs.reward, max_next, obs.done);
-        let input = self.encoder.encode(&obs.state, obs.action);
-        if self.online.seq_train_single(&input, &[target]).is_err() {
+        let Self {
+            config,
+            encoder,
+            online,
+            target,
+            scratch,
+            ops,
+            ..
+        } = self;
+        q_into(encoder, target, &obs.next_state, scratch);
+        let max_next = max_q(&scratch.q);
+        let target_q = config.target.target(obs.reward, max_next, obs.done);
+        encoder.encode_into(&obs.state, obs.action, &mut scratch.enc);
+        if online.seq_train_single(&scratch.enc, &[target_q]).is_err() {
             debug_assert!(false, "sequential update before initial training");
             return;
         }
-        self.ops.record(OpKind::SeqTrain, start.elapsed());
+        ops.record(OpKind::SeqTrain, start.elapsed());
     }
 }
 
@@ -257,15 +311,23 @@ impl Agent for OsElmQNet {
 
     fn act(&mut self, state: &[f64], rng: &mut SmallRng) -> usize {
         let start = Instant::now();
-        let q = self.q_for(self.online.model(), state);
-        let kind = if self.is_initialized() {
+        let Self {
+            config,
+            encoder,
+            policy,
+            online,
+            scratch,
+            ops,
+            ..
+        } = self;
+        q_into(encoder, online.model(), state, scratch);
+        let kind = if online.is_initialized() {
             OpKind::PredictSeq
         } else {
             OpKind::PredictInit
         };
-        self.ops
-            .record_n(kind, self.config.num_actions as u64, start.elapsed());
-        self.policy.select(&q, rng)
+        ops.record_n(kind, config.num_actions as u64, start.elapsed());
+        policy.select(&scratch.q, rng)
     }
 
     fn observe(&mut self, obs: &Observation, rng: &mut SmallRng) {
@@ -329,6 +391,13 @@ impl BatchAgent for OsElmQNet {
     /// equal to per-sample [`Agent::q_values`].
     fn predict_batch(&mut self, states: &Matrix<f64>) -> Matrix<f64> {
         elm_q_batch(&self.encoder, self.online.model(), states)
+    }
+
+    /// ε-greedy through the batched kernel: same Q (bit for bit), same RNG
+    /// draws, same action as [`Agent::act`] — minus the per-action matvecs.
+    fn act_row(&mut self, state_row: &Matrix<f64>, rng: &mut SmallRng) -> usize {
+        let q = self.predict_batch(state_row);
+        self.policy.select(q.row(0), rng)
     }
 }
 

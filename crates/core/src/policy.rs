@@ -53,15 +53,30 @@ impl ExploitPolicy {
 }
 
 /// Index of the largest value, breaking exact ties uniformly at random.
+///
+/// Allocation-free (this runs once per environment step in every training
+/// loop): ties are counted in a first pass and the drawn winner located in
+/// a second, consuming exactly one RNG value when ties exist and none
+/// otherwise — the same stream the historical `Vec`-collecting
+/// implementation consumed.
 pub fn argmax_random_ties(values: &[f64], rng: &mut SmallRng) -> usize {
-    assert!(!values.is_empty(), "argmax of empty slice");
-    let best = values[argmax(values)];
-    let tied: Vec<usize> = (0..values.len()).filter(|&i| values[i] == best).collect();
-    if tied.len() == 1 {
-        tied[0]
-    } else {
-        tied[rng.gen_range(0..tied.len())]
+    let best_index = argmax(values);
+    let best = values[best_index];
+    let tied = values.iter().filter(|&&v| v == best).count();
+    if tied == 1 {
+        return best_index;
     }
+    let pick = rng.gen_range(0..tied);
+    let mut seen = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        if v == best {
+            if seen == pick {
+                return i;
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("tie count and tie scan disagree");
 }
 
 /// Index of the largest value (first index on ties).

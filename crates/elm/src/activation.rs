@@ -56,6 +56,13 @@ impl HiddenActivation {
         m.map(|x| self.apply(x))
     }
 
+    /// Apply element-wise in place — the allocation-free form used by the
+    /// workspace (`*_into`) forward passes. Identical results to
+    /// [`HiddenActivation::apply_matrix`].
+    pub fn apply_matrix_inplace<T: Scalar>(self, m: &mut Matrix<T>) {
+        m.map_inplace(|x| self.apply(x));
+    }
+
     /// Lipschitz constant of the activation (≤ 1 for every variant here,
     /// which is what the §3.3 argument needs).
     pub fn lipschitz_constant(self) -> f64 {

@@ -132,6 +132,16 @@ impl<T: Scalar> ElmModel<T> {
 
     /// Hidden-layer matrix `H = G(x·α + b)` for a batch `x` (`k × n`).
     pub fn hidden(&self, x: &Matrix<T>) -> Matrix<T> {
+        let mut h = Matrix::zeros(x.rows(), self.hidden_dim());
+        self.hidden_into(x, &mut h);
+        h
+    }
+
+    /// [`ElmModel::hidden`] into a caller-owned matrix (reshaped via
+    /// [`Matrix::resize_zeroed`], reusing its allocation) — the
+    /// allocation-free form the per-step hot paths use. Bit-for-bit
+    /// identical to `hidden`.
+    pub fn hidden_into(&self, x: &Matrix<T>, out: &mut Matrix<T>) {
         assert_eq!(
             x.cols(),
             self.input_dim(),
@@ -139,18 +149,27 @@ impl<T: Scalar> ElmModel<T> {
             x.cols(),
             self.input_dim()
         );
-        let mut pre = x.matmul(&self.alpha);
-        for r in 0..pre.rows() {
-            for c in 0..pre.cols() {
-                pre[(r, c)] += self.bias[(0, c)];
+        x.matmul_into(&self.alpha, out);
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v += self.bias[(0, c)];
             }
         }
-        self.activation.apply_matrix(&pre)
+        self.activation.apply_matrix_inplace(out);
     }
 
     /// Batch prediction `y = H·β` (`k × m`).
     pub fn predict(&self, x: &Matrix<T>) -> Matrix<T> {
         self.hidden(x).matmul(&self.beta)
+    }
+
+    /// [`ElmModel::predict`] through caller-owned hidden and output
+    /// workspaces — zero heap allocations at steady state, bit-for-bit
+    /// identical to `predict`. `h` receives `H`, `out` receives `y`.
+    pub fn predict_into(&self, x: &Matrix<T>, h: &mut Matrix<T>, out: &mut Matrix<T>) {
+        self.hidden_into(x, h);
+        h.matmul_into(&self.beta, out);
     }
 
     /// Single-sample prediction from a slice.

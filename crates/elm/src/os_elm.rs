@@ -56,6 +56,39 @@ impl From<LinalgError> for OsElmError {
     }
 }
 
+/// Reusable workspaces for the batch-size-1 fast path. Every matrix keeps
+/// its allocation across calls (see [`Matrix::resize_zeroed`]), so the
+/// steady-state sequential update performs **zero matrix heap allocations**
+/// — the throughput property the paper's line-rate claim rests on, asserted
+/// by the counting-allocator test in `elmrl-core`.
+#[derive(Clone, Debug)]
+struct SeqScratch<T: Scalar> {
+    /// `1 × n` staging row for the input sample.
+    x: Matrix<T>,
+    /// `1 × Ñ` hidden activation `h`.
+    h: Matrix<T>,
+    /// `Ñ × 1` — `P·hᵀ` before the downdate, `P_new·hᵀ` after.
+    ph: Matrix<T>,
+    /// `1 × Ñ` — `h·P`.
+    hp: Matrix<T>,
+    /// `1 × m` — the prediction `h·β` whose residual drives the β update.
+    pred: Matrix<T>,
+}
+
+// Manual impl: `derive(Default)` would demand `T: Default`, which `Scalar`
+// does not promise; empty matrices need no such bound.
+impl<T: Scalar> Default for SeqScratch<T> {
+    fn default() -> Self {
+        Self {
+            x: Matrix::default(),
+            h: Matrix::default(),
+            ph: Matrix::default(),
+            hp: Matrix::default(),
+            pred: Matrix::default(),
+        }
+    }
+}
+
 /// An Online Sequential Extreme Learning Machine.
 #[derive(Clone, Debug)]
 pub struct OsElm<T: Scalar> {
@@ -67,6 +100,9 @@ pub struct OsElm<T: Scalar> {
     /// Counts of training calls, used by the harness timing model.
     init_train_count: usize,
     seq_train_count: usize,
+    /// Workspaces of the single-sample fast path (never observable through
+    /// the public API; cloned along with the learner, which is harmless).
+    scratch: SeqScratch<T>,
 }
 
 impl<T: Scalar> OsElm<T> {
@@ -79,6 +115,7 @@ impl<T: Scalar> OsElm<T> {
             relative_l2: config.relative_l2,
             init_train_count: 0,
             seq_train_count: 0,
+            scratch: SeqScratch::default(),
         }
     }
 
@@ -92,6 +129,7 @@ impl<T: Scalar> OsElm<T> {
             relative_l2: false,
             init_train_count: 0,
             seq_train_count: 0,
+            scratch: SeqScratch::default(),
         }
     }
 
@@ -210,6 +248,13 @@ impl<T: Scalar> OsElm<T> {
     /// Batch-size-1 fast path: the `(I + hPhᵀ)` term is a scalar, so the
     /// matrix inversion collapses to one reciprocal (§2.2). `x` and `t` are
     /// single samples given as slices.
+    ///
+    /// This path is **allocation-free at steady state**: `P` is downdated
+    /// and `β` is updated in place, and every intermediate (`h`, `P·hᵀ`,
+    /// `h·P`, `h·β`) lives in a reusable workspace. The arithmetic — and so
+    /// the result — is bit-for-bit what the historical clone-based
+    /// implementation produced, which `batch_one_fast_path_matches_general_
+    /// update` below pins against the general chunked recursion.
     pub fn seq_train_single(&mut self, x: &[T], t: &[T]) -> Result<(), OsElmError> {
         if x.len() != self.model.input_dim() {
             return Err(OsElmError::ShapeMismatch(format!(
@@ -225,46 +270,52 @@ impl<T: Scalar> OsElm<T> {
                 self.model.output_dim()
             )));
         }
-        let p = self.p.as_ref().ok_or(OsElmError::NotInitialized)?;
-        let n_hidden = self.model.hidden_dim();
-        let m = self.model.output_dim();
+        let Self {
+            model, p, scratch, ..
+        } = self;
+        let p = p.as_mut().ok_or(OsElmError::NotInitialized)?;
+        let n_hidden = model.hidden_dim();
+        let m = model.output_dim();
 
-        // h: 1×Ñ hidden activation of the sample.
-        let h = self.model.hidden(&Matrix::row_from_slice(x));
+        // h: 1×Ñ hidden activation of the sample (through the staging row).
+        scratch.x.resize_zeroed(1, model.input_dim());
+        scratch.x.set_row(0, x);
+        model.hidden_into(&scratch.x, &mut scratch.h);
+        let h = &scratch.h;
 
         // ph = P·hᵀ (Ñ×1), hp = h·P (1×Ñ), denom = 1 + h·P·hᵀ (scalar).
-        let ph = p.matmul_t(&h);
-        let hp = h.matmul(p);
+        p.matmul_t_into(h, &mut scratch.ph);
+        h.matmul_into(p, &mut scratch.hp);
         let mut denom = T::one();
         for i in 0..n_hidden {
-            denom += h[(0, i)] * ph[(i, 0)];
+            denom += h[(0, i)] * scratch.ph[(i, 0)];
         }
         let inv_denom = T::one() / denom;
 
-        // P ← P − (ph · hp) / denom   (rank-1 downdate)
-        let mut new_p = p.clone();
+        // P ← P − (ph · hp) / denom   (rank-1 downdate, in place: the new
+        // value of each element depends only on ph/hp, already computed).
         for r in 0..n_hidden {
-            let scale = ph[(r, 0)] * inv_denom;
-            for c in 0..n_hidden {
-                let sub = scale * hp[(0, c)];
-                new_p[(r, c)] -= sub;
+            let scale = scratch.ph[(r, 0)] * inv_denom;
+            let p_row = p.row_mut(r);
+            for (c, p_rc) in p_row.iter_mut().enumerate().take(n_hidden) {
+                let sub = scale * scratch.hp[(0, c)];
+                *p_rc -= sub;
             }
         }
 
         // residual e = t − h·β (1×m)
-        let pred = h.matmul(self.model.beta());
-        // β ← β + (P_new·hᵀ) · e
-        let ph_new = new_p.matmul_t(&h); // Ñ×1
-        let mut new_beta = self.model.beta().clone();
+        h.matmul_into(model.beta(), &mut scratch.pred);
+        // β ← β + (P_new·hᵀ) · e   (P already holds P_new)
+        p.matmul_t_into(h, &mut scratch.ph); // Ñ×1, reuses the ph workspace
+        let beta = model.beta_mut();
         for r in 0..n_hidden {
-            for c in 0..m {
-                let add = ph_new[(r, 0)] * (T::from_f64(t[c].to_f64()) - pred[(0, c)]);
-                new_beta[(r, c)] += add;
+            let beta_row = beta.row_mut(r);
+            for (c, beta_rc) in beta_row.iter_mut().enumerate().take(m) {
+                let add = scratch.ph[(r, 0)] * (T::from_f64(t[c].to_f64()) - scratch.pred[(0, c)]);
+                *beta_rc += add;
             }
         }
 
-        self.p = Some(new_p);
-        self.model.set_beta(new_beta);
         self.seq_train_count += 1;
         Ok(())
     }

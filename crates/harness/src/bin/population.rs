@@ -33,11 +33,13 @@ fn main() {
     config.seed = args.seed;
     config.max_episodes = args.episodes;
     eprintln!(
-        "population on {}: {} × {} (hidden {hidden}), {} shard(s), {} episode budget, seed {}",
+        "population on {}: {} × {} (hidden {hidden}), {} shard(s) on {} thread(s), \
+         {} episode budget, seed {}",
         args.workload,
         args.population,
         args.design.label(),
         args.shards,
+        rayon::current_num_threads(),
         args.episodes,
         args.seed
     );

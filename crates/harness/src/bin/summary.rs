@@ -1,17 +1,21 @@
 //! Aggregate every `results/<workload>/fig5.json` into one design ×
-//! environment matrix (`results/summary.json` + a stdout table).
+//! environment matrix (`results/summary.json` + a stdout table), and every
+//! `results/<workload>/population.json` into the cross-workload population
+//! table (`results/population_summary.json`: solve rate + episodes-to-solve
+//! quantiles per design × env).
 //!
-//! Flags: `--results <dir>` (default `results`) names the root the fig5
+//! Flags: `--results <dir>` (default `results`) names the root the
 //! artefacts were written under; `--out <dir>` (default: the results root)
-//! names where `summary.{json,md}` go; `--help` prints usage.
+//! names where the summaries go; `--help` prints usage.
 use elmrl_harness::{report, summary};
 use std::path::PathBuf;
 
-const USAGE: &str =
-    "Cross-environment summary - design x environment matrix from fig5 results.\n\n\
+const USAGE: &str = "Cross-environment summary - design x environment matrices from fig5 and\n\
+     population results.\n\n\
      Usage: summary [OPTIONS]\n\n\
      Options:\n\
-     \x20 --results <dir>  results root holding <workload>/fig5.json (default: results)\n\
+     \x20 --results <dir>  results root holding <workload>/fig5.json and/or\n\
+     \x20                  <workload>/population.json (default: results)\n\
      \x20 --out <dir>      output directory (default: the results root)\n\
      \x20 --help           print this help and exit";
 
@@ -58,19 +62,50 @@ fn main() {
             results_root.display()
         );
     }
-    if summary.workloads.is_empty() {
+    let population = match summary::collect_population(&results_root) {
+        Ok(p) => p,
+        Err(e) => exit_with(&format!(
+            "failed to read population results under {}: {e}",
+            results_root.display()
+        )),
+    };
+    for slug in &population.missing {
+        eprintln!(
+            "summary: no {}/{slug}/population.json — run `population --workload {slug}` \
+             to fill it in",
+            results_root.display()
+        );
+    }
+    for slug in &population.unreadable {
+        eprintln!(
+            "summary: {}/{slug}/population.json does not parse (older schema?) — skipped",
+            results_root.display()
+        );
+    }
+    if summary.workloads.is_empty() && population.workloads.is_empty() {
         exit_with(&format!(
-            "no fig5.json found under {} for any registered workload",
+            "no fig5.json or population.json found under {} for any registered workload",
             results_root.display()
         ));
     }
 
-    let md = summary::to_markdown(&summary);
-    println!("# Design × environment summary\n\n{md}");
     let dir = out.unwrap_or(results_root);
-    report::write_json(&dir, "summary.json", &summary).expect("write summary.json");
-    report::write_text(&dir, "summary.md", &md).expect("write summary.md");
-    eprintln!("wrote {}/summary.{{md,json}}", dir.display());
+    if !summary.workloads.is_empty() {
+        let md = summary::to_markdown(&summary);
+        println!("# Design × environment summary\n\n{md}");
+        report::write_json(&dir, "summary.json", &summary).expect("write summary.json");
+        report::write_text(&dir, "summary.md", &md).expect("write summary.md");
+        eprintln!("wrote {}/summary.{{md,json}}", dir.display());
+    }
+    if !population.workloads.is_empty() {
+        let md = summary::population_to_markdown(&population);
+        println!("\n# Cross-workload population table\n\n{md}");
+        report::write_json(&dir, "population_summary.json", &population)
+            .expect("write population_summary.json");
+        report::write_text(&dir, "population_summary.md", &md)
+            .expect("write population_summary.md");
+        eprintln!("wrote {}/population_summary.{{md,json}}", dir.display());
+    }
 }
 
 fn exit_with(message: &str) -> ! {

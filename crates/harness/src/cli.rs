@@ -11,6 +11,11 @@
 //! * `--seed <n>` — base RNG seed;
 //! * `--torque-levels <n>` — Pendulum torque discretisation (default 3; the
 //!   ROADMAP's n ∈ {3, 5, 9, 15} sweep axis, inert on other workloads);
+//! * `--threads <n>` — size of the work-sharing thread pool every parallel
+//!   section (population shards, trial batches, large matmuls) runs on;
+//!   `--threads 1` forces the true sequential path for debugging. Default:
+//!   the `ELMRL_THREADS` environment variable, else the machine's available
+//!   parallelism. Never affects results, only wall-clock;
 //! * `--out <dir>` — output directory (default: `results/<workload-slug>`);
 //! * `--help` — print usage and exit.
 //!
@@ -43,6 +48,9 @@ pub struct CliArgs {
     pub seed: u64,
     /// Pendulum torque discretisation (`--torque-levels`, default 3).
     pub torque_levels: usize,
+    /// Thread-pool size (`--threads`); 0 means "not given" (defer to
+    /// `ELMRL_THREADS`, else auto-detect).
+    pub threads: usize,
     /// Population size for the `population` binary (`--population`).
     pub population: usize,
     /// Shard count for the `population` binary (`--shards`).
@@ -70,6 +78,15 @@ impl CliArgs {
     pub fn workload_options(&self) -> WorkloadOptions {
         WorkloadOptions {
             torque_levels: self.torque_levels,
+        }
+    }
+
+    /// Apply the `--threads` choice to the global work-sharing pool (an
+    /// explicit flag wins; otherwise the pool resolves `ELMRL_THREADS` or
+    /// the machine's parallelism lazily on first use).
+    pub fn apply_threads(&self) {
+        if self.threads > 0 {
+            rayon::set_num_threads(self.threads);
         }
     }
 
@@ -111,6 +128,8 @@ pub fn usage(binary: &str, about: &str, defaults: &CliDefaults) -> String {
          \x20 --hidden <a,b,..>   comma-separated hidden sizes (default: {})\n\
          \x20 --seed <n>          base RNG seed (default: 42)\n\
          \x20 --torque-levels <n> Pendulum torque discretisation (default: 3)\n\
+         \x20 --threads <n>       worker-pool size; 1 = sequential debugging path\n\
+         \x20                     (default: ELMRL_THREADS, else auto-detect)\n\
          \x20 --out <dir>         output directory (default: results/<workload>)\n\
          \x20 --population <k>    replicas, population binary only (default: 32)\n\
          \x20 --shards <s>        shards, population binary only (default: 4)\n\
@@ -141,6 +160,7 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
         hidden: env_hidden_sizes(&defaults.hidden),
         seed: env_usize("ELMRL_SEED", 42) as u64,
         torque_levels: 3,
+        threads: 0,
         population: 32,
         shards: 4,
         design: Design::OsElmL2Lipschitz,
@@ -207,6 +227,14 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
                         format!("--torque-levels: need an integer ≥ 2, got `{v}`")
                     })?;
             }
+            "--threads" => {
+                let v = value_for("--threads")?;
+                parsed.threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--threads: need a positive count, got `{v}`"))?;
+            }
             "--population" => {
                 parsed.population_flags_used = true;
                 let v = value_for("--population")?;
@@ -265,7 +293,10 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
 pub fn parse_or_exit(binary: &str, about: &str, defaults: &CliDefaults) -> CliArgs {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_from(&args, defaults) {
-        Ok(Some(parsed)) => parsed,
+        Ok(Some(parsed)) => {
+            parsed.apply_threads();
+            parsed
+        }
         Ok(None) => {
             println!("{}", usage(binary, about, defaults));
             std::process::exit(0);
@@ -425,6 +456,39 @@ mod tests {
         assert!(parse_from(&args(&["--design", "transformer"]), &defaults())
             .unwrap_err()
             .contains("unknown design"));
+    }
+
+    #[test]
+    fn threads_flag_parses_and_validates() {
+        let parsed = parse_from(&args(&["--threads", "4"]), &defaults())
+            .unwrap()
+            .unwrap();
+        assert_eq!(parsed.threads, 4);
+        // Default: "not given" (0) — the pool then resolves ELMRL_THREADS
+        // or auto-detects; apply_threads must not override that.
+        let bare = parse_from(&[], &defaults()).unwrap().unwrap();
+        assert_eq!(bare.threads, 0);
+        assert!(parse_from(&args(&["--threads", "0"]), &defaults())
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_from(&args(&["--threads", "lots"]), &defaults())
+            .unwrap_err()
+            .contains("positive"));
+        assert!(usage("population", "x", &defaults()).contains("--threads"));
+    }
+
+    #[test]
+    fn apply_threads_sizes_the_global_pool() {
+        let mut parsed = parse_from(&args(&["--threads", "3"]), &defaults())
+            .unwrap()
+            .unwrap();
+        parsed.apply_threads();
+        assert_eq!(rayon::current_num_threads(), 3);
+        // threads = 0 leaves the pool configuration untouched.
+        parsed.threads = 0;
+        parsed.apply_threads();
+        assert_eq!(rayon::current_num_threads(), 3);
+        rayon::set_num_threads(1);
     }
 
     #[test]

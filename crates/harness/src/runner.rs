@@ -1,10 +1,13 @@
-//! Seeded, rayon-parallel trial execution shared by every experiment.
+//! Seeded, pool-parallel trial execution shared by every experiment.
 //!
 //! The runner is environment-generic: a [`TrialSpec`] names a registered
 //! [`Workload`] and the environment, protocol defaults and cost-model
 //! geometry are all resolved through the workload registry, so the full
 //! 7-design matrix runs on every registered environment through this single
-//! code path.
+//! code path. Since PR 4 the `par_iter` below executes on a real
+//! work-sharing thread pool (`--threads` / `ELMRL_THREADS` size it), so a
+//! figure's independent seeded trials genuinely run concurrently; each
+//! trial owns its RNG stream, so parallelism never changes results.
 
 use crate::timing::{CostModel, ModeledTime};
 use elmrl_core::designs::{Design, DesignConfig};

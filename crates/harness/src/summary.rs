@@ -7,10 +7,17 @@
 //! time-to-complete averaged over the hidden sizes that solved. Workloads
 //! whose `fig5.json` is missing are listed as skipped rather than failing
 //! the aggregation, so partial sweeps still summarise.
+//!
+//! [`collect_population`] does the same for the population engine's
+//! artefacts: every `results/<workload-slug>/population.json` written by the
+//! `population` binary becomes one row of a cross-workload population table
+//! (design × environment, with solve rate and episodes-to-solve quantiles)
+//! — the ROADMAP's "population-level reporting" item.
 
 use crate::fig5::Figure5;
 use elmrl_core::designs::Design;
 use elmrl_gym::Workload;
+use elmrl_population::{PopulationReport, QuantileSummary};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -123,6 +130,116 @@ pub fn collect(results_root: &Path) -> std::io::Result<Summary> {
     Ok(summary)
 }
 
+/// One row of the cross-workload population table: the aggregate outcome of
+/// one `population` run (K replicas of one design on one workload).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PopulationCell {
+    /// Workload the population ran on.
+    pub workload: Workload,
+    /// Replicated design label.
+    pub design: String,
+    /// Hidden width of every replica.
+    pub hidden_dim: usize,
+    /// Population size K.
+    pub population: usize,
+    /// Replicas that met the solve criterion.
+    pub solved: usize,
+    /// `solved / population`.
+    pub solve_rate: f64,
+    /// Episodes-to-solve quantiles over the solved replicas.
+    pub episodes_to_solve: QuantileSummary,
+    /// Mean greedy-evaluation return over all replicas, if evaluated.
+    pub mean_greedy_eval_return: Option<f64>,
+}
+
+/// The cross-workload population summary (design × environment).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PopulationSummary {
+    /// Workloads whose `population.json` was found and aggregated.
+    pub workloads: Vec<Workload>,
+    /// Workload slugs that had no `population.json` under the results root.
+    pub missing: Vec<String>,
+    /// Workload slugs whose `population.json` exists but does not parse
+    /// (older schema) — skipped rather than fatal.
+    pub unreadable: Vec<String>,
+    /// One cell per aggregated workload (a `population.json` holds one
+    /// design; rerunning the binary with another `--design` overwrites it).
+    pub cells: Vec<PopulationCell>,
+}
+
+/// Read every `<results_root>/<slug>/population.json` and build the
+/// cross-workload population table.
+pub fn collect_population(results_root: &Path) -> std::io::Result<PopulationSummary> {
+    let mut summary = PopulationSummary {
+        workloads: Vec::new(),
+        missing: Vec::new(),
+        unreadable: Vec::new(),
+        cells: Vec::new(),
+    };
+    for workload in Workload::all() {
+        let path = results_root.join(workload.slug()).join("population.json");
+        if !path.exists() {
+            summary.missing.push(workload.slug().to_string());
+            continue;
+        }
+        let json = std::fs::read_to_string(&path)?;
+        match serde_json::from_str::<PopulationReport>(&json) {
+            Ok(report) => {
+                summary.workloads.push(workload);
+                summary.cells.push(PopulationCell {
+                    workload,
+                    design: report.design.clone(),
+                    hidden_dim: report.hidden_dim,
+                    population: report.population,
+                    solved: report.solved,
+                    solve_rate: report.solve_rate,
+                    episodes_to_solve: report.episodes_to_solve.clone(),
+                    mean_greedy_eval_return: report.mean_greedy_eval_return,
+                });
+            }
+            Err(_) => summary.unreadable.push(workload.slug().to_string()),
+        }
+    }
+    Ok(summary)
+}
+
+/// Markdown rendering of the population table: one row per (workload,
+/// design) population with solve rate and episode quantiles.
+pub fn population_to_markdown(summary: &PopulationSummary) -> String {
+    let headers = [
+        "workload",
+        "design",
+        "hidden",
+        "K",
+        "solved",
+        "p25",
+        "p50",
+        "p75",
+        "p90",
+        "eval return",
+    ];
+    let rows: Vec<Vec<String>> = summary
+        .cells
+        .iter()
+        .map(|cell| {
+            let q = &cell.episodes_to_solve;
+            vec![
+                cell.workload.to_string(),
+                cell.design.clone(),
+                cell.hidden_dim.to_string(),
+                cell.population.to_string(),
+                format!("{}/{}", cell.solved, cell.population),
+                crate::report::fmt_opt(q.p25),
+                crate::report::fmt_opt(q.p50),
+                crate::report::fmt_opt(q.p75),
+                crate::report::fmt_opt(q.p90),
+                crate::report::fmt_opt(cell.mean_greedy_eval_return),
+            ]
+        })
+        .collect();
+    crate::report::markdown_table(&headers, &rows)
+}
+
 /// Markdown rendering: one row per design, one column pair per workload
 /// (`modeled s` and `solve rate`), `-` where a workload was not aggregated.
 pub fn to_markdown(summary: &Summary) -> String {
@@ -215,6 +332,48 @@ mod tests {
         assert!(md.contains("cart-pole modeled s"));
         assert!(md.contains("acrobot solve rate"));
         assert!(md.contains("OS-ELM-L2-Lipschitz"));
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn collects_population_reports_into_the_cross_workload_table() {
+        use elmrl_population::{PopulationConfig, PopulationRunner};
+
+        let root = tmp_root("population");
+        let _ = std::fs::remove_dir_all(&root);
+        for (workload, design) in [
+            (Workload::CartPole, Design::OsElmL2Lipschitz),
+            (Workload::MountainCar, Design::Dqn),
+        ] {
+            let mut config = PopulationConfig::new(workload, design, 8, 3);
+            config.max_episodes = 2;
+            config.eval_episodes = 1;
+            let report = PopulationRunner::new(config).run();
+            crate::report::write_json(&root.join(workload.slug()), "population.json", &report)
+                .unwrap();
+        }
+        // A stale artefact must be skipped, not fatal.
+        crate::report::write_text(&root.join("pendulum"), "population.json", "{\"old\": true}")
+            .unwrap();
+
+        let summary = collect_population(&root).unwrap();
+        assert_eq!(
+            summary.workloads,
+            vec![Workload::CartPole, Workload::MountainCar]
+        );
+        assert_eq!(summary.missing, vec!["acrobot"]);
+        assert_eq!(summary.unreadable, vec!["pendulum"]);
+        assert_eq!(summary.cells.len(), 2);
+        assert_eq!(summary.cells[0].design, "OS-ELM-L2-Lipschitz");
+        assert_eq!(summary.cells[0].population, 3);
+        assert!((0.0..=1.0).contains(&summary.cells[0].solve_rate));
+
+        let md = population_to_markdown(&summary);
+        assert!(md.contains("workload"));
+        assert!(md.contains("OS-ELM-L2-Lipschitz"));
+        assert!(md.contains("DQN"));
+        assert!(md.contains("3/3") || md.contains("/3"));
 
         let _ = std::fs::remove_dir_all(&root);
     }

@@ -1,15 +1,29 @@
 //! Matrix–matrix multiplication kernels.
 //!
-//! Three kernels are provided, all producing identical results:
+//! Several kernels are provided, all producing **bit-for-bit identical**
+//! results (every kernel accumulates each output element over the inner
+//! dimension in ascending order, so the float addition sequence per element
+//! is the same — the property the proptest suite pins down):
 //!
 //! * [`Matrix::matmul`] — the straightforward triple loop with the `i-k-j`
 //!   ordering so the innermost loop walks both operands contiguously.
 //! * [`Matrix::matmul_blocked`] — the same kernel tiled to keep working sets
 //!   inside L1/L2; used by the OS-ELM software path when `Ñ ≥ 128`.
-//! * [`Matrix::matmul_parallel`] — rayon-parallel over row blocks; used by the
-//!   experiment harness where many independent trials already saturate the
-//!   machine, so this is only beneficial for one-off large multiplications
-//!   (e.g. the batch ELM initial training with large buffers).
+//! * [`Matrix::matmul_packed`] — the register-blocked micro-kernel:
+//!   [`PACK_MR`] rows of the left operand are packed transposed into a
+//!   contiguous panel, then each rhs row is streamed **once per panel**
+//!   instead of once per output row. Fastest at `n ≥ 64`.
+//! * [`Matrix::matmul_parallel`] — parallel over output rows on the
+//!   `rayon`-shim work-sharing pool; worthwhile for one-off large products
+//!   (the batch ELM initial training), small products short-circuit to the
+//!   sequential kernel.
+//!
+//! The `*_into` **workspace variants** ([`Matrix::matmul_into`],
+//! [`Matrix::matmul_t_into`], [`Matrix::t_matmul_into`],
+//! [`Matrix::matmul_packed_into`]) write into a caller-owned output matrix
+//! (reshaped via [`Matrix::resize_zeroed`], which reuses its allocation), so
+//! steady-state hot loops — the OS-ELM RLS update above all — perform zero
+//! matrix heap allocations.
 //!
 //! The FPGA datapath simulator in `elmrl-fpga` does **not** use these kernels;
 //! it sequences scalar MACs explicitly to count cycles.
@@ -22,9 +36,26 @@ use rayon::prelude::*;
 /// matching a typical L1 data cache.
 pub const DEFAULT_BLOCK: usize = 64;
 
+/// Row-panel height of the packed micro-kernel: how many output rows share
+/// one streamed pass over the rhs. 4 keeps the panel's accumulator rows and
+/// one rhs row comfortably inside L1 at the hidden sizes the paper sweeps.
+pub const PACK_MR: usize = 4;
+
+/// Below this many multiply–adds, [`Matrix::matmul_parallel`] runs the
+/// sequential kernel inline — fork/join overhead dwarfs the work.
+const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
 impl<T: Scalar> Matrix<T> {
     /// Naive `i-k-j` matrix product. Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        let mut out = Matrix::zeros(self.rows(), rhs.cols());
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-owned output (reshaped and zeroed,
+    /// reusing its allocation). Bit-for-bit identical to `matmul`.
+    pub fn matmul_into(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) {
         assert_eq!(
             self.cols(),
             rhs.rows(),
@@ -35,7 +66,7 @@ impl<T: Scalar> Matrix<T> {
             rhs.cols()
         );
         let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
-        let mut out = Matrix::zeros(m, n);
+        out.resize_zeroed(m, n);
         for i in 0..m {
             let a_row = self.row(i);
             for (p, &a_ip) in a_row.iter().enumerate().take(k) {
@@ -46,7 +77,60 @@ impl<T: Scalar> Matrix<T> {
                 }
             }
         }
+    }
+
+    /// Register-blocked micro-kernel: packs [`PACK_MR`]-row panels of `self`
+    /// **transposed** into a contiguous scratch buffer, then updates the
+    /// whole panel while each rhs row is hot in L1. Each rhs row is read
+    /// once per panel instead of once per output row, which is what makes
+    /// this the fastest kernel from `n ≈ 64` up. Bit-for-bit identical to
+    /// [`Matrix::matmul`] (per-element accumulation stays in ascending inner
+    /// order).
+    pub fn matmul_packed(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        let mut pack = Vec::new();
+        let mut out = Matrix::zeros(self.rows(), rhs.cols());
+        self.matmul_packed_into(rhs, &mut pack, &mut out);
         out
+    }
+
+    /// [`Matrix::matmul_packed`] with caller-owned pack buffer and output —
+    /// the fully allocation-free form once both have reached steady size.
+    pub fn matmul_packed_into(&self, rhs: &Matrix<T>, pack: &mut Vec<T>, out: &mut Matrix<T>) {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul_packed: inner dimensions differ ({}x{} * {}x{})",
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
+        out.resize_zeroed(m, n);
+        pack.clear();
+        pack.resize(PACK_MR * k, T::zero());
+        let out_data = out.as_mut_slice();
+        for i0 in (0..m).step_by(PACK_MR) {
+            let h = PACK_MR.min(m - i0);
+            // Pack the panel transposed: pack[p·MR + r] = A[i0+r, p], so the
+            // p-loop below reads one contiguous quad per step.
+            for (r, a_row) in (i0..i0 + h).map(|i| self.row(i)).enumerate() {
+                for (p, &a) in a_row.iter().enumerate() {
+                    pack[p * PACK_MR + r] = a;
+                }
+            }
+            let panel = &mut out_data[i0 * n..(i0 + h) * n];
+            for p in 0..k {
+                let b_row = rhs.row(p);
+                let quad = &pack[p * PACK_MR..p * PACK_MR + h];
+                for (r, &a_rp) in quad.iter().enumerate() {
+                    let o_row = &mut panel[r * n..(r + 1) * n];
+                    for j in 0..n {
+                        o_row[j] += a_rp * b_row[j];
+                    }
+                }
+            }
+        }
     }
 
     /// Cache-blocked matrix product with tile edge `block`.
@@ -81,7 +165,12 @@ impl<T: Scalar> Matrix<T> {
         out
     }
 
-    /// Rayon-parallel matrix product, splitting the output by rows.
+    /// Pool-parallel matrix product, splitting the output by rows on the
+    /// `rayon`-shim work-sharing pool. Each output row is accumulated
+    /// independently in the same inner order as [`Matrix::matmul`], so the
+    /// result is bit-for-bit identical to the sequential kernels at any
+    /// thread count. Products below ~64³ multiply–adds short-circuit to the
+    /// sequential packed kernel — fork/join overhead would dominate.
     pub fn matmul_parallel(&self, rhs: &Matrix<T>) -> Matrix<T> {
         assert_eq!(
             self.cols(),
@@ -89,6 +178,9 @@ impl<T: Scalar> Matrix<T> {
             "matmul_parallel: inner dimensions differ"
         );
         let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
+        if m * k * n < PARALLEL_FLOP_THRESHOLD || rayon::current_num_threads() <= 1 {
+            return self.matmul_packed(rhs);
+        }
         let rows: Vec<Vec<T>> = (0..m)
             .into_par_iter()
             .map(|i| {
@@ -109,6 +201,14 @@ impl<T: Scalar> Matrix<T> {
     /// `selfᵀ · rhs` without materialising the transpose (a common OS-ELM
     /// pattern, e.g. `Hᵀ·H` and `Hᵀ·t`).
     pub fn t_matmul(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        let mut out = Matrix::zeros(self.cols(), rhs.cols());
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::t_matmul`] into a caller-owned output (reshaped and zeroed,
+    /// reusing its allocation). Bit-for-bit identical to `t_matmul`.
+    pub fn t_matmul_into(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) {
         assert_eq!(
             self.rows(),
             rhs.rows(),
@@ -117,7 +217,7 @@ impl<T: Scalar> Matrix<T> {
             rhs.rows()
         );
         let (k, m, n) = (self.rows(), self.cols(), rhs.cols());
-        let mut out = Matrix::zeros(m, n);
+        out.resize_zeroed(m, n);
         for p in 0..k {
             let a_row = self.row(p);
             let b_row = rhs.row(p);
@@ -128,11 +228,18 @@ impl<T: Scalar> Matrix<T> {
                 }
             }
         }
-        out
     }
 
     /// `self · rhsᵀ` without materialising the transpose.
     pub fn matmul_t(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        let mut out = Matrix::zeros(self.rows(), rhs.rows());
+        self.matmul_t_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_t`] into a caller-owned output (reshaped and zeroed,
+    /// reusing its allocation). Bit-for-bit identical to `matmul_t`.
+    pub fn matmul_t_into(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) {
         assert_eq!(
             self.cols(),
             rhs.cols(),
@@ -141,15 +248,19 @@ impl<T: Scalar> Matrix<T> {
             rhs.cols()
         );
         let (m, k, n) = (self.rows(), self.cols(), rhs.rows());
-        Matrix::from_fn(m, n, |i, j| {
+        out.resize_zeroed(m, n);
+        for i in 0..m {
             let a_row = self.row(i);
-            let b_row = rhs.row(j);
-            let mut acc = T::zero();
-            for p in 0..k {
-                acc += a_row[p] * b_row[p];
+            let o_row = out.row_mut(i);
+            for (j, o) in o_row.iter_mut().enumerate().take(n) {
+                let b_row = rhs.row(j);
+                let mut acc = T::zero();
+                for p in 0..k {
+                    acc += a_row[p] * b_row[p];
+                }
+                *o = acc;
             }
-            acc
-        })
+        }
     }
 }
 
@@ -232,5 +343,53 @@ mod tests {
     fn zero_block_rejected() {
         let a = Matrix::<f64>::ones(2, 2);
         let _ = a.matmul_blocked(&a, 0);
+    }
+
+    #[test]
+    fn packed_kernel_is_bit_identical_to_naive() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        // Panel remainders on every side: m ∈ {1, 3, 4, 5, 9}.
+        for (m, k, n) in [(1, 6, 4), (3, 5, 7), (4, 4, 4), (5, 64, 9), (9, 7, 65)] {
+            let a = uniform_matrix::<f64, _>(m, k, -2.0, 2.0, &mut rng);
+            let b = uniform_matrix::<f64, _>(k, n, -2.0, 2.0, &mut rng);
+            // Exact equality, not approximate: same accumulation order.
+            assert_eq!(a.matmul(&b), a.matmul_packed(&b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn into_variants_match_and_reuse_buffers() {
+        let mut rng = SmallRng::seed_from_u64(78);
+        let mut out = Matrix::<f64>::zeros(1, 1);
+        let mut pack = Vec::new();
+        // Shrinking and growing shapes through the same scratch buffers.
+        for (m, k, n) in [(8, 6, 7), (3, 9, 2), (12, 12, 12)] {
+            let a = uniform_matrix::<f64, _>(m, k, -1.0, 1.0, &mut rng);
+            let b = uniform_matrix::<f64, _>(k, n, -1.0, 1.0, &mut rng);
+            let expected = a.matmul(&b);
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out, expected);
+            a.matmul_packed_into(&b, &mut pack, &mut out);
+            assert_eq!(out, expected);
+
+            let c = uniform_matrix::<f64, _>(m, k, -1.0, 1.0, &mut rng);
+            a.matmul_t_into(&c, &mut out);
+            assert_eq!(out, a.matmul_t(&c));
+            let d = uniform_matrix::<f64, _>(m, n, -1.0, 1.0, &mut rng);
+            a.t_matmul_into(&d, &mut out);
+            assert_eq!(out, a.t_matmul(&d));
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_is_bit_identical_above_threshold() {
+        let mut rng = SmallRng::seed_from_u64(79);
+        // 96³ > the sequential short-circuit threshold.
+        let a = uniform_matrix::<f64, _>(96, 96, -1.0, 1.0, &mut rng);
+        let b = uniform_matrix::<f64, _>(96, 96, -1.0, 1.0, &mut rng);
+        rayon::set_num_threads(4);
+        let parallel = a.matmul_parallel(&b);
+        rayon::set_num_threads(1);
+        assert_eq!(parallel, a.matmul(&b));
     }
 }

@@ -170,6 +170,24 @@ impl<T: Scalar> Matrix<T> {
         self.data.is_empty()
     }
 
+    /// Reshape to `rows × cols`, filling with zeros. The backing `Vec`'s
+    /// capacity is **reused** — no heap traffic once the matrix has grown to
+    /// its steady-state size. This is the primitive behind the workspace
+    /// (`*_into`) kernels: scratch matrices keep their allocation across
+    /// calls while tolerating changing shapes.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, T::zero());
+    }
+
+    /// Overwrite row `r` from a slice of length `cols`.
+    #[inline]
+    pub fn set_row(&mut self, r: usize, src: &[T]) {
+        self.row_mut(r).copy_from_slice(src);
+    }
+
     /// Borrow the underlying row-major storage.
     #[inline]
     pub fn as_slice(&self) -> &[T] {
@@ -439,6 +457,19 @@ impl<T: Scalar> Matrix<T> {
             }
         }
         best
+    }
+}
+
+/// The default matrix is the empty `0 × 0` placeholder — the natural seed
+/// for workspace/scratch matrices that are reshaped on first use via
+/// [`Matrix::resize_zeroed`].
+impl<T: Scalar> Default for Matrix<T> {
+    fn default() -> Self {
+        Self {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
     }
 }
 

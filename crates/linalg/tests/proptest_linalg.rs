@@ -54,6 +54,32 @@ proptest! {
     }
 
     #[test]
+    fn workspace_and_packed_kernels_are_bit_identical_to_naive(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..200
+    ) {
+        // Exact equality, not a tolerance: the `*_into` and packed kernels
+        // promise the same float accumulation order as `matmul`, so the hot
+        // paths built on them cannot drift from the reference results.
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(k, n, seed.wrapping_add(11));
+        let naive = a.matmul(&b);
+        prop_assert_eq!(&naive, &a.matmul_packed(&b));
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(&naive, &out);
+        let mut pack = Vec::new();
+        a.matmul_packed_into(&b, &mut pack, &mut out);
+        prop_assert_eq!(&naive, &out);
+        // Transposed-operand workspace variants against their references.
+        let c = seeded_matrix(m, k, seed.wrapping_add(23));
+        a.matmul_t_into(&c, &mut out);
+        prop_assert_eq!(&a.matmul_t(&c), &out);
+        let d = seeded_matrix(m, n, seed.wrapping_add(37));
+        a.t_matmul_into(&d, &mut out);
+        prop_assert_eq!(&a.t_matmul(&d), &out);
+    }
+
+    #[test]
     fn lu_solves_well_conditioned_systems(n in 1usize..7, seed in 0u64..200) {
         let mut a = seeded_matrix(n, n, seed);
         for i in 0..n { a[(i, i)] += 10.0; } // diagonally dominant => nonsingular

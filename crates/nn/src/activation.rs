@@ -83,6 +83,13 @@ impl Activation {
         m.map(|x| self.apply(x))
     }
 
+    /// Apply element-wise in place — the allocation-free form used by the
+    /// inference workspace passes. Identical results to
+    /// [`Activation::apply_matrix`].
+    pub fn apply_matrix_inplace(self, m: &mut Matrix<f64>) {
+        m.map_inplace(|x| self.apply(x));
+    }
+
     /// Element-wise derivative of a matrix of pre-activations.
     pub fn derivative_matrix(self, m: &Matrix<f64>) -> Matrix<f64> {
         m.map(|x| self.derivative(x))

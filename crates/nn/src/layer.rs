@@ -93,8 +93,17 @@ impl DenseLayer {
 
     /// Inference-only forward pass (no caches touched).
     pub fn forward(&self, input: &Matrix<f64>) -> Matrix<f64> {
-        let pre = self.affine(input);
-        self.activation.apply_matrix(&pre)
+        let mut out = Matrix::zeros(input.rows(), self.weights.cols());
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// [`DenseLayer::forward`] into a caller-owned output matrix (reshaped,
+    /// reusing its allocation) — the allocation-free inference form.
+    /// Bit-for-bit identical to `forward`.
+    pub fn forward_into(&self, input: &Matrix<f64>, out: &mut Matrix<f64>) {
+        self.affine_into(input, out);
+        self.activation.apply_matrix_inplace(out);
     }
 
     /// Forward pass that caches input and pre-activation for a subsequent
@@ -108,6 +117,15 @@ impl DenseLayer {
     }
 
     fn affine(&self, input: &Matrix<f64>) -> Matrix<f64> {
+        let mut pre = Matrix::zeros(input.rows(), self.weights.cols());
+        self.affine_into(input, &mut pre);
+        pre
+    }
+
+    /// `input·W + b` into a caller-owned matrix — the single copy of the
+    /// affine arithmetic that both the allocating and the workspace forward
+    /// paths share (keeping them bit-for-bit identical by construction).
+    fn affine_into(&self, input: &Matrix<f64>, out: &mut Matrix<f64>) {
         assert_eq!(
             input.cols(),
             self.weights.rows(),
@@ -115,13 +133,13 @@ impl DenseLayer {
             input.cols(),
             self.weights.rows()
         );
-        let mut pre = input.matmul(&self.weights);
-        for r in 0..pre.rows() {
-            for c in 0..pre.cols() {
-                pre[(r, c)] += self.bias[(0, c)];
+        input.matmul_into(&self.weights, out);
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v += self.bias[(0, c)];
             }
         }
-        pre
     }
 
     /// Back-propagate `grad_output` (∂L/∂y of this layer) and return

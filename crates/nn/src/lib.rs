@@ -48,6 +48,6 @@ pub mod replay;
 pub use activation::Activation;
 pub use layer::DenseLayer;
 pub use loss::Loss;
-pub use mlp::{Mlp, MlpConfig};
+pub use mlp::{Mlp, MlpConfig, MlpScratch};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use replay::{ReplayBuffer, Transition};

@@ -64,6 +64,15 @@ impl MlpConfig {
     }
 }
 
+/// Reusable workspaces for [`Mlp::forward_one_into`]: a `1 × n` staging row
+/// for the input plus two ping-pong activation buffers. All three keep
+/// their allocations across calls.
+#[derive(Clone, Debug, Default)]
+pub struct MlpScratch {
+    x: Matrix<f64>,
+    bufs: [Matrix<f64>; 2],
+}
+
 /// A feed-forward network with dense layers and backpropagation training.
 #[derive(Clone, Debug)]
 pub struct Mlp {
@@ -120,6 +129,32 @@ impl Mlp {
     pub fn forward_one(&self, input: &[f64]) -> Vec<f64> {
         let out = self.forward(&Matrix::row_from_slice(input));
         out.row(0).to_vec()
+    }
+
+    /// Allocation-free single-sample inference: ping-pongs between the two
+    /// workspace matrices of `scratch` and writes the output layer's row
+    /// into `out` (cleared and refilled, capacity reused). Bit-for-bit
+    /// identical to [`Mlp::forward_one`] — the DQN agent's per-step action
+    /// selection runs through here so the training loop stays free of
+    /// matrix heap allocations at steady state.
+    pub fn forward_one_into(&self, input: &[f64], scratch: &mut MlpScratch, out: &mut Vec<f64>) {
+        scratch.x.resize_zeroed(1, input.len());
+        scratch.x.set_row(0, input);
+        let (ping, pong) = scratch.bufs.split_at_mut(1);
+        let (ping, pong) = (&mut ping[0], &mut pong[0]);
+        self.layers[0].forward_into(&scratch.x, ping);
+        let mut ping_is_current = true;
+        for layer in &self.layers[1..] {
+            if ping_is_current {
+                layer.forward_into(ping, pong);
+            } else {
+                layer.forward_into(pong, ping);
+            }
+            ping_is_current = !ping_is_current;
+        }
+        let last = if ping_is_current { &*ping } else { &*pong };
+        out.clear();
+        out.extend_from_slice(last.row(0));
     }
 
     /// One optimisation step on a batch: forward, loss gradient, backward,

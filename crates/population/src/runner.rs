@@ -1,22 +1,29 @@
 //! The population execution engine.
 //!
 //! [`PopulationRunner`] trains K replicated agents of **one design** on
-//! **one workload**, sharded across rayon worker threads. Each shard drives
-//! its replicas **in lockstep** through an [`elmrl_gym::VecEnv`] — one
-//! environment step per replica per engine tick, auto-reset on episode end —
-//! rather than looping whole trials, so the engine is the serving-shaped
-//! execution path the ROADMAP's batch/replicated-serving item asks for.
+//! **one workload**, sharded across the `rayon`-shim work-sharing thread
+//! pool — since PR 4 the shards genuinely run concurrently (`--threads`
+//! / `ELMRL_THREADS` size the pool), making `--shards` a real wall-clock
+//! lever. Each shard drives its replicas **in lockstep** through an
+//! [`elmrl_gym::VecEnv`] — one environment step per replica per engine
+//! tick, auto-reset on episode end — rather than looping whole trials, so
+//! the engine is the serving-shaped execution path the ROADMAP's
+//! batch/replicated-serving item asks for.
 //!
 //! Reproducibility: all randomness is derived from the master seed and each
 //! replica's **global index** (see [`crate::seed`]); the shared
-//! [`EnvSpec`] is read-only. The aggregate [`PopulationReport`] is therefore
-//! byte-identical for any `--shards` value, which the determinism tests and
-//! the CI smoke run assert.
+//! [`EnvSpec`] is read-only, and shard results are stitched back in shard
+//! order. The aggregate [`PopulationReport`] is therefore byte-identical
+//! for any `--shards` **and any `--threads`** value, which the determinism
+//! tests and the CI smoke run assert.
 //!
-//! After training, every replica's final policy is scored by a **greedy
-//! evaluation pass**: `eval_episodes` environments step in lockstep while
-//! the replica's network evaluates all still-running episodes in one
-//! batched forward ([`BatchAgent::predict_batch`] over
+//! Inference is batched on both sides of training: the per-tick ε-greedy
+//! **training** decision goes through [`BatchAgent::act_row`] (the batched
+//! forward kernel, one stacked matmul per decision), and after training
+//! every replica's final policy is scored by a **greedy evaluation pass**
+//! in which `eval_episodes` environments step in lockstep while the
+//! replica's network evaluates all still-running episodes in one batched
+//! forward ([`BatchAgent::predict_batch`] over
 //! [`Matrix::gather_rows`]-packed states) — the batched-inference path the
 //! `population_throughput` benchmark measures in isolation.
 
@@ -46,8 +53,9 @@ pub struct PopulationConfig {
     pub hidden_dim: usize,
     /// Number of replicas K.
     pub population: usize,
-    /// Number of shards the replicas are partitioned into (each shard is one
-    /// rayon task). Affects scheduling only — never results.
+    /// Number of shards the replicas are partitioned into (each shard is
+    /// one task on the work-sharing pool, so up to `min(shards, threads)`
+    /// run concurrently). Affects scheduling only — never results.
     pub shards: usize,
     /// Master seed; per-replica streams are split from it.
     pub seed: u64,
@@ -317,6 +325,13 @@ fn run_shard(
 
     let mut vec_env = VecEnv::from_spec(spec, b);
     vec_env.reset_all(&mut rngs);
+    // Reused `1 × obs_dim` staging row: training-time ε-greedy prediction
+    // goes through `BatchAgent::act_row`, i.e. the same batched forward
+    // kernel the greedy evaluation uses (one stacked matmul per decision
+    // instead of one matvec chain per candidate action). Replicas cannot
+    // share one matmul — each has its own weights — so the batching win is
+    // per replica, across its action set.
+    let mut state_row = Matrix::zeros(1, vec_env.obs_dim());
     let mut states: Vec<ReplicaState> = (0..b)
         .map(|_| ReplicaState {
             episode_return: 0.0,
@@ -331,12 +346,16 @@ fn run_shard(
         .collect();
 
     while states.iter().any(|s| s.active) {
-        // Determine: each replica acts on its own slot from its own stream.
+        // Determine: each replica acts on its own slot from its own stream,
+        // Q evaluated through the batched kernel (`act_row` selects exactly
+        // the action the scalar `act` would — same Q bit for bit, same RNG
+        // draws — so sharded, threaded and scalar execution stay identical).
         let mut pre_step: Vec<Option<(Vec<f64>, usize)>> = Vec::with_capacity(b);
         for j in 0..b {
             pre_step.push(states[j].active.then(|| {
                 let state = vec_env.state(j).to_vec();
-                let action = agents[j].act(&state, &mut rngs[j]);
+                state_row.set_row(0, &state);
+                let action = agents[j].act_row(&state_row, &mut rngs[j]);
                 (state, action)
             }));
         }

@@ -1,6 +1,8 @@
 //! Deterministic population smoke test: the same master seed must produce a
-//! **byte-identical** aggregate JSON report regardless of the shard count —
-//! the property the `--shards` flag advertises and CI smokes.
+//! **byte-identical** aggregate JSON report regardless of the shard count
+//! *and* of the thread-pool size — the properties the `--shards` and
+//! `--threads` flags advertise and CI smokes. Scheduling must never leak
+//! into results.
 
 use elmrl_core::designs::Design;
 use elmrl_gym::Workload;
@@ -35,6 +37,25 @@ fn same_seed_any_shards_same_json() {
         assert!(single.contains("\"replicas\""));
         assert!(single.contains("\"solve_rate\""));
     }
+}
+
+#[test]
+fn thread_count_never_changes_the_bytes() {
+    // Fixed shards, varying pool size: `--threads 1` (true sequential path)
+    // vs `--threads 4` (genuinely concurrent shards) must serialize to the
+    // exact same bytes. Per-replica RNG streams are split from the master
+    // seed by global replica index and shard results are stitched in shard
+    // order, so only scheduling — never arithmetic — changes with threads.
+    rayon::set_num_threads(1);
+    let sequential = report_json(Workload::CartPole, Design::OsElmL2Lipschitz, 4);
+    rayon::set_num_threads(4);
+    let threaded = report_json(Workload::CartPole, Design::OsElmL2Lipschitz, 4);
+    rayon::set_num_threads(1);
+    assert_eq!(
+        sequential, threaded,
+        "thread pool size leaked into the population report"
+    );
+    assert!(sequential.contains("\"replicas\""));
 }
 
 #[test]

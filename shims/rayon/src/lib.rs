@@ -1,54 +1,153 @@
-//! Offline shim for the subset of `rayon` this workspace uses.
+//! Offline shim for the subset of `rayon` this workspace uses — now backed
+//! by a **real work-sharing thread pool** rather than sequential iterators.
 //!
 //! The build environment has no access to a crates.io registry, so this
-//! in-tree crate maps the `par_iter`/`into_par_iter` entry points onto plain
-//! sequential `std` iterators. The downstream adaptor calls (`map`,
-//! `collect`, ...) are ordinary [`Iterator`] methods, so call sites compile
-//! unchanged; they simply run on one thread. Swapping in the real rayon
-//! later is a one-line `Cargo.toml` change.
+//! in-tree crate provides the `par_iter`/`into_par_iter` entry points the
+//! workspace relies on. Since PR 4 they execute on a lazily started global
+//! `std::thread` pool (see [`pool`]): items are split into contiguous chunks
+//! and handed out through an atomic cursor (chunked index stealing), with
+//! the calling thread always participating. Results are stitched back in
+//! input order, so **scheduling never changes results** — the property the
+//! population engine's shard/thread invariance tests pin down.
+//!
+//! Pool size, in precedence order: [`set_num_threads`] (what the binaries'
+//! `--threads` flag calls) → the `ELMRL_THREADS` environment variable → the
+//! machine's available parallelism. Size 1 is a true sequential mode that
+//! never touches the pool. A panic inside a parallel closure propagates to
+//! the caller after in-flight chunks retire, like real rayon.
+//!
+//! Swapping in the real rayon later remains a one-line `Cargo.toml` change;
+//! the API subset here (`ParallelIterator::{map, collect, sum, for_each}`)
+//! is call-compatible.
 
-#![deny(unsafe_code)]
 #![warn(missing_docs)]
+// Unsafe is denied crate-wide; `pool` overrides it at exactly three
+// documented sites to move borrowed task state across the job queue's
+// `'static` boundary — the same trick rayon itself uses for scoped jobs.
+#![deny(unsafe_code)]
+
+pub mod pool;
+
+pub use pool::{current_num_threads, set_num_threads};
 
 /// The traits rayon callers import; re-exported names match `rayon::prelude`.
 pub mod prelude {
-    /// Convert an owning collection into a "parallel" (here: sequential)
-    /// iterator.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Iterate over the collection; sequential in this shim.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+    pub use crate::pool::{current_num_threads, set_num_threads};
+
+    /// A value-producing parallel pipeline. Unlike real rayon this is not a
+    /// lazy splitter tree: the source items are materialised up front and
+    /// [`ParallelIterator::drive`] runs the mapped stages on the pool.
+    pub trait ParallelIterator: Sized {
+        /// Element type the pipeline yields.
+        type Item: Send;
+
+        /// Execute the pipeline, returning the results in input order.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Transform every element with `op`, in parallel at drive time.
+        fn map<R, F>(self, op: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, op }
+        }
+
+        /// Execute and collect into any [`FromIterator`] collection.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.drive().into_iter().collect()
+        }
+
+        /// Execute and sum the results (deterministic input-order fold, so
+        /// float sums are reproducible — stricter than real rayon).
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            self.drive().into_iter().sum()
+        }
+
+        /// Execute `op` on every element for its side effects.
+        fn for_each<F>(self, op: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            let _: Vec<()> = Map {
+                base: self,
+                op: |item| op(item),
+            }
+            .drive();
         }
     }
 
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+    /// Source stage over an already-materialised item list.
+    pub struct IntoParIter<I> {
+        items: Vec<I>,
+    }
+
+    impl<I: Send> ParallelIterator for IntoParIter<I> {
+        type Item = I;
+
+        fn drive(self) -> Vec<I> {
+            self.items
+        }
+    }
+
+    /// Mapped stage; the closure runs on the pool when the pipeline drives.
+    pub struct Map<P, F> {
+        base: P,
+        op: F,
+    }
+
+    impl<P, R, F> ParallelIterator for Map<P, F>
+    where
+        P: ParallelIterator,
+        R: Send,
+        F: Fn(P::Item) -> R + Sync,
+    {
+        type Item = R;
+
+        fn drive(self) -> Vec<R> {
+            crate::pool::parallel_map_vec(self.base.drive(), self.op)
+        }
+    }
+
+    /// Convert an owning collection into a pool-backed parallel iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized
+    where
+        Self::Item: Send,
+    {
+        /// Materialise the collection and hand it to the pool.
+        fn into_par_iter(self) -> IntoParIter<Self::Item> {
+            IntoParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I where I::Item: Send {}
 
     /// Borrowing counterpart of [`IntoParallelIterator`] (`.par_iter()`).
     pub trait IntoParallelRefIterator<'data> {
         /// The element type.
-        type Item: 'data;
-        /// The iterator type produced.
-        type Iter: Iterator<Item = &'data Self::Item>;
+        type Item: Sync + 'data;
 
-        /// Iterate by reference; sequential in this shim.
-        fn par_iter(&'data self) -> Self::Iter;
+        /// Iterate by shared reference, in parallel.
+        fn par_iter(&'data self) -> IntoParIter<&'data Self::Item>;
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
         type Item = T;
-        type Iter = std::slice::Iter<'data, T>;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> IntoParIter<&'data T> {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
         type Item = T;
-        type Iter = std::slice::Iter<'data, T>;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.as_slice().iter()
+        fn par_iter(&'data self) -> IntoParIter<&'data T> {
+            self.as_slice().par_iter()
         }
     }
 }
@@ -57,12 +156,162 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
 
+    /// Pin the pool to a genuinely parallel configuration for every test in
+    /// this module (the test host may expose a single core, and pool size is
+    /// process-global, so each test states the size it needs). The lock
+    /// serialises the tests of this module against each other — the harness
+    /// runs them concurrently and they all mutate the global pool size.
+    fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+        static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(n);
+        let out = f();
+        set_num_threads(1);
+        out
+    }
+
     #[test]
     fn par_iter_behaves_like_iter() {
-        let xs = vec![1, 2, 3];
-        let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
-        assert_eq!(doubled, vec![2, 4, 6]);
-        let sum: i32 = (0..10).into_par_iter().sum();
-        assert_eq!(sum, 45);
+        with_threads(4, || {
+            let xs = vec![1, 2, 3];
+            let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+            assert_eq!(doubled, vec![2, 4, 6]);
+            let sum: i32 = (0..10).into_par_iter().sum();
+            assert_eq!(sum, 45);
+        })
+    }
+
+    #[test]
+    fn output_order_matches_input_order_at_any_size() {
+        // Larger than any chunk so multiple steals happen; order must hold.
+        for threads in [1, 2, 3, 8] {
+            with_threads(threads, || {
+                let n = 10_000usize;
+                let out: Vec<usize> = (0..n).into_par_iter().map(|i| i * i).collect();
+                assert_eq!(out.len(), n);
+                for (i, v) in out.iter().enumerate() {
+                    assert_eq!(*v, i * i, "index {i} at {threads} threads");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        with_threads(4, || {
+            let empty: Vec<i32> = Vec::new();
+            let out: Vec<i32> = empty.par_iter().map(|x| x + 1).collect();
+            assert!(out.is_empty());
+            let out2: Vec<u8> = (0..0u8).into_par_iter().map(|x| x + 1).collect();
+            assert!(out2.is_empty());
+        })
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        with_threads(4, || {
+            let caller = std::thread::current().id();
+            let out: Vec<std::thread::ThreadId> = vec![7]
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect();
+            assert_eq!(out, vec![caller], "n = 1 must not touch the pool");
+        })
+    }
+
+    #[test]
+    fn pool_larger_than_item_count_is_fine() {
+        with_threads(16, || {
+            let out: Vec<usize> = (0..3usize).into_par_iter().map(|i| i + 100).collect();
+            assert_eq!(out, vec![100, 101, 102]);
+        })
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        with_threads(4, || {
+            let result = std::panic::catch_unwind(|| {
+                let _: Vec<i32> = (0..64)
+                    .into_par_iter()
+                    .map(|i| if i == 13 { panic!("boom at {i}") } else { i })
+                    .collect();
+            });
+            let payload = result.expect_err("the worker panic must resurface");
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(message.contains("boom at 13"), "payload: {message:?}");
+        })
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_map() {
+        with_threads(4, || {
+            let _ = std::panic::catch_unwind(|| {
+                let _: Vec<i32> = (0..64).into_par_iter().map(|_| panic!("x")).collect();
+            });
+            // The same pool must still execute subsequent work.
+            let sum: usize = (0..1000usize).into_par_iter().map(|i| 2 * i).sum();
+            assert_eq!(sum, 999 * 1000);
+        })
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // A parallel map whose closure itself runs a parallel map — the
+        // matmul-inside-shard shape. Helping-while-waiting must keep the
+        // inner tasks live even when every worker is busy with outer tasks.
+        with_threads(3, || {
+            let outer: Vec<usize> = (0..8usize)
+                .into_par_iter()
+                .map(|i| (0..50usize).into_par_iter().map(|j| i + j).sum::<usize>())
+                .collect();
+            for (i, v) in outer.iter().enumerate() {
+                assert_eq!(*v, 50 * i + 49 * 50 / 2);
+            }
+        })
+    }
+
+    #[test]
+    fn work_is_actually_shared_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        with_threads(4, || {
+            let seen = Mutex::new(HashSet::new());
+            let _: Vec<()> = (0..64usize)
+                .into_par_iter()
+                .map(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    // Sleeping (not spinning) yields the CPU, so pool
+                    // workers get scheduled and steal chunks even on a
+                    // single-core host — without this the caller could
+                    // race through every chunk before a worker wakes.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                })
+                .collect();
+            let threads_used = seen.lock().unwrap().len();
+            assert!(
+                threads_used >= 2,
+                "expected at least two participating threads, saw {threads_used}"
+            );
+        })
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        with_threads(4, || {
+            let count = AtomicUsize::new(0);
+            (0..257usize).into_par_iter().for_each(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 257);
+        })
+    }
+
+    #[test]
+    fn explicit_thread_count_is_reported() {
+        with_threads(5, || assert_eq!(current_num_threads(), 5));
     }
 }
