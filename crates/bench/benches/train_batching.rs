@@ -1,0 +1,136 @@
+//! Training-throughput scaling over the batch width E — the PR-5 acceptance
+//! benchmark, and the writer of the second perf-trajectory entry
+//! (`BENCH_PR5.json`).
+//!
+//! One fixed trial shape — CartPole at `Ñ = 64`, a fixed episode budget —
+//! is executed end to end per design at E ∈ {1, 4, 16} parallel training
+//! episodes. E = 1 is the paper's scalar episode loop (`Trainer::run`);
+//! E > 1 is the E-parallel driver (`Trainer::run_vec`): per engine tick one
+//! batched ε-greedy decision per slot and **one** batch-B update — a single
+//! chunked Eq. 6 RLS recursion for the OS-ELM designs, one minibatch SGD
+//! step for DQN — instead of E scalar updates. Throughput is reported as
+//! environment steps per wall-clock second; the batching win is algorithmic
+//! (fewer, wider updates and fewer matvec chains), so it shows on a
+//! single-core container too, unlike the thread-scaling numbers of
+//! `BENCH_PR4.json`.
+//!
+//! After the criterion group, the trajectory entry is assembled from
+//! explicit timing loops (not the criterion samples) and written to
+//! `BENCH_PR5.json` in the workspace root: steps/sec per (design, E) plus
+//! the speedup of every E over that design's E = 1 baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_core::designs::Design;
+use elmrl_gym::Workload;
+use elmrl_harness::runner::{run_trial, TrialSpec};
+use serde::Serialize;
+use std::time::Instant;
+
+const TRAIN_ENVS: [usize; 3] = [1, 4, 16];
+const DESIGNS: [Design; 2] = [Design::OsElmL2Lipschitz, Design::Dqn];
+
+/// The benchmarked trial: one design at one batch width, fixed budget.
+fn spec(design: Design, train_envs: usize) -> TrialSpec {
+    let mut spec = TrialSpec::for_workload(Workload::CartPole, design, 64, 2026)
+        .with_max_episodes(96)
+        .with_train_envs(train_envs);
+    // Throughput benchmark: always run the full budget.
+    spec.trainer.stop_when_solved = false;
+    spec
+}
+
+fn bench_train_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_batching");
+    group.sample_size(5);
+    for design in DESIGNS {
+        for &e in &TRAIN_ENVS {
+            group.bench_with_input(BenchmarkId::new(design.label(), e), &e, |bench, &e| {
+                bench.iter(|| run_trial(&spec(design, e)).training.total_steps)
+            });
+        }
+    }
+    group.finish();
+}
+
+#[derive(Serialize)]
+struct BatchingEntry {
+    design: String,
+    train_envs: usize,
+    wall_seconds: f64,
+    total_steps: usize,
+    steps_per_second: f64,
+    speedup_vs_e1: f64,
+}
+
+#[derive(Serialize)]
+struct BenchTrajectory {
+    pr: usize,
+    benchmark: String,
+    host_available_parallelism: usize,
+    train_batching: Vec<BatchingEntry>,
+}
+
+/// Time one full trial and return (wall seconds, environment steps).
+fn timed_run(design: Design, train_envs: usize) -> (f64, usize) {
+    let start = Instant::now();
+    let result = run_trial(&spec(design, train_envs));
+    (start.elapsed().as_secs_f64(), result.training.total_steps)
+}
+
+/// Assemble and write `BENCH_PR5.json` — the second entry of the repo's
+/// perf trajectory (after `BENCH_PR4.json`), consumed by CI and by later
+/// PRs as the comparison baseline.
+fn write_trajectory(_c: &mut Criterion) {
+    let mut entries = Vec::new();
+    for design in DESIGNS {
+        let mut e1_steps_per_second = f64::NAN;
+        for &e in &TRAIN_ENVS {
+            let (_, _) = timed_run(design, e); // warm-up
+            let (mut best_wall, mut best_steps) = timed_run(design, e);
+            for _ in 0..2 {
+                // Best-of-3: the minimum wall time is the least
+                // noise-contaminated estimate of the true cost.
+                let (wall, steps) = timed_run(design, e);
+                if wall < best_wall {
+                    best_wall = wall;
+                    best_steps = steps;
+                }
+            }
+            let steps_per_second = best_steps as f64 / best_wall;
+            if e == 1 {
+                e1_steps_per_second = steps_per_second;
+            }
+            entries.push(BatchingEntry {
+                design: design.label().to_string(),
+                train_envs: e,
+                wall_seconds: best_wall,
+                total_steps: best_steps,
+                steps_per_second,
+                speedup_vs_e1: steps_per_second / e1_steps_per_second,
+            });
+        }
+    }
+
+    let trajectory = BenchTrajectory {
+        pr: 5,
+        benchmark: "train_batching cart-pole hidden=64, 96-episode budget, E ∈ {1, 4, 16}"
+            .to_string(),
+        host_available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        train_batching: entries,
+    };
+    let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+    // Anchor to the workspace root — `cargo bench` runs with the package
+    // directory as the working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
+    std::fs::write(path, &json).expect("write BENCH_PR5.json");
+    eprintln!("wrote BENCH_PR5.json:\n{json}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_train_batching, write_trajectory
+}
+criterion_main!(benches);

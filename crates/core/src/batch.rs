@@ -17,10 +17,13 @@
 //! forward passes that match the fallback **bit for bit** (the linalg
 //! kernels accumulate each output row independently of the other rows).
 //!
-//! Batched prediction is a pure forward pass: unlike [`Agent::act`] it does
-//! not touch the per-operation counters behind the Figure 5/6 breakdowns.
+//! [`BatchAgent::predict_batch`] is a pure forward pass and does not touch
+//! the per-operation counters behind the Figure 5/6 breakdowns; the
+//! [`BatchAgent::act_row`] policy overrides *do* record the same prediction
+//! counters as [`Agent::act`], so modeled execution times stay comparable
+//! between the scalar and E-parallel training drivers.
 
-use crate::agent::Agent;
+use crate::agent::{Agent, Observation};
 use crate::encoding::{ActionEncoding, StateActionEncoder};
 use crate::policy::argmax;
 use elmrl_elm::model::ElmModel;
@@ -61,9 +64,37 @@ pub trait BatchAgent: Agent {
     /// instead of one matvec chain per action). Because `predict_batch`
     /// matches `q_values` bit for bit and the policy draws from `rng`
     /// identically, overrides select exactly the action `act` would — only
-    /// cheaper, and without touching the Figure 5/6 operation counters.
+    /// cheaper — and record the same prediction counters as `act`, so the
+    /// Figure 5/6 modeled times stay design-comparable at any E.
     fn act_row(&mut self, state_row: &Matrix<f64>, rng: &mut SmallRng) -> usize {
         self.act(state_row.row(0), rng)
+    }
+
+    /// *Store* + *Update* for one engine tick's worth of transitions — the
+    /// batch-B training entry point of the E-parallel episode driver
+    /// ([`crate::trainer::Trainer::run_vec`]).
+    ///
+    /// The default implementation is the per-sample fallback: one
+    /// [`Agent::observe`] call per transition, in order — any agent is a
+    /// valid batched learner. The evaluated networks override it with
+    /// genuinely batched updates:
+    ///
+    /// * the OS-ELM designs compute every Q-target from **one** batched
+    ///   target-network forward pass and fold all gated transitions into a
+    ///   single `seq_train_batch` chunk (the B > 1 case of the paper's
+    ///   Eq. 6 recursion, block-exact w.r.t. B single-sample updates);
+    /// * DQN pushes the whole tick into replay and performs **one** true
+    ///   minibatch SGD step per tick instead of one per transition.
+    ///
+    /// With one transition per call the overrides follow the same update
+    /// rules as the scalar path (identical gating draws from `rng`, chunk
+    /// size 1); with B > 1 they change the *learning trajectory* — fewer,
+    /// wider updates — which is exactly the batching/throughput trade the
+    /// E-parallel driver documents (README "Batched training").
+    fn observe_batch(&mut self, batch: &[Observation], rng: &mut SmallRng) {
+        for obs in batch {
+            self.observe(obs, rng);
+        }
     }
 }
 
@@ -86,49 +117,99 @@ pub(crate) fn elm_q_batch(
     model: &ElmModel<f64>,
     states: &Matrix<f64>,
 ) -> Matrix<f64> {
+    let mut scratch = BatchQScratch::default();
+    elm_q_batch_into(encoder, model, states, &mut scratch);
+    std::mem::take(&mut scratch.q)
+}
+
+/// Reusable workspaces for one batched ELM-family Q evaluation. Every matrix
+/// keeps its allocation across calls (see [`Matrix::resize_zeroed`]), so a
+/// steady-state [`elm_q_batch_into`] evaluation performs zero heap
+/// allocations — the property the batched *training* hot path (Q-targets
+/// from the frozen target network, every tick) needs to stay allocation-free
+/// at E > 1, asserted by the counting-allocator test.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BatchQScratch {
+    /// `B × Ñ` — the shared `state·α_top` projection (scalar encoding).
+    shared: Matrix<f64>,
+    /// `(B·A) × Ñ` — pre-activations, activated in place into `H`; doubles
+    /// as the stacked `(B·A) × input` encoding under one-hot.
+    pre: Matrix<f64>,
+    /// `(B·A) × 1` — the stacked network outputs `H·β`.
+    y: Matrix<f64>,
+    /// `B × A` — the folded per-state Q matrix (the result).
+    pub(crate) q: Matrix<f64>,
+}
+
+/// [`elm_q_batch`] through caller-owned workspaces — bit-for-bit identical
+/// (the allocating entry point delegates here), with the result left in
+/// `scratch.q` (`B × A`).
+pub(crate) fn elm_q_batch_into(
+    encoder: &StateActionEncoder,
+    model: &ElmModel<f64>,
+    states: &Matrix<f64>,
+    scratch: &mut BatchQScratch,
+) {
     let b = states.rows();
     let a = encoder.num_actions();
     let sd = encoder.state_dim();
     assert_eq!(states.cols(), sd, "elm_q_batch: state width mismatch");
 
-    let h = match encoder.encoding() {
+    match encoder.encoding() {
         ActionEncoding::Scalar => {
             let alpha = model.alpha(); // (sd + 1) × Ñ
             let bias = model.bias(); // 1 × Ñ
             let nh = alpha.cols();
-            let alpha_top = alpha
-                .submatrix(0, sd, 0, nh)
-                .expect("alpha covers the state rows");
-            let shared = states.matmul(&alpha_top); // B × Ñ, once per state
-            let mut pre = Matrix::<f64>::zeros(b * a, nh);
+            // shared = states · α[0..sd, ..] — the historical path copied
+            // the top rows into a submatrix first; iterating α's rows
+            // directly performs the identical i-k-j accumulation without
+            // materialising the copy.
+            scratch.shared.resize_zeroed(b, nh);
             for i in 0..b {
-                let s_row = shared.row(i);
+                let s_row = states.row(i);
+                let o_row = scratch.shared.row_mut(i);
+                for (p, &a_ip) in s_row.iter().enumerate() {
+                    let alpha_row = alpha.row(p);
+                    for j in 0..nh {
+                        o_row[j] += a_ip * alpha_row[j];
+                    }
+                }
+            }
+            scratch.pre.resize_zeroed(b * a, nh);
+            for i in 0..b {
+                let s_row = scratch.shared.row(i);
                 for action in 0..a {
                     let af = action as f64;
-                    let row = pre.row_mut(i * a + action);
+                    let row = scratch.pre.row_mut(i * a + action);
                     for j in 0..nh {
                         row[j] = (s_row[j] + af * alpha[(sd, j)]) + bias[(0, j)];
                     }
                 }
             }
-            model.activation().apply_matrix(&pre)
+            model.activation().apply_matrix_inplace(&mut scratch.pre);
         }
         ActionEncoding::OneHot => {
             let input_dim = encoder.input_dim();
-            let mut stacked = Matrix::<f64>::zeros(b * a, input_dim);
+            scratch.shared.resize_zeroed(b * a, input_dim);
             for i in 0..b {
                 let state = states.row(i);
                 for action in 0..a {
-                    let row = stacked.row_mut(i * a + action);
+                    let row = scratch.shared.row_mut(i * a + action);
                     row[..sd].copy_from_slice(state);
                     row[sd + action] = 1.0;
                 }
             }
-            model.hidden(&stacked)
+            model.hidden_into(&scratch.shared, &mut scratch.pre);
         }
-    };
-    let y = h.matmul(model.beta()); // (B·A) × 1
-    Matrix::from_fn(b, a, |i, action| y[(i * a + action, 0)])
+    }
+    scratch.pre.matmul_into(model.beta(), &mut scratch.y); // (B·A) × 1
+    scratch.q.resize_zeroed(b, a);
+    for i in 0..b {
+        let q_row = scratch.q.row_mut(i);
+        for (action, v) in q_row.iter_mut().enumerate() {
+            *v = scratch.y[(i * a + action, 0)];
+        }
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +273,126 @@ mod tests {
                 assert_eq!(q[(i, action)], model.predict_single(input)[0]);
             }
         }
+    }
+
+    #[test]
+    fn observe_batch_of_one_matches_scalar_updates_numerically() {
+        // With the random-update gate off neither path draws from the RNG,
+        // so feeding the same transitions one at a time through `observe`
+        // and through chunk-size-1 `observe_batch` must produce the same
+        // learned Q surface (chunk-size-1 Eq. 6 equals the rank-1 fast path
+        // up to rounding).
+        use crate::oselm_qnet::{OsElmQNet, OsElmQNetConfig};
+        use elmrl_gym::Workload;
+        use rand::SeedableRng;
+
+        let spec = Workload::CartPole.spec();
+        let mut config = OsElmQNetConfig::for_workload(&spec, 8, 0.5, true);
+        config.random_update = false;
+        let mut rng_a = SmallRng::seed_from_u64(3);
+        let mut rng_b = SmallRng::seed_from_u64(3);
+        let mut scalar = OsElmQNet::new(config.clone(), &mut rng_a);
+        let mut batched = OsElmQNet::new(config, &mut rng_b);
+
+        let transitions: Vec<Observation> = (0..40)
+            .map(|i| Observation {
+                state: vec![0.01 * i as f64, -0.02, 0.03 * ((i % 5) as f64), 0.04],
+                action: i % 2,
+                reward: if i % 7 == 0 { -1.0 } else { 0.0 },
+                next_state: vec![0.01 * i as f64 + 0.01, -0.01, 0.02, 0.05],
+                done: i % 7 == 0,
+                truncated: false,
+            })
+            .collect();
+        for obs in &transitions {
+            scalar.observe(obs, &mut rng_a);
+            batched.observe_batch(std::slice::from_ref(obs), &mut rng_b);
+        }
+        assert!(scalar.is_initialized() && batched.is_initialized());
+        let probe = [0.02, -0.01, 0.03, 0.02];
+        let qa = scalar.q_values(&probe);
+        let qb = batched.q_values(&probe);
+        for (a, b) in qa.iter().zip(qb.iter()) {
+            assert!((a - b).abs() < 1e-8, "scalar {qa:?} vs batched {qb:?}");
+        }
+    }
+
+    #[test]
+    fn observe_batch_trains_one_chunk_per_tick_and_respects_the_gate() {
+        use crate::ops::OpKind;
+        use crate::oselm_qnet::{OsElmQNet, OsElmQNetConfig};
+        use elmrl_gym::Workload;
+        use rand::SeedableRng;
+
+        let spec = Workload::CartPole.spec();
+        let tick: Vec<Observation> = (0..4)
+            .map(|i| Observation {
+                state: vec![0.01 * i as f64, -0.02, 0.03, 0.04],
+                action: i % 2,
+                reward: 0.0,
+                next_state: vec![0.01 * i as f64 + 0.01, -0.01, 0.02, 0.05],
+                done: false,
+                truncated: false,
+            })
+            .collect();
+
+        // Gate closed (update_prob = 0): after initialisation no chunk ever
+        // trains.
+        let mut config = OsElmQNetConfig::for_workload(&spec, 8, 0.5, true);
+        config.update_prob = 0.0;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut agent = OsElmQNet::new(config, &mut rng);
+        for _ in 0..10 {
+            agent.observe_batch(&tick, &mut rng);
+        }
+        assert!(agent.is_initialized());
+        assert_eq!(agent.op_counts().count(OpKind::SeqTrain), 0);
+
+        // Gate open (ablation mode): every transition of every tick trains,
+        // as one chunk per tick.
+        let mut config = OsElmQNetConfig::for_workload(&spec, 8, 0.5, true);
+        config.random_update = false;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut agent = OsElmQNet::new(config, &mut rng);
+        for _ in 0..10 {
+            agent.observe_batch(&tick, &mut rng);
+        }
+        // 40 transitions: 8 fill buffer D, the remaining 32 all train.
+        assert_eq!(agent.op_counts().count(OpKind::SeqTrain), 32);
+    }
+
+    #[test]
+    fn dqn_observe_batch_takes_one_gradient_step_per_tick() {
+        use crate::dqn::{DqnAgent, DqnConfig};
+        use crate::ops::OpKind;
+        use elmrl_gym::Workload;
+        use rand::SeedableRng;
+
+        let spec = Workload::CartPole.spec();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut agent = DqnAgent::new(DqnConfig::for_workload(&spec, 16), &mut rng);
+        let tick: Vec<Observation> = (0..8)
+            .map(|i| Observation {
+                state: vec![0.01 * (i % 17) as f64, -0.02, 0.03, 0.04],
+                action: i % 2,
+                reward: 0.0,
+                next_state: vec![0.01 * (i % 17) as f64 + 0.01, -0.01, 0.02, 0.05],
+                done: false,
+                truncated: false,
+            })
+            .collect();
+        // 8 ticks × 8 transitions = 64 = warmup: every transition lands in
+        // replay, and gradient steps only start once warm — then exactly one
+        // per tick.
+        for _ in 0..8 {
+            agent.observe_batch(&tick, &mut rng);
+        }
+        assert_eq!(agent.replay_len(), 64);
+        assert_eq!(agent.op_counts().count(OpKind::TrainDqn), 1);
+        for _ in 0..5 {
+            agent.observe_batch(&tick, &mut rng);
+        }
+        assert_eq!(agent.op_counts().count(OpKind::TrainDqn), 6);
     }
 
     #[test]

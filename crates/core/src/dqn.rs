@@ -251,10 +251,33 @@ impl BatchAgent for DqnAgent {
     }
 
     /// ε-greedy through the batched forward: same Q (bit for bit), same RNG
-    /// draws, same action as [`Agent::act`].
+    /// draws, same action as [`Agent::act`]. Records the same prediction
+    /// counter as [`Agent::act`], so modeled execution times stay
+    /// comparable between the scalar and E-parallel drivers.
     fn act_row(&mut self, state_row: &Matrix<f64>, rng: &mut SmallRng) -> usize {
+        let start = Instant::now();
         let q = self.predict_batch(state_row);
+        self.ops.record(OpKind::Predict1, start.elapsed());
         self.policy.select(q.row(0), rng)
+    }
+
+    /// One engine tick's transitions: push all of them into replay, then
+    /// perform **one** true minibatch SGD step (one sampled batch, one
+    /// gradient update) instead of the scalar path's one-step-per-transition
+    /// — B transitions arriving together would otherwise trigger B gradient
+    /// steps on nearly identical replay contents. With `batch.len() == 1`
+    /// this is exactly the scalar [`Agent::observe`].
+    fn observe_batch(&mut self, batch: &[Observation], rng: &mut SmallRng) {
+        for obs in batch {
+            self.replay.push(Transition {
+                state: obs.state.clone(),
+                action: obs.action,
+                reward: obs.reward,
+                next_state: obs.next_state.clone(),
+                done: obs.done,
+            });
+        }
+        self.train_on_batch(rng);
     }
 }
 

@@ -229,8 +229,19 @@ impl BatchAgent for ElmQNet {
 
     /// ε-greedy through the batched kernel: same Q (bit for bit), same RNG
     /// draws, same action as [`Agent::act`] — minus the per-action matvecs.
+    /// Records the same per-action prediction counters as [`Agent::act`],
+    /// so modeled execution times stay comparable between the scalar and
+    /// E-parallel drivers.
     fn act_row(&mut self, state_row: &Matrix<f64>, rng: &mut SmallRng) -> usize {
+        let start = Instant::now();
         let q = self.predict_batch(state_row);
+        let kind = if self.trained_once {
+            OpKind::PredictSeq
+        } else {
+            OpKind::PredictInit
+        };
+        self.ops
+            .record_n(kind, self.config.num_actions as u64, start.elapsed());
         self.policy.select(q.row(0), rng)
     }
 }

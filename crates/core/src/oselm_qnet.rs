@@ -15,7 +15,7 @@
 //! replay.
 
 use crate::agent::{Agent, Observation};
-use crate::batch::{elm_q_batch, BatchAgent};
+use crate::batch::{elm_q_batch, elm_q_batch_into, BatchAgent, BatchQScratch};
 use crate::clipping::TargetConfig;
 use crate::encoding::StateActionEncoder;
 use crate::ops::{OpCounts, OpKind};
@@ -113,6 +113,18 @@ impl OsElmQNetConfig {
         )
     }
 
+    /// One draw of the random-update rule (Algorithm 1 lines 21–22): should
+    /// the transition currently being observed trigger a sequential update?
+    /// Shared by the scalar and batched observe paths so the gate cannot
+    /// drift between them.
+    fn update_gate(&self, rng: &mut SmallRng) -> bool {
+        if self.random_update {
+            rng.gen_range(0.0..1.0) < self.update_prob
+        } else {
+            true
+        }
+    }
+
     fn elm_config(&self) -> OsElmConfig {
         OsElmConfig::new(self.state_dim + 1, self.hidden_dim, 1)
             .with_activation(self.activation)
@@ -167,6 +179,26 @@ pub(crate) fn q_into(
     }
 }
 
+/// Reusable workspaces for the batched *training* path
+/// ([`BatchAgent::observe_batch`]): gating indices, the packed next-state
+/// matrix, the batched target-network Q evaluation and the `seq_train_batch`
+/// chunk. All keep their allocations across ticks, so the E > 1 steady state
+/// performs zero heap allocations inside the agent (asserted by the
+/// counting-allocator test in `tests/alloc_steady_state.rs`).
+#[derive(Clone, Debug, Default)]
+struct BatchObserveScratch {
+    /// Indices (into the tick's batch) that passed the random-update gate.
+    selected: Vec<usize>,
+    /// `B × state_dim` packed next states of the gated transitions.
+    next_states: Matrix<f64>,
+    /// `B × input` encoded `(state, action)` chunk.
+    x: Matrix<f64>,
+    /// `B × 1` Q-targets.
+    t: Matrix<f64>,
+    /// Workspaces of the batched target-network forward.
+    q: BatchQScratch,
+}
+
 /// The OS-ELM Q-Network agent.
 pub struct OsElmQNet {
     config: OsElmQNetConfig,
@@ -180,6 +212,8 @@ pub struct OsElmQNet {
     buffer: Vec<Observation>,
     /// Prediction workspaces (never observable through the public API).
     scratch: QScratch,
+    /// Batched-training workspaces (never observable through the public API).
+    bscratch: BatchObserveScratch,
     ops: OpCounts,
     name: String,
 }
@@ -198,6 +232,7 @@ impl OsElmQNet {
             target,
             buffer: Vec::with_capacity(config.hidden_dim),
             scratch: QScratch::default(),
+            bscratch: BatchObserveScratch::default(),
             ops: OpCounts::new(),
             config,
             name,
@@ -341,12 +376,7 @@ impl Agent for OsElmQNet {
             return;
         }
         // Update phase: the random-update rule (Algorithm 1 lines 21–22).
-        let should_update = if self.config.random_update {
-            rng.gen_range(0.0..1.0) < self.config.update_prob
-        } else {
-            true
-        };
-        if should_update {
+        if self.config.update_gate(rng) {
             self.run_sequential_update(obs);
         }
     }
@@ -395,9 +425,87 @@ impl BatchAgent for OsElmQNet {
 
     /// ε-greedy through the batched kernel: same Q (bit for bit), same RNG
     /// draws, same action as [`Agent::act`] — minus the per-action matvecs.
+    /// Records the same per-action prediction counters as [`Agent::act`],
+    /// so modeled execution times stay comparable between the scalar and
+    /// E-parallel drivers.
     fn act_row(&mut self, state_row: &Matrix<f64>, rng: &mut SmallRng) -> usize {
+        let start = Instant::now();
         let q = self.predict_batch(state_row);
+        let kind = if self.online.is_initialized() {
+            OpKind::PredictSeq
+        } else {
+            OpKind::PredictInit
+        };
+        self.ops
+            .record_n(kind, self.config.num_actions as u64, start.elapsed());
         self.policy.select(q.row(0), rng)
+    }
+
+    /// One engine tick's transitions, trained as **one** batch-B RLS chunk:
+    /// the random-update rule draws one gate per transition (as the scalar
+    /// path would), every surviving transition's Q-target comes from a
+    /// single batched forward through the frozen target network θ₂
+    /// (`elm_q_batch_into`, bit-for-bit the scalar per-action
+    /// evaluation), and the chunk goes through
+    /// [`elmrl_elm::OsElm::seq_train_batch`] — the B > 1 case of Eq. 6,
+    /// block-exact w.r.t. B single-sample updates. Allocation-free at
+    /// steady state; with `batch.len() == 1` it performs the same update
+    /// the scalar [`Agent::observe`] would (chunk size 1).
+    fn observe_batch(&mut self, batch: &[Observation], rng: &mut SmallRng) {
+        // Store phase: transitions fill buffer D through the scalar path
+        // until the initial training has run (fires mid-batch at most once).
+        let mut start = 0;
+        while start < batch.len() && !self.is_initialized() {
+            self.observe(&batch[start], rng);
+            start += 1;
+        }
+        let rest = &batch[start..];
+        if rest.is_empty() {
+            return;
+        }
+        // Update phase: the random-update rule, one draw per transition
+        // (Algorithm 1 lines 21–22) — the same gate the scalar path uses.
+        let mut selected = std::mem::take(&mut self.bscratch.selected);
+        selected.clear();
+        for i in 0..rest.len() {
+            if self.config.update_gate(rng) {
+                selected.push(i);
+            }
+        }
+        if !selected.is_empty() {
+            let started = Instant::now();
+            let b = selected.len();
+            let Self {
+                config,
+                encoder,
+                online,
+                target,
+                scratch,
+                bscratch,
+                ops,
+                ..
+            } = self;
+            bscratch.next_states.resize_zeroed(b, config.state_dim);
+            for (r, &i) in selected.iter().enumerate() {
+                bscratch.next_states.set_row(r, &rest[i].next_state);
+            }
+            elm_q_batch_into(encoder, target, &bscratch.next_states, &mut bscratch.q);
+            bscratch.x.resize_zeroed(b, encoder.input_dim());
+            bscratch.t.resize_zeroed(b, 1);
+            for (r, &i) in selected.iter().enumerate() {
+                let obs = &rest[i];
+                encoder.encode_into(&obs.state, obs.action, &mut scratch.enc);
+                bscratch.x.set_row(r, &scratch.enc);
+                let max_next = max_q(bscratch.q.q.row(r));
+                bscratch.t[(r, 0)] = config.target.target(obs.reward, max_next, obs.done);
+            }
+            if online.seq_train_batch(&bscratch.x, &bscratch.t).is_ok() {
+                ops.record_n(OpKind::SeqTrain, b as u64, started.elapsed());
+            } else {
+                debug_assert!(false, "batched sequential update before initial training");
+            }
+        }
+        self.bscratch.selected = selected;
     }
 }
 

@@ -20,10 +20,13 @@
 //! any future registry entry.
 
 use crate::agent::{Agent, Observation};
+use crate::batch::BatchAgent;
 use crate::ops::OpCounts;
 use crate::reward::RewardShaping;
-use elmrl_gym::{EnvSpec, Environment, EpisodeStats};
+use elmrl_gym::{EnvSpec, Environment, EpisodeStats, VecEnv};
+use elmrl_linalg::Matrix;
 use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -215,6 +218,158 @@ impl Trainer {
                         agent.reset(rng);
                         resets += 1;
                         episodes_since_reset = 0;
+                    }
+                }
+            }
+        }
+
+        TrainingResult {
+            design: agent.name().to_string(),
+            hidden_dim: agent.hidden_dim(),
+            solved: solved_at_episode.is_some(),
+            solved_at_episode,
+            episodes_run,
+            total_steps,
+            resets,
+            wall_time: start.elapsed(),
+            stats,
+            op_counts: agent.op_counts().clone(),
+        }
+    }
+
+    /// Run one trial of `agent` against **E parallel episodes** — the
+    /// batched training driver behind `--train-envs`.
+    ///
+    /// Every engine tick steps all still-active episode slots of `vec_env`
+    /// in lockstep: the agent picks one ε-greedy action per slot through
+    /// the batched forward kernel ([`BatchAgent::act_row`], slot `j`
+    /// drawing from its own RNG stream), the environments advance (finished
+    /// slots auto-reset), and the tick's transitions are handed to the
+    /// agent as **one** [`BatchAgent::observe_batch`] call — for the OS-ELM
+    /// designs a single batch-B RLS chunk, for DQN one minibatch SGD step.
+    ///
+    /// Protocol semantics generalise the scalar loop:
+    ///
+    /// * **Episode accounting** is global and deterministic: episodes are
+    ///   numbered in completion order (ticks in time order, slots in index
+    ///   order within a tick), each completion drives
+    ///   [`Agent::end_episode`], the per-episode statistics, the solve
+    ///   criterion and the reset rule exactly as in [`Trainer::run`].
+    /// * **Determinism**: slot RNG streams are seeded from `rng` up front
+    ///   and the gating/reset draws use `rng` itself, so a run is a pure
+    ///   function of (agent seed, `rng` state, E).
+    /// * **Budget**: the trial stops once `max_episodes` episodes have
+    ///   completed (or the criterion fires with `stop_when_solved`);
+    ///   in-flight episodes on other slots are abandoned, and their steps
+    ///   stay in `total_steps` (every consumed environment transition is
+    ///   counted).
+    ///
+    /// With E = 1 the loop performs the same episode protocol as
+    /// [`Trainer::run`] but draws its environment randomness from a derived
+    /// slot stream and updates through chunk-size-1 `observe_batch`, so the
+    /// trajectory differs from the scalar loop's; callers that need the
+    /// paper's byte-exact B = 1 protocol (the default everywhere) use
+    /// [`Trainer::run`], which `run_trial`/the population engine dispatch
+    /// to whenever `train_envs == 1`.
+    pub fn run_vec(
+        &self,
+        agent: &mut dyn BatchAgent,
+        vec_env: &mut VecEnv,
+        rng: &mut SmallRng,
+    ) -> TrainingResult {
+        let start = Instant::now();
+        let e = vec_env.len();
+        let mut stats =
+            EpisodeStats::with_window(self.config.solved_window, vec_env.solved_threshold());
+        // Per-slot environment/policy streams, split deterministically from
+        // the master stream before the first tick.
+        let mut slot_rngs: Vec<SmallRng> =
+            (0..e).map(|_| SmallRng::seed_from_u64(rng.gen())).collect();
+        vec_env.reset_all(&mut slot_rngs);
+
+        let mut episode_returns = vec![0.0f64; e];
+        let mut active = vec![self.config.max_episodes > 0; e];
+        let mut actions: Vec<Option<usize>> = vec![None; e];
+        let mut pre_states: Vec<Vec<f64>> = vec![Vec::new(); e];
+        let mut tick_obs: Vec<Observation> = Vec::with_capacity(e);
+        let mut state_row = Matrix::zeros(1, vec_env.obs_dim());
+        let mut total_steps = 0usize;
+        let mut resets = 0usize;
+        let mut episodes_since_reset = 0usize;
+        let mut episodes_run = 0usize;
+        let mut solved_at_episode: Option<usize> = None;
+
+        while active.iter().any(|&a| a) {
+            // Determine: one batched-kernel ε-greedy decision per active slot.
+            for j in 0..e {
+                actions[j] = if active[j] {
+                    pre_states[j].clear();
+                    pre_states[j].extend_from_slice(vec_env.state(j));
+                    state_row.set_row(0, &pre_states[j]);
+                    Some(agent.act_row(&state_row, &mut slot_rngs[j]))
+                } else {
+                    None
+                };
+            }
+
+            // Observe: one lockstep environment tick with auto-reset.
+            let outs = vec_env.step(&actions, &mut slot_rngs);
+
+            // Store + Update: the whole tick as one batched agent update.
+            tick_obs.clear();
+            for j in 0..e {
+                let (Some(action), Some(step)) = (actions[j], &outs[j]) else {
+                    continue;
+                };
+                total_steps += 1;
+                episode_returns[j] += step.outcome.reward;
+                let shaped = self.config.reward_shaping.shape(
+                    step.outcome.reward,
+                    step.outcome.done,
+                    step.outcome.truncated,
+                );
+                tick_obs.push(Observation {
+                    state: pre_states[j].clone(),
+                    action,
+                    reward: shaped,
+                    next_state: step.outcome.observation.clone(),
+                    done: step.outcome.done,
+                    truncated: step.outcome.truncated,
+                });
+            }
+            agent.observe_batch(&tick_obs, rng);
+
+            // Episode bookkeeping in deterministic completion order (slot
+            // index order within the tick).
+            for j in 0..e {
+                let Some(step) = &outs[j] else { continue };
+                if !step.auto_reset {
+                    continue;
+                }
+                let episode = episodes_run;
+                agent.end_episode(episode);
+                episodes_run += 1;
+                episodes_since_reset += 1;
+                let episode_return = episode_returns[j];
+                episode_returns[j] = 0.0;
+                stats.record_episode(episode_return);
+
+                if solved_at_episode.is_none() && self.criterion_met(&stats, episode_return) {
+                    solved_at_episode = Some(episode);
+                }
+                if (solved_at_episode.is_some() && self.config.stop_when_solved)
+                    || episodes_run >= self.config.max_episodes
+                {
+                    active.iter_mut().for_each(|a| *a = false);
+                    break;
+                }
+                if solved_at_episode.is_none() {
+                    if let Some(reset_after) = self.config.reset_after_episodes {
+                        if episodes_since_reset >= reset_after {
+                            agent.reset(rng);
+                            resets += 1;
+                            episodes_since_reset = 0;
+                        }
                     }
                 }
             }
@@ -472,6 +627,101 @@ mod tests {
 
         fn memory_footprint_bytes(&self) -> usize {
             0
+        }
+    }
+
+    impl crate::batch::BatchAgent for CountingAgent {}
+
+    fn scripted_vec(lengths: &[usize], e: usize) -> elmrl_gym::VecEnv {
+        elmrl_gym::VecEnv::new(
+            (0..e)
+                .map(|_| Box::new(ScriptedEnv::new(lengths)) as Box<dyn elmrl_gym::Environment>)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn run_vec_accounts_episodes_in_slot_completion_order() {
+        // Three slots of 3-step episodes: every third tick completes three
+        // episodes (slot order), and the 6-episode budget stops the run at
+        // the end of tick 6 with every consumed step counted.
+        let mut env = scripted_vec(&[3], 3);
+        let mut agent = CountingAgent::new();
+        let mut config = TrainerConfig::quick(6);
+        config.reset_after_episodes = None;
+        config.solve_criterion = SolveCriterion::EpisodeReturn { threshold: 1000.0 };
+        let result = Trainer::new(config).run_vec(&mut agent, &mut env, &mut rng(0));
+        assert!(!result.solved);
+        assert_eq!(result.episodes_run, 6);
+        assert_eq!(result.total_steps, 18, "all three slots step every tick");
+        assert_eq!(result.stats.episodes(), 6);
+        assert!(result.stats.returns.iter().all(|&r| r == 3.0));
+    }
+
+    #[test]
+    fn run_vec_stops_on_the_first_solving_episode() {
+        let mut env = scripted_vec(&[60], 4);
+        let mut agent = CountingAgent::new();
+        let mut config = TrainerConfig::quick(50);
+        config.reset_after_episodes = None;
+        config.solve_criterion = SolveCriterion::EpisodeReturn { threshold: 50.0 };
+        let result = Trainer::new(config).run_vec(&mut agent, &mut env, &mut rng(0));
+        assert!(result.solved);
+        assert_eq!(result.solved_at_episode, Some(0));
+        assert_eq!(result.episodes_run, 1, "stop_when_solved must stop the run");
+        // All four slots ran the full 60 ticks before any episode completed.
+        assert_eq!(result.total_steps, 4 * 60);
+    }
+
+    #[test]
+    fn run_vec_reset_rule_fires_on_the_global_episode_schedule() {
+        let mut env = scripted_vec(&[3], 3);
+        let mut agent = CountingAgent::new();
+        let mut config = TrainerConfig::quick(5);
+        config.reset_after_episodes = Some(2);
+        config.solve_criterion = SolveCriterion::EpisodeReturn { threshold: 1000.0 };
+        let result = Trainer::new(config).run_vec(&mut agent, &mut env, &mut rng(0));
+        assert!(!result.solved);
+        assert_eq!(result.episodes_run, 5);
+        // Episodes complete at ticks 3 (0,1,2) and 6 (3,4): resets fire
+        // after episodes 1 and 3 — two in total, both reaching the agent.
+        assert_eq!(result.resets, 2);
+        assert_eq!(agent.resets, 2);
+    }
+
+    #[test]
+    fn run_vec_with_a_real_design_is_deterministic_and_env_count_sensitive() {
+        let run = |seed: u64, e: usize| {
+            let mut r = rng(seed);
+            let mut agent = Design::OsElmL2Lipschitz.build_batch(&DesignConfig::new(8), &mut r);
+            let spec = elmrl_gym::Workload::CartPole.spec();
+            let mut env = elmrl_gym::VecEnv::from_spec(&spec, e);
+            Trainer::new(TrainerConfig::quick(8))
+                .run_vec(agent.as_mut(), &mut env, &mut r)
+                .stats
+                .returns
+        };
+        assert_eq!(run(7, 4), run(7, 4), "same seed + E must replay");
+        assert_ne!(run(7, 4), run(8, 4), "seed must matter");
+        assert_ne!(run(7, 4), run(7, 2), "E changes the trajectory");
+    }
+
+    #[test]
+    fn run_vec_runs_every_software_design() {
+        for design in Design::software_designs() {
+            let mut r = rng(31);
+            let mut agent = design.build_batch(&DesignConfig::new(8), &mut r);
+            let spec = elmrl_gym::Workload::CartPole.spec();
+            let mut env = elmrl_gym::VecEnv::from_spec(&spec, 3);
+            let mut config = TrainerConfig::quick(6);
+            config.solve_criterion = SolveCriterion::MovingAverage {
+                threshold: 195.0,
+                window: 100,
+            };
+            let result = Trainer::new(config).run_vec(agent.as_mut(), &mut env, &mut r);
+            assert_eq!(result.episodes_run, 6, "{design:?}");
+            assert!(result.total_steps >= 6, "{design:?}");
+            assert!(result.stats.returns.iter().all(|v| v.is_finite()));
         }
     }
 

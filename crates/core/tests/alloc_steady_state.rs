@@ -121,3 +121,54 @@ fn steady_state_training_step_allocates_nothing() {
         after - before
     );
 }
+
+#[test]
+fn steady_state_batched_training_tick_allocates_nothing() {
+    // The PR-5 contract: with E > 1 episode slots feeding B > 1 transitions
+    // per engine tick, the agent-side batched update — gating, the packed
+    // next-state matrix, the batched target-network forward, and the
+    // batch-B RLS chunk through `seq_train_batch` — is also allocation-free
+    // once every workspace has reached its steady size.
+    use elmrl_core::batch::BatchAgent;
+
+    let spec = Workload::CartPole.spec();
+    let mut config = OsElmQNetConfig::for_workload(&spec, 16, 0.5, true);
+    config.random_update = false; // every tick trains the full chunk
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut agent = OsElmQNet::new(config, &mut rng);
+
+    // One reusable tick of B = 4 transitions (distinct states so the
+    // initial training's Gram matrix is well-posed).
+    let tick: Vec<Observation> = (0..4)
+        .map(|i| Observation {
+            state: vec![0.02 * i as f64, -0.02, 0.03, 0.01 * (i % 3) as f64],
+            action: i % 2,
+            reward: if i == 3 { -1.0 } else { 0.0 },
+            next_state: vec![0.02 * i as f64 + 0.005, -0.01, 0.02, 0.01],
+            done: i == 3,
+            truncated: false,
+        })
+        .collect();
+
+    // Store phase (4 ticks fill buffer D with Ñ = 16 samples) + warm-up so
+    // every workspace reaches steady capacity.
+    for _ in 0..32 {
+        agent.observe_batch(&tick, &mut rng);
+    }
+    assert!(agent.is_initialized());
+
+    COUNTING.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..256 {
+        agent.observe_batch(&tick, &mut rng);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|flag| flag.set(false));
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batched tick must not allocate ({} allocations over 256 ticks)",
+        after - before
+    );
+}

@@ -17,6 +17,7 @@
 
 use crate::config::OsElmConfig;
 use crate::model::ElmModel;
+use elmrl_linalg::decomp::{cholesky_into, solve_spd_into, Cholesky};
 use elmrl_linalg::solve::inverse;
 use elmrl_linalg::{LinalgError, Matrix, Scalar};
 use rand::Rng;
@@ -56,23 +57,37 @@ impl From<LinalgError> for OsElmError {
     }
 }
 
-/// Reusable workspaces for the batch-size-1 fast path. Every matrix keeps
-/// its allocation across calls (see [`Matrix::resize_zeroed`]), so the
-/// steady-state sequential update performs **zero matrix heap allocations**
-/// — the throughput property the paper's line-rate claim rests on, asserted
-/// by the counting-allocator test in `elmrl-core`.
+/// Reusable workspaces for the sequential-update hot paths — the batch-size-1
+/// fast path and the chunked batch-B recursion. Every matrix keeps its
+/// allocation across calls (see [`Matrix::resize_zeroed`]), so once the
+/// workspaces have reached their steady size both paths perform **zero
+/// matrix heap allocations** — the throughput property the paper's line-rate
+/// claim rests on, asserted by the counting-allocator test in `elmrl-core`.
+/// Workspace shapes are quoted for a chunk of `B` samples; the fast path is
+/// the `B = 1` case.
 #[derive(Clone, Debug)]
 struct SeqScratch<T: Scalar> {
-    /// `1 × n` staging row for the input sample.
+    /// `1 × n` staging row for the single-sample input.
     x: Matrix<T>,
-    /// `1 × Ñ` hidden activation `h`.
+    /// `B × Ñ` hidden activation `H`.
     h: Matrix<T>,
-    /// `Ñ × 1` — `P·hᵀ` before the downdate, `P_new·hᵀ` after.
+    /// `Ñ × B` — `P·Hᵀ` before the downdate, `P_new·Hᵀ` after.
     ph: Matrix<T>,
-    /// `1 × Ñ` — `h·P`.
+    /// `B × Ñ` — `H·P`.
     hp: Matrix<T>,
-    /// `1 × m` — the prediction `h·β` whose residual drives the β update.
+    /// `B × m` — the prediction `H·β`, overwritten in place by the residual
+    /// `t − H·β` that drives the β update.
     pred: Matrix<T>,
+    /// `B × B` — the innovation matrix `S = I + H·P·Hᵀ` (batch path only).
+    s: Matrix<T>,
+    /// `B × B` — the Cholesky factor of `S` (batch path only).
+    l: Matrix<T>,
+    /// `B × Ñ` — the solve `S⁻¹·(H·P)` (batch path only).
+    sol: Matrix<T>,
+    /// `Ñ × Ñ` — the `P` downdate `(P·Hᵀ)·S⁻¹·(H·P)` (batch path only).
+    update: Matrix<T>,
+    /// `Ñ × m` — the β increment `(P_new·Hᵀ)·e` (batch path only).
+    delta: Matrix<T>,
 }
 
 // Manual impl: `derive(Default)` would demand `T: Default`, which `Scalar`
@@ -85,6 +100,11 @@ impl<T: Scalar> Default for SeqScratch<T> {
             ph: Matrix::default(),
             hp: Matrix::default(),
             pred: Matrix::default(),
+            s: Matrix::default(),
+            l: Matrix::default(),
+            sol: Matrix::default(),
+            update: Matrix::default(),
+            delta: Matrix::default(),
         }
     }
 }
@@ -214,7 +234,16 @@ impl<T: Scalar> OsElm<T> {
         Ok(())
     }
 
-    /// General sequential update with an arbitrary chunk size (Equation 6).
+    /// General sequential update with an arbitrary chunk size (Equation 6),
+    /// in the allocating reference form: every intermediate is a fresh
+    /// matrix. The innovation matrix `S = I + H·P·Hᵀ` is symmetric positive
+    /// definite (P is SPD by construction), so the solve goes through
+    /// Cholesky — with an LU fallback for the rare case where rounding has
+    /// pushed `S` off positive definiteness.
+    ///
+    /// [`OsElm::seq_train_batch`] performs the **same arithmetic** through
+    /// reusable workspaces; the equivalence proptest pins the two paths
+    /// bit for bit.
     pub fn seq_train(&mut self, x: &Matrix<T>, t: &Matrix<T>) -> Result<(), OsElmError> {
         self.check_shapes(x, t)?;
         let p = self.p.as_ref().ok_or(OsElmError::NotInitialized)?;
@@ -223,15 +252,19 @@ impl<T: Scalar> OsElm<T> {
 
         // S = I + H·P·Hᵀ  (k×k)
         let ph_t = p.matmul_t(&h); // P·Hᵀ (Ñ×k)
+        let hp = h.matmul(p); // H·P (k×Ñ)
         let mut s = h.matmul(&ph_t); // H·P·Hᵀ
         for i in 0..k {
             s[(i, i)] += T::one();
         }
-        let s_inv = inverse(&s)?;
+        let sol = match Cholesky::decompose(&s) {
+            Ok(ch) => ch.solve(&hp)?, // S⁻¹·H·P (k×Ñ)
+            Err(LinalgError::NotPositiveDefinite { .. }) => inverse(&s)?.matmul(&hp),
+            Err(e) => return Err(e.into()),
+        };
 
         // P ← P − P·Hᵀ·S⁻¹·H·P
-        let hp = h.matmul(p); // H·P (k×Ñ)
-        let update = ph_t.matmul(&s_inv).matmul(&hp);
+        let update = ph_t.matmul(&sol);
         let new_p = p - &update;
 
         // β ← β + P·Hᵀ·(t − H·β)
@@ -241,6 +274,69 @@ impl<T: Scalar> OsElm<T> {
 
         self.p = Some(new_p);
         self.model.set_beta(new_beta);
+        self.seq_train_count += 1;
+        Ok(())
+    }
+
+    /// Batch-B sequential update — the Equation 6 chunked recursion rebuilt
+    /// on the reusable `SeqScratch` workspaces, so the steady-state update
+    /// performs **zero matrix heap allocations** for any chunk size. One
+    /// B-chunk update equals B single-sample updates in exact arithmetic
+    /// (the recursion is block-exact); in floating point the two drift only
+    /// at rounding level, which the equivalence tests bound at `1e-9`.
+    ///
+    /// The arithmetic is operation-for-operation the allocating
+    /// [`OsElm::seq_train`] (every `*_into` kernel and the Cholesky
+    /// workspace kernels are bit-for-bit pinned against their allocating
+    /// twins), so the two entry points return bit-identical `P` and `β` —
+    /// the property the `elmrl-elm` proptest asserts.
+    pub fn seq_train_batch(&mut self, x: &Matrix<T>, t: &Matrix<T>) -> Result<(), OsElmError> {
+        self.check_shapes(x, t)?;
+        let Self {
+            model, p, scratch, ..
+        } = self;
+        let p = p.as_mut().ok_or(OsElmError::NotInitialized)?;
+        let k = x.rows();
+
+        // H = G(x·α + b) (B×Ñ); P·Hᵀ (Ñ×B); H·P (B×Ñ).
+        model.hidden_into(x, &mut scratch.h);
+        p.matmul_t_into(&scratch.h, &mut scratch.ph);
+        scratch.h.matmul_into(p, &mut scratch.hp);
+
+        // S = I + H·P·Hᵀ (B×B).
+        scratch.h.matmul_into(&scratch.ph, &mut scratch.s);
+        for i in 0..k {
+            scratch.s[(i, i)] += T::one();
+        }
+        match cholesky_into(&scratch.s, &mut scratch.l) {
+            Ok(()) => solve_spd_into(&scratch.l, &scratch.hp, &mut scratch.sol)
+                .map_err(OsElmError::from)?,
+            Err(LinalgError::NotPositiveDefinite { .. }) => {
+                // Rounding pushed S off SPD — rare enough that the LU
+                // fallback may allocate, exactly as `seq_train` does.
+                inverse(&scratch.s)?.matmul_into(&scratch.hp, &mut scratch.sol);
+            }
+            Err(e) => return Err(e.into()),
+        }
+
+        // P ← P − (P·Hᵀ)·S⁻¹·(H·P), downdated in place.
+        scratch.ph.matmul_into(&scratch.sol, &mut scratch.update);
+        *p -= &scratch.update;
+
+        // Residual e = t − H·β (B×m), in place on the prediction buffer.
+        scratch.h.matmul_into(model.beta(), &mut scratch.pred);
+        for r in 0..k {
+            let t_row = t.row(r);
+            for (c, v) in scratch.pred.row_mut(r).iter_mut().enumerate() {
+                *v = t_row[c] - *v;
+            }
+        }
+
+        // β ← β + (P_new·Hᵀ)·e, accumulated in place.
+        p.matmul_t_into(&scratch.h, &mut scratch.ph);
+        scratch.ph.matmul_into(&scratch.pred, &mut scratch.delta);
+        *model.beta_mut() += &scratch.delta;
+
         self.seq_train_count += 1;
         Ok(())
     }
@@ -442,6 +538,128 @@ mod tests {
         }
         assert!(a.model().beta().max_abs_diff(b.model().beta()) < 1e-9);
         assert!(a.p_matrix().unwrap().max_abs_diff(b.p_matrix().unwrap()) < 1e-9);
+    }
+
+    #[test]
+    fn batch_recursion_is_bit_identical_to_the_allocating_general_update() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let cfg = config(14).with_l2_delta(0.05);
+        let (x, t) = dataset(90);
+
+        let mut general = OsElm::<f64>::new(&cfg, &mut rng);
+        let mut batch = general.clone();
+        for os in [&mut general, &mut batch] {
+            os.init_train(
+                &x.submatrix(0, 30, 0, 2).unwrap(),
+                &t.submatrix(0, 30, 0, 1).unwrap(),
+            )
+            .unwrap();
+        }
+        // Varying chunk sizes, including B = 1 through the batch entry point.
+        let mut at = 30;
+        for chunk in [1usize, 4, 7, 16, 32] {
+            let xi = x.submatrix(at, at + chunk, 0, 2).unwrap();
+            let ti = t.submatrix(at, at + chunk, 0, 1).unwrap();
+            general.seq_train(&xi, &ti).unwrap();
+            batch.seq_train_batch(&xi, &ti).unwrap();
+            at += chunk;
+            assert_eq!(
+                general.model().beta(),
+                batch.model().beta(),
+                "β diverged at chunk {chunk}"
+            );
+            assert_eq!(
+                general.p_matrix().unwrap(),
+                batch.p_matrix().unwrap(),
+                "P diverged at chunk {chunk}"
+            );
+        }
+        assert_eq!(batch.seq_train_count(), 5);
+    }
+
+    #[test]
+    fn batch_recursion_matches_consecutive_single_updates() {
+        // Block-exactness of Eq. 6: one B-chunk equals B single-sample
+        // updates up to floating-point rounding.
+        let mut rng = SmallRng::seed_from_u64(22);
+        let cfg = config(12).with_l2_delta(0.1);
+        let (x, t) = dataset(60);
+
+        let mut chunked = OsElm::<f64>::new(&cfg, &mut rng);
+        let mut single = chunked.clone();
+        for os in [&mut chunked, &mut single] {
+            os.init_train(
+                &x.submatrix(0, 20, 0, 2).unwrap(),
+                &t.submatrix(0, 20, 0, 1).unwrap(),
+            )
+            .unwrap();
+        }
+        for start in (20..60).step_by(8) {
+            let xi = x.submatrix(start, start + 8, 0, 2).unwrap();
+            let ti = t.submatrix(start, start + 8, 0, 1).unwrap();
+            chunked.seq_train_batch(&xi, &ti).unwrap();
+            for i in start..start + 8 {
+                single.seq_train_single(x.row(i), t.row(i)).unwrap();
+            }
+        }
+        assert!(chunked.model().beta().max_abs_diff(single.model().beta()) < 1e-9);
+        assert!(
+            chunked
+                .p_matrix()
+                .unwrap()
+                .max_abs_diff(single.p_matrix().unwrap())
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn batch_recursion_reaches_the_full_ridge_solution() {
+        // The RLS-equivalence sanity check of `seq_train`, through the
+        // workspace path: init on chunk 0 + batch updates equals the ridge
+        // solution over all data.
+        let mut rng = SmallRng::seed_from_u64(23);
+        let cfg = config(16).with_l2_delta(0.1);
+        let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+        let (x, t) = dataset(80);
+        os.init_train(
+            &x.submatrix(0, 30, 0, 2).unwrap(),
+            &t.submatrix(0, 30, 0, 1).unwrap(),
+        )
+        .unwrap();
+        os.seq_train_batch(
+            &x.submatrix(30, 55, 0, 2).unwrap(),
+            &t.submatrix(30, 55, 0, 1).unwrap(),
+        )
+        .unwrap();
+        os.seq_train_batch(
+            &x.submatrix(55, 80, 0, 2).unwrap(),
+            &t.submatrix(55, 80, 0, 1).unwrap(),
+        )
+        .unwrap();
+        let h_all = os.model().hidden(&x);
+        let beta_ridge = ridge_solve(&h_all, &t, 0.1).unwrap();
+        assert!(os.model().beta().max_abs_diff(&beta_ridge) < 1e-8);
+    }
+
+    #[test]
+    fn batch_recursion_misuse_errors_match_the_general_path() {
+        let mut rng = SmallRng::seed_from_u64(24);
+        let cfg = config(8).with_l2_delta(0.1);
+        let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+        let (x, t) = dataset(10);
+        assert_eq!(
+            os.seq_train_batch(&x, &t).unwrap_err(),
+            OsElmError::NotInitialized
+        );
+        os.init_train(&x, &t).unwrap();
+        assert!(matches!(
+            os.seq_train_batch(&Matrix::<f64>::ones(4, 3), &Matrix::<f64>::ones(4, 1)),
+            Err(OsElmError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            os.seq_train_batch(&Matrix::<f64>::ones(4, 2), &Matrix::<f64>::ones(3, 1)),
+            Err(OsElmError::ShapeMismatch(_))
+        ));
     }
 
     #[test]

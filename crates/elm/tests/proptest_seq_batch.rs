@@ -1,0 +1,99 @@
+//! Property tests for the batch-B OS-ELM recursion (Equation 6).
+//!
+//! Two invariants across random shapes (hidden width, chunk sizes, data
+//! seeds):
+//!
+//! * `seq_train_batch` is **bit-for-bit** identical to the allocating
+//!   `seq_train` — the workspace kernels must not change a single float;
+//! * one B-chunk update matches B consecutive `seq_train_single` calls
+//!   within `1e-9` — the block-exactness of the RLS recursion the batched
+//!   training pipeline rests on.
+
+use elmrl_elm::{HiddenActivation, OsElm, OsElmConfig};
+use elmrl_linalg::Matrix;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn dataset(n: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
+    // Scattered pseudo-random 2-D inputs (LCG), smooth target.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let x = Matrix::from_fn(n, 2, |_, _| next());
+    let t = Matrix::from_fn(n, 1, |i, _| (2.0 * x[(i, 0)] - 0.5 * x[(i, 1)]).sin());
+    (x, t)
+}
+
+fn initialised_pair(
+    hidden: usize,
+    seed: u64,
+    init: usize,
+) -> (OsElm<f64>, OsElm<f64>, Matrix<f64>, Matrix<f64>) {
+    let cfg = OsElmConfig::new(2, hidden, 1)
+        .with_activation(HiddenActivation::HardTanh)
+        .with_init_range(-4.0, 4.0)
+        .with_l2_delta(0.1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut a = OsElm::<f64>::new(&cfg, &mut rng);
+    let mut b = a.clone();
+    let (x, t) = dataset(init + 64, seed ^ 0xABCD);
+    for os in [&mut a, &mut b] {
+        os.init_train(
+            &x.submatrix(0, init, 0, 2).unwrap(),
+            &t.submatrix(0, init, 0, 1).unwrap(),
+        )
+        .unwrap();
+    }
+    (a, b, x, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batch_update_is_bit_identical_to_seq_train(
+        hidden in 2usize..20,
+        chunk in 1usize..17,
+        seed in 0u64..500,
+    ) {
+        let init = hidden.max(4);
+        let (mut general, mut batch, x, t) = initialised_pair(hidden, seed, init);
+        let mut at = init;
+        while at + chunk <= init + 64 {
+            let xi = x.submatrix(at, at + chunk, 0, 2).unwrap();
+            let ti = t.submatrix(at, at + chunk, 0, 1).unwrap();
+            general.seq_train(&xi, &ti).unwrap();
+            batch.seq_train_batch(&xi, &ti).unwrap();
+            at += chunk;
+        }
+        prop_assert_eq!(general.model().beta(), batch.model().beta());
+        prop_assert_eq!(general.p_matrix().unwrap(), batch.p_matrix().unwrap());
+    }
+
+    #[test]
+    fn batch_update_matches_b_single_updates_within_tolerance(
+        hidden in 2usize..16,
+        chunk in 2usize..13,
+        seed in 0u64..500,
+    ) {
+        let init = hidden.max(4);
+        let (mut chunked, mut single, x, t) = initialised_pair(hidden, seed, init);
+        let mut at = init;
+        while at + chunk <= init + 48 {
+            let xi = x.submatrix(at, at + chunk, 0, 2).unwrap();
+            let ti = t.submatrix(at, at + chunk, 0, 1).unwrap();
+            chunked.seq_train_batch(&xi, &ti).unwrap();
+            for i in at..at + chunk {
+                single.seq_train_single(x.row(i), t.row(i)).unwrap();
+            }
+            at += chunk;
+        }
+        prop_assert!(chunked.model().beta().max_abs_diff(single.model().beta()) < 1e-9);
+        prop_assert!(
+            chunked.p_matrix().unwrap().max_abs_diff(single.p_matrix().unwrap()) < 1e-9
+        );
+    }
+}

@@ -96,6 +96,12 @@ impl VecEnv {
         self.num_actions
     }
 
+    /// The "solved" threshold the underlying environments advertise (taken
+    /// from slot 0 — every slot is built from the same spec).
+    pub fn solved_threshold(&self) -> Option<f64> {
+        self.envs[0].solved_threshold()
+    }
+
     /// Current observation of slot `i`.
     pub fn state(&self, i: usize) -> &[f64] {
         &self.states[i]

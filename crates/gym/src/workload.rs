@@ -182,11 +182,23 @@ pub struct WorkloadOptions {
     /// (the ROADMAP's n ∈ {3, 5, 9, 15} sweep axis; ≥ 2, default 3). Ignored
     /// by every other workload.
     pub torque_levels: usize,
+    /// Override of the workload's solve threshold (the CLI's
+    /// `--solve-threshold`). Replaces the threshold of whichever
+    /// [`SolveCriterion`] the registry entry declares — the completion
+    /// *rule* (single episode vs. moving average, window length) stays the
+    /// workload's own — so the pending MountainCar/Pendulum/Acrobot
+    /// threshold calibration can be swept without recompiling. `None`
+    /// keeps the registry default; the effective criterion is recorded in
+    /// every result artifact.
+    pub solve_threshold: Option<f64>,
 }
 
 impl Default for WorkloadOptions {
     fn default() -> Self {
-        Self { torque_levels: 3 }
+        Self {
+            torque_levels: 3,
+            solve_threshold: None,
+        }
     }
 }
 
@@ -414,6 +426,17 @@ impl Workload {
                 },
             ),
         };
+        // The --solve-threshold sweep axis: keep the workload's completion
+        // rule, swap the threshold.
+        let solve_criterion = match (options.solve_threshold, solve_criterion) {
+            (Some(threshold), SolveCriterion::EpisodeReturn { .. }) => {
+                SolveCriterion::EpisodeReturn { threshold }
+            }
+            (Some(threshold), SolveCriterion::MovingAverage { window, .. }) => {
+                SolveCriterion::MovingAverage { threshold, window }
+            }
+            (None, criterion) => criterion,
+        };
         let probe = factory(&options);
         let observation_dim = probe.observation_dim();
         let num_actions = probe.num_actions();
@@ -622,6 +645,7 @@ mod tests {
         for levels in [3, 5, 9, 15] {
             let spec = Workload::Pendulum.spec_with(WorkloadOptions {
                 torque_levels: levels,
+                ..WorkloadOptions::default()
             });
             assert_eq!(spec.num_actions, levels, "{levels} levels");
             assert_eq!(spec.options.torque_levels, levels);
@@ -629,8 +653,44 @@ mod tests {
             assert_eq!(env.num_actions(), levels);
         }
         // The knob is inert on every other workload.
-        let spec = Workload::CartPole.spec_with(WorkloadOptions { torque_levels: 9 });
+        let spec = Workload::CartPole.spec_with(WorkloadOptions {
+            torque_levels: 9,
+            ..WorkloadOptions::default()
+        });
         assert_eq!(spec.num_actions, 2);
+    }
+
+    #[test]
+    fn solve_threshold_option_overrides_the_threshold_but_keeps_the_rule() {
+        // Single-episode workloads keep the EpisodeReturn rule…
+        let spec = Workload::MountainCar.spec_with(WorkloadOptions {
+            solve_threshold: Some(-120.0),
+            ..WorkloadOptions::default()
+        });
+        assert_eq!(
+            spec.solve_criterion,
+            SolveCriterion::EpisodeReturn { threshold: -120.0 }
+        );
+        // …moving-average workloads keep their window.
+        let spec = Workload::Pendulum.spec_with(WorkloadOptions {
+            solve_threshold: Some(-250.0),
+            ..WorkloadOptions::default()
+        });
+        assert_eq!(
+            spec.solve_criterion,
+            SolveCriterion::MovingAverage {
+                threshold: -250.0,
+                window: 20,
+            }
+        );
+        // None keeps the registry default, and the spec records the knobs
+        // it was resolved with.
+        let spec = Workload::CartPole.spec();
+        assert_eq!(spec.options.solve_threshold, None);
+        assert_eq!(
+            spec.solve_criterion,
+            SolveCriterion::EpisodeReturn { threshold: 195.0 }
+        );
     }
 
     #[test]

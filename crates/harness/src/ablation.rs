@@ -48,16 +48,20 @@ pub fn stabilisation_ablation(
         hidden_dim,
         max_episodes,
         seed,
+        1,
     )
 }
 
-/// Run the A1 ablation with explicit workload variant knobs.
+/// Run the A1 ablation with explicit workload variant knobs and
+/// `train_envs` parallel training episodes per configuration (1 = the
+/// paper's scalar protocol, E > 1 the batched episode driver).
 pub fn stabilisation_ablation_with(
     workload: Workload,
     options: WorkloadOptions,
     hidden_dim: usize,
     max_episodes: usize,
     seed: u64,
+    train_envs: usize,
 ) -> Vec<StabilisationAblationRow> {
     let spec = workload.spec_with(options);
     let mut rows = Vec::new();
@@ -68,12 +72,17 @@ pub fn stabilisation_ablation_with(
             config.target.clip = clipping;
             config.random_update = random_update;
             let mut agent = OsElmQNet::new(config, &mut rng);
-            let mut env = spec.make_env();
             let trainer = Trainer::new(TrainerConfig {
                 max_episodes,
                 ..TrainerConfig::for_workload(&spec)
             });
-            let result = trainer.run(&mut agent, env.as_mut(), &mut rng);
+            let result = if train_envs > 1 {
+                let mut vec_env = elmrl_gym::VecEnv::from_spec(&spec, train_envs);
+                trainer.run_vec(&mut agent, &mut vec_env, &mut rng)
+            } else {
+                let mut env = spec.make_env();
+                trainer.run(&mut agent, env.as_mut(), &mut rng)
+            };
             rows.push(StabilisationAblationRow {
                 clipping,
                 random_update,

@@ -1,5 +1,7 @@
 //! Run the DESIGN.md ablations (A1 stabilisation techniques, A2 precision)
-//! on any registered workload.
+//! on any registered workload — or on **all** of them (`--workload all`),
+//! which writes one `results/<slug>/ablation_*.json` set per workload so
+//! `summary` can fold them into the cross-workload stabilisation table.
 //!
 //! Run `ablation --help` for the flag list. The ablations are single-trial
 //! and use a single hidden size — the first entry of `--hidden` (the legacy
@@ -11,7 +13,8 @@ fn main() {
     let args = cli::parse_or_exit(
         "ablation",
         "DESIGN.md ablations: A1 stabilisation techniques, A2 precision \
-         (single-trial, single hidden size; --trials is ignored)",
+         (single-trial, single hidden size; --trials is ignored; \
+         --workload all loops over the whole registry)",
         &cli::CliDefaults {
             trials: 1,
             episodes: 600,
@@ -27,28 +30,39 @@ fn main() {
             args.hidden
         );
     }
-    eprintln!(
-        "ablations on {} at hidden = {hidden}, {} episodes",
-        args.workload, args.episodes
-    );
-    let a1 = ablation::stabilisation_ablation_with(
-        args.workload,
-        args.workload_options(),
-        hidden,
-        args.episodes,
-        args.seed,
-    );
-    let a2 = ablation::precision_ablation_with(
-        args.workload,
-        args.workload_options(),
-        hidden,
-        args.seed,
-    );
-    let md = ablation::to_markdown(&a1, &a2);
-    println!("# Ablations ({})\n\n{md}", args.workload);
-    let dir = args.out_dir();
-    report::write_json(&dir, "ablation_a1.json", &a1).expect("write ablation_a1.json");
-    report::write_json(&dir, "ablation_a2.json", &a2).expect("write ablation_a2.json");
-    report::write_text(&dir, "ablation.md", &md).expect("write ablation.md");
-    eprintln!("wrote {}/ablation.{{md,json}}", dir.display());
+    for workload in args.workloads() {
+        eprintln!(
+            "ablations on {workload} at hidden = {hidden}, {} episodes, {} training env(s)",
+            args.episodes, args.train_envs
+        );
+        let a1 = ablation::stabilisation_ablation_with(
+            workload,
+            args.workload_options(),
+            hidden,
+            args.episodes,
+            args.seed,
+            args.train_envs,
+        );
+        let a2 =
+            ablation::precision_ablation_with(workload, args.workload_options(), hidden, args.seed);
+        let md = ablation::to_markdown(&a1, &a2);
+        println!("# Ablations ({workload})\n\n{md}");
+        // Under --workload all, an explicit --out becomes the root of one
+        // subdirectory per workload; a single workload keeps writing to
+        // --out directly (or the per-workload default).
+        let dir = if args.workload_all {
+            args.out
+                .clone()
+                .unwrap_or_else(report::default_results_dir)
+                .join(workload.slug())
+        } else {
+            args.out
+                .clone()
+                .unwrap_or_else(|| report::results_dir_for(workload))
+        };
+        report::write_json(&dir, "ablation_a1.json", &a1).expect("write ablation_a1.json");
+        report::write_json(&dir, "ablation_a2.json", &a2).expect("write ablation_a2.json");
+        report::write_text(&dir, "ablation.md", &md).expect("write ablation.md");
+        eprintln!("wrote {}/ablation.{{md,json}}", dir.display());
+    }
 }

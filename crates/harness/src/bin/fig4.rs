@@ -18,9 +18,11 @@ fn main() {
         },
     );
     args.warn_unused_population_flags("fig4");
+    args.reject_workload_all("fig4");
     eprintln!(
-        "figure 4 on {}: hidden sizes {:?}, {} episodes per curve",
-        args.workload, args.hidden, args.episodes
+        "figure 4 on {}: hidden sizes {:?}, {} episodes per curve, \
+         {} training env(s)",
+        args.workload, args.hidden, args.episodes, args.train_envs
     );
     let fig = fig4::generate_with(
         args.workload,
@@ -28,6 +30,7 @@ fn main() {
         &args.hidden,
         args.episodes,
         args.seed,
+        args.train_envs,
     );
     println!(
         "# Figure 4 — training curves ({})\n\n{}",

@@ -17,9 +17,11 @@ fn main() {
         },
     );
     args.warn_unused_population_flags("fig5");
+    args.reject_workload_all("fig5");
     eprintln!(
-        "figure 5 on {}: hidden {:?}, {} trials/cell, {} episode budget",
-        args.workload, args.hidden, args.trials, args.episodes
+        "figure 5 on {}: hidden {:?}, {} trials/cell, {} episode budget, \
+         {} training env(s)",
+        args.workload, args.hidden, args.trials, args.episodes, args.train_envs
     );
     let fig = fig5::generate_with(
         args.workload,
@@ -29,6 +31,7 @@ fn main() {
         args.trials,
         args.episodes,
         args.seed,
+        args.train_envs,
     );
     println!(
         "# Figure 5 — execution time to complete ({})\n\n{}",

@@ -16,9 +16,11 @@ fn main() {
         },
     );
     args.warn_unused_population_flags("fig6");
+    args.reject_workload_all("fig6");
     eprintln!(
-        "figure 6 on {}: hidden {:?}, {} trials/cell, {} episode budget",
-        args.workload, args.hidden, args.trials, args.episodes
+        "figure 6 on {}: hidden {:?}, {} trials/cell, {} episode budget, \
+         {} training env(s)",
+        args.workload, args.hidden, args.trials, args.episodes, args.train_envs
     );
     let fig = fig6::generate_with(
         args.workload,
@@ -27,6 +29,7 @@ fn main() {
         args.trials,
         args.episodes,
         args.seed,
+        args.train_envs,
     );
     println!(
         "# Figure 6 — FPGA execution-time detail ({})\n\n{}",

@@ -27,20 +27,23 @@ fn main() {
             args.hidden
         );
     }
+    args.reject_workload_all("population");
     let mut config = PopulationConfig::new(args.workload, args.design, hidden, args.population);
     config.options = args.workload_options();
     config.shards = args.shards;
     config.seed = args.seed;
     config.max_episodes = args.episodes;
+    config.train_envs = args.train_envs;
     eprintln!(
         "population on {}: {} × {} (hidden {hidden}), {} shard(s) on {} thread(s), \
-         {} episode budget, seed {}",
+         {} episode budget, {} training env(s)/replica, seed {}",
         args.workload,
         args.population,
         args.design.label(),
         args.shards,
         rayon::current_num_threads(),
         args.episodes,
+        args.train_envs,
         args.seed
     );
 

@@ -82,9 +82,33 @@ fn main() {
             results_root.display()
         );
     }
-    if summary.workloads.is_empty() && population.workloads.is_empty() {
+    let ablation = match summary::collect_ablation(&results_root) {
+        Ok(a) => a,
+        Err(e) => exit_with(&format!(
+            "failed to read ablation results under {}: {e}",
+            results_root.display()
+        )),
+    };
+    for slug in &ablation.missing {
+        eprintln!(
+            "summary: no {}/{slug}/ablation_a1.json — run `ablation --workload {slug}` \
+             (or `--workload all`) to fill it in",
+            results_root.display()
+        );
+    }
+    for slug in &ablation.unreadable {
+        eprintln!(
+            "summary: {}/{slug}/ablation_a1.json does not parse (older schema?) — skipped",
+            results_root.display()
+        );
+    }
+    if summary.workloads.is_empty()
+        && population.workloads.is_empty()
+        && ablation.workloads.is_empty()
+    {
         exit_with(&format!(
-            "no fig5.json or population.json found under {} for any registered workload",
+            "no fig5.json, population.json or ablation_a1.json found under {} for any \
+             registered workload",
             results_root.display()
         ));
     }
@@ -105,6 +129,14 @@ fn main() {
         report::write_text(&dir, "population_summary.md", &md)
             .expect("write population_summary.md");
         eprintln!("wrote {}/population_summary.{{md,json}}", dir.display());
+    }
+    if !ablation.workloads.is_empty() {
+        let md = summary::ablation_to_markdown(&ablation);
+        println!("\n# Cross-workload stabilisation ablation (A1)\n\n{md}");
+        report::write_json(&dir, "ablation_summary.json", &ablation)
+            .expect("write ablation_summary.json");
+        report::write_text(&dir, "ablation_summary.md", &md).expect("write ablation_summary.md");
+        eprintln!("wrote {}/ablation_summary.{{md,json}}", dir.display());
     }
 }
 

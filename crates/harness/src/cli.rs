@@ -11,6 +11,13 @@
 //! * `--seed <n>` — base RNG seed;
 //! * `--torque-levels <n>` — Pendulum torque discretisation (default 3; the
 //!   ROADMAP's n ∈ {3, 5, 9, 15} sweep axis, inert on other workloads);
+//! * `--solve-threshold <x>` — override the workload's solve threshold
+//!   (the registry's completion *rule* is kept; only the threshold swaps),
+//!   the ROADMAP's calibration sweep axis;
+//! * `--train-envs <e>` — parallel training episodes per trial/replica
+//!   (default `ELMRL_TRAIN_ENVS`, else 1). 1 is the paper's scalar B = 1
+//!   protocol, byte-for-byte; E > 1 drives E concurrent episodes through a
+//!   `VecEnv` with batch-B updates per engine tick;
 //! * `--threads <n>` — size of the work-sharing thread pool every parallel
 //!   section (population shards, trial batches, large matmuls) runs on;
 //!   `--threads 1` forces the true sequential path for debugging. Default:
@@ -21,7 +28,9 @@
 //!
 //! The `population` binary additionally reads `--population <k>`,
 //! `--shards <s>` and `--design <name>`; the shared parser accepts those
-//! flags everywhere so one flag set serves every binary.
+//! flags everywhere so one flag set serves every binary. `--workload all`
+//! is accepted by the parser but only honoured by the `ablation` binary
+//! (which loops the registry); every other binary rejects it.
 //!
 //! The `ELMRL_TRIALS` / `ELMRL_EPISODES` / `ELMRL_HIDDEN` / `ELMRL_SEED` /
 //! `ELMRL_WORKLOAD` environment variables are honoured as fallbacks when the
@@ -48,6 +57,16 @@ pub struct CliArgs {
     pub seed: u64,
     /// Pendulum torque discretisation (`--torque-levels`, default 3).
     pub torque_levels: usize,
+    /// Per-workload solve-threshold override (`--solve-threshold`); `None`
+    /// keeps the registry default.
+    pub solve_threshold: Option<f64>,
+    /// Parallel training episodes per trial/replica (`--train-envs`,
+    /// default `ELMRL_TRAIN_ENVS`, else 1). 1 is the paper's scalar
+    /// protocol; E > 1 drives E concurrent episodes with batch-B updates.
+    pub train_envs: usize,
+    /// `--workload all` was given (only the `ablation` binary loops over
+    /// the registry; every other binary rejects it).
+    pub workload_all: bool,
     /// Thread-pool size (`--threads`); 0 means "not given" (defer to
     /// `ELMRL_THREADS`, else auto-detect).
     pub threads: usize,
@@ -78,6 +97,30 @@ impl CliArgs {
     pub fn workload_options(&self) -> WorkloadOptions {
         WorkloadOptions {
             torque_levels: self.torque_levels,
+            solve_threshold: self.solve_threshold,
+        }
+    }
+
+    /// Exit with an error when `--workload all` was passed to a binary that
+    /// cannot loop over the registry (only `ablation` can).
+    pub fn reject_workload_all(&self, binary: &str) {
+        if self.workload_all {
+            eprintln!(
+                "{binary}: --workload all is only supported by the `ablation` binary \
+                 (run one workload at a time here)"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    /// The workloads a registry-looping binary should run: the whole
+    /// registry under `--workload all`, the single selected workload
+    /// otherwise.
+    pub fn workloads(&self) -> Vec<Workload> {
+        if self.workload_all {
+            Workload::all().to_vec()
+        } else {
+            vec![self.workload]
         }
     }
 
@@ -128,6 +171,12 @@ pub fn usage(binary: &str, about: &str, defaults: &CliDefaults) -> String {
          \x20 --hidden <a,b,..>   comma-separated hidden sizes (default: {})\n\
          \x20 --seed <n>          base RNG seed (default: 42)\n\
          \x20 --torque-levels <n> Pendulum torque discretisation (default: 3)\n\
+         \x20 --solve-threshold <x> override the workload's solve threshold\n\
+         \x20                     (default: the registry value)\n\
+         \x20 --train-envs <e>    parallel training episodes per trial/replica;\n\
+         \x20                     1 = the paper's scalar protocol, E > 1 trains\n\
+         \x20                     E episodes concurrently with batch-B updates\n\
+         \x20                     (default: ELMRL_TRAIN_ENVS, else 1)\n\
          \x20 --threads <n>       worker-pool size; 1 = sequential debugging path\n\
          \x20                     (default: ELMRL_THREADS, else auto-detect)\n\
          \x20 --out <dir>         output directory (default: results/<workload>)\n\
@@ -160,6 +209,9 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
         hidden: env_hidden_sizes(&defaults.hidden),
         seed: env_usize("ELMRL_SEED", 42) as u64,
         torque_levels: 3,
+        solve_threshold: None,
+        train_envs: env_usize("ELMRL_TRAIN_ENVS", 1).max(1),
+        workload_all: false,
         threads: 0,
         population: 32,
         shards: 4,
@@ -182,9 +234,13 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
         match flag.as_str() {
             "--workload" => {
                 let name = value_for("--workload")?;
+                if name.eq_ignore_ascii_case("all") {
+                    parsed.workload_all = true;
+                    continue;
+                }
                 workload_flag = Some(Workload::from_name(&name).ok_or_else(|| {
                     format!(
-                        "unknown workload `{name}` (registered: {})",
+                        "unknown workload `{name}` (registered: {}, or `all`)",
                         Workload::all()
                             .iter()
                             .map(|w| w.slug())
@@ -226,6 +282,26 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
                     v.parse().ok().filter(|&n| n >= 2).ok_or_else(|| {
                         format!("--torque-levels: need an integer ≥ 2, got `{v}`")
                     })?;
+            }
+            "--solve-threshold" => {
+                let v = value_for("--solve-threshold")?;
+                let threshold: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--solve-threshold: invalid number `{v}`"))?;
+                if !threshold.is_finite() {
+                    return Err(format!(
+                        "--solve-threshold: need a finite number, got `{v}`"
+                    ));
+                }
+                parsed.solve_threshold = Some(threshold);
+            }
+            "--train-envs" => {
+                let v = value_for("--train-envs")?;
+                parsed.train_envs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--train-envs: need a positive count, got `{v}`"))?;
             }
             "--threads" => {
                 let v = value_for("--threads")?;
@@ -275,6 +351,9 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
             }
         }
     }
+    if parsed.workload_all && workload_flag.is_some() {
+        return Err("--workload all conflicts with a named --workload".to_string());
+    }
     // A `--workload` flag wins outright; the environment variable is only
     // consulted (and validated) when no flag was given.
     parsed.workload = match workload_flag {
@@ -322,6 +401,7 @@ mod tests {
             "ELMRL_EPISODES",
             "ELMRL_HIDDEN",
             "ELMRL_SEED",
+            "ELMRL_TRAIN_ENVS",
         ] {
             std::env::remove_var(var);
         }
@@ -456,6 +536,61 @@ mod tests {
         assert!(parse_from(&args(&["--design", "transformer"]), &defaults())
             .unwrap_err()
             .contains("unknown design"));
+    }
+
+    #[test]
+    fn train_envs_and_solve_threshold_flags_parse_and_validate() {
+        let parsed = parse_from(
+            &args(&["--train-envs", "8", "--solve-threshold", "-150.5"]),
+            &defaults(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(parsed.train_envs, 8);
+        assert_eq!(parsed.solve_threshold, Some(-150.5));
+        assert_eq!(parsed.workload_options().solve_threshold, Some(-150.5));
+
+        // Defaults: the paper's scalar protocol and the registry threshold.
+        let bare = parse_from(&[], &defaults()).unwrap().unwrap();
+        assert_eq!(bare.train_envs, 1);
+        assert_eq!(bare.solve_threshold, None);
+        assert!(!bare.workload_all);
+
+        assert!(parse_from(&args(&["--train-envs", "0"]), &defaults())
+            .unwrap_err()
+            .contains("positive"));
+        assert!(
+            parse_from(&args(&["--solve-threshold", "tall"]), &defaults())
+                .unwrap_err()
+                .contains("invalid number")
+        );
+        assert!(
+            parse_from(&args(&["--solve-threshold", "nan"]), &defaults())
+                .unwrap_err()
+                .contains("finite")
+        );
+        let help = usage("fig5", "x", &defaults());
+        assert!(help.contains("--train-envs"));
+        assert!(help.contains("--solve-threshold"));
+    }
+
+    #[test]
+    fn workload_all_is_parsed_and_conflicts_with_a_named_workload() {
+        let parsed = parse_from(&args(&["--workload", "all"]), &defaults())
+            .unwrap()
+            .unwrap();
+        assert!(parsed.workload_all);
+        assert_eq!(parsed.workloads(), Workload::all().to_vec());
+        let single = parse_from(&args(&["--workload", "pendulum"]), &defaults())
+            .unwrap()
+            .unwrap();
+        assert_eq!(single.workloads(), vec![Workload::Pendulum]);
+        assert!(parse_from(
+            &args(&["--workload", "all", "--workload", "pendulum"]),
+            &defaults()
+        )
+        .unwrap_err()
+        .contains("conflicts"));
     }
 
     #[test]

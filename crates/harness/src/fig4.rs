@@ -49,6 +49,9 @@ pub struct Figure4 {
     pub curves: Vec<Curve>,
     /// Episode budget used per curve.
     pub episodes: usize,
+    /// Parallel training episodes per curve (`--train-envs`; 1 = the
+    /// paper's scalar protocol).
+    pub train_envs: usize,
 }
 
 /// Generate Figure 4 curves on a workload for the given hidden sizes and
@@ -61,16 +64,19 @@ pub fn generate(workload: Workload, hidden_sizes: &[usize], episodes: usize, see
         hidden_sizes,
         episodes,
         seed,
+        1,
     )
 }
 
-/// Generate Figure 4 curves with explicit workload variant knobs.
+/// Generate Figure 4 curves with explicit workload variant knobs and
+/// `train_envs` parallel training episodes per curve.
 pub fn generate_with(
     workload: Workload,
     options: WorkloadOptions,
     hidden_sizes: &[usize],
     episodes: usize,
     seed: u64,
+    train_envs: usize,
 ) -> Figure4 {
     let specs: Vec<TrialSpec> = hidden_sizes
         .iter()
@@ -79,6 +85,7 @@ pub fn generate_with(
                 TrialSpec::for_workload(workload, d, h, seed ^ (h as u64) << 8 ^ design_salt(d))
                     .with_options(options)
                     .with_max_episodes(episodes)
+                    .with_train_envs(train_envs)
                     .collect_full_curve()
             })
         })
@@ -89,6 +96,7 @@ pub fn generate_with(
         options,
         curves: results.iter().map(Curve::from).collect(),
         episodes,
+        train_envs,
     }
 }
 

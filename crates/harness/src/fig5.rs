@@ -9,7 +9,7 @@
 
 use crate::runner::{run_trials, summarize_cell, CellSummary, TrialSpec};
 use elmrl_core::designs::Design;
-use elmrl_gym::{Workload, WorkloadOptions};
+use elmrl_gym::{SolveCriterion, Workload, WorkloadOptions};
 use serde::{Deserialize, Serialize};
 
 /// The Figure 5 reproduction.
@@ -19,6 +19,12 @@ pub struct Figure5 {
     pub workload: Workload,
     /// Workload variant knobs the sweep used.
     pub options: WorkloadOptions,
+    /// The effective completion rule of the sweep (registry default or the
+    /// `--solve-threshold` override).
+    pub solve_criterion: SolveCriterion,
+    /// Parallel training episodes per trial (`--train-envs`; 1 = the
+    /// paper's scalar protocol).
+    pub train_envs: usize,
     /// One summary per (design, hidden size) cell.
     pub cells: Vec<CellSummary>,
     /// Speedup of each non-DQN design relative to DQN at equal hidden size.
@@ -62,11 +68,14 @@ pub fn generate(
         trials_per_cell,
         max_episodes,
         seed,
+        1,
     )
 }
 
 /// Generate the Figure 5 sweep with explicit workload variant knobs (the
-/// CLI's `--torque-levels` axis).
+/// CLI's `--torque-levels` / `--solve-threshold` axes) and `train_envs`
+/// parallel training episodes per trial (1 = the paper's scalar protocol).
+#[allow(clippy::too_many_arguments)] // mirrors the CLI surface one-to-one
 pub fn generate_with(
     workload: Workload,
     options: WorkloadOptions,
@@ -75,7 +84,9 @@ pub fn generate_with(
     trials_per_cell: usize,
     max_episodes: usize,
     seed: u64,
+    train_envs: usize,
 ) -> Figure5 {
+    let solve_criterion = workload.spec_with(options).solve_criterion;
     let mut cells = Vec::new();
     for &h in hidden_sizes {
         for &d in designs {
@@ -89,6 +100,7 @@ pub fn generate_with(
                     )
                     .with_options(options)
                     .with_max_episodes(max_episodes)
+                    .with_train_envs(train_envs)
                 })
                 .collect();
             let results = run_trials(&specs);
@@ -121,6 +133,8 @@ pub fn generate_with(
     Figure5 {
         workload,
         options,
+        solve_criterion,
+        train_envs,
         cells,
         speedups_vs_dqn: speedups,
         trials_per_cell,
@@ -210,6 +224,35 @@ mod tests {
         assert!(md.contains("DQN"));
         let sp = speedups_to_markdown(&fig);
         assert!(sp.contains("speedup vs DQN"));
+    }
+
+    #[test]
+    fn sweep_records_train_envs_and_the_effective_criterion() {
+        let fig = generate(Workload::CartPole, &[8], &[Design::OsElmL2], 1, 2, 3);
+        assert_eq!(fig.train_envs, 1);
+        assert_eq!(
+            fig.solve_criterion,
+            elmrl_gym::SolveCriterion::EpisodeReturn { threshold: 195.0 }
+        );
+        let fig = generate_with(
+            Workload::CartPole,
+            WorkloadOptions {
+                solve_threshold: Some(150.0),
+                ..WorkloadOptions::default()
+            },
+            &[8],
+            &[Design::OsElmL2],
+            1,
+            2,
+            3,
+            4,
+        );
+        assert_eq!(fig.train_envs, 4);
+        assert_eq!(
+            fig.solve_criterion,
+            elmrl_gym::SolveCriterion::EpisodeReturn { threshold: 150.0 }
+        );
+        assert_eq!(fig.options.solve_threshold, Some(150.0));
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub struct Figure6 {
     pub workload: Workload,
     /// Workload variant knobs the detail used.
     pub options: WorkloadOptions,
+    /// Parallel training episodes per trial (`--train-envs`; 1 = the
+    /// paper's scalar protocol).
+    pub train_envs: usize,
     /// One row per hidden size.
     pub rows: Vec<FpgaDetail>,
 }
@@ -60,10 +63,13 @@ pub fn generate(
         trials,
         max_episodes,
         seed,
+        1,
     )
 }
 
-/// Generate the Figure 6 detail with explicit workload variant knobs.
+/// Generate the Figure 6 detail with explicit workload variant knobs and
+/// `train_envs` parallel training episodes per trial.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI surface one-to-one
 pub fn generate_with(
     workload: Workload,
     options: WorkloadOptions,
@@ -71,6 +77,7 @@ pub fn generate_with(
     trials: usize,
     max_episodes: usize,
     seed: u64,
+    train_envs: usize,
 ) -> Figure6 {
     let mut rows = Vec::new();
     for &h in hidden_sizes {
@@ -84,6 +91,7 @@ pub fn generate_with(
                 )
                 .with_options(options)
                 .with_max_episodes(max_episodes)
+                .with_train_envs(train_envs)
             })
             .collect();
         let results = run_trials(&specs);
@@ -113,6 +121,7 @@ pub fn generate_with(
     Figure6 {
         workload,
         options,
+        train_envs,
         rows,
     }
 }

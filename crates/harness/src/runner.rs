@@ -33,6 +33,12 @@ pub struct TrialSpec {
     pub hidden_dim: usize,
     /// RNG seed (environment and agent share the stream, as on the device).
     pub seed: u64,
+    /// Parallel training episodes (the CLI's `--train-envs`). 1 — the
+    /// default everywhere — runs the paper's scalar B = 1 episode loop
+    /// byte-for-byte; E > 1 drives E concurrent episodes through
+    /// [`elmrl_gym::VecEnv`] with batch-B updates
+    /// ([`Trainer::run_vec`](elmrl_core::trainer::Trainer::run_vec)).
+    pub train_envs: usize,
     /// Trainer protocol.
     pub trainer: TrainerConfig,
 }
@@ -59,14 +65,28 @@ impl TrialSpec {
             design,
             hidden_dim,
             seed,
+            train_envs: 1,
             trainer,
         }
     }
 
-    /// Override the workload variant knobs (the CLI's `--torque-levels`
-    /// axis).
+    /// Override the workload variant knobs (the CLI's `--torque-levels` /
+    /// `--solve-threshold` axes). The trainer's solve criterion is
+    /// re-resolved from the re-optioned spec, so a `--solve-threshold`
+    /// override reaches the episode loop; call this before any manual
+    /// `trainer.solve_criterion` customisation.
     pub fn with_options(mut self, options: WorkloadOptions) -> Self {
         self.options = options;
+        self.trainer.solve_criterion = self.workload.spec_with(options).solve_criterion;
+        self
+    }
+
+    /// Override the number of parallel training episodes (the CLI's
+    /// `--train-envs` axis). The workload's solve criterion and reward
+    /// shaping are unchanged; only the episode driver switches from the
+    /// scalar loop to the E-parallel one.
+    pub fn with_train_envs(mut self, train_envs: usize) -> Self {
+        self.train_envs = train_envs.max(1);
         self
     }
 
@@ -109,14 +129,48 @@ impl TrialResult {
     }
 }
 
-/// Run one trial.
+/// Run one trial. With `train_envs == 1` (the default) this is the paper's
+/// scalar episode loop, byte-for-byte; with `train_envs > 1` the trial
+/// drives E concurrent episodes through a [`elmrl_gym::VecEnv`] and trains
+/// in batch-B chunks ([`Trainer::run_vec`]).
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     let env_spec = spec.workload.spec_with(spec.options);
     let mut rng = SmallRng::seed_from_u64(spec.seed);
-    let mut env = env_spec.make_env();
     let trainer = Trainer::new(spec.trainer.clone());
     let cost = CostModel::for_workload(&env_spec, spec.hidden_dim);
 
+    if spec.train_envs > 1 {
+        let mut vec_env = elmrl_gym::VecEnv::from_spec(&env_spec, spec.train_envs);
+        let (training, fpga_simulated_seconds) = if spec.design == Design::Fpga {
+            let mut agent = FpgaAgent::new(
+                FpgaAgentConfig::for_workload(&env_spec, spec.hidden_dim),
+                &mut rng,
+            );
+            let training = trainer.run_vec(&mut agent, &mut vec_env, &mut rng);
+            let breakdown = agent.simulated_breakdown_seconds();
+            (training, Some(breakdown))
+        } else {
+            let config = DesignConfig::for_workload(&env_spec, spec.hidden_dim);
+            let mut agent = spec.design.build_batch(&config, &mut rng);
+            (
+                trainer.run_vec(agent.as_mut(), &mut vec_env, &mut rng),
+                None,
+            )
+        };
+        let modeled = if spec.design == Design::Fpga {
+            cost.model_fpga(&training.op_counts)
+        } else {
+            cost.model_software(&training.op_counts)
+        };
+        return TrialResult {
+            spec: spec.clone(),
+            modeled,
+            fpga_simulated_seconds,
+            training,
+        };
+    }
+
+    let mut env = env_spec.make_env();
     if spec.design == Design::Fpga {
         let mut agent = FpgaAgent::new(
             FpgaAgentConfig::for_workload(&env_spec, spec.hidden_dim),
@@ -307,16 +361,73 @@ mod tests {
             TrialSpec::for_workload(Workload::Pendulum, Design::OsElmL2, 8, 5).with_max_episodes(2);
         assert_eq!(base.options, WorkloadOptions::default());
         let coarse = run_trial(&base);
-        let fine = run_trial(
-            &base
-                .clone()
-                .with_options(WorkloadOptions { torque_levels: 9 }),
-        );
+        let fine = run_trial(&base.clone().with_options(WorkloadOptions {
+            torque_levels: 9,
+            ..WorkloadOptions::default()
+        }));
         assert_eq!(coarse.training.episodes_run, 2);
         assert_eq!(fine.training.episodes_run, 2);
         // A 9-level torque set changes the policy's action draws, so the
         // trajectories must diverge from the 3-level default.
         assert_ne!(coarse.training.stats.returns, fine.training.stats.returns);
+    }
+
+    #[test]
+    fn train_envs_trials_run_every_design_deterministically() {
+        // The E-parallel driver must cover the whole design matrix (incl.
+        // the FPGA fixed-point agent through its BatchAgent impl) and stay
+        // a pure function of the spec.
+        for design in [Design::OsElmL2Lipschitz, Design::Dqn, Design::Fpga] {
+            let spec = TrialSpec::new(design, 8, 13)
+                .with_max_episodes(4)
+                .with_train_envs(3);
+            assert_eq!(spec.train_envs, 3);
+            let a = run_trial(&spec);
+            let b = run_trial(&spec);
+            assert_eq!(
+                a.training.stats.returns, b.training.stats.returns,
+                "{design:?}"
+            );
+            assert_eq!(a.training.episodes_run, 4, "{design:?}");
+            assert!(a.training.total_steps >= 4, "{design:?}");
+            if design == Design::Fpga {
+                assert!(a.fpga_simulated_seconds.is_some());
+            }
+            // The batched act path must feed the Figure 5/6 prediction
+            // counters exactly like the scalar `act`, so the modeled
+            // execution times stay design-comparable at any E.
+            use elmrl_core::ops::OpKind;
+            let predictions = a.training.op_counts.count(OpKind::Predict1)
+                + a.training.op_counts.count(OpKind::PredictInit)
+                + a.training.op_counts.count(OpKind::PredictSeq);
+            assert!(
+                predictions as usize >= a.training.total_steps,
+                "{design:?}: every E-parallel decision must be counted"
+            );
+            // And E must actually change the trajectory vs. the scalar loop.
+            let scalar = run_trial(&spec.clone().with_train_envs(1));
+            assert_ne!(
+                scalar.training.stats.returns, a.training.stats.returns,
+                "{design:?}: E > 1 must not silently replay the scalar loop"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_threshold_option_reaches_the_trainer() {
+        let base = TrialSpec::for_workload(Workload::MountainCar, Design::OsElmL2, 8, 5);
+        assert_eq!(
+            base.trainer.solve_criterion,
+            elmrl_gym::SolveCriterion::EpisodeReturn { threshold: -150.0 }
+        );
+        let overridden = base.with_options(WorkloadOptions {
+            solve_threshold: Some(-120.0),
+            ..WorkloadOptions::default()
+        });
+        assert_eq!(
+            overridden.trainer.solve_criterion,
+            elmrl_gym::SolveCriterion::EpisodeReturn { threshold: -120.0 }
+        );
     }
 
     #[test]

@@ -130,6 +130,68 @@ pub fn collect(results_root: &Path) -> std::io::Result<Summary> {
     Ok(summary)
 }
 
+/// One checkpoint of a population's convergence curve: the distribution of
+/// per-replica returns at a fixed episode index, over the replicas that ran
+/// at least that many episodes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Episode index (1-based: "after `episode` episodes").
+    pub episode: usize,
+    /// Replicas that ran at least `episode` episodes.
+    pub replicas: usize,
+    /// Mean return of episode `episode` over those replicas.
+    pub mean_return: f64,
+    /// Median return of episode `episode` over those replicas.
+    pub median_return: f64,
+    /// Fraction of the whole population already solved before or at this
+    /// episode.
+    pub solved_by: f64,
+}
+
+/// Episode checkpoints the convergence table samples (clipped to the
+/// episodes a population actually ran).
+const CONVERGENCE_CHECKPOINTS: [usize; 10] = [1, 2, 5, 10, 25, 50, 100, 250, 500, 1000];
+
+/// Fold the per-replica learning curves of one population report into a
+/// convergence table: at each checkpoint episode, the mean/median return
+/// across the replicas still running and the fraction of the population
+/// already solved. Empty when the report predates per-replica curves.
+pub fn convergence_table(report: &PopulationReport) -> Vec<ConvergencePoint> {
+    let longest = report
+        .replicas
+        .iter()
+        .map(|r| r.returns.len())
+        .max()
+        .unwrap_or(0);
+    CONVERGENCE_CHECKPOINTS
+        .iter()
+        .copied()
+        .filter(|&e| e <= longest)
+        .map(|episode| {
+            let mut at_episode: Vec<f64> = report
+                .replicas
+                .iter()
+                .filter_map(|r| r.returns.get(episode - 1).copied())
+                .collect();
+            at_episode.sort_by(|a, b| a.partial_cmp(b).expect("finite returns"));
+            let n = at_episode.len();
+            let solved_by = report
+                .replicas
+                .iter()
+                .filter(|r| r.solved_at_episode.is_some_and(|s| s < episode))
+                .count() as f64
+                / report.replicas.len().max(1) as f64;
+            ConvergencePoint {
+                episode,
+                replicas: n,
+                mean_return: at_episode.iter().sum::<f64>() / n.max(1) as f64,
+                median_return: at_episode[(n - 1) / 2],
+                solved_by,
+            }
+        })
+        .collect()
+}
+
 /// One row of the cross-workload population table: the aggregate outcome of
 /// one `population` run (K replicas of one design on one workload).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -142,6 +204,8 @@ pub struct PopulationCell {
     pub hidden_dim: usize,
     /// Population size K.
     pub population: usize,
+    /// Parallel training episodes per replica the run used.
+    pub train_envs: usize,
     /// Replicas that met the solve criterion.
     pub solved: usize,
     /// `solved / population`.
@@ -150,6 +214,8 @@ pub struct PopulationCell {
     pub episodes_to_solve: QuantileSummary,
     /// Mean greedy-evaluation return over all replicas, if evaluated.
     pub mean_greedy_eval_return: Option<f64>,
+    /// Convergence checkpoints folded from the per-replica learning curves.
+    pub convergence: Vec<ConvergencePoint>,
 }
 
 /// The cross-workload population summary (design × environment).
@@ -191,10 +257,12 @@ pub fn collect_population(results_root: &Path) -> std::io::Result<PopulationSumm
                     design: report.design.clone(),
                     hidden_dim: report.hidden_dim,
                     population: report.population,
+                    train_envs: report.train_envs,
                     solved: report.solved,
                     solve_rate: report.solve_rate,
                     episodes_to_solve: report.episodes_to_solve.clone(),
                     mean_greedy_eval_return: report.mean_greedy_eval_return,
+                    convergence: convergence_table(&report),
                 });
             }
             Err(_) => summary.unreadable.push(workload.slug().to_string()),
@@ -204,13 +272,17 @@ pub fn collect_population(results_root: &Path) -> std::io::Result<PopulationSumm
 }
 
 /// Markdown rendering of the population table: one row per (workload,
-/// design) population with solve rate and episode quantiles.
+/// design) population with solve rate and episode quantiles, followed by
+/// one convergence table per population (mean/median per-episode return
+/// across replicas at fixed checkpoints — the population analogue of a
+/// Figure 4 learning curve).
 pub fn population_to_markdown(summary: &PopulationSummary) -> String {
     let headers = [
         "workload",
         "design",
         "hidden",
         "K",
+        "E",
         "solved",
         "p25",
         "p50",
@@ -228,6 +300,7 @@ pub fn population_to_markdown(summary: &PopulationSummary) -> String {
                 cell.design.clone(),
                 cell.hidden_dim.to_string(),
                 cell.population.to_string(),
+                cell.train_envs.to_string(),
                 format!("{}/{}", cell.solved, cell.population),
                 crate::report::fmt_opt(q.p25),
                 crate::report::fmt_opt(q.p50),
@@ -237,7 +310,141 @@ pub fn population_to_markdown(summary: &PopulationSummary) -> String {
             ]
         })
         .collect();
-    crate::report::markdown_table(&headers, &rows)
+    let mut out = crate::report::markdown_table(&headers, &rows);
+    for cell in &summary.cells {
+        if cell.convergence.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "\n\n### Convergence — {} × {} on {}\n\n",
+            cell.population, cell.design, cell.workload
+        ));
+        let rows: Vec<Vec<String>> = cell
+            .convergence
+            .iter()
+            .map(|p| {
+                vec![
+                    p.episode.to_string(),
+                    p.replicas.to_string(),
+                    format!("{:.1}", p.mean_return),
+                    format!("{:.1}", p.median_return),
+                    format!("{:.2}", p.solved_by),
+                ]
+            })
+            .collect();
+        out.push_str(&crate::report::markdown_table(
+            &[
+                "episode",
+                "replicas running",
+                "mean return",
+                "median return",
+                "solved by",
+            ],
+            &rows,
+        ));
+    }
+    out
+}
+
+/// One row of the cross-workload stabilisation-ablation table: an A1
+/// configuration's outcome on one workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AblationCell {
+    /// Workload the ablation ran on.
+    pub workload: Workload,
+    /// Whether Q-value clipping was enabled.
+    pub clipping: bool,
+    /// Whether the random-update rule gated sequential training.
+    pub random_update: bool,
+    /// Whether the configuration solved the task.
+    pub solved: bool,
+    /// Episodes run.
+    pub episodes_run: usize,
+    /// Final moving-average return.
+    pub final_average: f64,
+}
+
+/// The cross-workload A1 fold: which §3 stabilisation techniques matter on
+/// which workload (the ROADMAP's "multi-env ablation tables").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AblationSummary {
+    /// Workloads whose `ablation_a1.json` was found and aggregated.
+    pub workloads: Vec<Workload>,
+    /// Workload slugs that had no `ablation_a1.json` under the results root.
+    pub missing: Vec<String>,
+    /// Workload slugs whose `ablation_a1.json` does not parse — skipped.
+    pub unreadable: Vec<String>,
+    /// One cell per (workload, A1 configuration).
+    pub cells: Vec<AblationCell>,
+}
+
+/// Read every `<results_root>/<slug>/ablation_a1.json` (as written by
+/// `ablation`, e.g. under `--workload all`) and fold them into the
+/// cross-workload stabilisation table.
+pub fn collect_ablation(results_root: &Path) -> std::io::Result<AblationSummary> {
+    let mut summary = AblationSummary {
+        workloads: Vec::new(),
+        missing: Vec::new(),
+        unreadable: Vec::new(),
+        cells: Vec::new(),
+    };
+    for workload in Workload::all() {
+        let path = results_root.join(workload.slug()).join("ablation_a1.json");
+        if !path.exists() {
+            summary.missing.push(workload.slug().to_string());
+            continue;
+        }
+        let json = std::fs::read_to_string(&path)?;
+        match serde_json::from_str::<Vec<crate::ablation::StabilisationAblationRow>>(&json) {
+            Ok(rows) => {
+                summary.workloads.push(workload);
+                summary.cells.extend(rows.iter().map(|r| AblationCell {
+                    workload,
+                    clipping: r.clipping,
+                    random_update: r.random_update,
+                    solved: r.solved,
+                    episodes_run: r.episodes_run,
+                    final_average: r.final_average,
+                }));
+            }
+            Err(_) => summary.unreadable.push(workload.slug().to_string()),
+        }
+    }
+    Ok(summary)
+}
+
+/// Markdown rendering of the ablation fold: one row per A1 configuration,
+/// one column pair per workload (`solved` and `final avg`), so which
+/// technique is load-bearing where is readable at a glance.
+pub fn ablation_to_markdown(summary: &AblationSummary) -> String {
+    let mut headers: Vec<String> = vec!["clipping".into(), "random update".into()];
+    for w in &summary.workloads {
+        headers.push(format!("{w} solved"));
+        headers.push(format!("{w} final avg"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let combos = [(true, true), (true, false), (false, true), (false, false)];
+    let rows: Vec<Vec<String>> = combos
+        .iter()
+        .map(|&(clipping, random_update)| {
+            let mut row = vec![clipping.to_string(), random_update.to_string()];
+            for w in &summary.workloads {
+                let cell = summary.cells.iter().find(|c| {
+                    c.workload == *w && c.clipping == clipping && c.random_update == random_update
+                });
+                row.push(match cell {
+                    Some(c) => c.solved.to_string(),
+                    None => "-".into(),
+                });
+                row.push(match cell {
+                    Some(c) => format!("{:.1}", c.final_average),
+                    None => "-".into(),
+                });
+            }
+            row
+        })
+        .collect();
+    crate::report::markdown_table(&header_refs, &rows)
 }
 
 /// Markdown rendering: one row per design, one column pair per workload
@@ -374,6 +581,57 @@ mod tests {
         assert!(md.contains("OS-ELM-L2-Lipschitz"));
         assert!(md.contains("DQN"));
         assert!(md.contains("3/3") || md.contains("/3"));
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn convergence_table_folds_per_replica_curves() {
+        use elmrl_population::{PopulationConfig, PopulationRunner};
+
+        let mut config = PopulationConfig::new(Workload::CartPole, Design::OsElmL2Lipschitz, 8, 4);
+        config.max_episodes = 6;
+        config.eval_episodes = 0;
+        config.seed = 3;
+        let report = PopulationRunner::new(config).run();
+        let table = convergence_table(&report);
+        assert!(!table.is_empty());
+        // Checkpoints are clipped to the episodes actually run (≤ 6 here).
+        assert!(table.iter().all(|p| p.episode <= 6));
+        assert_eq!(table[0].episode, 1);
+        assert_eq!(table[0].replicas, 4, "every replica runs episode 1");
+        for p in &table {
+            assert!(p.replicas >= 1 && p.replicas <= 4);
+            assert!(p.mean_return.is_finite() && p.median_return.is_finite());
+            assert!((0.0..=1.0).contains(&p.solved_by));
+        }
+    }
+
+    #[test]
+    fn collects_ablation_results_into_the_cross_workload_fold() {
+        let root = tmp_root("ablation");
+        let _ = std::fs::remove_dir_all(&root);
+        for workload in [Workload::CartPole, Workload::MountainCar] {
+            let rows = crate::ablation::stabilisation_ablation(workload, 8, 2, 5);
+            crate::report::write_json(&root.join(workload.slug()), "ablation_a1.json", &rows)
+                .unwrap();
+        }
+        crate::report::write_text(&root.join("pendulum"), "ablation_a1.json", "not json").unwrap();
+
+        let summary = collect_ablation(&root).unwrap();
+        assert_eq!(
+            summary.workloads,
+            vec![Workload::CartPole, Workload::MountainCar]
+        );
+        assert_eq!(summary.missing, vec!["acrobot"]);
+        assert_eq!(summary.unreadable, vec!["pendulum"]);
+        // 4 A1 configurations × 2 aggregated workloads.
+        assert_eq!(summary.cells.len(), 8);
+
+        let md = ablation_to_markdown(&summary);
+        assert!(md.contains("clipping"));
+        assert!(md.contains("cart-pole solved"));
+        assert!(md.contains("mountain-car final avg"));
 
         let _ = std::fs::remove_dir_all(&root);
     }

@@ -20,30 +20,8 @@ impl<T: Scalar> Cholesky<T> {
     /// `a` is ignored (assumed symmetric). Fails with
     /// [`LinalgError::NotPositiveDefinite`] when a pivot is not positive.
     pub fn decompose(a: &Matrix<T>) -> Result<Self> {
-        if !a.is_square() {
-            return Err(LinalgError::NotSquare {
-                rows: a.rows(),
-                cols: a.cols(),
-            });
-        }
-        let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let mut sum = a[(i, j)];
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
-                }
-                if i == j {
-                    if sum <= T::zero() {
-                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
-                    }
-                    l[(i, j)] = sum.sqrt();
-                } else {
-                    l[(i, j)] = sum / l[(j, j)];
-                }
-            }
-        }
+        let mut l = Matrix::default();
+        cholesky_into(a, &mut l)?;
         Ok(Self { l })
     }
 
@@ -88,20 +66,8 @@ impl<T: Scalar> Cholesky<T> {
 
     /// Solve `A·X = B` for a matrix right-hand side.
     pub fn solve(&self, b: &Matrix<T>) -> Result<Matrix<T>> {
-        let n = self.dim();
-        if b.rows() != n {
-            return Err(LinalgError::ShapeMismatch {
-                detail: format!("rhs has {} rows, expected {n}", b.rows()),
-            });
-        }
-        let mut out = Matrix::zeros(n, b.cols());
-        for c in 0..b.cols() {
-            let col = b.col(c);
-            let x = self.solve_vec(&col)?;
-            for r in 0..n {
-                out[(r, c)] = x[r];
-            }
-        }
+        let mut out = Matrix::default();
+        solve_spd_into(&self.l, b, &mut out)?;
         Ok(out)
     }
 
@@ -118,6 +84,80 @@ impl<T: Scalar> Cholesky<T> {
         }
         det
     }
+}
+
+/// Factorise a symmetric positive-definite matrix into a caller-owned
+/// lower-triangular factor `l` (reshaped via [`Matrix::resize_zeroed`],
+/// reusing its allocation) — the workspace form behind
+/// [`Cholesky::decompose`], and the kernel that lets the OS-ELM batch-B
+/// recursion factor its `B × B` innovation matrix with **zero heap
+/// allocations** at steady state. The upper triangle of `a` is ignored
+/// (assumed symmetric); the arithmetic is bit-for-bit identical to
+/// [`Cholesky::decompose`] (which delegates here).
+pub fn cholesky_into<T: Scalar>(a: &Matrix<T>, l: &mut Matrix<T>) -> Result<()> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    l.resize_zeroed(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= T::zero() {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solve `A·X = B` given the lower-triangular Cholesky factor `l` of `A`,
+/// writing `X` into a caller-owned matrix (reshaped via
+/// [`Matrix::resize_zeroed`], reusing its allocation). Forward then backward
+/// substitution runs **in place** on the copied right-hand side, so the
+/// steady-state solve performs zero heap allocations. Per column the
+/// arithmetic is identical to [`Cholesky::solve_vec`], and
+/// [`Cholesky::solve`] delegates here, so the two paths agree bit for bit.
+pub fn solve_spd_into<T: Scalar>(l: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) -> Result<()> {
+    let n = l.rows();
+    if b.rows() != n {
+        return Err(LinalgError::ShapeMismatch {
+            detail: format!("rhs has {} rows, expected {n}", b.rows()),
+        });
+    }
+    let cols = b.cols();
+    out.resize_zeroed(n, cols);
+    out.as_mut_slice().copy_from_slice(b.as_slice());
+    for c in 0..cols {
+        // L·y = b (top-down, in place on column c).
+        for i in 0..n {
+            let mut acc = out[(i, c)];
+            for j in 0..i {
+                acc -= l[(i, j)] * out[(j, c)];
+            }
+            out[(i, c)] = acc / l[(i, i)];
+        }
+        // Lᵀ·x = y (bottom-up, in place on column c).
+        for i in (0..n).rev() {
+            let mut acc = out[(i, c)];
+            for j in (i + 1)..n {
+                acc -= l[(j, i)] * out[(j, c)];
+            }
+            out[(i, c)] = acc / l[(i, i)];
+        }
+    }
+    Ok(())
 }
 
 /// Solve the regularised Gram system `(AᵀA + δI)·X = B` — the exact shape of
@@ -205,6 +245,63 @@ mod tests {
         let ch = Cholesky::decompose(&Matrix::<f64>::identity(3)).unwrap();
         assert!(ch.solve_vec(&[1.0]).is_err());
         assert!(ch.solve(&Matrix::<f64>::ones(2, 2)).is_err());
+    }
+
+    #[test]
+    fn workspace_kernels_match_the_allocating_path_bitwise() {
+        for n in [1, 2, 3, 5, 9] {
+            let a = spd(n, 100 + n as u64);
+            let ch = Cholesky::decompose(&a).unwrap();
+            let mut l = Matrix::default();
+            cholesky_into(&a, &mut l).unwrap();
+            assert_eq!(&l, ch.l(), "n={n}: factors must be bit-identical");
+
+            let b = crate::random::uniform_matrix::<f64, _>(
+                n,
+                3,
+                -1.0,
+                1.0,
+                &mut SmallRng::seed_from_u64(n as u64),
+            );
+            let x = ch.solve(&b).unwrap();
+            let mut x_ws = Matrix::default();
+            solve_spd_into(&l, &b, &mut x_ws).unwrap();
+            assert_eq!(x, x_ws, "n={n}: solves must be bit-identical");
+            // …and per column they equal the historical solve_vec route.
+            for c in 0..3 {
+                let col = ch.solve_vec(&b.col(c)).unwrap();
+                for r in 0..n {
+                    assert_eq!(x_ws[(r, c)], col[r]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_kernels_reuse_allocations_and_report_errors() {
+        let mut l = Matrix::default();
+        let mut out = Matrix::default();
+        // Shrinking reuses the workspace; errors mirror the allocating path.
+        for n in [6, 3, 6] {
+            let a = spd(n, 7);
+            cholesky_into(&a, &mut l).unwrap();
+            solve_spd_into(&l, &Matrix::<f64>::ones(n, 2), &mut out).unwrap();
+            assert_eq!(out.shape(), (n, 2));
+        }
+        assert!(matches!(
+            cholesky_into(&Matrix::<f64>::ones(2, 3), &mut l),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, -1.0]]);
+        assert!(matches!(
+            cholesky_into(&a, &mut l),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1 })
+        ));
+        cholesky_into(&Matrix::<f64>::identity(3), &mut l).unwrap();
+        assert!(matches!(
+            solve_spd_into(&l, &Matrix::<f64>::ones(2, 2), &mut out),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod lu;
 pub mod qr;
 pub mod svd;
 
-pub use cholesky::Cholesky;
+pub use cholesky::{cholesky_into, solve_spd_into, Cholesky};
 pub use lu::Lu;
 pub use qr::Qr;
 pub use svd::Svd;

@@ -99,6 +99,25 @@ proptest! {
     }
 
     #[test]
+    fn cholesky_workspace_kernels_are_bit_identical(n in 1usize..8, rhs in 1usize..5, seed in 0u64..200) {
+        // Exact equality, not a tolerance: `cholesky_into`/`solve_spd_into`
+        // promise the same arithmetic as `Cholesky::{decompose, solve}`, so
+        // the batch-B OS-ELM recursion built on them cannot drift from the
+        // allocating reference.
+        use elmrl_linalg::decomp::{cholesky_into, solve_spd_into};
+        let h = seeded_matrix(n + 2, n, seed);
+        let gram = &h.t_matmul(&h) + &Matrix::identity(n).scale(0.5);
+        let ch = Cholesky::decompose(&gram).unwrap();
+        let mut l = Matrix::zeros(1, 1);
+        cholesky_into(&gram, &mut l).unwrap();
+        prop_assert_eq!(ch.l(), &l);
+        let b = seeded_matrix(n, rhs, seed.wrapping_add(13));
+        let mut x = Matrix::zeros(1, 1);
+        solve_spd_into(&l, &b, &mut x).unwrap();
+        prop_assert_eq!(&ch.solve(&b).unwrap(), &x);
+    }
+
+    #[test]
     fn qr_reconstructs_and_q_is_orthogonal(m in 1usize..8, n in 1usize..8, seed in 0u64..200) {
         let (m, n) = if m >= n { (m, n) } else { (n, m) };
         let a = seeded_matrix(m, n, seed);

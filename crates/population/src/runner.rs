@@ -31,8 +31,9 @@ use crate::seed::{replica_eval_seed, replica_train_seed};
 use elmrl_core::agent::Observation;
 use elmrl_core::batch::BatchAgent;
 use elmrl_core::designs::{Design, DesignConfig};
+use elmrl_core::trainer::{Trainer, TrainerConfig};
 use elmrl_fpga::{FpgaAgent, FpgaAgentConfig};
-use elmrl_gym::{EnvSpec, VecEnv, Workload, WorkloadOptions};
+use elmrl_gym::{EnvSpec, SolveCriterion, VecEnv, Workload, WorkloadOptions};
 use elmrl_linalg::Matrix;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -61,6 +62,12 @@ pub struct PopulationConfig {
     pub seed: u64,
     /// Episode budget per replica.
     pub max_episodes: usize,
+    /// Parallel training episodes per replica (the CLI's `--train-envs`).
+    /// 1 — the default — is the paper's scalar protocol (one episode at a
+    /// time per replica, byte-identical to previous releases); E > 1 gives
+    /// every replica its own E-slot [`VecEnv`] so it trains E episodes in
+    /// lockstep with batch-B updates.
+    pub train_envs: usize,
     /// Lockstep greedy-evaluation episodes per replica after training
     /// (0 disables the evaluation pass).
     pub eval_episodes: usize,
@@ -80,6 +87,7 @@ impl PopulationConfig {
             shards: 1,
             seed: 42,
             max_episodes: spec.defaults.max_episodes,
+            train_envs: 1,
             eval_episodes: 8,
         }
     }
@@ -105,6 +113,10 @@ pub struct ReplicaOutcome {
     /// Mean raw return of the post-training greedy evaluation episodes
     /// (`None` when the evaluation pass is disabled).
     pub greedy_eval_return: Option<f64>,
+    /// Per-episode raw returns of this replica's training run, in episode
+    /// order — the per-replica learning curve behind the population
+    /// convergence table.
+    pub returns: Vec<f64>,
 }
 
 /// Aggregate statistics over the whole population. Everything in this report
@@ -126,6 +138,11 @@ pub struct PopulationReport {
     pub seed: u64,
     /// Episode budget per replica.
     pub max_episodes: usize,
+    /// Parallel training episodes per replica (`--train-envs`).
+    pub train_envs: usize,
+    /// The effective completion rule of the run (registry default or the
+    /// `--solve-threshold` override).
+    pub solve_criterion: SolveCriterion,
     /// Greedy-evaluation episodes per replica.
     pub eval_episodes: usize,
     /// Fraction of replicas that solved the task.
@@ -198,6 +215,7 @@ impl PopulationRunner {
     pub fn new(config: PopulationConfig) -> Self {
         assert!(config.population > 0, "population must be positive");
         assert!(config.shards > 0, "need at least one shard");
+        assert!(config.train_envs > 0, "need at least one training env");
         Self { config }
     }
 
@@ -251,6 +269,8 @@ impl PopulationRunner {
             population: self.config.population,
             seed: self.config.seed,
             max_episodes: self.config.max_episodes,
+            train_envs: self.config.train_envs,
+            solve_criterion: spec.solve_criterion,
             eval_episodes: self.config.eval_episodes,
             solve_rate: solved.len() as f64 / replicas.len() as f64,
             solved: solved.len(),
@@ -309,6 +329,48 @@ fn run_shard(
     } else {
         spec.defaults.reset_after_episodes
     };
+
+    // E > 1: every replica trains its own E-slot VecEnv through the core
+    // E-parallel episode driver (batch-B updates per tick). Replicas remain
+    // self-contained — agent, environments and RNG streams derive from the
+    // replica's global index alone — so the report stays byte-identical for
+    // any shard and thread count, exactly as in the scalar path below.
+    if config.train_envs > 1 {
+        let trainer = Trainer::new(TrainerConfig {
+            max_episodes: config.max_episodes,
+            reset_after_episodes: reset_after,
+            stop_when_solved: true,
+            solve_criterion: spec.solve_criterion,
+            solved_window: 100,
+            reward_shaping: spec.reward_shaping,
+        });
+        return range
+            .map(|replica| {
+                let train_seed = replica_train_seed(config.seed, replica);
+                let mut rng = SmallRng::seed_from_u64(train_seed);
+                let mut agent =
+                    build_replica_agent(config.design, spec, config.hidden_dim, &mut rng);
+                let mut vec_env = VecEnv::from_spec(spec, config.train_envs);
+                let result = trainer.run_vec(agent.as_mut(), &mut vec_env, &mut rng);
+                ReplicaOutcome {
+                    replica,
+                    seed: train_seed,
+                    solved: result.solved,
+                    solved_at_episode: result.solved_at_episode,
+                    episodes_run: result.episodes_run,
+                    total_steps: result.total_steps,
+                    resets: result.resets,
+                    greedy_eval_return: greedy_eval(
+                        agent.as_mut(),
+                        spec,
+                        replica_eval_seed(config.seed, replica),
+                        config.eval_episodes,
+                    ),
+                    returns: result.stats.returns,
+                }
+            })
+            .collect();
+    }
 
     let train_seeds: Vec<u64> = range
         .clone()
@@ -439,6 +501,7 @@ fn run_shard(
                 replica_eval_seed(config.seed, replica),
                 config.eval_episodes,
             ),
+            returns: st.returns,
         })
         .collect()
 }
@@ -561,6 +624,47 @@ mod tests {
             let sharded = PopulationRunner::new(tiny_config(shards)).run();
             assert_eq!(baseline, sharded, "shards = {shards}");
         }
+    }
+
+    #[test]
+    fn replicas_carry_their_learning_curves() {
+        let report = PopulationRunner::new(tiny_config(1)).run();
+        for r in &report.replicas {
+            assert_eq!(
+                r.returns.len(),
+                r.episodes_run,
+                "one return per completed episode"
+            );
+            assert!(r.returns.iter().all(|v| v.is_finite()));
+        }
+        assert_eq!(report.train_envs, 1);
+    }
+
+    #[test]
+    fn train_envs_population_is_shard_invariant_and_recorded() {
+        let config_with = |shards: usize| {
+            let mut config = tiny_config(shards);
+            config.train_envs = 3;
+            config
+        };
+        let baseline = PopulationRunner::new(config_with(1)).run();
+        assert_eq!(baseline.train_envs, 3);
+        assert_eq!(baseline.replicas.len(), 6);
+        for r in &baseline.replicas {
+            assert_eq!(r.returns.len(), r.episodes_run);
+            assert!(r.episodes_run <= 4);
+            assert!(r.total_steps >= r.episodes_run);
+        }
+        for shards in [2, 6] {
+            let sharded = PopulationRunner::new(config_with(shards)).run();
+            assert_eq!(baseline, sharded, "shards = {shards}");
+        }
+        // E changes the learning trajectory relative to the scalar path.
+        let scalar = PopulationRunner::new(tiny_config(1)).run();
+        assert_ne!(
+            scalar.replicas, baseline.replicas,
+            "E > 1 must not silently replay the scalar protocol"
+        );
     }
 
     #[test]
