@@ -7,6 +7,7 @@
 //! its buffer, triggers an initial training, a sequential update, or a DQN
 //! gradient step).
 
+use crate::checkpoint::AgentSnapshot;
 use crate::ops::OpCounts;
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
@@ -77,6 +78,24 @@ pub trait Agent {
     /// Approximate persistent memory footprint of the agent's learnable state
     /// and buffers, in bytes (used for the on-device memory comparison).
     fn memory_footprint_bytes(&self) -> usize;
+
+    /// Capture the agent's complete mutable state for checkpointing, or
+    /// `None` when the design does not support it. A snapshot must be deep
+    /// enough that [`Agent::restore`] followed by the same action/observation
+    /// sequence reproduces the original agent's trajectory bit for bit.
+    fn snapshot(&self) -> Option<AgentSnapshot> {
+        None
+    }
+
+    /// Restore state captured by [`Agent::snapshot`]. The default refuses —
+    /// designs that opt into checkpointing override both methods together.
+    fn restore(&mut self, snapshot: &AgentSnapshot) -> Result<(), String> {
+        let _ = snapshot;
+        Err(format!(
+            "design `{}` does not support checkpoint restore",
+            self.name()
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -9,11 +9,14 @@
 
 use crate::agent::{Agent, Observation};
 use crate::batch::BatchAgent;
+use crate::checkpoint::AgentSnapshot;
 use crate::clipping::TargetConfig;
 use crate::ops::{OpCounts, OpKind};
 use crate::policy::ExploitPolicy;
 use elmrl_linalg::Matrix;
-use elmrl_nn::{Activation, Adam, Loss, Mlp, MlpConfig, MlpScratch, ReplayBuffer, Transition};
+use elmrl_nn::{
+    Activation, Adam, Loss, Mlp, MlpConfig, MlpScratch, MomentState, ReplayBuffer, Transition,
+};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -77,6 +80,20 @@ impl DqnConfig {
     pub fn cartpole(hidden_dim: usize) -> Self {
         Self::for_workload(&elmrl_gym::Workload::CartPole.spec(), hidden_dim)
     }
+}
+
+/// The complete mutable state of a [`DqnAgent`], as carried inside an
+/// [`AgentSnapshot`]: both networks' parameters, the Adam moment estimates
+/// (with their bias-correction step counts), the full replay history and the
+/// op counters. The replay buffer must travel whole — resuming with a
+/// truncated buffer would change which mini-batches the restored run samples.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct DqnState {
+    online: Vec<(Matrix<f64>, Matrix<f64>)>,
+    target: Vec<(Matrix<f64>, Matrix<f64>)>,
+    optimizer: Vec<Option<MomentState>>,
+    replay: ReplayBuffer,
+    ops: OpCounts,
 }
 
 /// The DQN baseline agent.
@@ -238,6 +255,27 @@ impl Agent for DqnAgent {
     fn memory_footprint_bytes(&self) -> usize {
         let params = 2 * self.online.parameter_count() * std::mem::size_of::<f64>();
         params + self.replay.approximate_bytes()
+    }
+
+    fn snapshot(&self) -> Option<AgentSnapshot> {
+        let state = DqnState {
+            online: self.online.export_parameters(),
+            target: self.target.export_parameters(),
+            optimizer: self.optimizer.export_state(),
+            replay: self.replay.clone(),
+            ops: self.ops.clone(),
+        };
+        Some(AgentSnapshot::new(self.name(), &state))
+    }
+
+    fn restore(&mut self, snapshot: &AgentSnapshot) -> Result<(), String> {
+        let state: DqnState = snapshot.decode(self.name())?;
+        self.online.import_parameters(&state.online);
+        self.target.import_parameters(&state.target);
+        self.optimizer.import_state(state.optimizer);
+        self.replay = state.replay;
+        self.ops = state.ops;
+        Ok(())
     }
 }
 

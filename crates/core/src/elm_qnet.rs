@@ -8,12 +8,13 @@
 
 use crate::agent::{Agent, Observation};
 use crate::batch::{elm_q_batch, BatchAgent};
+use crate::checkpoint::AgentSnapshot;
 use crate::clipping::TargetConfig;
 use crate::encoding::StateActionEncoder;
 use crate::ops::{OpCounts, OpKind};
 use crate::policy::{max_q, ExploitPolicy};
 use elmrl_elm::model::ElmModel;
-use elmrl_elm::{Elm, HiddenActivation, OsElmConfig};
+use elmrl_elm::{Elm, ElmSnapshot, HiddenActivation, ModelSnapshot, OsElmConfig};
 use elmrl_linalg::Matrix;
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
@@ -77,6 +78,18 @@ impl ElmQNetConfig {
             .with_activation(self.activation)
             .with_l2_delta(self.l2_delta)
     }
+}
+
+/// The complete mutable state of an [`ElmQNet`], as carried inside an
+/// [`AgentSnapshot`]: the online batch learner, the frozen target network,
+/// the refill buffer `D`, the trained-once flag and the op counters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ElmQNetState {
+    online: ElmSnapshot,
+    target: ModelSnapshot,
+    buffer: Vec<Observation>,
+    trained_once: bool,
+    ops: OpCounts,
 }
 
 /// The ELM Q-Network agent.
@@ -217,6 +230,29 @@ impl Agent for ElmQNet {
         let model = input * n + n + n;
         let buffer = self.buffer.capacity() * (2 * self.config.state_dim + 4);
         (2 * model + buffer) * f
+    }
+
+    fn snapshot(&self) -> Option<AgentSnapshot> {
+        let state = ElmQNetState {
+            online: self.online.snapshot(),
+            target: ModelSnapshot::capture(&self.target),
+            buffer: self.buffer.clone(),
+            trained_once: self.trained_once,
+            ops: self.ops.clone(),
+        };
+        Some(AgentSnapshot::new(self.name(), &state))
+    }
+
+    fn restore(&mut self, snapshot: &AgentSnapshot) -> Result<(), String> {
+        let state: ElmQNetState = snapshot.decode(self.name())?;
+        self.online = Elm::from_snapshot(&state.online);
+        self.target = state.target.restore();
+        // Keep the pre-sized buffer capacity the constructor established.
+        self.buffer.clear();
+        self.buffer.extend(state.buffer);
+        self.trained_once = state.trained_once;
+        self.ops = state.ops;
+        Ok(())
     }
 }
 

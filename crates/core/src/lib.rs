@@ -17,6 +17,7 @@
 //! | [`dqn`] — the three-layer DQN baseline (experience replay, target network, Adam, Huber) | §2.4, §4.1 design (6) |
 //! | [`designs`] — the seven evaluated designs as a factory enum | §4.1 |
 //! | [`batch`] — batched Q inference ([`BatchAgent`]): one `B×n` matmul instead of B matvecs | population-serving extension |
+//! | [`checkpoint`] — versioned agent/run snapshots for bit-exact save/resume | fault-tolerance extension |
 //! | [`trainer`] — episode loop, 300-episode reset rule, solve criterion, op counting | §4.3–4.4 |
 //! | [`ops`] — per-operation counters behind the Figure 5/6 execution-time breakdowns | §4.4 |
 //!
@@ -40,6 +41,7 @@
 
 pub mod agent;
 pub mod batch;
+pub mod checkpoint;
 pub mod clipping;
 pub mod designs;
 pub mod dqn;
@@ -53,6 +55,7 @@ pub mod trainer;
 
 pub use agent::{Agent, Observation};
 pub use batch::BatchAgent;
+pub use checkpoint::{AgentSnapshot, RunCheckpoint, SlotCheckpoint, SNAPSHOT_SCHEMA_VERSION};
 pub use designs::{Design, DesignConfig};
 pub use dqn::DqnAgent;
 pub use elm_qnet::ElmQNet;

@@ -16,12 +16,13 @@
 
 use crate::agent::{Agent, Observation};
 use crate::batch::{elm_q_batch, elm_q_batch_into, BatchAgent, BatchQScratch};
+use crate::checkpoint::AgentSnapshot;
 use crate::clipping::TargetConfig;
 use crate::encoding::StateActionEncoder;
 use crate::ops::{OpCounts, OpKind};
 use crate::policy::{max_q, ExploitPolicy};
 use elmrl_elm::model::ElmModel;
-use elmrl_elm::{HiddenActivation, OsElm, OsElmConfig};
+use elmrl_elm::{HiddenActivation, ModelSnapshot, OsElm, OsElmConfig, OsElmSnapshot};
 use elmrl_linalg::Matrix;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -197,6 +198,19 @@ struct BatchObserveScratch {
     t: Matrix<f64>,
     /// Workspaces of the batched target-network forward.
     q: BatchQScratch,
+}
+
+/// The complete mutable state of an [`OsElmQNet`], as carried inside an
+/// [`AgentSnapshot`]: the online learner's RLS recursion (`α`, `b`, `β`,
+/// `P`, counters), the frozen target network, the initial-training buffer
+/// `D`, and the op counters. The scratch workspaces are deliberately absent —
+/// they hold no observable state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct OsElmQNetState {
+    online: OsElmSnapshot,
+    target: ModelSnapshot,
+    buffer: Vec<Observation>,
+    ops: OpCounts,
 }
 
 /// The OS-ELM Q-Network agent.
@@ -413,6 +427,27 @@ impl Agent for OsElmQNet {
         let p = n * n;
         let buffer = self.buffer.capacity() * (2 * self.config.state_dim + 4);
         (2 * model + p + buffer) * f
+    }
+
+    fn snapshot(&self) -> Option<AgentSnapshot> {
+        let state = OsElmQNetState {
+            online: self.online.snapshot(),
+            target: ModelSnapshot::capture(&self.target),
+            buffer: self.buffer.clone(),
+            ops: self.ops.clone(),
+        };
+        Some(AgentSnapshot::new(&self.name, &state))
+    }
+
+    fn restore(&mut self, snapshot: &AgentSnapshot) -> Result<(), String> {
+        let state: OsElmQNetState = snapshot.decode(&self.name)?;
+        self.online = OsElm::from_snapshot(&state.online);
+        self.target = state.target.restore();
+        // Keep the pre-sized buffer capacity the constructor established.
+        self.buffer.clear();
+        self.buffer.extend(state.buffer);
+        self.ops = state.ops;
+        Ok(())
     }
 }
 

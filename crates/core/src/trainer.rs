@@ -21,6 +21,9 @@
 
 use crate::agent::{Agent, Observation};
 use crate::batch::BatchAgent;
+use crate::checkpoint::{
+    rng_from_words, rng_state_words, RunCheckpoint, SlotCheckpoint, SNAPSHOT_SCHEMA_VERSION,
+};
 use crate::ops::OpCounts;
 use crate::reward::RewardShaping;
 use elmrl_gym::{EnvSpec, Environment, EpisodeStats, VecEnv};
@@ -132,6 +135,94 @@ impl TrainingResult {
     }
 }
 
+/// Checkpoint control for a single trial: when to capture, where captured
+/// checkpoints go, what to resume from, and an optional fault-injection stop.
+///
+/// The determinism contract: a run resumed from a checkpoint captured at
+/// episode `N` continues **bit for bit** identically to a run that never
+/// stopped — same RNG draws, same agent updates, same statistics. Captures
+/// have no side effects (no RNG draws, no agent mutation), so enabling
+/// checkpointing never changes a trajectory.
+///
+/// The default value disables everything; [`Trainer::run`] /
+/// [`Trainer::run_vec`] are thin wrappers over the checkpointed drivers with
+/// this default.
+#[derive(Default)]
+pub struct CheckpointCtl<'a> {
+    /// Capture a checkpoint whenever the completed-episode count crosses a
+    /// multiple of this (0 = never). For vectorized runs a single tick can
+    /// complete several episodes; one capture is taken per crossed boundary
+    /// tick, at the end of the tick.
+    pub every: usize,
+    /// Abandon the run once this many episodes have completed — the crash
+    /// half of fault injection. The boundary checkpoint is still captured
+    /// first, so `stop_after: Some(n)` with `every` dividing `n` simulates a
+    /// kill at episode `n` with its checkpoint on disk.
+    pub stop_after: Option<usize>,
+    /// Continue from this previously captured checkpoint instead of starting
+    /// fresh.
+    pub resume: Option<&'a RunCheckpoint>,
+    /// Receives every captured checkpoint (write it to disk, keep the latest,
+    /// …). Captures are skipped entirely when absent.
+    pub sink: Option<&'a mut dyn FnMut(RunCheckpoint)>,
+    /// Internal: next episode-count boundary to capture at.
+    next_mark: usize,
+}
+
+impl<'a> CheckpointCtl<'a> {
+    /// A control block that checkpoints every `every` episodes into `sink`.
+    pub fn saving(every: usize, sink: &'a mut dyn FnMut(RunCheckpoint)) -> Self {
+        Self {
+            every,
+            sink: Some(sink),
+            ..Self::default()
+        }
+    }
+
+    /// A control block that resumes from `ckpt` (and keeps checkpointing
+    /// into `sink` on the same schedule).
+    pub fn resuming(
+        ckpt: &'a RunCheckpoint,
+        every: usize,
+        sink: &'a mut dyn FnMut(RunCheckpoint),
+    ) -> Self {
+        Self {
+            every,
+            resume: Some(ckpt),
+            sink: Some(sink),
+            ..Self::default()
+        }
+    }
+
+    /// Arm the capture schedule given the episode count the run starts at.
+    fn arm(&mut self, episodes_run: usize) {
+        // `every == 0` means the schedule is disarmed: no finite mark.
+        self.next_mark = match episodes_run.checked_div(self.every) {
+            Some(marks) => (marks + 1) * self.every,
+            None => usize::MAX,
+        };
+    }
+
+    /// Whether the run has crossed the next capture boundary. Allocation-free
+    /// — safe to ask every tick.
+    fn capture_due(&self, episodes_run: usize) -> bool {
+        self.sink.is_some() && episodes_run >= self.next_mark
+    }
+
+    /// Hand a captured checkpoint to the sink and advance the schedule.
+    fn emit(&mut self, ckpt: RunCheckpoint) {
+        self.next_mark = (ckpt.episodes_run / self.every + 1) * self.every;
+        if let Some(sink) = self.sink.as_mut() {
+            sink(ckpt);
+        }
+    }
+
+    /// Whether the fault-injection stop fires at this episode count.
+    fn stop_now(&self, episodes_run: usize) -> bool {
+        self.stop_after.is_some_and(|n| episodes_run >= n)
+    }
+}
+
 /// The episode-loop driver.
 #[derive(Clone, Debug)]
 pub struct Trainer {
@@ -162,6 +253,24 @@ impl Trainer {
         env: &mut dyn Environment,
         rng: &mut SmallRng,
     ) -> TrainingResult {
+        self.run_checkpointed(agent, env, rng, &mut CheckpointCtl::default())
+            .expect("a run without checkpointing cannot fail")
+    }
+
+    /// [`Trainer::run`] with checkpoint capture, resume and fault injection.
+    ///
+    /// Checkpoints are captured at episode boundaries, after *all* of the
+    /// episode's bookkeeping (target sync, statistics, solve check, reset
+    /// rule), so the captured state is exactly the state the next episode
+    /// starts from. Errors only on an invalid resume checkpoint or when a
+    /// capture is requested from an agent that does not support snapshots.
+    pub fn run_checkpointed(
+        &self,
+        agent: &mut dyn Agent,
+        env: &mut dyn Environment,
+        rng: &mut SmallRng,
+        ctl: &mut CheckpointCtl<'_>,
+    ) -> Result<TrainingResult, String> {
         let start = Instant::now();
         let mut stats =
             EpisodeStats::with_window(self.config.solved_window, env.solved_threshold());
@@ -171,7 +280,37 @@ impl Trainer {
         let mut episodes_run = 0usize;
         let mut solved_at_episode: Option<usize> = None;
 
-        for episode in 0..self.config.max_episodes {
+        if let Some(ckpt) = ctl.resume {
+            if ckpt.slots.is_some() {
+                return Err(
+                    "checkpoint was captured by a vectorized run; resume with run_vec".to_owned(),
+                );
+            }
+            agent.restore(&ckpt.agent)?;
+            *rng = rng_from_words(&ckpt.rng)?;
+            if let Some(env_state) = &ckpt.env_state {
+                env.load_state(env_state)?;
+            }
+            stats = ckpt.stats.clone();
+            total_steps = ckpt.total_steps;
+            resets = ckpt.resets;
+            episodes_since_reset = ckpt.episodes_since_reset;
+            episodes_run = ckpt.episodes_run;
+            solved_at_episode = ckpt.solved_at_episode;
+        }
+        ctl.arm(episodes_run);
+
+        // The range start is evaluated once; the loop body advances
+        // `episodes_run` as the count-so-far for checkpoint captures, not to
+        // steer the iteration.
+        #[allow(clippy::mut_range_bound)]
+        for episode in episodes_run..self.config.max_episodes {
+            // An uninterrupted run breaks below before re-entering; this
+            // guard only stops a run resumed from a checkpoint captured at
+            // its solving episode from running an extra one.
+            if solved_at_episode.is_some() && self.config.stop_when_solved {
+                break;
+            }
             let mut state = env.reset(rng);
             let mut episode_return = 0.0;
 
@@ -210,6 +349,23 @@ impl Trainer {
                 solved_at_episode = Some(episode);
             }
             if solved_at_episode.is_some() && self.config.stop_when_solved {
+                // The episode's bookkeeping is complete; capture the boundary
+                // checkpoint (if due) before stopping so resume-at-the-last-
+                // episode reproduces this result.
+                if ctl.capture_due(episodes_run) {
+                    let ckpt = Self::capture_scalar(
+                        agent,
+                        env,
+                        rng,
+                        &stats,
+                        episodes_run,
+                        total_steps,
+                        resets,
+                        episodes_since_reset,
+                        solved_at_episode,
+                    )?;
+                    ctl.emit(ckpt);
+                }
                 break;
             }
             if solved_at_episode.is_none() {
@@ -221,9 +377,26 @@ impl Trainer {
                     }
                 }
             }
+            if ctl.capture_due(episodes_run) {
+                let ckpt = Self::capture_scalar(
+                    agent,
+                    env,
+                    rng,
+                    &stats,
+                    episodes_run,
+                    total_steps,
+                    resets,
+                    episodes_since_reset,
+                    solved_at_episode,
+                )?;
+                ctl.emit(ckpt);
+            }
+            if ctl.stop_now(episodes_run) {
+                break;
+            }
         }
 
-        TrainingResult {
+        Ok(TrainingResult {
             design: agent.name().to_string(),
             hidden_dim: agent.hidden_dim(),
             solved: solved_at_episode.is_some(),
@@ -234,7 +407,35 @@ impl Trainer {
             wall_time: start.elapsed(),
             stats,
             op_counts: agent.op_counts().clone(),
-        }
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn capture_scalar(
+        agent: &dyn Agent,
+        env: &dyn Environment,
+        rng: &SmallRng,
+        stats: &EpisodeStats,
+        episodes_run: usize,
+        total_steps: usize,
+        resets: usize,
+        episodes_since_reset: usize,
+        solved_at_episode: Option<usize>,
+    ) -> Result<RunCheckpoint, String> {
+        let snapshot = crate::checkpoint::snapshot_agent(agent)?;
+        Ok(RunCheckpoint {
+            version: SNAPSHOT_SCHEMA_VERSION,
+            episodes_run,
+            total_steps,
+            resets,
+            episodes_since_reset,
+            solved_at_episode,
+            stats: stats.clone(),
+            agent: snapshot,
+            rng: rng_state_words(rng),
+            env_state: env.save_state(),
+            slots: None,
+        })
     }
 
     /// Run one trial of `agent` against **E parallel episodes** — the
@@ -277,27 +478,85 @@ impl Trainer {
         vec_env: &mut VecEnv,
         rng: &mut SmallRng,
     ) -> TrainingResult {
+        self.run_vec_checkpointed(agent, vec_env, rng, &mut CheckpointCtl::default())
+            .expect("a run without checkpointing cannot fail")
+    }
+
+    /// [`Trainer::run_vec`] with checkpoint capture, resume and fault
+    /// injection.
+    ///
+    /// Vectorized checkpoints are captured at **end of tick** (never
+    /// mid-tick): a tick that crosses an `every` boundary — possibly
+    /// completing several episodes at once — first finishes all of its
+    /// bookkeeping, then the full engine state (per-slot environment states,
+    /// observations, RNG cursors, in-flight returns, active flags, plus the
+    /// master stream and the agent snapshot) is captured. A resumed run
+    /// re-enters the tick loop exactly where the original would have, so the
+    /// suffix replays bit for bit.
+    pub fn run_vec_checkpointed(
+        &self,
+        agent: &mut dyn BatchAgent,
+        vec_env: &mut VecEnv,
+        rng: &mut SmallRng,
+        ctl: &mut CheckpointCtl<'_>,
+    ) -> Result<TrainingResult, String> {
         let start = Instant::now();
         let e = vec_env.len();
         let mut stats =
             EpisodeStats::with_window(self.config.solved_window, vec_env.solved_threshold());
-        // Per-slot environment/policy streams, split deterministically from
-        // the master stream before the first tick.
-        let mut slot_rngs: Vec<SmallRng> =
-            (0..e).map(|_| SmallRng::seed_from_u64(rng.gen())).collect();
-        vec_env.reset_all(&mut slot_rngs);
 
+        let mut slot_rngs: Vec<SmallRng>;
         let mut episode_returns = vec![0.0f64; e];
         let mut active = vec![self.config.max_episodes > 0; e];
-        let mut actions: Vec<Option<usize>> = vec![None; e];
-        let mut pre_states: Vec<Vec<f64>> = vec![Vec::new(); e];
-        let mut tick_obs: Vec<Observation> = Vec::with_capacity(e);
-        let mut state_row = Matrix::zeros(1, vec_env.obs_dim());
         let mut total_steps = 0usize;
         let mut resets = 0usize;
         let mut episodes_since_reset = 0usize;
         let mut episodes_run = 0usize;
         let mut solved_at_episode: Option<usize> = None;
+
+        if let Some(ckpt) = ctl.resume {
+            let Some(slots) = &ckpt.slots else {
+                return Err(
+                    "checkpoint was captured by a scalar run; resume with run (not run_vec)"
+                        .to_owned(),
+                );
+            };
+            if slots.len() != e {
+                return Err(format!(
+                    "checkpoint has {} slots but the vector environment has {e}",
+                    slots.len()
+                ));
+            }
+            agent.restore(&ckpt.agent)?;
+            // The master stream already consumed the slot-seeding draws
+            // before the capture, so restoring it replaces (not repeats)
+            // the seeding step.
+            *rng = rng_from_words(&ckpt.rng)?;
+            slot_rngs = Vec::with_capacity(e);
+            for (j, slot) in slots.iter().enumerate() {
+                slot_rngs.push(rng_from_words(&slot.rng)?);
+                vec_env.restore_slot(j, &slot.env_state, &slot.observation)?;
+                episode_returns[j] = slot.episode_return;
+                active[j] = slot.active;
+            }
+            stats = ckpt.stats.clone();
+            total_steps = ckpt.total_steps;
+            resets = ckpt.resets;
+            episodes_since_reset = ckpt.episodes_since_reset;
+            episodes_run = ckpt.episodes_run;
+            solved_at_episode = ckpt.solved_at_episode;
+        } else {
+            // Per-slot environment/policy streams, split deterministically
+            // from the master stream before the first tick.
+            slot_rngs = (0..e).map(|_| SmallRng::seed_from_u64(rng.gen())).collect();
+            vec_env.reset_all(&mut slot_rngs);
+        }
+        ctl.arm(episodes_run);
+
+        let mut actions: Vec<Option<usize>> = vec![None; e];
+        let mut pre_states: Vec<Vec<f64>> = vec![Vec::new(); e];
+        let mut tick_obs: Vec<Observation> = Vec::with_capacity(e);
+        let mut state_row = Matrix::zeros(1, vec_env.obs_dim());
 
         while active.iter().any(|&a| a) {
             // Determine: one batched-kernel ε-greedy decision per active slot.
@@ -373,9 +632,47 @@ impl Trainer {
                     }
                 }
             }
+
+            // End of tick: every mid-tick state (including a budget stop that
+            // abandoned in-flight slots above) has settled, so this is the
+            // only point where the engine state is a valid resume target.
+            if ctl.capture_due(episodes_run) {
+                let mut slots = Vec::with_capacity(e);
+                for j in 0..e {
+                    let env_state = vec_env.save_slot_state(j).ok_or_else(|| {
+                        "vector environment slot does not support save_state".to_owned()
+                    })?;
+                    slots.push(SlotCheckpoint {
+                        rng: rng_state_words(&slot_rngs[j]),
+                        env_state,
+                        observation: vec_env.state(j).to_vec(),
+                        episode_return: episode_returns[j],
+                        active: active[j],
+                    });
+                }
+                let snapshot = agent.snapshot().ok_or_else(|| {
+                    format!("design `{}` does not support checkpointing", agent.name())
+                })?;
+                ctl.emit(RunCheckpoint {
+                    version: SNAPSHOT_SCHEMA_VERSION,
+                    episodes_run,
+                    total_steps,
+                    resets,
+                    episodes_since_reset,
+                    solved_at_episode,
+                    stats: stats.clone(),
+                    agent: snapshot,
+                    rng: rng_state_words(rng),
+                    env_state: None,
+                    slots: Some(slots),
+                });
+            }
+            if ctl.stop_now(episodes_run) {
+                break;
+            }
         }
 
-        TrainingResult {
+        Ok(TrainingResult {
             design: agent.name().to_string(),
             hidden_dim: agent.hidden_dim(),
             solved: solved_at_episode.is_some(),
@@ -386,7 +683,7 @@ impl Trainer {
             wall_time: start.elapsed(),
             stats,
             op_counts: agent.op_counts().clone(),
-        }
+        })
     }
 }
 
@@ -844,6 +1141,256 @@ mod tests {
         assert!(result.solved);
         assert_eq!(result.solved_at_episode, Some(0));
         assert_eq!(result.episodes_run, 5, "must keep running after solving");
+    }
+
+    // ---- checkpoint / resume ---------------------------------------------
+
+    #[test]
+    fn scalar_resume_is_bit_for_bit_identical() {
+        let config = {
+            let mut c = TrainerConfig::quick(8);
+            c.reset_after_episodes = Some(3); // exercise resets across resume
+            c
+        };
+        let straight = {
+            let mut r = rng(7);
+            let mut agent = Design::OsElmL2.build(&DesignConfig::new(8), &mut r);
+            let mut env = CartPole::new();
+            Trainer::new(config.clone()).run(agent.as_mut(), &mut env, &mut r)
+        };
+
+        // Checkpoint capture must have zero side effects on the trajectory.
+        let mut ckpts: Vec<RunCheckpoint> = Vec::new();
+        {
+            let mut r = rng(7);
+            let mut agent = Design::OsElmL2.build(&DesignConfig::new(8), &mut r);
+            let mut env = CartPole::new();
+            let mut sink = |c: RunCheckpoint| ckpts.push(c);
+            let mut ctl = CheckpointCtl::saving(1, &mut sink);
+            let observed = Trainer::new(config.clone())
+                .run_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+                .unwrap();
+            assert_eq!(observed.stats.returns, straight.stats.returns);
+        }
+        assert_eq!(ckpts.len(), straight.episodes_run);
+
+        for n in [1, ckpts.len() / 2, ckpts.len()] {
+            let ckpt = &ckpts[n - 1];
+            assert_eq!(ckpt.episodes_run, n);
+            // The pre-restore seeds are deliberately different: restore must
+            // overwrite every bit of agent and RNG state.
+            let mut r = rng(999);
+            let mut agent = Design::OsElmL2.build(&DesignConfig::new(8), &mut r);
+            let mut env = CartPole::new();
+            let mut sink = |_c: RunCheckpoint| {};
+            let mut ctl = CheckpointCtl::resuming(ckpt, 0, &mut sink);
+            let resumed = Trainer::new(config.clone())
+                .run_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+                .unwrap();
+            assert_eq!(
+                resumed.stats.returns, straight.stats.returns,
+                "resume at episode {n} diverged"
+            );
+            assert_eq!(resumed.episodes_run, straight.episodes_run);
+            assert_eq!(resumed.total_steps, straight.total_steps);
+            assert_eq!(resumed.resets, straight.resets);
+            assert_eq!(resumed.solved_at_episode, straight.solved_at_episode);
+        }
+    }
+
+    #[test]
+    fn scalar_resume_survives_a_json_round_trip() {
+        let config = TrainerConfig::quick(6);
+        let mut ckpts: Vec<RunCheckpoint> = Vec::new();
+        let straight = {
+            let mut r = rng(21);
+            let mut agent = Design::OsElm.build(&DesignConfig::new(8), &mut r);
+            let mut env = CartPole::new();
+            let mut sink = |c: RunCheckpoint| ckpts.push(c);
+            let mut ctl = CheckpointCtl::saving(3, &mut sink);
+            Trainer::new(config.clone())
+                .run_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+                .unwrap()
+        };
+        let restored = RunCheckpoint::from_json(&ckpts[0].to_json().unwrap()).unwrap();
+        let mut r = rng(0);
+        let mut agent = Design::OsElm.build(&DesignConfig::new(8), &mut r);
+        let mut env = CartPole::new();
+        let mut sink = |_c: RunCheckpoint| {};
+        let mut ctl = CheckpointCtl::resuming(&restored, 0, &mut sink);
+        let resumed = Trainer::new(config)
+            .run_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+            .unwrap();
+        assert_eq!(resumed.stats.returns, straight.stats.returns);
+        assert_eq!(resumed.total_steps, straight.total_steps);
+    }
+
+    #[test]
+    fn vec_resume_is_bit_for_bit_identical() {
+        let spec = elmrl_gym::Workload::CartPole.spec();
+        let config = TrainerConfig::quick(9);
+        let straight = {
+            let mut r = rng(5);
+            let mut agent = Design::OsElmL2Lipschitz.build_batch(&DesignConfig::new(8), &mut r);
+            let mut env = elmrl_gym::VecEnv::from_spec(&spec, 3);
+            Trainer::new(config.clone()).run_vec(agent.as_mut(), &mut env, &mut r)
+        };
+
+        let mut ckpts: Vec<RunCheckpoint> = Vec::new();
+        {
+            let mut r = rng(5);
+            let mut agent = Design::OsElmL2Lipschitz.build_batch(&DesignConfig::new(8), &mut r);
+            let mut env = elmrl_gym::VecEnv::from_spec(&spec, 3);
+            let mut sink = |c: RunCheckpoint| ckpts.push(c);
+            let mut ctl = CheckpointCtl::saving(3, &mut sink);
+            let observed = Trainer::new(config.clone())
+                .run_vec_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+                .unwrap();
+            assert_eq!(observed.stats.returns, straight.stats.returns);
+        }
+        assert!(!ckpts.is_empty(), "a 9-episode run must cross a 3-boundary");
+
+        for (i, ckpt) in ckpts.iter().enumerate() {
+            let mut r = rng(999);
+            let mut agent = Design::OsElmL2Lipschitz.build_batch(&DesignConfig::new(8), &mut r);
+            let mut env = elmrl_gym::VecEnv::from_spec(&spec, 3);
+            let mut sink = |_c: RunCheckpoint| {};
+            let mut ctl = CheckpointCtl::resuming(ckpt, 0, &mut sink);
+            let resumed = Trainer::new(config.clone())
+                .run_vec_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+                .unwrap();
+            assert_eq!(
+                resumed.stats.returns, straight.stats.returns,
+                "resume from checkpoint {i} diverged"
+            );
+            assert_eq!(resumed.episodes_run, straight.episodes_run);
+            assert_eq!(resumed.total_steps, straight.total_steps);
+        }
+    }
+
+    #[test]
+    fn fault_injection_stop_then_resume_matches_straight_through() {
+        // Simulated crash: the run is killed right after the episode-3
+        // checkpoint lands, then a fresh process resumes from it.
+        let config = TrainerConfig::quick(8);
+        let straight = {
+            let mut r = rng(13);
+            let mut agent = Design::OsElmL2.build(&DesignConfig::new(8), &mut r);
+            let mut env = CartPole::new();
+            Trainer::new(config.clone()).run(agent.as_mut(), &mut env, &mut r)
+        };
+
+        let mut ckpts: Vec<RunCheckpoint> = Vec::new();
+        let crashed = {
+            let mut r = rng(13);
+            let mut agent = Design::OsElmL2.build(&DesignConfig::new(8), &mut r);
+            let mut env = CartPole::new();
+            let mut sink = |c: RunCheckpoint| ckpts.push(c);
+            let mut ctl = CheckpointCtl::saving(1, &mut sink);
+            ctl.stop_after = Some(3);
+            Trainer::new(config.clone())
+                .run_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+                .unwrap()
+        };
+        assert_eq!(
+            crashed.episodes_run, 3,
+            "the injected fault must stop the run"
+        );
+        assert_eq!(ckpts.len(), 3);
+
+        let mut r = rng(0);
+        let mut agent = Design::OsElmL2.build(&DesignConfig::new(8), &mut r);
+        let mut env = CartPole::new();
+        let mut sink = |_c: RunCheckpoint| {};
+        let mut ctl = CheckpointCtl::resuming(&ckpts[2], 0, &mut sink);
+        let resumed = Trainer::new(config)
+            .run_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+            .unwrap();
+        assert_eq!(resumed.stats.returns, straight.stats.returns);
+        assert_eq!(resumed.total_steps, straight.total_steps);
+        assert_eq!(resumed.resets, straight.resets);
+    }
+
+    #[test]
+    fn checkpointing_an_unsupported_agent_errors() {
+        let mut env = ScriptedEnv::new(&[3]);
+        let mut agent = CountingAgent::new();
+        let mut config = TrainerConfig::quick(3);
+        config.solve_criterion = SolveCriterion::EpisodeReturn { threshold: 1000.0 };
+        let mut sink = |_c: RunCheckpoint| {};
+        let mut ctl = CheckpointCtl::saving(1, &mut sink);
+        let err = Trainer::new(config)
+            .run_checkpointed(&mut agent, &mut env, &mut rng(0), &mut ctl)
+            .unwrap_err();
+        assert!(err.contains("does not support checkpointing"), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_a_checkpoint_of_the_other_driver_kind() {
+        let config = TrainerConfig::quick(4);
+        let mut scalar_ckpts: Vec<RunCheckpoint> = Vec::new();
+        {
+            let mut r = rng(3);
+            let mut agent = Design::OsElmL2.build(&DesignConfig::new(8), &mut r);
+            let mut env = CartPole::new();
+            let mut sink = |c: RunCheckpoint| scalar_ckpts.push(c);
+            let mut ctl = CheckpointCtl::saving(2, &mut sink);
+            Trainer::new(config.clone())
+                .run_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+                .unwrap();
+        }
+        let scalar_ckpt = &scalar_ckpts[0];
+        assert!(scalar_ckpt.slots.is_none());
+
+        // Scalar checkpoint into the vectorized driver: rejected.
+        let spec = elmrl_gym::Workload::CartPole.spec();
+        let mut r = rng(0);
+        let mut agent = Design::OsElmL2.build_batch(&DesignConfig::new(8), &mut r);
+        let mut env = elmrl_gym::VecEnv::from_spec(&spec, 2);
+        let mut sink = |_c: RunCheckpoint| {};
+        let mut ctl = CheckpointCtl::resuming(scalar_ckpt, 0, &mut sink);
+        let err = Trainer::new(config.clone())
+            .run_vec_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+            .unwrap_err();
+        assert!(err.contains("scalar run"), "{err}");
+
+        // Vector checkpoint into the scalar driver: rejected.
+        let mut vec_ckpt = scalar_ckpts[0].clone();
+        vec_ckpt.slots = Some(Vec::new());
+        let mut agent = Design::OsElmL2.build(&DesignConfig::new(8), &mut r);
+        let mut env = CartPole::new();
+        let mut sink2 = |_c: RunCheckpoint| {};
+        let mut ctl = CheckpointCtl::resuming(&vec_ckpt, 0, &mut sink2);
+        let err = Trainer::new(config)
+            .run_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+            .unwrap_err();
+        assert!(err.contains("vectorized run"), "{err}");
+    }
+
+    #[test]
+    fn vec_resume_rejects_a_slot_count_mismatch() {
+        let spec = elmrl_gym::Workload::CartPole.spec();
+        let config = TrainerConfig::quick(6);
+        let mut ckpts: Vec<RunCheckpoint> = Vec::new();
+        {
+            let mut r = rng(3);
+            let mut agent = Design::OsElmL2.build_batch(&DesignConfig::new(8), &mut r);
+            let mut env = elmrl_gym::VecEnv::from_spec(&spec, 3);
+            let mut sink = |c: RunCheckpoint| ckpts.push(c);
+            let mut ctl = CheckpointCtl::saving(2, &mut sink);
+            Trainer::new(config.clone())
+                .run_vec_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+                .unwrap();
+        }
+        let mut r = rng(0);
+        let mut agent = Design::OsElmL2.build_batch(&DesignConfig::new(8), &mut r);
+        let mut env = elmrl_gym::VecEnv::from_spec(&spec, 2); // wrong width
+        let mut sink = |_c: RunCheckpoint| {};
+        let mut ctl = CheckpointCtl::resuming(&ckpts[0], 0, &mut sink);
+        let err = Trainer::new(config)
+            .run_vec_checkpointed(agent.as_mut(), &mut env, &mut r, &mut ctl)
+            .unwrap_err();
+        assert!(err.contains("slots"), "{err}");
     }
 
     #[test]

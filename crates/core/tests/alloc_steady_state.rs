@@ -12,7 +12,9 @@
 //! counted.
 
 use elmrl_core::agent::{Agent, Observation};
+use elmrl_core::checkpoint::RunCheckpoint;
 use elmrl_core::oselm_qnet::{OsElmQNet, OsElmQNetConfig};
+use elmrl_core::trainer::{CheckpointCtl, Trainer, TrainerConfig};
 use elmrl_gym::Workload;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -170,5 +172,59 @@ fn steady_state_batched_training_tick_allocates_nothing() {
         0,
         "steady-state batched tick must not allocate ({} allocations over 256 ticks)",
         after - before
+    );
+}
+
+/// Allocations of one full scalar training run, with the checkpoint
+/// schedule either disarmed or armed-but-never-firing. Same seed, same
+/// trajectory — any difference is overhead the checkpoint plumbing adds to
+/// the episode loop.
+fn run_allocations(armed: bool) -> u64 {
+    let spec = Workload::CartPole.spec();
+    let mut config = OsElmQNetConfig::for_workload(&spec, 16, 0.5, true);
+    config.random_update = false;
+    let mut rng = SmallRng::seed_from_u64(21);
+    let mut agent = OsElmQNet::new(config, &mut rng);
+    let mut env = spec.make_env();
+    let mut trainer_config = TrainerConfig::for_workload(&spec);
+    trainer_config.max_episodes = 6;
+    trainer_config.stop_when_solved = false;
+    let trainer = Trainer::new(trainer_config);
+
+    let mut sink =
+        |_ckpt: RunCheckpoint| unreachable!("the capture boundary lies beyond the episode budget");
+    let mut ctl = CheckpointCtl::default();
+    if armed {
+        // Armed: the driver checks the capture boundary and the
+        // fault-injection stop every episode, but never crosses either.
+        ctl.every = 1_000_000;
+        ctl.stop_after = Some(usize::MAX);
+        ctl.sink = Some(&mut sink);
+    }
+
+    COUNTING.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let result = trainer
+        .run_checkpointed(&mut agent, env.as_mut(), &mut rng, &mut ctl)
+        .expect("run cannot fail");
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|flag| flag.set(false));
+    std::hint::black_box(result.total_steps);
+    after - before
+}
+
+#[test]
+fn armed_checkpoint_schedule_adds_no_allocations_between_captures() {
+    // The PR-6 contract: snapshots themselves may allocate freely, but the
+    // per-episode bookkeeping that decides *whether* to snapshot — the
+    // `capture_due`/`stop_now` boundary checks — must be allocation-free,
+    // so `--checkpoint-every` never perturbs the training hot path between
+    // marks. Armed-but-idle must allocate exactly what disarmed does.
+    let disarmed = run_allocations(false);
+    let armed = run_allocations(true);
+    assert_eq!(
+        armed, disarmed,
+        "an armed checkpoint schedule must add zero allocations between \
+         captures (disarmed: {disarmed}, armed: {armed})"
     );
 }

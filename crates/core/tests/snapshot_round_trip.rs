@@ -1,0 +1,178 @@
+//! Snapshot round-trip property: for every software design, an agent
+//! restored from `restore(save(x))` — with the snapshot dragged through its
+//! JSON wire format — drives an act/observe trajectory identical to the
+//! original for 64 steps, starting from any warmed-up state.
+//!
+//! This is the agent-level half of the PR 6 checkpointing contract (the
+//! trainer-level half — full runs resumed bit-for-bit — lives in
+//! `trainer::tests`; the fixed-point `FpgaAgent` variant lives in
+//! `elmrl-fpga`). The trajectory comparison is strict equality on actions
+//! and rewards: one diverging ε-draw, replay sample or Q-value flips it.
+
+use elmrl_core::agent::{Agent, Observation};
+use elmrl_core::checkpoint::{rng_from_words, rng_state_words, AgentSnapshot};
+use elmrl_core::designs::{Design, DesignConfig};
+use elmrl_gym::{Environment, Workload};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const WARMUP_STEPS: usize = 40;
+const COMPARE_STEPS: usize = 64;
+
+/// Drive `steps` act/observe steps (episodes reset inline), returning the
+/// `(action, reward)` trace.
+fn drive(
+    agent: &mut dyn Agent,
+    env: &mut dyn Environment,
+    rng: &mut SmallRng,
+    steps: usize,
+    episode: &mut usize,
+) -> Vec<(usize, f64)> {
+    let mut trace = Vec::with_capacity(steps);
+    let mut state = env.reset(rng);
+    for _ in 0..steps {
+        let action = agent.act(&state, rng);
+        let outcome = env.step(action, rng);
+        agent.observe(
+            &Observation {
+                state: state.clone(),
+                action,
+                reward: outcome.reward,
+                next_state: outcome.observation.clone(),
+                done: outcome.done,
+                truncated: outcome.truncated,
+            },
+            rng,
+        );
+        trace.push((action, outcome.reward));
+        if outcome.done || outcome.truncated {
+            agent.end_episode(*episode);
+            *episode += 1;
+            state = env.reset(rng);
+        } else {
+            state = outcome.observation;
+        }
+    }
+    trace
+}
+
+/// Warm an agent up, snapshot it through JSON, restore into a *differently
+/// constructed* agent, and check both replay the same 64 steps.
+fn assert_round_trip_trajectory(design: Design, seed: u64) {
+    let spec = Workload::CartPole.spec();
+    let config = DesignConfig::for_workload(&spec, 8);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut agent = design.build(&config, &mut rng);
+    let mut env = spec.make_env();
+    let mut episode = 0;
+    drive(
+        agent.as_mut(),
+        env.as_mut(),
+        &mut rng,
+        WARMUP_STEPS,
+        &mut episode,
+    );
+
+    // Snapshot the agent and the RNG cursor, through the JSON wire format.
+    let snapshot = agent
+        .snapshot()
+        .unwrap_or_else(|| panic!("{design:?} must support snapshotting"));
+    let json = serde_json::to_string(&snapshot).expect("serialize snapshot");
+    let parsed: AgentSnapshot = serde_json::from_str(&json).expect("parse snapshot");
+    let rng_words = rng_state_words(&rng);
+
+    // A twin built from a different construction seed: every weight the
+    // restore does not overwrite would diverge the comparison below.
+    let mut twin_rng = SmallRng::seed_from_u64(seed ^ 0xdead_beef);
+    let mut twin = design.build(&config, &mut twin_rng);
+    twin.restore(&parsed).expect("restore snapshot");
+    let mut twin_stream = rng_from_words(&rng_words).expect("restore rng");
+
+    // Fresh environments + identical RNG cursors ⇒ identical trajectories.
+    let mut env_a = spec.make_env();
+    let mut env_b = spec.make_env();
+    let mut episode_a = episode;
+    let mut episode_b = episode;
+    let trace_a = drive(
+        agent.as_mut(),
+        env_a.as_mut(),
+        &mut rng,
+        COMPARE_STEPS,
+        &mut episode_a,
+    );
+    let trace_b = drive(
+        twin.as_mut(),
+        env_b.as_mut(),
+        &mut twin_stream,
+        COMPARE_STEPS,
+        &mut episode_b,
+    );
+    assert_eq!(
+        trace_a, trace_b,
+        "{design:?} seed {seed}: restored agent diverged within 64 steps"
+    );
+    assert_eq!(episode_a, episode_b, "{design:?} seed {seed}");
+}
+
+#[test]
+fn every_software_design_replays_identically_after_a_json_round_trip() {
+    for design in Design::software_designs() {
+        for seed in [3, 7, 31] {
+            assert_round_trip_trajectory(design, seed);
+        }
+    }
+}
+
+#[test]
+fn dqn_snapshot_carries_the_replay_buffer_and_optimizer_state() {
+    // The DQN trajectory test above would already fail if replay sampling
+    // diverged; this pins the schema. The snapshot state must contain the
+    // replay history and Adam moments explicitly — a restored run samples
+    // mini-batches from the same buffer the original would have.
+    let spec = Workload::CartPole.spec();
+    let config = DesignConfig::for_workload(&spec, 8);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut agent = Design::Dqn.build(&config, &mut rng);
+    let mut env = spec.make_env();
+    let mut episode = 0;
+    drive(agent.as_mut(), env.as_mut(), &mut rng, 50, &mut episode);
+    let snapshot = agent.snapshot().expect("DQN snapshots");
+    let json = serde_json::to_string(&snapshot).unwrap();
+    for field in ["replay", "optimizer", "online", "target", "ops"] {
+        assert!(json.contains(field), "DQN snapshot must carry `{field}`");
+    }
+}
+
+#[test]
+fn rng_cursor_words_restore_mid_trajectory() {
+    // The RNG stream cursor is part of the snapshotted state: words taken
+    // mid-trajectory must reproduce the exact draw sequence.
+    use rand::Rng;
+    let mut rng = SmallRng::seed_from_u64(99);
+    for _ in 0..17 {
+        let _: u64 = rng.gen();
+    }
+    let words = rng_state_words(&rng);
+    let mut restored = rng_from_words(&words).unwrap();
+    for _ in 0..64 {
+        assert_eq!(rng.gen::<u64>(), restored.gen::<u64>());
+    }
+}
+
+#[test]
+fn restore_rejects_a_snapshot_of_another_design() {
+    let spec = Workload::CartPole.spec();
+    let config = DesignConfig::for_workload(&spec, 8);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut dqn = Design::Dqn.build(&config, &mut rng);
+    let mut oselm = Design::OsElmL2Lipschitz.build(&config, &mut rng);
+    let mut env = spec.make_env();
+    let mut episode = 0;
+    drive(dqn.as_mut(), env.as_mut(), &mut rng, 10, &mut episode);
+    let snapshot = dqn.snapshot().expect("DQN snapshots");
+    let err = oselm.restore(&snapshot).unwrap_err();
+    assert!(
+        err.contains("DQN") || err.contains("design"),
+        "mismatched-design restore must fail descriptively, got: {err}"
+    );
+}

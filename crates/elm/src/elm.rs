@@ -54,6 +54,24 @@ impl<T: Scalar> Elm<T> {
         self.trained
     }
 
+    /// Capture the complete learner state into a serialisable snapshot.
+    pub fn snapshot(&self) -> crate::persistence::ElmSnapshot {
+        crate::persistence::ElmSnapshot {
+            model: crate::persistence::ModelSnapshot::capture(&self.model),
+            l2_delta: self.l2_delta,
+            trained: self.trained,
+        }
+    }
+
+    /// Rebuild a learner from an [`Elm::snapshot`] capture.
+    pub fn from_snapshot(snap: &crate::persistence::ElmSnapshot) -> Self {
+        Self {
+            model: snap.model.restore(),
+            l2_delta: snap.l2_delta,
+            trained: snap.trained,
+        }
+    }
+
     /// One-shot batch training on `x` (`k × n`) against targets `t` (`k × m`):
     /// `β ← H⁺·t` (δ = 0) or the ridge solution (δ > 0).
     pub fn train(&mut self, x: &Matrix<T>, t: &Matrix<T>) -> Result<(), LinalgError> {

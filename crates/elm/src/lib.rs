@@ -54,4 +54,5 @@ pub use config::OsElmConfig;
 pub use elm::Elm;
 pub use model::ElmModel;
 pub use os_elm::OsElm;
+pub use persistence::{ElmSnapshot, ModelSnapshot, OsElmSnapshot};
 pub use spectral::{lipschitz_upper_bound, normalize_alpha, normalize_alpha_bias};

@@ -416,6 +416,49 @@ impl<T: Scalar> OsElm<T> {
         Ok(())
     }
 
+    /// Capture the complete learner state — model parameters plus the
+    /// recursive-update state (`P`, call counters, δ) — into a serialisable
+    /// snapshot. For the `f64` backend the capture is bit-exact.
+    pub fn snapshot(&self) -> crate::persistence::OsElmSnapshot {
+        crate::persistence::OsElmSnapshot {
+            model: crate::persistence::ModelSnapshot::capture(&self.model),
+            p: self
+                .p
+                .as_ref()
+                .map(|p| p.iter().map(|&v| v.to_f64()).collect()),
+            l2_delta: self.l2_delta,
+            relative_l2: self.relative_l2,
+            init_train_count: self.init_train_count,
+            seq_train_count: self.seq_train_count,
+        }
+    }
+
+    /// Rebuild a learner at the exact training position captured by
+    /// [`OsElm::snapshot`]. The scratch workspaces start empty and regrow on
+    /// the first update — they carry no observable state, so a restored
+    /// `OsElm<f64>` continues the RLS recursion bit for bit.
+    pub fn from_snapshot(snap: &crate::persistence::OsElmSnapshot) -> Self {
+        let model: ElmModel<T> = snap.model.restore();
+        let n_hidden = model.hidden_dim();
+        let p = snap.p.as_ref().map(|data| {
+            Matrix::from_vec(
+                n_hidden,
+                n_hidden,
+                data.iter().map(|&v| T::from_f64(v)).collect(),
+            )
+            .expect("snapshot P length matches hidden_dim²")
+        });
+        Self {
+            model,
+            p,
+            l2_delta: snap.l2_delta,
+            relative_l2: snap.relative_l2,
+            init_train_count: snap.init_train_count,
+            seq_train_count: snap.seq_train_count,
+            scratch: SeqScratch::default(),
+        }
+    }
+
     /// Batch prediction (delegates to the model).
     pub fn predict(&self, x: &Matrix<T>) -> Matrix<T> {
         self.model.predict(x)
@@ -804,6 +847,41 @@ mod tests {
         assert_eq!(os.model().alpha(), &alpha_before);
         // can initialise again after the reset
         assert!(os.init_train(&x, &t).is_ok());
+    }
+
+    #[test]
+    fn snapshot_resumes_the_recursion_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let cfg = config(10).with_l2_delta(0.1);
+        let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+        let (x, t) = dataset(60);
+        os.init_train(
+            &x.submatrix(0, 20, 0, 2).unwrap(),
+            &t.submatrix(0, 20, 0, 1).unwrap(),
+        )
+        .unwrap();
+        for i in 20..40 {
+            os.seq_train_single(x.row(i), t.row(i)).unwrap();
+        }
+
+        let mut resumed = OsElm::<f64>::from_snapshot(&os.snapshot());
+        assert_eq!(resumed.seq_train_count(), os.seq_train_count());
+        for i in 40..60 {
+            os.seq_train_single(x.row(i), t.row(i)).unwrap();
+            resumed.seq_train_single(x.row(i), t.row(i)).unwrap();
+        }
+        assert_eq!(os.model().beta(), resumed.model().beta());
+        assert_eq!(os.p_matrix().unwrap(), resumed.p_matrix().unwrap());
+    }
+
+    #[test]
+    fn snapshot_before_init_restores_uninitialised() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let cfg = config(8).with_l2_delta(0.1);
+        let os = OsElm::<f64>::new(&cfg, &mut rng);
+        let resumed = OsElm::<f64>::from_snapshot(&os.snapshot());
+        assert!(!resumed.is_initialized());
+        assert_eq!(resumed.model().alpha(), os.model().alpha());
     }
 
     #[test]

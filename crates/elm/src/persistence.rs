@@ -71,6 +71,39 @@ impl ModelSnapshot {
     }
 }
 
+/// A serialisable snapshot of a complete [`crate::OsElm`] learner: the model
+/// parameters plus the recursive-update state (`P`, call counters, δ). All
+/// values are stored as `f64` — exact for the `f64` backend, and exact up to
+/// the backend's own quantisation elsewhere — so for `OsElm<f64>`
+/// `OsElm::from_snapshot(&os.snapshot())` resumes the RLS recursion
+/// bit for bit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OsElmSnapshot {
+    /// The model parameters (`α`, `b`, `β`, activation, dimensions).
+    pub model: ModelSnapshot,
+    /// `P` in row-major order (`Ñ·Ñ` values); `None` before initial training.
+    pub p: Option<Vec<f64>>,
+    /// ReOS-ELM regularisation strength `δ`.
+    pub l2_delta: f64,
+    /// Whether `δ` scales with the mean squared hidden activation.
+    pub relative_l2: bool,
+    /// How many times `init_train` has run.
+    pub init_train_count: usize,
+    /// How many sequential updates have run.
+    pub seq_train_count: usize,
+}
+
+/// A serialisable snapshot of a batch-trained [`crate::Elm`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ElmSnapshot {
+    /// The model parameters.
+    pub model: ModelSnapshot,
+    /// Ridge regularisation strength used by `train`.
+    pub l2_delta: f64,
+    /// Whether `train` has run at least once.
+    pub trained: bool,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,22 +139,10 @@ mod tests {
         let json = snap.to_json().unwrap();
         assert!(json.contains("\"hidden_dim\":8"));
         let back = ModelSnapshot::from_json(&json).unwrap();
-        // serde_json's default float parsing is not guaranteed to be
-        // correctly rounded, so compare structurally and within 1 ULP-scale
-        // tolerance rather than bit-exactly.
-        assert_eq!(snap.input_dim, back.input_dim);
-        assert_eq!(snap.hidden_dim, back.hidden_dim);
-        assert_eq!(snap.output_dim, back.output_dim);
-        assert_eq!(snap.activation, back.activation);
-        let close = |a: &[f64], b: &[f64]| {
-            a.len() == b.len()
-                && a.iter()
-                    .zip(b)
-                    .all(|(x, y)| (x - y).abs() <= 1e-14 * x.abs().max(1.0))
-        };
-        assert!(close(&snap.alpha, &back.alpha));
-        assert!(close(&snap.bias, &back.bias));
-        assert!(close(&snap.beta, &back.beta));
+        // The serde_json shim writes shortest-round-trip floats and parses
+        // them correctly rounded, so the round trip is bit-exact — the
+        // property the checkpoint/resume determinism contract rests on.
+        assert_eq!(snap, back);
     }
 
     #[test]

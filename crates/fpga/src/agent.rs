@@ -9,14 +9,15 @@
 //! completes; every subsequent prediction and sequential update goes through
 //! the fixed-point core and is charged simulated PL cycles.
 
-use crate::core::{FpgaCore, CPU_CLOCK_HZ};
+use crate::core::{FpgaCore, FpgaCoreSnapshot, CPU_CLOCK_HZ};
 use elmrl_core::agent::{Agent, Observation};
+use elmrl_core::checkpoint::AgentSnapshot;
 use elmrl_core::clipping::TargetConfig;
 use elmrl_core::encoding::StateActionEncoder;
 use elmrl_core::ops::{OpCounts, OpKind};
 use elmrl_core::policy::{max_q, ExploitPolicy};
 use elmrl_elm::model::ElmModel;
-use elmrl_elm::{HiddenActivation, OsElm, OsElmConfig};
+use elmrl_elm::{HiddenActivation, ModelSnapshot, OsElm, OsElmConfig, OsElmSnapshot};
 use elmrl_fixed::Q20;
 use elmrl_linalg::Matrix;
 use rand::rngs::SmallRng;
@@ -83,6 +84,19 @@ impl FpgaAgentConfig {
             .with_relative_l2(true)
             .with_spectral_normalization(true)
     }
+}
+
+/// The complete checkpointable state of an [`FpgaAgent`]: the CPU-side float
+/// learner, the float target network, the Q20 core (when loaded), the
+/// initial-training buffer and the simulated-time accounting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct FpgaAgentState {
+    cpu_learner: OsElmSnapshot,
+    target: ModelSnapshot,
+    core: Option<FpgaCoreSnapshot>,
+    buffer: Vec<Observation>,
+    ops: OpCounts,
+    simulated_cpu_seconds: f64,
 }
 
 /// The FPGA-backed OS-ELM-L2-Lipschitz agent (design 7).
@@ -323,6 +337,30 @@ impl Agent for FpgaAgent {
             crate::resources::ResourceModel::pynq_z1().storage_words(self.config.hidden_dim);
         words * 4
     }
+
+    fn snapshot(&self) -> Option<AgentSnapshot> {
+        let state = FpgaAgentState {
+            cpu_learner: self.cpu_learner.snapshot(),
+            target: ModelSnapshot::capture(&self.target),
+            core: self.core.as_ref().map(FpgaCore::snapshot),
+            buffer: self.buffer.clone(),
+            ops: self.ops.clone(),
+            simulated_cpu_seconds: self.simulated_cpu_seconds,
+        };
+        Some(AgentSnapshot::new(self.name(), &state))
+    }
+
+    fn restore(&mut self, snapshot: &AgentSnapshot) -> Result<(), String> {
+        let state: FpgaAgentState = snapshot.decode(self.name())?;
+        self.cpu_learner = OsElm::from_snapshot(&state.cpu_learner);
+        self.target = state.target.restore();
+        self.core = state.core.as_ref().map(FpgaCore::from_snapshot);
+        self.buffer.clear();
+        self.buffer.extend(state.buffer);
+        self.ops = state.ops;
+        self.simulated_cpu_seconds = state.simulated_cpu_seconds;
+        Ok(())
+    }
 }
 
 /// The fixed-point core sequences scalar MACs to count PL cycles, so there
@@ -465,6 +503,74 @@ mod tests {
         agent.reset(&mut r);
         assert!(!agent.core_loaded());
         assert_eq!(agent.q_values(&[0.0; 4]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn restored_agent_replays_an_identical_trajectory() {
+        // Train past initial training so the Q20 core state is live, then
+        // snapshot; the restored copy must act/observe identically for 64
+        // steps when driven with identical RNG streams.
+        let mut r = rng(9);
+        let mut cfg = FpgaAgentConfig::cartpole(8);
+        cfg.update_prob = 1.0;
+        let mut agent = FpgaAgent::new(cfg.clone(), &mut r);
+        for i in 0..20 {
+            agent.observe(&obs(i, -0.1, i % 5 == 4), &mut r);
+        }
+        assert!(agent.core_loaded());
+        let snap = agent.snapshot().unwrap();
+
+        // Different construction seed: restore must overwrite everything.
+        let mut other = FpgaAgent::new(cfg, &mut rng(1234));
+        other.restore(&snap).unwrap();
+        assert!(other.core_loaded());
+        assert!((other.simulated_cpu_seconds - agent.simulated_cpu_seconds).abs() == 0.0);
+
+        let mut r1 = rng(77);
+        let mut r2 = rng(77);
+        for i in 0..64 {
+            let state = [0.01 * (i % 11) as f64, -0.03, 0.002 * (i % 5) as f64, 0.01];
+            assert_eq!(
+                agent.act(&state, &mut r1),
+                other.act(&state, &mut r2),
+                "actions diverged at step {i}"
+            );
+            let o = obs(i, -0.05, i % 7 == 6);
+            agent.observe(&o, &mut r1);
+            other.observe(&o, &mut r2);
+            if i % 16 == 15 {
+                agent.end_episode(i / 16);
+                other.end_episode(i / 16);
+            }
+        }
+        assert_eq!(agent.q_values(&[0.0; 4]), other.q_values(&[0.0; 4]));
+        assert_eq!(agent.simulated_pl_seconds(), other.simulated_pl_seconds());
+    }
+
+    #[test]
+    fn snapshot_before_initial_training_round_trips_the_buffer() {
+        let mut r = rng(10);
+        let mut agent = FpgaAgent::new(FpgaAgentConfig::cartpole(16), &mut r);
+        for i in 0..5 {
+            agent.observe(&obs(i, 0.0, false), &mut r);
+        }
+        assert!(!agent.core_loaded());
+        let snap = agent.snapshot().unwrap();
+
+        let mut other = FpgaAgent::new(FpgaAgentConfig::cartpole(16), &mut rng(55));
+        other.restore(&snap).unwrap();
+        assert!(!other.core_loaded());
+        // Feeding the remaining samples must trigger initial training at the
+        // same point on both copies.
+        let mut r1 = rng(3);
+        let mut r2 = rng(3);
+        for i in 5..16 {
+            agent.observe(&obs(i, 0.0, false), &mut r1);
+            other.observe(&obs(i, 0.0, false), &mut r2);
+        }
+        assert!(agent.core_loaded());
+        assert!(other.core_loaded());
+        assert_eq!(agent.q_values(&[0.0; 4]), other.q_values(&[0.0; 4]));
     }
 
     #[test]

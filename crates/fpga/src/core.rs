@@ -228,6 +228,47 @@ impl FpgaCore {
         self.beta = beta.cast();
         self.p = p.cast();
     }
+
+    /// Capture the complete BRAM contents (raw Q20 words of `α`, `b`, `β`,
+    /// `P`) plus the cycle counters for checkpointing.
+    pub fn snapshot(&self) -> FpgaCoreSnapshot {
+        FpgaCoreSnapshot {
+            alpha: self.alpha.clone(),
+            bias: self.bias.clone(),
+            beta: self.beta.clone(),
+            p: self.p.clone(),
+            cycles: self.cycles,
+        }
+    }
+
+    /// Rebuild a core from a snapshot, bit-for-bit: the Q20 words are stored
+    /// raw, so no quantisation happens on the way back in.
+    pub fn from_snapshot(s: &FpgaCoreSnapshot) -> Self {
+        Self {
+            alpha: s.alpha.clone(),
+            bias: s.bias.clone(),
+            beta: s.beta.clone(),
+            p: s.p.clone(),
+            cycles: s.cycles,
+        }
+    }
+}
+
+/// Serializable state of an [`FpgaCore`]: the four Q20 BRAM banks and the
+/// accumulated cycle counters. Q20 values serialize as their raw 32-bit
+/// words, so a save/restore round trip is exact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FpgaCoreSnapshot {
+    /// Input projection `α` (n×Ñ).
+    pub alpha: Matrix<Q20>,
+    /// Hidden bias `b` (1×Ñ).
+    pub bias: Matrix<Q20>,
+    /// Output weights `β` (Ñ×m).
+    pub beta: Matrix<Q20>,
+    /// RLS covariance `P` (Ñ×Ñ).
+    pub p: Matrix<Q20>,
+    /// Simulated-cycle counters at capture time.
+    pub cycles: CycleCounts,
 }
 
 #[cfg(test)]
@@ -362,6 +403,37 @@ mod tests {
         core.reload_from_f64(&zero_beta, &p);
         let y = core.predict(&[Q20::from_f64(0.3); 5]);
         assert_eq!(y[0].to_f64(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact() {
+        let (_, mut core) = float_and_fixed(16, 6);
+        let x = vec![Q20::from_f64(0.2); 5];
+        core.predict(&x);
+        core.seq_train(&x, &[Q20::from_f64(-0.3)]);
+
+        let snap = core.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: FpgaCoreSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = FpgaCore::from_snapshot(&back);
+
+        assert_eq!(restored.beta(), core.beta());
+        assert_eq!(restored.p(), core.p());
+        assert_eq!(restored.cycles(), core.cycles());
+
+        // Both copies must continue identically (Q20 arithmetic is exact on
+        // identical raw words).
+        for k in 0..20 {
+            let x: Vec<Q20> = (0..5)
+                .map(|j| Q20::from_f64(((k * 3 + j) as f64 * 0.11).sin() * 0.4))
+                .collect();
+            let t = [Q20::from_f64(if k % 2 == 0 { -0.5 } else { 0.25 })];
+            assert_eq!(core.predict(&x), restored.predict(&x), "step {k}");
+            core.seq_train(&x, &t);
+            restored.seq_train(&x, &t);
+        }
+        assert_eq!(restored.beta(), core.beta());
+        assert_eq!(restored.p(), core.p());
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod core;
 pub mod resources;
 
 pub use agent::{FpgaAgent, FpgaAgentConfig};
-pub use core::{CycleCounts, FpgaCore, CPU_CLOCK_HZ, PL_CLOCK_HZ};
+pub use core::{CycleCounts, FpgaCore, FpgaCoreSnapshot, CPU_CLOCK_HZ, PL_CLOCK_HZ};
 pub use resources::{ResourceModel, ResourceUtilization, XC7Z020};

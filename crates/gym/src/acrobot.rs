@@ -200,6 +200,23 @@ impl Environment for Acrobot {
             truncated,
         }
     }
+
+    fn save_state(&self) -> Option<Vec<f64>> {
+        let mut v = self.state.to_vec();
+        v.push(self.steps as f64);
+        v.push(if self.finished { 1.0 } else { 0.0 });
+        Some(v)
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), String> {
+        let [theta1, theta2, theta1_dot, theta2_dot, steps, finished] = state else {
+            return Err(format!("Acrobot state needs 6 values, got {}", state.len()));
+        };
+        self.state = [*theta1, *theta2, *theta1_dot, *theta2_dot];
+        self.steps = *steps as usize;
+        self.finished = *finished != 0.0;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

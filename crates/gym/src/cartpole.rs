@@ -210,6 +210,26 @@ impl Environment for CartPole {
     fn solved_threshold(&self) -> Option<f64> {
         Some(195.0)
     }
+
+    fn save_state(&self) -> Option<Vec<f64>> {
+        let mut v = self.state.to_vec();
+        v.push(self.steps as f64);
+        v.push(if self.finished { 1.0 } else { 0.0 });
+        Some(v)
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), String> {
+        let [x, x_dot, theta, theta_dot, steps, finished] = state else {
+            return Err(format!(
+                "CartPole state needs 6 values, got {}",
+                state.len()
+            ));
+        };
+        self.state = [*x, *x_dot, *theta, *theta_dot];
+        self.steps = *steps as usize;
+        self.finished = *finished != 0.0;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -107,6 +107,27 @@ pub trait Environment {
     fn solved_threshold(&self) -> Option<f64> {
         None
     }
+
+    /// Export the environment's complete internal state — physics variables,
+    /// step counter, finished flag — as a flat `f64` vector for
+    /// checkpointing, or `None` when the environment does not support it.
+    /// [`Environment::load_state`] on an environment of the same kind must
+    /// reproduce the exact state, so a checkpointed run resumes its episode
+    /// bit for bit.
+    fn save_state(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// Restore state captured by [`Environment::save_state`]. The default
+    /// refuses — environments that opt into checkpointing override both
+    /// methods together.
+    fn load_state(&mut self, state: &[f64]) -> Result<(), String> {
+        let _ = state;
+        Err(format!(
+            "environment `{}` does not support state restore",
+            self.name()
+        ))
+    }
 }
 
 #[cfg(test)]

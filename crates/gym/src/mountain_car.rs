@@ -126,6 +126,29 @@ impl Environment for MountainCar {
         // Gym's historical threshold: average return ≥ −110 over 100 episodes.
         Some(-110.0)
     }
+
+    fn save_state(&self) -> Option<Vec<f64>> {
+        Some(vec![
+            self.position,
+            self.velocity,
+            self.steps as f64,
+            if self.finished { 1.0 } else { 0.0 },
+        ])
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), String> {
+        let [position, velocity, steps, finished] = state else {
+            return Err(format!(
+                "MountainCar state needs 4 values, got {}",
+                state.len()
+            ));
+        };
+        self.position = *position;
+        self.velocity = *velocity;
+        self.steps = *steps as usize;
+        self.finished = *finished != 0.0;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -94,6 +94,16 @@ impl Environment for NormalizedEnv {
     fn solved_threshold(&self) -> Option<f64> {
         self.inner.solved_threshold()
     }
+
+    fn save_state(&self) -> Option<Vec<f64>> {
+        // The wrapper itself is stateless (fixed bounds), so the inner
+        // environment's raw state is the whole state.
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), String> {
+        self.inner.load_state(state)
+    }
 }
 
 #[cfg(test)]

@@ -143,6 +143,29 @@ impl Environment for Pendulum {
             truncated,
         }
     }
+
+    fn save_state(&self) -> Option<Vec<f64>> {
+        Some(vec![
+            self.theta,
+            self.theta_dot,
+            self.steps as f64,
+            if self.finished { 1.0 } else { 0.0 },
+        ])
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), String> {
+        let [theta, theta_dot, steps, finished] = state else {
+            return Err(format!(
+                "Pendulum state needs 4 values, got {}",
+                state.len()
+            ));
+        };
+        self.theta = *theta;
+        self.theta_dot = *theta_dot;
+        self.steps = *steps as usize;
+        self.finished = *finished != 0.0;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

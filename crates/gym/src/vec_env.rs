@@ -159,6 +159,35 @@ impl VecEnv {
             .collect()
     }
 
+    /// Export slot `i`'s internal environment state for checkpointing
+    /// ([`Environment::save_state`]), or `None` when the underlying
+    /// environment does not support it.
+    pub fn save_slot_state(&self, i: usize) -> Option<Vec<f64>> {
+        self.envs[i].save_state()
+    }
+
+    /// Restore slot `i` to a checkpointed mid-episode position: the
+    /// environment's internal state plus the current (post-auto-reset)
+    /// observation the agent sees next.
+    pub fn restore_slot(
+        &mut self,
+        i: usize,
+        env_state: &[f64],
+        observation: &[f64],
+    ) -> Result<(), String> {
+        if observation.len() != self.obs_dim {
+            return Err(format!(
+                "slot {i}: observation has {} values, expected {}",
+                observation.len(),
+                self.obs_dim
+            ));
+        }
+        self.envs[i].load_state(env_state)?;
+        self.states[i].clear();
+        self.states[i].extend_from_slice(observation);
+        Ok(())
+    }
+
     /// Convenience wrapper stepping every slot ([`VecEnv::step`] with all
     /// actions present).
     pub fn step_all(&mut self, actions: &[usize], rngs: &mut [SmallRng]) -> Vec<VecStep> {

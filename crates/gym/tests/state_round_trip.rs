@@ -1,0 +1,132 @@
+//! Environment state save/load round trips: a checkpointed environment must
+//! resume its episode **bit for bit**. For every registered workload we run a
+//! prefix of an episode, capture `save_state` + the RNG cursor, keep running
+//! the original, and check a freshly constructed environment restored from
+//! the capture replays the identical suffix (observations, rewards, flags).
+
+use elmrl_gym::{Environment, StepOutcome, VecEnv, Workload};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn drive(
+    env: &mut dyn Environment,
+    rng: &mut SmallRng,
+    steps: usize,
+    mut action: impl FnMut(usize) -> usize,
+) -> Vec<StepOutcome> {
+    let mut outs = Vec::new();
+    for i in 0..steps {
+        let out = env.step(action(i) % env.num_actions(), rng);
+        let finished = out.finished();
+        outs.push(out);
+        if finished {
+            env.reset(rng);
+        }
+    }
+    outs
+}
+
+fn assert_resume_replays(workload: Workload) {
+    let spec = workload.spec();
+    let mut env = spec.make_env();
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    env.reset(&mut rng);
+
+    // Run a prefix that leaves the environment mid-episode.
+    drive(env.as_mut(), &mut rng, 7, |i| i);
+    let saved_env = env.save_state().expect("workload envs support save_state");
+    let saved_rng = rng.state();
+
+    // The original keeps going: this is the reference suffix.
+    let reference = drive(env.as_mut(), &mut rng, 64, |i| i * 3 + 1);
+
+    // A fresh environment restored from the capture must replay it exactly.
+    let mut restored = spec.make_env();
+    restored.load_state(&saved_env).unwrap();
+    let mut restored_rng = SmallRng::from_state(saved_rng);
+    let replay = drive(restored.as_mut(), &mut restored_rng, 64, |i| i * 3 + 1);
+
+    for (step, (a, b)) in reference.iter().zip(replay.iter()).enumerate() {
+        assert_eq!(a, b, "{workload:?} diverged at post-restore step {step}");
+    }
+}
+
+#[test]
+fn cartpole_resumes_bit_for_bit() {
+    assert_resume_replays(Workload::CartPole);
+}
+
+#[test]
+fn mountain_car_resumes_bit_for_bit() {
+    assert_resume_replays(Workload::MountainCar);
+}
+
+#[test]
+fn pendulum_resumes_bit_for_bit() {
+    assert_resume_replays(Workload::Pendulum);
+}
+
+#[test]
+fn acrobot_resumes_bit_for_bit() {
+    assert_resume_replays(Workload::Acrobot);
+}
+
+#[test]
+fn load_state_rejects_wrong_arity() {
+    for workload in [
+        Workload::CartPole,
+        Workload::MountainCar,
+        Workload::Pendulum,
+        Workload::Acrobot,
+    ] {
+        let mut env = workload.spec().make_env();
+        assert!(
+            env.load_state(&[0.0]).is_err(),
+            "{workload:?} accepted a 1-value state"
+        );
+    }
+}
+
+#[test]
+fn vec_env_slot_restore_resumes_the_slot() {
+    let spec = Workload::CartPole.spec();
+    let mut vec_env = VecEnv::from_spec(&spec, 3);
+    let mut rngs: Vec<SmallRng> = (0..3).map(|i| SmallRng::seed_from_u64(40 + i)).collect();
+    vec_env.reset_all(&mut rngs);
+    for tick in 0..5 {
+        vec_env.step_all(&[tick % 2, 1 - tick % 2, 0], &mut rngs);
+    }
+
+    // Capture slot 1 mid-episode.
+    let env_state = vec_env.save_slot_state(1).unwrap();
+    let observation = vec_env.state(1).to_vec();
+    let rng_state = rngs[1].state();
+
+    // Advance the original a few more ticks as the reference.
+    let mut reference = Vec::new();
+    for _ in 0..20 {
+        let outs = vec_env.step_all(&[0, 1, 0], &mut rngs);
+        reference.push(outs[1].clone());
+    }
+
+    // A second vector restores only slot 1 and must replay it exactly.
+    let mut other = VecEnv::from_spec(&spec, 3);
+    let mut other_rngs: Vec<SmallRng> = (0..3).map(|i| SmallRng::seed_from_u64(90 + i)).collect();
+    other.reset_all(&mut other_rngs);
+    other.restore_slot(1, &env_state, &observation).unwrap();
+    other_rngs[1] = SmallRng::from_state(rng_state);
+    for (tick, expected) in reference.iter().enumerate() {
+        let outs = other.step_all(&[0, 1, 0], &mut other_rngs);
+        assert_eq!(&outs[1], expected, "slot 1 diverged at tick {tick}");
+    }
+}
+
+#[test]
+fn vec_env_slot_restore_rejects_bad_observation_arity() {
+    let spec = Workload::CartPole.spec();
+    let mut vec_env = VecEnv::from_spec(&spec, 1);
+    let mut rngs = vec![SmallRng::seed_from_u64(1)];
+    vec_env.reset_all(&mut rngs);
+    let env_state = vec_env.save_slot_state(0).unwrap();
+    assert!(vec_env.restore_slot(0, &env_state, &[0.0]).is_err());
+}

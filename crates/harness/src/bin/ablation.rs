@@ -23,6 +23,7 @@ fn main() {
         },
     );
     args.warn_unused_population_flags("ablation");
+    args.warn_unused_checkpoint_flags("ablation");
     let hidden = args.hidden[0];
     if args.hidden.len() > 1 {
         eprintln!(

@@ -24,14 +24,31 @@ fn main() {
          {} training env(s)",
         args.workload, args.hidden, args.episodes, args.train_envs
     );
-    let fig = fig4::generate_with(
+    let ckpt = args.checkpoint_options();
+    let fig = fig4::generate_checkpointed(
         args.workload,
         args.workload_options(),
         &args.hidden,
         args.episodes,
         args.seed,
         args.train_envs,
-    );
+        ckpt.as_ref(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fig4: {e}");
+        std::process::exit(2);
+    });
+    let Some(fig) = fig else {
+        eprintln!(
+            "fig4: stopped by --stop-after with checkpoints in {}; \
+             rerun with --resume (and without --stop-after) to finish",
+            args.checkpoint_dir
+                .as_ref()
+                .expect("--stop-after requires --checkpoint-dir")
+                .display()
+        );
+        return;
+    };
     println!(
         "# Figure 4 — training curves ({})\n\n{}",
         args.workload,

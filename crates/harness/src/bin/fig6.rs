@@ -22,7 +22,8 @@ fn main() {
          {} training env(s)",
         args.workload, args.hidden, args.trials, args.episodes, args.train_envs
     );
-    let fig = fig6::generate_with(
+    let ckpt = args.checkpoint_options();
+    let fig = fig6::generate_checkpointed(
         args.workload,
         args.workload_options(),
         &args.hidden,
@@ -30,7 +31,23 @@ fn main() {
         args.episodes,
         args.seed,
         args.train_envs,
-    );
+        ckpt.as_ref(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fig6: {e}");
+        std::process::exit(2);
+    });
+    let Some(fig) = fig else {
+        eprintln!(
+            "fig6: stopped by --stop-after with checkpoints in {}; \
+             rerun with --resume (and without --stop-after) to finish",
+            args.checkpoint_dir
+                .as_ref()
+                .expect("--stop-after requires --checkpoint-dir")
+                .display()
+        );
+        return;
+    };
     println!(
         "# Figure 6 — FPGA execution-time detail ({})\n\n{}",
         args.workload,

@@ -7,7 +7,7 @@
 //! value at the same `--seed` (per-replica RNG streams are split from the
 //! master seed by global replica index).
 use elmrl_harness::{cli, report};
-use elmrl_population::{PopulationConfig, PopulationRunner};
+use elmrl_population::{PopulationConfig, PopulationRunner, ShardManifest};
 
 fn main() {
     let args = cli::parse_or_exit(
@@ -28,6 +28,12 @@ fn main() {
         );
     }
     args.reject_workload_all("population");
+    if args.stop_after.is_some() {
+        eprintln!(
+            "population: note — --stop-after only affects the trial binaries; \
+             use --fail-shard k@e to fault-inject a population run"
+        );
+    }
     let mut config = PopulationConfig::new(args.workload, args.design, hidden, args.population);
     config.options = args.workload_options();
     config.shards = args.shards;
@@ -47,12 +53,52 @@ fn main() {
         args.seed
     );
 
+    // Checkpointing: with --checkpoint-dir the run writes one manifest per
+    // shard (the durable custody record of every finished replica); --resume
+    // reloads them and skips the recorded replicas, and --fail-shard k@e
+    // kills shard k after e episodes to exercise the requeue path. All three
+    // leave population.json byte-identical to an undisturbed run.
+    let manifest_dir = args.checkpoint_dir.clone();
+    let resumed: Vec<ShardManifest> = match (&manifest_dir, args.resume) {
+        (Some(dir), true) => ShardManifest::load_dir(dir).unwrap_or_else(|e| {
+            eprintln!("population: load manifests from {}: {e}", dir.display());
+            std::process::exit(2);
+        }),
+        _ => Vec::new(),
+    };
+    if !resumed.is_empty() {
+        let done: usize = resumed.iter().map(|m| m.completed.len()).sum();
+        eprintln!(
+            "population: resuming from {} manifest(s) covering {} finished replica(s)",
+            resumed.len(),
+            done
+        );
+    }
+    if let Some(fault) = args.fail_shard {
+        eprintln!(
+            "population: fault injection — shard {} dies after {} episode(s)",
+            fault.shard, fault.at_episode
+        );
+    }
+
     let start = std::time::Instant::now();
-    let report = PopulationRunner::new(config).run();
+    let run = PopulationRunner::new(config).run_checkpointed(args.fail_shard, &resumed);
     eprintln!(
         "population finished in {:.2}s host wall time",
         start.elapsed().as_secs_f64()
     );
+    if let Some(dir) = &manifest_dir {
+        std::fs::create_dir_all(dir).expect("create checkpoint dir");
+        for manifest in &run.manifests {
+            manifest.save(dir).expect("write shard manifest");
+        }
+        eprintln!(
+            "wrote {} shard manifest(s) to {}",
+            run.manifests.len(),
+            dir.display()
+        );
+    }
+    let report = run.report;
 
     let q = &report.episodes_to_solve;
     let table = report::markdown_table(

@@ -17,6 +17,7 @@ fn main() {
         },
     );
     args.warn_unused_population_flags("table3");
+    args.warn_unused_checkpoint_flags("table3");
     let table = table3::generate();
     let md = table3::to_markdown(&table);
     println!("# Table 3 — FPGA resource utilization (xc7z020)\n\n{md}");

@@ -24,6 +24,14 @@
 //!   the `ELMRL_THREADS` environment variable, else the machine's available
 //!   parallelism. Never affects results, only wall-clock;
 //! * `--out <dir>` — output directory (default: `results/<workload-slug>`);
+//! * `--checkpoint-dir <dir>` / `--checkpoint-every <n>` / `--resume` —
+//!   capture per-run checkpoints (per-shard manifests for `population`)
+//!   and continue from them, bit-for-bit identically to an uninterrupted
+//!   run;
+//! * `--stop-after <n>` — fault injection for the trial binaries: abandon
+//!   each run once `n` episodes completed, keeping the boundary checkpoint;
+//! * `--fail-shard <k@e>` — fault injection for the `population` binary:
+//!   kill shard `k` after `e` episodes and requeue its replicas;
 //! * `--help` — print usage and exit.
 //!
 //! The `population` binary additionally reads `--population <k>`,
@@ -37,9 +45,11 @@
 //! corresponding flag is absent, so existing automation keeps working; flags
 //! win over environment variables.
 
+use crate::runner::CheckpointOptions;
 use crate::{env_hidden_sizes, env_usize};
 use elmrl_core::designs::Design;
 use elmrl_gym::{Workload, WorkloadOptions};
+use elmrl_population::FaultPlan;
 use std::path::PathBuf;
 
 /// Parsed command-line options for one experiment binary.
@@ -82,6 +92,23 @@ pub struct CliArgs {
     pub population_flags_used: bool,
     /// Explicit output directory (`--out`), if given.
     pub out: Option<PathBuf>,
+    /// Checkpoint directory (`--checkpoint-dir`): per-trial
+    /// [`elmrl_core::checkpoint::RunCheckpoint`] files for the figure
+    /// binaries, per-shard manifests for the `population` binary.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Episodes between checkpoint captures (`--checkpoint-every`,
+    /// default 1; only meaningful with `--checkpoint-dir`).
+    pub checkpoint_every: usize,
+    /// Continue from the checkpoints in `--checkpoint-dir` (`--resume`).
+    pub resume: bool,
+    /// Fault injection for the trial binaries (`--stop-after <n>`): abandon
+    /// every run once `n` episodes have completed, keeping the boundary
+    /// checkpoint, so a later `--resume` finishes it byte-identically.
+    pub stop_after: Option<usize>,
+    /// Fault injection for the `population` binary (`--fail-shard k@e`):
+    /// kill shard `k` after `e` episodes; its replicas are requeued onto
+    /// the surviving shards with unchanged results.
+    pub fail_shard: Option<FaultPlan>,
 }
 
 impl CliArgs {
@@ -143,6 +170,37 @@ impl CliArgs {
                  `population` binary and are ignored here"
             );
         }
+        if self.fail_shard.is_some() {
+            eprintln!(
+                "{binary}: note — --fail-shard only affects the `population` \
+                 binary and is ignored here (use --stop-after to fault-inject \
+                 a trial run)"
+            );
+        }
+    }
+
+    /// The checkpoint options the flags imply for the trial binaries:
+    /// `Some` exactly when `--checkpoint-dir` was given.
+    pub fn checkpoint_options(&self) -> Option<CheckpointOptions> {
+        self.checkpoint_dir.as_ref().map(|dir| CheckpointOptions {
+            dir: dir.clone(),
+            every: self.checkpoint_every,
+            resume: self.resume,
+            stop_after: self.stop_after,
+        })
+    }
+
+    /// Warn on stderr when checkpoint flags were passed to a binary with
+    /// nothing to checkpoint (`table3` is analytic, `summary` aggregates
+    /// files, `ablation` sweeps closed-form configurations).
+    pub fn warn_unused_checkpoint_flags(&self, binary: &str) {
+        if self.checkpoint_dir.is_some() || self.stop_after.is_some() {
+            eprintln!(
+                "{binary}: note — this binary runs no checkpointable training \
+                 loop; --checkpoint-dir/--resume/--checkpoint-every/--stop-after \
+                 are ignored here"
+            );
+        }
     }
 }
 
@@ -184,6 +242,15 @@ pub fn usage(binary: &str, about: &str, defaults: &CliDefaults) -> String {
          \x20 --shards <s>        shards, population binary only (default: 4)\n\
          \x20 --design <name>     replicated design, population binary only\n\
          \x20                     (default: os-elm-l2-lipschitz)\n\
+         \x20 --checkpoint-dir <dir> capture checkpoints into <dir> (per-trial\n\
+         \x20                     run state; per-shard manifests for population)\n\
+         \x20 --checkpoint-every <n> episodes between checkpoints (default: 1)\n\
+         \x20 --resume            continue from the checkpoints in --checkpoint-dir\n\
+         \x20 --stop-after <n>    fault injection: abandon each run once n episodes\n\
+         \x20                     completed (the boundary checkpoint is kept)\n\
+         \x20 --fail-shard <k@e>  fault injection, population binary only: kill\n\
+         \x20                     shard k after e episodes (replicas requeue onto\n\
+         \x20                     the surviving shards, results unchanged)\n\
          \x20 --help              print this help and exit\n\n\
          ELMRL_WORKLOAD, ELMRL_TRIALS, ELMRL_EPISODES, ELMRL_HIDDEN and\n\
          ELMRL_SEED are honoured as fallbacks when the flag is absent.",
@@ -218,8 +285,14 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
         design: Design::OsElmL2Lipschitz,
         population_flags_used: false,
         out: None,
+        checkpoint_dir: None,
+        checkpoint_every: 1,
+        resume: false,
+        stop_after: None,
+        fail_shard: None,
     };
     let mut workload_flag: Option<Workload> = None;
+    let mut checkpoint_every_flag: Option<usize> = None;
 
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -346,6 +419,30 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
             "--out" => {
                 parsed.out = Some(PathBuf::from(value_for("--out")?));
             }
+            "--checkpoint-dir" => {
+                parsed.checkpoint_dir = Some(PathBuf::from(value_for("--checkpoint-dir")?));
+            }
+            "--checkpoint-every" => {
+                let v = value_for("--checkpoint-every")?;
+                checkpoint_every_flag =
+                    Some(v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--checkpoint-every: need a positive count, got `{v}`")
+                    })?);
+            }
+            "--resume" => {
+                parsed.resume = true;
+            }
+            "--stop-after" => {
+                let v = value_for("--stop-after")?;
+                parsed.stop_after = Some(v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    format!("--stop-after: need a positive episode count, got `{v}`")
+                })?);
+            }
+            "--fail-shard" => {
+                let v = value_for("--fail-shard")?;
+                parsed.fail_shard =
+                    Some(FaultPlan::parse(&v).map_err(|e| format!("--fail-shard: {e}"))?);
+            }
             other => {
                 return Err(format!("unknown flag `{other}` (try --help)"));
             }
@@ -354,6 +451,22 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
     if parsed.workload_all && workload_flag.is_some() {
         return Err("--workload all conflicts with a named --workload".to_string());
     }
+    if parsed.checkpoint_dir.is_none() {
+        if parsed.resume {
+            return Err("--resume requires --checkpoint-dir".to_string());
+        }
+        if checkpoint_every_flag.is_some() {
+            return Err("--checkpoint-every requires --checkpoint-dir".to_string());
+        }
+        if parsed.stop_after.is_some() {
+            return Err(
+                "--stop-after requires --checkpoint-dir (an abandoned run without \
+                 a checkpoint cannot be resumed)"
+                    .to_string(),
+            );
+        }
+    }
+    parsed.checkpoint_every = checkpoint_every_flag.unwrap_or(1);
     // A `--workload` flag wins outright; the environment variable is only
     // consulted (and validated) when no flag was given.
     parsed.workload = match workload_flag {
@@ -624,6 +737,97 @@ mod tests {
         parsed.apply_threads();
         assert_eq!(rayon::current_num_threads(), 3);
         rayon::set_num_threads(1);
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_validate() {
+        let parsed = parse_from(
+            &args(&[
+                "--checkpoint-dir",
+                "/tmp/ckpt",
+                "--checkpoint-every",
+                "5",
+                "--resume",
+                "--stop-after",
+                "40",
+                "--fail-shard",
+                "2@17",
+            ]),
+            &defaults(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(parsed.checkpoint_dir, Some(PathBuf::from("/tmp/ckpt")));
+        assert_eq!(parsed.checkpoint_every, 5);
+        assert!(parsed.resume);
+        assert_eq!(parsed.stop_after, Some(40));
+        assert_eq!(
+            parsed.fail_shard,
+            Some(FaultPlan {
+                shard: 2,
+                at_episode: 17
+            })
+        );
+        let opts = parsed.checkpoint_options().unwrap();
+        assert_eq!(opts.dir, PathBuf::from("/tmp/ckpt"));
+        assert_eq!(opts.every, 5);
+        assert!(opts.resume);
+        assert_eq!(opts.stop_after, Some(40));
+
+        // Defaults when absent: no checkpointing at all.
+        let bare = parse_from(&[], &defaults()).unwrap().unwrap();
+        assert!(bare.checkpoint_dir.is_none());
+        assert_eq!(bare.checkpoint_every, 1);
+        assert!(!bare.resume);
+        assert!(bare.stop_after.is_none());
+        assert!(bare.fail_shard.is_none());
+        assert!(bare.checkpoint_options().is_none());
+
+        // The help text advertises the new flags.
+        let help = usage("fig5", "x", &defaults());
+        for flag in [
+            "--checkpoint-dir",
+            "--checkpoint-every",
+            "--resume",
+            "--stop-after",
+            "--fail-shard",
+        ] {
+            assert!(help.contains(flag), "{flag}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_flag_validation_is_descriptive() {
+        assert!(parse_from(&args(&["--resume"]), &defaults())
+            .unwrap_err()
+            .contains("requires --checkpoint-dir"));
+        assert!(parse_from(&args(&["--checkpoint-every", "3"]), &defaults())
+            .unwrap_err()
+            .contains("requires --checkpoint-dir"));
+        assert!(parse_from(&args(&["--stop-after", "9"]), &defaults())
+            .unwrap_err()
+            .contains("requires --checkpoint-dir"));
+        assert!(parse_from(
+            &args(&["--checkpoint-dir", "d", "--checkpoint-every", "0"]),
+            &defaults()
+        )
+        .unwrap_err()
+        .contains("positive"));
+        assert!(parse_from(&args(&["--fail-shard", "two@9"]), &defaults())
+            .unwrap_err()
+            .contains("--fail-shard"));
+        // --fail-shard works without --checkpoint-dir: the population runner
+        // recovers in-process, no manifest directory needed.
+        let parsed = parse_from(&args(&["--fail-shard", "0@3"]), &defaults())
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            parsed.fail_shard,
+            Some(FaultPlan {
+                shard: 0,
+                at_episode: 3
+            })
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! likewise "picks up a representative result") for a configurable number of
 //! episodes without early stopping and exports both series.
 
-use crate::runner::{run_trials, TrialResult, TrialSpec};
+use crate::runner::{run_trials_checkpointed, CheckpointOptions, TrialResult, TrialSpec};
 use elmrl_core::designs::Design;
 use elmrl_gym::{Workload, WorkloadOptions};
 use serde::{Deserialize, Serialize};
@@ -78,6 +78,32 @@ pub fn generate_with(
     seed: u64,
     train_envs: usize,
 ) -> Figure4 {
+    generate_checkpointed(
+        workload,
+        options,
+        hidden_sizes,
+        episodes,
+        seed,
+        train_envs,
+        None,
+    )
+    .expect("a sweep without checkpointing cannot fail")
+    .expect("a sweep without checkpointing cannot stop early")
+}
+
+/// Generate Figure 4 curves under checkpoint control (the CLI's
+/// `--checkpoint-dir` / `--resume` / `--checkpoint-every` / `--stop-after`
+/// flags). Returns `Ok(None)` when the fault-injection stop abandoned the
+/// sweep early — resume from the checkpoints to finish it byte-identically.
+pub fn generate_checkpointed(
+    workload: Workload,
+    options: WorkloadOptions,
+    hidden_sizes: &[usize],
+    episodes: usize,
+    seed: u64,
+    train_envs: usize,
+    ckpt: Option<&CheckpointOptions>,
+) -> Result<Option<Figure4>, String> {
     let specs: Vec<TrialSpec> = hidden_sizes
         .iter()
         .flat_map(|&h| {
@@ -90,14 +116,18 @@ pub fn generate_with(
             })
         })
         .collect();
-    let results = run_trials(&specs);
-    Figure4 {
+    let outcomes = run_trials_checkpointed(&specs, ckpt)?;
+    if outcomes.iter().any(|(_, complete)| !complete) {
+        return Ok(None);
+    }
+    let results: Vec<TrialResult> = outcomes.into_iter().map(|(r, _)| r).collect();
+    Ok(Some(Figure4 {
         workload,
         options,
         curves: results.iter().map(Curve::from).collect(),
         episodes,
         train_envs,
-    }
+    }))
 }
 
 fn design_salt(d: Design) -> u64 {

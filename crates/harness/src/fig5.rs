@@ -7,7 +7,9 @@
 //! paper's stacked bars. Speedups are quoted relative to the DQN baseline at
 //! the same hidden size.
 
-use crate::runner::{run_trials, summarize_cell, CellSummary, TrialSpec};
+use crate::runner::{
+    run_trials_checkpointed, summarize_cell, CellSummary, CheckpointOptions, TrialSpec,
+};
 use elmrl_core::designs::Design;
 use elmrl_gym::{SolveCriterion, Workload, WorkloadOptions};
 use serde::{Deserialize, Serialize};
@@ -86,8 +88,42 @@ pub fn generate_with(
     seed: u64,
     train_envs: usize,
 ) -> Figure5 {
+    generate_checkpointed(
+        workload,
+        options,
+        hidden_sizes,
+        designs,
+        trials_per_cell,
+        max_episodes,
+        seed,
+        train_envs,
+        None,
+    )
+    .expect("a sweep without checkpointing cannot fail")
+    .expect("a sweep without checkpointing cannot stop early")
+}
+
+/// Generate the Figure 5 sweep under checkpoint control: every trial writes
+/// its latest [`elmrl_core::checkpoint::RunCheckpoint`] into the checkpoint
+/// directory and resumes from it when asked. Returns `Ok(None)` when the
+/// fault-injection `stop_after` abandoned the sweep mid-run — the
+/// checkpoints are on disk and a `resume: true` rerun finishes the figure
+/// byte-identically to a run that never stopped.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI surface one-to-one
+pub fn generate_checkpointed(
+    workload: Workload,
+    options: WorkloadOptions,
+    hidden_sizes: &[usize],
+    designs: &[Design],
+    trials_per_cell: usize,
+    max_episodes: usize,
+    seed: u64,
+    train_envs: usize,
+    ckpt: Option<&CheckpointOptions>,
+) -> Result<Option<Figure5>, String> {
     let solve_criterion = workload.spec_with(options).solve_criterion;
     let mut cells = Vec::new();
+    let mut stopped_early = false;
     for &h in hidden_sizes {
         for &d in designs {
             let specs: Vec<TrialSpec> = (0..trials_per_cell)
@@ -103,9 +139,14 @@ pub fn generate_with(
                     .with_train_envs(train_envs)
                 })
                 .collect();
-            let results = run_trials(&specs);
+            let outcomes = run_trials_checkpointed(&specs, ckpt)?;
+            stopped_early |= outcomes.iter().any(|(_, complete)| !complete);
+            let results: Vec<_> = outcomes.into_iter().map(|(r, _)| r).collect();
             cells.push(summarize_cell(workload, d, h, &results));
         }
+    }
+    if stopped_early {
+        return Ok(None);
     }
 
     let speedups = cells
@@ -130,7 +171,7 @@ pub fn generate_with(
         })
         .collect();
 
-    Figure5 {
+    Ok(Some(Figure5 {
         workload,
         options,
         solve_criterion,
@@ -139,7 +180,7 @@ pub fn generate_with(
         speedups_vs_dqn: speedups,
         trials_per_cell,
         max_episodes,
-    }
+    }))
 }
 
 /// Markdown rendering of the per-cell completion times with the operation

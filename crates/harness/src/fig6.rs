@@ -6,7 +6,7 @@
 //! simulation (PL cycles at 125 MHz) plus the modeled Cortex-A9 cost of the
 //! initial training, averaged over the trials that completed the task.
 
-use crate::runner::{run_trials, TrialSpec};
+use crate::runner::{run_trials_checkpointed, CheckpointOptions, TrialSpec};
 use elmrl_core::designs::Design;
 use elmrl_core::ops::OpKind;
 use elmrl_gym::{Workload, WorkloadOptions};
@@ -79,7 +79,36 @@ pub fn generate_with(
     seed: u64,
     train_envs: usize,
 ) -> Figure6 {
+    generate_checkpointed(
+        workload,
+        options,
+        hidden_sizes,
+        trials,
+        max_episodes,
+        seed,
+        train_envs,
+        None,
+    )
+    .expect("a sweep without checkpointing cannot fail")
+    .expect("a sweep without checkpointing cannot stop early")
+}
+
+/// Generate the Figure 6 detail under checkpoint control. Returns `Ok(None)`
+/// when the fault-injection stop abandoned the sweep early — resume from
+/// the checkpoints to finish it byte-identically.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI surface one-to-one
+pub fn generate_checkpointed(
+    workload: Workload,
+    options: WorkloadOptions,
+    hidden_sizes: &[usize],
+    trials: usize,
+    max_episodes: usize,
+    seed: u64,
+    train_envs: usize,
+    ckpt: Option<&CheckpointOptions>,
+) -> Result<Option<Figure6>, String> {
     let mut rows = Vec::new();
+    let mut stopped_early = false;
     for &h in hidden_sizes {
         let specs: Vec<TrialSpec> = (0..trials)
             .map(|t| {
@@ -94,7 +123,9 @@ pub fn generate_with(
                 .with_train_envs(train_envs)
             })
             .collect();
-        let results = run_trials(&specs);
+        let outcomes = run_trials_checkpointed(&specs, ckpt)?;
+        stopped_early |= outcomes.iter().any(|(_, complete)| !complete);
+        let results: Vec<_> = outcomes.into_iter().map(|(r, _)| r).collect();
         let solved: Vec<_> = results.iter().filter(|r| r.training.solved).collect();
         let mean = |f: &dyn Fn(&&crate::runner::TrialResult) -> f64| {
             if solved.is_empty() {
@@ -118,12 +149,15 @@ pub fn generate_with(
             mean_seq_train_calls: mean(&|r| r.training.op_counts.count(OpKind::SeqTrain) as f64),
         });
     }
-    Figure6 {
+    if stopped_early {
+        return Ok(None);
+    }
+    Ok(Some(Figure6 {
         workload,
         options,
         train_envs,
         rows,
-    }
+    }))
 }
 
 /// Markdown rendering.

@@ -56,6 +56,22 @@ pub use cli::CliArgs;
 pub use runner::{TrialResult, TrialSpec};
 pub use timing::CostModel;
 
+/// Whether artefacts should suppress host wall-clock measurements so two
+/// runs of the same protocol serialize byte-identically (the
+/// `ELMRL_ZERO_WALL_TIME` environment variable; any value except `0` or the
+/// empty string enables it).
+///
+/// Everything else in the JSON artefacts is already a pure function of the
+/// flags — op counts, modeled on-device seconds, curves, solve statistics —
+/// so with this set, a sweep finished from `--resume`d checkpoints produces
+/// the same bytes as one that never stopped, and the CI `cmp` jobs can
+/// enforce the resume-invariance contract directly.
+pub fn deterministic_artifacts() -> bool {
+    std::env::var("ELMRL_ZERO_WALL_TIME")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
 /// Read a `usize` scale knob from the environment, with a default.
 pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)

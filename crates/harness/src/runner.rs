@@ -10,14 +10,16 @@
 //! trial owns its RNG stream, so parallelism never changes results.
 
 use crate::timing::{CostModel, ModeledTime};
+use elmrl_core::checkpoint::RunCheckpoint;
 use elmrl_core::designs::{Design, DesignConfig};
-use elmrl_core::trainer::{Trainer, TrainerConfig, TrainingResult};
+use elmrl_core::trainer::{CheckpointCtl, Trainer, TrainerConfig, TrainingResult};
 use elmrl_fpga::{FpgaAgent, FpgaAgentConfig};
 use elmrl_gym::{Workload, WorkloadOptions};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// One trial specification: which design, on which workload, at which hidden
 /// size, with which seed and episode protocol.
@@ -129,79 +131,181 @@ impl TrialResult {
     }
 }
 
+/// Checkpoint/resume options for the checkpointed trial driver (the CLI's
+/// `--checkpoint-dir` / `--checkpoint-every` / `--resume` / `--stop-after`
+/// flags). Each trial writes its latest [`RunCheckpoint`] to one JSON file
+/// in [`CheckpointOptions::dir`], named from the spec
+/// ([`checkpoint_file_name`]), so a resumed sweep pairs every trial with its
+/// own checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointOptions {
+    /// Directory per-trial checkpoints are written to.
+    pub dir: PathBuf,
+    /// Capture a checkpoint every this many completed episodes.
+    pub every: usize,
+    /// Continue from the existing per-trial checkpoints in `dir` (trials
+    /// without a checkpoint file start fresh).
+    pub resume: bool,
+    /// Fault injection: abandon every trial once this many episodes have
+    /// completed. The boundary checkpoint is captured first, so
+    /// `stop_after: Some(n)` with `every` dividing `n` simulates a crash at
+    /// episode `n` with its checkpoint safely on disk.
+    pub stop_after: Option<usize>,
+}
+
+/// The checkpoint file name for one trial spec: every axis that changes the
+/// trajectory (workload, design, hidden size, seed, train-envs) is encoded,
+/// so no two trials of one sweep share a file.
+pub fn checkpoint_file_name(spec: &TrialSpec) -> String {
+    let design_slug: String = spec
+        .design
+        .label()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    format!(
+        "trial-{}-{}-h{}-s{}-e{}.json",
+        spec.workload.slug(),
+        design_slug,
+        spec.hidden_dim,
+        spec.seed,
+        spec.train_envs
+    )
+}
+
 /// Run one trial. With `train_envs == 1` (the default) this is the paper's
 /// scalar episode loop, byte-for-byte; with `train_envs > 1` the trial
 /// drives E concurrent episodes through a [`elmrl_gym::VecEnv`] and trains
 /// in batch-B chunks ([`Trainer::run_vec`]).
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    run_trial_checkpointed(spec, None)
+        .expect("a trial without checkpointing cannot fail")
+        .0
+}
+
+/// Run one trial under checkpoint control. Returns the result and whether
+/// the trial ran to its natural end (`false` when the fault-injection
+/// `stop_after` abandoned it early — the partial result must not enter any
+/// artefact; resume from the checkpoint instead).
+///
+/// The determinism contract is inherited from
+/// [`Trainer::run_checkpointed`](elmrl_core::trainer::Trainer): a trial
+/// resumed from a checkpoint continues bit-for-bit identically to one that
+/// never stopped, so artefacts built from resumed trials are byte-identical
+/// to straight-through runs (host wall-clock aside — see
+/// [`crate::deterministic_artifacts`]).
+pub fn run_trial_checkpointed(
+    spec: &TrialSpec,
+    opts: Option<&CheckpointOptions>,
+) -> Result<(TrialResult, bool), String> {
     let env_spec = spec.workload.spec_with(spec.options);
     let mut rng = SmallRng::seed_from_u64(spec.seed);
     let trainer = Trainer::new(spec.trainer.clone());
     let cost = CostModel::for_workload(&env_spec, spec.hidden_dim);
 
-    if spec.train_envs > 1 {
+    let path = opts.map(|o| o.dir.join(checkpoint_file_name(spec)));
+    let resumed = match (opts, &path) {
+        (Some(o), Some(p)) if o.resume && p.exists() => Some(RunCheckpoint::load(p)?),
+        _ => None,
+    };
+    let save_path = path.clone();
+    let mut sink = move |ckpt: RunCheckpoint| {
+        if let Some(p) = &save_path {
+            ckpt.save(p).expect("write trial checkpoint");
+        }
+    };
+    let mut ctl = CheckpointCtl::default();
+    if let Some(o) = opts {
+        ctl.every = o.every.max(1);
+        ctl.stop_after = o.stop_after;
+        ctl.sink = Some(&mut sink);
+    }
+    ctl.resume = resumed.as_ref();
+
+    let (training, fpga_simulated_seconds) = if spec.train_envs > 1 {
         let mut vec_env = elmrl_gym::VecEnv::from_spec(&env_spec, spec.train_envs);
-        let (training, fpga_simulated_seconds) = if spec.design == Design::Fpga {
+        if spec.design == Design::Fpga {
             let mut agent = FpgaAgent::new(
                 FpgaAgentConfig::for_workload(&env_spec, spec.hidden_dim),
                 &mut rng,
             );
-            let training = trainer.run_vec(&mut agent, &mut vec_env, &mut rng);
+            let training =
+                trainer.run_vec_checkpointed(&mut agent, &mut vec_env, &mut rng, &mut ctl)?;
             let breakdown = agent.simulated_breakdown_seconds();
             (training, Some(breakdown))
         } else {
             let config = DesignConfig::for_workload(&env_spec, spec.hidden_dim);
             let mut agent = spec.design.build_batch(&config, &mut rng);
             (
-                trainer.run_vec(agent.as_mut(), &mut vec_env, &mut rng),
+                trainer.run_vec_checkpointed(agent.as_mut(), &mut vec_env, &mut rng, &mut ctl)?,
                 None,
             )
-        };
-        let modeled = if spec.design == Design::Fpga {
-            cost.model_fpga(&training.op_counts)
+        }
+    } else {
+        let mut env = env_spec.make_env();
+        if spec.design == Design::Fpga {
+            let mut agent = FpgaAgent::new(
+                FpgaAgentConfig::for_workload(&env_spec, spec.hidden_dim),
+                &mut rng,
+            );
+            let training =
+                trainer.run_checkpointed(&mut agent, env.as_mut(), &mut rng, &mut ctl)?;
+            let breakdown = agent.simulated_breakdown_seconds();
+            (training, Some(breakdown))
         } else {
-            cost.model_software(&training.op_counts)
-        };
-        return TrialResult {
+            let config = DesignConfig::for_workload(&env_spec, spec.hidden_dim);
+            let mut agent = spec.design.build(&config, &mut rng);
+            (
+                trainer.run_checkpointed(agent.as_mut(), env.as_mut(), &mut rng, &mut ctl)?,
+                None,
+            )
+        }
+    };
+    let modeled = if spec.design == Design::Fpga {
+        cost.model_fpga(&training.op_counts)
+    } else {
+        cost.model_software(&training.op_counts)
+    };
+    let complete = training.episodes_run >= spec.trainer.max_episodes
+        || (spec.trainer.stop_when_solved && training.solved);
+    Ok((
+        TrialResult {
             spec: spec.clone(),
             modeled,
             fpga_simulated_seconds,
             training,
-        };
-    }
-
-    let mut env = env_spec.make_env();
-    if spec.design == Design::Fpga {
-        let mut agent = FpgaAgent::new(
-            FpgaAgentConfig::for_workload(&env_spec, spec.hidden_dim),
-            &mut rng,
-        );
-        let training = trainer.run(&mut agent, env.as_mut(), &mut rng);
-        let modeled = cost.model_fpga(&training.op_counts);
-        let breakdown = agent.simulated_breakdown_seconds();
-        TrialResult {
-            spec: spec.clone(),
-            modeled,
-            fpga_simulated_seconds: Some(breakdown),
-            training,
-        }
-    } else {
-        let config = DesignConfig::for_workload(&env_spec, spec.hidden_dim);
-        let mut agent = spec.design.build(&config, &mut rng);
-        let training = trainer.run(agent.as_mut(), env.as_mut(), &mut rng);
-        let modeled = cost.model_software(&training.op_counts);
-        TrialResult {
-            spec: spec.clone(),
-            modeled,
-            fpga_simulated_seconds: None,
-            training,
-        }
-    }
+        },
+        complete,
+    ))
 }
 
 /// Run a batch of trials in parallel (one rayon task per trial).
 pub fn run_trials(specs: &[TrialSpec]) -> Vec<TrialResult> {
     specs.par_iter().map(run_trial).collect()
+}
+
+/// Run a batch of trials in parallel under shared checkpoint control (the
+/// checkpoint directory is created on demand). Each element carries the
+/// trial's completion flag — see [`run_trial_checkpointed`].
+pub fn run_trials_checkpointed(
+    specs: &[TrialSpec],
+    opts: Option<&CheckpointOptions>,
+) -> Result<Vec<(TrialResult, bool)>, String> {
+    if let Some(o) = opts {
+        std::fs::create_dir_all(&o.dir)
+            .map_err(|e| format!("create checkpoint dir {}: {e}", o.dir.display()))?;
+    }
+    let results: Vec<Result<(TrialResult, bool), String>> = specs
+        .par_iter()
+        .map(|spec| run_trial_checkpointed(spec, opts))
+        .collect();
+    results.into_iter().collect()
 }
 
 /// Aggregate statistics of one (workload, design, hidden size) cell.
@@ -260,7 +364,18 @@ pub fn summarize_cell(
         trials: results.len(),
         solved_trials: solved.len(),
         mean_time_to_complete: mean(solved.iter().map(|r| r.modeled.total_seconds).collect()),
-        mean_wall_seconds: mean(solved.iter().map(|r| r.training.wall_seconds()).collect()),
+        // Host wall-clock is the one nondeterministic number in fig5.json;
+        // the deterministic-artifact mode zeroes it so checkpoint/resume
+        // pairs (and reruns in general) compare byte-for-byte.
+        mean_wall_seconds: if crate::deterministic_artifacts() {
+            if solved.is_empty() {
+                None
+            } else {
+                Some(0.0)
+            }
+        } else {
+            mean(solved.iter().map(|r| r.training.wall_seconds()).collect())
+        },
         mean_episodes_to_solve: mean(
             solved
                 .iter()

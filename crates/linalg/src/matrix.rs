@@ -593,6 +593,32 @@ impl<T: Scalar> Mul<&Matrix<T>> for &Matrix<T> {
     }
 }
 
+/// Serialised as `{"rows": r, "cols": c, "data": [..]}` with `data` in
+/// row-major order — the same layout the in-memory representation uses, so
+/// checkpointing a matrix is a straight copy of its backing vector.
+impl<T: Scalar + serde::Serialize> serde::Serialize for Matrix<T> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("rows".to_owned(), self.rows.to_value()),
+            ("cols".to_owned(), self.cols.to_value()),
+            ("data".to_owned(), self.data.to_value()),
+        ])
+    }
+}
+
+impl<T: Scalar + serde::Deserialize> serde::Deserialize for Matrix<T> {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get_field(name)
+                .ok_or_else(|| serde::Error::missing_field("Matrix", name))
+        };
+        let rows = usize::from_value(field("rows")?)?;
+        let cols = usize::from_value(field("cols")?)?;
+        let data = Vec::<T>::from_value(field("data")?)?;
+        Matrix::from_vec(rows, cols, data).map_err(serde::Error::custom)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -777,5 +803,30 @@ mod tests {
         let c = Matrix::col_from_slice(&[1.0, 2.0, 3.0]);
         assert_eq!(c.shape(), (3, 1));
         assert_eq!(r.transpose(), c);
+    }
+
+    #[test]
+    fn serde_round_trip_is_exact() {
+        use serde::{Deserialize, Serialize};
+        let m = Matrix::from_rows(&[vec![0.1, -2.5e-17, 3.0], vec![f64::MIN, 5.0, -0.0]]);
+        let back = Matrix::<f64>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back.shape(), m.shape());
+        for (a, b) in back.as_slice().iter().zip(m.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn serde_rejects_shape_data_mismatch() {
+        use serde::{Deserialize, Serialize};
+        let mut v = sample().to_value();
+        if let serde::Value::Map(entries) = &mut v {
+            for (k, val) in entries.iter_mut() {
+                if k == "rows" {
+                    *val = serde::Value::UInt(3);
+                }
+            }
+        }
+        assert!(Matrix::<f64>::from_value(&v).is_err());
     }
 }

@@ -49,5 +49,5 @@ pub use activation::Activation;
 pub use layer::DenseLayer;
 pub use loss::Loss;
 pub use mlp::{Mlp, MlpConfig, MlpScratch};
-pub use optimizer::{Adam, Optimizer, Sgd};
+pub use optimizer::{Adam, MomentState, Optimizer, Sgd};
 pub use replay::{ReplayBuffer, Transition};

@@ -189,6 +189,42 @@ impl Mlp {
         loss_value
     }
 
+    /// Export every layer's parameters as `(weights, bias)` pairs, in layer
+    /// order — the serialisable half of checkpointing a network. Rebuild the
+    /// architecture from its [`MlpConfig`] and feed the pairs back through
+    /// [`Mlp::import_parameters`] to restore the exact parameter state.
+    pub fn export_parameters(&self) -> Vec<(Matrix<f64>, Matrix<f64>)> {
+        self.layers
+            .iter()
+            .map(|l| (l.weights().clone(), l.bias().clone()))
+            .collect()
+    }
+
+    /// Overwrite every layer's parameters from [`Mlp::export_parameters`]
+    /// output. Panics when the layer count or any shape disagrees with this
+    /// network's architecture.
+    pub fn import_parameters(&mut self, params: &[(Matrix<f64>, Matrix<f64>)]) {
+        assert_eq!(
+            self.layers.len(),
+            params.len(),
+            "import_parameters: layer count mismatch"
+        );
+        for (layer, (w, b)) in self.layers.iter_mut().zip(params) {
+            assert_eq!(
+                layer.weights().shape(),
+                w.shape(),
+                "import_parameters: weight shape mismatch"
+            );
+            assert_eq!(
+                layer.bias().shape(),
+                b.shape(),
+                "import_parameters: bias shape mismatch"
+            );
+            layer.weights_mut().clone_from(w);
+            layer.bias_mut().clone_from(b);
+        }
+    }
+
     /// Copy all parameters from another network of identical architecture.
     /// This is the DQN fixed-target-network synchronisation (`θ₂ ← θ₁`).
     pub fn copy_parameters_from(&mut self, other: &Mlp) {

@@ -88,7 +88,7 @@ impl Optimizer for Sgd {
 }
 
 /// Per-slot Adam state: (first moment, second moment, step count).
-type MomentState = (Matrix<f64>, Matrix<f64>, u64);
+pub type MomentState = (Matrix<f64>, Matrix<f64>, u64);
 
 /// Adam (Kingma & Ba, 2015) with the standard default moment decays.
 #[derive(Clone, Debug)]
@@ -123,6 +123,18 @@ impl Adam {
     /// Reset all moment estimates (used when re-initialising an agent).
     pub fn reset(&mut self) {
         self.state.clear();
+    }
+
+    /// Export the per-slot moment estimates for checkpointing. Together with
+    /// [`Adam::import_state`] this resumes the optimiser mid-run bit for bit
+    /// (the bias-correction step count is part of each slot's state).
+    pub fn export_state(&self) -> Vec<Option<MomentState>> {
+        self.state.clone()
+    }
+
+    /// Restore moment estimates captured by [`Adam::export_state`].
+    pub fn import_state(&mut self, state: Vec<Option<MomentState>>) {
+        self.state = state;
     }
 }
 

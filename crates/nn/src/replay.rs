@@ -27,7 +27,11 @@ pub struct Transition {
 }
 
 /// A bounded FIFO replay buffer with uniform random sampling.
-#[derive(Clone, Debug)]
+///
+/// Serialisable so a DQN checkpoint can carry its full replay history —
+/// resuming with an empty buffer would change which mini-batches the
+/// restored run samples and break byte-identical resume.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ReplayBuffer {
     buffer: VecDeque<Transition>,
     capacity: usize,

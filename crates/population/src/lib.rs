@@ -41,6 +41,7 @@ pub mod runner;
 pub mod seed;
 
 pub use runner::{
-    PopulationConfig, PopulationReport, PopulationRunner, QuantileSummary, ReplicaOutcome,
+    FaultPlan, PopulationConfig, PopulationReport, PopulationRun, PopulationRunner,
+    QuantileSummary, ReplicaOutcome, ShardManifest, MANIFEST_VERSION,
 };
 pub use seed::{replica_eval_seed, replica_train_seed, split_seed};

@@ -31,7 +31,7 @@ use crate::seed::{replica_eval_seed, replica_train_seed};
 use elmrl_core::agent::Observation;
 use elmrl_core::batch::BatchAgent;
 use elmrl_core::designs::{Design, DesignConfig};
-use elmrl_core::trainer::{Trainer, TrainerConfig};
+use elmrl_core::trainer::{CheckpointCtl, Trainer, TrainerConfig};
 use elmrl_fpga::{FpgaAgent, FpgaAgentConfig};
 use elmrl_gym::{EnvSpec, SolveCriterion, VecEnv, Workload, WorkloadOptions};
 use elmrl_linalg::Matrix;
@@ -39,7 +39,12 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::ops::Range;
+use std::path::Path;
+
+/// Schema version of the per-shard checkpoint manifests.
+pub const MANIFEST_VERSION: u32 = 1;
 
 /// Configuration of one population run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -204,6 +209,114 @@ impl QuantileSummary {
     }
 }
 
+/// Fault-injection plan (the CLI's `--fail-shard k@e`): shard `shard` is
+/// killed once `at_episode` training episodes have completed across its
+/// replicas. A killed shard produces no outcomes — its replicas are requeued
+/// deterministically onto the surviving shards and re-run from their
+/// index-derived seeds, so the aggregate report is byte-identical to a run
+/// without the failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Index of the shard to kill (into the current shard layout).
+    pub shard: usize,
+    /// Shard-local episode count at which the kill fires (0 kills the shard
+    /// before it does any work).
+    pub at_episode: usize,
+}
+
+impl FaultPlan {
+    /// Parse the CLI form `k@e` (shard index `@` episode count).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (shard, episode) = s
+            .split_once('@')
+            .ok_or_else(|| format!("--fail-shard expects k@e, got `{s}`"))?;
+        Ok(Self {
+            shard: shard
+                .trim()
+                .parse()
+                .map_err(|_| format!("--fail-shard: bad shard index `{shard}`"))?,
+            at_episode: episode
+                .trim()
+                .parse()
+                .map_err(|_| format!("--fail-shard: bad episode count `{episode}`"))?,
+        })
+    }
+}
+
+/// Per-shard checkpoint manifest: which replicas the shard owns under the
+/// current layout and the outcomes it holds (its own completed replicas,
+/// replicas adopted from prior manifests on resume, and orphans it re-ran
+/// after another shard failed). The union of all manifests' outcomes is the
+/// durable state of the population run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardManifest {
+    /// Manifest schema version.
+    pub version: u32,
+    /// Shard index under the layout of the run that wrote the manifest.
+    pub shard: usize,
+    /// Global replica indices assigned to the shard by that layout.
+    pub assigned: Vec<usize>,
+    /// Replica outcomes in this shard's custody, in global replica order.
+    pub completed: Vec<ReplicaOutcome>,
+    /// Whether fault injection killed this shard during the run.
+    pub failed: bool,
+}
+
+impl ShardManifest {
+    /// Serialize to the versioned JSON schema.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Parse a manifest, rejecting unknown schema versions.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let m: Self = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if m.version != MANIFEST_VERSION {
+            return Err(format!(
+                "unsupported manifest version {} (expected {MANIFEST_VERSION})",
+                m.version
+            ));
+        }
+        Ok(m)
+    }
+
+    /// Write the manifest to `<dir>/shard-<k>.json`.
+    pub fn save(&self, dir: &Path) -> Result<std::path::PathBuf, String> {
+        let path = dir.join(format!("shard-{}.json", self.shard));
+        std::fs::write(&path, self.to_json()?).map_err(|e| e.to_string())?;
+        Ok(path)
+    }
+
+    /// Load every `shard-*.json` manifest found in `dir`, in shard order.
+    pub fn load_dir(dir: &Path) -> Result<Vec<Self>, String> {
+        let mut manifests = Vec::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| e.to_string())?;
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.starts_with("shard-") && name.ends_with(".json") {
+                let json = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+                manifests.push(Self::from_json(&json)?);
+            }
+        }
+        manifests.sort_by_key(|m| m.shard);
+        Ok(manifests)
+    }
+}
+
+/// The full outcome of a population execution: the aggregate report plus the
+/// per-shard manifests describing what ran where (for checkpointing and
+/// post-mortems).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PopulationRun {
+    /// The shard-layout-independent aggregate (what `population.json` holds).
+    pub report: PopulationReport,
+    /// Per-shard custody manifests for the execution, in shard order.
+    pub manifests: Vec<ShardManifest>,
+}
+
 /// The sharded lockstep executor.
 #[derive(Clone, Debug)]
 pub struct PopulationRunner {
@@ -242,16 +355,140 @@ impl PopulationRunner {
 
     /// Execute the population and aggregate the report.
     pub fn run(&self) -> PopulationReport {
+        self.run_checkpointed(None, &[]).report
+    }
+
+    /// Execute with fault injection and/or resume from prior manifests.
+    ///
+    /// * `fault` — kill one shard mid-run; its replicas (the ones without a
+    ///   resumed outcome) are requeued round-robin onto the surviving shards
+    ///   and re-run from their index-derived seeds, so the report is
+    ///   byte-identical to a failure-free run.
+    /// * `resume` — manifests from an earlier (possibly killed) run. Outcomes
+    ///   they hold are adopted without re-running. The replica set is
+    ///   **elastic** across resumes: outcomes for indices beyond the current
+    ///   `population` are dropped (shrink) and missing indices are run fresh
+    ///   (grow); because every replica's RNG streams derive from its global
+    ///   index, the report never depends on the failure/migration history.
+    pub fn run_checkpointed(
+        &self,
+        fault: Option<FaultPlan>,
+        resume: &[ShardManifest],
+    ) -> PopulationRun {
         let spec = self.config.workload.spec_with(self.config.options);
         let ranges = self.shard_ranges();
-        let replicas: Vec<ReplicaOutcome> = ranges
-            .par_iter()
-            .map(|range| run_shard(&spec, &self.config, range.clone()))
-            .collect::<Vec<_>>()
-            .into_iter()
-            .flatten()
+
+        // Outcomes adopted from prior manifests (elastic shrink: indices
+        // beyond the current population are dropped).
+        let mut outcomes: BTreeMap<usize, ReplicaOutcome> = resume
+            .iter()
+            .flat_map(|m| m.completed.iter())
+            .filter(|r| r.replica < self.config.population)
+            .map(|r| (r.replica, r.clone()))
             .collect();
 
+        // Wave 1: every shard runs its assigned replicas that lack an
+        // adopted outcome. A shard named by the fault plan is killed once it
+        // crosses the episode threshold and produces nothing.
+        let pending: Vec<Vec<usize>> = ranges
+            .iter()
+            .map(|range| {
+                range
+                    .clone()
+                    .filter(|i| !outcomes.contains_key(i))
+                    .collect()
+            })
+            .collect();
+        let shard_jobs: Vec<(usize, &Vec<usize>)> = pending.iter().enumerate().collect();
+        let wave1: Vec<Option<Vec<ReplicaOutcome>>> = shard_jobs
+            .par_iter()
+            .map(|&(shard, replicas)| {
+                let abort = fault.filter(|f| f.shard == shard).map(|f| f.at_episode);
+                run_shard(&spec, &self.config, replicas, abort)
+            })
+            .collect();
+
+        // Wave 2: requeue the killed shard's replicas round-robin (replica
+        // order over survivor order) and re-run them on the survivors.
+        let survivors: Vec<usize> = (0..ranges.len()).filter(|&s| wave1[s].is_some()).collect();
+        let orphans: Vec<usize> = (0..ranges.len())
+            .filter(|&s| wave1[s].is_none())
+            .flat_map(|s| pending[s].iter().copied())
+            .collect();
+        let lanes = survivors.len().max(1);
+        let mut requeued: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+        for (i, replica) in orphans.iter().enumerate() {
+            requeued[i % lanes].push(*replica);
+        }
+        let wave2: Vec<Option<Vec<ReplicaOutcome>>> = requeued
+            .par_iter()
+            .map(|replicas| run_shard(&spec, &self.config, replicas, None))
+            .collect();
+
+        // Custody: shard → outcomes it holds. Fresh results stay with the
+        // shard that produced them; adopted outcomes live with the current
+        // layout's owner; requeued outcomes with the survivor that re-ran
+        // them (the whole point of the manifest being durable).
+        let mut custody: Vec<Vec<usize>> = vec![Vec::new(); ranges.len()];
+        for (shard, range) in ranges.iter().enumerate() {
+            for i in range.clone() {
+                if outcomes.contains_key(&i) {
+                    custody[shard].push(i);
+                }
+            }
+        }
+        for (shard, produced) in wave1.iter().enumerate() {
+            if let Some(list) = produced {
+                for outcome in list {
+                    custody[shard].push(outcome.replica);
+                    outcomes.insert(outcome.replica, outcome.clone());
+                }
+            }
+        }
+        for (slot, produced) in wave2.iter().enumerate() {
+            let list = produced
+                .as_ref()
+                .expect("requeue wave runs without fault injection");
+            // With no survivors (every shard failed) slot 0 acts as the
+            // restarted driver itself; custody goes to the layout's owner.
+            for outcome in list {
+                let shard = survivors.get(slot).copied().unwrap_or_else(|| {
+                    ranges
+                        .iter()
+                        .position(|r| r.contains(&outcome.replica))
+                        .unwrap_or(0)
+                });
+                custody[shard].push(outcome.replica);
+                outcomes.insert(outcome.replica, outcome.clone());
+            }
+        }
+
+        let manifests: Vec<ShardManifest> = ranges
+            .iter()
+            .enumerate()
+            .map(|(shard, range)| {
+                let mut held = custody[shard].clone();
+                held.sort_unstable();
+                ShardManifest {
+                    version: MANIFEST_VERSION,
+                    shard,
+                    assigned: range.clone().collect(),
+                    completed: held.iter().map(|i| outcomes[i].clone()).collect(),
+                    failed: wave1[shard].is_none(),
+                }
+            })
+            .collect();
+
+        let replicas: Vec<ReplicaOutcome> = outcomes.into_values().collect();
+        PopulationRun {
+            report: self.aggregate(&spec, replicas),
+            manifests,
+        }
+    }
+
+    /// Fold per-replica outcomes (in global replica order) into the
+    /// layout-independent aggregate report.
+    fn aggregate(&self, spec: &EnvSpec, replicas: Vec<ReplicaOutcome>) -> PopulationReport {
         let solved: Vec<&ReplicaOutcome> = replicas.iter().filter(|r| r.solved).collect();
         let episodes: Vec<f64> = solved
             .iter()
@@ -314,14 +551,25 @@ struct ReplicaState {
 }
 
 /// Train the shard's replicas in lockstep and evaluate their final policies.
+///
+/// `replicas` holds the global indices to run (not necessarily contiguous —
+/// requeued orphans land here too); every replica's RNG streams derive from
+/// its global index alone, so *where* it runs never changes *what* it
+/// computes. `abort_after_episodes` is the fault-injection kill switch: once
+/// that many episodes have completed across the shard's replicas the shard
+/// "dies" and returns `None` — no partial outcomes escape.
 fn run_shard(
     spec: &EnvSpec,
     config: &PopulationConfig,
-    range: Range<usize>,
-) -> Vec<ReplicaOutcome> {
-    let b = range.len();
+    replicas: &[usize],
+    abort_after_episodes: Option<usize>,
+) -> Option<Vec<ReplicaOutcome>> {
+    let b = replicas.len();
+    if abort_after_episodes == Some(0) {
+        return None;
+    }
     if b == 0 {
-        return Vec::new();
+        return Some(Vec::new());
     }
     // The paper resets only the ELM/OS-ELM designs (§4.3), as in `run_trial`.
     let reset_after = if config.design == Design::Dqn {
@@ -344,37 +592,47 @@ fn run_shard(
             solved_window: 100,
             reward_shaping: spec.reward_shaping,
         });
-        return range
-            .map(|replica| {
-                let train_seed = replica_train_seed(config.seed, replica);
-                let mut rng = SmallRng::seed_from_u64(train_seed);
-                let mut agent =
-                    build_replica_agent(config.design, spec, config.hidden_dim, &mut rng);
-                let mut vec_env = VecEnv::from_spec(spec, config.train_envs);
-                let result = trainer.run_vec(agent.as_mut(), &mut vec_env, &mut rng);
-                ReplicaOutcome {
-                    replica,
-                    seed: train_seed,
-                    solved: result.solved,
-                    solved_at_episode: result.solved_at_episode,
-                    episodes_run: result.episodes_run,
-                    total_steps: result.total_steps,
-                    resets: result.resets,
-                    greedy_eval_return: greedy_eval(
-                        agent.as_mut(),
-                        spec,
-                        replica_eval_seed(config.seed, replica),
-                        config.eval_episodes,
-                    ),
-                    returns: result.stats.returns,
-                }
-            })
-            .collect();
+        let mut shard_episodes = 0usize;
+        let mut outcomes = Vec::with_capacity(b);
+        for &replica in replicas {
+            let train_seed = replica_train_seed(config.seed, replica);
+            let mut rng = SmallRng::seed_from_u64(train_seed);
+            let mut agent = build_replica_agent(config.design, spec, config.hidden_dim, &mut rng);
+            let mut vec_env = VecEnv::from_spec(spec, config.train_envs);
+            let mut ctl = CheckpointCtl::default();
+            if let Some(limit) = abort_after_episodes {
+                ctl.stop_after = Some(limit - shard_episodes);
+            }
+            let result = trainer
+                .run_vec_checkpointed(agent.as_mut(), &mut vec_env, &mut rng, &mut ctl)
+                .expect("no resume/sink: the vectorized driver cannot fail");
+            shard_episodes += result.episodes_run;
+            if abort_after_episodes.is_some_and(|limit| shard_episodes >= limit) {
+                return None;
+            }
+            outcomes.push(ReplicaOutcome {
+                replica,
+                seed: train_seed,
+                solved: result.solved,
+                solved_at_episode: result.solved_at_episode,
+                episodes_run: result.episodes_run,
+                total_steps: result.total_steps,
+                resets: result.resets,
+                greedy_eval_return: greedy_eval(
+                    agent.as_mut(),
+                    spec,
+                    replica_eval_seed(config.seed, replica),
+                    config.eval_episodes,
+                ),
+                returns: result.stats.returns,
+            });
+        }
+        return Some(outcomes);
     }
 
-    let train_seeds: Vec<u64> = range
-        .clone()
-        .map(|i| replica_train_seed(config.seed, i))
+    let train_seeds: Vec<u64> = replicas
+        .iter()
+        .map(|&i| replica_train_seed(config.seed, i))
         .collect();
     let mut rngs: Vec<SmallRng> = train_seeds
         .iter()
@@ -407,6 +665,7 @@ fn run_shard(
         })
         .collect();
 
+    let mut shard_episodes = 0usize;
     while states.iter().any(|s| s.active) {
         // Determine: each replica acts on its own slot from its own stream,
         // Q evaluated through the batched kernel (`act_row` selects exactly
@@ -462,6 +721,7 @@ fn run_shard(
             agents[j].end_episode(episode);
             st.episodes_run += 1;
             st.episodes_since_reset += 1;
+            shard_episodes += 1;
             st.returns.push(st.episode_return);
             let episode_return = st.episode_return;
             st.episode_return = 0.0;
@@ -480,10 +740,17 @@ fn run_shard(
                 }
             }
         }
+        if abort_after_episodes.is_some_and(|limit| shard_episodes >= limit) {
+            // The injected fault fires: the shard dies at the end of this
+            // tick and none of its (even finished) replicas report back.
+            return None;
+        }
     }
 
     // Evaluate: batched greedy rollout of each replica's final policy.
-    range
+    let outcomes = replicas
+        .iter()
+        .copied()
         .zip(states)
         .zip(agents.iter_mut())
         .zip(train_seeds)
@@ -503,7 +770,8 @@ fn run_shard(
             ),
             returns: st.returns,
         })
-        .collect()
+        .collect();
+    Some(outcomes)
 }
 
 /// Run `episodes` greedy episodes in lockstep, scoring every still-running
@@ -665,6 +933,159 @@ mod tests {
             scalar.replicas, baseline.replicas,
             "E > 1 must not silently replay the scalar protocol"
         );
+    }
+
+    #[test]
+    fn fault_plan_parses_the_cli_form() {
+        assert_eq!(
+            FaultPlan::parse("2@15"),
+            Ok(FaultPlan {
+                shard: 2,
+                at_episode: 15
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse(" 0 @ 0 "),
+            Ok(FaultPlan {
+                shard: 0,
+                at_episode: 0
+            })
+        );
+        assert!(FaultPlan::parse("3").is_err());
+        assert!(FaultPlan::parse("a@b").is_err());
+    }
+
+    #[test]
+    fn killed_shard_replicas_requeue_onto_survivors_byte_identically() {
+        let baseline = PopulationRunner::new(tiny_config(3)).run();
+        for (shard, at_episode) in [(0, 0), (1, 2), (2, 5)] {
+            let faulted = PopulationRunner::new(tiny_config(3))
+                .run_checkpointed(Some(FaultPlan { shard, at_episode }), &[]);
+            assert_eq!(
+                baseline, faulted.report,
+                "fail-shard {shard}@{at_episode} changed the report"
+            );
+            assert!(faulted.manifests[shard].failed);
+            assert!(faulted.manifests[shard].completed.is_empty());
+            // Every replica still reports: the orphans live in survivor
+            // manifests.
+            let held: usize = faulted.manifests.iter().map(|m| m.completed.len()).sum();
+            assert_eq!(held, 6);
+            // JSON byte identity — the property the CI job cmp-checks.
+            assert_eq!(
+                serde_json::to_string(&baseline).unwrap(),
+                serde_json::to_string(&faulted.report).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_byte_identical_for_train_envs_gt_one() {
+        let config_with = |shards: usize| {
+            let mut config = tiny_config(shards);
+            config.train_envs = 2;
+            config
+        };
+        let baseline = PopulationRunner::new(config_with(3)).run();
+        let faulted = PopulationRunner::new(config_with(3)).run_checkpointed(
+            Some(FaultPlan {
+                shard: 1,
+                at_episode: 3,
+            }),
+            &[],
+        );
+        assert_eq!(baseline, faulted.report);
+    }
+
+    #[test]
+    fn manifests_cover_the_population_and_round_trip_through_json() {
+        let run = PopulationRunner::new(tiny_config(2)).run_checkpointed(None, &[]);
+        assert_eq!(run.manifests.len(), 2);
+        let mut seen = Vec::new();
+        for m in &run.manifests {
+            assert_eq!(m.version, MANIFEST_VERSION);
+            assert!(!m.failed);
+            assert_eq!(
+                m.assigned,
+                m.completed.iter().map(|r| r.replica).collect::<Vec<_>>()
+            );
+            seen.extend(m.assigned.iter().copied());
+            let back = ShardManifest::from_json(&m.to_json().unwrap()).unwrap();
+            assert_eq!(&back, m);
+        }
+        assert_eq!(seen, (0..6).collect::<Vec<_>>());
+        // Unknown versions are rejected.
+        let mut bad = run.manifests[0].clone();
+        bad.version = 99;
+        assert!(ShardManifest::from_json(&bad.to_json().unwrap())
+            .unwrap_err()
+            .contains("version"));
+    }
+
+    #[test]
+    fn resume_from_manifests_skips_completed_replicas() {
+        // A killed run leaves partial manifests; resuming from them must
+        // produce the same report as a straight-through run.
+        let baseline = PopulationRunner::new(tiny_config(3)).run();
+        let crashed = PopulationRunner::new(tiny_config(3)).run_checkpointed(
+            Some(FaultPlan {
+                shard: 2,
+                at_episode: 0,
+            }),
+            &[],
+        );
+        // Simulate the driver dying before the requeue wave: strip the
+        // requeued outcomes back out so only shards 0 and 1 have custody.
+        let mut partial = crashed.manifests.clone();
+        for m in &mut partial {
+            m.completed.retain(|r| m.assigned.contains(&r.replica));
+        }
+        let held: usize = partial.iter().map(|m| m.completed.len()).sum();
+        assert!(held < 6, "the crash must actually lose replicas");
+
+        let resumed = PopulationRunner::new(tiny_config(3)).run_checkpointed(None, &partial);
+        assert_eq!(baseline, resumed.report);
+    }
+
+    #[test]
+    fn replica_set_grows_and_shrinks_elastically_across_resumes() {
+        let manifests = PopulationRunner::new(tiny_config(2))
+            .run_checkpointed(None, &[])
+            .manifests;
+
+        // Grow 6 → 9: adopted outcomes for 0..6, fresh runs for 6..9, and
+        // the report matches a fresh 9-replica run byte for byte.
+        let grow = |mut c: PopulationConfig| {
+            c.population = 9;
+            c
+        };
+        let fresh9 = PopulationRunner::new(grow(tiny_config(2))).run();
+        let grown = PopulationRunner::new(grow(tiny_config(2))).run_checkpointed(None, &manifests);
+        assert_eq!(fresh9, grown.report);
+
+        // Shrink 6 → 4: extra outcomes are dropped.
+        let shrink = |mut c: PopulationConfig| {
+            c.population = 4;
+            c
+        };
+        let fresh4 = PopulationRunner::new(shrink(tiny_config(2))).run();
+        let shrunk =
+            PopulationRunner::new(shrink(tiny_config(2))).run_checkpointed(None, &manifests);
+        assert_eq!(fresh4, shrunk.report);
+        assert_eq!(shrunk.report.replicas.len(), 4);
+    }
+
+    #[test]
+    fn manifests_save_and_load_from_a_directory() {
+        let dir = std::env::temp_dir().join(format!("elmrl-manifests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = PopulationRunner::new(tiny_config(3)).run_checkpointed(None, &[]);
+        for m in &run.manifests {
+            m.save(&dir).unwrap();
+        }
+        let loaded = ShardManifest::load_dir(&dir).unwrap();
+        assert_eq!(loaded, run.manifests);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

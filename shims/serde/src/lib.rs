@@ -150,6 +150,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// Identity impls: a `Value` field embeds an arbitrary pre-built tree — the
+// escape hatch the agent-snapshot layer uses to carry design-specific state
+// through a design-agnostic envelope.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
@@ -322,6 +337,21 @@ impl<T: Serialize> Serialize for [T] {
 }
 
 impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Seq(items) => items.iter().map(T::from_value).collect(),

@@ -95,6 +95,11 @@ fn write_escaped(out: &mut String, s: &str) {
 fn write_float(out: &mut String, f: f64) {
     if !f.is_finite() {
         out.push_str("null");
+    } else if f == 0.0 && f.is_sign_negative() {
+        // Negative zero satisfies the integral-value test below but `0 as
+        // i64` would drop the sign, breaking bit-exact snapshot round-trips;
+        // render it with a fractional part so the parser keeps the sign.
+        out.push_str("-0.0");
     } else if f == f.trunc() && f.abs() < 9.0e15 {
         // Integral value: render without a fractional part, with `.0`
         // omitted exactly as serde_json does for integer Values.
@@ -398,6 +403,17 @@ mod tests {
             let back: f64 = from_str(&s).unwrap();
             assert_eq!(back, f, "{s}");
         }
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let s = to_string(&(-0.0f64)).unwrap();
+        assert_eq!(s, "-0.0");
+        let back: f64 = from_str(&s).unwrap();
+        assert_eq!(back, 0.0);
+        assert!(back.is_sign_negative(), "sign of -0.0 lost in round trip");
+        // Positive zero keeps the integral rendering.
+        assert_eq!(to_string(&0.0f64).unwrap(), "0");
     }
 
     #[test]
