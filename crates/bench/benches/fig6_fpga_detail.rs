@@ -27,7 +27,7 @@ fn build_core(hidden: usize) -> FpgaCore {
 
 fn bench_core_modules(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_fpga_core");
-    for hidden in [32usize, 64, 128, 192] {
+    for hidden in [32usize, 64, 128, 192, 256] {
         let x = vec![Q20::from_f64(0.1); 5];
         group.bench_with_input(BenchmarkId::new("predict", hidden), &hidden, |b, &h| {
             let mut core = build_core(h);

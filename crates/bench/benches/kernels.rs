@@ -1,10 +1,12 @@
 //! Kernel microbenchmarks (M1): the dense linear-algebra primitives the
 //! OS-ELM update is built from.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_fixed::kernels::{matmul_packed_q_into, seq_train_q_into, RlsScratch};
+use elmrl_fixed::Q20;
 use elmrl_linalg::random::uniform_matrix;
 use elmrl_linalg::solve::{inverse_spd, pseudo_inverse};
 use elmrl_linalg::Matrix;
-use rand::{rngs::SmallRng, SeedableRng};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 fn bench_kernels(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(9);
@@ -34,6 +36,43 @@ fn bench_kernels(c: &mut Criterion) {
         let spd = &a.t_matmul(&a) + &Matrix::identity(n).scale(0.5);
         group.bench_with_input(BenchmarkId::new("inverse_spd", n), &n, |bench, _| {
             bench.iter(|| inverse_spd(&spd).unwrap())
+        });
+
+        // The Q20 integer twins (PR 7): the packed fixed-point matmul next
+        // to its f64 counterpart, and the fused RLS update that replaces
+        // matmul + downdate + matmul on the quantized FpgaCore path.
+        let aq: Vec<i32> = (0..n * n)
+            .map(|_| Q20::from_f64(rng.gen_range(-1.0..1.0)).to_raw())
+            .collect();
+        let bq: Vec<i32> = (0..n * n)
+            .map(|_| Q20::from_f64(rng.gen_range(-1.0..1.0)).to_raw())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("matmul_packed_q20_into", n),
+            &n,
+            |bench, _| {
+                let mut pack = Vec::new();
+                let mut out = vec![0i32; n * n];
+                bench.iter(|| {
+                    matmul_packed_q_into::<20>(n, n, n, &aq, &bq, &mut pack, &mut out);
+                    out[0]
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("seq_train_q20", n), &n, |bench, _| {
+            let h: Vec<i32> = (0..n)
+                .map(|_| Q20::from_f64(rng.gen_range(0.0..0.2)).to_raw())
+                .collect();
+            let mut p: Vec<i32> = (0..n * n)
+                .map(|i| Q20::from_f64(if i % (n + 1) == 0 { 0.5 } else { 0.001 }).to_raw())
+                .collect();
+            let mut beta = vec![Q20::from_f64(0.01).to_raw(); n];
+            let target = vec![Q20::from_f64(0.5).to_raw()];
+            let mut ws = RlsScratch::new();
+            bench.iter(|| {
+                seq_train_q_into::<20>(n, 1, &h, &target, &mut p, &mut beta, &mut ws);
+                p[0]
+            })
         });
     }
     let tall = uniform_matrix::<f64, _>(96, 32, -1.0, 1.0, &mut rng);

@@ -1,0 +1,399 @@
+//! Benchmark E5 (PR 7): the quantized-backend promotion.
+//!
+//! Two comparisons, both written to `BENCH_PR7.json` in the workspace root:
+//!
+//! 1. **Agent steps/sec** — the integer-kernel [`FpgaAgent`] hot path
+//!    (`act` + `observe` with the update gate forced open: batched Q20
+//!    predict, float target forward, fused Q20 RLS update, zero steady-state
+//!    allocations) against the pre-PR-7 **allocating `Matrix<Q20>` path**,
+//!    reproduced verbatim below: per-call `Matrix` temporaries for the
+//!    hidden layer, `P·hᵀ`, `h·P` and the post-update `P·hᵀ`, plus fresh
+//!    encoding/quantisation vectors per action. The PR's acceptance gate is
+//!    the hidden = 256 ratio (the paper's BRAM limit): the new path must be
+//!    ≥ 3× the old one — and the new number even carries the float
+//!    target-network forward the baseline is not charged for.
+//! 2. **Kernel throughput** — raw Q20 (`matmul_packed_q_into` on `i32`
+//!    words) vs `f64` (`matmul_packed_into`) square matmul at
+//!    n ∈ {64, 128, 256}, reported as Gop/s (2n³ multiply–adds per product),
+//!    quantifying the cost of saturating fixed-point arithmetic per element.
+//!
+//! The baseline core is bit-for-bit the old datapath (same saturating Q20
+//! arithmetic), so the comparison isolates the memory/dispatch win of the
+//! integer kernels from any numerical change — there is none.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_core::agent::{Agent, Observation};
+use elmrl_elm::{OsElm, OsElmConfig};
+use elmrl_fixed::kernels::matmul_packed_q_into;
+use elmrl_fixed::Q20;
+use elmrl_fpga::{FpgaAgent, FpgaAgentConfig};
+use elmrl_gym::Workload;
+use elmrl_linalg::random::uniform_matrix;
+use elmrl_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+const HIDDEN: [usize; 2] = [64, 256];
+/// CartPole's action count — the A predicts every ε-greedy decision costs.
+const ACTIONS: usize = 2;
+
+/// The pre-PR-7 fixed-point core, reproduced verbatim: every call builds
+/// `Matrix<Q20>` temporaries and goes through the generic (bounds-checked,
+/// allocating) `Matrix` operators. Numerically identical to the new core.
+struct AllocatingCore {
+    alpha: Matrix<Q20>,
+    bias: Matrix<Q20>,
+    beta: Matrix<Q20>,
+    p: Matrix<Q20>,
+}
+
+impl AllocatingCore {
+    fn from_f64_parts(
+        alpha: &Matrix<f64>,
+        bias: &Matrix<f64>,
+        beta: &Matrix<f64>,
+        p: &Matrix<f64>,
+    ) -> Self {
+        Self {
+            alpha: alpha.cast(),
+            bias: bias.cast(),
+            beta: beta.cast(),
+            p: p.cast(),
+        }
+    }
+
+    fn hidden(&self, x: &[Q20]) -> Matrix<Q20> {
+        let xm = Matrix::row_from_slice(x);
+        let mut pre = xm.matmul(&self.alpha);
+        for c in 0..pre.cols() {
+            pre[(0, c)] += self.bias[(0, c)];
+            if pre[(0, c)] < Q20::ZERO {
+                pre[(0, c)] = Q20::ZERO;
+            }
+        }
+        pre
+    }
+
+    fn predict(&mut self, x: &[Q20]) -> Vec<Q20> {
+        let h = self.hidden(x);
+        let y = h.matmul(&self.beta);
+        y.row(0).to_vec()
+    }
+
+    fn seq_train(&mut self, x: &[Q20], target: &[Q20]) {
+        let nh = self.alpha.cols();
+        let m = self.beta.cols();
+        let h = self.hidden(x);
+
+        let ph = self.p.matmul_t(&h);
+        let hp = h.matmul(&self.p);
+        let mut denom = Q20::ONE;
+        for i in 0..nh {
+            denom += h[(0, i)] * ph[(i, 0)];
+        }
+        let inv_denom = Q20::ONE / denom;
+
+        for r in 0..nh {
+            let scale = ph[(r, 0)] * inv_denom;
+            for c in 0..nh {
+                let sub = scale * hp[(0, c)];
+                self.p[(r, c)] -= sub;
+            }
+        }
+
+        let pred = h.matmul(&self.beta);
+        let ph_new = self.p.matmul_t(&h);
+        for r in 0..nh {
+            for c in 0..m {
+                let add = ph_new[(r, 0)] * (target[c] - pred[(0, c)]);
+                self.beta[(r, c)] += add;
+            }
+        }
+    }
+}
+
+/// Build the baseline core from a short CPU-side initial training, exactly
+/// like the agent's store phase does (input width 5 = CartPole state +
+/// scalar action).
+fn build_allocating_core(hidden: usize) -> AllocatingCore {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let cfg = OsElmConfig::new(5, hidden, 1)
+        .with_l2_delta(0.5)
+        .with_relative_l2(true)
+        .with_spectral_normalization(true);
+    let mut os = OsElm::<f64>::new(&cfg, &mut rng);
+    let x0 = Matrix::from_fn(hidden, 5, |i, j| (((i * 7 + j) % 19) as f64 / 19.0) - 0.5);
+    let t0 = Matrix::from_fn(hidden, 1, |i, _| if i % 3 == 0 { -1.0 } else { 0.0 });
+    os.init_train(&x0, &t0).unwrap();
+    AllocatingCore::from_f64_parts(
+        os.model().alpha(),
+        os.model().bias(),
+        os.model().beta(),
+        os.p_matrix().unwrap(),
+    )
+}
+
+/// One steady-state step of the old path: encode + quantise each action
+/// (fresh vectors, as the old agent did), A predicts, one RLS update.
+fn allocating_step(core: &mut AllocatingCore, state: &[f64], step: usize) {
+    let mut best = Q20::from_f64(f64::NEG_INFINITY);
+    for a in 0..ACTIONS {
+        let mut enc: Vec<f64> = state.to_vec();
+        enc.push(a as f64);
+        let xq: Vec<Q20> = enc.iter().map(|&v| Q20::from_f64(v)).collect();
+        let y = core.predict(&xq);
+        if y[0] > best {
+            best = y[0];
+        }
+    }
+    let mut enc: Vec<f64> = state.to_vec();
+    enc.push((step % ACTIONS) as f64);
+    let xq: Vec<Q20> = enc.iter().map(|&v| Q20::from_f64(v)).collect();
+    core.seq_train(&xq, &[Q20::from_f64(0.5)]);
+    std::hint::black_box(best);
+}
+
+fn transition(i: usize) -> Observation {
+    Observation {
+        state: vec![0.01 * i as f64, -0.02, 0.03, 0.01 * (i % 5) as f64],
+        action: i % ACTIONS,
+        reward: if i % 7 == 0 { -1.0 } else { 0.0 },
+        next_state: vec![0.01 * i as f64 + 0.005, -0.01, 0.02, 0.01],
+        done: i % 7 == 0,
+        truncated: false,
+    }
+}
+
+/// Build the PR-7 agent with its Q20 core loaded and warmed to steady state.
+fn build_quantized_agent(hidden: usize) -> (FpgaAgent, SmallRng) {
+    let spec = Workload::CartPole.spec();
+    let mut config = FpgaAgentConfig::for_workload(&spec, hidden);
+    config.update_prob = 1.0; // every observe runs the Q20 RLS update
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut agent = FpgaAgent::new(config, &mut rng);
+    for i in 0..hidden {
+        agent.observe(&transition(i), &mut rng);
+    }
+    assert!(agent.core_loaded());
+    let obs = transition(1);
+    for _ in 0..16 {
+        let a = agent.act(&obs.state, &mut rng);
+        std::hint::black_box(a);
+        agent.observe(&obs, &mut rng);
+    }
+    (agent, rng)
+}
+
+/// One steady-state step of the new path: the real agent `act` + `observe`
+/// (batched Q20 predict, float target forward, fused integer-kernel RLS).
+fn quantized_step(agent: &mut FpgaAgent, rng: &mut SmallRng, obs: &Observation) {
+    let a = agent.act(&obs.state, rng);
+    std::hint::black_box(a);
+    agent.observe(obs, rng);
+}
+
+fn bench_backend_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantized_backend");
+    group.sample_size(10);
+    let state = [0.02, -0.01, 0.04, 0.03];
+    for hidden in HIDDEN {
+        group.bench_with_input(
+            BenchmarkId::new("allocating_matrix_q20", hidden),
+            &hidden,
+            |b, &h| {
+                let mut core = build_allocating_core(h);
+                let mut step = 0usize;
+                b.iter(|| {
+                    allocating_step(&mut core, &state, step);
+                    step += 1;
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("integer_kernel_agent", hidden),
+            &hidden,
+            |b, &h| {
+                let (mut agent, mut rng) = build_quantized_agent(h);
+                let obs = transition(1);
+                b.iter(|| quantized_step(&mut agent, &mut rng, &obs))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernel_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q20_vs_f64_matmul");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(9);
+    for n in [64usize, 128, 256] {
+        let af = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+        let bf = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+        let aq: Vec<i32> = af
+            .as_slice()
+            .iter()
+            .map(|&v| Q20::from_f64(v).to_raw())
+            .collect();
+        let bq: Vec<i32> = bf
+            .as_slice()
+            .iter()
+            .map(|&v| Q20::from_f64(v).to_raw())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("f64_packed", n), &n, |bench, &n| {
+            let mut pack = Vec::new();
+            let mut out = Matrix::<f64>::zeros(n, n);
+            bench.iter(|| {
+                af.matmul_packed_into(&bf, &mut pack, &mut out);
+                out[(0, 0)]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("q20_packed", n), &n, |bench, &n| {
+            let mut pack = Vec::new();
+            let mut out = vec![0i32; n * n];
+            bench.iter(|| {
+                matmul_packed_q_into::<20>(n, n, n, &aq, &bq, &mut pack, &mut out);
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+#[derive(Serialize)]
+struct BackendEntry {
+    hidden: usize,
+    allocating_steps_per_second: f64,
+    quantized_steps_per_second: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct KernelEntry {
+    n: usize,
+    f64_gops: f64,
+    q20_gops: f64,
+    q20_vs_f64: f64,
+}
+
+#[derive(Serialize)]
+struct BenchTrajectory {
+    pr: usize,
+    benchmark: String,
+    host_available_parallelism: usize,
+    quantized_backend: Vec<BackendEntry>,
+    kernel_throughput: Vec<KernelEntry>,
+}
+
+/// Best-of-3 wall time of `reps` invocations of `f`.
+fn best_of_3(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Assemble and write `BENCH_PR7.json` — the PR-7 perf-trajectory entry
+/// (after `BENCH_PR4.json` / `BENCH_PR5.json`), consumed by CI as the
+/// quantized-backend acceptance gate.
+fn write_trajectory(_c: &mut Criterion) {
+    let mut backend = Vec::new();
+    for hidden in HIDDEN {
+        // Step counts sized so each timing window is a few hundred ms.
+        let reps = if hidden >= 256 { 400 } else { 4000 };
+        let state = [0.02, -0.01, 0.04, 0.03];
+
+        let mut core = build_allocating_core(hidden);
+        let mut step = 0usize;
+        allocating_step(&mut core, &state, step); // warm-up
+        let old_wall = best_of_3(reps, || {
+            allocating_step(&mut core, &state, step);
+            step += 1;
+        });
+
+        let (mut agent, mut rng) = build_quantized_agent(hidden);
+        let obs = transition(1);
+        let new_wall = best_of_3(reps, || quantized_step(&mut agent, &mut rng, &obs));
+
+        let old_sps = reps as f64 / old_wall;
+        let new_sps = reps as f64 / new_wall;
+        backend.push(BackendEntry {
+            hidden,
+            allocating_steps_per_second: old_sps,
+            quantized_steps_per_second: new_sps,
+            speedup: new_sps / old_sps,
+        });
+    }
+
+    let mut kernels = Vec::new();
+    let mut rng = SmallRng::seed_from_u64(9);
+    for n in [64usize, 128, 256] {
+        let reps = if n >= 256 { 8 } else { 64 };
+        let af = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+        let bf = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+        let aq: Vec<i32> = af
+            .as_slice()
+            .iter()
+            .map(|&v| Q20::from_f64(v).to_raw())
+            .collect();
+        let bq: Vec<i32> = bf
+            .as_slice()
+            .iter()
+            .map(|&v| Q20::from_f64(v).to_raw())
+            .collect();
+        let ops = 2.0 * (n as f64).powi(3);
+
+        let mut pack_f = Vec::new();
+        let mut out_f = Matrix::<f64>::zeros(n, n);
+        let f64_wall = best_of_3(reps, || {
+            af.matmul_packed_into(&bf, &mut pack_f, &mut out_f);
+            std::hint::black_box(out_f[(0, 0)]);
+        });
+
+        let mut pack_q = Vec::new();
+        let mut out_q = vec![0i32; n * n];
+        let q20_wall = best_of_3(reps, || {
+            matmul_packed_q_into::<20>(n, n, n, &aq, &bq, &mut pack_q, &mut out_q);
+            std::hint::black_box(out_q[0]);
+        });
+
+        let f64_gops = ops * reps as f64 / f64_wall / 1e9;
+        let q20_gops = ops * reps as f64 / q20_wall / 1e9;
+        kernels.push(KernelEntry {
+            n,
+            f64_gops,
+            q20_gops,
+            q20_vs_f64: q20_gops / f64_gops,
+        });
+    }
+
+    let trajectory = BenchTrajectory {
+        pr: 7,
+        benchmark: "quantized backend: FpgaAgent act+observe steps/sec vs the pre-PR-7 \
+                    allocating Matrix<Q20> core at hidden ∈ {64, 256}; packed Q20 vs f64 \
+                    matmul Gop/s at n ∈ {64, 128, 256}"
+            .to_string(),
+        host_available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        quantized_backend: backend,
+        kernel_throughput: kernels,
+    };
+    let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
+    std::fs::write(path, &json).expect("write BENCH_PR7.json");
+    eprintln!("wrote BENCH_PR7.json:\n{json}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_backend_steps, bench_kernel_throughput, write_trajectory
+}
+criterion_main!(benches);

@@ -128,8 +128,11 @@ pub(crate) fn elm_q_batch(
 /// allocations — the property the batched *training* hot path (Q-targets
 /// from the frozen target network, every tick) needs to stay allocation-free
 /// at E > 1, asserted by the counting-allocator test.
+///
+/// Public since PR 7: the FPGA agent evaluates its float target network
+/// through the same kernel, so its batched observe path shares this scratch.
 #[derive(Clone, Debug, Default)]
-pub(crate) struct BatchQScratch {
+pub struct BatchQScratch {
     /// `B × Ñ` — the shared `state·α_top` projection (scalar encoding).
     shared: Matrix<f64>,
     /// `(B·A) × Ñ` — pre-activations, activated in place into `H`; doubles
@@ -141,10 +144,17 @@ pub(crate) struct BatchQScratch {
     pub(crate) q: Matrix<f64>,
 }
 
-/// [`elm_q_batch`] through caller-owned workspaces — bit-for-bit identical
+impl BatchQScratch {
+    /// The `B × A` Q matrix left by the last [`elm_q_batch_into`] call.
+    pub fn q(&self) -> &Matrix<f64> {
+        &self.q
+    }
+}
+
+/// `elm_q_batch` through caller-owned workspaces — bit-for-bit identical
 /// (the allocating entry point delegates here), with the result left in
-/// `scratch.q` (`B × A`).
-pub(crate) fn elm_q_batch_into(
+/// `scratch.q` (`B × A`, readable via [`BatchQScratch::q`]).
+pub fn elm_q_batch_into(
     encoder: &StateActionEncoder,
     model: &ElmModel<f64>,
     states: &Matrix<f64>,

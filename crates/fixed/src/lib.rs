@@ -14,6 +14,11 @@
 //! on fixed-point data. That is exactly how the FPGA simulator in
 //! `elmrl-fpga` reproduces the numerical behaviour of the Verilog core.
 //!
+//! The [`kernels`] module is the *fast* form of the same arithmetic: raw-`i32`
+//! matmul/RLS kernels on caller-owned slices, bit-for-bit identical to the
+//! generic `Matrix<Fixed<FRAC>>` path (proptested), which is what lets the
+//! FPGA core run allocation-free at speed.
+//!
 //! ```
 //! use elmrl_fixed::Q20;
 //! use elmrl_linalg::Matrix;
@@ -35,5 +40,6 @@
 
 pub mod analysis;
 pub mod fixed;
+pub mod kernels;
 
 pub use fixed::{Fixed, Q16, Q20, Q24, Q8};

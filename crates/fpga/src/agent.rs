@@ -11,6 +11,7 @@
 
 use crate::core::{FpgaCore, FpgaCoreSnapshot, CPU_CLOCK_HZ};
 use elmrl_core::agent::{Agent, Observation};
+use elmrl_core::batch::{elm_q_batch_into, BatchQScratch};
 use elmrl_core::checkpoint::AgentSnapshot;
 use elmrl_core::clipping::TargetConfig;
 use elmrl_core::encoding::StateActionEncoder;
@@ -99,6 +100,32 @@ struct FpgaAgentState {
     simulated_cpu_seconds: f64,
 }
 
+/// Reusable host-side workspaces of the agent's hot paths: float target-Q
+/// evaluation, input encoding/quantisation and the quantised core I/O rows.
+/// Sized on first use and reused — act/observe steady state allocates
+/// nothing. Not part of the checkpoint (pure scratch).
+#[derive(Debug, Default)]
+struct AgentScratch {
+    /// Encoding workspace for one `(state, action)` input row.
+    enc: Vec<f64>,
+    /// `1 × state_dim` staging row for a scalar sequential update.
+    states: Matrix<f64>,
+    /// `B × state_dim` staging for a tick's gated next-states.
+    next_states: Matrix<f64>,
+    /// Float target-network batch evaluation workspaces.
+    tq: BatchQScratch,
+    /// Quantised input rows for the core (`B × (state_dim + 1)`).
+    xq: Matrix<Q20>,
+    /// Quantised target rows for the core (`B × 1`).
+    tgt: Matrix<Q20>,
+    /// Quantised core outputs (`B × 1`).
+    yq: Matrix<Q20>,
+    /// Per-action Q-values of the current state (float view).
+    q: Vec<f64>,
+    /// Indices of the gate-selected transitions of one tick.
+    selected: Vec<usize>,
+}
+
 /// The FPGA-backed OS-ELM-L2-Lipschitz agent (design 7).
 pub struct FpgaAgent {
     config: FpgaAgentConfig,
@@ -112,6 +139,7 @@ pub struct FpgaAgent {
     /// The programmable-logic core; present once initial training completed.
     core: Option<FpgaCore>,
     buffer: Vec<Observation>,
+    scratch: AgentScratch,
     ops: OpCounts,
     /// Simulated CPU seconds spent in initial training.
     simulated_cpu_seconds: f64,
@@ -130,6 +158,7 @@ impl FpgaAgent {
             target,
             core: None,
             buffer: Vec::with_capacity(config.hidden_dim),
+            scratch: AgentScratch::default(),
             ops: OpCounts::new(),
             simulated_cpu_seconds: 0.0,
             config,
@@ -177,19 +206,31 @@ impl FpgaAgent {
             .collect()
     }
 
-    fn core_q(&mut self, state: &[f64]) -> Vec<f64> {
-        let inputs = self.encoder.encode_all_actions(state);
-        let core = self
-            .core
-            .as_mut()
-            .expect("core_q called before initial training");
-        inputs
-            .iter()
-            .map(|input| {
-                let q: Vec<Q20> = input.iter().map(|&v| Q20::from_f64(v)).collect();
-                core.predict(&q)[0].to_f64()
-            })
-            .collect()
+    /// Q-values of every action of `state` through the quantised core,
+    /// written into `scratch.q`: all `A` encoded rows are quantised into one
+    /// stacked matrix and evaluated by a single [`FpgaCore::predict_batch_q`]
+    /// call — bit-for-bit the per-action `predict` loop (each stacked row is
+    /// accumulated independently) and charged identically (one `predict`
+    /// invocation per row). Allocation-free at steady state.
+    fn core_q_into(
+        encoder: &StateActionEncoder,
+        core: &mut FpgaCore,
+        scratch: &mut AgentScratch,
+        state: &[f64],
+    ) {
+        let a = encoder.num_actions();
+        scratch.xq.resize_zeroed(a, encoder.input_dim());
+        for action in 0..a {
+            encoder.encode_into(state, action, &mut scratch.enc);
+            for (j, &v) in scratch.enc.iter().enumerate() {
+                scratch.xq[(action, j)] = Q20::from_f64(v);
+            }
+        }
+        core.predict_batch_q(&scratch.xq, &mut scratch.yq);
+        scratch.q.clear();
+        for r in 0..a {
+            scratch.q.push(scratch.yq[(r, 0)].to_f64());
+        }
     }
 
     fn run_initial_training(&mut self) {
@@ -229,18 +270,39 @@ impl FpgaAgent {
         self.ops.record(OpKind::InitTrain, start.elapsed());
     }
 
+    /// One Q20 sequential update — allocation-free at steady state: the
+    /// float θ₂ Q-target comes from the batched target kernel
+    /// ([`elm_q_batch_into`], bit-for-bit the per-action `predict_single`
+    /// loop), and the core update goes through the B = 1 case of
+    /// [`FpgaCore::seq_train_batch_q`] (bit-identical to `seq_train`).
     fn run_sequential_update(&mut self, obs: &Observation) {
         let start = Instant::now();
-        let max_next = max_q(&self.target_q(&obs.next_state));
-        let target = self.config.target.target(obs.reward, max_next, obs.done);
-        let input = self.encoder.encode(&obs.state, obs.action);
-        let q_input: Vec<Q20> = input.iter().map(|&v| Q20::from_f64(v)).collect();
-        let core = self
-            .core
+        let Self {
+            config,
+            encoder,
+            target,
+            core,
+            scratch,
+            ops,
+            ..
+        } = self;
+        let core = core
             .as_mut()
             .expect("sequential update before initial training");
-        core.seq_train(&q_input, &[Q20::from_f64(target)]);
-        self.ops.record(OpKind::SeqTrain, start.elapsed());
+        scratch.states.resize_zeroed(1, config.state_dim);
+        scratch.states.set_row(0, &obs.next_state);
+        elm_q_batch_into(encoder, target, &scratch.states, &mut scratch.tq);
+        let max_next = max_q(scratch.tq.q().row(0));
+        let target_q = config.target.target(obs.reward, max_next, obs.done);
+        encoder.encode_into(&obs.state, obs.action, &mut scratch.enc);
+        scratch.xq.resize_zeroed(1, encoder.input_dim());
+        for (j, &v) in scratch.enc.iter().enumerate() {
+            scratch.xq[(0, j)] = Q20::from_f64(v);
+        }
+        scratch.tgt.resize_zeroed(1, 1);
+        scratch.tgt[(0, 0)] = Q20::from_f64(target_q);
+        core.seq_train_batch_q(&scratch.xq, &scratch.tgt);
+        ops.record(OpKind::SeqTrain, start.elapsed());
     }
 
     fn sync_target_from_core(&mut self) {
@@ -271,20 +333,21 @@ impl Agent for FpgaAgent {
 
     fn act(&mut self, state: &[f64], rng: &mut SmallRng) -> usize {
         let start = Instant::now();
-        let (q, kind) = if self.core.is_some() {
-            (self.core_q(state), OpKind::PredictSeq)
+        let kind = if let Some(core) = self.core.as_mut() {
+            Self::core_q_into(&self.encoder, core, &mut self.scratch, state);
+            OpKind::PredictSeq
         } else {
-            let q = self
-                .encoder
-                .encode_all_actions(state)
-                .iter()
-                .map(|input| self.cpu_learner.model().predict_single(input)[0])
-                .collect();
-            (q, OpKind::PredictInit)
+            self.scratch.q.clear();
+            for input in self.encoder.encode_all_actions(state) {
+                self.scratch
+                    .q
+                    .push(self.cpu_learner.model().predict_single(&input)[0]);
+            }
+            OpKind::PredictInit
         };
         self.ops
             .record_n(kind, self.config.num_actions as u64, start.elapsed());
-        self.policy.select(&q, rng)
+        self.policy.select(&self.scratch.q, rng)
     }
 
     fn observe(&mut self, obs: &Observation, rng: &mut SmallRng) {
@@ -320,8 +383,9 @@ impl Agent for FpgaAgent {
     }
 
     fn q_values(&mut self, state: &[f64]) -> Vec<f64> {
-        if self.core.is_some() {
-            self.core_q(state)
+        if let Some(core) = self.core.as_mut() {
+            Self::core_q_into(&self.encoder, core, &mut self.scratch, state);
+            self.scratch.q.clone()
         } else {
             self.encoder
                 .encode_all_actions(state)
@@ -363,11 +427,120 @@ impl Agent for FpgaAgent {
     }
 }
 
-/// The fixed-point core sequences scalar MACs to count PL cycles, so there
-/// is no wider matmul to batch into: the FPGA agent uses the trait's
-/// per-sample fallback, which routes every row through the cycle-accurate
-/// datapath exactly like scalar execution.
-impl elmrl_core::batch::BatchAgent for FpgaAgent {}
+/// Batched execution through the quantised core (PR 7). The cycle model is
+/// per-row (the hardware core is batch-size-1), so batching changes neither
+/// the simulated PL time nor any Q20 word — every override is bit-for-bit
+/// the per-sample fallback — but the host-side evaluation drops the
+/// per-call `Matrix`/`Vec` temporaries and runs the stacked integer kernels,
+/// which is what lets the FPGA design participate in `--train-envs` /
+/// population batching at full speed.
+impl elmrl_core::batch::BatchAgent for FpgaAgent {
+    /// One stacked `(B·A)`-row pass through the quantised core — bit-for-bit
+    /// equal to per-sample [`Agent::q_values`] (per-row accumulation, same
+    /// quantisation, same per-row cycle charges). Before initial training the
+    /// trait's per-sample fallback semantics apply (float CPU learner).
+    fn predict_batch(&mut self, states: &Matrix<f64>) -> Matrix<f64> {
+        if self.core.is_none() {
+            let rows: Vec<Vec<f64>> = (0..states.rows())
+                .map(|i| self.q_values(states.row(i)))
+                .collect();
+            return Matrix::from_rows(&rows);
+        }
+        let b = states.rows();
+        let a = self.config.num_actions;
+        let Self {
+            encoder,
+            core,
+            scratch,
+            ..
+        } = self;
+        let core = core.as_mut().expect("checked above");
+        scratch.xq.resize_zeroed(b * a, encoder.input_dim());
+        for i in 0..b {
+            for action in 0..a {
+                encoder.encode_into(states.row(i), action, &mut scratch.enc);
+                let r = i * a + action;
+                for (j, &v) in scratch.enc.iter().enumerate() {
+                    scratch.xq[(r, j)] = Q20::from_f64(v);
+                }
+            }
+        }
+        core.predict_batch_q(&scratch.xq, &mut scratch.yq);
+        Matrix::from_fn(b, a, |i, j| scratch.yq[(i * a + j, 0)].to_f64())
+    }
+
+    /// ε-greedy for one packed state row. [`Agent::act`] already evaluates
+    /// all `A` actions through one batched core call and records the same
+    /// counters, so delegation *is* the batched path.
+    fn act_row(&mut self, state_row: &Matrix<f64>, rng: &mut SmallRng) -> usize {
+        self.act(state_row.row(0), rng)
+    }
+
+    /// One engine tick's transitions through the quantised core — the same
+    /// structure as `OsElmQNet::observe_batch`: the random-update rule draws
+    /// one gate per transition upfront (updates consume no RNG, so the draw
+    /// sequence matches the scalar path), every surviving transition's
+    /// Q-target comes from a single batched float pass through the frozen θ₂
+    /// ([`elm_q_batch_into`], bit-for-bit the scalar evaluation), and the
+    /// chunk runs as `B` *sequential* Q20 RLS updates in row order inside
+    /// [`FpgaCore::seq_train_batch_q`] — the hardware update is batch-size-1,
+    /// so unlike the float designs the batched learning trajectory is
+    /// **bit-identical** to the per-sample fallback, at batch speed.
+    fn observe_batch(&mut self, batch: &[Observation], rng: &mut SmallRng) {
+        // Store phase: transitions fill buffer D through the scalar path
+        // until initial training has run (fires mid-batch at most once).
+        let mut start = 0;
+        while start < batch.len() && self.core.is_none() {
+            self.observe(&batch[start], rng);
+            start += 1;
+        }
+        let rest = &batch[start..];
+        if rest.is_empty() {
+            return;
+        }
+        let mut selected = std::mem::take(&mut self.scratch.selected);
+        selected.clear();
+        for i in 0..rest.len() {
+            if rng.gen_range(0.0..1.0) < self.config.update_prob {
+                selected.push(i);
+            }
+        }
+        if !selected.is_empty() {
+            let started = Instant::now();
+            let b = selected.len();
+            let Self {
+                config,
+                encoder,
+                target,
+                core,
+                scratch,
+                ops,
+                ..
+            } = self;
+            let core = core.as_mut().expect("core loaded in the store phase");
+            scratch.next_states.resize_zeroed(b, config.state_dim);
+            for (r, &i) in selected.iter().enumerate() {
+                scratch.next_states.set_row(r, &rest[i].next_state);
+            }
+            elm_q_batch_into(encoder, target, &scratch.next_states, &mut scratch.tq);
+            scratch.xq.resize_zeroed(b, encoder.input_dim());
+            scratch.tgt.resize_zeroed(b, 1);
+            for (r, &i) in selected.iter().enumerate() {
+                let obs = &rest[i];
+                encoder.encode_into(&obs.state, obs.action, &mut scratch.enc);
+                for (j, &v) in scratch.enc.iter().enumerate() {
+                    scratch.xq[(r, j)] = Q20::from_f64(v);
+                }
+                let max_next = max_q(scratch.tq.q().row(r));
+                scratch.tgt[(r, 0)] =
+                    Q20::from_f64(config.target.target(obs.reward, max_next, obs.done));
+            }
+            core.seq_train_batch_q(&scratch.xq, &scratch.tgt);
+            ops.record_n(OpKind::SeqTrain, b as u64, started.elapsed());
+        }
+        self.scratch.selected = selected;
+    }
+}
 
 #[cfg(test)]
 #[allow(deprecated)] // the cartpole() shims must keep working for seed tests

@@ -7,7 +7,18 @@
 //! [`Q20`] values (so rounding and saturation behave like the hardware) and
 //! charges one clock cycle per scalar multiply–accumulate, plus a fixed
 //! latency per division and per memory-transfer burst.
+//!
+//! Since PR 7 the behavioural model runs on the raw-`i32` integer kernels of
+//! [`elmrl_fixed::kernels`]: the BRAM banks are flat `Vec<i32>` words and all
+//! per-call temporaries live in a persistent `FpgaScratch`, so the steady
+//! state allocates nothing. The arithmetic is **bit-for-bit identical** to
+//! the original generic `Matrix<Q20>` implementation (proptested in
+//! `elmrl-fixed`), and the cycle model and [`FpgaCoreSnapshot`] wire format
+//! are unchanged.
 
+use elmrl_fixed::kernels::{
+    bias_relu_q_into, matmul_packed_q_into, matmul_q_into, seq_train_q_into, RlsScratch,
+};
 use elmrl_fixed::Q20;
 use elmrl_linalg::Matrix;
 use serde::{Deserialize, Serialize};
@@ -65,15 +76,60 @@ impl CycleCounts {
     }
 }
 
-/// The fixed-point OS-ELM core: `α`, `b`, `β`, `P` held in Q20, batch-size-1
-/// prediction and sequential training, with per-call cycle accounting.
+/// Persistent per-core workspaces: quantised inputs, stacked hidden rows,
+/// outputs/targets and the RLS vectors, all raw Q20 words. Sized on first use
+/// and reused for every subsequent call — the steady state never allocates.
+#[derive(Clone, Debug, Default)]
+struct FpgaScratch {
+    /// Quantised input rows (B×n).
+    x: Vec<i32>,
+    /// Hidden activations (B×Ñ).
+    h: Vec<i32>,
+    /// Output rows (B×m).
+    y: Vec<i32>,
+    /// Target rows (B×m).
+    t: Vec<i32>,
+    /// Panel-packing buffer of the packed matmul kernel.
+    pack: Vec<i32>,
+    /// Workspaces + cross-call `max|P|` bound of the fused RLS kernel.
+    rls: RlsScratch,
+}
+
+/// The fixed-point OS-ELM core: `α`, `b`, `β`, `P` held as raw Q20 words in
+/// flat BRAM-like banks, batch-size-1 prediction and sequential training on
+/// the integer kernels, with per-call cycle accounting.
 #[derive(Clone, Debug)]
 pub struct FpgaCore {
-    alpha: Matrix<Q20>,
-    bias: Matrix<Q20>,
-    beta: Matrix<Q20>,
-    p: Matrix<Q20>,
+    /// Input dimensionality `n`.
+    n: usize,
+    /// Hidden width `Ñ`.
+    nh: usize,
+    /// Output width `m`.
+    m: usize,
+    /// Input projection `α` (n×Ñ), raw Q20 words.
+    alpha: Vec<i32>,
+    /// Hidden bias `b` (Ñ), raw Q20 words.
+    bias: Vec<i32>,
+    /// Output weights `β` (Ñ×m), raw Q20 words.
+    beta: Vec<i32>,
+    /// RLS covariance `P` (Ñ×Ñ), raw Q20 words.
+    p: Vec<i32>,
     cycles: CycleCounts,
+    scratch: FpgaScratch,
+}
+
+/// Quantise a float matrix into raw Q20 words, row-major — the same
+/// element-wise `Q20::from_f64` that `Matrix::cast` performs.
+fn quantize_raws(m: &Matrix<f64>) -> Vec<i32> {
+    m.as_slice()
+        .iter()
+        .map(|&v| Q20::from_f64(v).to_raw())
+        .collect()
+}
+
+/// Extract the raw words of a Q20 matrix, row-major.
+fn matrix_raws(m: &Matrix<Q20>) -> Vec<i32> {
+    m.as_slice().iter().map(|q| q.to_raw()).collect()
 }
 
 impl FpgaCore {
@@ -93,27 +149,31 @@ impl FpgaCore {
         assert_eq!(p.rows(), p.cols(), "P must be square");
         assert_eq!(p.rows(), alpha.cols(), "P/α width mismatch");
         Self {
-            alpha: alpha.cast(),
-            bias: bias.cast(),
-            beta: beta.cast(),
-            p: p.cast(),
+            n: alpha.rows(),
+            nh: alpha.cols(),
+            m: beta.cols(),
+            alpha: quantize_raws(alpha),
+            bias: quantize_raws(bias),
+            beta: quantize_raws(beta),
+            p: quantize_raws(p),
             cycles: CycleCounts::default(),
+            scratch: FpgaScratch::default(),
         }
     }
 
     /// Input dimensionality `n`.
     pub fn input_dim(&self) -> usize {
-        self.alpha.rows()
+        self.n
     }
 
     /// Hidden width `Ñ`.
     pub fn hidden_dim(&self) -> usize {
-        self.alpha.cols()
+        self.nh
     }
 
     /// Output width `m`.
     pub fn output_dim(&self) -> usize {
-        self.beta.cols()
+        self.m
     }
 
     /// Accumulated cycle counters.
@@ -121,23 +181,27 @@ impl FpgaCore {
         &self.cycles
     }
 
-    /// Borrow the fixed-point `β` (diagnostics / tests).
-    pub fn beta(&self) -> &Matrix<Q20> {
-        &self.beta
+    /// The fixed-point `β` as a matrix (diagnostics / tests / target sync).
+    pub fn beta(&self) -> Matrix<Q20> {
+        Matrix::from_fn(self.nh, self.m, |i, j| {
+            Q20::from_raw(self.beta[i * self.m + j])
+        })
     }
 
-    /// Borrow the fixed-point `P` (diagnostics / tests).
-    pub fn p(&self) -> &Matrix<Q20> {
-        &self.p
+    /// The fixed-point `P` as a matrix (diagnostics / tests).
+    pub fn p(&self) -> Matrix<Q20> {
+        Matrix::from_fn(self.nh, self.nh, |i, j| {
+            Q20::from_raw(self.p[i * self.nh + j])
+        })
     }
 
     /// Cycle cost of one `predict` call for the core's dimensions:
     /// `n·Ñ` MACs for `x·α`, `Ñ` bias adds, `Ñ` ReLU selects and `Ñ·m` MACs
     /// for `H·β`, all serialised through the single arithmetic unit.
     pub fn predict_cycle_cost(&self) -> u64 {
-        let n = self.input_dim() as u64;
-        let h = self.hidden_dim() as u64;
-        let m = self.output_dim() as u64;
+        let n = self.n as u64;
+        let h = self.nh as u64;
+        let m = self.m as u64;
         INVOCATION_OVERHEAD + n * h + 2 * h + h * m
     }
 
@@ -145,9 +209,9 @@ impl FpgaCore {
     /// matrix–vector products with `P`, the scalar reciprocal, the rank-1
     /// `P` downdate (2·Ñ²) and the `β` update.
     pub fn seq_train_cycle_cost(&self) -> u64 {
-        let n = self.input_dim() as u64;
-        let h = self.hidden_dim() as u64;
-        let m = self.output_dim() as u64;
+        let n = self.n as u64;
+        let h = self.nh as u64;
+        let m = self.m as u64;
         INVOCATION_OVERHEAD
             + n * h          // hidden pre-activation
             + 2 * h          // bias + ReLU
@@ -158,85 +222,138 @@ impl FpgaCore {
             + h * m + h // β update
     }
 
-    /// Hidden-layer activation of one sample (ReLU in Q20).
-    fn hidden(&self, x: &[Q20]) -> Matrix<Q20> {
-        assert_eq!(x.len(), self.input_dim(), "input width mismatch");
-        let xm = Matrix::row_from_slice(x);
-        let mut pre = xm.matmul(&self.alpha);
-        for c in 0..pre.cols() {
-            pre[(0, c)] += self.bias[(0, c)];
-            if pre[(0, c)] < Q20::ZERO {
-                pre[(0, c)] = Q20::ZERO;
-            }
-        }
-        pre
+    /// Quantised-input load: copy `rows` input rows' raw words into the
+    /// scratch `x` bank. Reuses capacity — no steady-state allocation.
+    fn load_x(&mut self, raws: impl Iterator<Item = i32>) {
+        self.scratch.x.clear();
+        self.scratch.x.extend(raws);
+    }
+
+    /// Hidden-layer activation of `rows` stacked samples (ReLU in Q20):
+    /// packed integer matmul + bias/ReLU epilogue into the scratch `h` bank.
+    /// Bit-identical to the generic per-sample `x·α` path.
+    fn hidden_batch(&mut self, rows: usize) {
+        debug_assert_eq!(self.scratch.x.len(), rows * self.n);
+        let FpgaScratch { x, h, pack, .. } = &mut self.scratch;
+        h.resize(rows * self.nh, 0);
+        matmul_packed_q_into::<20>(rows, self.n, self.nh, x, &self.alpha, pack, h);
+        bias_relu_q_into(rows, self.nh, &self.bias, h);
     }
 
     /// `predict` module: Q-value of one `(state, action)` input.
     pub fn predict(&mut self, x: &[Q20]) -> Vec<Q20> {
-        let h = self.hidden(x);
-        let y = h.matmul(&self.beta);
+        assert_eq!(x.len(), self.n, "input width mismatch");
+        self.load_x(x.iter().map(|q| q.to_raw()));
+        self.hidden_batch(1);
+        let FpgaScratch { h, y, .. } = &mut self.scratch;
+        y.resize(self.m, 0);
+        matmul_q_into::<20>(1, self.nh, self.m, h, &self.beta, y);
         self.cycles.predict_cycles += self.predict_cycle_cost();
         self.cycles.predict_calls += 1;
-        y.row(0).to_vec()
+        self.scratch.y.iter().map(|&r| Q20::from_raw(r)).collect()
+    }
+
+    /// Batched `predict`: Q-values of `B` stacked quantised input rows,
+    /// written into `out` (`B×m`, resized as needed). Each row costs exactly
+    /// one `predict` invocation in the cycle model — the hardware core is
+    /// batch-size-1, so batching is a host-side loop over the same module.
+    pub fn predict_batch_q(&mut self, xs: &Matrix<Q20>, out: &mut Matrix<Q20>) {
+        assert_eq!(xs.cols(), self.n, "input width mismatch");
+        let rows = xs.rows();
+        self.load_x(xs.as_slice().iter().map(|q| q.to_raw()));
+        self.hidden_batch(rows);
+        let FpgaScratch { h, y, pack, .. } = &mut self.scratch;
+        y.resize(rows * self.m, 0);
+        matmul_packed_q_into::<20>(rows, self.nh, self.m, h, &self.beta, pack, y);
+        out.resize_zeroed(rows, self.m);
+        for (o, &r) in out.as_mut_slice().iter_mut().zip(self.scratch.y.iter()) {
+            *o = Q20::from_raw(r);
+        }
+        self.cycles.predict_cycles += self.predict_cycle_cost() * rows as u64;
+        self.cycles.predict_calls += rows as u64;
     }
 
     /// `seq_train` module: one batch-size-1 OS-ELM update in Q20.
     pub fn seq_train(&mut self, x: &[Q20], target: &[Q20]) {
-        assert_eq!(target.len(), self.output_dim(), "target width mismatch");
-        let nh = self.hidden_dim();
-        let m = self.output_dim();
-        let h = self.hidden(x);
-
-        // ph = P·hᵀ, hp = h·P, denom = 1 + h·P·hᵀ
-        let ph = self.p.matmul_t(&h);
-        let hp = h.matmul(&self.p);
-        let mut denom = Q20::ONE;
-        for i in 0..nh {
-            denom += h[(0, i)] * ph[(i, 0)];
-        }
-        let inv_denom = Q20::ONE / denom;
-
-        // P ← P − (ph·hp)/denom
-        for r in 0..nh {
-            let scale = ph[(r, 0)] * inv_denom;
-            for c in 0..nh {
-                let sub = scale * hp[(0, c)];
-                self.p[(r, c)] -= sub;
-            }
-        }
-
-        // β ← β + (P_new·hᵀ)·(t − h·β)
-        let pred = h.matmul(&self.beta);
-        let ph_new = self.p.matmul_t(&h);
-        for r in 0..nh {
-            for c in 0..m {
-                let add = ph_new[(r, 0)] * (target[c] - pred[(0, c)]);
-                self.beta[(r, c)] += add;
-            }
-        }
-
+        assert_eq!(x.len(), self.n, "input width mismatch");
+        assert_eq!(target.len(), self.m, "target width mismatch");
+        self.load_x(x.iter().map(|q| q.to_raw()));
+        self.hidden_batch(1);
+        self.scratch.t.clear();
+        self.scratch.t.extend(target.iter().map(|q| q.to_raw()));
+        self.run_rls_rows(1);
         self.cycles.seq_train_cycles += self.seq_train_cycle_cost();
         self.cycles.seq_train_calls += 1;
+    }
+
+    /// Batched `seq_train`: `B` sequential batch-size-1 OS-ELM updates over
+    /// stacked quantised inputs/targets, in row order. Bit-identical to `B`
+    /// separate [`FpgaCore::seq_train`] calls (the hidden stage depends only
+    /// on the frozen `α`/`b`, so hoisting it out of the update loop preserves
+    /// every intermediate), and charged identically: one `seq_train`
+    /// invocation per row.
+    pub fn seq_train_batch_q(&mut self, xs: &Matrix<Q20>, targets: &Matrix<Q20>) {
+        assert_eq!(xs.cols(), self.n, "input width mismatch");
+        assert_eq!(targets.cols(), self.m, "target width mismatch");
+        assert_eq!(xs.rows(), targets.rows(), "input/target batch mismatch");
+        let rows = xs.rows();
+        self.load_x(xs.as_slice().iter().map(|q| q.to_raw()));
+        self.hidden_batch(rows);
+        self.scratch.t.clear();
+        self.scratch
+            .t
+            .extend(targets.as_slice().iter().map(|q| q.to_raw()));
+        self.run_rls_rows(rows);
+        self.cycles.seq_train_cycles += self.seq_train_cycle_cost() * rows as u64;
+        self.cycles.seq_train_calls += rows as u64;
+    }
+
+    /// Run the fused RLS update for each of `rows` hidden/target rows already
+    /// staged in scratch, sequentially in row order.
+    fn run_rls_rows(&mut self, rows: usize) {
+        let Self {
+            nh,
+            m,
+            beta,
+            p,
+            scratch,
+            ..
+        } = self;
+        let FpgaScratch { h, t, rls, .. } = scratch;
+        for r in 0..rows {
+            seq_train_q_into::<20>(
+                *nh,
+                *m,
+                &h[r * *nh..(r + 1) * *nh],
+                &t[r * *m..(r + 1) * *m],
+                p,
+                beta,
+                rls,
+            );
+        }
     }
 
     /// Overwrite `β` and `P` from float values — used when the CPU re-runs an
     /// initial training after a reset and pushes fresh state to the PL.
     pub fn reload_from_f64(&mut self, beta: &Matrix<f64>, p: &Matrix<f64>) {
-        assert_eq!(beta.shape(), (self.hidden_dim(), self.output_dim()));
-        assert_eq!(p.shape(), (self.hidden_dim(), self.hidden_dim()));
-        self.beta = beta.cast();
-        self.p = p.cast();
+        assert_eq!(beta.shape(), (self.nh, self.m));
+        assert_eq!(p.shape(), (self.nh, self.nh));
+        self.beta = quantize_raws(beta);
+        self.p = quantize_raws(p);
+        // P changed outside the kernel — its magnitude bound is stale.
+        self.scratch.rls.invalidate();
     }
 
     /// Capture the complete BRAM contents (raw Q20 words of `α`, `b`, `β`,
     /// `P`) plus the cycle counters for checkpointing.
     pub fn snapshot(&self) -> FpgaCoreSnapshot {
         FpgaCoreSnapshot {
-            alpha: self.alpha.clone(),
-            bias: self.bias.clone(),
-            beta: self.beta.clone(),
-            p: self.p.clone(),
+            alpha: Matrix::from_fn(self.n, self.nh, |i, j| {
+                Q20::from_raw(self.alpha[i * self.nh + j])
+            }),
+            bias: Matrix::from_fn(1, self.nh, |_, j| Q20::from_raw(self.bias[j])),
+            beta: self.beta(),
+            p: self.p(),
             cycles: self.cycles,
         }
     }
@@ -245,11 +362,15 @@ impl FpgaCore {
     /// raw, so no quantisation happens on the way back in.
     pub fn from_snapshot(s: &FpgaCoreSnapshot) -> Self {
         Self {
-            alpha: s.alpha.clone(),
-            bias: s.bias.clone(),
-            beta: s.beta.clone(),
-            p: s.p.clone(),
+            n: s.alpha.rows(),
+            nh: s.alpha.cols(),
+            m: s.beta.cols(),
+            alpha: matrix_raws(&s.alpha),
+            bias: matrix_raws(&s.bias),
+            beta: matrix_raws(&s.beta),
+            p: matrix_raws(&s.p),
             cycles: s.cycles,
+            scratch: FpgaScratch::default(),
         }
     }
 }
@@ -355,6 +476,37 @@ mod tests {
         let yf = os.predict_single(&x)[0];
         let yq = core.predict(&to_q20(&x))[0].to_f64();
         assert!((yf - yq).abs() < 5e-2, "prediction drift: {yf} vs {yq}");
+    }
+
+    #[test]
+    fn batched_calls_match_sequential_calls_bit_for_bit() {
+        let (_, mut seq_core) = float_and_fixed(16, 7);
+        let mut batch_core = seq_core.clone();
+        let b = 6;
+        let xs = Matrix::<Q20>::from_fn(b, 5, |i, j| {
+            Q20::from_f64(((i * 5 + j) as f64 * 0.173).sin() * 0.4)
+        });
+        let ts = Matrix::<Q20>::from_fn(b, 1, |i, _| {
+            Q20::from_f64(if i % 2 == 0 { -0.5 } else { 0.25 })
+        });
+
+        // predict_batch_q row r == predict(row r), same cycle charges.
+        let mut out = Matrix::<Q20>::default();
+        batch_core.predict_batch_q(&xs, &mut out);
+        for r in 0..b {
+            let y = seq_core.predict(xs.row(r));
+            assert_eq!(out.row(r), &y[..], "predict row {r}");
+        }
+        assert_eq!(batch_core.cycles(), seq_core.cycles());
+
+        // seq_train_batch_q == B sequential seq_train calls, bit for bit.
+        batch_core.seq_train_batch_q(&xs, &ts);
+        for r in 0..b {
+            seq_core.seq_train(xs.row(r), ts.row(r));
+        }
+        assert_eq!(batch_core.beta(), seq_core.beta());
+        assert_eq!(batch_core.p(), seq_core.p());
+        assert_eq!(batch_core.cycles(), seq_core.cycles());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Counting-allocator proof of the PR-7 quantized hot-path contract: once
+//! the FPGA agent's initial training has loaded the Q20 core and every
+//! workspace has reached steady size, a training step (`act` + `observe`
+//! with the update gate forced open) performs **zero heap allocations** —
+//! no per-call `Matrix<Q20>` temporaries, no per-action encoding vectors,
+//! no quantisation buffers.
+//!
+//! The counter is scoped to the **measuring thread** through a
+//! const-initialised thread-local flag: libtest's harness threads allocate
+//! concurrently (event plumbing, output capture), and a process-global
+//! counter would intermittently pick those up and fail the zero assert.
+//! Only allocations made while this test's own thread holds the flag are
+//! counted.
+
+use elmrl_core::agent::{Agent, Observation};
+use elmrl_fpga::{FpgaAgent, FpgaAgentConfig};
+use elmrl_gym::Workload;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts (re)allocations made by threads
+/// that have opted in via [`COUNTING`].
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+std::thread_local! {
+    /// Whether the current thread's allocations are being counted. The
+    /// `const` initialiser guarantees first access performs no lazy-init
+    /// allocation (which would recurse into the allocator).
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_if_measuring() {
+    // `try_with`: a thread past TLS destruction must not panic inside alloc.
+    let _ = COUNTING.try_with(|flag| {
+        if flag.get() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+// An allocator is inherently unsafe plumbing; this one only forwards to the
+// system allocator and bumps a counter on opted-in threads.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_measuring();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_measuring();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn transition(i: usize) -> Observation {
+    Observation {
+        state: vec![0.01 * i as f64, -0.02, 0.03, 0.01 * (i % 5) as f64],
+        action: i % 2,
+        reward: if i % 7 == 0 { -1.0 } else { 0.0 },
+        next_state: vec![0.01 * i as f64 + 0.005, -0.01, 0.02, 0.01],
+        done: i % 7 == 0,
+        truncated: false,
+    }
+}
+
+#[test]
+fn steady_state_quantized_training_step_allocates_nothing() {
+    let spec = Workload::CartPole.spec();
+    let mut config = FpgaAgentConfig::for_workload(&spec, 16);
+    config.update_prob = 1.0; // every observe performs the Q20 RLS update
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut agent = FpgaAgent::new(config, &mut rng);
+
+    // Store phase: fill buffer D with Ñ distinct samples → initial training
+    // on the CPU learner, then the AXI load of the Q20 core.
+    for i in 0..16 {
+        agent.observe(&transition(i), &mut rng);
+    }
+    assert!(agent.core_loaded());
+
+    // One reusable transition; the steady-state loop must not clone it.
+    let obs = Observation {
+        state: vec![0.02, -0.01, 0.04, 0.03],
+        action: 1,
+        reward: -1.0,
+        next_state: vec![0.03, -0.02, 0.03, 0.02],
+        done: true,
+        truncated: false,
+    };
+
+    // Warm-up: let every workspace (core scratch banks, encoding buffers,
+    // target-Q matrices, op-counter map nodes) reach its steady capacity.
+    for _ in 0..32 {
+        let action = agent.act(&obs.state, &mut rng);
+        std::hint::black_box(action);
+        agent.observe(&obs, &mut rng);
+    }
+
+    COUNTING.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..256 {
+        let action = agent.act(&obs.state, &mut rng);
+        std::hint::black_box(action);
+        agent.observe(&obs, &mut rng);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|flag| flag.set(false));
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state quantized act+observe must not allocate ({} allocations over 256 steps)",
+        after - before
+    );
+}
+
+#[test]
+fn steady_state_quantized_batched_tick_allocates_nothing() {
+    // The batched form of the same contract: a B > 1 engine tick through
+    // `observe_batch` — gating, the packed next-state matrix, the batched
+    // float target forward, quantisation, and B sequential Q20 RLS updates
+    // through `seq_train_batch_q` — is also allocation-free at steady state.
+    use elmrl_core::batch::BatchAgent;
+
+    let spec = Workload::CartPole.spec();
+    let mut config = FpgaAgentConfig::for_workload(&spec, 16);
+    config.update_prob = 1.0;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut agent = FpgaAgent::new(config, &mut rng);
+
+    let tick: Vec<Observation> = (0..4).map(transition).collect();
+
+    // Store phase (4 ticks fill buffer D with Ñ = 16 samples) + warm-up so
+    // every workspace reaches steady capacity.
+    for _ in 0..32 {
+        agent.observe_batch(&tick, &mut rng);
+    }
+    assert!(agent.core_loaded());
+
+    COUNTING.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..256 {
+        agent.observe_batch(&tick, &mut rng);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|flag| flag.set(false));
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state quantized batched tick must not allocate ({} allocations over 256 ticks)",
+        after - before
+    );
+}

@@ -1,7 +1,8 @@
-//! Run the DESIGN.md ablations (A1 stabilisation techniques, A2 precision)
-//! on any registered workload — or on **all** of them (`--workload all`),
-//! which writes one `results/<slug>/ablation_*.json` set per workload so
-//! `summary` can fold them into the cross-workload stabilisation table.
+//! Run the DESIGN.md ablations (A1 stabilisation techniques, A2 precision,
+//! A3 arithmetic backend) on any registered workload — or on **all** of them
+//! (`--workload all`), which writes one `results/<slug>/ablation_*.json` set
+//! per workload so `summary` can fold them into the cross-workload
+//! stabilisation table.
 //!
 //! Run `ablation --help` for the flag list. The ablations are single-trial
 //! and use a single hidden size — the first entry of `--hidden` (the legacy
@@ -12,9 +13,9 @@ use elmrl_harness::{ablation, cli, env_usize, report};
 fn main() {
     let args = cli::parse_or_exit(
         "ablation",
-        "DESIGN.md ablations: A1 stabilisation techniques, A2 precision \
-         (single-trial, single hidden size; --trials is ignored; \
-         --workload all loops over the whole registry)",
+        "DESIGN.md ablations: A1 stabilisation techniques, A2 precision, \
+         A3 arithmetic backend (single-trial, single hidden size; --trials \
+         is ignored; --workload all loops over the whole registry)",
         &cli::CliDefaults {
             trials: 1,
             episodes: 600,
@@ -46,7 +47,17 @@ fn main() {
         );
         let a2 =
             ablation::precision_ablation_with(workload, args.workload_options(), hidden, args.seed);
-        let md = ablation::to_markdown(&a1, &a2);
+        let a3 = ablation::backend_ablation_with(
+            workload,
+            args.workload_options(),
+            hidden,
+            args.episodes,
+            args.seed,
+            args.train_envs,
+        );
+        let mut md = ablation::to_markdown(&a1, &a2);
+        md.push('\n');
+        md.push_str(&ablation::backend_to_markdown(&a3));
         println!("# Ablations ({workload})\n\n{md}");
         // Under --workload all, an explicit --out becomes the root of one
         // subdirectory per workload; a single workload keeps writing to
@@ -63,6 +74,7 @@ fn main() {
         };
         report::write_json(&dir, "ablation_a1.json", &a1).expect("write ablation_a1.json");
         report::write_json(&dir, "ablation_a2.json", &a2).expect("write ablation_a2.json");
+        report::write_json(&dir, "ablation_a3.json", &a3).expect("write ablation_a3.json");
         report::write_text(&dir, "ablation.md", &md).expect("write ablation.md");
         eprintln!("wrote {}/ablation.{{md,json}}", dir.display());
     }

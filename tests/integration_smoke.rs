@@ -131,6 +131,42 @@ fn every_design_trains_on_acrobot_deterministically() {
 }
 
 #[test]
+fn fpga_design_trains_at_the_papers_bram_limit() {
+    // hidden = 256 is the paper's BRAM capacity bound (§4.2) and the width
+    // the quantized-backend speedup is gated on; Pendulum's fixed 200-step
+    // episodes guarantee the 256-sample store phase completes and the Q20
+    // core then runs real predict/seq_train work at that width.
+    let spec =
+        TrialSpec::for_workload(Workload::Pendulum, Design::Fpga, 256, SEED).with_max_episodes(2);
+    let result = run_trial(&spec);
+    assert_eq!(result.training.design, "FPGA");
+    assert_eq!(result.training.episodes_run, 2);
+    assert_eq!(result.training.total_steps, 2 * 200);
+    for (episode, ret) in result.training.stats.returns.iter().enumerate() {
+        assert!(
+            ret.is_finite() && (-16.4 * 200.0..=0.0).contains(ret),
+            "episode {episode} return {ret} outside Pendulum bounds"
+        );
+    }
+    // The quantised core must have been loaded (store phase = 256 samples)
+    // and charged simulated PL cycles for the post-init steps.
+    let (predict_s, seq_train_s, init_s) = result
+        .fpga_simulated_seconds
+        .expect("FPGA trial reports simulated device seconds");
+    assert!(predict_s > 0.0, "no simulated predict cycles at Ñ = 256");
+    assert!(init_s > 0.0, "no simulated initial-training seconds");
+    assert!(
+        seq_train_s > predict_s,
+        "seq_train (2Ñ² per update) must dominate predict at Ñ = 256: {seq_train_s} vs {predict_s}"
+    );
+
+    // Fixed seed ⇒ bit-identical replay through the quantized datapath.
+    let again = run_trial(&spec);
+    assert_eq!(result.training.stats.returns, again.training.stats.returns);
+    assert_eq!(result.training.total_steps, again.training.total_steps);
+}
+
+#[test]
 fn population_engine_runs_through_the_facade() {
     use elm_rl::population::{PopulationConfig, PopulationRunner};
 
