@@ -149,6 +149,7 @@ impl RunCheckpoint {
 
     /// Write the checkpoint to a file as JSON.
     pub fn save(&self, path: &Path) -> Result<(), String> {
+        let _span = elmrl_telemetry::hist!("checkpoint.save").span();
         let json = self
             .to_json()
             .map_err(|e| format!("serialising checkpoint: {e}"))?;
@@ -157,6 +158,7 @@ impl RunCheckpoint {
 
     /// Read a checkpoint back from a JSON file.
     pub fn load(path: &Path) -> Result<Self, String> {
+        let _span = elmrl_telemetry::hist!("checkpoint.load").span();
         let json = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
         Self::from_json(&json)

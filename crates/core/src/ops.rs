@@ -7,9 +7,20 @@
 //! baseline. Every agent in this crate counts how many times it performs each
 //! class (and with what hidden size), so the harness can either report
 //! measured wall-clock per class or apply the Cortex-A9 / FPGA cost model.
+//!
+//! Since PR 8 there is **one metrics path**: every `record`/`record_n` also
+//! forwards to the global [`elmrl_telemetry`] registry (histogram
+//! `op.<label>`), so a live run's per-module latency table and the
+//! per-trial artefact counters come from the same call sites. The local
+//! per-agent maps are kept — they are what gets serialised into agent
+//! snapshots and [`crate::trainer::TrainingResult`] — which makes this type
+//! a thin adapter over the registry, not a second bookkeeping system.
+//! Forwarding is a no-op while telemetry is disabled and never perturbs the
+//! recorded values, RNG streams or artefact bytes.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// The operation classes of Figures 5 and 6.
@@ -57,6 +68,39 @@ impl OpKind {
             OpKind::Predict32,
         ]
     }
+
+    /// The registry name of this class's latency histogram (`op.<label>`).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            OpKind::PredictInit => "op.predict_init",
+            OpKind::PredictSeq => "op.predict_seq",
+            OpKind::InitTrain => "op.init_train",
+            OpKind::SeqTrain => "op.seq_train",
+            OpKind::TrainDqn => "op.train_DQN",
+            OpKind::Predict1 => "op.predict_1",
+            OpKind::Predict32 => "op.predict_32",
+        }
+    }
+}
+
+/// The global latency histogram of an operation class. Handles are resolved
+/// once and cached (index = declaration order of [`OpKind`]), so the hot
+/// record path never touches the registry lock.
+fn op_histogram(kind: OpKind) -> &'static elmrl_telemetry::Histogram {
+    static TABLE: OnceLock<[&'static elmrl_telemetry::Histogram; 7]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        [
+            OpKind::PredictInit,
+            OpKind::PredictSeq,
+            OpKind::InitTrain,
+            OpKind::SeqTrain,
+            OpKind::TrainDqn,
+            OpKind::Predict1,
+            OpKind::Predict32,
+        ]
+        .map(|k| elmrl_telemetry::histogram(k.metric_name()))
+    });
+    table[kind as usize]
 }
 
 /// Counts and accumulated wall-clock time per operation class.
@@ -77,12 +121,18 @@ impl OpCounts {
     pub fn record(&mut self, kind: OpKind, elapsed: Duration) {
         *self.counts.entry(kind).or_insert(0) += 1;
         *self.nanos.entry(kind).or_insert(0) += elapsed.as_nanos();
+        if elmrl_telemetry::enabled() {
+            op_histogram(kind).record_duration(elapsed);
+        }
     }
 
     /// Record `n` occurrences at once (used by batch operations).
     pub fn record_n(&mut self, kind: OpKind, n: u64, elapsed: Duration) {
         *self.counts.entry(kind).or_insert(0) += n;
         *self.nanos.entry(kind).or_insert(0) += elapsed.as_nanos();
+        if elmrl_telemetry::enabled() {
+            op_histogram(kind).record_batch(n, elapsed);
+        }
     }
 
     /// Number of occurrences of `kind`.
@@ -175,6 +225,31 @@ mod tests {
         a.clear();
         assert_eq!(a.total_count(), 0);
         assert_eq!(a.total_elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn records_forward_to_the_global_registry() {
+        let h = elmrl_telemetry::histogram(OpKind::SeqTrain.metric_name());
+        let before = h.count();
+        elmrl_telemetry::set_enabled(true);
+        let mut ops = OpCounts::new();
+        ops.record(OpKind::SeqTrain, Duration::from_micros(3));
+        ops.record_n(OpKind::SeqTrain, 4, Duration::from_micros(8));
+        elmrl_telemetry::set_enabled(false);
+        // ≥ rather than ==: other test threads record concurrently while the
+        // flag is up; this thread alone contributed 1 + 4 samples.
+        assert!(
+            h.count() - before >= 5,
+            "forwarded {} samples",
+            h.count() - before
+        );
+        // Local aggregates are unaffected by the forwarding path.
+        assert_eq!(ops.count(OpKind::SeqTrain), 5);
+        // Disabled again: records stay local.
+        let frozen = h.count();
+        ops.record(OpKind::SeqTrain, Duration::from_micros(3));
+        assert_eq!(h.count(), frozen);
+        assert_eq!(ops.count(OpKind::SeqTrain), 6);
     }
 
     #[test]

@@ -311,12 +311,18 @@ impl Trainer {
             if solved_at_episode.is_some() && self.config.stop_when_solved {
                 break;
             }
-            let mut state = env.reset(rng);
+            let mut state = {
+                let _span = elmrl_telemetry::hist!("env.reset").span();
+                env.reset(rng)
+            };
             let mut episode_return = 0.0;
 
             loop {
                 let action = agent.act(&state, rng);
-                let outcome = env.step(action, rng);
+                let outcome = {
+                    let _span = elmrl_telemetry::hist!("env.step").span();
+                    env.step(action, rng)
+                };
                 total_steps += 1;
                 episode_return += outcome.reward;
 
@@ -422,6 +428,7 @@ impl Trainer {
         episodes_since_reset: usize,
         solved_at_episode: Option<usize>,
     ) -> Result<RunCheckpoint, String> {
+        let _span = elmrl_telemetry::hist!("checkpoint.capture").span();
         let snapshot = crate::checkpoint::snapshot_agent(agent)?;
         Ok(RunCheckpoint {
             version: SNAPSHOT_SCHEMA_VERSION,
@@ -549,6 +556,7 @@ impl Trainer {
             // Per-slot environment/policy streams, split deterministically
             // from the master stream before the first tick.
             slot_rngs = (0..e).map(|_| SmallRng::seed_from_u64(rng.gen())).collect();
+            let _span = elmrl_telemetry::hist!("env.reset").span();
             vec_env.reset_all(&mut slot_rngs);
         }
         ctl.arm(episodes_run);
@@ -571,8 +579,13 @@ impl Trainer {
                 };
             }
 
-            // Observe: one lockstep environment tick with auto-reset.
-            let outs = vec_env.step(&actions, &mut slot_rngs);
+            // Observe: one lockstep environment tick with auto-reset. The
+            // span covers the whole E-slot tick, so `env.step` here counts
+            // ticks (not per-slot steps) — documented in the README.
+            let outs = {
+                let _span = elmrl_telemetry::hist!("env.step").span();
+                vec_env.step(&actions, &mut slot_rngs)
+            };
 
             // Store + Update: the whole tick as one batched agent update.
             tick_obs.clear();
@@ -637,6 +650,7 @@ impl Trainer {
             // abandoned in-flight slots above) has settled, so this is the
             // only point where the engine state is a valid resume target.
             if ctl.capture_due(episodes_run) {
+                let _span = elmrl_telemetry::hist!("checkpoint.capture").span();
                 let mut slots = Vec::with_capacity(e);
                 for j in 0..e {
                     let env_state = vec_env.save_slot_state(j).ok_or_else(|| {

@@ -21,6 +21,16 @@ use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Serialises the tests in this file: the telemetry variant toggles the
+/// process-global enabled flag, and a first-time metric registration landing
+/// inside another test's measured window would be counted as an allocation.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// System allocator wrapper that counts (re)allocations made by threads
 /// that have opted in via [`COUNTING`].
@@ -68,6 +78,7 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 
 #[test]
 fn steady_state_training_step_allocates_nothing() {
+    let _serial = serial();
     let spec = Workload::CartPole.spec();
     let mut config = OsElmQNetConfig::for_workload(&spec, 16, 0.5, true);
     config.random_update = false; // every observe performs the RLS update
@@ -133,6 +144,7 @@ fn steady_state_batched_training_tick_allocates_nothing() {
     // once every workspace has reached its steady size.
     use elmrl_core::batch::BatchAgent;
 
+    let _serial = serial();
     let spec = Workload::CartPole.spec();
     let mut config = OsElmQNetConfig::for_workload(&spec, 16, 0.5, true);
     config.random_update = false; // every tick trains the full chunk
@@ -171,6 +183,76 @@ fn steady_state_batched_training_tick_allocates_nothing() {
         after - before,
         0,
         "steady-state batched tick must not allocate ({} allocations over 256 ticks)",
+        after - before
+    );
+}
+
+#[test]
+fn steady_state_training_step_allocates_nothing_with_telemetry_on() {
+    // The PR-8 no-perturbation contract: with the metric registry enabled
+    // *and* the span-trace ring collecting, the steady-state hot path is
+    // still allocation-free — metrics registered during warm-up, call-site
+    // `OnceLock`s filled, trace events pushed into the preallocated ring.
+    let _serial = serial();
+    elmrl_telemetry::enable_tracing(elmrl_telemetry::DEFAULT_TRACE_CAPACITY);
+
+    let spec = Workload::CartPole.spec();
+    let mut config = OsElmQNetConfig::for_workload(&spec, 16, 0.5, true);
+    config.random_update = false;
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut agent = OsElmQNet::new(config, &mut rng);
+    for i in 0..16 {
+        let obs = Observation {
+            state: vec![0.01 * i as f64, -0.02, 0.03, 0.01 * (i % 5) as f64],
+            action: i % 2,
+            reward: if i % 7 == 0 { -1.0 } else { 0.0 },
+            next_state: vec![0.01 * i as f64 + 0.005, -0.01, 0.02, 0.01],
+            done: i % 7 == 0,
+            truncated: false,
+        };
+        agent.observe(&obs, &mut rng);
+    }
+    assert!(agent.is_initialized());
+
+    let obs = Observation {
+        state: vec![0.02, -0.01, 0.04, 0.03],
+        action: 1,
+        reward: -1.0,
+        next_state: vec![0.03, -0.02, 0.03, 0.02],
+        done: true,
+        truncated: false,
+    };
+
+    // Warm-up with telemetry live: registers every metric this loop touches
+    // and fills the call-site handle caches.
+    for _ in 0..32 {
+        let action = agent.act(&obs.state, &mut rng);
+        std::hint::black_box(action);
+        agent.observe(&obs, &mut rng);
+    }
+
+    COUNTING.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..256 {
+        let action = agent.act(&obs.state, &mut rng);
+        std::hint::black_box(action);
+        agent.observe(&obs, &mut rng);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|flag| flag.set(false));
+    elmrl_telemetry::set_enabled(false);
+
+    assert!(
+        elmrl_telemetry::snapshot()
+            .histogram("op.seq_train")
+            .is_some_and(|h| h.count > 0),
+        "telemetry must actually have recorded during the measured loop"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state act+observe with telemetry + tracing on must not \
+         allocate ({} allocations over 256 steps)",
         after - before
     );
 }
@@ -220,6 +302,10 @@ fn armed_checkpoint_schedule_adds_no_allocations_between_captures() {
     // `capture_due`/`stop_now` boundary checks — must be allocation-free,
     // so `--checkpoint-every` never perturbs the training hot path between
     // marks. Armed-but-idle must allocate exactly what disarmed does.
+    let _serial = serial();
+    // Warm-up run: one-time process-global registrations (the trainer's
+    // telemetry call-site caches) must not be charged to either variant.
+    let _ = run_allocations(false);
     let disarmed = run_allocations(false);
     let armed = run_allocations(true);
     assert_eq!(

@@ -149,13 +149,17 @@ impl<T: Scalar> ElmModel<T> {
             x.cols(),
             self.input_dim()
         );
-        x.matmul_into(&self.alpha, out);
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            for (c, v) in row.iter_mut().enumerate() {
-                *v += self.bias[(0, c)];
+        {
+            let _span = elmrl_telemetry::hist!("elm.matmul_hidden").span();
+            x.matmul_into(&self.alpha, out);
+            for r in 0..out.rows() {
+                let row = out.row_mut(r);
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v += self.bias[(0, c)];
+                }
             }
         }
+        let _span = elmrl_telemetry::hist!("elm.activation").span();
         self.activation.apply_matrix_inplace(out);
     }
 

@@ -245,8 +245,9 @@ pub fn bias_relu_q_into(rows: usize, n: usize, bias: &[i32], data: &mut [i32]) {
 /// scan of `P` (one `Ñ²` read pass, amortised over `RESCAN_PERIOD` updates).
 /// Between scans the bound is maintained incrementally and only ever
 /// loosens, so a shorter period keeps the fast path engaged at the cost of
-/// more scans.
-const RESCAN_PERIOD: u32 = 32;
+/// more scans. Public so the telemetry layer can report the rescan cadence
+/// alongside the observed [`RlsStats::rescans`] count.
+pub const RESCAN_PERIOD: u32 = 32;
 
 /// Checkpoint interval of the saturation-checked dot chains: partial sums
 /// are verified against [`chain_limit`] once per `CHUNK` terms, so between
@@ -356,6 +357,8 @@ pub struct RlsScratch {
     pub hp: Vec<i32>,
     /// Pre-update prediction `h·β` (`m`).
     pub pred: Vec<i32>,
+    /// Cumulative fast-path/fallback telemetry — see [`RlsStats`].
+    pub stats: RlsStats,
     /// Per-row downdate scales `ph[r]·inv_denom` (`Ñ`).
     scale: Vec<i32>,
     /// Nonzero support of `h`: `(index, value)` pairs, ascending.
@@ -365,6 +368,38 @@ pub struct RlsScratch {
     /// Updates since construction/invalidation; `calls % RESCAN_PERIOD == 0`
     /// triggers an exact bound rescan at the next update's entry.
     calls: u32,
+}
+
+/// Cumulative hit-rate counters of the guarded fast paths in
+/// [`seq_train_q_into`]. Plain `u64` fields on the caller-owned scratch —
+/// this crate stays dependency-free; the FPGA core flushes deltas into the
+/// global telemetry registry when telemetry is on. The counters never
+/// influence which path runs or the values produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RlsStats {
+    /// Total [`seq_train_q_into`] invocations through this scratch.
+    pub calls: u64,
+    /// Exact `max|P|` rescans performed (one every [`RESCAN_PERIOD`] calls).
+    pub rescans: u64,
+    /// Dot blocks (4-row or 1-row `P`-against-`h` chains, and the fused
+    /// `h·P` pass) that completed on the saturation-free fast path.
+    pub fast_blocks: u64,
+    /// Dot blocks whose runtime checkpoint failed (or whose static bound
+    /// never allowed the fast path) and re-ran the exact saturating loops.
+    pub fallback_blocks: u64,
+}
+
+impl RlsStats {
+    /// `self − earlier`, field-wise (saturating) — the increment since a
+    /// previous snapshot, for periodic flushes into external counters.
+    pub fn since(&self, earlier: &RlsStats) -> RlsStats {
+        RlsStats {
+            calls: self.calls.saturating_sub(earlier.calls),
+            rescans: self.rescans.saturating_sub(earlier.rescans),
+            fast_blocks: self.fast_blocks.saturating_sub(earlier.fast_blocks),
+            fallback_blocks: self.fallback_blocks.saturating_sub(earlier.fallback_blocks),
+        }
+    }
 }
 
 impl RlsScratch {
@@ -446,6 +481,7 @@ pub fn seq_train_q_into<const FRAC: u32>(
         ph,
         hp,
         pred,
+        stats,
         scale,
         nz,
         p_abs,
@@ -455,11 +491,13 @@ pub fn seq_train_q_into<const FRAC: u32>(
     hp.resize(nh, 0);
     pred.resize(m, 0);
     scale.resize(nh, 0);
+    stats.calls += 1;
 
     // Periodically replace the incrementally-loosened |P| bound with the
     // exact maximum (P is unchanged since the previous update's downdate).
     if *calls % RESCAN_PERIOD == 0 {
         *p_abs = p.iter().map(|&v| (v as i64).abs()).max().unwrap_or(0);
+        stats.rescans += 1;
     }
     *calls = calls.wrapping_add(1);
 
@@ -507,11 +545,15 @@ pub fn seq_train_q_into<const FRAC: u32>(
             .then(|| fast_dot4::<FRAC>(rows, nz, limit))
             .flatten()
         {
-            Some(acc) => ph[r..r + 4].copy_from_slice(&acc),
+            Some(acc) => {
+                ph[r..r + 4].copy_from_slice(&acc);
+                stats.fast_blocks += 1;
+            }
             None => {
                 for (i, row) in rows.iter().enumerate() {
                     ph[r + i] = exact_dot::<FRAC>(row, nz);
                 }
+                stats.fallback_blocks += 1;
             }
         }
         if hp_ok {
@@ -557,10 +599,19 @@ pub fn seq_train_q_into<const FRAC: u32>(
     }
     while r < nh {
         let p_row = &p[r * nh..(r + 1) * nh];
-        ph[r] = (limit > 0)
+        match (limit > 0)
             .then(|| fast_dot1::<FRAC>(p_row, nz, limit))
             .flatten()
-            .unwrap_or_else(|| exact_dot::<FRAC>(p_row, nz));
+        {
+            Some(v) => {
+                ph[r] = v;
+                stats.fast_blocks += 1;
+            }
+            None => {
+                ph[r] = exact_dot::<FRAC>(p_row, nz);
+                stats.fallback_blocks += 1;
+            }
+        }
         if hp_ok && h[r] != 0 {
             let hw = h[r] as i64;
             for (o, &pv) in hp.iter_mut().zip(p_row.iter()) {
@@ -588,6 +639,9 @@ pub fn seq_train_q_into<const FRAC: u32>(
                 *o = q_add(*o, q_mul::<FRAC>(hv, pv));
             }
         }
+        stats.fallback_blocks += 1;
+    } else {
+        stats.fast_blocks += 1;
     }
     // denom = 1 + h·P·hᵀ, inv = 1/denom — O(Ñ), always exact.
     let mut denom = q_one::<FRAC>();
@@ -681,8 +735,10 @@ pub fn seq_train_q_into<const FRAC: u32>(
                 c = end;
             }
             let accs: [i32; 4] = if peak <= limit_after {
+                stats.fast_blocks += 1;
                 [acc[0] as i32, acc[1] as i32, acc[2] as i32, acc[3] as i32]
             } else {
+                stats.fallback_blocks += 1;
                 [
                     exact_dot::<FRAC>(p0, nz),
                     exact_dot::<FRAC>(p1, nz),
@@ -738,17 +794,24 @@ pub fn seq_train_q_into<const FRAC: u32>(
         // The four rows are final: ph_new over their nonzero-h support
         // equals a full second P·hᵀ pass over the downdated rows.
         let rows = [&*p0, &*p1, &*p2, &*p3];
-        let acc = (limit_after > 0)
+        let acc = match (limit_after > 0)
             .then(|| fast_dot4::<FRAC>(rows, nz, limit_after))
             .flatten()
-            .unwrap_or_else(|| {
+        {
+            Some(acc) => {
+                stats.fast_blocks += 1;
+                acc
+            }
+            None => {
+                stats.fallback_blocks += 1;
                 [
                     exact_dot::<FRAC>(rows[0], nz),
                     exact_dot::<FRAC>(rows[1], nz),
                     exact_dot::<FRAC>(rows[2], nz),
                     exact_dot::<FRAC>(rows[3], nz),
                 ]
-            });
+            }
+        };
         for (i, &ph_new_r) in acc.iter().enumerate() {
             ph[r + i] = ph_new_r;
             let b_row = &mut beta[(r + i) * m..(r + i + 1) * m];
@@ -777,8 +840,10 @@ pub fn seq_train_q_into<const FRAC: u32>(
                 c = end;
             }
             let ph_new_r = if peak <= limit_after {
+                stats.fast_blocks += 1;
                 acc as i32
             } else {
+                stats.fallback_blocks += 1;
                 exact_dot::<FRAC>(p_row, nz)
             };
             ph[r] = ph_new_r;
@@ -800,10 +865,19 @@ pub fn seq_train_q_into<const FRAC: u32>(
             }
         }
         // Row r of P is final: ph_new[r] equals a full second P·hᵀ pass.
-        let ph_new_r = (limit_after > 0)
+        let ph_new_r = match (limit_after > 0)
             .then(|| fast_dot1::<FRAC>(p_row, nz, limit_after))
             .flatten()
-            .unwrap_or_else(|| exact_dot::<FRAC>(p_row, nz));
+        {
+            Some(v) => {
+                stats.fast_blocks += 1;
+                v
+            }
+            None => {
+                stats.fallback_blocks += 1;
+                exact_dot::<FRAC>(p_row, nz)
+            }
+        };
         ph[r] = ph_new_r;
         let b_row = &mut beta[r * m..(r + 1) * m];
         for ((bv, &tv), &pv) in b_row.iter_mut().zip(target.iter()).zip(pred.iter()) {

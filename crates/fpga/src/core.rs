@@ -17,7 +17,8 @@
 //! are unchanged.
 
 use elmrl_fixed::kernels::{
-    bias_relu_q_into, matmul_packed_q_into, matmul_q_into, seq_train_q_into, RlsScratch,
+    bias_relu_q_into, matmul_packed_q_into, matmul_q_into, seq_train_q_into, RlsScratch, RlsStats,
+    RESCAN_PERIOD,
 };
 use elmrl_fixed::Q20;
 use elmrl_linalg::Matrix;
@@ -93,6 +94,9 @@ struct FpgaScratch {
     pack: Vec<i32>,
     /// Workspaces + cross-call `max|P|` bound of the fused RLS kernel.
     rls: RlsScratch,
+    /// Kernel stats already flushed into the telemetry registry — the next
+    /// flush reports only the delta since this snapshot.
+    rls_flushed: RlsStats,
 }
 
 /// The fixed-point OS-ELM core: `α`, `b`, `β`, `P` held as raw Q20 words in
@@ -242,6 +246,7 @@ impl FpgaCore {
 
     /// `predict` module: Q-value of one `(state, action)` input.
     pub fn predict(&mut self, x: &[Q20]) -> Vec<Q20> {
+        let _span = elmrl_telemetry::hist!("fpga.predict").span();
         assert_eq!(x.len(), self.n, "input width mismatch");
         self.load_x(x.iter().map(|q| q.to_raw()));
         self.hidden_batch(1);
@@ -258,6 +263,7 @@ impl FpgaCore {
     /// one `predict` invocation in the cycle model — the hardware core is
     /// batch-size-1, so batching is a host-side loop over the same module.
     pub fn predict_batch_q(&mut self, xs: &Matrix<Q20>, out: &mut Matrix<Q20>) {
+        let _span = elmrl_telemetry::hist!("fpga.predict").span();
         assert_eq!(xs.cols(), self.n, "input width mismatch");
         let rows = xs.rows();
         self.load_x(xs.as_slice().iter().map(|q| q.to_raw()));
@@ -275,6 +281,7 @@ impl FpgaCore {
 
     /// `seq_train` module: one batch-size-1 OS-ELM update in Q20.
     pub fn seq_train(&mut self, x: &[Q20], target: &[Q20]) {
+        let _span = elmrl_telemetry::hist!("fpga.rls_update").span();
         assert_eq!(x.len(), self.n, "input width mismatch");
         assert_eq!(target.len(), self.m, "target width mismatch");
         self.load_x(x.iter().map(|q| q.to_raw()));
@@ -293,6 +300,7 @@ impl FpgaCore {
     /// every intermediate), and charged identically: one `seq_train`
     /// invocation per row.
     pub fn seq_train_batch_q(&mut self, xs: &Matrix<Q20>, targets: &Matrix<Q20>) {
+        let _span = elmrl_telemetry::hist!("fpga.rls_update").span();
         assert_eq!(xs.cols(), self.n, "input width mismatch");
         assert_eq!(targets.cols(), self.m, "target width mismatch");
         assert_eq!(xs.rows(), targets.rows(), "input/target batch mismatch");
@@ -331,6 +339,32 @@ impl FpgaCore {
                 rls,
             );
         }
+        self.flush_rls_stats();
+    }
+
+    /// Kernel fast-path/fallback counters accumulated so far (cumulative,
+    /// never reset by flushing).
+    pub fn rls_stats(&self) -> RlsStats {
+        self.scratch.rls.stats
+    }
+
+    /// Forward the kernel-stat increments since the last flush into the
+    /// global telemetry counters (`fixed.rls.*`). No-op while telemetry is
+    /// disabled — the unflushed remainder is reported once it turns on.
+    fn flush_rls_stats(&mut self) {
+        if !elmrl_telemetry::enabled() {
+            return;
+        }
+        let stats = self.scratch.rls.stats;
+        let delta = stats.since(&self.scratch.rls_flushed);
+        self.scratch.rls_flushed = stats;
+        elmrl_telemetry::counter!("fixed.rls.calls").add(delta.calls);
+        elmrl_telemetry::counter!("fixed.rls.rescans").add(delta.rescans);
+        elmrl_telemetry::counter!("fixed.rls.fast_blocks").add(delta.fast_blocks);
+        elmrl_telemetry::counter!("fixed.rls.fallback_blocks").add(delta.fallback_blocks);
+        // The configured cadence, so the report can phrase the observed
+        // rescan count as "one exact max|P| scan per N updates".
+        elmrl_telemetry::gauge!("fixed.rls.rescan_period").set(RESCAN_PERIOD as i64);
     }
 
     /// Overwrite `β` and `P` from float values — used when the CPU re-runs an

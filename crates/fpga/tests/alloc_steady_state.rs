@@ -20,6 +20,16 @@ use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Serialises the tests in this file: the telemetry variant toggles the
+/// process-global enabled flag, and a first-time metric registration landing
+/// inside another test's measured window would be counted as an allocation.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// System allocator wrapper that counts (re)allocations made by threads
 /// that have opted in via [`COUNTING`].
@@ -78,6 +88,7 @@ fn transition(i: usize) -> Observation {
 
 #[test]
 fn steady_state_quantized_training_step_allocates_nothing() {
+    let _serial = serial();
     let spec = Workload::CartPole.spec();
     let mut config = FpgaAgentConfig::for_workload(&spec, 16);
     config.update_prob = 1.0; // every observe performs the Q20 RLS update
@@ -135,6 +146,7 @@ fn steady_state_quantized_batched_tick_allocates_nothing() {
     // through `seq_train_batch_q` — is also allocation-free at steady state.
     use elmrl_core::batch::BatchAgent;
 
+    let _serial = serial();
     let spec = Workload::CartPole.spec();
     let mut config = FpgaAgentConfig::for_workload(&spec, 16);
     config.update_prob = 1.0;
@@ -162,6 +174,72 @@ fn steady_state_quantized_batched_tick_allocates_nothing() {
         after - before,
         0,
         "steady-state quantized batched tick must not allocate ({} allocations over 256 ticks)",
+        after - before
+    );
+}
+
+#[test]
+fn steady_state_quantized_step_allocates_nothing_with_telemetry_on() {
+    // The PR-8 no-perturbation contract on the quantized path: with the
+    // metric registry enabled *and* the span-trace ring collecting — so the
+    // `fpga.predict`/`fpga.rls_update` spans and the guarded-RLS stat flush
+    // are all live — the steady-state step is still allocation-free.
+    let _serial = serial();
+    elmrl_telemetry::enable_tracing(elmrl_telemetry::DEFAULT_TRACE_CAPACITY);
+
+    let spec = Workload::CartPole.spec();
+    let mut config = FpgaAgentConfig::for_workload(&spec, 16);
+    config.update_prob = 1.0;
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut agent = FpgaAgent::new(config, &mut rng);
+    for i in 0..16 {
+        agent.observe(&transition(i), &mut rng);
+    }
+    assert!(agent.core_loaded());
+
+    let obs = Observation {
+        state: vec![0.02, -0.01, 0.04, 0.03],
+        action: 1,
+        reward: -1.0,
+        next_state: vec![0.03, -0.02, 0.03, 0.02],
+        done: true,
+        truncated: false,
+    };
+
+    // Warm-up with telemetry live: registers every metric this loop touches
+    // and fills the call-site handle caches.
+    for _ in 0..32 {
+        let action = agent.act(&obs.state, &mut rng);
+        std::hint::black_box(action);
+        agent.observe(&obs, &mut rng);
+    }
+
+    COUNTING.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..256 {
+        let action = agent.act(&obs.state, &mut rng);
+        std::hint::black_box(action);
+        agent.observe(&obs, &mut rng);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|flag| flag.set(false));
+    elmrl_telemetry::set_enabled(false);
+
+    let snap = elmrl_telemetry::snapshot();
+    assert!(
+        snap.histogram("fpga.rls_update")
+            .is_some_and(|h| h.count > 0),
+        "telemetry must actually have recorded during the measured loop"
+    );
+    assert!(
+        snap.counter("fixed.rls.calls").is_some_and(|c| c > 0),
+        "the guarded-RLS stat flush must have run during the measured loop"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state quantized act+observe with telemetry + tracing on must \
+         not allocate ({} allocations over 256 steps)",
         after - before
     );
 }

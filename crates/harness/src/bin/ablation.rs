@@ -8,7 +8,7 @@
 //! and use a single hidden size — the first entry of `--hidden` (the legacy
 //! `ELMRL_HIDDEN_ONE` environment variable supplies the default when neither
 //! `--hidden` nor `ELMRL_HIDDEN` is given); `--trials` has no effect here.
-use elmrl_harness::{ablation, cli, env_usize, report};
+use elmrl_harness::{ablation, cli, env_usize, report, telemetry};
 
 fn main() {
     let args = cli::parse_or_exit(
@@ -25,6 +25,7 @@ fn main() {
     );
     args.warn_unused_population_flags("ablation");
     args.warn_unused_checkpoint_flags("ablation");
+    telemetry::init(&args);
     let hidden = args.hidden[0];
     if args.hidden.len() > 1 {
         eprintln!(
@@ -78,4 +79,5 @@ fn main() {
         report::write_text(&dir, "ablation.md", &md).expect("write ablation.md");
         eprintln!("wrote {}/ablation.{{md,json}}", dir.display());
     }
+    telemetry::finish("ablation", &args);
 }

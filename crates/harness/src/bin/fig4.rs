@@ -3,7 +3,7 @@
 //!
 //! Run `fig4 --help` for the flag list; the `ELMRL_*` environment variables
 //! are honoured as fallbacks.
-use elmrl_harness::{cli, fig4, report};
+use elmrl_harness::{cli, fig4, report, telemetry};
 
 fn main() {
     let args = cli::parse_or_exit(
@@ -19,6 +19,7 @@ fn main() {
     );
     args.warn_unused_population_flags("fig4");
     args.reject_workload_all("fig4");
+    telemetry::init(&args);
     eprintln!(
         "figure 4 on {}: hidden sizes {:?}, {} episodes per curve, \
          {} training env(s)",
@@ -47,6 +48,7 @@ fn main() {
                 .expect("--stop-after requires --checkpoint-dir")
                 .display()
         );
+        telemetry::finish("fig4", &args);
         return;
     };
     println!(
@@ -58,4 +60,5 @@ fn main() {
     report::write_json(&dir, "fig4.json", &fig).expect("write fig4.json");
     report::write_text(&dir, "fig4.csv", &fig4::to_csv(&fig)).expect("write fig4.csv");
     eprintln!("wrote {}/fig4.{{json,csv}}", dir.display());
+    telemetry::finish("fig4", &args);
 }

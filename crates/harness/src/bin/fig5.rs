@@ -4,7 +4,7 @@
 //! Run `fig5 --help` for the flag list; the `ELMRL_*` environment variables
 //! are honoured as fallbacks.
 use elmrl_core::designs::Design;
-use elmrl_harness::{cli, fig5, report};
+use elmrl_harness::{cli, fig5, report, telemetry};
 
 fn main() {
     let args = cli::parse_or_exit(
@@ -18,6 +18,7 @@ fn main() {
     );
     args.warn_unused_population_flags("fig5");
     args.reject_workload_all("fig5");
+    telemetry::init(&args);
     eprintln!(
         "figure 5 on {}: hidden {:?}, {} trials/cell, {} episode budget, \
          {} training env(s)",
@@ -48,6 +49,7 @@ fn main() {
                 .expect("--stop-after requires --checkpoint-dir")
                 .display()
         );
+        telemetry::finish("fig5", &args);
         return;
     };
     println!(
@@ -63,4 +65,5 @@ fn main() {
     report::write_json(&dir, "fig5.json", &fig).expect("write fig5.json");
     report::write_text(&dir, "fig5.md", &fig5::to_markdown(&fig)).expect("write fig5.md");
     eprintln!("wrote {}/fig5.{{md,json}}", dir.display());
+    telemetry::finish("fig5", &args);
 }

@@ -3,7 +3,7 @@
 //!
 //! Run `fig6 --help` for the flag list; the `ELMRL_*` environment variables
 //! are honoured as fallbacks.
-use elmrl_harness::{cli, fig6, report};
+use elmrl_harness::{cli, fig6, report, telemetry};
 
 fn main() {
     let args = cli::parse_or_exit(
@@ -17,6 +17,7 @@ fn main() {
     );
     args.warn_unused_population_flags("fig6");
     args.reject_workload_all("fig6");
+    telemetry::init(&args);
     eprintln!(
         "figure 6 on {}: hidden {:?}, {} trials/cell, {} episode budget, \
          {} training env(s)",
@@ -46,6 +47,7 @@ fn main() {
                 .expect("--stop-after requires --checkpoint-dir")
                 .display()
         );
+        telemetry::finish("fig6", &args);
         return;
     };
     println!(
@@ -57,4 +59,5 @@ fn main() {
     report::write_json(&dir, "fig6.json", &fig).expect("write fig6.json");
     report::write_text(&dir, "fig6.md", &fig6::to_markdown(&fig)).expect("write fig6.md");
     eprintln!("wrote {}/fig6.{{md,json}}", dir.display());
+    telemetry::finish("fig6", &args);
 }

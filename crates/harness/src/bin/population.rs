@@ -6,7 +6,7 @@
 //! `results/<workload>/population.json` is byte-identical for any `--shards`
 //! value at the same `--seed` (per-replica RNG streams are split from the
 //! master seed by global replica index).
-use elmrl_harness::{cli, report};
+use elmrl_harness::{cli, report, telemetry};
 use elmrl_population::{PopulationConfig, PopulationRunner, ShardManifest};
 
 fn main() {
@@ -28,6 +28,7 @@ fn main() {
         );
     }
     args.reject_workload_all("population");
+    telemetry::init(&args);
     if args.stop_after.is_some() {
         eprintln!(
             "population: note — --stop-after only affects the trial binaries; \
@@ -127,4 +128,5 @@ fn main() {
     report::write_json(&dir, "population.json", &report).expect("write population.json");
     report::write_text(&dir, "population.md", &table).expect("write population.md");
     eprintln!("wrote {}/population.{{md,json}}", dir.display());
+    telemetry::finish("population", &args);
 }

@@ -6,22 +6,30 @@
 //!
 //! Flags: `--results <dir>` (default `results`) names the root the
 //! artefacts were written under; `--out <dir>` (default: the results root)
-//! names where the summaries go; `--help` prints usage.
-use elmrl_harness::{report, summary};
+//! names where the summaries go; `--telemetry`, `--metrics-out <file>` and
+//! `--trace-out <file>` enable the shared telemetry registry (mostly useful
+//! to confirm the aggregation itself is cheap); `--help` prints usage.
+use elmrl_harness::{report, summary, telemetry};
 use std::path::PathBuf;
 
 const USAGE: &str = "Cross-environment summary - design x environment matrices from fig5 and\n\
      population results.\n\n\
      Usage: summary [OPTIONS]\n\n\
      Options:\n\
-     \x20 --results <dir>  results root holding <workload>/fig5.json and/or\n\
-     \x20                  <workload>/population.json (default: results)\n\
-     \x20 --out <dir>      output directory (default: the results root)\n\
-     \x20 --help           print this help and exit";
+     \x20 --results <dir>      results root holding <workload>/fig5.json and/or\n\
+     \x20                      <workload>/population.json (default: results)\n\
+     \x20 --out <dir>          output directory (default: the results root)\n\
+     \x20 --telemetry          collect metrics; print the latency table on exit\n\
+     \x20 --metrics-out <file> write the metric snapshot JSON (implies --telemetry)\n\
+     \x20 --trace-out <file>   write a chrome://tracing span trace (implies --telemetry)\n\
+     \x20 --help               print this help and exit";
 
 fn main() {
     let mut results_root = PathBuf::from("results");
     let mut out: Option<PathBuf> = None;
+    let mut telemetry_on = false;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -38,9 +46,22 @@ fn main() {
                 Some(dir) => out = Some(PathBuf::from(dir)),
                 None => exit_with("--out requires a value"),
             },
+            "--telemetry" => telemetry_on = true,
+            "--metrics-out" => match iter.next() {
+                Some(path) => metrics_out = Some(PathBuf::from(path)),
+                None => exit_with("--metrics-out requires a value"),
+            },
+            "--trace-out" => match iter.next() {
+                Some(path) => trace_out = Some(PathBuf::from(path)),
+                None => exit_with("--trace-out requires a value"),
+            },
             other => exit_with(&format!("unknown flag `{other}` (try --help)")),
         }
     }
+    if metrics_out.is_some() || trace_out.is_some() {
+        telemetry_on = true;
+    }
+    telemetry::init_with(telemetry_on, trace_out.is_some());
 
     let summary = match summary::collect(&results_root) {
         Ok(s) => s,
@@ -138,6 +159,7 @@ fn main() {
         report::write_text(&dir, "ablation_summary.md", &md).expect("write ablation_summary.md");
         eprintln!("wrote {}/ablation_summary.{{md,json}}", dir.display());
     }
+    telemetry::finish_with("summary", metrics_out.as_deref(), trace_out.as_deref());
 }
 
 fn exit_with(message: &str) -> ! {

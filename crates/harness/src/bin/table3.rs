@@ -2,7 +2,7 @@
 //!
 //! The resource table is workload-independent; the binary still accepts the
 //! shared flag set (`table3 --help`) so `--out <dir>` can redirect output.
-use elmrl_harness::{cli, report, table3};
+use elmrl_harness::{cli, report, table3, telemetry};
 
 fn main() {
     let args = cli::parse_or_exit(
@@ -18,6 +18,7 @@ fn main() {
     );
     args.warn_unused_population_flags("table3");
     args.warn_unused_checkpoint_flags("table3");
+    telemetry::init(&args);
     let table = table3::generate();
     let md = table3::to_markdown(&table);
     println!("# Table 3 — FPGA resource utilization (xc7z020)\n\n{md}");
@@ -27,4 +28,5 @@ fn main() {
     report::write_json(&dir, "table3.json", &table).expect("write table3.json");
     report::write_text(&dir, "table3.md", &md).expect("write table3.md");
     eprintln!("wrote {}/table3.{{md,json}}", dir.display());
+    telemetry::finish("table3", &args);
 }

@@ -1,0 +1,196 @@
+//! CI validator for the telemetry artefacts: checks that a `--metrics-out`
+//! snapshot and a `--trace-out` chrome trace parse and match the schema the
+//! exporters promise, so a drift in either format fails the smoke job
+//! instead of silently producing files Perfetto cannot open.
+//!
+//! Usage:
+//!
+//! ```text
+//! telemetry_check --metrics results/metrics.json --trace results/trace.json \
+//!     --expect-hist env.step --expect-hist op.seq_train
+//! ```
+//!
+//! Exit status 0 when every check passes; 1 with one line per failure on
+//! stderr otherwise.
+use serde::Value;
+use std::path::PathBuf;
+
+const USAGE: &str = "Validate telemetry artefacts (metrics snapshot + chrome trace).\n\n\
+     Usage: telemetry_check [OPTIONS]\n\n\
+     Options:\n\
+     \x20 --metrics <file>      metrics snapshot JSON to validate\n\
+     \x20 --trace <file>        chrome://tracing JSON to validate\n\
+     \x20 --expect-hist <name>  require a histogram with this name and count > 0\n\
+     \x20                       (repeatable; implies --metrics)\n\
+     \x20 --help                print this help and exit";
+
+fn main() {
+    let mut metrics: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut expect_hists: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--metrics" => match iter.next() {
+                Some(path) => metrics = Some(PathBuf::from(path)),
+                None => usage_error("--metrics requires a value"),
+            },
+            "--trace" => match iter.next() {
+                Some(path) => trace = Some(PathBuf::from(path)),
+                None => usage_error("--trace requires a value"),
+            },
+            "--expect-hist" => match iter.next() {
+                Some(name) => expect_hists.push(name.clone()),
+                None => usage_error("--expect-hist requires a value"),
+            },
+            other => usage_error(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if metrics.is_none() && trace.is_none() {
+        usage_error("nothing to check: pass --metrics and/or --trace");
+    }
+    if metrics.is_none() && !expect_hists.is_empty() {
+        usage_error("--expect-hist requires --metrics");
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    if let Some(path) = &metrics {
+        match load(path) {
+            Ok(value) => check_metrics(&value, &expect_hists, &mut failures),
+            Err(e) => failures.push(e),
+        }
+    }
+    if let Some(path) = &trace {
+        match load(path) {
+            Ok(value) => check_trace(&value, &mut failures),
+            Err(e) => failures.push(e),
+        }
+    }
+
+    if failures.is_empty() {
+        println!("telemetry_check: ok");
+    } else {
+        for f in &failures {
+            eprintln!("telemetry_check: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn load(path: &std::path::Path) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+/// Validate the `MetricsSnapshot::to_json` schema: a version-1 object whose
+/// `histograms` entries carry name/count/total_ns/p50_ns/p90_ns/p99_ns and
+/// whose `counters`/`gauges` entries carry name/value.
+fn check_metrics(value: &Value, expect_hists: &[String], failures: &mut Vec<String>) {
+    match value.get_field("version").and_then(Value::as_i128) {
+        Some(1) => {}
+        Some(v) => failures.push(format!("metrics: unknown schema version {v} (expected 1)")),
+        None => failures.push("metrics: missing integer `version` field".to_string()),
+    }
+    let hists = match value.get_field("histograms") {
+        Some(Value::Seq(items)) => items.as_slice(),
+        _ => {
+            failures.push("metrics: missing `histograms` array".to_string());
+            &[]
+        }
+    };
+    for (i, h) in hists.iter().enumerate() {
+        if h.get_field("name").and_then(Value::as_str).is_none() {
+            failures.push(format!("metrics: histograms[{i}] has no string `name`"));
+        }
+        for key in ["count", "total_ns", "p50_ns", "p90_ns", "p99_ns"] {
+            if h.get_field(key).and_then(Value::as_i128).is_none() {
+                failures.push(format!("metrics: histograms[{i}] has no integer `{key}`"));
+            }
+        }
+    }
+    for (section, keys) in [("counters", "value"), ("gauges", "value")] {
+        let items = match value.get_field(section) {
+            Some(Value::Seq(items)) => items.as_slice(),
+            _ => {
+                failures.push(format!("metrics: missing `{section}` array"));
+                continue;
+            }
+        };
+        for (i, item) in items.iter().enumerate() {
+            if item.get_field("name").and_then(Value::as_str).is_none() {
+                failures.push(format!("metrics: {section}[{i}] has no string `name`"));
+            }
+            if item.get_field(keys).and_then(Value::as_i128).is_none() {
+                failures.push(format!("metrics: {section}[{i}] has no integer `{keys}`"));
+            }
+        }
+    }
+    for name in expect_hists {
+        let found = hists
+            .iter()
+            .find(|h| h.get_field("name").and_then(Value::as_str) == Some(name.as_str()));
+        match found {
+            None => failures.push(format!("metrics: expected histogram `{name}` is missing")),
+            Some(h) => {
+                let count = h.get_field("count").and_then(Value::as_i128).unwrap_or(0);
+                if count <= 0 {
+                    failures.push(format!("metrics: histogram `{name}` has count 0"));
+                }
+            }
+        }
+    }
+}
+
+/// Validate the chrome trace: a JSON array of complete (`ph: "X"`) duration
+/// events with string `name`/`cat`, numeric `ts`/`dur` and integer
+/// `pid`/`tid` — the subset chrome://tracing and Perfetto require.
+fn check_trace(value: &Value, failures: &mut Vec<String>) {
+    let events = match value {
+        Value::Seq(items) => items.as_slice(),
+        _ => {
+            failures.push("trace: top level is not a JSON array".to_string());
+            return;
+        }
+    };
+    if events.is_empty() {
+        failures.push("trace: no events recorded (is tracing enabled?)".to_string());
+    }
+    for (i, e) in events.iter().enumerate() {
+        for key in ["name", "cat"] {
+            if e.get_field(key).and_then(Value::as_str).is_none() {
+                failures.push(format!("trace: events[{i}] has no string `{key}`"));
+            }
+        }
+        if e.get_field("ph").and_then(Value::as_str) != Some("X") {
+            failures.push(format!(
+                "trace: events[{i}] is not a complete (`ph: \"X\"`) event"
+            ));
+        }
+        for key in ["ts", "dur"] {
+            if e.get_field(key).and_then(Value::as_f64).is_none() {
+                failures.push(format!("trace: events[{i}] has no numeric `{key}`"));
+            }
+        }
+        for key in ["pid", "tid"] {
+            if e.get_field(key).and_then(Value::as_i128).is_none() {
+                failures.push(format!("trace: events[{i}] has no integer `{key}`"));
+            }
+        }
+        if failures.len() > 20 {
+            failures.push("trace: too many failures; stopping".to_string());
+            return;
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("telemetry_check: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}

@@ -32,6 +32,14 @@
 //!   each run once `n` episodes completed, keeping the boundary checkpoint;
 //! * `--fail-shard <k@e>` — fault injection for the `population` binary:
 //!   kill shard `k` after `e` episodes and requeue its replicas;
+//! * `--telemetry` — enable the global latency/counter registry and print a
+//!   per-module summary table on exit (also honoured via the
+//!   `ELMRL_TELEMETRY` environment variable);
+//! * `--metrics-out <path>` — write the metrics snapshot as JSON (implies
+//!   `--telemetry`);
+//! * `--trace-out <path>` — collect span trace events and write a
+//!   chrome://tracing / Perfetto-compatible `trace.json` (implies
+//!   `--telemetry`);
 //! * `--help` — print usage and exit.
 //!
 //! The `population` binary additionally reads `--population <k>`,
@@ -109,6 +117,13 @@ pub struct CliArgs {
     /// kill shard `k` after `e` episodes; its replicas are requeued onto
     /// the surviving shards with unchanged results.
     pub fail_shard: Option<FaultPlan>,
+    /// Enable the telemetry registry and print the per-module latency table
+    /// on exit (`--telemetry`; implied by `--metrics-out`/`--trace-out`).
+    pub telemetry: bool,
+    /// Write the metrics snapshot as JSON to this path (`--metrics-out`).
+    pub metrics_out: Option<PathBuf>,
+    /// Write the chrome://tracing span trace to this path (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl CliArgs {
@@ -251,6 +266,13 @@ pub fn usage(binary: &str, about: &str, defaults: &CliDefaults) -> String {
          \x20 --fail-shard <k@e>  fault injection, population binary only: kill\n\
          \x20                     shard k after e episodes (replicas requeue onto\n\
          \x20                     the surviving shards, results unchanged)\n\
+         \x20 --telemetry         collect per-module latency/counter metrics and\n\
+         \x20                     print a summary table on exit (never changes\n\
+         \x20                     results; also via ELMRL_TELEMETRY=1)\n\
+         \x20 --metrics-out <path> write the metrics snapshot as JSON\n\
+         \x20                     (implies --telemetry)\n\
+         \x20 --trace-out <path>  write span events as chrome://tracing JSON,\n\
+         \x20                     openable in Perfetto (implies --telemetry)\n\
          \x20 --help              print this help and exit\n\n\
          ELMRL_WORKLOAD, ELMRL_TRIALS, ELMRL_EPISODES, ELMRL_HIDDEN and\n\
          ELMRL_SEED are honoured as fallbacks when the flag is absent.",
@@ -290,6 +312,9 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
         resume: false,
         stop_after: None,
         fail_shard: None,
+        telemetry: false,
+        metrics_out: None,
+        trace_out: None,
     };
     let mut workload_flag: Option<Workload> = None;
     let mut checkpoint_every_flag: Option<usize> = None;
@@ -443,6 +468,15 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
                 parsed.fail_shard =
                     Some(FaultPlan::parse(&v).map_err(|e| format!("--fail-shard: {e}"))?);
             }
+            "--telemetry" => {
+                parsed.telemetry = true;
+            }
+            "--metrics-out" => {
+                parsed.metrics_out = Some(PathBuf::from(value_for("--metrics-out")?));
+            }
+            "--trace-out" => {
+                parsed.trace_out = Some(PathBuf::from(value_for("--trace-out")?));
+            }
             other => {
                 return Err(format!("unknown flag `{other}` (try --help)"));
             }
@@ -467,6 +501,10 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
         }
     }
     parsed.checkpoint_every = checkpoint_every_flag.unwrap_or(1);
+    // Asking for a metrics or trace file is asking for telemetry.
+    if parsed.metrics_out.is_some() || parsed.trace_out.is_some() {
+        parsed.telemetry = true;
+    }
     // A `--workload` flag wins outright; the environment variable is only
     // consulted (and validated) when no flag was given.
     parsed.workload = match workload_flag {
@@ -828,6 +866,39 @@ mod tests {
                 at_episode: 3
             })
         );
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_imply_each_other() {
+        let bare = parse_from(&[], &defaults()).unwrap().unwrap();
+        assert!(!bare.telemetry);
+        assert!(bare.metrics_out.is_none());
+        assert!(bare.trace_out.is_none());
+
+        let explicit = parse_from(&args(&["--telemetry"]), &defaults())
+            .unwrap()
+            .unwrap();
+        assert!(explicit.telemetry);
+
+        // Either output flag implies --telemetry.
+        let metrics = parse_from(&args(&["--metrics-out", "/tmp/m.json"]), &defaults())
+            .unwrap()
+            .unwrap();
+        assert!(metrics.telemetry);
+        assert_eq!(metrics.metrics_out, Some(PathBuf::from("/tmp/m.json")));
+        let trace = parse_from(&args(&["--trace-out", "/tmp/trace.json"]), &defaults())
+            .unwrap()
+            .unwrap();
+        assert!(trace.telemetry);
+        assert_eq!(trace.trace_out, Some(PathBuf::from("/tmp/trace.json")));
+
+        assert!(parse_from(&args(&["--metrics-out"]), &defaults())
+            .unwrap_err()
+            .contains("requires a value"));
+        let help = usage("fig5", "x", &defaults());
+        for flag in ["--telemetry", "--metrics-out", "--trace-out"] {
+            assert!(help.contains(flag), "{flag}");
+        }
     }
 
     #[test]

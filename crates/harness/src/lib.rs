@@ -50,6 +50,7 @@ pub mod report;
 pub mod runner;
 pub mod summary;
 pub mod table3;
+pub mod telemetry;
 pub mod timing;
 
 pub use cli::CliArgs;

@@ -404,7 +404,7 @@ impl PopulationRunner {
             .par_iter()
             .map(|&(shard, replicas)| {
                 let abort = fault.filter(|f| f.shard == shard).map(|f| f.at_episode);
-                run_shard(&spec, &self.config, replicas, abort)
+                run_shard_instrumented(&spec, &self.config, replicas, abort)
             })
             .collect();
 
@@ -415,6 +415,9 @@ impl PopulationRunner {
             .filter(|&s| wave1[s].is_none())
             .flat_map(|s| pending[s].iter().copied())
             .collect();
+        // Requeue events are worth watching live: a nonzero count means a
+        // shard died and its replicas re-ran on the survivors.
+        elmrl_telemetry::counter!("population.requeued_replicas").add(orphans.len() as u64);
         let lanes = survivors.len().max(1);
         let mut requeued: Vec<Vec<usize>> = vec![Vec::new(); lanes];
         for (i, replica) in orphans.iter().enumerate() {
@@ -422,7 +425,7 @@ impl PopulationRunner {
         }
         let wave2: Vec<Option<Vec<ReplicaOutcome>>> = requeued
             .par_iter()
-            .map(|replicas| run_shard(&spec, &self.config, replicas, None))
+            .map(|replicas| run_shard_instrumented(&spec, &self.config, replicas, None))
             .collect();
 
         // Custody: shard → outcomes it holds. Fresh results stay with the
@@ -548,6 +551,29 @@ struct ReplicaState {
     resets: usize,
     solved_at: Option<usize>,
     active: bool,
+}
+
+/// [`run_shard`] wrapped in shard-level telemetry: a `population.shard`
+/// latency span plus per-shard throughput counters (completed episodes and
+/// environment steps across the shard's replicas). The wrapper is what the
+/// wave drivers call; a killed shard records its span but no throughput.
+fn run_shard_instrumented(
+    spec: &EnvSpec,
+    config: &PopulationConfig,
+    replicas: &[usize],
+    abort_after_episodes: Option<usize>,
+) -> Option<Vec<ReplicaOutcome>> {
+    let _span = elmrl_telemetry::hist!("population.shard").span();
+    let out = run_shard(spec, config, replicas, abort_after_episodes);
+    if elmrl_telemetry::enabled() {
+        if let Some(list) = &out {
+            let episodes: u64 = list.iter().map(|o| o.episodes_run as u64).sum();
+            let steps: u64 = list.iter().map(|o| o.total_steps as u64).sum();
+            elmrl_telemetry::counter!("population.episodes").add(episodes);
+            elmrl_telemetry::counter!("population.steps").add(steps);
+        }
+    }
+    out
 }
 
 /// Train the shard's replicas in lockstep and evaluate their final policies.

@@ -1,0 +1,53 @@
+//! The PR-8 no-perturbation contract at the artefact level: a population run
+//! with telemetry **and** span tracing enabled must serialize to the exact
+//! same bytes as one with telemetry off. Spans only read the clock and write
+//! to their own sinks — RNG streams, update order and accumulation order are
+//! untouched — so the report (the golden `population.json` content) cannot
+//! move. The FPGA design is included to drive the guarded-RLS stat flush and
+//! the `fpga.*` spans through the quantized path.
+
+use elmrl_core::designs::Design;
+use elmrl_gym::Workload;
+use elmrl_population::{PopulationConfig, PopulationRunner};
+
+fn report_json(workload: Workload, design: Design) -> String {
+    let mut config = PopulationConfig::new(workload, design, 6, 5);
+    config.shards = 3;
+    config.seed = 2026;
+    config.max_episodes = 3;
+    config.eval_episodes = 2;
+    serde_json::to_string_pretty(&PopulationRunner::new(config).run())
+        .expect("population report serializes")
+}
+
+#[test]
+fn telemetry_on_produces_byte_identical_reports() {
+    for (workload, design) in [
+        (Workload::CartPole, Design::Fpga),
+        (Workload::CartPole, Design::OsElmL2Lipschitz),
+        (Workload::MountainCar, Design::Dqn),
+    ] {
+        elmrl_telemetry::set_enabled(false);
+        let off = report_json(workload, design);
+
+        elmrl_telemetry::enable_tracing(elmrl_telemetry::DEFAULT_TRACE_CAPACITY);
+        let on = report_json(workload, design);
+        elmrl_telemetry::set_enabled(false);
+
+        assert_eq!(
+            off, on,
+            "{workload:?}/{design:?}: telemetry perturbed the population report"
+        );
+        assert!(off.contains("\"replicas\""));
+    }
+
+    // Sanity that the telemetry-on leg really recorded: the spans and the
+    // population counters must be populated, or the comparison proved
+    // nothing.
+    let snap = elmrl_telemetry::snapshot();
+    assert!(snap
+        .histogram("population.shard")
+        .is_some_and(|h| h.count > 0));
+    assert!(snap.counter("population.episodes").is_some_and(|c| c > 0));
+    assert!(snap.counter("fixed.rls.calls").is_some_and(|c| c > 0));
+}

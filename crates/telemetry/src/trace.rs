@@ -1,0 +1,229 @@
+//! Lightweight spans and the chrome://tracing exporter.
+//!
+//! A span is started from a [`crate::Histogram`] (`hist.span()`): the guard
+//! takes one timestamp at construction and, on drop, records the elapsed
+//! time into the histogram and — when tracing is on — pushes a duration
+//! event into a **preallocated** per-shard ring. When the ring is full,
+//! events are dropped (and counted) rather than reallocating: the
+//! steady-state-zero-allocation contract holds even with tracing on.
+//!
+//! [`export_chrome_trace`] writes the collected events in the Chrome Trace
+//! Event JSON array format (`ph: "X"` complete events with microsecond
+//! `ts`/`dur`), which chrome://tracing and <https://ui.perfetto.dev> open
+//! directly.
+
+use crate::registry::{shard_index, thread_id, Histogram, SHARDS};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default per-shard trace-event capacity (events beyond it are dropped and
+/// counted in `trace.dropped`): 64Ki events ≈ 2 MiB per shard.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// One completed span.
+#[derive(Clone, Copy, Debug)]
+struct TraceEvent {
+    /// Span name (the histogram's registered name).
+    name: &'static str,
+    /// Start, nanoseconds since the trace epoch.
+    ts_ns: u64,
+    /// Duration in nanoseconds.
+    dur_ns: u64,
+    /// Dense id of the recording thread.
+    tid: usize,
+}
+
+struct TraceState {
+    shards: Vec<Mutex<Vec<TraceEvent>>>,
+    capacity: usize,
+}
+
+static TRACE: OnceLock<TraceState> = OnceLock::new();
+static TRACING: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// The instant all trace timestamps are measured from (fixed at the first
+/// call — [`enable_tracing`] pins it before any span starts).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whether span trace events are being collected.
+#[inline(always)]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Allocate the trace rings (`capacity` events per shard, preallocated so
+/// recording never reallocates) and start collecting span events. Implies
+/// [`crate::set_enabled`]`(true)`. Idempotent; the first call's capacity
+/// wins.
+pub fn enable_tracing(capacity: usize) {
+    let _ = epoch();
+    TRACE.get_or_init(|| TraceState {
+        shards: (0..SHARDS)
+            .map(|_| Mutex::new(Vec::with_capacity(capacity)))
+            .collect(),
+        capacity,
+    });
+    TRACING.store(true, Ordering::Relaxed);
+    crate::set_enabled(true);
+}
+
+/// Number of events dropped because a shard ring was full.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Clear collected events and the dropped counter (rings stay allocated).
+pub(crate) fn clear() {
+    if let Some(state) = TRACE.get() {
+        for shard in &state.shards {
+            shard.lock().expect("trace shard poisoned").clear();
+        }
+    }
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+#[inline]
+fn push(name: &'static str, ts_ns: u64, dur_ns: u64) {
+    let Some(state) = TRACE.get() else { return };
+    let mut shard = state.shards[shard_index()]
+        .lock()
+        .expect("trace shard poisoned");
+    if shard.len() < state.capacity {
+        shard.push(TraceEvent {
+            name,
+            ts_ns,
+            dur_ns,
+            tid: thread_id(),
+        });
+    } else {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// An in-flight span over a histogram. Created by [`Histogram::span`];
+/// records on drop. Inert (no timestamp taken) when telemetry is disabled.
+pub struct SpanGuard<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl<'a> SpanGuard<'a> {
+    #[inline]
+    pub(crate) fn start(hist: &'a Histogram) -> Self {
+        Self {
+            hist,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur = start.elapsed();
+        let dur_ns = dur.as_nanos().min(u64::MAX as u128) as u64;
+        self.hist.record_ns(dur_ns);
+        if tracing_enabled() {
+            let ts_ns = start
+                .checked_duration_since(epoch())
+                .unwrap_or_default()
+                .as_nanos()
+                .min(u64::MAX as u128) as u64;
+            push(self.hist.name(), ts_ns, dur_ns);
+        }
+    }
+}
+
+/// Render the collected events as a Chrome Trace Event JSON array (complete
+/// `"X"` events sorted by start time, `ts`/`dur` in microseconds).
+pub fn chrome_trace_json() -> String {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    if let Some(state) = TRACE.get() {
+        for shard in &state.shards {
+            events.extend(shard.lock().expect("trace shard poisoned").iter().copied());
+        }
+    }
+    events.sort_by_key(|e| (e.ts_ns, e.tid));
+    let mut out = String::with_capacity(events.len() * 96 + 2);
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        // Integer-nanosecond precision expressed in microseconds.
+        let _ = write!(
+            out,
+            "{sep}\n{{\"name\": \"{}\", \"cat\": \"elmrl\", \"ph\": \"X\", \
+             \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"pid\": 0, \"tid\": {}}}",
+            e.name,
+            e.ts_ns / 1_000,
+            e.ts_ns % 1_000,
+            e.dur_ns / 1_000,
+            e.dur_ns % 1_000,
+            e.tid
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Write [`chrome_trace_json`] to `path` (the `--trace-out` file).
+pub fn export_chrome_trace(path: &Path) -> Result<(), String> {
+    std::fs::write(path, chrome_trace_json())
+        .map_err(|e| format!("writing trace {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::histogram;
+
+    #[test]
+    fn spans_record_into_histogram_and_trace() {
+        // One test drives the whole trace lifecycle: enable_tracing is
+        // process-global and OnceLock'd, so splitting these into separate
+        // tests would race on the shared ring.
+        let _flag = crate::TEST_FLAG_LOCK.lock().unwrap();
+        enable_tracing(64);
+        let h = histogram("test.trace_span");
+        {
+            let _guard = h.span();
+            std::hint::black_box(1 + 1);
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.total_ns() > 0);
+
+        let json = chrome_trace_json();
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"name\": \"test.trace_span\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"pid\": 0"));
+
+        // The ring never reallocates: past capacity events are dropped and
+        // counted, not stored.
+        for _ in 0..(64 * SHARDS + 16) {
+            let _guard = h.span();
+        }
+        assert!(dropped_events() > 0);
+
+        clear();
+        assert_eq!(dropped_events(), 0);
+        assert_eq!(chrome_trace_json().trim(), "[\n]");
+
+        // Disabled spans are inert even with tracing structures allocated.
+        TRACING.store(false, Ordering::Relaxed);
+        crate::set_enabled(false);
+        let before = h.count();
+        {
+            let _guard = h.span();
+        }
+        assert_eq!(h.count(), before);
+    }
+}
