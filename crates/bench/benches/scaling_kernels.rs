@@ -1,0 +1,436 @@
+//! Scaling-frontier kernels (PR 9): the blocked P-update, the cache-blocked
+//! batch RLS, and the packed GEMM at the hidden sizes the paper never
+//! reaches — Ñ ∈ {256, 512, 1024} — plus the writer of the perf-trajectory
+//! entry `BENCH_PR9.json`.
+//!
+//! Three sections:
+//!
+//! 1. **GEMM curves** — GFLOP/s of the naive row-major kernel next to the
+//!    packed `PACK_MR`/`PACK_KC`/`PACK_NC` kernel at n ∈ {256, 512, 1024}.
+//!    At Ñ = 1024 one operand matrix is 8 MiB, so the naive kernel's
+//!    column-strided B reads fall out of every cache level; packing is
+//!    where the PR-9 win comes from on a single-core container.
+//! 2. **RLS update old vs new** — steps/sec of the PR-9 fused + tiled
+//!    update (`seq_train_single` / `seq_train_batch`) against an inline
+//!    reimplementation of the pre-PR-9 kernel sequence
+//!    (`matmul_t_into` + `matmul_into` + full-pass downdate +
+//!    `matmul_t_into` + β loop — P streamed four times per step instead of
+//!    two). The acceptance gate is ≥ 1.5× steps/sec at Ñ = 1024.
+//! 3. **Chunk-cap sweep** — per-transition throughput of one B-wide Eq. 6
+//!    chunk vs the same tick split into `DEFAULT_CHUNK_CAP`-sized chunks,
+//!    for B ∈ {16, 64, 128, 256}: the O(B²·Ñ) + O(B³) innovation toll that
+//!    motivates the cap the core layer applies.
+//!
+//! As with the earlier trajectory entries, the JSON numbers come from
+//! explicit best-of-N timing loops, not the criterion samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elmrl_core::DEFAULT_CHUNK_CAP;
+use elmrl_elm::{OsElm, OsElmConfig};
+use elmrl_linalg::matmul::{PACK_KC, PACK_MR, PACK_NC};
+use elmrl_linalg::random::uniform_matrix;
+use elmrl_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [256, 512, 1024];
+const INPUT_DIM: usize = 16;
+const BATCH: usize = 64;
+
+/// An OS-ELM learner at hidden size Ñ, through its initial training so the
+/// sequential paths are live. ReOS-ELM's δ > 0 keeps the init chunk small
+/// (128 rows) even at Ñ = 1024.
+fn initialized_learner(n_hidden: usize, rng: &mut SmallRng) -> OsElm<f64> {
+    let config = OsElmConfig::new(INPUT_DIM, n_hidden, 1)
+        .with_l2_delta(1.0)
+        .with_init_range(-0.5, 0.5);
+    let mut os = OsElm::<f64>::new(&config, rng);
+    let x0 = uniform_matrix::<f64, _>(128, INPUT_DIM, -1.0, 1.0, rng);
+    let t0 = uniform_matrix::<f64, _>(128, 1, -0.5, 0.5, rng);
+    os.init_train(&x0, &t0).expect("initial training");
+    os
+}
+
+/// The pre-PR-9 single-sample update, reimplemented inline: the same
+/// arithmetic the fused kernel produces bit for bit, but with `P` streamed
+/// four times per step (`matmul_t_into`, `matmul_into`, the full-pass
+/// rank-1 downdate, and the post-downdate `matmul_t_into`) the way the
+/// historical kernel sequence did. Owns its own `P`/`β` copies so the
+/// frozen model can stay borrowed from the real learner.
+struct OldSingleUpdate {
+    p: Matrix<f64>,
+    beta: Matrix<f64>,
+    h: Matrix<f64>,
+    ph: Matrix<f64>,
+    hp: Matrix<f64>,
+    pred: Matrix<f64>,
+    staging: Matrix<f64>,
+}
+
+impl OldSingleUpdate {
+    fn from_learner(os: &OsElm<f64>) -> Self {
+        let n_hidden = os.model().hidden_dim();
+        Self {
+            p: os.p_matrix().expect("initialized").clone(),
+            beta: os.model().beta().clone(),
+            h: Matrix::zeros(1, n_hidden),
+            ph: Matrix::zeros(n_hidden, 1),
+            hp: Matrix::zeros(1, n_hidden),
+            pred: Matrix::zeros(1, 1),
+            staging: Matrix::zeros(1, INPUT_DIM),
+        }
+    }
+
+    fn step(&mut self, os: &OsElm<f64>, x: &[f64], t: f64) {
+        let model = os.model();
+        let n_hidden = model.hidden_dim();
+        self.staging.set_row(0, x);
+        model.hidden_into(&self.staging, &mut self.h);
+        // Pass 1 + 2: ph = P·hᵀ, hp = h·P — two separate streams of P.
+        self.p.matmul_t_into(&self.h, &mut self.ph);
+        self.h.matmul_into(&self.p, &mut self.hp);
+        let mut denom = 1.0;
+        for i in 0..n_hidden {
+            denom += self.h[(0, i)] * self.ph[(i, 0)];
+        }
+        let inv_denom = 1.0 / denom;
+        self.h.matmul_into(&self.beta, &mut self.pred);
+        // Pass 3: the full-pass rank-1 downdate.
+        for r in 0..n_hidden {
+            let scale = self.ph[(r, 0)] * inv_denom;
+            let row = self.p.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v -= scale * self.hp[(0, c)];
+            }
+        }
+        // Pass 4: ph ← P_new·hᵀ, then the β row updates.
+        self.p.matmul_t_into(&self.h, &mut self.ph);
+        let residual = t - self.pred[(0, 0)];
+        for r in 0..n_hidden {
+            self.beta[(r, 0)] += self.ph[(r, 0)] * residual;
+        }
+    }
+}
+
+/// Best-of-`reps` wall time of `f` (the minimum is the least
+/// noise-contaminated estimate of the true cost).
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gemm_gflops(n: usize, wall: f64) -> f64 {
+    (2.0 * (n as f64).powi(3)) / wall / 1e9
+}
+
+fn bench_scaling_gemm(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9_001);
+    let mut group = c.benchmark_group("scaling_gemm");
+    group.sample_size(10);
+    for n in SIZES {
+        let a = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+        let b = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+        let mut out = Matrix::<f64>::zeros(n, n);
+        let mut pack = Vec::new();
+        group.bench_with_input(BenchmarkId::new("naive_into", n), &n, |bench, _| {
+            bench.iter(|| {
+                a.matmul_into(&b, &mut out);
+                out[(0, 0)]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("packed_into", n), &n, |bench, _| {
+            bench.iter(|| {
+                a.matmul_packed_into(&b, &mut pack, &mut out);
+                out[(0, 0)]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_rls(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9_002);
+    let mut group = c.benchmark_group("scaling_rls");
+    group.sample_size(10);
+    for n in SIZES {
+        let template = initialized_learner(n, &mut rng).snapshot();
+        let x = uniform_matrix::<f64, _>(1, INPUT_DIM, -1.0, 1.0, &mut rng);
+        let t = Matrix::from_vec(1, 1, vec![0.25]).unwrap();
+        group.bench_with_input(BenchmarkId::new("single_new", n), &n, |bench, _| {
+            let mut os = OsElm::from_snapshot(&template);
+            bench.iter(|| os.seq_train_single(x.row(0), t.row(0)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("single_old", n), &n, |bench, _| {
+            let os = OsElm::from_snapshot(&template);
+            let mut old = OldSingleUpdate::from_learner(&os);
+            bench.iter(|| old.step(&os, x.row(0), 0.25))
+        });
+    }
+    group.finish();
+}
+
+#[derive(Serialize)]
+struct GemmEntry {
+    n: usize,
+    kernel: String,
+    wall_seconds: f64,
+    gflops: f64,
+}
+
+#[derive(Serialize)]
+struct RlsEntry {
+    hidden: usize,
+    batch: usize,
+    kernel: String,
+    steps: usize,
+    wall_seconds: f64,
+    steps_per_second: f64,
+    speedup_vs_old: f64,
+}
+
+#[derive(Serialize)]
+struct ChunkCapEntry {
+    hidden: usize,
+    tick_width: usize,
+    chunk_cap: Option<usize>,
+    wall_seconds: f64,
+    transitions_per_second: f64,
+}
+
+#[derive(Serialize)]
+struct BenchTrajectory {
+    pr: usize,
+    benchmark: String,
+    host_available_parallelism: usize,
+    pack_mr: usize,
+    pack_kc: usize,
+    pack_nc: usize,
+    default_chunk_cap: usize,
+    gemm: Vec<GemmEntry>,
+    rls_update: Vec<RlsEntry>,
+    chunk_cap_sweep: Vec<ChunkCapEntry>,
+    speedup_at_1024_vs_old: f64,
+}
+
+/// Time `steps` single-sample updates through `f`, restoring the learner
+/// from `template` first so every variant starts from the same `P`, `β`.
+fn timed_steps(steps: usize, reps: usize, mut f: impl FnMut(usize)) -> f64 {
+    best_of(reps, || {
+        for s in 0..steps {
+            f(s);
+        }
+    })
+}
+
+/// Assemble and write `BENCH_PR9.json` — the PR-9 perf-trajectory entry:
+/// the GEMM GFLOP/s curves, the old-vs-new RLS steps/sec (with the ≥ 1.5×
+/// Ñ = 1024 acceptance number), and the chunk-cap sweep.
+fn write_trajectory(_c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9_003);
+    let mut gemm = Vec::new();
+    for n in SIZES {
+        let a = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+        let b = uniform_matrix::<f64, _>(n, n, -1.0, 1.0, &mut rng);
+        let mut out = Matrix::<f64>::zeros(n, n);
+        let mut pack = Vec::new();
+        // Warm both kernels once, then best-of-3.
+        a.matmul_into(&b, &mut out);
+        let naive = best_of(3, || a.matmul_into(&b, &mut out));
+        a.matmul_packed_into(&b, &mut pack, &mut out);
+        let packed = best_of(3, || a.matmul_packed_into(&b, &mut pack, &mut out));
+        gemm.push(GemmEntry {
+            n,
+            kernel: "naive_into".into(),
+            wall_seconds: naive,
+            gflops: gemm_gflops(n, naive),
+        });
+        gemm.push(GemmEntry {
+            n,
+            kernel: "packed_into".into(),
+            wall_seconds: packed,
+            gflops: gemm_gflops(n, packed),
+        });
+    }
+
+    let mut rls = Vec::new();
+    let mut speedup_at_1024 = f64::NAN;
+    for n in SIZES {
+        let template = initialized_learner(n, &mut rng).snapshot();
+        // Scale the step count so each measurement stays around the same
+        // wall time: the update is O(Ñ²) per step.
+        let steps = (32 * 1024 * 1024 / (n * n)).max(8);
+        let xs: Vec<Matrix<f64>> = (0..steps.min(64))
+            .map(|_| uniform_matrix::<f64, _>(1, INPUT_DIM, -1.0, 1.0, &mut rng))
+            .collect();
+        let t = [0.25f64];
+
+        let mut os_new = OsElm::from_snapshot(&template);
+        os_new
+            .seq_train_single(xs[0].row(0), &t)
+            .expect("warm-up step");
+        let new_wall = timed_steps(steps, 3, |s| {
+            os_new
+                .seq_train_single(xs[s % xs.len()].row(0), &t)
+                .expect("fused update")
+        });
+
+        let os_old = OsElm::from_snapshot(&template);
+        let mut old = OldSingleUpdate::from_learner(&os_old);
+        old.step(&os_old, xs[0].row(0), 0.25);
+        let old_wall = timed_steps(steps, 3, |s| {
+            old.step(&os_old, xs[s % xs.len()].row(0), 0.25)
+        });
+
+        let new_sps = steps as f64 / new_wall;
+        let old_sps = steps as f64 / old_wall;
+        let speedup = new_sps / old_sps;
+        if n == 1024 {
+            speedup_at_1024 = speedup;
+        }
+        rls.push(RlsEntry {
+            hidden: n,
+            batch: 1,
+            kernel: "seq_train_single_old".into(),
+            steps,
+            wall_seconds: old_wall,
+            steps_per_second: old_sps,
+            speedup_vs_old: 1.0,
+        });
+        rls.push(RlsEntry {
+            hidden: n,
+            batch: 1,
+            kernel: "seq_train_single_fused".into(),
+            steps,
+            wall_seconds: new_wall,
+            steps_per_second: new_sps,
+            speedup_vs_old: speedup,
+        });
+
+        // The batch path: the retained allocating reference `seq_train` is
+        // the pre-PR-9 unfused kernel sequence, bit-identical by contract.
+        let batch_updates = (2 * 1024 * 1024 / (n * n)).max(2);
+        let xb = uniform_matrix::<f64, _>(BATCH, INPUT_DIM, -1.0, 1.0, &mut rng);
+        let tb = uniform_matrix::<f64, _>(BATCH, 1, -0.5, 0.5, &mut rng);
+        let mut os_bnew = OsElm::from_snapshot(&template);
+        os_bnew.seq_train_batch(&xb, &tb).expect("warm-up chunk");
+        let bnew_wall = timed_steps(batch_updates, 2, |_| {
+            os_bnew.seq_train_batch(&xb, &tb).expect("blocked chunk")
+        });
+        let mut os_bold = OsElm::from_snapshot(&template);
+        os_bold.seq_train(&xb, &tb).expect("warm-up chunk");
+        let bold_wall = timed_steps(batch_updates, 2, |_| {
+            os_bold.seq_train(&xb, &tb).expect("reference chunk")
+        });
+        let bnew_sps = (batch_updates * BATCH) as f64 / bnew_wall;
+        let bold_sps = (batch_updates * BATCH) as f64 / bold_wall;
+        rls.push(RlsEntry {
+            hidden: n,
+            batch: BATCH,
+            kernel: "seq_train_reference".into(),
+            steps: batch_updates * BATCH,
+            wall_seconds: bold_wall,
+            steps_per_second: bold_sps,
+            speedup_vs_old: 1.0,
+        });
+        rls.push(RlsEntry {
+            hidden: n,
+            batch: BATCH,
+            kernel: "seq_train_batch_blocked".into(),
+            steps: batch_updates * BATCH,
+            wall_seconds: bnew_wall,
+            steps_per_second: bnew_sps,
+            speedup_vs_old: bnew_sps / bold_sps,
+        });
+    }
+
+    // Chunk-cap sweep at Ñ = 256: one B-wide Eq. 6 chunk vs the same tick
+    // split into DEFAULT_CHUNK_CAP-sized chunks (what the core layer does).
+    let mut sweep = Vec::new();
+    let n_sweep = 256;
+    let template = initialized_learner(n_sweep, &mut rng).snapshot();
+    for tick in [16usize, 64, 128, 256] {
+        let x = uniform_matrix::<f64, _>(tick, INPUT_DIM, -1.0, 1.0, &mut rng);
+        let t = uniform_matrix::<f64, _>(tick, 1, -0.5, 0.5, &mut rng);
+        let reps = (256 / tick).max(2);
+
+        let mut os_whole = OsElm::from_snapshot(&template);
+        os_whole.seq_train_batch(&x, &t).expect("warm-up");
+        let whole = timed_steps(reps, 2, |_| {
+            os_whole.seq_train_batch(&x, &t).expect("whole tick")
+        });
+        sweep.push(ChunkCapEntry {
+            hidden: n_sweep,
+            tick_width: tick,
+            chunk_cap: None,
+            wall_seconds: whole,
+            transitions_per_second: (reps * tick) as f64 / whole,
+        });
+
+        let mut os_capped = OsElm::from_snapshot(&template);
+        let chunks: Vec<(Matrix<f64>, Matrix<f64>)> = (0..tick)
+            .step_by(DEFAULT_CHUNK_CAP)
+            .map(|c0| {
+                let c1 = (c0 + DEFAULT_CHUNK_CAP).min(tick);
+                let w = c1 - c0;
+                let mut xc = Matrix::zeros(w, INPUT_DIM);
+                let mut tc = Matrix::zeros(w, 1);
+                for r in 0..w {
+                    xc.set_row(r, x.row(c0 + r));
+                    tc.set_row(r, t.row(c0 + r));
+                }
+                (xc, tc)
+            })
+            .collect();
+        for (xc, tc) in &chunks {
+            os_capped.seq_train_batch(xc, tc).expect("warm-up");
+        }
+        let capped = timed_steps(reps, 2, |_| {
+            for (xc, tc) in &chunks {
+                os_capped.seq_train_batch(xc, tc).expect("capped chunk");
+            }
+        });
+        sweep.push(ChunkCapEntry {
+            hidden: n_sweep,
+            tick_width: tick,
+            chunk_cap: Some(DEFAULT_CHUNK_CAP),
+            wall_seconds: capped,
+            transitions_per_second: (reps * tick) as f64 / capped,
+        });
+    }
+
+    let trajectory = BenchTrajectory {
+        pr: 9,
+        benchmark: "scaling_kernels: packed GEMM GFLOP/s, old-vs-new RLS update, \
+                    chunk-cap sweep at Ñ ∈ {256, 512, 1024}"
+            .to_string(),
+        host_available_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        pack_mr: PACK_MR,
+        pack_kc: PACK_KC,
+        pack_nc: PACK_NC,
+        default_chunk_cap: DEFAULT_CHUNK_CAP,
+        gemm,
+        rls_update: rls,
+        chunk_cap_sweep: sweep,
+        speedup_at_1024_vs_old: speedup_at_1024,
+    };
+    let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+    std::fs::write(path, &json).expect("write BENCH_PR9.json");
+    eprintln!("wrote BENCH_PR9.json:\n{json}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_scaling_gemm, bench_scaling_rls, write_trajectory
+}
+criterion_main!(benches);

@@ -140,6 +140,9 @@ pub struct BatchQScratch {
     pre: Matrix<f64>,
     /// `(B·A) × 1` — the stacked network outputs `H·β`.
     y: Matrix<f64>,
+    /// Packed-panel buffer of the blocked matmul engine (PR 9): holds one
+    /// transposed `PACK_MR × PACK_KC` lhs slice, reused across calls.
+    pack: Vec<f64>,
     /// `B × A` — the folded per-state Q matrix (the result).
     pub(crate) q: Matrix<f64>,
 }
@@ -171,20 +174,12 @@ pub fn elm_q_batch_into(
             let bias = model.bias(); // 1 × Ñ
             let nh = alpha.cols();
             // shared = states · α[0..sd, ..] — the historical path copied
-            // the top rows into a submatrix first; iterating α's rows
-            // directly performs the identical i-k-j accumulation without
-            // materialising the copy.
-            scratch.shared.resize_zeroed(b, nh);
-            for i in 0..b {
-                let s_row = states.row(i);
-                let o_row = scratch.shared.row_mut(i);
-                for (p, &a_ip) in s_row.iter().enumerate() {
-                    let alpha_row = alpha.row(p);
-                    for j in 0..nh {
-                        o_row[j] += a_ip * alpha_row[j];
-                    }
-                }
-            }
+            // the top rows into a submatrix first, then hand-rolled the
+            // i-k-j loop against α's rows. The prefix form of the blocked
+            // packed engine performs the identical ascending-p accumulation
+            // against α's top `sd` rows without materialising either the
+            // copy or the full product (α carries the extra action row).
+            states.matmul_prefix_packed_into(alpha, sd, &mut scratch.pack, &mut scratch.shared);
             scratch.pre.resize_zeroed(b * a, nh);
             for i in 0..b {
                 let s_row = scratch.shared.row(i);
@@ -209,7 +204,7 @@ pub fn elm_q_batch_into(
                     row[sd + action] = 1.0;
                 }
             }
-            model.hidden_into(&scratch.shared, &mut scratch.pre);
+            model.hidden_into_packed(&scratch.shared, &mut scratch.pack, &mut scratch.pre);
         }
     }
     scratch.pre.matmul_into(model.beta(), &mut scratch.y); // (B·A) × 1

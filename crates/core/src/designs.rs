@@ -93,6 +93,16 @@ impl Design {
         )
     }
 
+    /// Whether this design trains through the chunked OS-ELM RLS update —
+    /// i.e. whether [`DesignConfig::chunk_cap`] (and the
+    /// [`crate::oselm_qnet::DEFAULT_CHUNK_CAP`] fallback) applies to it.
+    pub fn uses_chunked_rls(self) -> bool {
+        matches!(
+            self,
+            Design::OsElm | Design::OsElmL2 | Design::OsElmLipschitz | Design::OsElmL2Lipschitz
+        )
+    }
+
     /// Build the agent for this design. Panics for [`Design::Fpga`], which is
     /// constructed by `elmrl-fpga::FpgaAgent::new` instead.
     pub fn build(self, config: &DesignConfig, rng: &mut SmallRng) -> Box<dyn Agent> {
@@ -183,6 +193,12 @@ pub struct DesignConfig {
     /// Whether ELM/OS-ELM Q-learning targets are clipped into `[-1, 1]`
     /// (§3.1; DQN always trains unclipped and relies on the Huber loss).
     pub clip_targets: bool,
+    /// Cap on the OS-ELM batched-training chunk width (the CLI's
+    /// `--chunk-cap`); `None` defers to
+    /// [`crate::oselm_qnet::DEFAULT_CHUNK_CAP`]. Only the OS-ELM designs
+    /// consume it, and only at `train_envs > 1`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub chunk_cap: Option<usize>,
 }
 
 impl DesignConfig {
@@ -205,6 +221,7 @@ impl DesignConfig {
             update_prob: spec.defaults.update_prob,
             target_sync_episodes: spec.defaults.target_sync_episodes,
             clip_targets: spec.defaults.clip_targets,
+            chunk_cap: None,
         }
     }
 

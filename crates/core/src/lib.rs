@@ -60,5 +60,5 @@ pub use designs::{Design, DesignConfig};
 pub use dqn::DqnAgent;
 pub use elm_qnet::ElmQNet;
 pub use ops::{OpCounts, OpKind};
-pub use oselm_qnet::{OsElmQNet, OsElmQNetConfig};
+pub use oselm_qnet::{OsElmQNet, OsElmQNetConfig, DEFAULT_CHUNK_CAP};
 pub use trainer::{SolveCriterion, Trainer, TrainerConfig, TrainingResult};

@@ -35,6 +35,20 @@ use std::time::Instant;
 /// fixed-point hardware divider's finite resolution does implicitly.
 const NUMERICAL_DELTA: f64 = 1e-8;
 
+/// Default cap on the RLS chunk width `B` of one batched
+/// [`BatchAgent::observe_batch`] tick. The Eq. 6 chunk pays an O(B²·Ñ) +
+/// O(B³) toll (the `I + H·P·Hᵀ` Gram build and its Cholesky) on top of the
+/// O(B·Ñ²) P passes, so past a point a wider chunk loses to two half-width
+/// ones — while the batched *target-network* evaluation keeps its full-tick
+/// hoisting either way (targets depend only on the frozen θ₂). The
+/// `scaling_kernels` bench sweeps B at Ñ ∈ {256, 512, 1024}; the crossover
+/// sits past B ≈ 64 at every Ñ measured (the B² terms stay ≪ the Ñ² terms
+/// until B approaches Ñ), so the default caps at 64 — comfortably below the
+/// crossover while keeping ticks from pathological E (hundreds of parallel
+/// envs) from going cubic. Override per agent via
+/// [`OsElmQNetConfig::chunk_cap`].
+pub const DEFAULT_CHUNK_CAP: usize = 64;
+
 /// Configuration of an OS-ELM Q-Network agent.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OsElmQNetConfig {
@@ -62,6 +76,12 @@ pub struct OsElmQNetConfig {
     pub spectral_normalize: bool,
     /// Hidden activation (the paper uses ReLU).
     pub activation: HiddenActivation,
+    /// Cap on the RLS chunk width of one batched tick — oversized ticks are
+    /// split into consecutive chunks of at most this many transitions
+    /// (`None` → [`DEFAULT_CHUNK_CAP`]). Only relevant at `train_envs > 1`;
+    /// the scalar loop's B = 1 is always below any cap.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub chunk_cap: Option<usize>,
 }
 
 impl OsElmQNetConfig {
@@ -97,6 +117,7 @@ impl OsElmQNetConfig {
             l2_delta,
             spectral_normalize,
             activation: HiddenActivation::ReLU,
+            chunk_cap: config.chunk_cap,
         }
     }
 
@@ -476,16 +497,18 @@ impl BatchAgent for OsElmQNet {
         self.policy.select(q.row(0), rng)
     }
 
-    /// One engine tick's transitions, trained as **one** batch-B RLS chunk:
+    /// One engine tick's transitions, trained as batch-B RLS chunks of at
+    /// most [`OsElmQNetConfig::chunk_cap`] transitions each (default
+    /// [`DEFAULT_CHUNK_CAP`]; one chunk for any tick at or below the cap):
     /// the random-update rule draws one gate per transition (as the scalar
     /// path would), every surviving transition's Q-target comes from a
     /// single batched forward through the frozen target network θ₂
-    /// (`elm_q_batch_into`, bit-for-bit the scalar per-action
-    /// evaluation), and the chunk goes through
-    /// [`elmrl_elm::OsElm::seq_train_batch`] — the B > 1 case of Eq. 6,
-    /// block-exact w.r.t. B single-sample updates. Allocation-free at
-    /// steady state; with `batch.len() == 1` it performs the same update
-    /// the scalar [`Agent::observe`] would (chunk size 1).
+    /// (`elm_q_batch_into`, bit-for-bit the scalar per-action evaluation,
+    /// hoisted over the whole tick since targets depend only on θ₂), and
+    /// each chunk goes through [`elmrl_elm::OsElm::seq_train_batch`] — the
+    /// B > 1 case of Eq. 6, block-exact w.r.t. B single-sample updates.
+    /// Allocation-free at steady state; with `batch.len() == 1` it performs
+    /// the same update the scalar [`Agent::observe`] would (chunk size 1).
     fn observe_batch(&mut self, batch: &[Observation], rng: &mut SmallRng) {
         // Store phase: transitions fill buffer D through the scalar path
         // until the initial training has run (fires mid-batch at most once).
@@ -510,6 +533,7 @@ impl BatchAgent for OsElmQNet {
         if !selected.is_empty() {
             let started = Instant::now();
             let b = selected.len();
+            let cap = self.config.chunk_cap.unwrap_or(DEFAULT_CHUNK_CAP).max(1);
             let Self {
                 config,
                 encoder,
@@ -520,25 +544,33 @@ impl BatchAgent for OsElmQNet {
                 ops,
                 ..
             } = self;
+            // The Q-targets depend only on the frozen θ₂, so the batched
+            // target-network forward stays hoisted over the whole tick even
+            // when the RLS update below is split into capped chunks.
             bscratch.next_states.resize_zeroed(b, config.state_dim);
             for (r, &i) in selected.iter().enumerate() {
                 bscratch.next_states.set_row(r, &rest[i].next_state);
             }
             elm_q_batch_into(encoder, target, &bscratch.next_states, &mut bscratch.q);
-            bscratch.x.resize_zeroed(b, encoder.input_dim());
-            bscratch.t.resize_zeroed(b, 1);
-            for (r, &i) in selected.iter().enumerate() {
-                let obs = &rest[i];
-                encoder.encode_into(&obs.state, obs.action, &mut scratch.enc);
-                bscratch.x.set_row(r, &scratch.enc);
-                let max_next = max_q(bscratch.q.q.row(r));
-                bscratch.t[(r, 0)] = config.target.target(obs.reward, max_next, obs.done);
+            if b > cap {
+                elmrl_telemetry::counter!("core.observe.chunk_splits").inc();
             }
-            if online.seq_train_batch(&bscratch.x, &bscratch.t).is_ok() {
-                ops.record_n(OpKind::SeqTrain, b as u64, started.elapsed());
-            } else {
-                debug_assert!(false, "batched sequential update before initial training");
+            for (c, chunk) in selected.chunks(cap).enumerate() {
+                let w = chunk.len();
+                bscratch.x.resize_zeroed(w, encoder.input_dim());
+                bscratch.t.resize_zeroed(w, 1);
+                for (r, &i) in chunk.iter().enumerate() {
+                    let obs = &rest[i];
+                    encoder.encode_into(&obs.state, obs.action, &mut scratch.enc);
+                    bscratch.x.set_row(r, &scratch.enc);
+                    let max_next = max_q(bscratch.q.q.row(c * cap + r));
+                    bscratch.t[(r, 0)] = config.target.target(obs.reward, max_next, obs.done);
+                }
+                if online.seq_train_batch(&bscratch.x, &bscratch.t).is_err() {
+                    debug_assert!(false, "batched sequential update before initial training");
+                }
             }
+            ops.record_n(OpKind::SeqTrain, b as u64, started.elapsed());
         }
         self.bscratch.selected = selected;
     }
@@ -724,6 +756,71 @@ mod tests {
         // With zero β both bounds are 0; compare α's σ_max directly.
         assert!(normalized.online.model().alpha_sigma_max() <= 1.0 + 1e-9);
         assert!(raw.online.model().alpha_sigma_max() > 1.0);
+    }
+
+    /// Drive one agent through its init phase and then a single B-wide
+    /// `observe_batch` tick, returning the resulting β as a flat vector.
+    fn beta_after_one_tick(chunk_cap: Option<usize>, tick_width: usize) -> Vec<f64> {
+        let mut r = rng(42);
+        let mut config = OsElmQNetConfig::cartpole(16, 0.5, true);
+        config.random_update = false; // every transition trains
+        config.chunk_cap = chunk_cap;
+        let mut agent = OsElmQNet::new(config, &mut r);
+        for i in 0..16 {
+            let mut obs = sample_obs(0.0, false);
+            obs.state[0] = i as f64 * 0.03 - 0.2;
+            obs.action = i % 2;
+            agent.observe(&obs, &mut r);
+        }
+        assert!(agent.is_initialized());
+        let tick: Vec<Observation> = (0..tick_width)
+            .map(|i| {
+                let mut obs = sample_obs(if i % 3 == 0 { -1.0 } else { 0.0 }, i % 3 == 0);
+                obs.state[1] = i as f64 * 0.07 - 0.15;
+                obs.next_state[2] = i as f64 * -0.04 + 0.1;
+                obs.action = i % 2;
+                obs
+            })
+            .collect();
+        agent.observe_batch(&tick, &mut r);
+        agent.online.model().beta().as_slice().to_vec()
+    }
+
+    #[test]
+    fn chunk_cap_splits_are_deterministic_but_not_bit_identical_to_one_chunk() {
+        // The OS-ELM property makes chunked RLS *algebraically* equivalent to
+        // the one-chunk update, so trajectories rarely diverge (the harness
+        // pins that); here β is observable, and the float-level rounding
+        // difference from re-associating the B-wide update must show up.
+        let uncapped = beta_after_one_tick(None, 8); // 8 < DEFAULT_CHUNK_CAP
+        let capped = beta_after_one_tick(Some(2), 8); // four chunks of 2
+        assert_eq!(
+            capped,
+            beta_after_one_tick(Some(2), 8),
+            "the capped update must be bit-for-bit deterministic"
+        );
+        assert_eq!(
+            uncapped,
+            beta_after_one_tick(None, 8),
+            "the uncapped update must be bit-for-bit deterministic"
+        );
+        assert_ne!(
+            capped, uncapped,
+            "splitting a B=8 tick into cap-2 chunks re-associates the RLS \
+             arithmetic, so β must differ at float level"
+        );
+        // But only at float level: the chunked update is the same algebra.
+        let max_abs_diff = capped
+            .iter()
+            .zip(&uncapped)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(
+            max_abs_diff < 1e-9,
+            "chunk splitting must stay algebraically equivalent, got {max_abs_diff}"
+        );
+        // A cap at or above the tick width is exactly the one-chunk path.
+        assert_eq!(beta_after_one_tick(Some(8), 8), uncapped);
     }
 
     #[test]

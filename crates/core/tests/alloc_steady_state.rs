@@ -188,6 +188,75 @@ fn steady_state_batched_training_tick_allocates_nothing() {
 }
 
 #[test]
+fn steady_state_tiled_update_with_chunk_splitting_allocates_nothing() {
+    // The PR-9 contract: the blocked kernels stay allocation-free too. This
+    // variant crosses both new tiling seams — a hidden width past
+    // `P_UPDATE_TILE` (so the fused P passes run a full row tile plus a
+    // remainder) and a tick wider than `chunk_cap` (so `observe_batch`
+    // splits the RLS update into capped chunks while the hoisted
+    // target-network forward still covers the whole tick).
+    use elmrl_core::batch::BatchAgent;
+    use elmrl_elm::os_elm::P_UPDATE_TILE;
+
+    let _serial = serial();
+    let spec = Workload::CartPole.spec();
+    let mut config = OsElmQNetConfig::for_workload(&spec, P_UPDATE_TILE + 8, 0.5, true);
+    config.random_update = false; // every tick trains the full chunk
+    config.chunk_cap = Some(3); // B = 8 tick → 3 chunks of 3 + 3 + 2
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut agent = OsElmQNet::new(config, &mut rng);
+
+    let tick: Vec<Observation> = (0..8)
+        .map(|i| Observation {
+            state: vec![0.02 * i as f64, -0.02, 0.03, 0.01 * (i % 3) as f64],
+            action: i % 2,
+            reward: if i == 7 { -1.0 } else { 0.0 },
+            next_state: vec![0.02 * i as f64 + 0.005, -0.01, 0.02, 0.01],
+            done: i == 7,
+            truncated: false,
+        })
+        .collect();
+
+    // Store phase (9 ticks fill buffer D with Ñ = 72 samples) + warm-up so
+    // every workspace — including the packed-panel buffers — reaches steady
+    // capacity.
+    for t in 0..32 {
+        // Perturb one state component per store-phase tick so the initial
+        // Gram matrix is well-posed at Ñ = 72.
+        let staged: Vec<Observation> = tick
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let mut o = o.clone();
+                o.state[1] += 0.003 * (t * 8 + i) as f64;
+                o
+            })
+            .collect();
+        agent.observe_batch(&staged, &mut rng);
+    }
+    assert!(agent.is_initialized());
+    for _ in 0..8 {
+        agent.observe_batch(&tick, &mut rng);
+    }
+
+    COUNTING.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..64 {
+        agent.observe_batch(&tick, &mut rng);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|flag| flag.set(false));
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state tiled + chunk-split tick must not allocate \
+         ({} allocations over 64 ticks)",
+        after - before
+    );
+}
+
+#[test]
 fn steady_state_training_step_allocates_nothing_with_telemetry_on() {
     // The PR-8 no-perturbation contract: with the metric registry enabled
     // *and* the span-trace ring collecting, the steady-state hot path is

@@ -21,7 +21,16 @@ use elmrl_linalg::decomp::{cholesky_into, solve_spd_into, Cholesky};
 use elmrl_linalg::solve::inverse;
 use elmrl_linalg::{LinalgError, Matrix, Scalar};
 use rand::Rng;
+use rayon::prelude::*;
 use std::fmt;
+
+/// Row-tile height of the fused P-update passes: the unit of work handed to
+/// the work-sharing pool, and the stride of the sequential tile loop. 64
+/// rows keep one tile of `P` (64·Ñ f64 = 512 KiB at Ñ = 1024) streaming
+/// through L2 while `h`/`hp` stay L1-resident; swept against 16/32/128/256
+/// in the `scaling_kernels` bench (flat within noise from 32 up, so the
+/// value matters for scheduling granularity more than locality).
+pub const P_UPDATE_TILE: usize = 64;
 
 /// Errors produced by OS-ELM training.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,10 +93,14 @@ struct SeqScratch<T: Scalar> {
     l: Matrix<T>,
     /// `B × Ñ` — the solve `S⁻¹·(H·P)` (batch path only).
     sol: Matrix<T>,
-    /// `Ñ × Ñ` — the `P` downdate `(P·Hᵀ)·S⁻¹·(H·P)` (batch path only).
-    update: Matrix<T>,
-    /// `Ñ × m` — the β increment `(P_new·Hᵀ)·e` (batch path only).
-    delta: Matrix<T>,
+    /// `1 × Ñ` — one row of the `P` downdate, recomputed per row inside the
+    /// fused pass (batch path only). PR 9 replaced the former `Ñ × Ñ`
+    /// full-downdate workspace with this row: the downdate is applied
+    /// row-by-row while the row is hot, which removes an entire `Ñ²` write
+    /// + read + subtract sweep from the chunk update.
+    tmp: Matrix<T>,
+    /// Pack buffer for the cache-blocked hidden-activation product.
+    pack: Vec<T>,
 }
 
 // Manual impl: `derive(Default)` would demand `T: Default`, which `Scalar`
@@ -103,8 +116,345 @@ impl<T: Scalar> Default for SeqScratch<T> {
             s: Matrix::default(),
             l: Matrix::default(),
             sol: Matrix::default(),
-            update: Matrix::default(),
-            delta: Matrix::default(),
+            tmp: Matrix::default(),
+            pack: Vec::new(),
+        }
+    }
+}
+
+/// The collected row tiles of a fused P pass handed to the work-sharing
+/// pool: (`P` rows, `ph` rows, `β` rows) per tile.
+type RowTiles<'a, T> = Vec<((&'a mut [T], &'a mut [T]), &'a mut [T])>;
+
+/// Fused pass 1 of the RLS update: one streamed read of `P` (row-major,
+/// ascending rows) produces both `ph = P·Hᵀ` (Ñ×B) and `hp = H·P` (B×Ñ,
+/// pre-zeroed by the caller). Per output element the accumulation order is
+/// exactly the separate `matmul_t_into` / `matmul_into` kernels' — `ph[r][b]`
+/// sums ascending `c`, `hp[b][c]` accumulates ascending `r` — so the fusion
+/// changes memory traffic only, never a byte.
+fn fused_ph_hp<T: Scalar>(p: &Matrix<T>, h: &Matrix<T>, ph: &mut Matrix<T>, hp: &mut Matrix<T>) {
+    let n = p.rows();
+    let b_rows = h.rows();
+    if b_rows == 1 {
+        fused_ph_hp_single(p, h.row(0), ph, hp.row_mut(0));
+        return;
+    }
+    for r in 0..n {
+        let p_row = p.row(r);
+        let ph_row = ph.row_mut(r);
+        // Four ph dots in flight: the chains are independent (one per
+        // output element), so interleaving them hides the serial FP-add
+        // latency of a lone ascending-order accumulation; each individual
+        // accumulator still sums ascending `c`, so not a byte changes.
+        let mut b = 0;
+        while b + 4 <= b_rows {
+            let (h0, h1, h2, h3) = (h.row(b), h.row(b + 1), h.row(b + 2), h.row(b + 3));
+            let mut a0 = T::zero();
+            let mut a1 = T::zero();
+            let mut a2 = T::zero();
+            let mut a3 = T::zero();
+            for ((((&p_rc, &c0), &c1), &c2), &c3) in p_row.iter().zip(h0).zip(h1).zip(h2).zip(h3) {
+                a0 += p_rc * c0;
+                a1 += p_rc * c1;
+                a2 += p_rc * c2;
+                a3 += p_rc * c3;
+            }
+            ph_row[b] = a0;
+            ph_row[b + 1] = a1;
+            ph_row[b + 2] = a2;
+            ph_row[b + 3] = a3;
+            b += 4;
+        }
+        for (o, h_row) in ph_row[b..].iter_mut().zip((b..b_rows).map(|bb| h.row(bb))) {
+            let mut acc = T::zero();
+            for (&p_rc, &h_c) in p_row.iter().zip(h_row) {
+                acc += p_rc * h_c;
+            }
+            *o = acc;
+        }
+        for bb in 0..b_rows {
+            let h_br = h.row(bb)[r];
+            let hp_row = hp.row_mut(bb);
+            for (v, &p_rc) in hp_row.iter_mut().zip(p_row) {
+                *v += h_br * p_rc;
+            }
+        }
+    }
+}
+
+/// The `B = 1` specialisation of [`fused_ph_hp`]: four rows of `P` stream
+/// together, giving four independent `ph` dot chains in flight while the
+/// `hp` element picks up the same four terms in ascending row order — per
+/// element, every operation and its order match the one-row-at-a-time loop
+/// exactly, so the interleave is bit-identical and only buys instruction-
+/// level parallelism.
+fn fused_ph_hp_single<T: Scalar>(p: &Matrix<T>, h_row: &[T], ph: &mut Matrix<T>, hp_row: &mut [T]) {
+    let n = p.rows();
+    let mut r = 0;
+    while r + 4 <= n {
+        let (p0, p1, p2, p3) = (p.row(r), p.row(r + 1), p.row(r + 2), p.row(r + 3));
+        let (h0, h1, h2, h3) = (h_row[r], h_row[r + 1], h_row[r + 2], h_row[r + 3]);
+        let mut a0 = T::zero();
+        let mut a1 = T::zero();
+        let mut a2 = T::zero();
+        let mut a3 = T::zero();
+        for (((((&c0, &c1), &c2), &c3), &h_c), v) in p0
+            .iter()
+            .zip(p1)
+            .zip(p2)
+            .zip(p3)
+            .zip(h_row)
+            .zip(hp_row.iter_mut())
+        {
+            a0 += c0 * h_c;
+            a1 += c1 * h_c;
+            a2 += c2 * h_c;
+            a3 += c3 * h_c;
+            let mut acc = *v;
+            acc += h0 * c0;
+            acc += h1 * c1;
+            acc += h2 * c2;
+            acc += h3 * c3;
+            *v = acc;
+        }
+        ph[(r, 0)] = a0;
+        ph[(r + 1, 0)] = a1;
+        ph[(r + 2, 0)] = a2;
+        ph[(r + 3, 0)] = a3;
+        r += 4;
+    }
+    while r < n {
+        let p_row = p.row(r);
+        let h_r = h_row[r];
+        let mut acc = T::zero();
+        for ((&p_rc, &h_c), v) in p_row.iter().zip(h_row).zip(hp_row.iter_mut()) {
+            acc += p_rc * h_c;
+            *v += h_r * p_rc;
+        }
+        ph[(r, 0)] = acc;
+        r += 1;
+    }
+}
+
+/// `ph = P·Hᵀ` with row tiles on the work-sharing pool. Each `ph` row is an
+/// independent set of dots against `H`, so any tiling is bit-identical.
+fn par_ph<T: Scalar>(p: &Matrix<T>, h: &Matrix<T>, ph: &mut Matrix<T>) {
+    let b_rows = h.rows();
+    let chunks: Vec<(usize, &mut [T])> = ph
+        .as_mut_slice()
+        .chunks_mut(P_UPDATE_TILE * b_rows)
+        .enumerate()
+        .collect();
+    chunks.into_par_iter().for_each(|(ci, chunk)| {
+        let r0 = ci * P_UPDATE_TILE;
+        for (dr, ph_row) in chunk.chunks_mut(b_rows).enumerate() {
+            let p_row = p.row(r0 + dr);
+            for (b, o) in ph_row.iter_mut().enumerate() {
+                let h_row = h.row(b);
+                let mut acc = T::zero();
+                for (&p_rc, &h_c) in p_row.iter().zip(h_row) {
+                    acc += p_rc * h_c;
+                }
+                *o = acc;
+            }
+        }
+    });
+}
+
+/// `hp = H·P` (pre-zeroed) with **rows of `hp`** on the pool — each row `b`
+/// accumulates `Σ_r H[b][r]·P[r,:]` ascending `r` independently of the other
+/// rows, which is exactly the `matmul_into` per-element order.
+fn par_hp_rows<T: Scalar>(p: &Matrix<T>, h: &Matrix<T>, hp: &mut Matrix<T>) {
+    let n = p.cols();
+    let chunks: Vec<(usize, &mut [T])> = hp.as_mut_slice().chunks_mut(n).enumerate().collect();
+    chunks.into_par_iter().for_each(|(b, hp_row)| {
+        let h_row = h.row(b);
+        for (r, &h_br) in h_row.iter().enumerate() {
+            let p_row = p.row(r);
+            for (v, &p_rc) in hp_row.iter_mut().zip(p_row) {
+                *v += h_br * p_rc;
+            }
+        }
+    });
+}
+
+/// `hp = h·P` for a single sample (pre-zeroed 1×Ñ row) with **column tiles**
+/// on the pool: element `hp[c]` accumulates `Σ_r h[r]·P[r][c]` ascending `r`
+/// within its tile, independent of every other column — the `matmul_into`
+/// order again, so the column split is bit-identical.
+fn par_hp_cols<T: Scalar>(p: &Matrix<T>, h_row: &[T], hp_row: &mut [T]) {
+    let chunks: Vec<(usize, &mut [T])> = hp_row.chunks_mut(P_UPDATE_TILE).enumerate().collect();
+    chunks.into_par_iter().for_each(|(ci, tile)| {
+        let c0 = ci * P_UPDATE_TILE;
+        for (r, &h_r) in h_row.iter().enumerate() {
+            let p_slice = &p.row(r)[c0..c0 + tile.len()];
+            for (v, &p_rc) in tile.iter_mut().zip(p_slice) {
+                *v += h_r * p_rc;
+            }
+        }
+    });
+}
+
+/// Fused pass 2 of the batch-B RLS update over a contiguous row range: for
+/// each row `r` in the tile, (1) rebuild the downdate row
+/// `(P·Hᵀ)[r]·S⁻¹·(H·P)` into `tmp` (ascending `b`, the `matmul_into`
+/// order) and subtract it from `P[r]` in place, (2) recompute
+/// `ph[r] = P_new[r]·Hᵀ` — legal because row `r` of `P` is final after its
+/// own downdate — and (3) fold the β-row update `β[r] += ph_new[r]·e`.
+/// Bit-identical to the former four-kernel sequence; `P` is read/written
+/// once instead of four times.
+fn rls_downdate_rows<T: Scalar>(
+    p_rows: &mut [T],
+    ph_rows: &mut [T],
+    beta_rows: &mut [T],
+    h: &Matrix<T>,
+    sol: &Matrix<T>,
+    resid: &Matrix<T>,
+    tmp: &mut [T],
+) {
+    let n = h.cols();
+    let b_rows = h.rows();
+    let m_out = resid.cols();
+    for ((p_row, ph_row), beta_row) in p_rows
+        .chunks_mut(n)
+        .zip(ph_rows.chunks_mut(b_rows))
+        .zip(beta_rows.chunks_mut(m_out))
+    {
+        tmp.fill(T::zero());
+        for (b, &ph_rb) in ph_row.iter().enumerate() {
+            let sol_row = sol.row(b);
+            for (v, &s_bc) in tmp.iter_mut().zip(sol_row) {
+                *v += ph_rb * s_bc;
+            }
+        }
+        for (p_rc, &u) in p_row.iter_mut().zip(tmp.iter()) {
+            *p_rc -= u;
+        }
+        // ph[r] ← P_new[r]·Hᵀ, four dots in flight (independent chains, one
+        // per output element; each still sums ascending `c` — bit-identical
+        // to the one-at-a-time loop, see `fused_ph_hp`).
+        let mut b = 0;
+        while b + 4 <= b_rows {
+            let (h0, h1, h2, h3) = (h.row(b), h.row(b + 1), h.row(b + 2), h.row(b + 3));
+            let mut a0 = T::zero();
+            let mut a1 = T::zero();
+            let mut a2 = T::zero();
+            let mut a3 = T::zero();
+            for ((((&p_rc, &c0), &c1), &c2), &c3) in p_row.iter().zip(h0).zip(h1).zip(h2).zip(h3) {
+                a0 += p_rc * c0;
+                a1 += p_rc * c1;
+                a2 += p_rc * c2;
+                a3 += p_rc * c3;
+            }
+            ph_row[b] = a0;
+            ph_row[b + 1] = a1;
+            ph_row[b + 2] = a2;
+            ph_row[b + 3] = a3;
+            b += 4;
+        }
+        for (ph_rb, h_row) in ph_row[b..].iter_mut().zip((b..b_rows).map(|bb| h.row(bb))) {
+            let mut acc = T::zero();
+            for (&p_rc, &h_c) in p_row.iter().zip(h_row) {
+                acc += p_rc * h_c;
+            }
+            *ph_rb = acc;
+        }
+        for (j, beta_rj) in beta_row.iter_mut().enumerate() {
+            let mut acc = T::zero();
+            for (b, &ph_rb) in ph_row.iter().enumerate() {
+                acc += ph_rb * resid.row(b)[j];
+            }
+            *beta_rj += acc;
+        }
+    }
+}
+
+/// Fused pass 2 of the single-sample RLS update over a contiguous row
+/// range: per row r, the rank-1 downdate `P[r] −= (ph[r]/denom)·hp`, the
+/// recompute `ph[r] ← P_new[r]·hᵀ` (row r is final after its own
+/// downdate), and the β-row update `β[r] += ph_new[r]·e` — fused per
+/// element (each `P[r][c]` is downdated immediately before its use in the
+/// dot, so the dot still sums the final values ascending `c`), and
+/// processed four rows at a time so four independent dot chains are in
+/// flight. Per element every operation and its order match the one-row
+/// downdate-then-dot loop exactly; the interleave is bit-identical.
+fn rank1_downdate_rows<T: Scalar>(
+    p_rows: &mut [T],
+    ph_rows: &mut [T],
+    beta_rows: &mut [T],
+    hp_row: &[T],
+    h_row: &[T],
+    resid: &[T],
+    inv_denom: T,
+) {
+    let n = hp_row.len();
+    let m = resid.len();
+    for ((pb, phb), bb) in p_rows
+        .chunks_mut(4 * n)
+        .zip(ph_rows.chunks_mut(4))
+        .zip(beta_rows.chunks_mut(4 * m))
+    {
+        if phb.len() == 4 {
+            let (p01, p23) = pb.split_at_mut(2 * n);
+            let (p0, p1) = p01.split_at_mut(n);
+            let (p2, p3) = p23.split_at_mut(n);
+            let s0 = phb[0] * inv_denom;
+            let s1 = phb[1] * inv_denom;
+            let s2 = phb[2] * inv_denom;
+            let s3 = phb[3] * inv_denom;
+            let mut a0 = T::zero();
+            let mut a1 = T::zero();
+            let mut a2 = T::zero();
+            let mut a3 = T::zero();
+            for (((((p0c, p1c), p2c), p3c), &hp_c), &h_c) in p0
+                .iter_mut()
+                .zip(p1.iter_mut())
+                .zip(p2.iter_mut())
+                .zip(p3.iter_mut())
+                .zip(hp_row)
+                .zip(h_row)
+            {
+                let sub0 = s0 * hp_c;
+                *p0c -= sub0;
+                a0 += *p0c * h_c;
+                let sub1 = s1 * hp_c;
+                *p1c -= sub1;
+                a1 += *p1c * h_c;
+                let sub2 = s2 * hp_c;
+                *p2c -= sub2;
+                a2 += *p2c * h_c;
+                let sub3 = s3 * hp_c;
+                *p3c -= sub3;
+                a3 += *p3c * h_c;
+            }
+            phb[0] = a0;
+            phb[1] = a1;
+            phb[2] = a2;
+            phb[3] = a3;
+            for (r, acc) in [a0, a1, a2, a3].into_iter().enumerate() {
+                for (beta_rc, &e_c) in bb[r * m..(r + 1) * m].iter_mut().zip(resid) {
+                    let add = acc * e_c;
+                    *beta_rc += add;
+                }
+            }
+        } else {
+            // Remainder rows (fewer than four left): the plain fused loop.
+            for ((p_row, ph_r), beta_row) in
+                pb.chunks_mut(n).zip(phb.iter_mut()).zip(bb.chunks_mut(m))
+            {
+                let scale = *ph_r * inv_denom;
+                let mut acc = T::zero();
+                for ((p_rc, &hp_c), &h_c) in p_row.iter_mut().zip(hp_row).zip(h_row) {
+                    let sub = scale * hp_c;
+                    *p_rc -= sub;
+                    acc += *p_rc * h_c;
+                }
+                *ph_r = acc;
+                for (beta_rc, &e_c) in beta_row.iter_mut().zip(resid) {
+                    let add = acc * e_c;
+                    *beta_rc += add;
+                }
+            }
         }
     }
 }
@@ -296,46 +646,114 @@ impl<T: Scalar> OsElm<T> {
             model, p, scratch, ..
         } = self;
         let p = p.as_mut().ok_or(OsElmError::NotInitialized)?;
+        let SeqScratch {
+            h,
+            ph,
+            hp,
+            pred,
+            s,
+            l,
+            sol,
+            tmp,
+            pack,
+            ..
+        } = scratch;
         let k = x.rows();
+        let n_hidden = model.hidden_dim();
+        let m_out = model.output_dim();
+        let _span = elmrl_telemetry::hist!("elm.batch_rls").span();
 
-        // H = G(x·α + b) (B×Ñ); P·Hᵀ (Ñ×B); H·P (B×Ñ).
-        model.hidden_into(x, &mut scratch.h);
-        p.matmul_t_into(&scratch.h, &mut scratch.ph);
-        scratch.h.matmul_into(p, &mut scratch.hp);
+        // H = G(x·α + b) (B×Ñ), through the cache-blocked kernel (wide
+        // inputs are the high-dim workload's hot shape).
+        model.hidden_into_packed(x, pack, h);
+
+        // The two P passes dominate the chunk update (everything else is
+        // O(B²·Ñ) or smaller); route them through the work-sharing pool when
+        // they clear the parallel threshold and the pool has workers.
+        let parallel = rayon::current_num_threads() > 1
+            && 2 * k * n_hidden * n_hidden >= elmrl_linalg::parallel_flop_threshold();
+
+        // Fused pass 1 — one streamed read of P yields both P·Hᵀ (Ñ×B) and
+        // H·P (B×Ñ). The old form (`matmul_t_into` + `matmul_into`) streamed
+        // P B+1 times; per output element the accumulation order is
+        // unchanged, so the results are bit-identical.
+        ph.resize_zeroed(n_hidden, k);
+        hp.resize_zeroed(k, n_hidden);
+        if parallel {
+            elmrl_telemetry::counter!("elm.batch_rls.par").add(1);
+            par_ph(p, h, ph);
+            par_hp_rows(p, h, hp);
+        } else {
+            elmrl_telemetry::counter!("elm.batch_rls.seq").add(1);
+            fused_ph_hp(p, h, ph, hp);
+        }
 
         // S = I + H·P·Hᵀ (B×B).
-        scratch.h.matmul_into(&scratch.ph, &mut scratch.s);
+        h.matmul_into(ph, s);
         for i in 0..k {
-            scratch.s[(i, i)] += T::one();
+            s[(i, i)] += T::one();
         }
-        match cholesky_into(&scratch.s, &mut scratch.l) {
-            Ok(()) => solve_spd_into(&scratch.l, &scratch.hp, &mut scratch.sol)
-                .map_err(OsElmError::from)?,
+        match cholesky_into(s, l) {
+            Ok(()) => solve_spd_into(l, hp, sol).map_err(OsElmError::from)?,
             Err(LinalgError::NotPositiveDefinite { .. }) => {
                 // Rounding pushed S off SPD — rare enough that the LU
                 // fallback may allocate, exactly as `seq_train` does.
-                inverse(&scratch.s)?.matmul_into(&scratch.hp, &mut scratch.sol);
+                inverse(s)?.matmul_into(hp, sol);
             }
             Err(e) => return Err(e.into()),
         }
 
-        // P ← P − (P·Hᵀ)·S⁻¹·(H·P), downdated in place.
-        scratch.ph.matmul_into(&scratch.sol, &mut scratch.update);
-        *p -= &scratch.update;
-
         // Residual e = t − H·β (B×m), in place on the prediction buffer.
-        scratch.h.matmul_into(model.beta(), &mut scratch.pred);
+        // Depends only on H and the pre-update β, so hoisting it above the
+        // downdate cannot change a byte.
+        h.matmul_into(model.beta(), pred);
         for r in 0..k {
             let t_row = t.row(r);
-            for (c, v) in scratch.pred.row_mut(r).iter_mut().enumerate() {
+            for (c, v) in pred.row_mut(r).iter_mut().enumerate() {
                 *v = t_row[c] - *v;
             }
         }
 
-        // β ← β + (P_new·Hᵀ)·e, accumulated in place.
-        p.matmul_t_into(&scratch.h, &mut scratch.ph);
-        scratch.ph.matmul_into(&scratch.pred, &mut scratch.delta);
-        *model.beta_mut() += &scratch.delta;
+        // Fused pass 2, tiled by `P_UPDATE_TILE` rows — per row r:
+        //   P[r] ← P[r] − (P·Hᵀ)[r]·S⁻¹·(H·P)   (the Equation 6 downdate)
+        //   ph[r] ← P_new[r]·Hᵀ                  (row r is final after its
+        //                                         own downdate)
+        //   β[r] ← β[r] + ph_new[r]·e
+        // Row r of every operand is independent of the others, and each
+        // element keeps the old kernels' ascending accumulation order, so
+        // this is bit-identical to the former update/subtract/matmul_t/
+        // matmul/add sequence while touching P once instead of four times.
+        let resid: &Matrix<T> = pred;
+        let beta = model.beta_mut();
+        if parallel {
+            let chunks: RowTiles<T> = p
+                .as_mut_slice()
+                .chunks_mut(P_UPDATE_TILE * n_hidden)
+                .zip(ph.as_mut_slice().chunks_mut(P_UPDATE_TILE * k))
+                .zip(beta.as_mut_slice().chunks_mut(P_UPDATE_TILE * m_out))
+                .collect();
+            chunks
+                .into_par_iter()
+                .for_each(|((p_rows, ph_rows), b_rows)| {
+                    let mut tile_tmp = vec![T::zero(); n_hidden];
+                    rls_downdate_rows(p_rows, ph_rows, b_rows, h, sol, resid, &mut tile_tmp);
+                });
+        } else {
+            tmp.resize_zeroed(1, n_hidden);
+            let tmp_row = tmp.row_mut(0);
+            for r0 in (0..n_hidden).step_by(P_UPDATE_TILE) {
+                let r1 = (r0 + P_UPDATE_TILE).min(n_hidden);
+                rls_downdate_rows(
+                    &mut p.as_mut_slice()[r0 * n_hidden..r1 * n_hidden],
+                    &mut ph.as_mut_slice()[r0 * k..r1 * k],
+                    &mut beta.as_mut_slice()[r0 * m_out..r1 * m_out],
+                    h,
+                    sol,
+                    resid,
+                    tmp_row,
+                );
+            }
+        }
 
         self.seq_train_count += 1;
         Ok(())
@@ -370,46 +788,93 @@ impl<T: Scalar> OsElm<T> {
             model, p, scratch, ..
         } = self;
         let p = p.as_mut().ok_or(OsElmError::NotInitialized)?;
+        let SeqScratch {
+            x: staging,
+            h,
+            ph,
+            hp,
+            pred,
+            ..
+        } = scratch;
         let n_hidden = model.hidden_dim();
         let m = model.output_dim();
+        let _span = elmrl_telemetry::hist!("elm.p_update").span();
 
         // h: 1×Ñ hidden activation of the sample (through the staging row).
-        scratch.x.resize_zeroed(1, model.input_dim());
-        scratch.x.set_row(0, x);
-        model.hidden_into(&scratch.x, &mut scratch.h);
-        let h = &scratch.h;
+        staging.resize_zeroed(1, model.input_dim());
+        staging.set_row(0, x);
+        model.hidden_into(staging, h);
 
-        // ph = P·hᵀ (Ñ×1), hp = h·P (1×Ñ), denom = 1 + h·P·hᵀ (scalar).
-        p.matmul_t_into(h, &mut scratch.ph);
-        h.matmul_into(p, &mut scratch.hp);
+        // The two O(Ñ²) P passes below go to the work-sharing pool when they
+        // clear the parallel threshold (never on a 1-worker pool).
+        let parallel = rayon::current_num_threads() > 1
+            && 2 * n_hidden * n_hidden >= elmrl_linalg::parallel_flop_threshold();
+
+        // Fused pass 1 — one streamed read of P yields both ph = P·hᵀ (Ñ×1)
+        // and hp = h·P (1×Ñ); per element the accumulation order matches the
+        // former `matmul_t_into` + `matmul_into` pair exactly.
+        ph.resize_zeroed(n_hidden, 1);
+        hp.resize_zeroed(1, n_hidden);
+        if parallel {
+            elmrl_telemetry::counter!("elm.p_update.par").add(1);
+            par_ph(p, h, ph);
+            par_hp_cols(p, h.row(0), hp.row_mut(0));
+        } else {
+            elmrl_telemetry::counter!("elm.p_update.seq").add(1);
+            fused_ph_hp(p, h, ph, hp);
+        }
+
+        // denom = 1 + h·P·hᵀ (scalar); the §2.2 one-reciprocal observation.
         let mut denom = T::one();
+        let h_row = h.row(0);
         for i in 0..n_hidden {
-            denom += h[(0, i)] * scratch.ph[(i, 0)];
+            denom += h_row[i] * ph[(i, 0)];
         }
         let inv_denom = T::one() / denom;
 
-        // P ← P − (ph · hp) / denom   (rank-1 downdate, in place: the new
-        // value of each element depends only on ph/hp, already computed).
-        for r in 0..n_hidden {
-            let scale = scratch.ph[(r, 0)] * inv_denom;
-            let p_row = p.row_mut(r);
-            for (c, p_rc) in p_row.iter_mut().enumerate().take(n_hidden) {
-                let sub = scale * scratch.hp[(0, c)];
-                *p_rc -= sub;
-            }
+        // residual e = t − h·β (1×m), in place on the prediction buffer;
+        // reads only h and the pre-update β, so computing it before the
+        // downdate cannot change a byte (and hoisting the subtraction out
+        // of the per-row β loop repeats the identical float op once
+        // instead of Ñ times — same operands, same result, every row).
+        h.matmul_into(model.beta(), pred);
+        for (c, v) in pred.row_mut(0).iter_mut().enumerate() {
+            *v = T::from_f64(t[c].to_f64()) - *v;
         }
 
-        // residual e = t − h·β (1×m)
-        h.matmul_into(model.beta(), &mut scratch.pred);
-        // β ← β + (P_new·hᵀ) · e   (P already holds P_new)
-        p.matmul_t_into(h, &mut scratch.ph); // Ñ×1, reuses the ph workspace
+        // Fused pass 2, tiled by `P_UPDATE_TILE` rows — per row r: the
+        // rank-1 downdate `P[r] −= (ph[r]/denom)·hp`, then `ph[r] ←
+        // P_new[r]·hᵀ` (row r is final after its own downdate), then the β
+        // row update. Bit-identical to the former downdate / `matmul_t_into`
+        // / β-loop sequence while touching P once instead of twice.
         let beta = model.beta_mut();
-        for r in 0..n_hidden {
-            let beta_row = beta.row_mut(r);
-            for (c, beta_rc) in beta_row.iter_mut().enumerate().take(m) {
-                let add = scratch.ph[(r, 0)] * (T::from_f64(t[c].to_f64()) - scratch.pred[(0, c)]);
-                *beta_rc += add;
-            }
+        let resid_row: &[T] = pred.row(0);
+        let hp_row: &[T] = hp.row(0);
+        let h_row: &[T] = h.row(0);
+        if parallel {
+            let chunks: RowTiles<T> = p
+                .as_mut_slice()
+                .chunks_mut(P_UPDATE_TILE * n_hidden)
+                .zip(ph.as_mut_slice().chunks_mut(P_UPDATE_TILE))
+                .zip(beta.as_mut_slice().chunks_mut(P_UPDATE_TILE * m))
+                .collect();
+            chunks
+                .into_par_iter()
+                .for_each(|((p_rows, ph_rows), b_rows)| {
+                    rank1_downdate_rows(
+                        p_rows, ph_rows, b_rows, hp_row, h_row, resid_row, inv_denom,
+                    );
+                });
+        } else {
+            rank1_downdate_rows(
+                p.as_mut_slice(),
+                ph.as_mut_slice(),
+                beta.as_mut_slice(),
+                hp_row,
+                h_row,
+                resid_row,
+                inv_denom,
+            );
         }
 
         self.seq_train_count += 1;

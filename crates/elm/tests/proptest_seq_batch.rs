@@ -96,4 +96,63 @@ proptest! {
             chunked.p_matrix().unwrap().max_abs_diff(single.p_matrix().unwrap()) < 1e-9
         );
     }
+
+    #[test]
+    fn parallel_dispatch_is_bit_identical_to_sequential(
+        hidden in 2usize..20,
+        chunk in 1usize..9,
+        seed in 0u64..200,
+    ) {
+        // The PR-9 contract: routing the fused P passes through the
+        // work-sharing pool (any thread count, any tile split) must never
+        // change a result byte. Force the parallel branch by dropping the
+        // flop threshold to 1 and spinning a 4-worker pool.
+        let init = hidden.max(4);
+        let (mut seq, mut par, x, t) = initialised_pair(hidden, seed ^ 0x55AA, init);
+        let mut at = init;
+        while at + chunk <= init + 32 {
+            let xi = x.submatrix(at, at + chunk, 0, 2).unwrap();
+            let ti = t.submatrix(at, at + chunk, 0, 1).unwrap();
+            seq.seq_train_batch(&xi, &ti).unwrap();
+            seq.seq_train_single(x.row(at), t.row(at)).unwrap();
+
+            elmrl_linalg::set_parallel_flop_threshold(1);
+            rayon::set_num_threads(4);
+            let r1 = par.seq_train_batch(&xi, &ti);
+            let r2 = par.seq_train_single(x.row(at), t.row(at));
+            rayon::set_num_threads(1);
+            elmrl_linalg::set_parallel_flop_threshold(0);
+            r1.unwrap();
+            r2.unwrap();
+            at += chunk;
+        }
+        prop_assert_eq!(seq.model().beta(), par.model().beta());
+        prop_assert_eq!(seq.p_matrix().unwrap(), par.p_matrix().unwrap());
+    }
+}
+
+/// Deterministic (non-proptest) pin at sizes straddling the row-tile edge:
+/// `P_UPDATE_TILE − 1`, the tile itself, and one past it, driven far enough
+/// that every tile boundary case (full tiles + remainder) is exercised.
+#[test]
+fn tile_boundary_hidden_sizes_stay_bit_identical() {
+    for hidden in [
+        elmrl_elm::os_elm::P_UPDATE_TILE - 1,
+        elmrl_elm::os_elm::P_UPDATE_TILE,
+        elmrl_elm::os_elm::P_UPDATE_TILE + 1,
+    ] {
+        let (mut general, mut batch, x, t) = initialised_pair(hidden, 42, hidden);
+        for at in [hidden, hidden + 7] {
+            let xi = x.submatrix(at, at + 7, 0, 2).unwrap();
+            let ti = t.submatrix(at, at + 7, 0, 1).unwrap();
+            general.seq_train(&xi, &ti).unwrap();
+            batch.seq_train_batch(&xi, &ti).unwrap();
+        }
+        assert_eq!(general.model().beta(), batch.model().beta(), "Ñ={hidden}");
+        assert_eq!(
+            general.p_matrix().unwrap(),
+            batch.p_matrix().unwrap(),
+            "Ñ={hidden}"
+        );
+    }
 }

@@ -88,7 +88,17 @@ pub const fn q_one<const FRAC: u32>() -> i32 {
 /// `elmrl_linalg::matmul::PACK_MR` so both packed kernels share the same
 /// panel geometry (and therefore the same per-element accumulation order as
 /// the naive kernel).
-pub const PACK_MR: usize = 4;
+pub const PACK_MR: usize = 8;
+
+/// Inner-dimension (`k`) tile of [`matmul_packed_q_into`] — mirrors
+/// `elmrl_linalg::matmul::PACK_KC`. A packed `PACK_MR × PACK_KC` panel slice
+/// of `i32` words is 8 KiB, comfortably L1-resident across the column sweep.
+pub const PACK_KC: usize = 256;
+
+/// Output-column tile of [`matmul_packed_q_into`] — mirrors
+/// `elmrl_linalg::matmul::PACK_NC`; keeps the accumulator rows cache-hot
+/// while the `PACK_KC × PACK_NC` rhs block streams from L2.
+pub const PACK_NC: usize = 256;
 
 /// `out (m×n) = a (m×k) · b (k×n)` on raw Q-format words, row-major slices.
 ///
@@ -180,11 +190,13 @@ pub fn matmul_t_q_into<const FRAC: u32>(
 }
 
 /// Packed-panel variant of [`matmul_q_into`]: [`PACK_MR`] rows of `a` are
-/// packed transposed into `pack`, then each `b` row streams once per panel —
-/// the integer twin of `Matrix::matmul_packed_into`. Per-element accumulation
-/// stays in ascending inner order, so the result is bit-identical to
-/// [`matmul_q_into`] (and therefore to the generic `Matrix<Fixed<FRAC>>`
-/// product).
+/// packed transposed into `pack`, the inner dimension is tiled by
+/// [`PACK_KC`] and the output columns by [`PACK_NC`] — the integer twin of
+/// `Matrix::matmul_packed_into`, blocked the same way. Per output element
+/// the `k` terms still arrive in ascending order (k-blocks ascend, `p`
+/// ascends within a block) with per-term saturation, so the result is
+/// bit-identical to [`matmul_q_into`] (and therefore to the generic
+/// `Matrix<Fixed<FRAC>>` product) no matter how the tiles fall.
 pub fn matmul_packed_q_into<const FRAC: u32>(
     m: usize,
     k: usize,
@@ -199,27 +211,34 @@ pub fn matmul_packed_q_into<const FRAC: u32>(
     assert_eq!(out.len(), m * n, "matmul_packed_q: output size mismatch");
     out.fill(0);
     pack.clear();
-    pack.resize(PACK_MR * k, 0);
+    pack.resize(PACK_MR * PACK_KC.min(k.max(1)), 0);
     for i0 in (0..m).step_by(PACK_MR) {
         let h = PACK_MR.min(m - i0);
-        // Pack the panel transposed: pack[p·MR + r] = A[i0+r, p].
-        for r in 0..h {
-            let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
-            for (p, &v) in a_row.iter().enumerate() {
-                pack[p * PACK_MR + r] = v;
-            }
-        }
         let panel = &mut out[i0 * n..(i0 + h) * n];
-        for p in 0..k {
-            let b_row = &b[p * n..(p + 1) * n];
-            let quad = &pack[p * PACK_MR..p * PACK_MR + h];
-            for (r, &a_rp) in quad.iter().enumerate() {
-                if a_rp == 0 {
-                    continue;
+        for p0 in (0..k).step_by(PACK_KC) {
+            let p_end = (p0 + PACK_KC).min(k);
+            // Pack this panel's k-slice transposed: pack[(p-p0)·MR + r] =
+            // A[i0+r, p], so the p-loop below reads one contiguous group.
+            for r in 0..h {
+                let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                for (p, &v) in a_row.iter().enumerate().take(p_end).skip(p0) {
+                    pack[(p - p0) * PACK_MR + r] = v;
                 }
-                let o_row = &mut panel[r * n..(r + 1) * n];
-                for (o, &b_pj) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o = q_add(*o, q_mul::<FRAC>(a_rp, b_pj));
+            }
+            for j0 in (0..n).step_by(PACK_NC) {
+                let j_end = (j0 + PACK_NC).min(n);
+                for p in p0..p_end {
+                    let b_row = &b[p * n + j0..p * n + j_end];
+                    let group = &pack[(p - p0) * PACK_MR..(p - p0) * PACK_MR + h];
+                    for (r, &a_rp) in group.iter().enumerate() {
+                        if a_rp == 0 {
+                            continue; // exact zero terms are additive identities
+                        }
+                        let o_row = &mut panel[r * n + j0..r * n + j_end];
+                        for (o, &b_pj) in o_row.iter_mut().zip(b_row.iter()) {
+                            *o = q_add(*o, q_mul::<FRAC>(a_rp, b_pj));
+                        }
+                    }
                 }
             }
         }

@@ -82,7 +82,7 @@ proptest! {
 
     #[test]
     fn packed_kernel_handles_panel_remainders(
-        m in 1usize..10, // crosses the PACK_MR = 4 panel boundary both ways
+        m in 1usize..18, // crosses the PACK_MR = 8 panel boundary both ways
         k in 1usize..6,
         a_raw in collection::vec(raw_any(), m * k),
         b_raw in collection::vec(raw_any(), k * 3),
@@ -212,5 +212,43 @@ proptest! {
             let ph_ref = raws_of(&p_ref.matmul_t(&to_matrix(1, nh, h_raw)));
             prop_assert_eq!(&ws.ph, &ph_ref);
         }
+    }
+}
+
+/// Deterministic pin of the blocked packed kernel at shapes straddling every
+/// tile edge — `PACK_MR` panel remainders, `PACK_KC` k-block boundaries and
+/// `PACK_NC` column-block boundaries — including saturating operands (the
+/// LCG stream crosses the clamp bounds), against the naive integer kernel.
+#[test]
+fn packed_kernel_is_bit_identical_across_tile_boundaries() {
+    use elmrl_fixed::kernels::{PACK_KC, PACK_NC};
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Mostly moderate magnitudes, with an occasional near-bound word so
+        // mid-sum saturation fires inside full and partial tiles alike.
+        if state >> 61 == 0 {
+            (state >> 32) as i32
+        } else {
+            ((state >> 32) as i32) % (16 << 20)
+        }
+    };
+    for (m, k, n) in [
+        (9, PACK_KC - 1, 3),
+        (2, PACK_KC, 5),
+        (3, PACK_KC + 1, 4),
+        (17, 7, PACK_NC + 1),
+        (5, PACK_KC + 44, PACK_NC + 3),
+    ] {
+        let a: Vec<i32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<i32> = (0..k * n).map(|_| next()).collect();
+        let mut naive = vec![0i32; m * n];
+        matmul_q_into::<20>(m, k, n, &a, &b, &mut naive);
+        let mut pack = Vec::new();
+        let mut packed = vec![0i32; m * n];
+        matmul_packed_q_into::<20>(m, k, n, &a, &b, &mut pack, &mut packed);
+        assert_eq!(packed, naive, "shape ({m},{k},{n})");
     }
 }

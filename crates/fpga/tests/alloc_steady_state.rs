@@ -179,6 +179,44 @@ fn steady_state_quantized_batched_tick_allocates_nothing() {
 }
 
 #[test]
+fn steady_state_quantized_wide_tick_allocates_nothing() {
+    // The PR-9 wide-tick shape: a B = 96 engine tick — wider than the
+    // chunk cap the float OS-ELM designs split at (the quantized path
+    // trains per sample, so it never splits) — must also reach a steady
+    // state where every workspace (the B×d next-state matrix, the batched
+    // target forward, the Q20 staging banks) has stopped growing.
+    use elmrl_core::batch::BatchAgent;
+
+    let _serial = serial();
+    let spec = Workload::CartPole.spec();
+    let mut config = FpgaAgentConfig::for_workload(&spec, 16);
+    config.update_prob = 1.0;
+    let mut rng = SmallRng::seed_from_u64(23);
+    let mut agent = FpgaAgent::new(config, &mut rng);
+
+    let tick: Vec<Observation> = (0..96).map(transition).collect();
+    for _ in 0..16 {
+        agent.observe_batch(&tick, &mut rng);
+    }
+    assert!(agent.core_loaded());
+
+    COUNTING.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..64 {
+        agent.observe_batch(&tick, &mut rng);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|flag| flag.set(false));
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state quantized wide tick must not allocate ({} allocations over 64 ticks)",
+        after - before
+    );
+}
+
+#[test]
 fn steady_state_quantized_step_allocates_nothing_with_telemetry_on() {
     // The PR-8 no-perturbation contract on the quantized path: with the
     // metric registry enabled *and* the span-trace ring collecting — so the

@@ -1,0 +1,249 @@
+//! High-dimensional CartPole: the scaling-frontier workload.
+//!
+//! The paper's CartPole-v0 task has a 4-dimensional observation, which keeps
+//! the ELM input projection (`n × Ñ`) negligible next to the `Ñ × Ñ` RLS
+//! update. To exercise the blocked/tiled kernels of the scaling pass at
+//! realistic input widths, this wrapper pads the genuine CartPole state with
+//! i.i.d. uniform noise channels up to a configurable `obs_dim`:
+//!
+//! * channels `0..4` are the real `(x, ẋ, θ, θ̇)` CartPole state — dynamics,
+//!   reward and termination are untouched, so the *task* stays CartPole;
+//! * channels `4..obs_dim` are distractors drawn uniformly from
+//!   `[-0.05, 0.05)` each step (the same range as CartPole's reset
+//!   perturbation, so they are statistically indistinguishable from
+//!   near-rest state axes and the learner must discover which channels
+//!   carry signal).
+//!
+//! The wrapper draws its noise from the per-trial episode RNG, so trials
+//! stay reproducible from a seed, and it forwards
+//! [`Environment::save_state`]/[`Environment::load_state`] (inner physics
+//! plus the current pad), so checkpointed runs resume bit for bit.
+
+use crate::cartpole::CartPole;
+use crate::env::{Environment, StepOutcome};
+use crate::space::{ActionSpace, ObservationSpace};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Default padded observation width when the `--obs-dim` knob is absent:
+/// wide enough that the input projection is no longer free, small enough
+/// that a laptop trial still runs in seconds.
+pub const DEFAULT_HIGHDIM_OBS_DIM: usize = 64;
+
+/// Amplitude of the distractor channels (matches CartPole's reset
+/// perturbation range).
+const NOISE_AMPLITUDE: f64 = 0.05;
+
+/// CartPole with the observation padded to `obs_dim` by uniform noise
+/// channels. See the module docs for the exact construction.
+#[derive(Clone, Debug)]
+pub struct HighDimCartPole {
+    inner: CartPole,
+    obs_dim: usize,
+    /// The distractor values appended to the most recent observation —
+    /// kept so `save_state` captures the full internal state.
+    pad: Vec<f64>,
+}
+
+impl HighDimCartPole {
+    /// Create the wrapper with `obs_dim` total observation channels.
+    ///
+    /// Panics if `obs_dim < 4` (the genuine CartPole state cannot be
+    /// truncated).
+    pub fn new(obs_dim: usize) -> Self {
+        assert!(
+            obs_dim >= 4,
+            "HighDimCartPole needs obs_dim ≥ 4 (the real CartPole state), got {obs_dim}"
+        );
+        Self {
+            inner: CartPole::new(),
+            obs_dim,
+            pad: vec![0.0; obs_dim - 4],
+        }
+    }
+
+    /// The padded observation width.
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    fn redraw_pad(&mut self, rng: &mut SmallRng) {
+        for v in &mut self.pad {
+            *v = rng.gen_range(-NOISE_AMPLITUDE..NOISE_AMPLITUDE);
+        }
+    }
+
+    fn padded(&self, real: Vec<f64>) -> Vec<f64> {
+        let mut obs = real;
+        obs.extend_from_slice(&self.pad);
+        obs
+    }
+}
+
+impl Environment for HighDimCartPole {
+    fn name(&self) -> &'static str {
+        "CartPole-HighDim"
+    }
+
+    fn observation_space(&self) -> ObservationSpace {
+        let inner = self.inner.observation_space();
+        let mut low = inner.low;
+        let mut high = inner.high;
+        let mut names = inner.names;
+        for i in 0..self.obs_dim - 4 {
+            low.push(-NOISE_AMPLITUDE);
+            high.push(NOISE_AMPLITUDE);
+            names.push(format!("noise_{i}"));
+        }
+        ObservationSpace::new(low, high, names)
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        self.inner.action_space()
+    }
+
+    fn max_episode_steps(&self) -> usize {
+        self.inner.max_episode_steps()
+    }
+
+    fn reset(&mut self, rng: &mut SmallRng) -> Vec<f64> {
+        let real = self.inner.reset(rng);
+        self.redraw_pad(rng);
+        self.padded(real)
+    }
+
+    fn step(&mut self, action: usize, rng: &mut SmallRng) -> StepOutcome {
+        let mut out = self.inner.step(action, rng);
+        self.redraw_pad(rng);
+        out.observation = self.padded(out.observation);
+        out
+    }
+
+    fn solved_threshold(&self) -> Option<f64> {
+        self.inner.solved_threshold()
+    }
+
+    fn save_state(&self) -> Option<Vec<f64>> {
+        let mut v = self.inner.save_state()?;
+        v.extend_from_slice(&self.pad);
+        Some(v)
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), String> {
+        let expected = 6 + self.pad.len();
+        if state.len() != expected {
+            return Err(format!(
+                "CartPole-HighDim state needs {expected} values, got {}",
+                state.len()
+            ));
+        }
+        self.inner.load_state(&state[..6])?;
+        self.pad.copy_from_slice(&state[6..]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn pads_observations_to_the_requested_width() {
+        let mut env = HighDimCartPole::new(32);
+        assert_eq!(env.observation_dim(), 32);
+        assert_eq!(env.num_actions(), 2);
+        let mut r = rng(0);
+        let obs = env.reset(&mut r);
+        assert_eq!(obs.len(), 32);
+        let out = env.step(1, &mut r);
+        assert_eq!(out.observation.len(), 32);
+        // The real state occupies the leading channels.
+        assert_eq!(out.observation[..4], env.inner.state());
+        // The distractors stay inside their advertised bounds.
+        assert!(out.observation[4..]
+            .iter()
+            .all(|v| v.abs() <= NOISE_AMPLITUDE));
+    }
+
+    #[test]
+    fn obs_dim_four_degenerates_to_plain_cartpole() {
+        let mut hd = HighDimCartPole::new(4);
+        let mut plain = CartPole::new();
+        let (mut r1, mut r2) = (rng(3), rng(3));
+        assert_eq!(hd.reset(&mut r1), plain.reset(&mut r2));
+        for _ in 0..20 {
+            let a = hd.step(1, &mut r1);
+            let b = plain.step(1, &mut r2);
+            assert_eq!(a, b);
+            if a.finished() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "obs_dim ≥ 4")]
+    fn rejects_widths_below_the_real_state() {
+        let _ = HighDimCartPole::new(3);
+    }
+
+    #[test]
+    fn noise_channels_vary_per_step_but_are_seed_deterministic() {
+        let run = |seed| {
+            let mut env = HighDimCartPole::new(12);
+            let mut r = rng(seed);
+            env.reset(&mut r);
+            let a = env.step(0, &mut r).observation;
+            let b = env.step(1, &mut r).observation;
+            (a, b)
+        };
+        let (a, b) = run(7);
+        assert_ne!(a[4..], b[4..], "distractors must be redrawn each step");
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_including_the_pad() {
+        let mut env = HighDimCartPole::new(10);
+        let mut r = rng(11);
+        env.reset(&mut r);
+        for _ in 0..5 {
+            env.step(1, &mut r);
+        }
+        let saved = env.save_state().unwrap();
+        assert_eq!(saved.len(), 6 + 6);
+
+        let mut fresh = HighDimCartPole::new(10);
+        fresh.load_state(&saved).unwrap();
+        assert_eq!(fresh.save_state().unwrap(), saved);
+        // Stepping both from the restored state with the same RNG stream
+        // produces identical outcomes.
+        let (mut r1, mut r2) = (rng(99), rng(99));
+        assert_eq!(env.step(0, &mut r1), fresh.step(0, &mut r2));
+    }
+
+    #[test]
+    fn load_state_rejects_wrong_widths() {
+        let mut env = HighDimCartPole::new(8);
+        assert!(env.load_state(&[0.0; 6]).is_err());
+        assert!(env.load_state(&[0.0; 10]).is_ok());
+    }
+
+    #[test]
+    fn observation_space_covers_every_channel() {
+        let env = HighDimCartPole::new(9);
+        let space = env.observation_space();
+        assert_eq!(space.dim(), 9);
+        assert_eq!(space.names[0], "cart_position");
+        assert_eq!(space.names[4], "noise_0");
+        assert_eq!(space.names[8], "noise_4");
+        assert_eq!(space.low[4], -NOISE_AMPLITUDE);
+        assert_eq!(space.high[8], NOISE_AMPLITUDE);
+    }
+}

@@ -36,6 +36,7 @@ pub mod acrobot;
 pub mod cartpole;
 pub mod env;
 pub mod episode;
+pub mod highdim;
 pub mod mountain_car;
 pub mod normalize;
 pub mod pendulum;
@@ -47,6 +48,7 @@ pub use acrobot::Acrobot;
 pub use cartpole::CartPole;
 pub use env::{Environment, StepOutcome};
 pub use episode::{EpisodeStats, MovingAverage};
+pub use highdim::{HighDimCartPole, DEFAULT_HIGHDIM_OBS_DIM};
 pub use mountain_car::MountainCar;
 pub use normalize::NormalizedEnv;
 pub use pendulum::Pendulum;

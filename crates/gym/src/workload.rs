@@ -32,8 +32,9 @@
 //! ```
 
 use crate::env::Environment;
+use crate::highdim::DEFAULT_HIGHDIM_OBS_DIM;
 use crate::normalize::NormalizedEnv;
-use crate::{Acrobot, CartPole, MountainCar, Pendulum};
+use crate::{Acrobot, CartPole, HighDimCartPole, MountainCar, Pendulum};
 use serde::{Deserialize, Serialize};
 
 /// When does a trial count as having *completed* the task?
@@ -191,6 +192,14 @@ pub struct WorkloadOptions {
     /// keeps the registry default; the effective criterion is recorded in
     /// every result artifact.
     pub solve_threshold: Option<f64>,
+    /// Padded observation width for the high-dim scaling workload (the
+    /// CLI's `--obs-dim`; `None` keeps
+    /// [`DEFAULT_HIGHDIM_OBS_DIM`]).
+    /// Ignored by every other workload. Skipped when absent so result
+    /// artifacts written before the knob existed deserialize — and
+    /// re-serialize — byte-identically.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub obs_dim: Option<usize>,
 }
 
 impl Default for WorkloadOptions {
@@ -198,6 +207,7 @@ impl Default for WorkloadOptions {
         Self {
             torque_levels: 3,
             solve_threshold: None,
+            obs_dim: None,
         }
     }
 }
@@ -285,16 +295,21 @@ pub enum Workload {
     /// Acrobot-v1 — two-link swing-up with a six-dimensional observation and
     /// a sparse `done` reward.
     Acrobot,
+    /// CartPole padded with noise channels to a configurable observation
+    /// width — the synthetic scaling workload for the blocked-kernel pass
+    /// (the `WorkloadOptions::obs_dim` axis).
+    HighDim,
 }
 
 impl Workload {
     /// All registered workloads, in registry order.
-    pub fn all() -> [Workload; 4] {
+    pub fn all() -> [Workload; 5] {
         [
             Workload::CartPole,
             Workload::MountainCar,
             Workload::Pendulum,
             Workload::Acrobot,
+            Workload::HighDim,
         ]
     }
 
@@ -305,6 +320,7 @@ impl Workload {
             Workload::MountainCar => "mountain-car",
             Workload::Pendulum => "pendulum",
             Workload::Acrobot => "acrobot",
+            Workload::HighDim => "high-dim",
         }
     }
 
@@ -328,6 +344,7 @@ impl Workload {
             "mountaincar" => Some(Workload::MountainCar),
             "pendulum" | "pendulumdiscrete" => Some(Workload::Pendulum),
             "acrobot" => Some(Workload::Acrobot),
+            "highdim" | "highdimcartpole" | "cartpolehighdim" => Some(Workload::HighDim),
             _ => None,
         }
     }
@@ -425,6 +442,25 @@ impl Workload {
                     max_episodes: 2_000,
                 },
             ),
+            Workload::HighDim => (
+                "CartPole-HighDim",
+                highdim_factory as fn(&WorkloadOptions) -> Box<dyn Environment>,
+                // Like plain CartPole: raw states, and the distractor
+                // channels already live in [-0.05, 0.05].
+                false,
+                SolveCriterion::EpisodeReturn { threshold: 195.0 },
+                RewardShaping::SurvivalSigned,
+                // The task is CartPole — keep the paper's protocol knobs.
+                WorkloadDefaults {
+                    gamma: 0.99,
+                    exploit_prob: 0.7,
+                    update_prob: 0.5,
+                    target_sync_episodes: 2,
+                    clip_targets: true,
+                    reset_after_episodes: Some(300),
+                    max_episodes: 2_000,
+                },
+            ),
         };
         // The --solve-threshold sweep axis: keep the workload's completion
         // rule, swap the threshold.
@@ -487,6 +523,12 @@ fn acrobot_factory(_options: &WorkloadOptions) -> Box<dyn Environment> {
     Box::new(Acrobot::new())
 }
 
+fn highdim_factory(options: &WorkloadOptions) -> Box<dyn Environment> {
+    Box::new(HighDimCartPole::new(
+        options.obs_dim.unwrap_or(DEFAULT_HIGHDIM_OBS_DIM).max(4),
+    ))
+}
+
 /// The full registry: one [`EnvSpec`] per registered workload.
 pub fn registry() -> Vec<EnvSpec> {
     Workload::all().into_iter().map(Workload::spec).collect()
@@ -501,11 +543,17 @@ mod tests {
     #[test]
     fn registry_covers_all_workloads() {
         let specs = registry();
-        assert_eq!(specs.len(), 4);
+        assert_eq!(specs.len(), 5);
         let slugs: Vec<&str> = specs.iter().map(|s| s.slug).collect();
         assert_eq!(
             slugs,
-            vec!["cart-pole", "mountain-car", "pendulum", "acrobot"]
+            vec![
+                "cart-pole",
+                "mountain-car",
+                "pendulum",
+                "acrobot",
+                "high-dim"
+            ]
         );
     }
 
@@ -539,6 +587,9 @@ mod tests {
         }
         for name in ["acrobot", "Acrobot-v1", "ACROBOT"] {
             assert_eq!(Workload::from_name(name), Some(Workload::Acrobot), "{name}");
+        }
+        for name in ["high-dim", "highdim", "HighDim", "cartpole-highdim"] {
+            assert_eq!(Workload::from_name(name), Some(Workload::HighDim), "{name}");
         }
         assert_eq!(Workload::from_name("lunar-lander"), None);
     }
@@ -690,6 +741,59 @@ mod tests {
         assert_eq!(
             spec.solve_criterion,
             SolveCriterion::EpisodeReturn { threshold: 195.0 }
+        );
+    }
+
+    #[test]
+    fn obs_dim_option_sizes_the_high_dim_workload() {
+        // Default: DEFAULT_HIGHDIM_OBS_DIM channels.
+        let spec = Workload::HighDim.spec();
+        assert_eq!(spec.name, "CartPole-HighDim");
+        assert_eq!(spec.observation_dim, DEFAULT_HIGHDIM_OBS_DIM);
+        assert_eq!(spec.num_actions, 2);
+        assert_eq!(spec.elm_input_dim(), DEFAULT_HIGHDIM_OBS_DIM + 1);
+        assert!(!spec.normalize_observations);
+        assert_eq!(spec.reward_shaping, RewardShaping::SurvivalSigned);
+        assert_eq!(spec.options.obs_dim, None);
+
+        // Explicit widths thread through to the environment.
+        for obs_dim in [4, 16, 256] {
+            let spec = Workload::HighDim.spec_with(WorkloadOptions {
+                obs_dim: Some(obs_dim),
+                ..WorkloadOptions::default()
+            });
+            assert_eq!(spec.observation_dim, obs_dim, "{obs_dim}");
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut env = spec.make_env();
+            assert_eq!(env.reset(&mut rng).len(), obs_dim);
+        }
+
+        // The knob is inert on every other workload.
+        let spec = Workload::CartPole.spec_with(WorkloadOptions {
+            obs_dim: Some(128),
+            ..WorkloadOptions::default()
+        });
+        assert_eq!(spec.observation_dim, 4);
+    }
+
+    #[test]
+    fn workload_options_omit_obs_dim_when_absent() {
+        // Artifacts written before the obs-dim knob existed must keep their
+        // exact bytes: None serializes to nothing, and the old payload
+        // deserializes with the field defaulted.
+        let json = serde_json::to_string(&WorkloadOptions::default()).unwrap();
+        assert_eq!(json, r#"{"torque_levels":3,"solve_threshold":null}"#);
+        let parsed: WorkloadOptions = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, WorkloadOptions::default());
+
+        let json = serde_json::to_string(&WorkloadOptions {
+            obs_dim: Some(512),
+            ..WorkloadOptions::default()
+        })
+        .unwrap();
+        assert_eq!(
+            json,
+            r#"{"torque_levels":3,"solve_threshold":null,"obs_dim":512}"#
         );
     }
 

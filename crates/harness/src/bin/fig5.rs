@@ -34,6 +34,7 @@ fn main() {
         args.episodes,
         args.seed,
         args.train_envs,
+        args.chunk_cap,
         ckpt.as_ref(),
     )
     .unwrap_or_else(|e| {

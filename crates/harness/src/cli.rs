@@ -14,6 +14,12 @@
 //! * `--solve-threshold <x>` — override the workload's solve threshold
 //!   (the registry's completion *rule* is kept; only the threshold swaps),
 //!   the ROADMAP's calibration sweep axis;
+//! * `--obs-dim <n>` — padded observation width for the `high-dim` scaling
+//!   workload (default 64; ≥ 4, inert on other workloads);
+//! * `--chunk-cap <n>` — RLS batch-width cap for the chunked OS-ELM
+//!   designs: ticks with more than `n` stored transitions split into
+//!   `n`-sized RLS chunks (default `DEFAULT_CHUNK_CAP`; only meaningful
+//!   with `--train-envs` > 1);
 //! * `--train-envs <e>` — parallel training episodes per trial/replica
 //!   (default `ELMRL_TRAIN_ENVS`, else 1). 1 is the paper's scalar B = 1
 //!   protocol, byte-for-byte; E > 1 drives E concurrent episodes through a
@@ -78,6 +84,14 @@ pub struct CliArgs {
     /// Per-workload solve-threshold override (`--solve-threshold`); `None`
     /// keeps the registry default.
     pub solve_threshold: Option<f64>,
+    /// Padded observation width for the high-dim workload (`--obs-dim`);
+    /// `None` keeps [`elmrl_gym::DEFAULT_HIGHDIM_OBS_DIM`]. Inert on every
+    /// other workload.
+    pub obs_dim: Option<usize>,
+    /// RLS batch-width cap for the chunked OS-ELM designs (`--chunk-cap`);
+    /// `None` keeps [`elmrl_core::DEFAULT_CHUNK_CAP`]. Only meaningful with
+    /// `--train-envs` > 1.
+    pub chunk_cap: Option<usize>,
     /// Parallel training episodes per trial/replica (`--train-envs`,
     /// default `ELMRL_TRAIN_ENVS`, else 1). 1 is the paper's scalar
     /// protocol; E > 1 drives E concurrent episodes with batch-B updates.
@@ -140,6 +154,7 @@ impl CliArgs {
         WorkloadOptions {
             torque_levels: self.torque_levels,
             solve_threshold: self.solve_threshold,
+            obs_dim: self.obs_dim,
         }
     }
 
@@ -246,6 +261,10 @@ pub fn usage(binary: &str, about: &str, defaults: &CliDefaults) -> String {
          \x20 --torque-levels <n> Pendulum torque discretisation (default: 3)\n\
          \x20 --solve-threshold <x> override the workload's solve threshold\n\
          \x20                     (default: the registry value)\n\
+         \x20 --obs-dim <n>       padded observation width of the high-dim\n\
+         \x20                     workload (default: 64; inert elsewhere)\n\
+         \x20 --chunk-cap <n>     RLS batch-width cap for the chunked OS-ELM\n\
+         \x20                     designs (default: 64; needs --train-envs > 1)\n\
          \x20 --train-envs <e>    parallel training episodes per trial/replica;\n\
          \x20                     1 = the paper's scalar protocol, E > 1 trains\n\
          \x20                     E episodes concurrently with batch-B updates\n\
@@ -299,6 +318,8 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
         seed: env_usize("ELMRL_SEED", 42) as u64,
         torque_levels: 3,
         solve_threshold: None,
+        obs_dim: None,
+        chunk_cap: None,
         train_envs: env_usize("ELMRL_TRAIN_ENVS", 1).max(1),
         workload_all: false,
         threads: 0,
@@ -392,6 +413,18 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
                     ));
                 }
                 parsed.solve_threshold = Some(threshold);
+            }
+            "--obs-dim" => {
+                let v = value_for("--obs-dim")?;
+                parsed.obs_dim = Some(v.parse().ok().filter(|&n| n >= 4).ok_or_else(|| {
+                    format!("--obs-dim: need an integer ≥ 4 (the real CartPole state), got `{v}`")
+                })?);
+            }
+            "--chunk-cap" => {
+                let v = value_for("--chunk-cap")?;
+                parsed.chunk_cap = Some(v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    format!("--chunk-cap: need a positive batch width, got `{v}`")
+                })?);
             }
             "--train-envs" => {
                 let v = value_for("--train-envs")?;
@@ -723,6 +756,44 @@ mod tests {
         let help = usage("fig5", "x", &defaults());
         assert!(help.contains("--train-envs"));
         assert!(help.contains("--solve-threshold"));
+    }
+
+    #[test]
+    fn obs_dim_and_chunk_cap_flags_parse_and_validate() {
+        let parsed = parse_from(
+            &args(&[
+                "--workload",
+                "high-dim",
+                "--obs-dim",
+                "256",
+                "--chunk-cap",
+                "16",
+            ]),
+            &defaults(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(parsed.workload, Workload::HighDim);
+        assert_eq!(parsed.obs_dim, Some(256));
+        assert_eq!(parsed.workload_options().obs_dim, Some(256));
+        assert_eq!(parsed.chunk_cap, Some(16));
+
+        // Defaults: both knobs deferred to their library defaults.
+        let bare = parse_from(&[], &defaults()).unwrap().unwrap();
+        assert_eq!(bare.obs_dim, None);
+        assert_eq!(bare.chunk_cap, None);
+        assert_eq!(bare.workload_options().obs_dim, None);
+
+        assert!(parse_from(&args(&["--obs-dim", "3"]), &defaults())
+            .unwrap_err()
+            .contains("≥ 4"));
+        assert!(parse_from(&args(&["--chunk-cap", "0"]), &defaults())
+            .unwrap_err()
+            .contains("positive"));
+        let help = usage("fig5", "x", &defaults());
+        assert!(help.contains("--obs-dim"));
+        assert!(help.contains("--chunk-cap"));
+        assert!(help.contains("high-dim"));
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub struct Figure4 {
     /// Parallel training episodes per curve (`--train-envs`; 1 = the
     /// paper's scalar protocol).
     pub train_envs: usize,
+    /// The effective RLS chunk cap the OS-ELM curves trained under (the
+    /// CLI's `--chunk-cap`, or [`elmrl_core::DEFAULT_CHUNK_CAP`] once
+    /// `train_envs > 1` engages the chunked path); `None` when every
+    /// update was single-transition. Skipped when absent so pre-existing
+    /// artifacts stay byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub chunk_cap: Option<usize>,
 }
 
 /// Generate Figure 4 curves on a workload for the given hidden sizes and
@@ -86,6 +93,7 @@ pub fn generate_with(
         seed,
         train_envs,
         None,
+        None,
     )
     .expect("a sweep without checkpointing cannot fail")
     .expect("a sweep without checkpointing cannot stop early")
@@ -95,6 +103,9 @@ pub fn generate_with(
 /// `--checkpoint-dir` / `--resume` / `--checkpoint-every` / `--stop-after`
 /// flags). Returns `Ok(None)` when the fault-injection stop abandoned the
 /// sweep early — resume from the checkpoints to finish it byte-identically.
+/// `chunk_cap` is the CLI's `--chunk-cap` RLS batch-width cap (`None`
+/// defers to [`elmrl_core::DEFAULT_CHUNK_CAP`]).
+#[allow(clippy::too_many_arguments)] // mirrors the CLI surface one-to-one
 pub fn generate_checkpointed(
     workload: Workload,
     options: WorkloadOptions,
@@ -102,6 +113,7 @@ pub fn generate_checkpointed(
     episodes: usize,
     seed: u64,
     train_envs: usize,
+    chunk_cap: Option<usize>,
     ckpt: Option<&CheckpointOptions>,
 ) -> Result<Option<Figure4>, String> {
     let specs: Vec<TrialSpec> = hidden_sizes
@@ -112,6 +124,7 @@ pub fn generate_checkpointed(
                     .with_options(options)
                     .with_max_episodes(episodes)
                     .with_train_envs(train_envs)
+                    .with_chunk_cap(chunk_cap)
                     .collect_full_curve()
             })
         })
@@ -127,6 +140,7 @@ pub fn generate_checkpointed(
         curves: results.iter().map(Curve::from).collect(),
         episodes,
         train_envs,
+        chunk_cap: results.iter().find_map(|r| r.spec.chunk_cap),
     }))
 }
 

@@ -27,6 +27,13 @@ pub struct Figure5 {
     /// Parallel training episodes per trial (`--train-envs`; 1 = the
     /// paper's scalar protocol).
     pub train_envs: usize,
+    /// The effective RLS chunk cap the OS-ELM trials trained under (the
+    /// CLI's `--chunk-cap`, or [`elmrl_core::DEFAULT_CHUNK_CAP`] once
+    /// `train_envs > 1` engages the chunked path); `None` when every
+    /// update was single-transition. Skipped when absent so pre-existing
+    /// artifacts stay byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub chunk_cap: Option<usize>,
     /// One summary per (design, hidden size) cell.
     pub cells: Vec<CellSummary>,
     /// Speedup of each non-DQN design relative to DQN at equal hidden size.
@@ -98,6 +105,7 @@ pub fn generate_with(
         seed,
         train_envs,
         None,
+        None,
     )
     .expect("a sweep without checkpointing cannot fail")
     .expect("a sweep without checkpointing cannot stop early")
@@ -108,7 +116,9 @@ pub fn generate_with(
 /// directory and resumes from it when asked. Returns `Ok(None)` when the
 /// fault-injection `stop_after` abandoned the sweep mid-run — the
 /// checkpoints are on disk and a `resume: true` rerun finishes the figure
-/// byte-identically to a run that never stopped.
+/// byte-identically to a run that never stopped. `chunk_cap` is the CLI's
+/// `--chunk-cap` RLS batch-width cap (`None` defers to
+/// [`elmrl_core::DEFAULT_CHUNK_CAP`]).
 #[allow(clippy::too_many_arguments)] // mirrors the CLI surface one-to-one
 pub fn generate_checkpointed(
     workload: Workload,
@@ -119,11 +129,13 @@ pub fn generate_checkpointed(
     max_episodes: usize,
     seed: u64,
     train_envs: usize,
+    chunk_cap: Option<usize>,
     ckpt: Option<&CheckpointOptions>,
 ) -> Result<Option<Figure5>, String> {
     let solve_criterion = workload.spec_with(options).solve_criterion;
     let mut cells = Vec::new();
     let mut stopped_early = false;
+    let mut effective_chunk_cap = None;
     for &h in hidden_sizes {
         for &d in designs {
             let specs: Vec<TrialSpec> = (0..trials_per_cell)
@@ -137,11 +149,14 @@ pub fn generate_checkpointed(
                     .with_options(options)
                     .with_max_episodes(max_episodes)
                     .with_train_envs(train_envs)
+                    .with_chunk_cap(chunk_cap)
                 })
                 .collect();
             let outcomes = run_trials_checkpointed(&specs, ckpt)?;
             stopped_early |= outcomes.iter().any(|(_, complete)| !complete);
             let results: Vec<_> = outcomes.into_iter().map(|(r, _)| r).collect();
+            effective_chunk_cap =
+                effective_chunk_cap.or_else(|| results.iter().find_map(|r| r.spec.chunk_cap));
             cells.push(summarize_cell(workload, d, h, &results));
         }
     }
@@ -176,6 +191,7 @@ pub fn generate_checkpointed(
         options,
         solve_criterion,
         train_envs,
+        chunk_cap: effective_chunk_cap,
         cells,
         speedups_vs_dqn: speedups,
         trials_per_cell,

@@ -41,6 +41,14 @@ pub struct TrialSpec {
     /// [`elmrl_gym::VecEnv`] with batch-B updates
     /// ([`Trainer::run_vec`](elmrl_core::trainer::Trainer::run_vec)).
     pub train_envs: usize,
+    /// RLS batch-width cap for the chunked OS-ELM designs (the CLI's
+    /// `--chunk-cap`): ticks with more than this many stored transitions
+    /// are split into cap-sized RLS chunks. `None` defers to
+    /// [`elmrl_core::DEFAULT_CHUNK_CAP`]; result artifacts record the
+    /// effective cap. Skipped when absent so artifacts from before the
+    /// knob existed round-trip byte-identically.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub chunk_cap: Option<usize>,
     /// Trainer protocol.
     pub trainer: TrainerConfig,
 }
@@ -68,6 +76,7 @@ impl TrialSpec {
             hidden_dim,
             seed,
             train_envs: 1,
+            chunk_cap: None,
             trainer,
         }
     }
@@ -89,6 +98,14 @@ impl TrialSpec {
     /// scalar loop to the E-parallel one.
     pub fn with_train_envs(mut self, train_envs: usize) -> Self {
         self.train_envs = train_envs.max(1);
+        self
+    }
+
+    /// Override the RLS batch-width cap (the CLI's `--chunk-cap`). Only
+    /// meaningful for the chunked OS-ELM designs with `train_envs > 1`;
+    /// `None` defers to [`elmrl_core::DEFAULT_CHUNK_CAP`].
+    pub fn with_chunk_cap(mut self, chunk_cap: Option<usize>) -> Self {
+        self.chunk_cap = chunk_cap.map(|c| c.max(1));
         self
     }
 
@@ -169,13 +186,18 @@ pub fn checkpoint_file_name(spec: &TrialSpec) -> String {
             }
         })
         .collect();
+    // An explicit chunk cap changes the trajectory whenever B exceeds it,
+    // so it gets its own suffix; the absent default keeps the historical
+    // name, so pre-existing checkpoints keep resuming.
+    let cap_suffix = spec.chunk_cap.map(|c| format!("-c{c}")).unwrap_or_default();
     format!(
-        "trial-{}-{}-h{}-s{}-e{}.json",
+        "trial-{}-{}-h{}-s{}-e{}{}.json",
         spec.workload.slug(),
         design_slug,
         spec.hidden_dim,
         spec.seed,
-        spec.train_envs
+        spec.train_envs,
+        cap_suffix
     )
 }
 
@@ -240,7 +262,8 @@ pub fn run_trial_checkpointed(
             let breakdown = agent.simulated_breakdown_seconds();
             (training, Some(breakdown))
         } else {
-            let config = DesignConfig::for_workload(&env_spec, spec.hidden_dim);
+            let mut config = DesignConfig::for_workload(&env_spec, spec.hidden_dim);
+            config.chunk_cap = spec.chunk_cap;
             let mut agent = spec.design.build_batch(&config, &mut rng);
             (
                 trainer.run_vec_checkpointed(agent.as_mut(), &mut vec_env, &mut rng, &mut ctl)?,
@@ -259,7 +282,8 @@ pub fn run_trial_checkpointed(
             let breakdown = agent.simulated_breakdown_seconds();
             (training, Some(breakdown))
         } else {
-            let config = DesignConfig::for_workload(&env_spec, spec.hidden_dim);
+            let mut config = DesignConfig::for_workload(&env_spec, spec.hidden_dim);
+            config.chunk_cap = spec.chunk_cap;
             let mut agent = spec.design.build(&config, &mut rng);
             (
                 trainer.run_checkpointed(agent.as_mut(), env.as_mut(), &mut rng, &mut ctl)?,
@@ -274,9 +298,18 @@ pub fn run_trial_checkpointed(
     };
     let complete = training.episodes_run >= spec.trainer.max_episodes
         || (spec.trainer.stop_when_solved && training.solved);
+    // Record the *effective* RLS chunk cap in the artifact: the explicit
+    // knob when given, otherwise the default — but only where the cap is
+    // live at all (chunked OS-ELM designs driving batch-B ticks). Scalar
+    // and non-RLS runs keep `None`, so pre-existing artifacts stay
+    // byte-identical.
+    let mut result_spec = spec.clone();
+    if result_spec.chunk_cap.is_none() && spec.train_envs > 1 && spec.design.uses_chunked_rls() {
+        result_spec.chunk_cap = Some(elmrl_core::DEFAULT_CHUNK_CAP);
+    }
     Ok((
         TrialResult {
-            spec: spec.clone(),
+            spec: result_spec,
             modeled,
             fpga_simulated_seconds,
             training,
@@ -568,5 +601,92 @@ mod tests {
         if !r.training.solved {
             assert!(r.time_to_complete().is_none());
         }
+    }
+
+    #[test]
+    fn result_spec_records_the_effective_chunk_cap() {
+        // Scalar runs: the cap is inert — stays None, so artifacts written
+        // before the knob existed keep their exact bytes.
+        let scalar = run_trial(&TrialSpec::new(Design::OsElmL2, 8, 3).with_max_episodes(2));
+        assert_eq!(scalar.spec.chunk_cap, None);
+
+        // Chunked OS-ELM runs record the default when the knob was absent…
+        let batched = run_trial(
+            &TrialSpec::new(Design::OsElmL2, 8, 3)
+                .with_max_episodes(2)
+                .with_train_envs(3),
+        );
+        assert_eq!(batched.spec.chunk_cap, Some(elmrl_core::DEFAULT_CHUNK_CAP));
+
+        // …and the explicit knob when given.
+        let capped = run_trial(
+            &TrialSpec::new(Design::OsElmL2, 8, 3)
+                .with_max_episodes(2)
+                .with_train_envs(3)
+                .with_chunk_cap(Some(2)),
+        );
+        assert_eq!(capped.spec.chunk_cap, Some(2));
+
+        // Designs without the chunked RLS update never record a cap.
+        let dqn = run_trial(
+            &TrialSpec::new(Design::Dqn, 8, 3)
+                .with_max_episodes(2)
+                .with_train_envs(3),
+        );
+        assert_eq!(dqn.spec.chunk_cap, None);
+    }
+
+    #[test]
+    fn chunk_cap_below_the_tick_width_stays_deterministic() {
+        // B = 3 ticks with a cap of 1 split every tick into single-row RLS
+        // chunks (Eq. 6 applied per chunk is algebraically equivalent, so
+        // the behaviour may coincide at short horizons — the float-level
+        // divergence is pinned at the core layer where β is observable).
+        // The capped run must complete and stay a pure function of the
+        // spec.
+        let capped = TrialSpec::new(Design::OsElmL2Lipschitz, 8, 13)
+            .with_max_episodes(4)
+            .with_train_envs(3)
+            .with_chunk_cap(Some(1));
+        let a = run_trial(&capped);
+        let b = run_trial(&capped);
+        assert_eq!(a.training.stats.returns, b.training.stats.returns);
+        assert_eq!(a.training.episodes_run, 4);
+        assert_eq!(a.spec.chunk_cap, Some(1));
+    }
+
+    #[test]
+    fn checkpoint_names_keep_historical_form_without_a_cap() {
+        let spec = TrialSpec::new(Design::OsElmL2Lipschitz, 16, 7).with_train_envs(4);
+        assert_eq!(
+            checkpoint_file_name(&spec),
+            "trial-cart-pole-os-elm-l2-lipschitz-h16-s7-e4.json"
+        );
+        // An explicit cap changes the trajectory, so it gets its own file.
+        assert_eq!(
+            checkpoint_file_name(&spec.with_chunk_cap(Some(8))),
+            "trial-cart-pole-os-elm-l2-lipschitz-h16-s7-e4-c8.json"
+        );
+    }
+
+    #[test]
+    fn high_dim_workload_runs_the_full_trial_path() {
+        let spec = TrialSpec::for_workload(Workload::HighDim, Design::OsElmL2Lipschitz, 8, 21)
+            .with_options(WorkloadOptions {
+                obs_dim: Some(16),
+                ..WorkloadOptions::default()
+            })
+            .with_max_episodes(2);
+        let r = run_trial(&spec);
+        assert_eq!(r.training.episodes_run, 2);
+        assert!(r.training.total_steps > 0);
+        assert!(r.training.stats.returns.iter().all(|v| v.is_finite()));
+        // The padded width reaches the agent: a different obs_dim changes
+        // the RNG consumption and therefore the trajectory.
+        let wider = run_trial(&spec.clone().with_options(WorkloadOptions {
+            obs_dim: Some(32),
+            ..WorkloadOptions::default()
+        }));
+        assert_ne!(r.training.stats.returns, wider.training.stats.returns);
     }
 }

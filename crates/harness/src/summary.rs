@@ -525,7 +525,7 @@ mod tests {
             summary.workloads,
             vec![Workload::CartPole, Workload::Acrobot]
         );
-        assert_eq!(summary.missing, vec!["mountain-car"]);
+        assert_eq!(summary.missing, vec!["mountain-car", "high-dim"]);
         assert_eq!(summary.unreadable, vec!["pendulum"]);
         // 2 designs × 2 aggregated workloads.
         assert_eq!(summary.cells.len(), 4);
@@ -569,7 +569,7 @@ mod tests {
             summary.workloads,
             vec![Workload::CartPole, Workload::MountainCar]
         );
-        assert_eq!(summary.missing, vec!["acrobot"]);
+        assert_eq!(summary.missing, vec!["acrobot", "high-dim"]);
         assert_eq!(summary.unreadable, vec!["pendulum"]);
         assert_eq!(summary.cells.len(), 2);
         assert_eq!(summary.cells[0].design, "OS-ELM-L2-Lipschitz");
@@ -623,7 +623,7 @@ mod tests {
             summary.workloads,
             vec![Workload::CartPole, Workload::MountainCar]
         );
-        assert_eq!(summary.missing, vec!["acrobot"]);
+        assert_eq!(summary.missing, vec!["acrobot", "high-dim"]);
         assert_eq!(summary.unreadable, vec!["pendulum"]);
         // 4 A1 configurations × 2 aggregated workloads.
         assert_eq!(summary.cells.len(), 8);

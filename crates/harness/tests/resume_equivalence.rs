@@ -47,6 +47,7 @@ fn fig5_json(train_envs: usize, ckpt: Option<&CheckpointOptions>) -> Option<Stri
         EPISODES,
         SEED,
         train_envs,
+        None,
         ckpt,
     )
     .expect("sweep must not error")
@@ -119,6 +120,7 @@ fn fig4_resume_reproduces_the_training_curves_byte_for_byte() {
         4,
         SEED,
         1,
+        None,
         Some(&CheckpointOptions {
             dir: dir.clone(),
             every: 2,
@@ -135,6 +137,7 @@ fn fig4_resume_reproduces_the_training_curves_byte_for_byte() {
         4,
         SEED,
         1,
+        None,
         Some(&CheckpointOptions {
             dir: dir.clone(),
             every: 2,

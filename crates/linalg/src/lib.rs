@@ -47,6 +47,7 @@ pub mod solve;
 pub mod vector;
 
 pub use error::{LinalgError, Result};
+pub use matmul::{parallel_flop_threshold, set_parallel_flop_threshold};
 pub use matrix::Matrix;
 pub use scalar::Scalar;
 pub use vector::Vector;

@@ -31,19 +31,126 @@
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Tile edge (in elements) for the blocked kernel. 64×64 f64 tiles are 32 KiB,
 /// matching a typical L1 data cache.
 pub const DEFAULT_BLOCK: usize = 64;
 
 /// Row-panel height of the packed micro-kernel: how many output rows share
-/// one streamed pass over the rhs. 4 keeps the panel's accumulator rows and
-/// one rhs row comfortably inside L1 at the hidden sizes the paper sweeps.
-pub const PACK_MR: usize = 4;
+/// one streamed pass over the rhs. 8 spreads each rhs read over eight
+/// accumulator rows (eight independent FMA chains) while a panel's packed
+/// k-slice (`PACK_MR × PACK_KC` elements) still fits in L1; measured in the
+/// `kernels` / `scaling_kernels` benches against 4 and 16 at n ∈ {64 … 1024}.
+pub const PACK_MR: usize = 8;
 
-/// Below this many multiply–adds, [`Matrix::matmul_parallel`] runs the
-/// sequential kernel inline — fork/join overhead dwarfs the work.
-const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+/// Depth (inner-dimension extent) of one packed k-block. 256 keeps the
+/// packed panel slice (`PACK_MR × PACK_KC` f64 = 16 KiB) in L1 across the
+/// whole j-sweep of that block.
+pub const PACK_KC: usize = 256;
+
+/// Width of one output column block. 256 caps the live output tile at
+/// `PACK_MR × PACK_NC` f64 = 16 KiB so accumulator rows stay cache-hot
+/// while the rhs block (`PACK_KC × PACK_NC` = 512 KiB) streams from L2.
+pub const PACK_NC: usize = 256;
+
+/// Default for [`parallel_flop_threshold`]: below this many multiply–adds
+/// the parallel entry points run the sequential kernel inline — fork/join
+/// overhead dwarfs the work. 64³ ≈ 262k MACs ≈ the smallest product where
+/// a second worker pays for itself on the bench host (see BENCH_PR9.json).
+pub const DEFAULT_PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Cached override for the parallel short-circuit threshold; 0 = unset
+/// (resolve `ELMRL_PAR_THRESHOLD`, then the default, on first use).
+static PAR_THRESHOLD: AtomicUsize = AtomicUsize::new(0);
+
+/// The minimum product size (in multiply–adds) routed to the work-sharing
+/// pool by [`Matrix::matmul_parallel`] and [`Matrix::matmul_auto_into`].
+///
+/// Resolution order: the last [`set_parallel_flop_threshold`] call, else the
+/// `ELMRL_PAR_THRESHOLD` environment variable, else
+/// [`DEFAULT_PARALLEL_FLOP_THRESHOLD`]. Exposed for bench sweeps.
+pub fn parallel_flop_threshold() -> usize {
+    match PAR_THRESHOLD.load(Ordering::Relaxed) {
+        0 => {
+            let v = std::env::var("ELMRL_PAR_THRESHOLD")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(DEFAULT_PARALLEL_FLOP_THRESHOLD);
+            PAR_THRESHOLD.store(v, Ordering::Relaxed);
+            v
+        }
+        v => v,
+    }
+}
+
+/// Override the parallel short-circuit threshold (in multiply–adds) for this
+/// process; pass 0 to reset to the environment/default resolution. Changing
+/// the threshold only moves work between the sequential and parallel kernels
+/// — both produce bit-identical results, so artefacts never depend on it.
+pub fn set_parallel_flop_threshold(threshold: usize) {
+    PAR_THRESHOLD.store(threshold, Ordering::Relaxed);
+}
+
+/// Below this many multiply–adds (or below [`PACK_MR`] output columns) the
+/// auto-dispatched kernels fall back to the naive loop: the packed panel
+/// write-out costs more than it saves on tiny products.
+const PACK_FLOP_THRESHOLD: usize = 8 * 8 * 8;
+
+/// Compute output rows `i0..i1` of `a · rhs`, restricted to the first
+/// `k_used` columns of `a` / rows of `rhs`, into `out_rows` (the caller's
+/// already-zeroed row slice of length `(i1 - i0) · rhs.cols()`).
+///
+/// This is the one packed/blocked engine behind
+/// [`Matrix::matmul_packed_into`], [`Matrix::matmul_prefix_packed_into`] and
+/// the parallel row-chunk dispatch: [`PACK_MR`]-row panels of `a` are packed
+/// transposed, the inner dimension is tiled by [`PACK_KC`] and the output
+/// columns by [`PACK_NC`]. For every output element the `k` terms are still
+/// accumulated in ascending order (k-blocks ascend, `p` ascends within a
+/// block), so the result is bit-for-bit identical to the naive kernel no
+/// matter how the tiles fall.
+fn packed_gemm_rows<T: Scalar>(
+    a: &Matrix<T>,
+    i0: usize,
+    i1: usize,
+    k_used: usize,
+    rhs: &Matrix<T>,
+    pack: &mut Vec<T>,
+    out_rows: &mut [T],
+) {
+    let n = rhs.cols();
+    debug_assert_eq!(out_rows.len(), (i1 - i0) * n);
+    pack.clear();
+    pack.resize(PACK_MR * PACK_KC.min(k_used.max(1)), T::zero());
+    for ib in (i0..i1).step_by(PACK_MR) {
+        let h = PACK_MR.min(i1 - ib);
+        let panel = &mut out_rows[(ib - i0) * n..(ib - i0 + h) * n];
+        for p0 in (0..k_used).step_by(PACK_KC) {
+            let p_end = (p0 + PACK_KC).min(k_used);
+            // Pack this panel's k-slice transposed: pack[(p-p0)·MR + r] =
+            // A[ib+r, p], so the p-loop below reads one contiguous group.
+            for (r, a_row) in (ib..ib + h).map(|i| a.row(i)).enumerate() {
+                for (p, &v) in a_row.iter().enumerate().take(p_end).skip(p0) {
+                    pack[(p - p0) * PACK_MR + r] = v;
+                }
+            }
+            for j0 in (0..n).step_by(PACK_NC) {
+                let j_end = (j0 + PACK_NC).min(n);
+                for p in p0..p_end {
+                    let b_row = &rhs.row(p)[j0..j_end];
+                    let group = &pack[(p - p0) * PACK_MR..(p - p0) * PACK_MR + h];
+                    for (r, &a_rp) in group.iter().enumerate() {
+                        let o_row = &mut panel[r * n + j0..r * n + j_end];
+                        for (o, &b) in o_row.iter_mut().zip(b_row) {
+                            *o += a_rp * b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
 
 impl<T: Scalar> Matrix<T> {
     /// Naive `i-k-j` matrix product. Panics if `self.cols() != rhs.rows()`.
@@ -81,11 +188,12 @@ impl<T: Scalar> Matrix<T> {
 
     /// Register-blocked micro-kernel: packs [`PACK_MR`]-row panels of `self`
     /// **transposed** into a contiguous scratch buffer, then updates the
-    /// whole panel while each rhs row is hot in L1. Each rhs row is read
-    /// once per panel instead of once per output row, which is what makes
-    /// this the fastest kernel from `n ≈ 64` up. Bit-for-bit identical to
-    /// [`Matrix::matmul`] (per-element accumulation stays in ascending inner
-    /// order).
+    /// whole panel while each rhs row is hot in L1, with the inner dimension
+    /// tiled by [`PACK_KC`] and the output columns by [`PACK_NC`]. Each rhs
+    /// row is read once per panel instead of once per output row, which is
+    /// what makes this the fastest kernel from `n ≈ 16` up through
+    /// `n = 1024`. Bit-for-bit identical to [`Matrix::matmul`] (per-element
+    /// accumulation stays in ascending inner order).
     pub fn matmul_packed(&self, rhs: &Matrix<T>) -> Matrix<T> {
         let mut pack = Vec::new();
         let mut out = Matrix::zeros(self.rows(), rhs.cols());
@@ -107,30 +215,82 @@ impl<T: Scalar> Matrix<T> {
         );
         let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
         out.resize_zeroed(m, n);
-        pack.clear();
-        pack.resize(PACK_MR * k, T::zero());
-        let out_data = out.as_mut_slice();
-        for i0 in (0..m).step_by(PACK_MR) {
-            let h = PACK_MR.min(m - i0);
-            // Pack the panel transposed: pack[p·MR + r] = A[i0+r, p], so the
-            // p-loop below reads one contiguous quad per step.
-            for (r, a_row) in (i0..i0 + h).map(|i| self.row(i)).enumerate() {
-                for (p, &a) in a_row.iter().enumerate() {
-                    pack[p * PACK_MR + r] = a;
-                }
-            }
-            let panel = &mut out_data[i0 * n..(i0 + h) * n];
-            for p in 0..k {
-                let b_row = rhs.row(p);
-                let quad = &pack[p * PACK_MR..p * PACK_MR + h];
-                for (r, &a_rp) in quad.iter().enumerate() {
-                    let o_row = &mut panel[r * n..(r + 1) * n];
-                    for j in 0..n {
-                        o_row[j] += a_rp * b_row[j];
-                    }
-                }
-            }
+        packed_gemm_rows(self, 0, m, k, rhs, pack, out.as_mut_slice());
+    }
+
+    /// Product of the first `k_used` columns of `self` with the first
+    /// `k_used` rows of `rhs`, through the packed/blocked engine. This is
+    /// the batched Q-evaluation's state-projection shape: `states` is
+    /// `B × d` while the input weights carry `d + 1` rows (the bias row is
+    /// applied separately), so the full product never exists. Bit-for-bit
+    /// identical to accumulating `p = 0..k_used` naively in ascending order.
+    pub fn matmul_prefix_packed_into(
+        &self,
+        rhs: &Matrix<T>,
+        k_used: usize,
+        pack: &mut Vec<T>,
+        out: &mut Matrix<T>,
+    ) {
+        assert!(
+            k_used <= self.cols() && k_used <= rhs.rows(),
+            "matmul_prefix_packed: prefix {} exceeds operand dims ({}x{} * {}x{})",
+            k_used,
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let (m, n) = (self.rows(), rhs.cols());
+        out.resize_zeroed(m, n);
+        packed_gemm_rows(self, 0, m, k_used, rhs, pack, out.as_mut_slice());
+    }
+
+    /// Size-dispatched product into a caller-owned output: naive loop for
+    /// tiny shapes, the packed/blocked engine in the mid range, and — when
+    /// the product clears [`parallel_flop_threshold`] **and** the pool has
+    /// more than one worker — row-chunks of the same engine on the
+    /// work-sharing pool. All three branches are bit-for-bit identical, so
+    /// the dispatch (and the thread count) can never change a result byte.
+    ///
+    /// The parallel branch allocates per-chunk pack buffers; the sequential
+    /// branches are allocation-free at steady state, and small products
+    /// (everything the per-step RL hot loop issues at paper-scale sizes)
+    /// always take a sequential branch.
+    pub fn matmul_auto_into(&self, rhs: &Matrix<T>, pack: &mut Vec<T>, out: &mut Matrix<T>) {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul_auto: inner dimensions differ ({}x{} * {}x{})",
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
+        let flops = m * k * n;
+        if flops < PACK_FLOP_THRESHOLD || n < PACK_MR {
+            self.matmul_into(rhs, out);
+            return;
         }
+        if flops < parallel_flop_threshold() || rayon::current_num_threads() <= 1 || m < 2 {
+            self.matmul_packed_into(rhs, pack, out);
+            return;
+        }
+        out.resize_zeroed(m, n);
+        let rows_per = m
+            .div_ceil(rayon::current_num_threads() * 2)
+            .next_multiple_of(PACK_MR);
+        let chunks: Vec<(usize, &mut [T])> = out
+            .as_mut_slice()
+            .chunks_mut(rows_per * n)
+            .enumerate()
+            .collect();
+        chunks.into_par_iter().for_each(|(ci, chunk)| {
+            let i0 = ci * rows_per;
+            let rows = chunk.len() / n;
+            let mut local_pack = Vec::new();
+            packed_gemm_rows(self, i0, i0 + rows, k, rhs, &mut local_pack, chunk);
+        });
     }
 
     /// Cache-blocked matrix product with tile edge `block`.
@@ -169,8 +329,9 @@ impl<T: Scalar> Matrix<T> {
     /// `rayon`-shim work-sharing pool. Each output row is accumulated
     /// independently in the same inner order as [`Matrix::matmul`], so the
     /// result is bit-for-bit identical to the sequential kernels at any
-    /// thread count. Products below ~64³ multiply–adds short-circuit to the
-    /// sequential packed kernel — fork/join overhead would dominate.
+    /// thread count. Products below [`parallel_flop_threshold`] multiply–adds
+    /// (tunable via `ELMRL_PAR_THRESHOLD`) short-circuit to the sequential
+    /// packed kernel — fork/join overhead would dominate.
     pub fn matmul_parallel(&self, rhs: &Matrix<T>) -> Matrix<T> {
         assert_eq!(
             self.cols(),
@@ -178,7 +339,7 @@ impl<T: Scalar> Matrix<T> {
             "matmul_parallel: inner dimensions differ"
         );
         let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
-        if m * k * n < PARALLEL_FLOP_THRESHOLD || rayon::current_num_threads() <= 1 {
+        if m * k * n < parallel_flop_threshold() || rayon::current_num_threads() <= 1 {
             return self.matmul_packed(rhs);
         }
         let rows: Vec<Vec<T>> = (0..m)
@@ -348,12 +509,71 @@ mod tests {
     #[test]
     fn packed_kernel_is_bit_identical_to_naive() {
         let mut rng = SmallRng::seed_from_u64(77);
-        // Panel remainders on every side: m ∈ {1, 3, 4, 5, 9}.
-        for (m, k, n) in [(1, 6, 4), (3, 5, 7), (4, 4, 4), (5, 64, 9), (9, 7, 65)] {
+        // Remainders on every tile edge: panel height (PACK_MR = 8),
+        // k-blocks (PACK_KC = 256) and column blocks (PACK_NC = 256).
+        for (m, k, n) in [
+            (1, 6, 4),
+            (3, 5, 7),
+            (4, 4, 4),
+            (5, 64, 9),
+            (9, 7, 65),
+            (7, 8, 8),
+            (8, 9, 7),
+            (17, 255, 3),
+            (2, 256, 5),
+            (3, 257, 4),
+            (2, 300, 259),
+            (10, 513, 2),
+        ] {
             let a = uniform_matrix::<f64, _>(m, k, -2.0, 2.0, &mut rng);
             let b = uniform_matrix::<f64, _>(k, n, -2.0, 2.0, &mut rng);
             // Exact equality, not approximate: same accumulation order.
             assert_eq!(a.matmul(&b), a.matmul_packed(&b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn prefix_packed_matches_naive_prefix_accumulation() {
+        let mut rng = SmallRng::seed_from_u64(80);
+        for (m, k_used, extra, n) in [(4, 3, 1, 9), (9, 8, 2, 17), (3, 257, 1, 5)] {
+            let a = uniform_matrix::<f64, _>(m, k_used, -1.0, 1.0, &mut rng);
+            let b = uniform_matrix::<f64, _>(k_used + extra, n, -1.0, 1.0, &mut rng);
+            let mut pack = Vec::new();
+            let mut out = Matrix::zeros(1, 1);
+            a.matmul_prefix_packed_into(&b, k_used, &mut pack, &mut out);
+            // Reference: the naive ascending-p loop over the prefix.
+            let mut expected = Matrix::zeros(m, n);
+            for i in 0..m {
+                for p in 0..k_used {
+                    for j in 0..n {
+                        expected[(i, j)] += a[(i, p)] * b[(p, j)];
+                    }
+                }
+            }
+            assert_eq!(out, expected, "{m}x{k_used}(+{extra})x{n}");
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_is_bit_identical_across_all_branches() {
+        let mut rng = SmallRng::seed_from_u64(81);
+        let mut pack = Vec::new();
+        let mut out = Matrix::zeros(1, 1);
+        // Tiny (naive branch), mid (packed branch), large (parallel branch
+        // once the threshold is forced down and threads up).
+        for (m, k, n) in [(2, 3, 2), (24, 40, 33), (40, 64, 48)] {
+            let a = uniform_matrix::<f64, _>(m, k, -1.0, 1.0, &mut rng);
+            let b = uniform_matrix::<f64, _>(k, n, -1.0, 1.0, &mut rng);
+            let expected = a.matmul(&b);
+            a.matmul_auto_into(&b, &mut pack, &mut out);
+            assert_eq!(out, expected, "sequential dispatch {m}x{k}x{n}");
+
+            set_parallel_flop_threshold(1);
+            rayon::set_num_threads(4);
+            a.matmul_auto_into(&b, &mut pack, &mut out);
+            rayon::set_num_threads(1);
+            set_parallel_flop_threshold(0);
+            assert_eq!(out, expected, "parallel dispatch {m}x{k}x{n}");
         }
     }
 

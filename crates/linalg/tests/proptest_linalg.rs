@@ -80,6 +80,52 @@ proptest! {
     }
 
     #[test]
+    fn blocked_packed_engine_is_bit_identical_across_tile_boundaries(
+        m in 1usize..19, k_off in 0usize..6, n_off in 0usize..6, seed in 0u64..100
+    ) {
+        // Shapes straddling every tile edge of the PR-9 engine: the panel
+        // height (PACK_MR), the k-block depth (PACK_KC) and the column-block
+        // width (PACK_NC). m sweeps panel remainders, k and n sit right on
+        // (and past) the 256-element block boundaries. Small opposite
+        // dimensions keep the case cheap while still crossing the tiles.
+        use elmrl_linalg::matmul::{PACK_KC, PACK_NC};
+        let k = PACK_KC - 3 + k_off; // 253..=258
+        let n = PACK_NC - 3 + n_off;
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(k, 2, seed.wrapping_add(41));
+        prop_assert_eq!(a.matmul(&b), a.matmul_packed(&b));
+        let c = seeded_matrix(m, 3, seed.wrapping_add(43));
+        let d = seeded_matrix(3, n, seed.wrapping_add(47));
+        prop_assert_eq!(c.matmul(&d), c.matmul_packed(&d));
+        // Prefix form: accumulate only the first k-1 inner terms.
+        let mut pack = Vec::new();
+        let mut out = Matrix::zeros(1, 1);
+        let k_used = k - 1;
+        a.matmul_prefix_packed_into(&b, k_used, &mut pack, &mut out);
+        let mut expected = Matrix::zeros(m, 2);
+        for i in 0..m {
+            for p in 0..k_used {
+                for j in 0..2 {
+                    expected[(i, j)] += a[(i, p)] * b[(p, j)];
+                }
+            }
+        }
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn auto_dispatch_is_bit_identical_to_naive(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..200
+    ) {
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(k, n, seed.wrapping_add(29));
+        let mut pack = Vec::new();
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_auto_into(&b, &mut pack, &mut out);
+        prop_assert_eq!(a.matmul(&b), out);
+    }
+
+    #[test]
     fn lu_solves_well_conditioned_systems(n in 1usize..7, seed in 0u64..200) {
         let mut a = seeded_matrix(n, n, seed);
         for i in 0..n { a[(i, i)] += 10.0; } // diagonally dominant => nonsingular

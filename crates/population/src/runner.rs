@@ -73,6 +73,12 @@ pub struct PopulationConfig {
     /// every replica its own E-slot [`VecEnv`] so it trains E episodes in
     /// lockstep with batch-B updates.
     pub train_envs: usize,
+    /// RLS batch-width cap for the chunked OS-ELM designs (the CLI's
+    /// `--chunk-cap`; `None` defers to [`elmrl_core::DEFAULT_CHUNK_CAP`]
+    /// once `train_envs > 1` engages the chunked path). Skipped when
+    /// absent so pre-existing manifests round-trip byte-identically.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub chunk_cap: Option<usize>,
     /// Lockstep greedy-evaluation episodes per replica after training
     /// (0 disables the evaluation pass).
     pub eval_episodes: usize,
@@ -93,6 +99,7 @@ impl PopulationConfig {
             seed: 42,
             max_episodes: spec.defaults.max_episodes,
             train_envs: 1,
+            chunk_cap: None,
             eval_episodes: 8,
         }
     }
@@ -145,6 +152,13 @@ pub struct PopulationReport {
     pub max_episodes: usize,
     /// Parallel training episodes per replica (`--train-envs`).
     pub train_envs: usize,
+    /// The effective RLS chunk cap the replicas trained under (the CLI's
+    /// `--chunk-cap`, or [`elmrl_core::DEFAULT_CHUNK_CAP`] once
+    /// `train_envs > 1` engages the chunked path); `None` when every
+    /// update was single-transition. Skipped when absent so pre-existing
+    /// artifacts stay byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub chunk_cap: Option<usize>,
     /// The effective completion rule of the run (registry default or the
     /// `--solve-threshold` override).
     pub solve_criterion: SolveCriterion,
@@ -510,6 +524,7 @@ impl PopulationRunner {
             seed: self.config.seed,
             max_episodes: self.config.max_episodes,
             train_envs: self.config.train_envs,
+            chunk_cap: effective_chunk_cap(&self.config),
             solve_criterion: spec.solve_criterion,
             eval_episodes: self.config.eval_episodes,
             solve_rate: solved.len() as f64 / replicas.len() as f64,
@@ -525,11 +540,26 @@ impl PopulationRunner {
     }
 }
 
+/// The chunk cap the replicas actually train under: the explicit knob when
+/// given, otherwise the default — but only where the cap is live at all
+/// (chunked OS-ELM designs driving batch-B ticks). Scalar and non-RLS runs
+/// keep `None`, so pre-existing artifacts stay byte-identical.
+fn effective_chunk_cap(config: &PopulationConfig) -> Option<usize> {
+    if config.chunk_cap.is_none() && config.train_envs > 1 && config.design.uses_chunked_rls() {
+        Some(elmrl_core::DEFAULT_CHUNK_CAP)
+    } else {
+        config.chunk_cap
+    }
+}
+
 /// Build one replica's agent behind the batched-inference interface.
+/// `chunk_cap` is the RLS batch-width cap for the chunked OS-ELM designs
+/// (inert for the scalar protocol and for DQN/FPGA replicas).
 fn build_replica_agent(
     design: Design,
     spec: &EnvSpec,
     hidden_dim: usize,
+    chunk_cap: Option<usize>,
     rng: &mut SmallRng,
 ) -> Box<dyn BatchAgent> {
     match design {
@@ -537,7 +567,11 @@ fn build_replica_agent(
             FpgaAgentConfig::for_workload(spec, hidden_dim),
             rng,
         )),
-        software => software.build_batch(&DesignConfig::for_workload(spec, hidden_dim), rng),
+        software => {
+            let mut config = DesignConfig::for_workload(spec, hidden_dim);
+            config.chunk_cap = chunk_cap;
+            software.build_batch(&config, rng)
+        }
     }
 }
 
@@ -623,7 +657,13 @@ fn run_shard(
         for &replica in replicas {
             let train_seed = replica_train_seed(config.seed, replica);
             let mut rng = SmallRng::seed_from_u64(train_seed);
-            let mut agent = build_replica_agent(config.design, spec, config.hidden_dim, &mut rng);
+            let mut agent = build_replica_agent(
+                config.design,
+                spec,
+                config.hidden_dim,
+                config.chunk_cap,
+                &mut rng,
+            );
             let mut vec_env = VecEnv::from_spec(spec, config.train_envs);
             let mut ctl = CheckpointCtl::default();
             if let Some(limit) = abort_after_episodes {
@@ -666,7 +706,15 @@ fn run_shard(
         .collect();
     let mut agents: Vec<Box<dyn BatchAgent>> = rngs
         .iter_mut()
-        .map(|rng| build_replica_agent(config.design, spec, config.hidden_dim, rng))
+        .map(|rng| {
+            build_replica_agent(
+                config.design,
+                spec,
+                config.hidden_dim,
+                config.chunk_cap,
+                rng,
+            )
+        })
         .collect();
 
     let mut vec_env = VecEnv::from_spec(spec, b);
@@ -959,6 +1007,32 @@ mod tests {
             scalar.replicas, baseline.replicas,
             "E > 1 must not silently replay the scalar protocol"
         );
+    }
+
+    #[test]
+    fn report_records_the_effective_chunk_cap() {
+        // Scalar protocol: the cap is inert and stays unrecorded.
+        let scalar = PopulationRunner::new(tiny_config(1)).run();
+        assert_eq!(scalar.chunk_cap, None);
+
+        // E > 1 on a chunked OS-ELM design: the default cap is live and
+        // recorded even though no explicit knob was set.
+        let mut config = tiny_config(1);
+        config.train_envs = 3;
+        assert_eq!(config.chunk_cap, None);
+        let defaulted = PopulationRunner::new(config.clone()).run();
+        assert_eq!(defaulted.chunk_cap, Some(elmrl_core::DEFAULT_CHUNK_CAP));
+
+        // An explicit cap is recorded verbatim and changes the trained
+        // trajectory once a tick is wide enough to split (E = 3 ticks stay
+        // under cap 2 only when an episode ends mid-tick, so just pin the
+        // recorded value plus determinism here; the trajectory-level
+        // divergence is pinned at the core level).
+        config.chunk_cap = Some(2);
+        let capped = PopulationRunner::new(config.clone()).run();
+        assert_eq!(capped.chunk_cap, Some(2));
+        let capped_again = PopulationRunner::new(config).run();
+        assert_eq!(capped, capped_again, "capped runs stay deterministic");
     }
 
     #[test]

@@ -70,22 +70,27 @@ pub fn set_num_threads(threads: usize) {
 
 /// The number of threads parallel calls currently target: the explicit
 /// [`set_num_threads`] value if set, else `ELMRL_THREADS`, else the
-/// machine's available parallelism.
+/// machine's available parallelism. The environment fallback is resolved
+/// once and cached — `std::env::var` heap-allocates, and per-update kernel
+/// dispatch queries this on the allocation-free training hot path.
 pub fn current_num_threads() -> usize {
     let configured = CONFIGURED_THREADS.load(Ordering::SeqCst);
     if configured > 0 {
         return configured;
     }
-    if let Ok(v) = std::env::var("ELMRL_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n.min(MAX_THREADS);
+    static FALLBACK: OnceLock<usize> = OnceLock::new();
+    *FALLBACK.get_or_init(|| {
+        if let Ok(v) = std::env::var("ELMRL_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n.min(MAX_THREADS);
+                }
             }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(MAX_THREADS))
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(MAX_THREADS))
+            .unwrap_or(1)
+    })
 }
 
 /// Make sure at least `target` worker threads exist (the caller is not

@@ -1,0 +1,58 @@
+//! The `#[serde(default)]` / `#[serde(skip_serializing_if = "...")]` field
+//! attributes exist so a schema can grow `Option` fields without changing
+//! the bytes of artefacts serialised before the field existed. These tests
+//! pin that contract at the shim level.
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct V1 {
+    kept: u32,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct V2 {
+    kept: u32,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    added: Option<f64>,
+}
+
+#[test]
+fn none_field_is_omitted_from_the_map() {
+    let old = V1 { kept: 7 }.to_value();
+    let new = V2 {
+        kept: 7,
+        added: None,
+    }
+    .to_value();
+    assert_eq!(old, new, "a None optional must not change serialised bytes");
+}
+
+#[test]
+fn some_field_round_trips() {
+    let v = V2 {
+        kept: 3,
+        added: Some(1.5),
+    };
+    let val = v.to_value();
+    assert_eq!(
+        val.get_field("added"),
+        Some(&Value::Float(1.5)),
+        "Some values must still be written"
+    );
+    assert_eq!(V2::from_value(&val).unwrap(), v);
+}
+
+#[test]
+fn missing_field_deserialises_to_default() {
+    let old = V1 { kept: 9 }.to_value();
+    let upgraded = V2::from_value(&old).unwrap();
+    assert_eq!(
+        upgraded,
+        V2 {
+            kept: 9,
+            added: None
+        },
+        "pre-field artefacts must load with the default"
+    );
+}

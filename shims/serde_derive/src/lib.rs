@@ -6,20 +6,37 @@
 //!
 //! * structs with named fields, optionally with generic parameters
 //!   (type parameters get a `Serialize`/`Deserialize` bound);
-//! * fieldless (unit-variant) enums, serialised as the variant name string.
+//! * fieldless (unit-variant) enums, serialised as the variant name string;
+//! * the field attributes `#[serde(default)]` (missing field deserialises to
+//!   `Default::default()`) and `#[serde(skip_serializing_if = "...")]`
+//!   (a field whose value serialises to `Value::Null` is omitted from the
+//!   map) — together these let a schema gain `Option` fields without
+//!   changing the bytes of artefacts written before the field existed.
 //!
 //! Anything else produces a compile error naming the unsupported shape.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named struct field plus the serde attributes the shim honours.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(skip_serializing_if = "...")]`: omit the map entry when the
+    /// field serialises to `Value::Null` (the shim's encoding of `None`).
+    skip_if_null: bool,
+    /// `#[serde(default)]`: a missing field deserialises to
+    /// `Default::default()` instead of erroring.
+    default_if_missing: bool,
+}
+
 /// One enum variant: its identifier, plus `None` for a fieldless variant or
-/// `Some(field names)` for a struct variant.
-type Variant = (String, Option<Vec<String>>);
+/// `Some(fields)` for a struct variant.
+type Variant = (String, Option<Vec<Field>>);
 
 #[derive(Debug)]
 enum Shape {
     /// Named-field struct: field identifiers in declaration order.
-    Struct { fields: Vec<String> },
+    Struct { fields: Vec<Field> },
     /// Enum: variant identifiers, each either fieldless (`None`) or a
     /// struct variant with named fields (`Some(fields)`).
     Enum { variants: Vec<Variant> },
@@ -196,13 +213,46 @@ fn split_generics(tokens: &[TokenTree]) -> Result<(String, String, Vec<String>),
     Ok((params, args.join(", "), type_params))
 }
 
-fn parse_struct_fields(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+/// Read the serde attribute flags out of one `#[...]` bracket group, if it
+/// is a `#[serde(...)]` attribute. Unknown attribute names inside the group
+/// are ignored (matching real serde's tolerance of combined lists).
+fn scan_serde_attr(group: &TokenTree, skip_if_null: &mut bool, default_if_missing: &mut bool) {
+    let TokenTree::Group(g) = group else { return };
+    if g.delimiter() != Delimiter::Bracket {
+        return;
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let is_serde = matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    let Some(TokenTree::Group(list)) = inner.get(1) else {
+        return;
+    };
+    for tt in list.stream() {
+        if let TokenTree::Ident(id) = tt {
+            match id.to_string().as_str() {
+                "skip_serializing_if" => *skip_if_null = true,
+                "default" => *default_if_missing = true,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_struct_fields(body: TokenStream, name: &str) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Skip attributes (doc comments arrive as `#[doc = "..."]`).
+        // Scan attributes: `#[serde(...)]` sets per-field flags, everything
+        // else (doc comments arrive as `#[doc = "..."]`) is skipped.
+        let mut skip_if_null = false;
+        let mut default_if_missing = false;
         while matches!(tokens.get(i), Some(t) if is_attr_start(t)) {
+            if let Some(group) = tokens.get(i + 1) {
+                scan_serde_attr(group, &mut skip_if_null, &mut default_if_missing);
+            }
             i += 2;
         }
         if i >= tokens.len() {
@@ -225,7 +275,11 @@ fn parse_struct_fields(body: TokenStream, name: &str) -> Result<Vec<String>, Str
         if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
             return Err(format!("expected `:` after field `{field}` in `{name}`"));
         }
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            skip_if_null,
+            default_if_missing,
+        });
         // Skip the type up to the next top-level comma.
         let mut depth = 0usize;
         while i < tokens.len() {
@@ -312,7 +366,7 @@ fn impl_header(p: &Parsed, trait_name: &str) -> String {
     out
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = match parse_input(input) {
         Ok(p) => p,
@@ -321,20 +375,51 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let header = impl_header(&parsed, "Serialize");
     let body = match &parsed.shape {
         Shape::Struct { fields } => {
-            let entries: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "(::std::string::String::from({f:?}), \
-                         ::serde::Serialize::to_value(&self.{f}))"
-                    )
-                })
-                .collect();
-            format!(
-                "fn to_value(&self) -> ::serde::Value {{ \
-                 ::serde::Value::Map(::std::vec![{}]) }}",
-                entries.join(", ")
-            )
+            if fields.iter().any(|f| f.skip_if_null) {
+                // Builder form: skip-flagged fields are appended only when
+                // their value is not `Null`, so an absent `Option` leaves the
+                // serialised map byte-identical to the pre-field schema.
+                let pushes: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let name = &f.name;
+                        if f.skip_if_null {
+                            format!(
+                                "{{ let fv = ::serde::Serialize::to_value(&self.{name}); \
+                                 if !::std::matches!(fv, ::serde::Value::Null) {{ \
+                                 entries.push((::std::string::String::from({name:?}), fv)); }} }}"
+                            )
+                        } else {
+                            format!(
+                                "entries.push((::std::string::String::from({name:?}), \
+                                 ::serde::Serialize::to_value(&self.{name})));"
+                            )
+                        }
+                    })
+                    .collect();
+                format!(
+                    "fn to_value(&self) -> ::serde::Value {{ \
+                     let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new(); {} ::serde::Value::Map(entries) }}",
+                    pushes.join(" ")
+                )
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let name = &f.name;
+                        format!(
+                            "(::std::string::String::from({name:?}), \
+                             ::serde::Serialize::to_value(&self.{name}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "fn to_value(&self) -> ::serde::Value {{ \
+                     ::serde::Value::Map(::std::vec![{}]) }}",
+                    entries.join(", ")
+                )
+            }
         }
         Shape::Enum { variants } => {
             // Externally-tagged representation, like serde's default: unit
@@ -347,13 +432,18 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         "Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
                     ),
                     Some(fields) => {
-                        let binders = fields.join(", ");
+                        let binders = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let entries: Vec<String> = fields
                             .iter()
                             .map(|f| {
+                                let name = &f.name;
                                 format!(
-                                    "(::std::string::String::from({f:?}), \
-                                     ::serde::Serialize::to_value({f}))"
+                                    "(::std::string::String::from({name:?}), \
+                                     ::serde::Serialize::to_value({name}))"
                                 )
                             })
                             .collect();
@@ -375,7 +465,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     format!("{header} {{ {body} }}").parse().unwrap()
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = match parse_input(input) {
         Ok(p) => p,
@@ -388,10 +478,21 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(v.get_field({f:?}).ok_or_else(\
-                         || ::serde::Error::missing_field({name:?}, {f:?}))?)?"
-                    )
+                    let fname = &f.name;
+                    if f.default_if_missing {
+                        format!(
+                            "{fname}: match v.get_field({fname:?}) {{ \
+                             ::std::option::Option::Some(fv) => \
+                             ::serde::Deserialize::from_value(fv)?, \
+                             ::std::option::Option::None => \
+                             ::std::default::Default::default() }}"
+                        )
+                    } else {
+                        format!(
+                            "{fname}: ::serde::Deserialize::from_value(v.get_field({fname:?})\
+                             .ok_or_else(|| ::serde::Error::missing_field({name:?}, {fname:?}))?)?"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -419,11 +520,22 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     let inits: Vec<String> = fields
                         .iter()
                         .map(|f| {
-                            format!(
-                                "{f}: ::serde::Deserialize::from_value(\
-                                 inner.get_field({f:?}).ok_or_else(|| \
-                                 ::serde::Error::missing_field({name:?}, {f:?}))?)?"
-                            )
+                            let fname = &f.name;
+                            if f.default_if_missing {
+                                format!(
+                                    "{fname}: match inner.get_field({fname:?}) {{ \
+                                     ::std::option::Option::Some(fv) => \
+                                     ::serde::Deserialize::from_value(fv)?, \
+                                     ::std::option::Option::None => \
+                                     ::std::default::Default::default() }}"
+                                )
+                            } else {
+                                format!(
+                                    "{fname}: ::serde::Deserialize::from_value(\
+                                     inner.get_field({fname:?}).ok_or_else(|| \
+                                     ::serde::Error::missing_field({name:?}, {fname:?}))?)?"
+                                )
+                            }
                         })
                         .collect();
                     format!(
