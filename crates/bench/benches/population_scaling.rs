@@ -86,6 +86,7 @@ struct BenchTrajectory {
     pr: usize,
     benchmark: String,
     host_available_parallelism: usize,
+    pool_threads: usize,
     population: Vec<ScalingEntry>,
     matmul: Vec<MatmulEntry>,
 }
@@ -152,6 +153,7 @@ fn write_trajectory(_c: &mut Criterion) {
         host_available_parallelism: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        pool_threads: rayon::current_num_threads(),
         population,
         matmul: vec![
             best_matmul_gflops("naive", 128),

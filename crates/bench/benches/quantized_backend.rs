@@ -282,6 +282,7 @@ struct BenchTrajectory {
     pr: usize,
     benchmark: String,
     host_available_parallelism: usize,
+    pool_threads: usize,
     quantized_backend: Vec<BackendEntry>,
     kernel_throughput: Vec<KernelEntry>,
 }
@@ -382,6 +383,7 @@ fn write_trajectory(_c: &mut Criterion) {
         host_available_parallelism: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        pool_threads: rayon::current_num_threads(),
         quantized_backend: backend,
         kernel_throughput: kernels,
     };

@@ -209,6 +209,7 @@ struct BenchTrajectory {
     pr: usize,
     benchmark: String,
     host_available_parallelism: usize,
+    pool_threads: usize,
     pack_mr: usize,
     pack_kc: usize,
     pack_nc: usize,
@@ -413,6 +414,7 @@ fn write_trajectory(_c: &mut Criterion) {
         host_available_parallelism: std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1),
+        pool_threads: rayon::current_num_threads(),
         pack_mr: PACK_MR,
         pack_kc: PACK_KC,
         pack_nc: PACK_NC,

@@ -142,6 +142,7 @@ struct BenchTrajectory {
     pr: usize,
     benchmark: String,
     host_available_parallelism: usize,
+    pool_threads: usize,
     hidden: usize,
     telemetry_overhead: Vec<PathEntry>,
 }
@@ -211,6 +212,7 @@ fn write_trajectory(_c: &mut Criterion) {
         host_available_parallelism: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        pool_threads: rayon::current_num_threads(),
         hidden: HIDDEN,
         telemetry_overhead: entries,
     };

@@ -67,6 +67,7 @@ struct BenchTrajectory {
     pr: usize,
     benchmark: String,
     host_available_parallelism: usize,
+    pool_threads: usize,
     train_batching: Vec<BatchingEntry>,
 }
 
@@ -118,6 +119,7 @@ fn write_trajectory(_c: &mut Criterion) {
         host_available_parallelism: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        pool_threads: rayon::current_num_threads(),
         train_batching: entries,
     };
     let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");

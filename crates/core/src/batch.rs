@@ -47,6 +47,19 @@ pub trait BatchAgent: Agent {
         Matrix::from_rows(&rows)
     }
 
+    /// [`BatchAgent::predict_batch`] into a caller-owned output matrix — the
+    /// ticketed-dispatch entry point of the serve engine, where every worker
+    /// keeps one preallocated `B × A` Q buffer across coalesced batches.
+    ///
+    /// The default delegates to the allocating [`BatchAgent::predict_batch`]
+    /// (any agent is a valid worker); the ELM-family networks and the FPGA
+    /// agent override it through their existing batched scratch so a warm
+    /// worker evaluates with **zero** heap allocations. Overrides must
+    /// leave `out` bit-for-bit equal to `predict_batch`'s result.
+    fn predict_batch_into(&mut self, states: &Matrix<f64>, out: &mut Matrix<f64>) {
+        *out = self.predict_batch(states);
+    }
+
     /// Greedy action (argmax over Q, first maximum on ties) for every state
     /// in the batch — the deterministic policy used by population
     /// evaluation passes.

@@ -130,7 +130,16 @@ impl Design {
     /// [`Design::build`], so a batch-built agent replays a scalar-built one.
     /// Panics for [`Design::Fpga`] (constructed by `elmrl-fpga`, which also
     /// implements [`BatchAgent`] for it).
-    pub fn build_batch(self, config: &DesignConfig, rng: &mut SmallRng) -> Box<dyn BatchAgent> {
+    ///
+    /// The box is `Send` so callers can move workers across the thread pool
+    /// (the serve engine dispatches per-worker batches through `rayon`);
+    /// `&mut Box<dyn BatchAgent + Send>` still coerces to
+    /// `&mut dyn BatchAgent` everywhere the non-`Send` object was used.
+    pub fn build_batch(
+        self,
+        config: &DesignConfig,
+        rng: &mut SmallRng,
+    ) -> Box<dyn BatchAgent + Send> {
         match self {
             Design::Elm => Box::new(ElmQNet::new(ElmQNetConfig::from_design(config), rng)),
             Design::OsElm | Design::OsElmL2 | Design::OsElmLipschitz | Design::OsElmL2Lipschitz => {

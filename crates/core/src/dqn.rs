@@ -288,6 +288,14 @@ impl BatchAgent for DqnAgent {
         self.online.forward(states)
     }
 
+    /// The batched forward through the agent's own [`MlpScratch`] — the
+    /// serve-worker hot path. Zero heap allocations once `out` and the
+    /// ping-pong buffers have seen the steady-state batch shape.
+    fn predict_batch_into(&mut self, states: &Matrix<f64>, out: &mut Matrix<f64>) {
+        self.online
+            .forward_batch_into(states, &mut self.scratch, out);
+    }
+
     /// ε-greedy through the batched forward: same Q (bit for bit), same RNG
     /// draws, same action as [`Agent::act`]. Records the same prediction
     /// counter as [`Agent::act`], so modeled execution times stay

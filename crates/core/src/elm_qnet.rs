@@ -7,7 +7,7 @@
 //! ELM fragile with respect to the hidden size (§4.3).
 
 use crate::agent::{Agent, Observation};
-use crate::batch::{elm_q_batch, BatchAgent};
+use crate::batch::{elm_q_batch, elm_q_batch_into, BatchAgent, BatchQScratch};
 use crate::checkpoint::AgentSnapshot;
 use crate::clipping::TargetConfig;
 use crate::encoding::StateActionEncoder;
@@ -102,6 +102,8 @@ pub struct ElmQNet {
     buffer: Vec<Observation>,
     /// Prediction workspaces shared with the OS-ELM agent's hot path.
     scratch: crate::oselm_qnet::QScratch,
+    /// Batched-prediction workspaces for [`BatchAgent::predict_batch_into`].
+    batch_q: BatchQScratch,
     ops: OpCounts,
     trained_once: bool,
 }
@@ -119,6 +121,7 @@ impl ElmQNet {
             target,
             buffer: Vec::with_capacity(config.hidden_dim),
             scratch: Default::default(),
+            batch_q: Default::default(),
             ops: OpCounts::new(),
             config,
             trained_once: false,
@@ -261,6 +264,21 @@ impl BatchAgent for ElmQNet {
     /// bit-for-bit equal to per-sample [`Agent::q_values`].
     fn predict_batch(&mut self, states: &Matrix<f64>) -> Matrix<f64> {
         elm_q_batch(&self.encoder, self.online.model(), states)
+    }
+
+    /// The stacked forward through the agent's own [`BatchQScratch`] — the
+    /// serve-worker hot path. Zero heap allocations once `out` and the
+    /// scratch have seen the steady-state batch shape.
+    fn predict_batch_into(&mut self, states: &Matrix<f64>, out: &mut Matrix<f64>) {
+        elm_q_batch_into(
+            &self.encoder,
+            self.online.model(),
+            states,
+            &mut self.batch_q,
+        );
+        let q = self.batch_q.q();
+        out.resize_zeroed(q.rows(), q.cols());
+        out.as_mut_slice().copy_from_slice(q.as_slice());
     }
 
     /// ε-greedy through the batched kernel: same Q (bit for bit), same RNG

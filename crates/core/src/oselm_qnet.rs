@@ -479,6 +479,21 @@ impl BatchAgent for OsElmQNet {
         elm_q_batch(&self.encoder, self.online.model(), states)
     }
 
+    /// The stacked forward through the agent's own [`BatchQScratch`] — the
+    /// serve-worker hot path. Zero heap allocations once `out` and the
+    /// scratch have seen the steady-state batch shape.
+    fn predict_batch_into(&mut self, states: &Matrix<f64>, out: &mut Matrix<f64>) {
+        elm_q_batch_into(
+            &self.encoder,
+            self.online.model(),
+            states,
+            &mut self.bscratch.q,
+        );
+        let q = self.bscratch.q.q();
+        out.resize_zeroed(q.rows(), q.cols());
+        out.as_mut_slice().copy_from_slice(q.as_slice());
+    }
+
     /// ε-greedy through the batched kernel: same Q (bit for bit), same RNG
     /// draws, same action as [`Agent::act`] — minus the per-action matvecs.
     /// Records the same per-action prediction counters as [`Agent::act`],

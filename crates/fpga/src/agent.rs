@@ -469,6 +469,45 @@ impl elmrl_core::batch::BatchAgent for FpgaAgent {
         Matrix::from_fn(b, a, |i, j| scratch.yq[(i * a + j, 0)].to_f64())
     }
 
+    /// The quantised stacked pass into a caller-owned Q buffer — bit-for-bit
+    /// equal to `BatchAgent::predict_batch`, with zero heap allocations
+    /// once the scratch and `out` have seen the steady-state batch shape
+    /// (the serve-worker contract). Before initial training the allocating
+    /// fallback applies (float CPU learner, cold path only).
+    fn predict_batch_into(&mut self, states: &Matrix<f64>, out: &mut Matrix<f64>) {
+        if self.core.is_none() {
+            *out = self.predict_batch(states);
+            return;
+        }
+        let b = states.rows();
+        let a = self.config.num_actions;
+        let Self {
+            encoder,
+            core,
+            scratch,
+            ..
+        } = self;
+        let core = core.as_mut().expect("checked above");
+        scratch.xq.resize_zeroed(b * a, encoder.input_dim());
+        for i in 0..b {
+            for action in 0..a {
+                encoder.encode_into(states.row(i), action, &mut scratch.enc);
+                let r = i * a + action;
+                for (j, &v) in scratch.enc.iter().enumerate() {
+                    scratch.xq[(r, j)] = Q20::from_f64(v);
+                }
+            }
+        }
+        core.predict_batch_q(&scratch.xq, &mut scratch.yq);
+        out.resize_zeroed(b, a);
+        for i in 0..b {
+            let row = out.row_mut(i);
+            for (action, v) in row.iter_mut().enumerate() {
+                *v = scratch.yq[(i * a + action, 0)].to_f64();
+            }
+        }
+    }
+
     /// ε-greedy for one packed state row. [`Agent::act`] already evaluates
     /// all `A` actions through one batched core call and records the same
     /// counters, so delegation *is* the batched path.

@@ -25,6 +25,7 @@ fn main() {
     );
     args.warn_unused_population_flags("ablation");
     args.warn_unused_checkpoint_flags("ablation");
+    args.warn_unused_serve_flags("ablation");
     telemetry::init(&args);
     let hidden = args.hidden[0];
     if args.hidden.len() > 1 {

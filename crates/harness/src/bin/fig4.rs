@@ -18,6 +18,7 @@ fn main() {
         },
     );
     args.warn_unused_population_flags("fig4");
+    args.warn_unused_serve_flags("fig4");
     args.reject_workload_all("fig4");
     telemetry::init(&args);
     eprintln!(

@@ -17,6 +17,7 @@ fn main() {
         },
     );
     args.warn_unused_population_flags("fig5");
+    args.warn_unused_serve_flags("fig5");
     args.reject_workload_all("fig5");
     telemetry::init(&args);
     eprintln!(

@@ -16,6 +16,7 @@ fn main() {
         },
     );
     args.warn_unused_population_flags("fig6");
+    args.warn_unused_serve_flags("fig6");
     args.reject_workload_all("fig6");
     telemetry::init(&args);
     eprintln!(

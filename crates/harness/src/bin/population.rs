@@ -28,6 +28,7 @@ fn main() {
         );
     }
     args.reject_workload_all("population");
+    args.warn_unused_serve_flags("population");
     telemetry::init(&args);
     if args.stop_after.is_some() {
         eprintln!(

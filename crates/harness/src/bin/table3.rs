@@ -18,6 +18,7 @@ fn main() {
     );
     args.warn_unused_population_flags("table3");
     args.warn_unused_checkpoint_flags("table3");
+    args.warn_unused_serve_flags("table3");
     telemetry::init(&args);
     let table = table3::generate();
     let md = table3::to_markdown(&table);

@@ -49,7 +49,10 @@
 //! * `--help` — print usage and exit.
 //!
 //! The `population` binary additionally reads `--population <k>`,
-//! `--shards <s>` and `--design <name>`; the shared parser accepts those
+//! `--shards <s>` and `--design <name>`; the `serve` binary reads
+//! `--sessions`, `--workers`, `--max-batch`, `--batch-window-us`,
+//! `--duration-ticks`, `--virtual-clock`, `--think-ticks` and
+//! `--warmup-episodes` (plus `--design`). The shared parser accepts those
 //! flags everywhere so one flag set serves every binary. `--workload all`
 //! is accepted by the parser but only honoured by the `ablation` binary
 //! (which loops the registry); every other binary rejects it.
@@ -131,6 +134,29 @@ pub struct CliArgs {
     /// kill shard `k` after `e` episodes; its replicas are requeued onto
     /// the surviving shards with unchanged results.
     pub fail_shard: Option<FaultPlan>,
+    /// Client sessions for the `serve` binary (`--sessions`).
+    pub sessions: usize,
+    /// Agent workers (policy replicas) for the `serve` binary (`--workers`).
+    pub workers: usize,
+    /// Coalescer batch-size cap for the `serve` binary (`--max-batch`;
+    /// 1 = per-request dispatch).
+    pub max_batch: usize,
+    /// Coalescer latency budget in µs for the `serve` binary
+    /// (`--batch-window-us`; 0 = flush everything pending on every pump).
+    pub batch_window_us: u64,
+    /// Engine rounds for the `serve` binary (`--duration-ticks`).
+    pub duration_ticks: u64,
+    /// Use the deterministic virtual clock in the `serve` binary
+    /// (`--virtual-clock`); required for golden comparison.
+    pub virtual_clock: bool,
+    /// Maximum think-time rounds between a serve session's response and its
+    /// next request (`--think-ticks`; 0 = closed loop).
+    pub think_ticks: u64,
+    /// Training episodes used to warm the served policy (`--warmup-episodes`).
+    pub warmup_episodes: usize,
+    /// Whether any serve-only flag was given — lets the other binaries warn
+    /// that they ignore them.
+    pub serve_flags_used: bool,
     /// Enable the telemetry registry and print the per-module latency table
     /// on exit (`--telemetry`; implied by `--metrics-out`/`--trace-out`).
     pub telemetry: bool,
@@ -205,6 +231,18 @@ impl CliArgs {
                 "{binary}: note — --fail-shard only affects the `population` \
                  binary and is ignored here (use --stop-after to fault-inject \
                  a trial run)"
+            );
+        }
+    }
+
+    /// Warn on stderr when a serve-only flag was passed to a binary that
+    /// does not read it.
+    pub fn warn_unused_serve_flags(&self, binary: &str) {
+        if self.serve_flags_used {
+            eprintln!(
+                "{binary}: note — --sessions/--workers/--max-batch/--batch-window-us/\
+                 --duration-ticks/--virtual-clock/--think-ticks/--warmup-episodes only \
+                 affect the `serve` binary and are ignored here"
             );
         }
     }
@@ -285,6 +323,22 @@ pub fn usage(binary: &str, about: &str, defaults: &CliDefaults) -> String {
          \x20 --fail-shard <k@e>  fault injection, population binary only: kill\n\
          \x20                     shard k after e episodes (replicas requeue onto\n\
          \x20                     the surviving shards, results unchanged)\n\
+         \x20 --sessions <n>      client sessions, serve binary only (default: 64)\n\
+         \x20 --workers <n>       agent workers (policy replicas), serve binary\n\
+         \x20                     only; never changes responses (default: 1)\n\
+         \x20 --max-batch <n>     coalescer batch cap, serve binary only;\n\
+         \x20                     1 = per-request dispatch (default: 64)\n\
+         \x20 --batch-window-us <n> coalescer latency budget in µs, serve binary\n\
+         \x20                     only; 0 flushes every pump (default: 200)\n\
+         \x20 --duration-ticks <n> engine rounds to drive, serve binary only\n\
+         \x20                     (default: 200)\n\
+         \x20 --virtual-clock     deterministic virtual clock, serve binary only\n\
+         \x20                     (required for golden/byte-identical runs)\n\
+         \x20 --think-ticks <n>   max think-time rounds between a session's\n\
+         \x20                     response and next request, serve binary only\n\
+         \x20                     (default: 0 = closed loop)\n\
+         \x20 --warmup-episodes <n> training episodes behind the served policy,\n\
+         \x20                     serve binary only (default: 5)\n\
          \x20 --telemetry         collect per-module latency/counter metrics and\n\
          \x20                     print a summary table on exit (never changes\n\
          \x20                     results; also via ELMRL_TELEMETRY=1)\n\
@@ -333,6 +387,15 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
         resume: false,
         stop_after: None,
         fail_shard: None,
+        sessions: 64,
+        workers: 1,
+        max_batch: 64,
+        batch_window_us: 200,
+        duration_ticks: 200,
+        virtual_clock: false,
+        think_ticks: 0,
+        warmup_episodes: 5,
+        serve_flags_used: false,
         telemetry: false,
         metrics_out: None,
         trace_out: None,
@@ -500,6 +563,65 @@ pub fn parse_from(args: &[String], defaults: &CliDefaults) -> Result<Option<CliA
                 let v = value_for("--fail-shard")?;
                 parsed.fail_shard =
                     Some(FaultPlan::parse(&v).map_err(|e| format!("--fail-shard: {e}"))?);
+            }
+            "--sessions" => {
+                parsed.serve_flags_used = true;
+                let v = value_for("--sessions")?;
+                parsed.sessions = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--sessions: need a positive count, got `{v}`"))?;
+            }
+            "--workers" => {
+                parsed.serve_flags_used = true;
+                let v = value_for("--workers")?;
+                parsed.workers = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--workers: need a positive count, got `{v}`"))?;
+            }
+            "--max-batch" => {
+                parsed.serve_flags_used = true;
+                let v = value_for("--max-batch")?;
+                parsed.max_batch =
+                    v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--max-batch: need a positive batch cap, got `{v}`")
+                    })?;
+            }
+            "--batch-window-us" => {
+                parsed.serve_flags_used = true;
+                let v = value_for("--batch-window-us")?;
+                parsed.batch_window_us = v
+                    .parse()
+                    .map_err(|_| format!("--batch-window-us: invalid budget `{v}`"))?;
+            }
+            "--duration-ticks" => {
+                parsed.serve_flags_used = true;
+                let v = value_for("--duration-ticks")?;
+                parsed.duration_ticks =
+                    v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--duration-ticks: need a positive count, got `{v}`")
+                    })?;
+            }
+            "--virtual-clock" => {
+                parsed.serve_flags_used = true;
+                parsed.virtual_clock = true;
+            }
+            "--think-ticks" => {
+                parsed.serve_flags_used = true;
+                let v = value_for("--think-ticks")?;
+                parsed.think_ticks = v
+                    .parse()
+                    .map_err(|_| format!("--think-ticks: invalid count `{v}`"))?;
+            }
+            "--warmup-episodes" => {
+                parsed.serve_flags_used = true;
+                let v = value_for("--warmup-episodes")?;
+                parsed.warmup_episodes = v
+                    .parse()
+                    .map_err(|_| format!("--warmup-episodes: invalid count `{v}`"))?;
             }
             "--telemetry" => {
                 parsed.telemetry = true;
@@ -937,6 +1059,103 @@ mod tests {
                 at_episode: 3
             })
         );
+    }
+
+    #[test]
+    fn serve_flags_parse_and_validate() {
+        let parsed = parse_from(
+            &args(&[
+                "--sessions",
+                "1000",
+                "--workers",
+                "4",
+                "--max-batch",
+                "128",
+                "--batch-window-us",
+                "500",
+                "--duration-ticks",
+                "50",
+                "--virtual-clock",
+                "--think-ticks",
+                "3",
+                "--warmup-episodes",
+                "10",
+            ]),
+            &defaults(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(parsed.sessions, 1000);
+        assert_eq!(parsed.workers, 4);
+        assert_eq!(parsed.max_batch, 128);
+        assert_eq!(parsed.batch_window_us, 500);
+        assert_eq!(parsed.duration_ticks, 50);
+        assert!(parsed.virtual_clock);
+        assert_eq!(parsed.think_ticks, 3);
+        assert_eq!(parsed.warmup_episodes, 10);
+        assert!(parsed.serve_flags_used);
+
+        // Defaults when absent.
+        let bare = parse_from(&[], &defaults()).unwrap().unwrap();
+        assert_eq!(bare.sessions, 64);
+        assert_eq!(bare.workers, 1);
+        assert_eq!(bare.max_batch, 64);
+        assert_eq!(bare.batch_window_us, 200);
+        assert_eq!(bare.duration_ticks, 200);
+        assert!(!bare.virtual_clock);
+        assert_eq!(bare.think_ticks, 0);
+        assert_eq!(bare.warmup_episodes, 5);
+        assert!(!bare.serve_flags_used);
+
+        // Validation: zero sessions/workers/batches/rounds are meaningless;
+        // think/warmup/window zero are legitimate (closed loop, cold policy,
+        // flush-every-pump).
+        assert!(parse_from(&args(&["--sessions", "0"]), &defaults())
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_from(&args(&["--workers", "0"]), &defaults())
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_from(&args(&["--max-batch", "0"]), &defaults())
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_from(&args(&["--duration-ticks", "0"]), &defaults())
+            .unwrap_err()
+            .contains("positive"));
+        assert!(
+            parse_from(&args(&["--batch-window-us", "soon"]), &defaults())
+                .unwrap_err()
+                .contains("invalid")
+        );
+        let zeros = parse_from(
+            &args(&[
+                "--batch-window-us",
+                "0",
+                "--think-ticks",
+                "0",
+                "--warmup-episodes",
+                "0",
+            ]),
+            &defaults(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(zeros.batch_window_us, 0);
+        assert_eq!(zeros.warmup_episodes, 0);
+
+        let help = usage("serve", "x", &defaults());
+        for flag in [
+            "--sessions",
+            "--workers",
+            "--max-batch",
+            "--batch-window-us",
+            "--duration-ticks",
+            "--virtual-clock",
+            "--think-ticks",
+            "--warmup-episodes",
+        ] {
+            assert!(help.contains(flag), "{flag}");
+        }
     }
 
     #[test]

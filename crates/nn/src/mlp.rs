@@ -157,6 +157,36 @@ impl Mlp {
         out.extend_from_slice(last.row(0));
     }
 
+    /// Allocation-free batched inference: the `B`-row generalisation of
+    /// [`Mlp::forward_one_into`], ping-ponging whole `B × n` activations
+    /// through the workspace matrices and leaving the output layer in `out`
+    /// (resized in place, capacity reused). Bit-for-bit identical to
+    /// [`Mlp::forward`] — the layer kernels accumulate each batch row
+    /// independently — so the serve engine's ticketed dispatch can keep a
+    /// warm DQN worker free of matrix heap allocations at steady state.
+    pub fn forward_batch_into(
+        &self,
+        input: &Matrix<f64>,
+        scratch: &mut MlpScratch,
+        out: &mut Matrix<f64>,
+    ) {
+        let (ping, pong) = scratch.bufs.split_at_mut(1);
+        let (ping, pong) = (&mut ping[0], &mut pong[0]);
+        self.layers[0].forward_into(input, ping);
+        let mut ping_is_current = true;
+        for layer in &self.layers[1..] {
+            if ping_is_current {
+                layer.forward_into(ping, pong);
+            } else {
+                layer.forward_into(pong, ping);
+            }
+            ping_is_current = !ping_is_current;
+        }
+        let last = if ping_is_current { &*ping } else { &*pong };
+        out.resize_zeroed(last.rows(), last.cols());
+        out.as_mut_slice().copy_from_slice(last.as_slice());
+    }
+
     /// One optimisation step on a batch: forward, loss gradient, backward,
     /// and parameter update. Returns the scalar loss before the update.
     pub fn train_step<O: Optimizer>(

@@ -561,7 +561,7 @@ fn build_replica_agent(
     hidden_dim: usize,
     chunk_cap: Option<usize>,
     rng: &mut SmallRng,
-) -> Box<dyn BatchAgent> {
+) -> Box<dyn BatchAgent + Send> {
     match design {
         Design::Fpga => Box::new(FpgaAgent::new(
             FpgaAgentConfig::for_workload(spec, hidden_dim),
@@ -704,7 +704,7 @@ fn run_shard(
         .iter()
         .map(|&s| SmallRng::seed_from_u64(s))
         .collect();
-    let mut agents: Vec<Box<dyn BatchAgent>> = rngs
+    let mut agents: Vec<Box<dyn BatchAgent + Send>> = rngs
         .iter_mut()
         .map(|rng| {
             build_replica_agent(

@@ -1,0 +1,106 @@
+//! The engine's notion of time: a real wall clock for production runs and a
+//! deterministic virtual clock for tests, goldens and CI.
+//!
+//! Every latency-budget decision in the coalescer ([`crate::ServeEngine`])
+//! and every reported request latency reads microseconds from a
+//! [`ServeClock`], never from [`Instant`] directly. In virtual mode the
+//! clock advances by exactly [`VIRTUAL_ROUND_US`] per engine round and is
+//! frozen *within* a round, so batch composition, flush decisions and the
+//! reported latency of every ticket are pure functions of the request
+//! sequence — byte-identical at any `--workers` count and on any host.
+
+use std::time::Instant;
+
+/// Modeled microseconds one engine round (submit → pump → respond) takes on
+/// the virtual clock. The absolute value is arbitrary — it only needs to be
+/// positive so queue ages grow and latency quantiles are non-trivial — but
+/// it is part of the golden artifacts, so changing it is a schema change.
+pub const VIRTUAL_ROUND_US: u64 = 100;
+
+/// A microsecond clock: real (`Wall`) or deterministic (`Virtual`).
+#[derive(Debug)]
+pub enum ServeClock {
+    /// Deterministic mode: time is `rounds elapsed × VIRTUAL_ROUND_US`.
+    Virtual {
+        /// Current virtual time in microseconds.
+        now_us: u64,
+    },
+    /// Real mode: time is microseconds since engine start.
+    Wall {
+        /// The instant the clock was created.
+        start: Instant,
+    },
+}
+
+impl ServeClock {
+    /// A deterministic clock starting at 0 µs.
+    pub fn virtual_clock() -> Self {
+        ServeClock::Virtual { now_us: 0 }
+    }
+
+    /// A real clock starting now.
+    pub fn wall() -> Self {
+        ServeClock::Wall {
+            start: Instant::now(),
+        }
+    }
+
+    /// Build from the CLI's `--virtual-clock` flag.
+    pub fn from_flag(virtual_clock: bool) -> Self {
+        if virtual_clock {
+            Self::virtual_clock()
+        } else {
+            Self::wall()
+        }
+    }
+
+    /// Whether this is the deterministic clock.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, ServeClock::Virtual { .. })
+    }
+
+    /// Current time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            ServeClock::Virtual { now_us } => *now_us,
+            ServeClock::Wall { start } => start.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Mark the start of one engine round. The virtual clock jumps forward
+    /// by [`VIRTUAL_ROUND_US`] and then stands still until the next round;
+    /// the wall clock ignores this (real time just passes).
+    pub fn advance_round(&mut self) {
+        if let ServeClock::Virtual { now_us } = self {
+            *now_us += VIRTUAL_ROUND_US;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_by_fixed_rounds() {
+        let mut clock = ServeClock::virtual_clock();
+        assert!(clock.is_virtual());
+        assert_eq!(clock.now_us(), 0);
+        clock.advance_round();
+        assert_eq!(clock.now_us(), VIRTUAL_ROUND_US);
+        // Frozen within a round: repeated reads are identical.
+        assert_eq!(clock.now_us(), VIRTUAL_ROUND_US);
+        clock.advance_round();
+        assert_eq!(clock.now_us(), 2 * VIRTUAL_ROUND_US);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let mut clock = ServeClock::wall();
+        assert!(!clock.is_virtual());
+        let a = clock.now_us();
+        clock.advance_round(); // no-op
+        let b = clock.now_us();
+        assert!(b >= a);
+    }
+}

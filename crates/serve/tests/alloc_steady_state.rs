@@ -1,0 +1,190 @@
+//! Counting-allocator proof of the serve-engine hot-loop contract: once the
+//! queue ring, staging matrix and worker scratch have reached steady size, a
+//! full engine round — enqueue every session's observation, coalesce into
+//! batches, `predict_batch_into`, route responses — performs **zero** heap
+//! allocations (single-worker dispatch; the multi-worker wave additionally
+//! pays only the PR-4 pool's per-`par_iter` plumbing, like every other
+//! parallel section).
+//!
+//! The session driver itself is deliberately *outside* the measured loop:
+//! stepping a Gym environment returns freshly allocated observation vectors
+//! by API design, so the test plays the client role with a fixed observation
+//! per session — exactly the engine-side surface (enqueue → coalesce →
+//! predict → respond) the ISSUE scopes.
+//!
+//! Counter scoping per `crates/core/tests/alloc_steady_state.rs`: only the
+//! measuring thread counts, so libtest's harness threads cannot perturb the
+//! zero assert.
+
+use elmrl_core::designs::Design;
+use elmrl_gym::Workload;
+use elmrl_serve::{build_workers, EngineConfig, ServeClock, ServeEngine};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Serialises the tests in this file (the telemetry variant toggles the
+/// process-global enabled flag).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// System allocator wrapper that counts (re)allocations made by threads
+/// that have opted in via [`COUNTING`].
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+std::thread_local! {
+    /// Whether the current thread's allocations are being counted. The
+    /// `const` initialiser guarantees first access performs no lazy-init
+    /// allocation (which would recurse into the allocator).
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_if_measuring() {
+    // `try_with`: a thread past TLS destruction must not panic inside alloc.
+    let _ = COUNTING.try_with(|flag| {
+        if flag.get() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+// An allocator is inherently unsafe plumbing; this one only forwards to the
+// system allocator and bumps a counter on opted-in threads.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_measuring();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_measuring();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+const SESSIONS: usize = 32;
+
+/// Build a warm single-worker engine plus one fixed observation per session.
+fn warm_engine(max_batch: usize, window_us: u64) -> (ServeEngine, Vec<Vec<f64>>, ServeClock) {
+    let spec = Workload::CartPole.spec();
+    let workers = build_workers(Design::OsElmL2Lipschitz, &spec, 16, 1, max_batch, 5, 3);
+    let mut engine = ServeEngine::new(
+        SESSIONS,
+        spec.observation_dim,
+        workers,
+        EngineConfig {
+            max_batch,
+            batch_window_us: window_us,
+        },
+    );
+    let observations: Vec<Vec<f64>> = (0..SESSIONS)
+        .map(|s| {
+            vec![
+                0.01 * s as f64,
+                -0.02,
+                0.005 * (s % 7) as f64,
+                0.01 * (s % 3) as f64,
+            ]
+        })
+        .collect();
+    let mut clock = ServeClock::virtual_clock();
+    // Warm-up: let the queue ring, staging rows, batch/Q scratch, response
+    // buffer and telemetry call-site caches all reach steady capacity.
+    for _ in 0..16 {
+        for (s, obs) in observations.iter().enumerate() {
+            engine.enqueue(s, obs, clock.now_us());
+        }
+        let responses = engine.pump(&mut clock);
+        assert_eq!(responses.len(), SESSIONS, "window must flush every round");
+    }
+    (engine, observations, clock)
+}
+
+fn measure_rounds(
+    engine: &mut ServeEngine,
+    observations: &[Vec<f64>],
+    clock: &mut ServeClock,
+) -> u64 {
+    COUNTING.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..64 {
+        for (s, obs) in observations.iter().enumerate() {
+            engine.enqueue(s, obs, clock.now_us());
+        }
+        let responses = engine.pump(clock);
+        std::hint::black_box(responses.len());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|flag| flag.set(false));
+    after - before
+}
+
+#[test]
+fn steady_state_serve_round_allocates_nothing() {
+    let _serial = serial();
+    // max_batch 8 over 32 sessions: 4 full batches per round, so the test
+    // crosses the coalescer's multi-wave path, not just one flush.
+    let (mut engine, observations, mut clock) = warm_engine(8, 200);
+    let allocations = measure_rounds(&mut engine, &observations, &mut clock);
+    assert_eq!(
+        allocations, 0,
+        "steady-state enqueue → coalesce → predict_batch → respond must not \
+         allocate ({allocations} allocations over 64 rounds)"
+    );
+    assert_eq!(engine.stats().batch_size_counts[8], (16 + 64) * 4);
+}
+
+#[test]
+fn steady_state_serve_round_allocates_nothing_with_telemetry_on() {
+    // The PR-8 no-perturbation contract extends to the serve layer: with
+    // the registry enabled, the measured loop still allocates zero — the
+    // serve.batch_size/serve.request histograms, the queue-depth gauge and
+    // the request counters were all registered during warm-up.
+    let _serial = serial();
+    elmrl_telemetry::set_enabled(true);
+    let (mut engine, observations, mut clock) = warm_engine(8, 200);
+    let allocations = measure_rounds(&mut engine, &observations, &mut clock);
+    let recorded = elmrl_telemetry::snapshot()
+        .histogram("serve.batch_size")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    elmrl_telemetry::set_enabled(false);
+    assert!(
+        recorded > 0,
+        "telemetry must actually have recorded during the measured loop"
+    );
+    assert_eq!(
+        allocations, 0,
+        "steady-state serve round with telemetry on must not allocate \
+         ({allocations} allocations over 64 rounds)"
+    );
+}
+
+#[test]
+fn per_request_dispatch_is_also_allocation_free() {
+    // The bench baseline (max_batch = 1) runs the same hot loop, just with
+    // B = 1 batches — it must not gain an unfair allocation handicap.
+    let _serial = serial();
+    let (mut engine, observations, mut clock) = warm_engine(1, 0);
+    let allocations = measure_rounds(&mut engine, &observations, &mut clock);
+    assert_eq!(
+        allocations, 0,
+        "steady-state per-request dispatch must not allocate \
+         ({allocations} allocations over 64 rounds)"
+    );
+    assert_eq!(engine.stats().batch_size_counts[1], (16 + 64) * 32);
+}

@@ -1,0 +1,120 @@
+//! Worker-count invariance — the serve analogue of the population engine's
+//! shard-invariance contract.
+//!
+//! On the virtual clock, the full serialized report (request/batch counts,
+//! batch composition, latency digest, episode statistics) and the FNV
+//! digest over the ordered `(ticket, session, action, latency)` response
+//! stream must be **byte-identical** at any `--workers` value: batches are
+//! composed centrally in ticket order, all worker policies carry identical
+//! weights, and inference draws no RNG. The CI `serve_smoke` job `cmp`s the
+//! same property end-to-end through the `serve` binary against a committed
+//! golden.
+
+use elmrl_core::designs::Design;
+use elmrl_gym::Workload;
+use elmrl_serve::{run_serve, ServeConfig, ServeOutcome};
+
+fn outcome(
+    workers: usize,
+    sessions: usize,
+    max_batch: usize,
+    window_us: u64,
+    think: u64,
+) -> ServeOutcome {
+    let spec = Workload::CartPole.spec();
+    let mut config = ServeConfig::new(&spec, Design::OsElmL2Lipschitz, 16);
+    config.sessions = sessions;
+    config.workers = workers;
+    config.max_batch = max_batch;
+    config.batch_window_us = window_us;
+    config.duration_ticks = 60;
+    config.seed = 2026;
+    config.virtual_clock = true;
+    config.think_ticks = think;
+    config.warmup_episodes = 3;
+    run_serve(&spec, &config, true)
+}
+
+fn report_json(outcome: &ServeOutcome) -> String {
+    serde_json::to_string(&outcome.report).expect("serve report serializes")
+}
+
+/// The serialized reports differ only in the echoed `workers` field; mask it
+/// so the remaining bytes can be compared verbatim.
+fn masked(json: &str, workers: usize) -> String {
+    json.replace(&format!("\"workers\":{workers}"), "\"workers\":MASKED")
+}
+
+#[test]
+fn responses_are_byte_identical_across_worker_counts() {
+    let sessions = 48;
+    let baseline = outcome(1, sessions, 16, 300, 0);
+    let json_1 = masked(&report_json(&baseline), 1);
+    for workers in [2usize, 4] {
+        let run = outcome(workers, sessions, 16, 300, 0);
+        assert_eq!(
+            run.response_digest, baseline.response_digest,
+            "response stream must not depend on worker count (workers {workers})"
+        );
+        assert_eq!(
+            masked(&report_json(&run), workers),
+            json_1,
+            "serve report must be byte-identical at workers {workers}"
+        );
+    }
+}
+
+#[test]
+fn think_time_runs_are_worker_invariant_too() {
+    // Think-time draws come from per-session streams, so a sparse, ragged
+    // request pattern (window 0 flushes whatever is pending) must replay
+    // identically at any worker count.
+    let a = outcome(1, 32, 8, 0, 4);
+    let b = outcome(4, 32, 8, 0, 4);
+    assert_eq!(a.response_digest, b.response_digest);
+    assert_eq!(masked(&report_json(&a), 1), masked(&report_json(&b), 4));
+    // Sanity: the ragged pattern actually exercised partial batches.
+    assert!(
+        a.report.batch_sizes.len() > 1,
+        "think-time run should produce mixed batch sizes, got {:?}",
+        a.report.batch_sizes
+    );
+}
+
+#[test]
+fn same_config_replays_bit_for_bit() {
+    let a = outcome(2, 24, 8, 200, 2);
+    let b = outcome(2, 24, 8, 200, 2);
+    assert_eq!(a.response_digest, b.response_digest);
+    assert_eq!(report_json(&a), report_json(&b));
+}
+
+#[test]
+fn coalescing_knobs_change_batch_composition() {
+    // Negative control: max_batch genuinely shapes the batches (so the
+    // invariance above is not vacuous).
+    let coalesced = outcome(1, 48, 16, 300, 0);
+    let per_request = outcome(1, 48, 1, 0, 0);
+    assert_eq!(coalesced.report.responses, per_request.report.responses);
+    assert!(coalesced.report.mean_batch_size > per_request.report.mean_batch_size);
+    assert_eq!(per_request.report.mean_batch_size, 1.0);
+    assert!(per_request.report.batches > coalesced.report.batches);
+}
+
+#[test]
+fn seed_changes_the_run() {
+    let spec = Workload::CartPole.spec();
+    let mut config = ServeConfig::new(&spec, Design::OsElmL2Lipschitz, 16);
+    config.sessions = 16;
+    config.duration_ticks = 40;
+    config.virtual_clock = true;
+    config.warmup_episodes = 3;
+    config.think_ticks = 2;
+    let a = run_serve(&spec, &config, true);
+    config.seed += 1;
+    let b = run_serve(&spec, &config, true);
+    assert_ne!(
+        a.response_digest, b.response_digest,
+        "different seeds must produce different client trajectories"
+    );
+}
